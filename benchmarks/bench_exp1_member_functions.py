@@ -1,0 +1,42 @@
+"""EXP-I (paper section 7.1.3, Figure 9): flat storage tables versus
+member functions.
+
+The paper's claim: "no significant overhead was incurred by creating
+the database object type" — the member-function query performs like (or
+slightly better than) the equivalent three-join query against the raw
+storage tables.
+"""
+
+import pytest
+
+from benchmarks.conftest import primary_size
+from repro.bench.experiments import flat_table_subject_query
+from repro.bench.datasets import MODEL_NAME
+from repro.workloads.uniprot import PROBE_SUBJECT
+
+
+@pytest.fixture(scope="module")
+def fixture(oracle_fixtures):
+    return oracle_fixtures(primary_size())
+
+
+def test_member_function_query(benchmark, fixture):
+    """SELECT ... WHERE u.triple.GET_SUBJECT() = :probe."""
+    result = benchmark(fixture.table.get_triples, "GET_SUBJECT",
+                       PROBE_SUBJECT)
+    assert len(result) == 24
+
+
+def test_flat_storage_table_query(benchmark, fixture):
+    """The equivalent query against rdf_value$ x3 + rdf_link$."""
+    model_id = fixture.store.models.get(MODEL_NAME).model_id
+    result = benchmark(flat_table_subject_query, fixture.store.database,
+                       model_id, PROBE_SUBJECT)
+    assert len(result) == 24
+
+
+def test_get_triple_resolution(benchmark, fixture):
+    """GET_TRIPLE() resolution cost for one stored object."""
+    _row_id, obj = next(iter(fixture.table.rows()))
+    triple = benchmark(obj.get_triple)
+    assert triple.subject

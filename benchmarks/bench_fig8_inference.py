@@ -1,0 +1,53 @@
+"""FIG-8 (paper section 6.1): inference over the IC applications.
+
+Measures the two phases the paper separates: building the rules index
+(CREATE_RULES_INDEX pre-computation) and running the SDO_RDF_MATCH
+query that joins the watch list with the address table.
+"""
+
+import pytest
+
+from repro.core.store import RDFStore
+from repro.workloads.intel import IntelScenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    store = RDFStore()
+    intel = IntelScenario.build(store)
+    yield intel
+    store.close()
+
+
+def test_figure8_match_query(benchmark, scenario):
+    """The watch-list query with RDFS + intel_rb over three models."""
+    result = benchmark(scenario.terror_watch_list)
+    assert result == [
+        ("id:JaneDoe", "Brooklyn, NY"),
+        ("id:JimDoe", "Trenton, NJ"),
+        ("id:JohnDoe", "Brooklyn, NY"),
+    ]
+
+
+def test_match_without_rulebases(benchmark, scenario):
+    """The same pattern without inference (baseline for rule cost)."""
+    result = benchmark(
+        scenario.inference.match,
+        "(gov:files gov:terrorSuspect ?name)",
+        list(IntelScenario.MODEL_NAMES), aliases=scenario.aliases)
+    assert len(result) == 2  # JimDoe needs the rulebase
+
+
+def test_create_rules_index(benchmark):
+    """CREATE_RULES_INDEX pre-computation cost (RDFS + intel_rb)."""
+    def build():
+        store = RDFStore()
+        intel = IntelScenario.build(store, with_rules_index=False)
+        intel.create_rules_index()
+        count = intel.inference.indexes.get(
+            IntelScenario.RULES_INDEX).inferred_count
+        store.close()
+        return count
+
+    inferred = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert inferred > 0

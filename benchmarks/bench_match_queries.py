@@ -1,0 +1,74 @@
+"""ABL-MATCH: SDO_RDF_MATCH query-shape scaling.
+
+Beyond the paper's tables: how the SQL-join evaluation of
+SDO_RDF_MATCH behaves as patterns chain (1-3 joins) and as constants
+narrow the search.  The interesting shape: constant-anchored patterns
+stay fast regardless of dataset size (index lookups), while fully
+unbound patterns scan.
+"""
+
+import pytest
+
+from benchmarks.conftest import primary_size
+from repro.bench.datasets import MODEL_NAME
+from repro.inference.match import sdo_rdf_match
+from repro.workloads.uniprot import PROBE_SUBJECT
+
+
+@pytest.fixture(scope="module")
+def fixture(oracle_fixtures):
+    return oracle_fixtures(primary_size())
+
+
+def test_single_pattern_anchored_subject(benchmark, fixture):
+    """(probe ?p ?o): constant subject, index lookup."""
+    rows = benchmark(
+        sdo_rdf_match, fixture.store,
+        f"(<{PROBE_SUBJECT}> ?p ?o)", [MODEL_NAME])
+    assert len(rows) == 24
+
+
+def test_single_pattern_anchored_predicate(benchmark, fixture):
+    """(?s rdfs:seeAlso ?o): constant predicate, larger result."""
+    rows = benchmark(
+        sdo_rdf_match, fixture.store,
+        "(?s rdfs:seeAlso ?o)", [MODEL_NAME])
+    assert len(rows) > 100
+
+
+def test_two_pattern_join(benchmark, fixture):
+    """Protein -> seeAlso join through a shared variable."""
+    rows = benchmark(
+        sdo_rdf_match, fixture.store,
+        "(?s rdf:type <urn:lsid:uniprot.org:ontology:Protein>) "
+        "(?s rdfs:seeAlso ?ref)", [MODEL_NAME])
+    assert len(rows) > 100
+
+
+def test_three_pattern_join(benchmark, fixture):
+    """Three chained patterns with a constant anchor."""
+    rows = benchmark(
+        sdo_rdf_match, fixture.store,
+        f"(<{PROBE_SUBJECT}> rdfs:seeAlso ?ref) "
+        f"(<{PROBE_SUBJECT}> rdf:type ?t) "
+        f"(<{PROBE_SUBJECT}> <urn:lsid:uniprot.org:ontology:organism>"
+        " ?org)", [MODEL_NAME])
+    assert len(rows) == 9  # 9 seeAlso x 1 type x 1 organism
+
+
+def test_ground_existence_check(benchmark, fixture):
+    """Fully ground pattern: pure existence probe."""
+    rows = benchmark(
+        sdo_rdf_match, fixture.store,
+        f"(<{PROBE_SUBJECT}> rdf:type "
+        "<urn:lsid:uniprot.org:ontology:Protein>)", [MODEL_NAME])
+    assert len(rows) == 1
+
+
+def test_filter_evaluation(benchmark, fixture):
+    """Pattern plus a LIKE filter over the bindings."""
+    rows = benchmark(
+        sdo_rdf_match, fixture.store,
+        f"(<{PROBE_SUBJECT}> rdfs:seeAlso ?ref)", [MODEL_NAME],
+        filter='?ref LIKE "urn:lsid:uniprot.org:interpro:%"')
+    assert len(rows) == 8

@@ -1,0 +1,61 @@
+"""NDM analysis over RDF data at workload scale.
+
+The abstract's promise — "allowing RDF data to be managed as objects
+and analyzed as networks" — exercised on the UniProt-shaped graph:
+snapshotting the adjacency out of rdf_link$, shortest paths,
+reachability, components, and hub ranking.
+"""
+
+import pytest
+
+from benchmarks.conftest import primary_size
+from repro.bench.datasets import MODEL_NAME
+from repro.ndm.analysis import NetworkAnalyzer
+from repro.rdf.terms import URI
+from repro.workloads.uniprot import PROBE_SUBJECT
+
+
+@pytest.fixture(scope="module")
+def fixture(oracle_fixtures):
+    return oracle_fixtures(primary_size())
+
+
+@pytest.fixture(scope="module")
+def analyzer(fixture):
+    return NetworkAnalyzer(fixture.store.network(MODEL_NAME))
+
+
+@pytest.fixture(scope="module")
+def probe_id(fixture):
+    return fixture.store.values.find_id(URI(PROBE_SUBJECT))
+
+
+def test_adjacency_snapshot(benchmark, fixture):
+    """Loading the model's network out of rdf_link$."""
+    network = fixture.store.network(MODEL_NAME)
+    adjacency = benchmark(network.adjacency)
+    assert len(adjacency) > 1000
+
+
+def test_reachability_from_probe(benchmark, analyzer, probe_id):
+    reachable = benchmark(analyzer.reachable, probe_id)
+    assert len(reachable) >= 19  # the probe's non-literal neighbours
+
+
+def test_within_cost(benchmark, analyzer, probe_id):
+    near = benchmark(analyzer.within_cost, probe_id, 2.0)
+    assert probe_id in near
+
+
+def test_components(benchmark, fixture):
+    undirected = NetworkAnalyzer(fixture.store.network(MODEL_NAME),
+                                 undirected=True)
+    components = benchmark(undirected.components)
+    assert components
+
+
+def test_hubs(benchmark, analyzer):
+    top = benchmark(analyzer.hubs, 10)
+    assert len(top) == 10
+    # Hubs are protein records; fan-out >= their statement count floor.
+    assert top[0][1] >= 8

@@ -1,0 +1,55 @@
+"""EXP-II / Table 1 (paper section 7.1.4, Figure 10): Jena2 versus RDF
+storage objects on the subject query.
+
+Paper shape: both systems answer in ~0.03-0.04 s; times are flat in the
+dataset size for a constant result cardinality (24 rows).  Each
+parametrized case is one cell pair of Table 1.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_sizes
+from repro.workloads.uniprot import PROBE_SUBJECT
+
+
+@pytest.mark.parametrize("size", bench_sizes())
+def test_rdf_objects_subject_query(benchmark, oracle_fixtures, size):
+    """Oracle column of Table 1."""
+    fixture = oracle_fixtures(size)
+    result = benchmark(fixture.table.get_triples, "GET_SUBJECT",
+                       PROBE_SUBJECT)
+    assert len(result) == 24
+
+
+@pytest.mark.parametrize("size", bench_sizes())
+def test_jena2_subject_query(benchmark, jena_fixtures, size):
+    """Jena2 column of Table 1 (m.listStatements(resource, null, null))."""
+    fixture = jena_fixtures(size)
+    probe = fixture.model.get_resource(PROBE_SUBJECT)
+    result = benchmark(
+        lambda: list(fixture.model.list_statements(subject=probe)))
+    assert len(result) == 24
+
+
+def test_table1_report(oracle_fixtures, jena_fixtures, capsys):
+    """Print the Table 1 rows the paper reports (mean of 10 trials)."""
+    from repro.bench.harness import format_seconds, format_table, \
+        mean_time
+
+    rows = []
+    for size in bench_sizes():
+        oracle = oracle_fixtures(size)
+        jena = jena_fixtures(size)
+        probe = jena.model.get_resource(PROBE_SUBJECT)
+        jena_time = mean_time(
+            lambda: list(jena.model.list_statements(subject=probe)))
+        oracle_time = mean_time(
+            lambda: oracle.table.get_triples("GET_SUBJECT",
+                                             PROBE_SUBJECT))
+        rows.append([f"{size:,}", format_seconds(jena_time),
+                     format_seconds(oracle_time), 24])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Triples", "Jena2 (sec)", "RDF objects (sec)", "Rows"],
+            rows, title="Table 1. Query times on the UniProt datasets"))

@@ -1,0 +1,58 @@
+"""EXP-III / Table 2 (paper section 7.1.5, Figure 11): IS_REIFIED in
+Jena2 versus the streamlined Oracle scheme.
+
+Paper shape: both systems answer true and false probes in hundredths of
+a second at every size — single-row retrievals.  Each parametrized case
+is one cell pair of Table 2.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_sizes
+from repro.bench.datasets import MODEL_NAME
+from repro.jena2.model import Statement
+from repro.workloads.uniprot import UniProtGenerator
+
+_GENERATOR = UniProtGenerator()
+_PROBES = {
+    "true": _GENERATOR.true_probe(),
+    "false": _GENERATOR.false_probe(),
+}
+
+
+@pytest.mark.parametrize("size", bench_sizes())
+@pytest.mark.parametrize("expected", ["true", "false"])
+def test_oracle_is_reified(benchmark, oracle_fixtures, size, expected):
+    """SDO_RDF.IS_REIFIED: a single DBUri lookup."""
+    fixture = oracle_fixtures(size)
+    probe = _PROBES[expected]
+    answer = benchmark(
+        fixture.sdo_rdf.is_reified, MODEL_NAME, probe.subject.lexical,
+        probe.predicate.lexical, probe.object.lexical)
+    assert answer is (expected == "true")
+
+
+@pytest.mark.parametrize("size", bench_sizes())
+@pytest.mark.parametrize("expected", ["true", "false"])
+def test_jena2_is_reified(benchmark, jena_fixtures, size, expected):
+    """m.isReified(stmt) on the property-class table."""
+    fixture = jena_fixtures(size)
+    statement = Statement.from_triple(_PROBES[expected])
+    answer = benchmark(fixture.model.is_reified, statement)
+    assert answer is (expected == "true")
+
+
+def test_naive_quad_is_reified_for_contrast(benchmark, oracle_fixtures):
+    """The naive scheme's three-way self-join, for contrast with the
+    single-row schemes above."""
+    from benchmarks.conftest import primary_size
+    from repro.db.connection import Database
+    from repro.reification.naive import NaiveReificationStore
+
+    size = primary_size()
+    naive = NaiveReificationStore(Database())
+    for statement in _GENERATOR.reified_statements(size):
+        naive.reify(statement)
+    probe = _PROBES["true"]
+    answer = benchmark(naive.is_reified, probe)
+    assert answer is True

@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures: datasets built once per session.
+
+Default sizes keep the suite laptop-quick; set ``REPRO_BENCH_SIZES`` to
+a comma-separated list (e.g. ``10000,100000,1000000``) to sweep larger
+datasets like the paper's.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.datasets import load_jena_uniprot, load_oracle_uniprot
+
+
+def bench_sizes() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_SIZES", "10000,100000")
+    return tuple(int(size) for size in raw.split(",") if size)
+
+
+#: The size used by single-size benchmarks (the smallest of the sweep).
+def primary_size() -> int:
+    return bench_sizes()[0]
+
+
+@pytest.fixture(scope="session")
+def oracle_fixtures():
+    """Oracle-side datasets keyed by size, built lazily."""
+    cache = {}
+
+    def get(size: int):
+        if size not in cache:
+            cache[size] = load_oracle_uniprot(size)
+        return cache[size]
+
+    yield get
+    for fixture in cache.values():
+        fixture.store.close()
+
+
+@pytest.fixture(scope="session")
+def jena_fixtures():
+    """Jena2-side datasets keyed by size, built lazily."""
+    cache = {}
+
+    def get(size: int):
+        if size not in cache:
+            cache[size] = load_jena_uniprot(size)
+        return cache[size]
+
+    yield get
+    for fixture in cache.values():
+        fixture.jena.close()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's section 4.3 application flow, end to end.
+
+Creates an application table with an SDO_RDF_TRIPLE_S column, registers
+an RDF model, inserts triples, and reads them back through the object
+member functions — the exact three-step recipe of the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ApplicationTable, RDFStore, SDO_RDF
+
+
+def main() -> None:
+    # One RDFStore is one database's RDF universe (in-memory here; pass
+    # a path for a persistent store).
+    store = RDFStore()
+    sdo_rdf = SDO_RDF(store)
+
+    # Step 1: CREATE TABLE ciadata (id NUMBER, triple SDO_RDF_TRIPLE_S)
+    ApplicationTable.create(store, "ciadata")
+
+    # Step 2: EXECUTE SDO_RDF.CREATE_RDF_MODEL('cia', 'ciadata', 'triple')
+    sdo_rdf.create_rdf_model("cia", "ciadata", "triple")
+
+    # Step 3: INSERT INTO ciadata VALUES (1, SDO_RDF_TRIPLE_S(...))
+    table = ApplicationTable.open(store, "ciadata")
+    table.insert(1, "cia", "gov:files", "gov:terrorSuspect", "id:JohnDoe")
+    table.insert(2, "cia", "gov:files", "gov:terrorSuspect", "id:JaneDoe")
+    table.insert(3, "cia", "id:JohnDoe", "gov:enteredCountry",
+                 '"June-20-2000"')
+
+    # The storage object holds only IDs (Figure 6)...
+    print("Stored objects (IDs only):")
+    for row_id, obj in table.rows():
+        print(f"  row {row_id}: {obj}")
+
+    # ...and member functions resolve them back to text (Figure 5).
+    print("\nResolved triples (GET_TRIPLE):")
+    for _row_id, obj in table.rows():
+        print(f"  {obj.get_triple()}")
+
+    # Query with a member function, like the paper's Experiment I.
+    print("\nTriples with subject gov:files:")
+    for triple in table.get_triples("GET_SUBJECT", "gov:files"):
+        print(f"  {triple}")
+
+    # The membership checks of the SDO_RDF package.
+    print("\nIS_TRIPLE checks:")
+    print("  JohnDoe is a suspect:",
+          sdo_rdf.is_triple("cia", "gov:files", "gov:terrorSuspect",
+                            "id:JohnDoe"))
+    print("  JimDoe is a suspect: ",
+          sdo_rdf.is_triple("cia", "gov:files", "gov:terrorSuspect",
+                            "id:JimDoe"))
+
+    store.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment's setuptools predates built-in ``bdist_wheel`` and the
+``wheel`` package is unavailable offline, so editable installs go through
+``pip install -e . --no-build-isolation --no-use-pep517``, which needs
+this classic entry point.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — RDF Object Type and Reification in the Database.
+
+A from-scratch Python reproduction of Alexander & Ravada (ICDE 2006):
+an object-typed RDF store with a central schema built on a Network Data
+Model substrate, streamlined DBUri reification, SPARQL-like inference
+(``SDO_RDF_MATCH``), and a Jena2-layout baseline — all on stdlib SQLite.
+
+Quickstart::
+
+    from repro import RDFStore, SDO_RDF, ApplicationTable
+
+    store = RDFStore()                      # in-memory database
+    sdo_rdf = SDO_RDF(store)
+    ApplicationTable.create(store, "ciadata")
+    sdo_rdf.create_rdf_model("cia", "ciadata")
+    table = ApplicationTable.open(store, "ciadata")
+    table.insert(1, "cia", "gov:files", "gov:terrorSuspect", "id:JohnDoe")
+"""
+
+from repro.core import (
+    ApplicationTable,
+    Context,
+    LinkType,
+    RDFStore,
+    SDO_RDF,
+    SDO_RDF_TRIPLE,
+    SDO_RDF_TRIPLE_S,
+)
+from repro.db import Database, DBUri, DBUriType
+from repro.rdf import (
+    Alias,
+    AliasSet,
+    BlankNode,
+    Graph,
+    Literal,
+    Triple,
+    URI,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alias",
+    "AliasSet",
+    "ApplicationTable",
+    "BlankNode",
+    "Context",
+    "DBUri",
+    "DBUriType",
+    "Database",
+    "Graph",
+    "LinkType",
+    "Literal",
+    "RDFStore",
+    "SDO_RDF",
+    "SDO_RDF_TRIPLE",
+    "SDO_RDF_TRIPLE_S",
+    "Triple",
+    "URI",
+    "__version__",
+]

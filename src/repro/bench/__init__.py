@@ -1,0 +1,38 @@
+"""Benchmark harness: dataset builders, timing, and paper-style reports.
+
+Each experiment of the paper's section 7 has a driver here that builds
+the workload, runs the measured queries, and renders the same table the
+paper prints.  The ``benchmarks/`` directory wires these drivers into
+pytest-benchmark; the drivers are also directly runnable (see
+``python -m repro.bench.run_all``).
+"""
+
+from repro.bench.harness import Timer, format_table, mean_time
+from repro.bench.datasets import (
+    OracleUniProtFixture,
+    JenaUniProtFixture,
+    load_oracle_uniprot,
+    load_jena_uniprot,
+)
+from repro.bench.experiments import (
+    ExperimentResult,
+    run_experiment_1,
+    run_experiment_2,
+    run_experiment_3,
+    run_storage_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "JenaUniProtFixture",
+    "OracleUniProtFixture",
+    "Timer",
+    "format_table",
+    "load_jena_uniprot",
+    "load_oracle_uniprot",
+    "mean_time",
+    "run_experiment_1",
+    "run_experiment_2",
+    "run_experiment_3",
+    "run_storage_experiment",
+]

@@ -1,0 +1,137 @@
+"""Dataset fixtures: UniProt-shaped data loaded into both systems.
+
+The experiment drivers need the same synthetic dataset in two places:
+the RDF-objects store (application table + central schema + the
+section 7.2 function-based indexes + streamlined reifications) and the
+Jena2 store (asserted + reified statement tables).  These loaders build
+both, deterministically, from :class:`repro.workloads.uniprot.
+UniProtGenerator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.apptable import ApplicationTable
+from repro.core.sdo_rdf import SDO_RDF
+from repro.core.store import RDFStore
+from repro.db.indexes import create_function_based_index
+from repro.jena2.model import JenaModel, Statement
+from repro.jena2.store import Jena2Store
+from repro.workloads.uniprot import UniProtGenerator, paper_reified_count
+
+#: The model/table base name used by all UniProt fixtures.
+MODEL_NAME = "uniprot"
+
+
+@dataclass
+class OracleUniProtFixture:
+    """The RDF-objects side of a loaded dataset."""
+
+    store: RDFStore
+    sdo_rdf: SDO_RDF
+    table: ApplicationTable
+    triple_count: int
+    reified_count: int
+
+
+@dataclass
+class JenaUniProtFixture:
+    """The Jena2 side of a loaded dataset."""
+
+    jena: Jena2Store
+    model: JenaModel
+    triple_count: int
+    reified_count: int
+
+
+def load_oracle_uniprot(triple_count: int,
+                        reified_count: int | None = None,
+                        with_indexes: bool = True,
+                        store: RDFStore | None = None,
+                        seed: int = 93259) -> OracleUniProtFixture:
+    """Load the synthetic dataset into a fresh (or given) RDF store.
+
+    Mirrors the paper's setup: application table ``uniprot<n>``, model
+    ``uniprot``, the three function-based indexes of section 7.2, and
+    streamlined reifications at the paper's ratio.
+    """
+    if store is None:
+        store = RDFStore()
+    if reified_count is None:
+        reified_count = paper_reified_count(triple_count)
+    generator = UniProtGenerator(seed=seed)
+    table_name = f"uniprot{_size_suffix(triple_count)}"
+    sdo_rdf = SDO_RDF(store)
+    table = ApplicationTable.create(store, table_name)
+    sdo_rdf.create_rdf_model(MODEL_NAME, table_name)
+    row_id = 0
+    with store.database.transaction():
+        for triple in generator.triples(triple_count):
+            row_id += 1
+            obj = store.insert_triple_obj(MODEL_NAME, triple)
+            table.insert_object(row_id, obj)
+    if with_indexes:
+        prefix = f"up{_size_suffix(triple_count)}"
+        create_function_based_index(
+            store.database, f"{prefix}_sub_fbidx", table_name,
+            "GET_SUBJECT")
+        create_function_based_index(
+            store.database, f"{prefix}_prop_fbidx", table_name,
+            "GET_PROPERTY")
+        create_function_based_index(
+            store.database, f"{prefix}_obj_fbidx", table_name,
+            "GET_OBJECT")
+    reified = 0
+    with store.database.transaction():
+        for statement in generator.reified_statements(
+                triple_count, reified_count):
+            link = store.find_link(
+                MODEL_NAME, str(statement.subject),
+                str(statement.predicate), _object_text(statement))
+            if link is None:
+                continue
+            if not store.is_reified_id(MODEL_NAME, link.link_id):
+                store.reify_triple(MODEL_NAME, link.link_id)
+                reified += 1
+    return OracleUniProtFixture(store, sdo_rdf, table, triple_count,
+                                reified)
+
+
+def load_jena_uniprot(triple_count: int,
+                      reified_count: int | None = None,
+                      jena: Jena2Store | None = None,
+                      seed: int = 93259) -> JenaUniProtFixture:
+    """Load the same dataset into a Jena2 store."""
+    if jena is None:
+        jena = Jena2Store()
+    if reified_count is None:
+        reified_count = paper_reified_count(triple_count)
+    generator = UniProtGenerator(seed=seed)
+    model = jena.create_model(MODEL_NAME)
+    with jena.database.transaction():
+        model.add_all(generator.triples(triple_count))
+        reified = 0
+        for statement in generator.reified_statements(
+                triple_count, reified_count):
+            model.create_reified_statement(Statement.from_triple(statement))
+            reified += 1
+    return JenaUniProtFixture(jena, model, triple_count, reified)
+
+
+def _size_suffix(triple_count: int) -> str:
+    """5_000_000 -> '5m', 10_000 -> '10k', 1234 -> '1234'."""
+    if triple_count % 1_000_000 == 0:
+        return f"{triple_count // 1_000_000}m"
+    if triple_count % 1_000 == 0:
+        return f"{triple_count // 1_000}k"
+    return str(triple_count)
+
+
+def _object_text(statement) -> str:
+    """The constructor-argument spelling of a triple object."""
+    from repro.rdf.terms import Literal
+    obj = statement.object
+    if isinstance(obj, Literal):
+        return str(obj)
+    return obj.lexical

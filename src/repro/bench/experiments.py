@@ -1,0 +1,232 @@
+"""Experiment drivers: the paper's section 7, runnable end to end.
+
+Each ``run_experiment_*`` function builds its workload, executes the
+paper's query on both systems, and returns an
+:class:`ExperimentResult` whose ``table()`` renders the corresponding
+paper table.  Absolute times differ from the paper (different machine,
+different engine); the *shapes* the paper claims are what these drivers
+demonstrate — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.datasets import (
+    MODEL_NAME,
+    load_jena_uniprot,
+    load_oracle_uniprot,
+)
+from repro.bench.harness import format_seconds, format_table, mean_time
+from repro.core.schema import LINK_TABLE, VALUE_TABLE
+from repro.db.connection import Database
+from repro.jena2.model import Statement
+from repro.reification.naive import NaiveReificationStore
+from repro.reification.streamlined import reification_storage
+from repro.workloads.uniprot import PROBE_SUBJECT, UniProtGenerator
+
+#: Default dataset sizes (the paper uses 10 k..5 M; the two smallest
+#: keep the default run laptop-sized, larger sizes work too).
+DEFAULT_SIZES = (10_000, 100_000)
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's structured output."""
+
+    experiment: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        text = format_table(self.headers, self.rows,
+                            title=self.experiment)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text
+
+
+# ----------------------------------------------------------------------
+# Experiment I: flat storage tables versus member functions
+# ----------------------------------------------------------------------
+
+def flat_table_subject_query(database: Database, model_id: int,
+                             subject_text: str) -> list[tuple]:
+    """The Figure 9 query against the raw storage tables.
+
+    Three joins against rdf_value$ plus the rdf_link$ scan — the query a
+    user would write without the object member functions.
+    """
+    sql = (
+        f'SELECT a.value_name AS subject, b.value_name AS property, '
+        f'c.value_name AS object '
+        f'FROM "{VALUE_TABLE}" a, "{VALUE_TABLE}" b, "{VALUE_TABLE}" c, '
+        f'"{LINK_TABLE}" d '
+        "WHERE d.model_id = ? AND a.value_id = d.start_node_id "
+        "AND b.value_id = d.p_value_id AND c.value_id = d.end_node_id "
+        "AND a.value_name = ?")
+    return [tuple(row) for row in database.query_all(
+        sql, (model_id, subject_text))]
+
+
+def run_experiment_1(triple_count: int = DEFAULT_SIZES[0],
+                     trials: int = 10) -> ExperimentResult:
+    """Experiment I: member functions vs direct storage-table query."""
+    fixture = load_oracle_uniprot(triple_count)
+    model_id = fixture.store.models.get(MODEL_NAME).model_id
+    member = mean_time(
+        lambda: fixture.table.get_triples("GET_SUBJECT", PROBE_SUBJECT),
+        trials=trials)
+    flat = mean_time(
+        lambda: flat_table_subject_query(fixture.store.database,
+                                         model_id, PROBE_SUBJECT),
+        trials=trials)
+    rows_returned = len(
+        fixture.table.get_triples("GET_SUBJECT", PROBE_SUBJECT))
+    result = ExperimentResult(
+        experiment=("Experiment I: flat storage tables versus member "
+                    f"functions ({triple_count:,} triples)"),
+        headers=["Access path", "Time (sec)", "Rows"],
+        rows=[
+            ["Member functions (GET_SUBJECT)",
+             format_seconds(member), rows_returned],
+            ["Flat storage tables (3-way join)",
+             format_seconds(flat), rows_returned],
+        ],
+        notes=["paper: member functions perform similarly or slightly "
+               "better; no significant object overhead"])
+    fixture.store.close()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Experiment II / Table 1: Jena2 versus RDF storage objects
+# ----------------------------------------------------------------------
+
+def run_experiment_2(sizes: tuple[int, ...] = DEFAULT_SIZES,
+                     trials: int = 10) -> ExperimentResult:
+    """Table 1: the subject query on both systems across sizes."""
+    rows: list[list[object]] = []
+    for size in sizes:
+        oracle = load_oracle_uniprot(size)
+        jena = load_jena_uniprot(size)
+        probe = jena.model.get_resource(PROBE_SUBJECT)
+        jena_time = mean_time(
+            lambda: list(jena.model.list_statements(subject=probe)),
+            trials=trials)
+        oracle_time = mean_time(
+            lambda: oracle.table.get_triples("GET_SUBJECT", PROBE_SUBJECT),
+            trials=trials)
+        returned = len(list(jena.model.list_statements(subject=probe)))
+        rows.append([f"{_label(size)}", format_seconds(jena_time),
+                     format_seconds(oracle_time), returned])
+        oracle.store.close()
+        jena.jena.close()
+    return ExperimentResult(
+        experiment="Table 1. Query times on the UniProt datasets",
+        headers=["Triples", "Jena2 (sec)", "RDF objects (sec)", "Rows"],
+        rows=rows,
+        notes=["paper: both systems similar; times flat in dataset size "
+               "for constant result cardinality (24 rows)"])
+
+
+# ----------------------------------------------------------------------
+# Experiment III / Table 2: IS_REIFIED in Jena2 versus Oracle
+# ----------------------------------------------------------------------
+
+def run_experiment_3(sizes: tuple[int, ...] = DEFAULT_SIZES,
+                     trials: int = 10) -> ExperimentResult:
+    """Table 2: IS_REIFIED true/false probes on both systems."""
+    generator = UniProtGenerator()
+    true_probe = generator.true_probe()
+    false_probe = generator.false_probe()
+    rows: list[list[object]] = []
+    for size in sizes:
+        oracle = load_oracle_uniprot(size)
+        jena = load_jena_uniprot(size)
+        for probe, expected in ((true_probe, True), (false_probe, False)):
+            statement = Statement.from_triple(probe)
+            jena_time = mean_time(
+                lambda: jena.model.is_reified(statement), trials=trials)
+            oracle_time = mean_time(
+                lambda: oracle.sdo_rdf.is_reified(
+                    MODEL_NAME, probe.subject.lexical,
+                    probe.predicate.lexical, probe.object.lexical),
+                trials=trials)
+            jena_answer = jena.model.is_reified(statement)
+            oracle_answer = oracle.sdo_rdf.is_reified(
+                MODEL_NAME, probe.subject.lexical,
+                probe.predicate.lexical, probe.object.lexical)
+            assert jena_answer == oracle_answer == expected, (
+                size, expected, jena_answer, oracle_answer)
+            rows.append([
+                f"{_label(size)} /{oracle.reified_count}",
+                format_seconds(jena_time), format_seconds(oracle_time),
+                "true" if expected else "false"])
+        oracle.store.close()
+        jena.jena.close()
+    return ExperimentResult(
+        experiment=("Table 2. IS_REIFIED() query times on the UniProt "
+                    "datasets"),
+        headers=["Triples/Stmts", "Jena2 (sec)", "RDF objects (sec)",
+                 "Res"],
+        rows=rows,
+        notes=["paper: both ~0.00-0.01 s at every size; single-row "
+               "retrieval on both systems"])
+
+
+# ----------------------------------------------------------------------
+# EXP-STOR: reification storage (section 7.3)
+# ----------------------------------------------------------------------
+
+def run_storage_experiment(reified_count: int = 659,
+                           triple_count: int = 10_000
+                           ) -> ExperimentResult:
+    """Streamlined vs naive reification storage.
+
+    The paper: "Reification in Oracle requires only 25% of the storage
+    required by naive implementations, which store the entire
+    reification quad."  Rows tell the story exactly (1 vs 4 per
+    reification); bytes land near 25 % as well since each quad row
+    repeats the resource text.
+    """
+    fixture = load_oracle_uniprot(triple_count,
+                                  reified_count=reified_count)
+    streamlined = reification_storage(fixture.store, MODEL_NAME)
+    # Statement-count comparison: 1 stored triple per reification
+    # against the naive 4 (this is the paper's 25 %).
+    streamlined_statements = fixture.reified_count
+    naive = NaiveReificationStore(Database())
+    generator = UniProtGenerator()
+    for statement in generator.reified_statements(triple_count,
+                                                  reified_count):
+        naive.reify(statement)
+    naive_report = naive.storage()
+    statement_ratio = streamlined_statements / max(
+        naive_report.row_count, 1)
+    byte_ratio = streamlined.ratio_to(naive_report)
+    result = ExperimentResult(
+        experiment=("Reification storage: streamlined (DBUri) versus "
+                    f"naive quad ({fixture.reified_count} reifications)"),
+        headers=["Scheme", "Stored triples", "Bytes", "Ratio vs naive"],
+        rows=[
+            ["Naive quad (4 triples each)", naive_report.row_count,
+             naive_report.byte_count, "1.00 / 1.00"],
+            ["Streamlined (1 triple each)", streamlined_statements,
+             streamlined.byte_count,
+             f"{statement_ratio:.2f} / {byte_ratio:.2f}"],
+        ],
+        notes=["paper section 7.3: streamlined reification requires "
+               "only 25% of naive storage (1 stored triple per "
+               "reification instead of 4)"])
+    fixture.store.close()
+    return result
+
+
+def _label(size: int) -> str:
+    if size >= 1_000_000:
+        return f"{size // 1_000_000} M"
+    if size >= 1_000:
+        return f"{size // 1_000} k"
+    return str(size)

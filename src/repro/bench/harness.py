@@ -1,0 +1,77 @@
+"""Timing and reporting utilities for the experiment drivers.
+
+The paper reports "the mean results of ten trials with warm caches";
+:func:`mean_time` reproduces that protocol (warm-up run, then the mean
+of N timed trials).  :func:`format_table` renders aligned text tables in
+the style of the paper's Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass
+class Timer:
+    """Accumulates wall-clock samples for one measured operation."""
+
+    label: str
+    samples: list[float] = field(default_factory=list)
+
+    def time(self, operation: Callable[[], object]) -> object:
+        """Run ``operation`` once, recording its wall time."""
+        start = time.perf_counter()
+        result = operation()
+        self.samples.append(time.perf_counter() - start)
+        return result
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def best(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+
+def mean_time(operation: Callable[[], object], trials: int = 10,
+              warmup: int = 1) -> float:
+    """Mean wall time over ``trials`` runs after ``warmup`` unmeasured
+    runs — the paper's warm-cache protocol."""
+    for _ in range(warmup):
+        operation()
+    timer = Timer("op")
+    for _ in range(trials):
+        timer.time(operation)
+    return timer.mean
+
+
+def format_seconds(seconds: float) -> str:
+    """Seconds to 2 decimals, like the paper's tables (0.00 means
+    'less than a hundredth of a second')."""
+    return f"{seconds:.2f}"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned text table."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width)
+                           for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Run every paper experiment and print the paper-style tables.
+
+Usage::
+
+    python -m repro.bench.run_all [--sizes 10000,100000] [--trials 10]
+
+This is the script that regenerates the measured numbers recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.bench.experiments import (
+    run_experiment_1,
+    run_experiment_2,
+    run_experiment_3,
+    run_storage_experiment,
+)
+from repro.core.store import RDFStore
+from repro.workloads.intel import IntelScenario
+
+
+def run_figure8() -> str:
+    """The Figure 8 inference output."""
+    store = RDFStore()
+    intel = IntelScenario.build(store)
+    lines = ["Figure 8. Inference over the IC applications",
+             f"{'TERROR_WATCH_LIST':<24}LOCATION",
+             "-" * 44]
+    for name, location in intel.terror_watch_list():
+        lines.append(f"{name:<24}{location}")
+    store.close()
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Run all paper experiments")
+    parser.add_argument("--sizes", default="10000,100000",
+                        help="comma-separated triple counts")
+    parser.add_argument("--trials", type=int, default=10,
+                        help="timed trials per measurement")
+    args = parser.parse_args(argv)
+    sizes = tuple(int(size) for size in args.sizes.split(","))
+
+    start = time.perf_counter()
+    print(run_experiment_1(sizes[0], trials=args.trials).table())
+    print()
+    print(run_experiment_2(sizes, trials=args.trials).table())
+    print()
+    print(run_experiment_3(sizes, trials=args.trials).table())
+    print()
+    print(run_storage_experiment().table())
+    print()
+    print(run_figure8())
+    print(f"\ntotal: {time.perf_counter() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,302 @@
+"""Command-line interface for the RDF store.
+
+Usage (``python -m repro <command> ...``)::
+
+    repro create-model  DB MODEL                create a model
+    repro load          DB MODEL FILE.nt        bulk-load N-Triples
+    repro insert        DB MODEL S P O          insert one triple
+    repro query         DB 'PATTERNS' -m m1,m2  SDO_RDF_MATCH
+    repro reify         DB MODEL S P O          reify a triple
+    repro is-reified    DB MODEL S P O          reification check
+    repro models        DB                      list models
+    repro stats         DB [MODEL]              store/network figures
+    repro experiments   [--sizes ...]           run the paper's tables
+
+``DB`` is a database file path (created as needed).  The CLI is a thin
+shell over the library; every command maps to one documented API call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.bulkload import bulk_load_ntriples
+from repro.core.store import RDFStore
+from repro.errors import ReproError
+from repro.inference.match import sdo_rdf_match
+from repro.ndm.analysis import NetworkAnalyzer
+from repro.rdf.namespaces import Alias, AliasSet
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Object-typed RDF store (ICDE 2006 "
+        "reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    create_model = commands.add_parser(
+        "create-model", help="create an RDF model")
+    create_model.add_argument("db")
+    create_model.add_argument("model")
+
+    load = commands.add_parser("load", help="bulk-load an N-Triples file")
+    load.add_argument("db")
+    load.add_argument("model")
+    load.add_argument("file")
+
+    insert = commands.add_parser("insert", help="insert one triple")
+    insert.add_argument("db")
+    insert.add_argument("model")
+    insert.add_argument("subject")
+    insert.add_argument("predicate")
+    insert.add_argument("object")
+
+    query = commands.add_parser("query", help="run SDO_RDF_MATCH")
+    query.add_argument("db")
+    query.add_argument("patterns",
+                       help="e.g. '(?s gov:terrorSuspect ?o)'")
+    query.add_argument("-m", "--models", required=True,
+                       help="comma-separated model names")
+    query.add_argument("-r", "--rulebases", default="",
+                       help="comma-separated rulebase names")
+    query.add_argument("-a", "--alias", action="append", default=[],
+                       metavar="PREFIX=NAMESPACE")
+    query.add_argument("-f", "--filter", default=None)
+
+    reify = commands.add_parser("reify", help="reify a triple")
+    for name in ("db", "model", "subject", "predicate", "object"):
+        reify.add_argument(name)
+
+    is_reified = commands.add_parser("is-reified",
+                                     help="reification check")
+    for name in ("db", "model", "subject", "predicate", "object"):
+        is_reified.add_argument(name)
+
+    models = commands.add_parser("models", help="list models")
+    models.add_argument("db")
+
+    stats = commands.add_parser("stats", help="store/network figures")
+    stats.add_argument("db")
+    stats.add_argument("model", nargs="?")
+
+    check = commands.add_parser(
+        "check", help="run the central-schema integrity checks")
+    check.add_argument("db")
+
+    path = commands.add_parser(
+        "path", help="shortest path between two resources (NDM)")
+    path.add_argument("db")
+    path.add_argument("model")
+    path.add_argument("source")
+    path.add_argument("target")
+    path.add_argument("--undirected", action="store_true",
+                      help="ignore link direction")
+
+    export = commands.add_parser(
+        "export", help="serialize a model (.nt/.ttl/.rdf by extension)")
+    export.add_argument("db")
+    export.add_argument("model")
+    export.add_argument("file")
+    export.add_argument("--expand-reification", action="store_true",
+                        help="rewrite DBUri reifications as portable "
+                        "quads")
+
+    experiments = commands.add_parser(
+        "experiments", help="run the paper's experiment tables")
+    experiments.add_argument("--sizes", default="10000,100000")
+    experiments.add_argument("--trials", type=int, default=10)
+
+    generate = commands.add_parser(
+        "generate-uniprot",
+        help="write the synthetic UniProt dataset to a file")
+    generate.add_argument("file")
+    generate.add_argument("--triples", type=int, default=10_000)
+    generate.add_argument("--seed", type=int, default=93259)
+    generate.add_argument("--with-quads", action="store_true",
+                          help="append the paper-ratio reification "
+                          "quads")
+    return parser
+
+
+def _parse_aliases(pairs: list[str]) -> AliasSet:
+    alias_set = AliasSet()
+    for pair in pairs:
+        prefix, sep, namespace = pair.partition("=")
+        if not sep:
+            raise ReproError(
+                f"alias {pair!r} must be PREFIX=NAMESPACE")
+        alias_set.add(Alias(prefix, namespace))
+    return alias_set
+
+
+def main(argv: Sequence[str] | None = None,
+         out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace, out) -> int:
+    if args.command == "experiments":
+        from repro.bench import run_all
+
+        run_all.main(["--sizes", args.sizes,
+                      "--trials", str(args.trials)])
+        return 0
+    if args.command == "generate-uniprot":
+        return _generate_uniprot(args, out)
+    with RDFStore(args.db) as store:
+        return _dispatch_store(args, store, out)
+
+
+def _generate_uniprot(args: argparse.Namespace, out) -> int:
+    import itertools
+
+    from repro.rdf.ntriples import serialize_ntriples
+    from repro.rdf.reification_vocab import expand_quad
+    from repro.rdf.terms import URI
+    from repro.workloads.uniprot import UniProtGenerator
+
+    generator = UniProtGenerator(seed=args.seed)
+    with open(args.file, "w", encoding="utf-8") as stream:
+        serialize_ntriples(generator.triples(args.triples), out=stream)
+        quad_count = 0
+        if args.with_quads:
+            counter = itertools.count(1)
+            for base in generator.reified_statements(args.triples):
+                resource = URI(f"urn:repro:reif:{next(counter)}")
+                serialize_ntriples(expand_quad(resource, base),
+                                   out=stream)
+                quad_count += 1
+    message = f"wrote {args.triples} triples"
+    if args.with_quads:
+        message += f" + {quad_count} reification quads"
+    print(f"{message} to {args.file}", file=out)
+    return 0
+
+
+def _dispatch_store(args: argparse.Namespace, store: RDFStore,
+                    out) -> int:
+    command = args.command
+    if command == "create-model":
+        info = store.create_model(args.model)
+        print(f"created model {info.model_name!r} "
+              f"(MODEL_ID={info.model_id})", file=out)
+        return 0
+    if command == "load":
+        report = bulk_load_ntriples(store, args.model, args.file)
+        print(f"staged {report.staged}, new values "
+              f"{report.new_values}, new triples {report.new_links}, "
+              f"duplicates {report.duplicate_triples}", file=out)
+        return 0
+    if command == "insert":
+        obj = store.insert_triple(args.model, args.subject,
+                                  args.predicate, args.object)
+        print(str(obj), file=out)
+        return 0
+    if command == "query":
+        rows = sdo_rdf_match(
+            store, args.patterns, args.models.split(","),
+            rulebases=[r for r in args.rulebases.split(",") if r],
+            aliases=_parse_aliases(args.alias), filter=args.filter)
+        for row in rows:
+            print("  ".join(f"{name}={row[name]}"
+                            for name in row.keys()), file=out)
+        print(f"({len(rows)} rows)", file=out)
+        return 0
+    if command == "reify":
+        link = store.find_link(args.model, args.subject,
+                               args.predicate, args.object)
+        if link is None:
+            print("error: no such triple", file=out)
+            return 1
+        reif = store.reify_triple(args.model, link.link_id)
+        print(reif.get_subject(), file=out)
+        return 0
+    if command == "is-reified":
+        answer = store.is_reified(args.model, args.subject,
+                                  args.predicate, args.object)
+        print("true" if answer else "false", file=out)
+        return 0 if answer else 2
+    if command == "models":
+        for info in store.models:
+            count = store.links.count(info.model_id)
+            print(f"{info.model_name}  (MODEL_ID={info.model_id}, "
+                  f"{count} triples)", file=out)
+        return 0
+    if command == "stats":
+        return _stats(args, store, out)
+    if command == "path":
+        return _path(args, store, out)
+    if command == "export":
+        from repro.core.export import export_model_to_file
+
+        count = export_model_to_file(
+            store, args.model, args.file,
+            expand_reification=args.expand_reification)
+        print(f"wrote {count} triples to {args.file}", file=out)
+        return 0
+    if command == "check":
+        from repro.core.integrity import check_integrity
+
+        violations = check_integrity(store)
+        for violation in violations:
+            print(str(violation), file=out)
+        print(f"({len(violations)} violations)", file=out)
+        return 0 if not violations else 3
+    raise ReproError(f"unknown command {command!r}")
+
+
+def _path(args: argparse.Namespace, store: RDFStore, out) -> int:
+    from repro.rdf.terms import parse_term_text
+
+    values = store.values
+    node_ids = []
+    for text in (args.source, args.target):
+        value_id = values.find_id(parse_term_text(text))
+        if value_id is None:
+            print(f"error: {text!r} is not in the store", file=out)
+            return 1
+        node_ids.append(value_id)
+    analyzer = NetworkAnalyzer(store.network(args.model),
+                               undirected=args.undirected)
+    source_id, target_id = node_ids
+    if not analyzer.has_node(source_id) or not \
+            analyzer.has_node(target_id):
+        print("error: resource is not a node of this model", file=out)
+        return 1
+    found = analyzer.shortest_path(source_id, target_id)
+    if found is None:
+        print("no path", file=out)
+        return 2
+    print(" -> ".join(values.get_lexical(node) for node in found.nodes),
+          file=out)
+    print(f"(cost {found.cost:g}, {len(found)} hops)", file=out)
+    return 0
+
+
+def _stats(args: argparse.Namespace, store: RDFStore, out) -> int:
+    from repro.core.statistics import gather_statistics
+
+    for line in gather_statistics(store, args.model).lines():
+        print(line, file=out)
+    network = store.network(args.model)
+    print(f"network nodes: {network.node_count()}", file=out)
+    print(f"network links: {network.link_count()}", file=out)
+    if network.link_count():
+        analyzer = NetworkAnalyzer(network, undirected=True)
+        components = analyzer.components()
+        print(f"components: {len(components)} "
+              f"(largest {len(components[0])})", file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

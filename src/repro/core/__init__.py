@@ -1,0 +1,44 @@
+"""The paper's primary contribution: object-typed RDF storage.
+
+All RDF data in one database lives under a *central schema* — the global
+tables ``rdf_model$``, ``rdf_value$``, ``rdf_node$``, ``rdf_link$``, and
+``rdf_blank_node$`` (paper section 4).  User application tables hold
+:class:`~repro.core.triple_s.SDO_RDF_TRIPLE_S` objects: five IDs that
+reference the triple in the central schema, resolved back to text by the
+member functions ``GET_TRIPLE`` / ``GET_SUBJECT`` / ``GET_PROPERTY`` /
+``GET_OBJECT``.
+
+Entry points:
+
+* :class:`repro.core.store.RDFStore` — open/create the central schema in
+  a :class:`repro.db.Database`;
+* :class:`repro.core.sdo_rdf.SDO_RDF` — the procedural package
+  (``CREATE_RDF_MODEL``, ``IS_TRIPLE``, ``IS_REIFIED``, ...);
+* :class:`repro.core.apptable.ApplicationTable` — user tables with an
+  SDO_RDF_TRIPLE_S column.
+"""
+
+from repro.core.store import RDFStore
+from repro.core.triple_s import SDO_RDF_TRIPLE, SDO_RDF_TRIPLE_S
+from repro.core.sdo_rdf import SDO_RDF
+from repro.core.apptable import ApplicationTable
+from repro.core.bulkload import BulkLoader, bulk_load_ntriples
+from repro.core.container_ops import fetch_container, insert_container
+from repro.core.links import Context, LinkRow, LinkType
+from repro.core.models import ModelInfo
+
+__all__ = [
+    "ApplicationTable",
+    "BulkLoader",
+    "Context",
+    "LinkRow",
+    "LinkType",
+    "ModelInfo",
+    "RDFStore",
+    "SDO_RDF",
+    "SDO_RDF_TRIPLE",
+    "SDO_RDF_TRIPLE_S",
+    "bulk_load_ntriples",
+    "fetch_container",
+    "insert_container",
+]

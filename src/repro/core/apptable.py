@@ -1,0 +1,208 @@
+"""Application tables: user tables with an SDO_RDF_TRIPLE_S column.
+
+The paper's application pattern (section 4.3)::
+
+    CREATE TABLE ciadata (id NUMBER, triple SDO_RDF_TRIPLE_S);
+    EXECUTE SDO_RDF.CREATE_RDF_MODEL('cia', 'ciadata', 'triple');
+    INSERT INTO ciadata VALUES (1, SDO_RDF_TRIPLE_S('cia', 'gov:files',
+        'gov:terrorSuspect', 'id:JohnDoe'));
+
+:class:`ApplicationTable` reproduces this: the object column is stored as
+five physical ID columns (``<col>_t_id`` ... ``<col>_o_id``), the insert
+path accepts constructor arguments exactly like the SQL above, and the
+query path implements both access plans of section 7.2 — an indexed
+ID-lookup when a function-based index exists on the queried member
+function, and a full scan resolving the member function per row when it
+does not.  The ABL-IDX benchmark measures that difference.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.triple_s import SDO_RDF_TRIPLE_S
+from repro.db.connection import quote_identifier
+from repro.db.indexes import index_for
+from repro.errors import StorageError
+from repro.rdf.terms import parse_term_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+_ID_SUFFIXES = ("t_id", "m_id", "s_id", "p_id", "o_id")
+_MEMBER_TO_SUFFIX = {
+    "GET_SUBJECT": "s_id",
+    "GET_PROPERTY": "p_id",
+    "GET_OBJECT": "o_id",
+}
+
+
+class ApplicationTable:
+    """A user table holding rows of (id, SDO_RDF_TRIPLE_S).
+
+    :param store: the RDF store whose central schema the objects
+        reference.
+    :param table_name: the physical table name.
+    :param object_column: the logical name of the object column
+        (default ``triple``, as in the paper's examples).
+    """
+
+    def __init__(self, store: "RDFStore", table_name: str,
+                 object_column: str = "triple") -> None:
+        self._store = store
+        self._db = store.database
+        self.table_name = table_name
+        self.object_column = object_column
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, store: "RDFStore", table_name: str,
+               object_column: str = "triple") -> "ApplicationTable":
+        """``CREATE TABLE <name> (id NUMBER, <col> SDO_RDF_TRIPLE_S)``."""
+        table = cls(store, table_name, object_column)
+        columns = ", ".join(
+            f"{quote_identifier(f'{object_column}_{suffix}')} INTEGER"
+            for suffix in _ID_SUFFIXES)
+        store.database.execute(
+            f"CREATE TABLE {quote_identifier(table_name)} "
+            f"(id INTEGER, {columns})")
+        return table
+
+    @classmethod
+    def open(cls, store: "RDFStore", table_name: str,
+             object_column: str = "triple") -> "ApplicationTable":
+        """Bind to an existing application table."""
+        if not store.database.table_exists(table_name):
+            raise StorageError(f"no such application table: {table_name}")
+        return cls(store, table_name, object_column)
+
+    def _id_columns(self) -> list[str]:
+        return [f"{self.object_column}_{suffix}" for suffix in _ID_SUFFIXES]
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def insert(self, row_id: int, *constructor_args: object
+               ) -> SDO_RDF_TRIPLE_S:
+        """``INSERT INTO t VALUES (row_id, SDO_RDF_TRIPLE_S(...))``.
+
+        ``constructor_args`` are the SDO_RDF_TRIPLE_S constructor
+        arguments, starting with the model name; see
+        :meth:`repro.core.triple_s.SDO_RDF_TRIPLE_S.construct`.
+        """
+        if not constructor_args:
+            raise StorageError("missing SDO_RDF_TRIPLE_S constructor args")
+        model_name, *rest = constructor_args
+        if not isinstance(model_name, str):
+            raise StorageError("first constructor argument must be the "
+                               "model name")
+        obj = SDO_RDF_TRIPLE_S.construct(self._store, model_name, *rest)
+        return self.insert_object(row_id, obj)
+
+    def insert_object(self, row_id: int,
+                      obj: SDO_RDF_TRIPLE_S) -> SDO_RDF_TRIPLE_S:
+        """Insert an already-constructed storage object."""
+        columns = ["id"] + self._id_columns()
+        placeholders = ", ".join("?" for _ in columns)
+        column_list = ", ".join(quote_identifier(c) for c in columns)
+        self._db.execute(
+            f"INSERT INTO {quote_identifier(self.table_name)} "
+            f"({column_list}) VALUES ({placeholders})",
+            (row_id, *obj.ids()))
+        return obj.with_store(self._store)
+
+    def delete_row(self, row_id: int) -> int:
+        """Delete rows by id; returns the count removed.
+
+        Note: this removes application rows only — central-schema COST
+        accounting is the caller's concern (``store.remove_triple``).
+        """
+        cursor = self._db.execute(
+            f"DELETE FROM {quote_identifier(self.table_name)} "
+            "WHERE id = ?", (row_id,))
+        return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._db.row_count(self.table_name)
+
+    def rows(self) -> Iterator[tuple[int, SDO_RDF_TRIPLE_S]]:
+        """All (id, object) rows."""
+        columns = ", ".join(
+            quote_identifier(c) for c in ["id"] + self._id_columns())
+        for row in self._db.execute(
+                f"SELECT {columns} FROM "
+                f"{quote_identifier(self.table_name)}"):
+            yield row[0], self._object_from_row(row)
+
+    def _object_from_row(self, row) -> SDO_RDF_TRIPLE_S:
+        return SDO_RDF_TRIPLE_S(
+            rdf_t_id=row[1], rdf_m_id=row[2], rdf_s_id=row[3],
+            rdf_p_id=row[4], rdf_o_id=row[5], _store=self._store)
+
+    def select_where_member(self, member_function: str,
+                            text_value: str
+                            ) -> list[tuple[int, SDO_RDF_TRIPLE_S]]:
+        """``SELECT * FROM t WHERE t.triple.<member>() = :text``.
+
+        Chooses the access path the paper's section 7.2 describes:
+
+        * a registered function-based index on the member function →
+          resolve ``text_value`` to its VALUE_ID once and do an indexed
+          equality lookup on the backing ID column;
+        * no index → full scan, evaluating the member function per row.
+        """
+        member = member_function.upper().rstrip("()")
+        suffix = _MEMBER_TO_SUFFIX.get(member)
+        if suffix is None:
+            raise StorageError(
+                f"cannot query on member function {member_function!r}")
+        if index_for(self._db, self.table_name, member) is not None:
+            return self._indexed_lookup(suffix, text_value)
+        return self._scan_lookup(member, text_value)
+
+    def _indexed_lookup(self, suffix: str, text_value: str
+                        ) -> list[tuple[int, SDO_RDF_TRIPLE_S]]:
+        term = parse_term_text(text_value)
+        value_id = self._store.values.find_id(term)
+        if value_id is None:
+            return []
+        columns = ", ".join(
+            quote_identifier(c) for c in ["id"] + self._id_columns())
+        key_column = quote_identifier(f"{self.object_column}_{suffix}")
+        rows = self._db.query_all(
+            f"SELECT {columns} FROM {quote_identifier(self.table_name)} "
+            f"WHERE {key_column} = ?", (value_id,))
+        return [(row[0], self._object_from_row(row)) for row in rows]
+
+    def _scan_lookup(self, member: str, text_value: str
+                     ) -> list[tuple[int, SDO_RDF_TRIPLE_S]]:
+        getter = {
+            "GET_SUBJECT": SDO_RDF_TRIPLE_S.get_subject,
+            "GET_PROPERTY": SDO_RDF_TRIPLE_S.get_property,
+            "GET_OBJECT": SDO_RDF_TRIPLE_S.get_object,
+        }[member]
+        # Normalise the probe exactly like the indexed path, so a
+        # quoted literal ('"bombing"') matches on both access paths.
+        probe = parse_term_text(text_value).lexical
+        matches: list[tuple[int, SDO_RDF_TRIPLE_S]] = []
+        for row_id, obj in self.rows():
+            if getter(obj) == probe:
+                matches.append((row_id, obj))
+        return matches
+
+    def get_triples(self, member_function: str, text_value: str):
+        """``SELECT t.triple.GET_TRIPLE() ... WHERE <member>() = :text``.
+
+        The paper's Experiment I/II query shape: returns the
+        SDO_RDF_TRIPLE views of the matching rows.
+        """
+        return [obj.get_triple() for _id, obj in
+                self.select_where_member(member_function, text_value)]

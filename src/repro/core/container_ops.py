@@ -1,0 +1,74 @@
+"""Storing and retrieving RDF containers through the central schema.
+
+Containers (Bag/Seq/Alt, paper section 2) are plain triples at the
+storage level — an ``rdf:type`` statement plus ``rdf:_n`` membership
+statements whose links get ``LINK_TYPE='RDF_MEMBER'``.  These helpers
+round-trip :class:`repro.rdf.containers.Container` objects through a
+model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.links import LinkType
+from repro.errors import ModelError
+from repro.rdf.containers import Container, container_from_triples
+from repro.rdf.terms import RDFTerm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+
+def insert_container(store: "RDFStore", model_name: str,
+                     container: Container) -> int:
+    """Store a container's statements; returns the number inserted.
+
+    Membership links are classified ``RDF_MEMBER``, so they can be
+    filtered or excluded by link type like Oracle does.
+    """
+    inserted = 0
+    with store.database.transaction():
+        for triple in container.triples():
+            store.insert_triple_obj(model_name, triple,
+                                    count_cost=False)
+            inserted += 1
+    return inserted
+
+
+def fetch_container(store: "RDFStore", model_name: str,
+                    node: RDFTerm) -> Container:
+    """Rebuild the container rooted at ``node`` from a model.
+
+    Raises :class:`repro.errors.ModelError` when the node has no
+    membership statements at all.
+    """
+    triples = [triple for triple in store.iter_model_triples(model_name)
+               if triple.subject == node]
+    container = container_from_triples(node, triples)
+    if len(container) == 0 and not _has_container_type(store, model_name,
+                                                       node):
+        raise ModelError(
+            f"{node} is not a container in model {model_name!r}")
+    return container
+
+
+def _has_container_type(store: "RDFStore", model_name: str,
+                        node: RDFTerm) -> bool:
+    from repro.rdf.containers import Alt, Bag, Seq
+    from repro.rdf.namespaces import RDF
+
+    for kind in (Bag, Seq, Alt):
+        if store.is_triple(model_name, node.lexical, RDF.type.value,
+                           kind.TYPE.value):
+            return True
+    return False
+
+
+def member_links(store: "RDFStore", model_name: str) -> int:
+    """Count the RDF_MEMBER links of a model."""
+    model_id = store.models.get(model_name).model_id
+    return int(store.database.query_value(
+        'SELECT COUNT(*) FROM "rdf_link$" '
+        "WHERE model_id = ? AND link_type = ?",
+        (model_id, LinkType.RDF_MEMBER.value), default=0))

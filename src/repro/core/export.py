@@ -1,0 +1,113 @@
+"""Exporting models back out of the central schema.
+
+The inverse of the loaders: a model's triples serialized as N-Triples,
+Turtle, or RDF/XML.  Streamlined reification statements are exported
+either verbatim (DBUri subjects and all, the default) or *expanded*
+back into portable reification quads with minted resources — the form
+other RDF systems understand, closing the loop with the quad loader.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.db.dburi import is_dburi
+from repro.errors import ReproError
+from repro.rdf.namespaces import AliasSet
+from repro.rdf.ntriples import serialize_ntriples
+from repro.rdf.rdfxml import serialize_rdfxml
+from repro.rdf.reification_vocab import expand_quad
+from repro.rdf.terms import URI
+from repro.rdf.triple import Triple
+from repro.rdf.turtle import serialize_turtle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+FORMATS = ("ntriples", "turtle", "rdfxml")
+
+
+def export_model(store: "RDFStore", model_name: str,
+                 format: str = "ntriples",
+                 expand_reification: bool = False,
+                 aliases: AliasSet | None = None) -> str:
+    """Serialize a model's triples.
+
+    :param format: one of ``ntriples`` / ``turtle`` / ``rdfxml``.
+    :param expand_reification: rewrite DBUri reification statements and
+        the assertions about them into portable quads (see
+        :func:`portable_triples`).
+    """
+    if format not in FORMATS:
+        raise ReproError(
+            f"unknown export format {format!r}; one of {FORMATS}")
+    if expand_reification:
+        triples = list(portable_triples(store, model_name))
+    else:
+        triples = list(store.iter_model_triples(model_name))
+    if format == "ntriples":
+        return serialize_ntriples(triples) or ""
+    if format == "turtle":
+        return serialize_turtle(triples, aliases=aliases)
+    return serialize_rdfxml(triples)
+
+
+def export_model_to_file(store: "RDFStore", model_name: str,
+                         path: str | Path,
+                         format: str | None = None,
+                         expand_reification: bool = False) -> int:
+    """Export to a file; format inferred from the extension when not
+    given.  Returns the number of triples written."""
+    path = Path(path)
+    if format is None:
+        format = {
+            ".nt": "ntriples", ".ntriples": "ntriples",
+            ".ttl": "turtle", ".turtle": "turtle",
+            ".rdf": "rdfxml", ".xml": "rdfxml", ".owl": "rdfxml",
+        }.get(path.suffix.lower(), "ntriples")
+    document = export_model(store, model_name, format=format,
+                            expand_reification=expand_reification)
+    path.write_text(document, encoding="utf-8")
+    if expand_reification:
+        return sum(1 for _ in portable_triples(store, model_name))
+    return store.links.count(store.models.get(model_name).model_id)
+
+
+def portable_triples(store: "RDFStore",
+                     model_name: str) -> Iterator[Triple]:
+    """The model's triples with DBUris replaced by portable resources.
+
+    Every streamlined reification statement ``<DBUri, rdf:type,
+    rdf:Statement>`` becomes the full four-statement quad reified by a
+    minted ``urn:repro:stmt:<link_id>`` resource, and every other
+    mention of that DBUri (assertions) is rewritten to the minted
+    resource.  The result is plain, interoperable RDF.
+    """
+    from repro.db.dburi import DBUri
+
+    def portable(term):
+        if isinstance(term, URI) and is_dburi(term.value):
+            uri = DBUri.parse(term.value)
+            if uri.is_link_uri:
+                return URI(f"urn:repro:stmt:{uri.link_id}")
+        return term
+
+    emitted_quads: set[int] = set()
+    for triple in store.iter_model_triples(model_name):
+        subject = triple.subject
+        if (isinstance(subject, URI) and is_dburi(subject.value)
+                and triple.predicate.value.endswith("#type")
+                and triple.object.lexical.endswith("#Statement")):
+            from repro.db.dburi import DBUri
+
+            link_id = DBUri.parse(subject.value).link_id
+            if link_id in emitted_quads:
+                continue
+            emitted_quads.add(link_id)
+            base = store.triple_of(link_id)
+            resource = URI(f"urn:repro:stmt:{link_id}")
+            yield from expand_quad(resource, base)
+            continue
+        yield Triple(portable(triple.subject), triple.predicate,
+                     portable(triple.object))

@@ -1,0 +1,200 @@
+"""The ``rdf_link$`` store: triples as NDM links.
+
+"The rdf_link$ table is dual-purposed: it stores the triples for all the
+RDF graphs in the database, and it defines the logical network seen by
+NDM" (paper section 4).  Each row is one triple of one model:
+
+* START_NODE_ID / P_VALUE_ID / END_NODE_ID — the component VALUE_IDs;
+* CANON_END_NODE_ID — VALUE_ID of the canonical form of the object;
+* LINK_TYPE — STANDARD, RDF_TYPE (rdf:type), RDF_MEMBER (rdf:_n), or
+  RDF_* (other rdf-vocabulary predicates);
+* COST — how many application-table rows reference this triple;
+* CONTEXT — 'D' (directly asserted) or 'I' (exists only as the base of a
+  reification, section 5.2);
+* REIF_LINK — 'Y' when a component references a reified triple (a DBUri).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.schema import LINK_TABLE
+from repro.errors import TripleNotFoundError
+from repro.rdf.containers import is_membership_property
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import URI
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.connection import Database
+
+
+class LinkType(str, Enum):
+    """``LINK_TYPE`` codes (paper section 4)."""
+
+    STANDARD = "STANDARD"
+    RDF_TYPE = "RDF_TYPE"
+    RDF_MEMBER = "RDF_MEMBER"
+    RDF_OTHER = "RDF_*"
+
+    @classmethod
+    def for_predicate(cls, predicate: URI) -> "LinkType":
+        """Classify a predicate URI into its link type.
+
+        Both the full-URI and the ``rdf:``-prefixed spellings classify
+        (the paper's examples store prefixed names verbatim).
+        """
+        value = predicate.value
+        if value.startswith("rdf:"):
+            value = RDF.base + value[len("rdf:"):]
+        if value == RDF.type.value:
+            return cls.RDF_TYPE
+        if is_membership_property(URI(value)):
+            return cls.RDF_MEMBER
+        if value.startswith(RDF.base):
+            return cls.RDF_OTHER
+        return cls.STANDARD
+
+
+class Context(str, Enum):
+    """``CONTEXT`` codes: direct assertion vs indirect (implied) triple."""
+
+    DIRECT = "D"
+    INDIRECT = "I"
+
+
+@dataclass(frozen=True, slots=True)
+class LinkRow:
+    """One materialised rdf_link$ row."""
+
+    link_id: int
+    start_node_id: int
+    p_value_id: int
+    end_node_id: int
+    canon_end_node_id: int
+    link_type: LinkType
+    cost: int
+    context: Context
+    reif_link: bool
+    model_id: int
+
+    @classmethod
+    def from_row(cls, row) -> "LinkRow":
+        return cls(
+            link_id=int(row["link_id"]),
+            start_node_id=int(row["start_node_id"]),
+            p_value_id=int(row["p_value_id"]),
+            end_node_id=int(row["end_node_id"]),
+            canon_end_node_id=int(row["canon_end_node_id"]),
+            link_type=LinkType(row["link_type"]),
+            cost=int(row["cost"]),
+            context=Context(row["context"]),
+            reif_link=row["reif_link"] == "Y",
+            model_id=int(row["model_id"]))
+
+
+class LinkStore:
+    """Insert/lookup/delete interface over ``rdf_link$``."""
+
+    def __init__(self, database: "Database") -> None:
+        self._db = database
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def find(self, model_id: int, start_node_id: int, p_value_id: int,
+             end_node_id: int) -> LinkRow | None:
+        """The link row for (model, s, p, o) IDs, or None."""
+        row = self._db.query_one(
+            f'SELECT * FROM "{LINK_TABLE}" WHERE model_id = ? '
+            "AND start_node_id = ? AND p_value_id = ? AND end_node_id = ?",
+            (model_id, start_node_id, p_value_id, end_node_id))
+        return None if row is None else LinkRow.from_row(row)
+
+    def get(self, link_id: int) -> LinkRow:
+        """The link row with ``link_id``; raises TripleNotFoundError."""
+        row = self._db.query_one(
+            f'SELECT * FROM "{LINK_TABLE}" WHERE link_id = ?', (link_id,))
+        if row is None:
+            raise TripleNotFoundError(link_id)
+        return LinkRow.from_row(row)
+
+    def exists(self, link_id: int) -> bool:
+        return self._db.query_one(
+            f'SELECT 1 FROM "{LINK_TABLE}" WHERE link_id = ?',
+            (link_id,)) is not None
+
+    def count(self, model_id: int | None = None) -> int:
+        """Triple count, optionally restricted to one model."""
+        if model_id is None:
+            return self._db.row_count(LINK_TABLE)
+        return int(self._db.query_value(
+            f'SELECT COUNT(*) FROM "{LINK_TABLE}" WHERE model_id = ?',
+            (model_id,), default=0))
+
+    def iter_model(self, model_id: int) -> Iterator[LinkRow]:
+        """All link rows of one model."""
+        for row in self._db.execute(
+                f'SELECT * FROM "{LINK_TABLE}" WHERE model_id = ? '
+                "ORDER BY link_id", (model_id,)):
+            yield LinkRow.from_row(row)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, model_id: int, start_node_id: int, p_value_id: int,
+               end_node_id: int, canon_end_node_id: int,
+               link_type: LinkType, context: Context,
+               reif_link: bool) -> LinkRow:
+        """Insert a new link row with COST=1 and return it."""
+        cursor = self._db.execute(
+            f'INSERT INTO "{LINK_TABLE}" '
+            "(start_node_id, p_value_id, end_node_id, canon_end_node_id,"
+            " link_type, cost, context, reif_link, model_id)"
+            " VALUES (?, ?, ?, ?, ?, 1, ?, ?, ?)",
+            (start_node_id, p_value_id, end_node_id, canon_end_node_id,
+             link_type.value, context.value,
+             "Y" if reif_link else "N", model_id))
+        return self.get(int(cursor.lastrowid))
+
+    def increment_cost(self, link_id: int) -> int:
+        """COST += 1 (another application row references the triple)."""
+        self._db.execute(
+            f'UPDATE "{LINK_TABLE}" SET cost = cost + 1 '
+            "WHERE link_id = ?", (link_id,))
+        return self.get(link_id).cost
+
+    def decrement_cost(self, link_id: int) -> int:
+        """COST -= 1; returns the new cost (may reach 0)."""
+        self._db.execute(
+            f'UPDATE "{LINK_TABLE}" SET cost = MAX(cost - 1, 0) '
+            "WHERE link_id = ?", (link_id,))
+        return self.get(link_id).cost
+
+    def promote_context(self, link_id: int) -> None:
+        """Flip CONTEXT from 'I' to 'D' (section 5.2 note: an implied
+        triple later entered as a fact becomes direct)."""
+        self._db.execute(
+            f'UPDATE "{LINK_TABLE}" SET context = ? WHERE link_id = ?',
+            (Context.DIRECT.value, link_id))
+
+    def delete(self, link_id: int) -> LinkRow:
+        """Remove the link row; returns the removed row.
+
+        Node garbage collection (removing nodes with no remaining links)
+        is the parser's job, since it owns rdf_node$.
+        """
+        row = self.get(link_id)
+        self._db.execute(
+            f'DELETE FROM "{LINK_TABLE}" WHERE link_id = ?', (link_id,))
+        return row
+
+    def node_in_use(self, node_id: int) -> bool:
+        """True while any link starts or ends at ``node_id``."""
+        return self._db.query_one(
+            f'SELECT 1 FROM "{LINK_TABLE}" '
+            "WHERE start_node_id = ? OR end_node_id = ? LIMIT 1",
+            (node_id, node_id)) is not None

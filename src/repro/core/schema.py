@@ -1,0 +1,180 @@
+"""DDL for the central RDF schema.
+
+The tables mirror the paper's Figure 4:
+
+``rdf_model$``
+    one row per RDF model (graph): MODEL_ID, MODEL_NAME, and the
+    application table/column the model was created for.
+
+``rdf_value$``
+    every distinct text value (URI, blank node, literal) exactly once:
+    VALUE_ID, VALUE_NAME, VALUE_TYPE, LITERAL_TYPE, LANGUAGE_TYPE,
+    LONG_VALUE.  For long literals (lexical form > 4000 chars) VALUE_NAME
+    holds the 4000-char prefix and LONG_VALUE the full text, so the
+    prefix stays indexable — the same reason Oracle splits the columns.
+
+``rdf_node$``
+    the NDM node table: one row per value that participates in a triple
+    as subject or object.  NODE_ID equals the value's VALUE_ID.
+
+``rdf_link$``
+    the NDM link table and the triple table in one: LINK_ID,
+    START_NODE_ID, P_VALUE_ID, END_NODE_ID, CANON_END_NODE_ID,
+    LINK_TYPE, COST, CONTEXT, REIF_LINK, MODEL_ID.
+
+``rdf_blank_node$``
+    per-model blank-node bookkeeping: which VALUE_IDs are blank nodes of
+    which model, under which original label.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ndm.catalog import NetworkCatalog, NetworkMetadata
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.connection import Database
+
+MODEL_TABLE = "rdf_model$"
+VALUE_TABLE = "rdf_value$"
+NODE_TABLE = "rdf_node$"
+LINK_TABLE = "rdf_link$"
+BLANK_NODE_TABLE = "rdf_blank_node$"
+VERSION_TABLE = "rdf_schema_version$"
+
+#: Bumped on incompatible central-schema layout changes; a database
+#: written by a newer layout refuses to open under older code.
+SCHEMA_VERSION = 1
+
+#: The catalog name of the RDF universe network (all models together).
+RDF_NETWORK_NAME = "RDF_NETWORK"
+
+_SCHEMA_SQL = f"""
+CREATE TABLE IF NOT EXISTS "{MODEL_TABLE}" (
+    model_id    INTEGER PRIMARY KEY,
+    model_name  TEXT NOT NULL UNIQUE,
+    table_name  TEXT NOT NULL,
+    column_name TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS "{VALUE_TABLE}" (
+    value_id      INTEGER PRIMARY KEY,
+    value_name    TEXT NOT NULL,
+    value_type    TEXT NOT NULL,
+    literal_type  TEXT,
+    language_type TEXT,
+    long_value    TEXT
+);
+
+-- Uniqueness covers LONG_VALUE too: two long literals sharing the
+-- 4000-char VALUE_NAME prefix are distinct values.
+CREATE UNIQUE INDEX IF NOT EXISTS rdf_value_uniq
+    ON "{VALUE_TABLE}" (value_name, value_type,
+                        IFNULL(literal_type, ''),
+                        IFNULL(language_type, ''),
+                        IFNULL(long_value, ''));
+
+CREATE TABLE IF NOT EXISTS "{NODE_TABLE}" (
+    node_id   INTEGER PRIMARY KEY
+              REFERENCES "{VALUE_TABLE}" (value_id),
+    node_type TEXT NOT NULL,
+    active    TEXT NOT NULL DEFAULT 'Y'
+);
+
+CREATE TABLE IF NOT EXISTS "{LINK_TABLE}" (
+    link_id            INTEGER PRIMARY KEY,
+    start_node_id      INTEGER NOT NULL
+                       REFERENCES "{NODE_TABLE}" (node_id),
+    p_value_id         INTEGER NOT NULL
+                       REFERENCES "{VALUE_TABLE}" (value_id),
+    end_node_id        INTEGER NOT NULL
+                       REFERENCES "{NODE_TABLE}" (node_id),
+    canon_end_node_id  INTEGER NOT NULL
+                       REFERENCES "{VALUE_TABLE}" (value_id),
+    link_type          TEXT NOT NULL DEFAULT 'STANDARD',
+    cost               INTEGER NOT NULL DEFAULT 1,
+    context            TEXT NOT NULL DEFAULT 'D'
+                       CHECK (context IN ('D', 'I')),
+    reif_link          TEXT NOT NULL DEFAULT 'N'
+                       CHECK (reif_link IN ('Y', 'N')),
+    model_id           INTEGER NOT NULL
+                       REFERENCES "{MODEL_TABLE}" (model_id)
+);
+
+-- One row per distinct triple per model (section 4.1: "a check is made
+-- to determine if the triple already exists in the specified graph").
+CREATE UNIQUE INDEX IF NOT EXISTS rdf_link_uniq
+    ON "{LINK_TABLE}" (model_id, start_node_id, p_value_id, end_node_id);
+
+-- Access-path indexes; the model_id leading column is the SQLite
+-- equivalent of the paper's "partitioned by graphs" layout.
+CREATE INDEX IF NOT EXISTS rdf_link_spo
+    ON "{LINK_TABLE}" (model_id, start_node_id);
+CREATE INDEX IF NOT EXISTS rdf_link_pos
+    ON "{LINK_TABLE}" (model_id, p_value_id, canon_end_node_id);
+CREATE INDEX IF NOT EXISTS rdf_link_osp
+    ON "{LINK_TABLE}" (model_id, canon_end_node_id);
+
+CREATE TABLE IF NOT EXISTS "{BLANK_NODE_TABLE}" (
+    value_id   INTEGER NOT NULL
+               REFERENCES "{VALUE_TABLE}" (value_id),
+    model_id   INTEGER NOT NULL
+               REFERENCES "{MODEL_TABLE}" (model_id),
+    orig_label TEXT NOT NULL,
+    PRIMARY KEY (value_id, model_id)
+);
+
+CREATE TABLE IF NOT EXISTS "{VERSION_TABLE}" (
+    version INTEGER PRIMARY KEY
+);
+"""
+
+
+def create_central_schema(database: "Database") -> None:
+    """Create the central RDF schema (idempotent).
+
+    Also registers the RDF universe network in the NDM catalog, which is
+    what "built on top of NDM" means operationally: ``rdf_node$`` and
+    ``rdf_link$`` *are* the NDM tables for this network.
+
+    Raises :class:`repro.errors.SchemaError` when the database carries a
+    newer schema version than this code understands.
+    """
+    _check_schema_version(database)
+    database.executescript(_SCHEMA_SQL)
+    database.execute(
+        f'INSERT OR IGNORE INTO "{VERSION_TABLE}" VALUES (?)',
+        (SCHEMA_VERSION,))
+    catalog = NetworkCatalog(database)
+    if not catalog.exists(RDF_NETWORK_NAME):
+        catalog.register(NetworkMetadata(
+            network_name=RDF_NETWORK_NAME,
+            node_table=NODE_TABLE,
+            link_table=LINK_TABLE,
+            node_id_column="node_id",
+            link_id_column="link_id",
+            start_node_column="start_node_id",
+            end_node_column="end_node_id",
+            cost_column=None,
+            directed=True,
+            partition_column="model_id"))
+
+
+def _check_schema_version(database: "Database") -> None:
+    from repro.errors import SchemaError
+
+    if not database.table_exists(VERSION_TABLE):
+        return
+    stored = database.query_value(
+        f'SELECT MAX(version) FROM "{VERSION_TABLE}"')
+    if stored is not None and int(stored) > SCHEMA_VERSION:
+        raise SchemaError(
+            f"database schema version {stored} is newer than this "
+            f"library's {SCHEMA_VERSION}; upgrade the library")
+
+
+def central_schema_exists(database: "Database") -> bool:
+    """True when the central schema tables are present."""
+    return all(database.table_exists(table) for table in (
+        MODEL_TABLE, VALUE_TABLE, NODE_TABLE, LINK_TABLE, BLANK_NODE_TABLE))

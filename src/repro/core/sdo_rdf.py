@@ -1,0 +1,88 @@
+"""The SDO_RDF package: procedural access to the RDF store.
+
+Mirrors the PL/SQL package of the paper (sections 4.3 and 6): functions
+and procedures for managing the SDO_RDF_TRIPLE_S object — model creation,
+membership tests, ID lookups, reification checks.  Method names keep the
+Oracle spelling (upper-case in the paper, snake_case here) so the
+examples read like the paper's SQL.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.apptable import ApplicationTable
+from repro.core.models import ModelInfo
+from repro.errors import TripleNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+
+class SDO_RDF:
+    """The procedural package bound to one store."""
+
+    def __init__(self, store: "RDFStore") -> None:
+        self._store = store
+
+    @property
+    def store(self) -> "RDFStore":
+        return self._store
+
+    # ------------------------------------------------------------------
+    # model management (section 4.3)
+    # ------------------------------------------------------------------
+
+    def create_rdf_model(self, model_name: str, table_name: str,
+                         column_name: str = "triple") -> ModelInfo:
+        """``SDO_RDF.CREATE_RDF_MODEL('cia', 'ciadata', 'triple')``.
+
+        The application table must already exist (the paper's step 1
+        precedes step 2); a missing table raises, matching Oracle.
+        """
+        ApplicationTable.open(self._store, table_name,
+                              object_column=column_name)
+        return self._store.create_model(model_name, table_name,
+                                        column_name)
+
+    def drop_rdf_model(self, model_name: str) -> int:
+        """Drop a model and all of its triples; returns the count."""
+        return self._store.drop_model(model_name)
+
+    # ------------------------------------------------------------------
+    # queries (section 6)
+    # ------------------------------------------------------------------
+
+    def is_triple(self, model_name: str, subject: str, property: str,
+                  object: str) -> bool:
+        """``SDO_RDF.IS_TRIPLE(model, s, p, o)``."""
+        return self._store.is_triple(model_name, subject, property, object)
+
+    def get_model_id(self, model_name: str) -> int:
+        """``SDO_RDF.GET_MODEL_ID(model)``."""
+        return self._store.models.get(model_name).model_id
+
+    def get_triple_id(self, model_name: str, subject: str, property: str,
+                      object: str) -> int:
+        """The LINK_ID of a triple; raises when absent."""
+        link = self._store.find_link(model_name, subject, property, object)
+        if link is None:
+            raise TripleNotFoundError(-1)
+        return link.link_id
+
+    def is_reified(self, model_name: str, subject: str, property: str,
+                   object: str) -> bool:
+        """``SDO_RDF.IS_REIFIED(model, s, p, o)`` (paper Figure 11)."""
+        return self._store.is_reified(model_name, subject, property,
+                                      object)
+
+    def get_triple(self, link_id: int):
+        """The SDO_RDF_TRIPLE view of a stored triple by LINK_ID."""
+        return self._store.get_triple_s(link_id).get_triple()
+
+    def triple_count(self, model_name: str | None = None) -> int:
+        """Number of stored triples, optionally per model."""
+        if model_name is None:
+            return self._store.links.count()
+        model_id = self._store.models.get(model_name).model_id
+        return self._store.links.count(model_id)

@@ -1,0 +1,192 @@
+"""Model-level access control.
+
+Paper section 4.3: when a model is created, its ``rdfm_<model>`` view
+"is accessible only to the owner of the model and users with SELECT
+privileges on the model".  Oracle enforces this with schema privileges;
+here a :class:`PrivilegeRegistry` records owners and grants in the
+``rdf_priv$`` table, and :class:`SecureStoreSession` wraps a store with
+a current user whose reads and writes are checked against it.
+
+The registry is opt-in — the plain :class:`~repro.core.store.RDFStore`
+API remains unrestricted (a DBA connection, in Oracle terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.db.connection import quote_identifier
+from repro.errors import ReproError
+from repro.inference.match import MatchRow, sdo_rdf_match
+from repro.rdf.namespaces import AliasSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+    from repro.core.triple_s import SDO_RDF_TRIPLE_S
+
+PRIVILEGE_TABLE = "rdf_priv$"
+
+#: Grantable privileges: read a model, or insert/remove its triples.
+PRIVILEGES = ("SELECT", "INSERT")
+
+
+class AccessDenied(ReproError, PermissionError):
+    """The current user lacks the privilege for this operation."""
+
+    def __init__(self, user: str, privilege: str, model_name: str) -> None:
+        self.user = user
+        self.privilege = privilege
+        self.model_name = model_name
+        super().__init__(
+            f"user {user!r} lacks {privilege} on model {model_name!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Grant:
+    """One privilege grant row."""
+
+    model_name: str
+    user: str
+    privilege: str
+
+
+class PrivilegeRegistry:
+    """Owner and grant bookkeeping for RDF models."""
+
+    def __init__(self, store: "RDFStore") -> None:
+        self._store = store
+        self._db = store.database
+        self._db.execute(
+            f"CREATE TABLE IF NOT EXISTS "
+            f"{quote_identifier(PRIVILEGE_TABLE)} ("
+            " model_name TEXT NOT NULL,"
+            " user_name TEXT NOT NULL,"
+            " privilege TEXT NOT NULL"
+            "  CHECK (privilege IN ('OWNER', 'SELECT', 'INSERT')),"
+            " PRIMARY KEY (model_name, user_name, privilege))")
+
+    # ------------------------------------------------------------------
+    # ownership
+    # ------------------------------------------------------------------
+
+    def set_owner(self, model_name: str, user: str) -> None:
+        """Record ``user`` as the model's owner (full access)."""
+        self._store.models.get(model_name)  # must exist
+        self._db.execute(
+            f"INSERT OR IGNORE INTO {quote_identifier(PRIVILEGE_TABLE)} "
+            "VALUES (?, ?, 'OWNER')", (model_name.lower(), user))
+
+    def owner_of(self, model_name: str) -> str | None:
+        row = self._db.query_one(
+            f"SELECT user_name FROM {quote_identifier(PRIVILEGE_TABLE)} "
+            "WHERE model_name = ? AND privilege = 'OWNER'",
+            (model_name.lower(),))
+        return None if row is None else row["user_name"]
+
+    # ------------------------------------------------------------------
+    # grants
+    # ------------------------------------------------------------------
+
+    def grant(self, model_name: str, user: str, privilege: str) -> None:
+        """``GRANT SELECT ON rdfm_<model> TO user`` semantics."""
+        privilege = privilege.upper()
+        if privilege not in PRIVILEGES:
+            raise ReproError(
+                f"unknown privilege {privilege!r}; grantable: "
+                f"{', '.join(PRIVILEGES)}")
+        self._store.models.get(model_name)
+        self._db.execute(
+            f"INSERT OR IGNORE INTO {quote_identifier(PRIVILEGE_TABLE)} "
+            "VALUES (?, ?, ?)", (model_name.lower(), user, privilege))
+
+    def revoke(self, model_name: str, user: str, privilege: str) -> None:
+        self._db.execute(
+            f"DELETE FROM {quote_identifier(PRIVILEGE_TABLE)} "
+            "WHERE model_name = ? AND user_name = ? AND privilege = ?",
+            (model_name.lower(), user, privilege.upper()))
+
+    def grants_for(self, model_name: str) -> list[Grant]:
+        return [Grant(row["model_name"], row["user_name"],
+                      row["privilege"])
+                for row in self._db.query_all(
+                    f"SELECT * FROM {quote_identifier(PRIVILEGE_TABLE)} "
+                    "WHERE model_name = ? ORDER BY user_name, privilege",
+                    (model_name.lower(),))]
+
+    # ------------------------------------------------------------------
+    # checks
+    # ------------------------------------------------------------------
+
+    def has_privilege(self, user: str, model_name: str,
+                      privilege: str) -> bool:
+        """True when ``user`` owns the model or holds the privilege.
+
+        A model with no recorded owner is unrestricted, matching the
+        registry's opt-in nature.
+        """
+        name = model_name.lower()
+        if self.owner_of(name) is None:
+            return True
+        row = self._db.query_one(
+            f"SELECT 1 FROM {quote_identifier(PRIVILEGE_TABLE)} "
+            "WHERE model_name = ? AND user_name = ? "
+            "AND privilege IN ('OWNER', ?)",
+            (name, user, privilege.upper()))
+        return row is not None
+
+    def check(self, user: str, model_name: str, privilege: str) -> None:
+        if not self.has_privilege(user, model_name, privilege):
+            raise AccessDenied(user, privilege.upper(), model_name)
+
+
+class SecureStoreSession:
+    """A store handle bound to one user, enforcing privileges.
+
+    Reads (``query``, ``iter_triples``, ``view_rows``) need SELECT;
+    writes (``insert_triple``, ``remove_triple``) need INSERT.
+    """
+
+    def __init__(self, store: "RDFStore", user: str,
+                 registry: PrivilegeRegistry | None = None) -> None:
+        self._store = store
+        self.user = user
+        self.privileges = registry or PrivilegeRegistry(store)
+
+    # -- writes --------------------------------------------------------
+
+    def insert_triple(self, model_name: str, subject: str,
+                      predicate: str, obj: str) -> "SDO_RDF_TRIPLE_S":
+        self.privileges.check(self.user, model_name, "INSERT")
+        return self._store.insert_triple(model_name, subject, predicate,
+                                         obj)
+
+    def remove_triple(self, model_name: str, subject: str,
+                      predicate: str, obj: str) -> bool:
+        self.privileges.check(self.user, model_name, "INSERT")
+        return self._store.remove_triple(model_name, subject, predicate,
+                                         obj)
+
+    # -- reads ---------------------------------------------------------
+
+    def iter_triples(self, model_name: str):
+        self.privileges.check(self.user, model_name, "SELECT")
+        return self._store.iter_model_triples(model_name)
+
+    def view_rows(self, model_name: str) -> list:
+        """Rows of the model's ``rdfm_<model>`` view."""
+        self.privileges.check(self.user, model_name, "SELECT")
+        info = self._store.models.get(model_name)
+        return self._store.database.query_all(
+            f"SELECT * FROM {quote_identifier(info.view_name)}")
+
+    def query(self, query: str, models: Sequence[str],
+              rulebases: Sequence[str] = (),
+              aliases: AliasSet | None = None,
+              filter: str | None = None) -> list[MatchRow]:
+        """SDO_RDF_MATCH over models the user can SELECT from."""
+        for model_name in models:
+            self.privileges.check(self.user, model_name, "SELECT")
+        return sdo_rdf_match(self._store, query, models,
+                             rulebases=rulebases, aliases=aliases,
+                             filter=filter)

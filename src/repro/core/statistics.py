@@ -1,0 +1,122 @@
+"""Store statistics: the DBA's view of the central schema.
+
+Aggregate figures over the paper's tables — per-model triple counts,
+VALUE_TYPE and LINK_TYPE histograms, CONTEXT and REIF_LINK breakdowns,
+sharing metrics (how much the values-once design saves) — consumed by
+the CLI ``stats`` command and useful for capacity planning and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.schema import LINK_TABLE, VALUE_TABLE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+
+@dataclass
+class StoreStatistics:
+    """Aggregate figures for one store (optionally one model)."""
+
+    model_name: str | None
+    triple_count: int
+    distinct_value_count: int
+    value_types: dict[str, int] = field(default_factory=dict)
+    link_types: dict[str, int] = field(default_factory=dict)
+    contexts: dict[str, int] = field(default_factory=dict)
+    reified_statement_count: int = 0
+    total_cost: int = 0
+
+    @property
+    def sharing_factor(self) -> float:
+        """Component references per stored value — how hard the
+        store-values-once design is working.  3 references per triple;
+        1.0 means no sharing at all."""
+        if self.distinct_value_count == 0:
+            return 0.0
+        return (3 * self.triple_count) / self.distinct_value_count
+
+    def lines(self) -> list[str]:
+        """Human-readable report lines."""
+        scope = self.model_name or "<all models>"
+        lines = [
+            f"scope: {scope}",
+            f"triples: {self.triple_count}",
+            f"distinct values: {self.distinct_value_count} "
+            f"(sharing factor {self.sharing_factor:.2f})",
+            f"application references (COST total): {self.total_cost}",
+            f"reified statements: {self.reified_statement_count}",
+        ]
+        for label, histogram in (("value types", self.value_types),
+                                 ("link types", self.link_types),
+                                 ("contexts", self.contexts)):
+            if histogram:
+                summary = ", ".join(
+                    f"{key}={count}" for key, count in
+                    sorted(histogram.items()))
+                lines.append(f"{label}: {summary}")
+        return lines
+
+
+def gather_statistics(store: "RDFStore",
+                      model_name: str | None = None) -> StoreStatistics:
+    """Compute :class:`StoreStatistics` for the store or one model."""
+    db = store.database
+    if model_name is None:
+        link_filter, params = "", ()
+    else:
+        model_id = store.models.get(model_name).model_id
+        link_filter, params = " WHERE model_id = ?", (model_id,)
+
+    triple_count = int(db.query_value(
+        f'SELECT COUNT(*) FROM "{LINK_TABLE}"{link_filter}', params,
+        default=0))
+    total_cost = int(db.query_value(
+        f'SELECT COALESCE(SUM(cost), 0) FROM "{LINK_TABLE}"'
+        f"{link_filter}", params, default=0))
+
+    link_types = {row["link_type"]: row["n"] for row in db.query_all(
+        f'SELECT link_type, COUNT(*) AS n FROM "{LINK_TABLE}"'
+        f"{link_filter} GROUP BY link_type", params)}
+    contexts = {row["context"]: row["n"] for row in db.query_all(
+        f'SELECT context, COUNT(*) AS n FROM "{LINK_TABLE}"'
+        f"{link_filter} GROUP BY context", params)}
+    reified = int(db.query_value(
+        f'SELECT COUNT(*) FROM "{LINK_TABLE}"{link_filter}'
+        + (" AND" if link_filter else " WHERE")
+        + " reif_link = 'Y'", params, default=0))
+
+    if model_name is None:
+        distinct_values = store.values.count()
+        value_types = {row["value_type"]: row["n"]
+                       for row in db.query_all(
+                           f'SELECT value_type, COUNT(*) AS n FROM '
+                           f'"{VALUE_TABLE}" GROUP BY value_type')}
+    else:
+        distinct_values = int(db.query_value(
+            'SELECT COUNT(*) FROM (SELECT start_node_id AS v FROM '
+            f'"{LINK_TABLE}"{link_filter} UNION SELECT p_value_id FROM '
+            f'"{LINK_TABLE}"{link_filter} UNION SELECT end_node_id '
+            f'FROM "{LINK_TABLE}"{link_filter})',
+            params * 3, default=0))
+        value_types = {row["value_type"]: row["n"]
+                       for row in db.query_all(
+                           'SELECT v.value_type, COUNT(DISTINCT '
+                           'v.value_id) AS n FROM '
+                           f'"{VALUE_TABLE}" v JOIN "{LINK_TABLE}" l '
+                           "ON v.value_id IN (l.start_node_id, "
+                           "l.p_value_id, l.end_node_id)"
+                           f"{link_filter.replace('model_id', 'l.model_id')} "
+                           "GROUP BY v.value_type", params)}
+    return StoreStatistics(
+        model_name=model_name,
+        triple_count=triple_count,
+        distinct_value_count=distinct_values,
+        value_types=value_types,
+        link_types=link_types,
+        contexts=contexts,
+        reified_statement_count=reified,
+        total_cost=total_cost)

@@ -1,0 +1,324 @@
+"""The RDF store facade: one object per database's RDF universe.
+
+:class:`RDFStore` owns the central schema of a
+:class:`repro.db.Database` and exposes the operations of the paper:
+
+* model management (``CREATE_RDF_MODEL`` semantics, per-model views);
+* triple insertion through the parse pipeline of section 4.1;
+* the four ``SDO_RDF_TRIPLE_S`` constructor semantics of sections 4.2
+  and 5, including streamlined DBUri reification;
+* lookups used by the object member functions;
+* NDM access — every model is a partition of the universe network.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.links import Context, LinkRow, LinkStore
+from repro.core.models import ModelInfo, ModelRegistry
+from repro.core.parser import InsertResult, TripleParser
+from repro.core.schema import (
+    RDF_NETWORK_NAME,
+    central_schema_exists,
+    create_central_schema,
+)
+from repro.core.triple_s import SDO_RDF_TRIPLE_S
+from repro.core.values import ValueStore
+from repro.db.connection import Database
+from repro.db.dburi import DBUri
+from repro.errors import ReificationError, TripleNotFoundError
+from repro.ndm.network import LogicalNetwork
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import RDFTerm, URI
+from repro.rdf.triple import Triple
+
+#: The object of every streamlined reification statement.
+_RDF_TYPE = RDF.type
+_RDF_STATEMENT = RDF.Statement
+
+
+class RDFStore:
+    """The central-schema RDF store.
+
+    :param database: the hosting database; pass an existing
+        :class:`~repro.db.connection.Database`, a path, or nothing for an
+        in-memory store.
+    """
+
+    def __init__(self, database: Database | str | Path | None = None
+                 ) -> None:
+        if database is None:
+            database = Database()
+        elif isinstance(database, (str, Path)):
+            database = Database(database)
+        self._db = database
+        if not central_schema_exists(database):
+            create_central_schema(database)
+        else:
+            # Idempotent: ensures the NDM catalog entry exists too.
+            create_central_schema(database)
+        self.values = ValueStore(database)
+        self.links = LinkStore(database)
+        self.models = ModelRegistry(database)
+        self.parser = TripleParser(database, self.values, self.links,
+                                   self.models)
+
+    @property
+    def database(self) -> Database:
+        """The hosting database engine."""
+        return self._db
+
+    def close(self) -> None:
+        """Close the underlying database connection."""
+        self._db.close()
+
+    def __enter__(self) -> "RDFStore":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # model management
+    # ------------------------------------------------------------------
+
+    def create_model(self, model_name: str, table_name: str = "",
+                     column_name: str = "triple") -> ModelInfo:
+        """Create an RDF model (graph) and its ``rdfm_<model>`` view."""
+        return self.models.create(model_name, table_name or model_name,
+                                  column_name)
+
+    def drop_model(self, model_name: str) -> int:
+        """Drop a model: its triples, blank nodes, view, and registry row.
+
+        Returns the number of triples removed.
+        """
+        info = self.models.get(model_name)
+        removed = self.parser.remove_model_triples(info)
+        self.models.drop(model_name)
+        self.values.invalidate_cache()
+        return removed
+
+    def model_exists(self, model_name: str) -> bool:
+        """True when a model with this name exists."""
+        return self.models.exists(model_name)
+
+    # ------------------------------------------------------------------
+    # triple insertion / removal
+    # ------------------------------------------------------------------
+
+    def insert_triple(self, model_name: str, subject: str, predicate: str,
+                      obj: str,
+                      context: Context = Context.DIRECT
+                      ) -> SDO_RDF_TRIPLE_S:
+        """The base constructor: insert (or find) a triple from text.
+
+        Prefixed names are stored verbatim, matching the paper's examples
+        ("the prefixes gov: and id: are used ... for simplicity").
+        """
+        return self.insert_triple_obj(
+            model_name, Triple.from_text(subject, predicate, obj),
+            context=context)
+
+    def insert_triple_obj(self, model_name: str, triple: Triple,
+                          context: Context = Context.DIRECT,
+                          count_cost: bool = True) -> SDO_RDF_TRIPLE_S:
+        """Insert a parsed :class:`~repro.rdf.triple.Triple`."""
+        info = self.models.get(model_name)
+        result = self.parser.insert(info, triple, context=context,
+                                    count_cost=count_cost)
+        return self._handle(result.link)
+
+    def insert_many(self, model_name: str,
+                    triples: "Iterator[Triple] | list[Triple]",
+                    context: Context = Context.DIRECT) -> int:
+        """Bulk insert; returns the number of *new* link rows created."""
+        info = self.models.get(model_name)
+        created = 0
+        with self._db.transaction():
+            for triple in triples:
+                result = self.parser.insert(info, triple, context=context)
+                created += 1 if result.created else 0
+        return created
+
+    def remove_triple(self, model_name: str, subject: str, predicate: str,
+                      obj: str, force: bool = False) -> bool:
+        """Remove one reference to the triple (see parser.remove)."""
+        info = self.models.get(model_name)
+        return self.parser.remove(
+            info, Triple.from_text(subject, predicate, obj), force=force)
+
+    # ------------------------------------------------------------------
+    # reification (section 5)
+    # ------------------------------------------------------------------
+
+    def reify_triple(self, model_name: str,
+                     rdf_t_id: int) -> SDO_RDF_TRIPLE_S:
+        """The reification constructor: ``SDO_RDF_TRIPLE_S(model, t_id)``.
+
+        Generates ``</ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID=t_id], rdf:type,
+        rdf:Statement>`` — the only part of the reification quad the
+        store keeps.  The inserted link's REIF_LINK is 'Y' because its
+        subject is a DBUri.
+        """
+        if not self.links.exists(rdf_t_id):
+            raise TripleNotFoundError(rdf_t_id)
+        resource = URI(DBUri.for_link(rdf_t_id).text)
+        statement = Triple(resource, _RDF_TYPE, _RDF_STATEMENT)
+        return self.insert_triple_obj(model_name, statement)
+
+    def assert_about(self, model_name: str, subject: str, predicate: str,
+                     rdf_t_id: int) -> SDO_RDF_TRIPLE_S:
+        """Assertion constructor for a direct triple.
+
+        Reifies the triple identified by ``rdf_t_id`` (when not already
+        reified) and inserts ``<subject, predicate, DBUri(rdf_t_id)>``.
+        """
+        if not self.links.exists(rdf_t_id):
+            raise TripleNotFoundError(rdf_t_id)
+        if not self.is_reified_id(model_name, rdf_t_id):
+            self.reify_triple(model_name, rdf_t_id)
+        resource = DBUri.for_link(rdf_t_id).text
+        assertion = Triple.from_text(subject, predicate, resource)
+        return self.insert_triple_obj(model_name, assertion)
+
+    def assert_implied(self, model_name: str, reif_sub: str,
+                       reif_prop: str, subject: str, predicate: str,
+                       obj: str) -> SDO_RDF_TRIPLE_S:
+        """Assertion constructor for an implied statement (section 5.2).
+
+        Inserts the base triple with CONTEXT='I' when it is new (it is
+        not a fact, merely mentioned); an already-direct base triple
+        keeps its 'D'.  Then reifies it and makes the assertion.
+        """
+        info = self.models.get(model_name)
+        base = Triple.from_text(subject, predicate, obj)
+        result = self.parser.insert(info, base, context=Context.INDIRECT,
+                                    count_cost=False)
+        base_id = result.link_id
+        if not self.is_reified_id(model_name, base_id):
+            self.reify_triple(model_name, base_id)
+        resource = DBUri.for_link(base_id).text
+        assertion = Triple.from_text(reif_sub, reif_prop, resource)
+        return self.insert_triple_obj(model_name, assertion)
+
+    def assert_base_for_reification(self, model_name: str,
+                                    triple: Triple) -> InsertResult:
+        """Insert the base triple of a reification without asserting it.
+
+        New triples get CONTEXT='I' (they exist only because something
+        reifies them); an existing direct triple keeps its 'D'.  COST is
+        not counted — no application row references the base directly.
+        """
+        info = self.models.get(model_name)
+        return self.parser.insert(info, triple, context=Context.INDIRECT,
+                                  count_cost=False)
+
+    def is_reified_id(self, model_name: str, rdf_t_id: int) -> bool:
+        """Is the triple with ``rdf_t_id`` reified in ``model_name``?
+
+        "To determine if a triple is reified in a specified graph, a
+        search is done for its DBUriType" — a single indexed lookup.
+        """
+        info = self.models.get(model_name)
+        resource = URI(DBUri.for_link(rdf_t_id).text)
+        subject_id = self.values.find_id(resource)
+        if subject_id is None:
+            return False
+        type_id = self.values.find_id(_RDF_TYPE)
+        statement_id = self.values.find_id(_RDF_STATEMENT)
+        if type_id is None or statement_id is None:
+            return False
+        return self.links.find(info.model_id, subject_id, type_id,
+                               statement_id) is not None
+
+    def is_reified(self, model_name: str, subject: str, predicate: str,
+                   obj: str) -> bool:
+        """``SDO_RDF.IS_REIFIED(model, s, p, o)`` (paper Figure 11)."""
+        link = self.find_link(model_name, subject, predicate, obj)
+        if link is None:
+            return False
+        return self.is_reified_id(model_name, link.link_id)
+
+    def reified_target(self, dburi_text: str) -> LinkRow:
+        """Resolve a reification resource back to its base triple."""
+        uri = DBUri.parse(dburi_text)
+        if not uri.is_link_uri:
+            raise ReificationError(
+                f"{dburi_text} is not an rdf_link$ DBUri")
+        return self.links.get(uri.link_id)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def find_link(self, model_name: str, subject: str, predicate: str,
+                  obj: str) -> LinkRow | None:
+        """The link row for a text triple in a model, or None."""
+        info = self.models.get(model_name)
+        triple = Triple.from_text(subject, predicate, obj)
+        subject_id = self.values.find_id(triple.subject)
+        predicate_id = self.values.find_id(triple.predicate)
+        object_id = self.values.find_id(triple.object)
+        if None in (subject_id, predicate_id, object_id):
+            return None
+        return self.links.find(info.model_id, subject_id, predicate_id,
+                               object_id)
+
+    def is_triple(self, model_name: str, subject: str, predicate: str,
+                  obj: str) -> bool:
+        """``SDO_RDF.IS_TRIPLE`` semantics."""
+        return self.find_link(model_name, subject, predicate, obj) \
+            is not None
+
+    def get_triple_s(self, link_id: int) -> SDO_RDF_TRIPLE_S:
+        """The storage object for an existing LINK_ID."""
+        return self._handle(self.links.get(link_id))
+
+    def lexical_of(self, value_id: int) -> str:
+        """Member-function backend: text of a VALUE_ID."""
+        return self.values.get_lexical(value_id)
+
+    def term_of(self, value_id: int) -> RDFTerm:
+        """The full term object of a VALUE_ID."""
+        return self.values.get_term(value_id)
+
+    def triple_of(self, link_id: int) -> Triple:
+        """Reassemble the :class:`Triple` stored under LINK_ID."""
+        link = self.links.get(link_id)
+        subject = self.values.get_term(link.start_node_id)
+        predicate = self.values.get_term(link.p_value_id)
+        obj = self.values.get_term(link.end_node_id)
+        assert isinstance(predicate, URI)
+        return Triple(subject, predicate, obj)
+
+    def iter_model_triples(self, model_name: str) -> Iterator[Triple]:
+        """All triples of a model as term objects."""
+        info = self.models.get(model_name)
+        for link in self.links.iter_model(info.model_id):
+            yield self.triple_of(link.link_id)
+
+    def attach(self, obj: SDO_RDF_TRIPLE_S) -> SDO_RDF_TRIPLE_S:
+        """Attach a detached storage object to this store."""
+        return obj.with_store(self)
+
+    def _handle(self, link: LinkRow) -> SDO_RDF_TRIPLE_S:
+        return SDO_RDF_TRIPLE_S(
+            rdf_t_id=link.link_id, rdf_m_id=link.model_id,
+            rdf_s_id=link.start_node_id, rdf_p_id=link.p_value_id,
+            rdf_o_id=link.end_node_id, _store=self)
+
+    # ------------------------------------------------------------------
+    # NDM integration
+    # ------------------------------------------------------------------
+
+    def network(self, model_name: str | None = None) -> LogicalNetwork:
+        """The NDM logical network: the whole universe, or one model's
+        partition of it."""
+        partition = None
+        if model_name is not None:
+            partition = self.models.get(model_name).model_id
+        return LogicalNetwork.open(self._db, RDF_NETWORK_NAME,
+                                   partition=partition)

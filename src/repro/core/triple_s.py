@@ -1,0 +1,145 @@
+"""The RDF object types: SDO_RDF_TRIPLE and SDO_RDF_TRIPLE_S.
+
+``SDO_RDF_TRIPLE`` is the *triple view*: plain subject/property/object
+strings.  ``SDO_RDF_TRIPLE_S`` (RDF triple *storage*) is what application
+tables persist: five IDs pointing at the triple in the central schema
+(paper Figure 5/6)::
+
+    rdf_t_id  — LINK_ID        (the unique triple ID)
+    rdf_m_id  — MODEL_ID       (the graph)
+    rdf_s_id  — START_NODE_ID  (subject VALUE_ID)
+    rdf_p_id  — P_VALUE_ID     (predicate VALUE_ID)
+    rdf_o_id  — END_NODE_ID    (object VALUE_ID)
+
+The PL/SQL type has several constructors (sections 4.2 and 5); here they
+are all reachable through :meth:`SDO_RDF_TRIPLE_S.construct`, which
+dispatches on the argument shapes exactly as Oracle overload resolution
+would:
+
+* ``(model, subject, property, object)``      — insert/lookup a triple;
+* ``(model, rdf_t_id)``                       — reify an existing triple;
+* ``(model, subject, property, rdf_t_id)``    — assert about a triple;
+* ``(model, reif_sub, reif_prop, s, p, o)``   — assert about an implied
+  (or existing) statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+
+@dataclass(frozen=True, slots=True)
+class SDO_RDF_TRIPLE:
+    """The triple view of RDF data: plain text components."""
+
+    subject: str
+    property: str
+    object: str
+
+    def __str__(self) -> str:
+        return f"<{self.subject}, {self.property}, {self.object}>"
+
+
+@dataclass(frozen=True)
+class SDO_RDF_TRIPLE_S:
+    """The persistent RDF triple storage object: five reference IDs.
+
+    Equality and hashing consider only the IDs, so two handles to the
+    same stored triple compare equal regardless of which store object
+    resolved them.
+    """
+
+    rdf_t_id: int
+    rdf_m_id: int
+    rdf_s_id: int
+    rdf_p_id: int
+    rdf_o_id: int
+    _store: "RDFStore | None" = field(default=None, compare=False,
+                                      repr=False)
+
+    # ------------------------------------------------------------------
+    # constructors (Oracle overloads)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def construct(cls, store: "RDFStore", model_name: str,
+                  *args: object) -> "SDO_RDF_TRIPLE_S":
+        """Dispatch to the right constructor overload.
+
+        See the module docstring for the four signatures.  Raises
+        :class:`repro.errors.ReproError` for shapes that match none.
+        """
+        if len(args) == 3 and all(isinstance(a, str) for a in args):
+            subject, predicate, obj = args
+            return store.insert_triple(model_name, subject, predicate, obj)
+        if len(args) == 1 and isinstance(args[0], int):
+            return store.reify_triple(model_name, args[0])
+        if (len(args) == 3 and isinstance(args[0], str)
+                and isinstance(args[1], str) and isinstance(args[2], int)):
+            subject, predicate, rdf_t_id = args
+            return store.assert_about(model_name, subject, predicate,
+                                      rdf_t_id)
+        if len(args) == 5 and all(isinstance(a, str) for a in args):
+            reif_sub, reif_prop, subject, predicate, obj = args
+            return store.assert_implied(model_name, reif_sub, reif_prop,
+                                        subject, predicate, obj)
+        raise ReproError(
+            "no SDO_RDF_TRIPLE_S constructor matches arguments "
+            f"({model_name!r}, {', '.join(repr(a) for a in args)})")
+
+    # ------------------------------------------------------------------
+    # member functions
+    # ------------------------------------------------------------------
+
+    def _require_store(self) -> "RDFStore":
+        if self._store is None:
+            raise ReproError(
+                "this SDO_RDF_TRIPLE_S is detached; resolve member "
+                "functions through a store (store.attach(obj))")
+        return self._store
+
+    def get_triple(self) -> SDO_RDF_TRIPLE:
+        """GET_TRIPLE(): the subject/property/object text view."""
+        store = self._require_store()
+        return SDO_RDF_TRIPLE(
+            subject=store.lexical_of(self.rdf_s_id),
+            property=store.lexical_of(self.rdf_p_id),
+            object=store.lexical_of(self.rdf_o_id))
+
+    def get_subject(self) -> str:
+        """GET_SUBJECT(): the subject text."""
+        return self._require_store().lexical_of(self.rdf_s_id)
+
+    def get_property(self) -> str:
+        """GET_PROPERTY(): the predicate text."""
+        return self._require_store().lexical_of(self.rdf_p_id)
+
+    def get_object(self) -> str:
+        """GET_OBJECT(): the object text.
+
+        Returns the full text even for long literals — the CLOB return
+        type of the PL/SQL member function.
+        """
+        return self._require_store().lexical_of(self.rdf_o_id)
+
+    def with_store(self, store: "RDFStore") -> "SDO_RDF_TRIPLE_S":
+        """A copy of this object attached to ``store``."""
+        return SDO_RDF_TRIPLE_S(self.rdf_t_id, self.rdf_m_id,
+                                self.rdf_s_id, self.rdf_p_id,
+                                self.rdf_o_id, store)
+
+    def ids(self) -> tuple[int, int, int, int, int]:
+        """The five stored IDs as a tuple (Figure 6 layout)."""
+        return (self.rdf_t_id, self.rdf_m_id, self.rdf_s_id,
+                self.rdf_p_id, self.rdf_o_id)
+
+    def __str__(self) -> str:
+        return ("SDO_RDF_TRIPLE_S ("
+                f"{self.rdf_t_id}, {self.rdf_m_id}, {self.rdf_s_id}, "
+                f"{self.rdf_p_id}, {self.rdf_o_id})")

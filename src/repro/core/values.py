@@ -1,0 +1,170 @@
+"""The ``rdf_value$`` store: every text value exactly once.
+
+"Each text entry is uniquely stored" (paper section 4) — URIs, blank
+nodes, and literals get one VALUE_ID no matter how many triples, models,
+or application tables mention them.  This is the normalization that lets
+the IC scenario of Figure 2/6 share VALUE_IDs across the CIA, DHS, and
+FBI models.
+
+Long literals (lexical form > 4000 chars) store the full text in
+``LONG_VALUE`` and the indexable 4000-char prefix in ``VALUE_NAME``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.schema import VALUE_TABLE
+from repro.errors import ValueNotFoundError
+from repro.rdf.terms import (
+    LONG_LITERAL_THRESHOLD,
+    Literal,
+    RDFTerm,
+    ValueType,
+    term_from_lexical,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.connection import Database
+
+
+def _decompose(term: RDFTerm) -> tuple[str, str, str | None, str | None,
+                                        str | None]:
+    """Split a term into its rdf_value$ columns.
+
+    Returns (value_name, value_type, literal_type, language_type,
+    long_value).
+    """
+    value_type = term.value_type
+    literal_type = None
+    language_type = None
+    long_value = None
+    lexical = term.lexical
+    if isinstance(term, Literal):
+        if term.datatype is not None:
+            literal_type = term.datatype.value
+        if term.language is not None:
+            language_type = term.language
+        if term.is_long:
+            long_value = lexical
+            lexical = lexical[:LONG_LITERAL_THRESHOLD]
+    return lexical, value_type.value, literal_type, language_type, long_value
+
+
+class ValueStore:
+    """Lookup/insert interface over ``rdf_value$``.
+
+    A small in-process cache keeps the hot term->VALUE_ID mapping out of
+    SQL; it is write-through and safe because VALUE_IDs are immutable
+    once assigned.
+    """
+
+    def __init__(self, database: "Database",
+                 cache_size: int = 100_000) -> None:
+        self._db = database
+        self._cache_size = cache_size
+        self._id_cache: dict[RDFTerm, int] = {}
+        self._term_cache: dict[int, RDFTerm] = {}
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def find_id(self, term: RDFTerm) -> int | None:
+        """The VALUE_ID of ``term``, or None when not yet stored.
+
+        The lookup matches every column of the uniqueness key,
+        LONG_VALUE included — so a short literal never collides with a
+        long literal sharing its 4000-char VALUE_NAME prefix, and two
+        long literals with equal prefixes stay distinct.
+        """
+        cached = self._id_cache.get(term)
+        if cached is not None:
+            return cached
+        name, vtype, ltype, lang, long_value = _decompose(term)
+        row = self._db.query_one(
+            f'SELECT value_id FROM "{VALUE_TABLE}" '
+            "WHERE value_name = ? AND value_type = ? "
+            "AND IFNULL(literal_type, '') = ? "
+            "AND IFNULL(language_type, '') = ? "
+            "AND IFNULL(long_value, '') = ?",
+            (name, vtype, ltype or "", lang or "", long_value or ""))
+        if row is None:
+            return None
+        value_id = int(row["value_id"])
+        self._remember(term, value_id)
+        return value_id
+
+    def lookup_or_insert(self, term: RDFTerm) -> int:
+        """The VALUE_ID of ``term``, inserting a new row if needed.
+
+        This is the section 4.1 step: "the rdf_value$ table is checked to
+        determine if the text values already exist ... if not found, they
+        are inserted and assigned new VALUE_IDs".
+        """
+        existing = self.find_id(term)
+        if existing is not None:
+            return existing
+        name, vtype, ltype, lang, long_value = _decompose(term)
+        cursor = self._db.execute(
+            f'INSERT INTO "{VALUE_TABLE}" '
+            "(value_name, value_type, literal_type, language_type,"
+            " long_value) VALUES (?, ?, ?, ?, ?)",
+            (name, vtype, ltype, lang, long_value))
+        value_id = int(cursor.lastrowid)
+        self._remember(term, value_id)
+        return value_id
+
+    def get_term(self, value_id: int) -> RDFTerm:
+        """Rebuild the term stored under ``value_id``.
+
+        Raises :class:`repro.errors.ValueNotFoundError` for unknown IDs.
+        """
+        cached = self._term_cache.get(value_id)
+        if cached is not None:
+            return cached
+        row = self._db.query_one(
+            f'SELECT * FROM "{VALUE_TABLE}" WHERE value_id = ?',
+            (value_id,))
+        if row is None:
+            raise ValueNotFoundError(value_id)
+        lexical = row["long_value"] if row["long_value"] is not None \
+            else row["value_name"]
+        term = term_from_lexical(
+            lexical, ValueType(row["value_type"]),
+            literal_type=row["literal_type"],
+            language_type=row["language_type"])
+        self._remember(term, value_id)
+        return term
+
+    def get_lexical(self, value_id: int) -> str:
+        """The lexical form stored under ``value_id`` (VALUE_NAME or
+        LONG_VALUE)."""
+        row = self._db.query_one(
+            f'SELECT value_name, long_value FROM "{VALUE_TABLE}" '
+            "WHERE value_id = ?", (value_id,))
+        if row is None:
+            raise ValueNotFoundError(value_id)
+        if row["long_value"] is not None:
+            return row["long_value"]
+        return row["value_name"]
+
+    def count(self) -> int:
+        """Number of distinct stored values."""
+        return self._db.row_count(VALUE_TABLE)
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+
+    def _remember(self, term: RDFTerm, value_id: int) -> None:
+        if len(self._id_cache) >= self._cache_size:
+            self._id_cache.clear()
+            self._term_cache.clear()
+        self._id_cache[term] = value_id
+        self._term_cache[value_id] = term
+
+    def invalidate_cache(self) -> None:
+        """Drop the in-process caches (after bulk deletes)."""
+        self._id_cache.clear()
+        self._term_cache.clear()

@@ -1,0 +1,30 @@
+"""Database engine substrate.
+
+The paper's system lives inside Oracle 10g; this subpackage is the
+substitute engine layer built on stdlib SQLite:
+
+* :class:`repro.db.connection.Database` — connection/transaction wrapper
+  with the conveniences the rest of the library relies on;
+* :mod:`repro.db.dburi` — Oracle XML DB *DBUri* emulation, the direct
+  row-pointer URIs the streamlined reification scheme uses;
+* :mod:`repro.db.indexes` — "function-based index" emulation (SQLite
+  expression indexes) used by the performance section;
+* :mod:`repro.db.storage` — storage accounting (row and byte counts) for
+  the reification storage experiment.
+"""
+
+from repro.db.connection import Database
+from repro.db.dburi import DBUri, DBUriType, is_dburi
+from repro.db.indexes import FunctionBasedIndex, create_function_based_index
+from repro.db.storage import StorageReport, table_storage
+
+__all__ = [
+    "DBUri",
+    "DBUriType",
+    "Database",
+    "FunctionBasedIndex",
+    "StorageReport",
+    "create_function_based_index",
+    "is_dburi",
+    "table_storage",
+]

@@ -1,0 +1,207 @@
+"""The :class:`Database` engine wrapper.
+
+One :class:`Database` instance stands for one Oracle database instance in
+the paper: it hosts the central MDSYS-like RDF schema, every user
+application table, the Jena2 baseline tables, the NDM catalog, rulebases,
+and rules indexes.  It wraps a single ``sqlite3`` connection (file-backed
+or in-memory) and adds:
+
+* explicit transaction scoping via :meth:`transaction`;
+* small query helpers (:meth:`query_one`, :meth:`query_value`,
+  :meth:`query_all`) so call sites stay readable;
+* schema introspection used by views, indexes, and storage accounting.
+
+SQLite is a faithful stand-in here: every schema object the paper uses
+(tables, views, sequences via AUTOINCREMENT-style counters, expression
+indexes) maps one-to-one.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import StorageError
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def quote_identifier(name: str) -> str:
+    """Quote ``name`` for use as an SQL identifier.
+
+    The central-schema tables use Oracle's ``$`` suffix (``rdf_link$``)
+    which SQLite accepts when quoted.
+    """
+    if not _IDENTIFIER_RE.match(name):
+        raise StorageError(f"illegal SQL identifier: {name!r}")
+    return f'"{name}"'
+
+
+class Database:
+    """A single database instance hosting the whole RDF universe.
+
+    :param path: filesystem path for the database file, or ``":memory:"``
+        (the default) for an in-memory instance — ideal for tests and
+        benchmarks.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._path = str(path)
+        self._connection = sqlite3.connect(self._path)
+        self._connection.row_factory = sqlite3.Row
+        # The store manages transactions explicitly via transaction().
+        self._connection.isolation_level = None
+        self._in_transaction = 0
+        cursor = self._connection.cursor()
+        cursor.execute("PRAGMA foreign_keys = ON")
+        cursor.execute("PRAGMA journal_mode = MEMORY")
+        cursor.execute("PRAGMA synchronous = OFF")
+        cursor.close()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The raw sqlite3 connection (escape hatch for power users)."""
+        return self._connection
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str,
+                parameters: Sequence[Any] = ()) -> sqlite3.Cursor:
+        """Execute one statement and return its cursor."""
+        try:
+            return self._connection.execute(sql, parameters)
+        except sqlite3.Error as exc:
+            raise StorageError(f"{exc} while executing: {sql}") from exc
+
+    def executemany(self, sql: str,
+                    parameter_rows: Iterable[Sequence[Any]]
+                    ) -> sqlite3.Cursor:
+        """Execute one statement for many parameter rows."""
+        try:
+            return self._connection.executemany(sql, parameter_rows)
+        except sqlite3.Error as exc:
+            raise StorageError(f"{exc} while executing: {sql}") from exc
+
+    def executescript(self, script: str) -> None:
+        """Execute a multi-statement DDL script."""
+        try:
+            self._connection.executescript(script)
+        except sqlite3.Error as exc:
+            raise StorageError(f"{exc} while executing script") from exc
+
+    # ------------------------------------------------------------------
+    # query helpers
+    # ------------------------------------------------------------------
+
+    def query_all(self, sql: str,
+                  parameters: Sequence[Any] = ()) -> list[sqlite3.Row]:
+        """All rows of a query."""
+        return self.execute(sql, parameters).fetchall()
+
+    def query_one(self, sql: str,
+                  parameters: Sequence[Any] = ()) -> sqlite3.Row | None:
+        """The first row of a query, or None."""
+        return self.execute(sql, parameters).fetchone()
+
+    def query_value(self, sql: str,
+                    parameters: Sequence[Any] = (),
+                    default: Any = None) -> Any:
+        """The first column of the first row, or ``default``."""
+        row = self.query_one(sql, parameters)
+        if row is None:
+            return default
+        return row[0]
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """A transaction scope; nested scopes join the outer transaction.
+
+        Commits on normal exit of the outermost scope, rolls back if any
+        scope raises.
+        """
+        if self._in_transaction:
+            self._in_transaction += 1
+            try:
+                yield
+            finally:
+                self._in_transaction -= 1
+            return
+        self._in_transaction = 1
+        self.execute("BEGIN")
+        try:
+            yield
+        except BaseException:
+            self.execute("ROLLBACK")
+            raise
+        finally:
+            self._in_transaction = 0
+        self.execute("COMMIT")
+
+    # ------------------------------------------------------------------
+    # schema introspection
+    # ------------------------------------------------------------------
+
+    def table_exists(self, name: str) -> bool:
+        """True when a table or view called ``name`` exists."""
+        return self.query_one(
+            "SELECT 1 FROM sqlite_master "
+            "WHERE type IN ('table', 'view') AND name = ?",
+            (name,)) is not None
+
+    def index_exists(self, name: str) -> bool:
+        """True when an index called ``name`` exists."""
+        return self.query_one(
+            "SELECT 1 FROM sqlite_master WHERE type = 'index' AND name = ?",
+            (name,)) is not None
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table if it exists."""
+        self.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
+
+    def drop_view(self, name: str) -> None:
+        """Drop a view if it exists."""
+        self.execute(f"DROP VIEW IF EXISTS {quote_identifier(name)}")
+
+    def table_columns(self, name: str) -> list[str]:
+        """Column names of ``name`` in declaration order."""
+        rows = self.query_all(
+            f"PRAGMA table_info({quote_identifier(name)})")
+        if not rows:
+            raise StorageError(f"no such table: {name}")
+        return [row["name"] for row in rows]
+
+    def row_count(self, name: str) -> int:
+        """Number of rows in table ``name``."""
+        return int(self.query_value(
+            f"SELECT COUNT(*) FROM {quote_identifier(name)}", default=0))
+
+    def analyze(self) -> None:
+        """Refresh the query planner's statistics (SQL ``ANALYZE``).
+
+        Worth running after bulk loads so index selectivity estimates
+        match the data; the bulk loader calls this automatically.
+        """
+        self.execute("ANALYZE")

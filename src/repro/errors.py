@@ -1,0 +1,129 @@
+"""Exception hierarchy for the repro RDF store.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one type at an API boundary.  The sub-hierarchy
+mirrors the subsystems: term/syntax problems, storage problems, model
+management problems, reification problems, and query/inference problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TermError(ReproError, ValueError):
+    """An RDF term is malformed (bad URI, bad literal, bad blank node)."""
+
+
+class ParseError(ReproError, ValueError):
+    """A serialized RDF document or query string could not be parsed.
+
+    Carries optional position information for error reporting.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (
+                f", column {column})" if column is not None else ")")
+        super().__init__(message + location)
+
+
+class StorageError(ReproError):
+    """A low-level database storage operation failed."""
+
+
+class SchemaError(StorageError):
+    """The central schema is missing or inconsistent."""
+
+
+class ModelError(ReproError):
+    """An RDF model (graph) operation failed."""
+
+
+class ModelNotFoundError(ModelError, LookupError):
+    """The named RDF model does not exist in the database."""
+
+    def __init__(self, model_name: str) -> None:
+        self.model_name = model_name
+        super().__init__(f"RDF model {model_name!r} does not exist")
+
+
+class ModelExistsError(ModelError):
+    """An RDF model with this name already exists."""
+
+    def __init__(self, model_name: str) -> None:
+        self.model_name = model_name
+        super().__init__(f"RDF model {model_name!r} already exists")
+
+
+class TripleNotFoundError(ReproError, LookupError):
+    """A triple referenced by ID does not exist in rdf_link$."""
+
+    def __init__(self, link_id: int) -> None:
+        self.link_id = link_id
+        super().__init__(f"no triple with LINK_ID={link_id} in rdf_link$")
+
+
+class ValueNotFoundError(ReproError, LookupError):
+    """A text value referenced by ID does not exist in rdf_value$."""
+
+    def __init__(self, value_id: int) -> None:
+        self.value_id = value_id
+        super().__init__(f"no value with VALUE_ID={value_id} in rdf_value$")
+
+
+class ReificationError(ReproError):
+    """A reification operation failed (bad DBUri, incomplete quad, ...)."""
+
+
+class DBUriError(ReificationError, ValueError):
+    """A DBUri string is malformed or does not resolve to a row."""
+
+
+class IncompleteQuadError(ReificationError):
+    """A reification quad is missing one or more of its four statements."""
+
+    def __init__(self, resource: str, missing: list[str]) -> None:
+        self.resource = resource
+        self.missing = list(missing)
+        super().__init__(
+            f"incomplete reification quad for {resource!r}: "
+            f"missing {', '.join(sorted(self.missing))}")
+
+
+class QueryError(ReproError):
+    """An SDO_RDF_MATCH query is malformed or cannot be evaluated."""
+
+
+class RulebaseError(ReproError):
+    """A rulebase operation failed (unknown rulebase, bad rule syntax)."""
+
+
+class RulebaseNotFoundError(RulebaseError, LookupError):
+    """The named rulebase does not exist."""
+
+    def __init__(self, rulebase_name: str) -> None:
+        self.rulebase_name = rulebase_name
+        super().__init__(f"rulebase {rulebase_name!r} does not exist")
+
+
+class RulesIndexError(RulebaseError):
+    """A rules-index operation failed (unknown index, stale index)."""
+
+
+class NetworkError(ReproError):
+    """An NDM logical-network operation failed."""
+
+
+class NetworkNotFoundError(NetworkError, LookupError):
+    """The named logical network does not exist in the NDM catalog."""
+
+    def __init__(self, network_name: str) -> None:
+        self.network_name = network_name
+        super().__init__(f"NDM network {network_name!r} does not exist")

@@ -1,0 +1,44 @@
+"""Query and inference: rulebases, rules indexes, and SDO_RDF_MATCH.
+
+Mirrors the paper's section 6 and the ``SDO_RDF_INFERENCE`` PL/SQL
+package:
+
+* :mod:`repro.inference.patterns` — the SPARQL-like triple-pattern
+  language shared by queries and rules (``'(?x gov:terrorAction
+  "bombing")'``);
+* :mod:`repro.inference.rulebase` — ``CREATE_RULEBASE`` and the
+  ``rdfr_<rulebase>`` rule tables;
+* :mod:`repro.inference.rdfs_rules` — the Oracle-supplied RDFS rulebase
+  (W3C RDFS entailment rules);
+* :mod:`repro.inference.rules_index` — ``CREATE_RULES_INDEX``:
+  pre-computing inferrable triples by forward chaining to fixpoint;
+* :mod:`repro.inference.match` — the ``SDO_RDF_MATCH`` table function;
+* :mod:`repro.inference.sdo_rdf_inference` — the package facade.
+"""
+
+from repro.inference.patterns import (
+    TriplePattern,
+    Variable,
+    parse_pattern_list,
+)
+from repro.inference.rulebase import Rule, Rulebase, RulebaseManager
+from repro.inference.rdfs_rules import RDFS_RULEBASE_NAME, rdfs_rules
+from repro.inference.rules_index import RulesIndex, RulesIndexManager
+from repro.inference.match import MatchRow, sdo_rdf_match
+from repro.inference.sdo_rdf_inference import SDO_RDF_INFERENCE
+
+__all__ = [
+    "MatchRow",
+    "RDFS_RULEBASE_NAME",
+    "Rule",
+    "Rulebase",
+    "RulebaseManager",
+    "RulesIndex",
+    "RulesIndexManager",
+    "SDO_RDF_INFERENCE",
+    "TriplePattern",
+    "Variable",
+    "parse_pattern_list",
+    "rdfs_rules",
+    "sdo_rdf_match",
+]

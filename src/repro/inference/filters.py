@@ -1,0 +1,214 @@
+"""Filter expressions for rules and SDO_RDF_MATCH.
+
+Oracle's rule filter and the match function's ``filter`` argument are
+small SQL-ish predicates over the bound variables.  The supported
+grammar here::
+
+    expr     := clause (AND clause | OR clause)*
+    clause   := operand op operand
+    op       := = | != | < | <= | > | >= | LIKE
+    operand  := variable | "string" | number
+
+``AND`` binds tighter than ``OR``.  Comparisons are numeric when both
+sides canonicalise to numbers, string otherwise; ``LIKE`` supports the
+SQL ``%`` and ``_`` wildcards.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import QueryError
+from repro.rdf.terms import Literal, RDFTerm
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<string>\"(?:[^\"\\]|\\.)*\")"
+    r"|(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<op><=|>=|!=|<>|=|<|>)"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<lparen>\()"
+    r"|(?P<rparen>\))"
+    r"|(?P<var>\?[A-Za-z_][A-Za-z0-9_]*))")
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """One ``operand op operand`` clause."""
+
+    left: Union[str, float, "_Var"]
+    op: str
+    right: Union[str, float, "_Var"]
+
+    def evaluate(self, bindings: dict[str, RDFTerm]) -> bool:
+        left = _resolve_operand(self.left, bindings)
+        right = _resolve_operand(self.right, bindings)
+        if left is None or right is None:
+            return False
+        left, right = _coerce_pair(left, right)
+        if self.op == "=":
+            return left == right
+        if self.op in ("!=", "<>"):
+            return left != right
+        if self.op == "<":
+            return left < right
+        if self.op == "<=":
+            return left <= right
+        if self.op == ">":
+            return left > right
+        if self.op == ">=":
+            return left >= right
+        if self.op == "LIKE":
+            return _like(str(left), str(right))
+        raise QueryError(f"unknown operator {self.op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class _Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class FilterExpression:
+    """A disjunction of conjunctions of comparisons (OR of ANDs)."""
+
+    disjuncts: tuple[tuple[Comparison, ...], ...]
+
+    def evaluate(self, bindings: dict[str, RDFTerm]) -> bool:
+        return any(all(clause.evaluate(bindings) for clause in conjunct)
+                   for conjunct in self.disjuncts)
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for conjunct in self.disjuncts:
+            for clause in conjunct:
+                for operand in (clause.left, clause.right):
+                    if isinstance(operand, _Var):
+                        names.add(operand.name)
+        return names
+
+
+def parse_filter(text: str) -> FilterExpression:
+    """Parse a filter expression; raises QueryError on bad syntax."""
+    tokens = _tokenize(text)
+    parser = _Parser(tokens, text)
+    expression = parser.parse_expression()
+    if not parser.at_end():
+        raise QueryError(f"trailing tokens in filter {text!r}")
+    return expression
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QueryError(f"bad filter syntax near {remainder!r}")
+        position = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._position = 0
+
+    def at_end(self) -> bool:
+        return self._position >= len(self._tokens)
+
+    def _peek(self) -> tuple[str, str] | None:
+        if self.at_end():
+            return None
+        return self._tokens[self._position]
+
+    def _next(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise QueryError(
+                f"unexpected end of filter {self._source!r}")
+        self._position += 1
+        return token
+
+    def parse_expression(self) -> FilterExpression:
+        disjuncts = [self._parse_conjunct()]
+        while True:
+            token = self._peek()
+            if token is None or token[1].upper() != "OR":
+                break
+            self._next()
+            disjuncts.append(self._parse_conjunct())
+        return FilterExpression(tuple(disjuncts))
+
+    def _parse_conjunct(self) -> tuple[Comparison, ...]:
+        clauses = [self._parse_comparison()]
+        while True:
+            token = self._peek()
+            if token is None or token[1].upper() != "AND":
+                break
+            self._next()
+            clauses.append(self._parse_comparison())
+        return tuple(clauses)
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_operand()
+        kind, value = self._next()
+        if kind == "word" and value.upper() == "LIKE":
+            op = "LIKE"
+        elif kind == "op":
+            op = value
+        else:
+            raise QueryError(
+                f"expected operator, got {value!r} in {self._source!r}")
+        right = self._parse_operand()
+        return Comparison(left, op, right)
+
+    def _parse_operand(self) -> Union[str, float, _Var]:
+        kind, value = self._next()
+        if kind == "var":
+            return _Var(value[1:])
+        if kind == "word":
+            # Bare words act as variable references (Oracle column style).
+            return _Var(value)
+        if kind == "string":
+            return _unquote(value)
+        if kind == "number":
+            return float(value)
+        raise QueryError(
+            f"expected operand, got {value!r} in {self._source!r}")
+
+
+def _unquote(token: str) -> str:
+    return token[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _resolve_operand(operand, bindings: dict[str, RDFTerm]):
+    if isinstance(operand, _Var):
+        term = bindings.get(operand.name)
+        if term is None:
+            return None
+        if isinstance(term, Literal):
+            return term.lexical_form
+        return term.lexical
+    return operand
+
+
+def _coerce_pair(left, right):
+    """Coerce both sides to float when both look numeric."""
+    try:
+        return float(left), float(right)
+    except (TypeError, ValueError):
+        return str(left), str(right)
+
+
+def _like(value: str, pattern: str) -> bool:
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, value) is not None

@@ -1,0 +1,240 @@
+"""SDO_RDF_MATCH: the SQL-based RDF querying scheme.
+
+The paper's table function (section 6.1)::
+
+    SDO_RDF_MATCH(query, models, rulebases, aliases, filter)
+        RETURN ANYDATASET
+
+``query`` is a list of triple patterns; ``models`` the graphs to search;
+``rulebases`` the inference rules whose pre-computed rules index extends
+the data; ``aliases`` the namespace abbreviations; ``filter`` a
+predicate over the variables.  The result is a table whose columns are
+the query variables.
+
+Evaluation follows the Chong et al. scheme the paper cites: each triple
+pattern becomes a self-join over the triples dataset, executed as one
+SQL statement against ``rdf_link$`` (UNION the ``rdf_inferred$`` rows of
+a covering rules index when rulebases are given).  Joins happen on
+VALUE_IDs; lexical forms are resolved only for the final projection.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.schema import LINK_TABLE
+from repro.errors import QueryError, RulesIndexError
+from repro.inference.filters import FilterExpression, parse_filter
+from repro.inference.patterns import (
+    TriplePattern,
+    Variable,
+    parse_pattern_list,
+)
+from repro.inference.rules_index import INFERRED_TABLE, RulesIndexManager
+from repro.rdf.namespaces import AliasSet
+from repro.rdf.terms import RDFTerm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+
+class MatchRow:
+    """One result row: variable name -> value.
+
+    Supports both mapping access (``row["name"]``) and attribute access
+    (``row.name``), mirroring the SQL column style of the paper's
+    Figure 8 (``a.name``).  Values are lexical strings; the full terms
+    are available via :meth:`term`.
+    """
+
+    def __init__(self, terms: dict[str, RDFTerm]) -> None:
+        self._terms = terms
+
+    def term(self, name: str) -> RDFTerm:
+        """The bound RDF term for a variable."""
+        return self._terms[name]
+
+    def __getitem__(self, name: str) -> str:
+        return self._terms[name].lexical
+
+    def __getattr__(self, name: str) -> str:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            return self._terms[name].lexical
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def keys(self) -> list[str]:
+        return list(self._terms)
+
+    def as_dict(self) -> dict[str, str]:
+        return {name: term.lexical for name, term in self._terms.items()}
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MatchRow):
+            return self._terms == other._terms
+        if isinstance(other, dict):
+            return self.as_dict() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v.lexical!r}"
+                          for k, v in self._terms.items())
+        return f"MatchRow({inner})"
+
+
+def sdo_rdf_match(store: "RDFStore", query: str,
+                  models: Sequence[str],
+                  rulebases: Sequence[str] = (),
+                  aliases: AliasSet | None = None,
+                  filter: str | None = None,
+                  order_by: str | None = None,
+                  limit: int | None = None) -> list[MatchRow]:
+    """Evaluate an SDO_RDF_MATCH query.
+
+    :param store: the RDF store.
+    :param query: the triple-pattern list, e.g.
+        ``'(gov:files gov:terrorSuspect ?name)'``.
+    :param models: model names to search (``SDO_RDF_MODELS``).
+    :param rulebases: rulebase names (``SDO_RDF_RULEBASES``); requires a
+        covering rules index to have been created, as in Oracle.
+    :param aliases: namespace aliases (``SDO_RDF_ALIASES``).
+    :param filter: optional filter predicate over the variables.
+    :param order_by: optional variable name (with or without the
+        leading ``?``) to sort the rows by, lexically — the Python
+        convenience for the ORDER BY the paper wraps around the table
+        function in SQL.
+    :param limit: optional maximum number of rows, applied after
+        filtering and ordering.
+    """
+    if not models:
+        raise QueryError("SDO_RDF_MATCH requires at least one model")
+    if limit is not None and limit < 0:
+        raise QueryError(f"limit must be >= 0, got {limit}")
+    aliases = aliases or AliasSet()
+    patterns = parse_pattern_list(query, aliases)
+    filter_expression = parse_filter(filter) if filter else None
+    _check_filter_variables(filter_expression, patterns, filter)
+    bound = set().union(*(p.variables() for p in patterns))
+    if order_by is not None:
+        order_by = order_by.lstrip("?")
+        if order_by not in bound:
+            raise QueryError(
+                f"order_by variable {order_by!r} is not bound by the "
+                "query")
+    compiled = _compile(store, patterns, models, rulebases)
+    if compiled is None:
+        return []
+    sql, params, projection = compiled
+    rows: list[MatchRow] = []
+    for row in store.database.execute(sql, params):
+        terms = {name: store.values.get_term(row[index])
+                 for name, index in projection.items()}
+        match_row = MatchRow(terms)
+        if filter_expression is not None and not filter_expression.evaluate(
+                dict(match_row._terms)):
+            continue
+        rows.append(match_row)
+    if order_by is not None:
+        rows.sort(key=lambda match_row: match_row[order_by])
+    if limit is not None:
+        rows = rows[:limit]
+    return rows
+
+
+def ask(store: "RDFStore", query: str, models: Sequence[str],
+        rulebases: Sequence[str] = (),
+        aliases: AliasSet | None = None) -> bool:
+    """Existence form: does the (possibly ground) pattern match at all?"""
+    return bool(sdo_rdf_match(store, query, models, rulebases=rulebases,
+                              aliases=aliases))
+
+
+def _check_filter_variables(filter_expression: FilterExpression | None,
+                            patterns: list[TriplePattern],
+                            filter_text: str | None) -> None:
+    if filter_expression is None:
+        return
+    bound = set().union(*(p.variables() for p in patterns))
+    unknown = filter_expression.variables() - bound
+    if unknown:
+        raise QueryError(
+            f"filter {filter_text!r} references unbound variables "
+            f"{sorted(unknown)}")
+
+
+def _dataset_sql(store: "RDFStore", models: Sequence[str],
+                 rulebases: Sequence[str]) -> tuple[str, list]:
+    """The (sql, params) of the triples dataset subquery."""
+    model_ids = [store.models.get(name).model_id for name in models]
+    placeholders = ", ".join("?" for _ in model_ids)
+    sql = (f'SELECT start_node_id AS s, p_value_id AS p, '
+           f'end_node_id AS o FROM "{LINK_TABLE}" '
+           f"WHERE model_id IN ({placeholders})")
+    params: list = list(model_ids)
+    if rulebases:
+        index = RulesIndexManager(store).find_covering(models, rulebases)
+        if index is None:
+            raise RulesIndexError(
+                "no rules index covers models "
+                f"{list(models)} with rulebases {list(rulebases)}; "
+                "run CREATE_RULES_INDEX first")
+        sql += (f' UNION SELECT s_id AS s, p_id AS p, o_id AS o '
+                f'FROM "{INFERRED_TABLE}" WHERE index_name = ?')
+        params.append(index.index_name)
+    return sql, params
+
+
+def _compile(store: "RDFStore", patterns: list[TriplePattern],
+             models: Sequence[str], rulebases: Sequence[str]
+             ) -> tuple[str, list, dict[str, int]] | None:
+    """Compile patterns into one self-join SQL statement.
+
+    Returns (sql, params, projection) where ``projection`` maps variable
+    names to result-column indexes — or None when a constant component
+    has no VALUE_ID, in which case nothing can match.
+    """
+    dataset_sql, dataset_params = _dataset_sql(store, models, rulebases)
+    select_columns: list[str] = []
+    projection: dict[str, int] = {}
+    joins: list[str] = []
+    where_clauses: list[str] = []
+    params: list = []
+    first_occurrence: dict[str, str] = {}
+    constant_conditions: list[tuple[str, int]] = []
+    for index, pattern in enumerate(patterns):
+        alias = f"t{index}"
+        joins.append(f"({dataset_sql}) {alias}")
+        params.extend(dataset_params)
+        for column, component in zip(("s", "p", "o"),
+                                     pattern.components()):
+            qualified = f"{alias}.{column}"
+            if isinstance(component, Variable):
+                name = component.name
+                if name in first_occurrence:
+                    where_clauses.append(
+                        f"{qualified} = {first_occurrence[name]}")
+                else:
+                    first_occurrence[name] = qualified
+                    projection[name] = len(select_columns)
+                    select_columns.append(qualified)
+            else:
+                value_id = store.values.find_id(component)
+                if value_id is None:
+                    return None
+                constant_conditions.append((qualified, value_id))
+    for qualified, value_id in constant_conditions:
+        where_clauses.append(f"{qualified} = ?")
+        params.append(value_id)
+    if not select_columns:
+        # Fully ground query: pure existence check.
+        select_columns = ["1"]
+    sql = (f"SELECT DISTINCT {', '.join(select_columns)} FROM "
+           + ", ".join(joins))
+    if where_clauses:
+        sql += " WHERE " + " AND ".join(where_clauses)
+    return sql, params, projection

@@ -1,0 +1,178 @@
+"""The triple-pattern language of SDO_RDF_MATCH and rulebases.
+
+The paper's queries and rules write graph patterns as parenthesised
+triples with ``?var`` variables::
+
+    (gov:files gov:terrorSuspect ?name)
+    (?x gov:terrorAction "bombing") (?x rdf:type gov:Person)
+
+A pattern component is a variable, a URI / prefixed name, or a literal.
+Prefixed names are expanded through the supplied
+:class:`repro.rdf.namespaces.AliasSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import QueryError
+from repro.rdf.namespaces import AliasSet
+from repro.rdf.terms import RDFTerm, TermError, parse_term_text
+from repro.rdf.triple import Triple
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A query variable ``?name``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise QueryError(f"illegal variable name {self.name!r}")
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+PatternComponent = Union[Variable, RDFTerm]
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """One parenthesised triple pattern."""
+
+    subject: PatternComponent
+    predicate: PatternComponent
+    object: PatternComponent
+
+    def components(self) -> Iterator[PatternComponent]:
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def variables(self) -> set[str]:
+        """Names of the variables this pattern binds."""
+        return {component.name for component in self.components()
+                if isinstance(component, Variable)}
+
+    def is_ground(self) -> bool:
+        """True when the pattern has no variables."""
+        return not self.variables()
+
+    def substitute(self, bindings: dict[str, RDFTerm]) -> Triple:
+        """Instantiate the pattern under ``bindings`` into a triple.
+
+        All variables must be bound; raises QueryError otherwise.
+        """
+        resolved = []
+        for component in self.components():
+            if isinstance(component, Variable):
+                term = bindings.get(component.name)
+                if term is None:
+                    raise QueryError(
+                        f"unbound variable {component} in consequent")
+                resolved.append(term)
+            else:
+                resolved.append(component)
+        subject, predicate, obj = resolved
+        try:
+            return Triple(subject, predicate, obj)  # type: ignore[arg-type]
+        except TermError as exc:
+            raise QueryError(str(exc)) from exc
+
+    def __str__(self) -> str:
+        return f"({self.subject} {self.predicate} {self.object})"
+
+
+def parse_pattern_list(text: str,
+                       aliases: AliasSet | None = None
+                       ) -> list[TriplePattern]:
+    """Parse a whitespace-separated list of parenthesised patterns."""
+    if aliases is None:
+        aliases = AliasSet()
+    groups = _split_groups(text)
+    if not groups:
+        raise QueryError(f"no triple patterns in {text!r}")
+    return [_parse_group(group, aliases) for group in groups]
+
+
+def _split_groups(text: str) -> list[str]:
+    """Split ``(a b c) (d e f)`` into the parenthesised groups."""
+    groups: list[str] = []
+    depth = 0
+    start = -1
+    in_string = False
+    for index, ch in enumerate(text):
+        if in_string:
+            if ch == '"' and text[index - 1] != "\\":
+                in_string = False
+            continue
+        if ch == '"':
+            in_string = True
+        elif ch == "(":
+            if depth == 0:
+                start = index
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryError(f"unbalanced ')' in {text!r}")
+            if depth == 0:
+                groups.append(text[start + 1:index])
+        elif depth == 0 and not ch.isspace():
+            raise QueryError(
+                f"unexpected {ch!r} outside parentheses in {text!r}")
+    if depth != 0:
+        raise QueryError(f"unbalanced '(' in {text!r}")
+    return groups
+
+
+def _parse_group(group: str, aliases: AliasSet) -> TriplePattern:
+    tokens = _tokenize(group)
+    if len(tokens) != 3:
+        raise QueryError(
+            f"a triple pattern needs 3 components, got {len(tokens)} "
+            f"in ({group})")
+    subject, predicate, obj = (
+        _parse_component(token, aliases) for token in tokens)
+    return TriplePattern(subject, predicate, obj)
+
+
+def _tokenize(group: str) -> list[str]:
+    """Whitespace tokenizer that keeps quoted literals whole."""
+    tokens: list[str] = []
+    current: list[str] = []
+    in_string = False
+    for ch in group:
+        if in_string:
+            current.append(ch)
+            if ch == '"' and (len(current) < 2 or current[-2] != "\\"):
+                in_string = False
+            continue
+        if ch == '"':
+            current.append(ch)
+            in_string = True
+        elif ch.isspace():
+            if current:
+                tokens.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+    if in_string:
+        raise QueryError(f"unterminated literal in ({group})")
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+def _parse_component(token: str, aliases: AliasSet) -> PatternComponent:
+    if token.startswith("?"):
+        return Variable(token[1:])
+    expanded = aliases.expand(token)
+    try:
+        return parse_term_text(expanded)
+    except TermError as exc:
+        raise QueryError(
+            f"bad pattern component {token!r}: {exc}") from exc

@@ -1,0 +1,98 @@
+"""The Oracle-supplied RDFS rulebase.
+
+"The RDFS rulebase is Oracle-supplied.  It implements the RDFS
+entailment rules, described in W3C" (paper section 6.1, note).  The
+rules below are the standard entailment patterns of the RDF Semantics
+recommendation, expressed in the same pattern language as user rules so
+one forward-chaining engine serves both.
+
+The axiomatic rules rdfs4a/rdfs4b (everything is an ``rdfs:Resource``)
+are available behind ``include_axiomatic=True`` but excluded by default:
+they inflate every closure with one triple per node and are rarely
+wanted — Oracle's implementation similarly omits unconditional axiomatic
+triples from the rules index.
+"""
+
+from __future__ import annotations
+
+from repro.inference.rulebase import Rule
+from repro.rdf.namespaces import AliasSet
+
+#: The reserved name of the built-in rulebase, as used in the paper:
+#: ``SDO_RDF_RULEBASES('RDFS', 'intel_rb')``.
+RDFS_RULEBASE_NAME = "RDFS"
+
+_RULES: list[tuple[str, str, str]] = [
+    # rdf1: every predicate is a property.
+    ("rdf1",
+     "(?u ?a ?y)",
+     "(?a rdf:type rdf:Property)"),
+    # rdfs2: domain.
+    ("rdfs2",
+     "(?a rdfs:domain ?x) (?u ?a ?y)",
+     "(?u rdf:type ?x)"),
+    # rdfs3: range.
+    ("rdfs3",
+     "(?a rdfs:range ?x) (?u ?a ?v)",
+     "(?v rdf:type ?x)"),
+    # rdfs5: subPropertyOf transitivity.
+    ("rdfs5",
+     "(?u rdfs:subPropertyOf ?v) (?v rdfs:subPropertyOf ?x)",
+     "(?u rdfs:subPropertyOf ?x)"),
+    # rdfs6: property reflexivity.
+    ("rdfs6",
+     "(?u rdf:type rdf:Property)",
+     "(?u rdfs:subPropertyOf ?u)"),
+    # rdfs7: subPropertyOf inheritance.
+    ("rdfs7",
+     "(?a rdfs:subPropertyOf ?b) (?u ?a ?y)",
+     "(?u ?b ?y)"),
+    # rdfs8: classes are subclasses of Resource.
+    ("rdfs8",
+     "(?u rdf:type rdfs:Class)",
+     "(?u rdfs:subClassOf rdfs:Resource)"),
+    # rdfs9: subClassOf inheritance.
+    ("rdfs9",
+     "(?u rdfs:subClassOf ?x) (?v rdf:type ?u)",
+     "(?v rdf:type ?x)"),
+    # rdfs10: class reflexivity.
+    ("rdfs10",
+     "(?u rdf:type rdfs:Class)",
+     "(?u rdfs:subClassOf ?u)"),
+    # rdfs11: subClassOf transitivity.
+    ("rdfs11",
+     "(?u rdfs:subClassOf ?v) (?v rdfs:subClassOf ?x)",
+     "(?u rdfs:subClassOf ?x)"),
+    # rdfs12: container membership properties.
+    ("rdfs12",
+     "(?u rdf:type rdfs:ContainerMembershipProperty)",
+     "(?u rdfs:subPropertyOf rdfs:member)"),
+    # rdfs13: datatypes are classes.
+    ("rdfs13",
+     "(?u rdf:type rdfs:Datatype)",
+     "(?u rdfs:subClassOf rdfs:Literal)"),
+]
+
+_AXIOMATIC_RULES: list[tuple[str, str, str]] = [
+    # rdfs4a / rdfs4b: everything is a resource.
+    ("rdfs4a",
+     "(?u ?a ?x)",
+     "(?u rdf:type rdfs:Resource)"),
+    ("rdfs4b",
+     "(?u ?a ?v)",
+     "(?v rdf:type rdfs:Resource)"),
+]
+
+
+def rdfs_rules(include_axiomatic: bool = False) -> list[Rule]:
+    """The parsed RDFS entailment rules.
+
+    rdfs3 and rdfs4b can derive triples whose subject would be a
+    literal; the engine silently drops such malformed consequents (see
+    :func:`repro.inference.rules_index.forward_closure`), matching the
+    "no literal subjects" constraint of RDF abstract syntax.
+    """
+    aliases = AliasSet()
+    source = _RULES + (_AXIOMATIC_RULES if include_axiomatic else [])
+    return [Rule.parse(name, antecedents, None, consequents, aliases)
+            for name, antecedents, consequents in source]

@@ -1,0 +1,267 @@
+"""Rulebases: user-defined inference rules.
+
+``SDO_RDF_INFERENCE.CREATE_RULEBASE('intel_rb')`` creates a rulebase;
+its rules live in the table ``rdfr_intel_rb`` with the columns of the
+paper's Figure 8 insert::
+
+    INSERT INTO mdsys.rdfr_intel_rb VALUES (
+        'intel_rule',
+        '(?x gov:terrorAction "bombing")',   -- antecedents
+        null,                                 -- filter
+        '(gov:files gov:terrorSuspect ?x)',   -- consequents
+        SDO_RDF_ALIASES(SDO_RDF_ALIAS('gov', 'http://www.us.gov#')))
+
+A :class:`Rule` is the parsed form: antecedent patterns, an optional
+filter over the bindings, and consequent patterns.  Applying a rule to a
+graph yields the consequent instantiations of every antecedent match
+that passes the filter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.db.connection import quote_identifier
+from repro.errors import QueryError, RulebaseError, RulebaseNotFoundError
+from repro.inference.filters import FilterExpression, parse_filter
+from repro.inference.patterns import (
+    TriplePattern,
+    Variable,
+    parse_pattern_list,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import Alias, AliasSet
+from repro.rdf.terms import RDFTerm
+from repro.rdf.triple import Triple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.connection import Database
+
+RULEBASE_CATALOG = "rdf_rulebase$"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One parsed inference rule."""
+
+    rule_name: str
+    antecedents: tuple[TriplePattern, ...]
+    filter: FilterExpression | None
+    consequents: tuple[TriplePattern, ...]
+
+    @classmethod
+    def parse(cls, rule_name: str, antecedents: str, filter_text: str | None,
+              consequents: str, aliases: AliasSet | None = None) -> "Rule":
+        """Parse the textual rule columns into a Rule."""
+        aliases = aliases or AliasSet()
+        antecedent_patterns = tuple(
+            parse_pattern_list(antecedents, aliases))
+        consequent_patterns = tuple(
+            parse_pattern_list(consequents, aliases))
+        bound = set().union(
+            *(p.variables() for p in antecedent_patterns))
+        for pattern in consequent_patterns:
+            unbound = pattern.variables() - bound
+            if unbound:
+                raise RulebaseError(
+                    f"rule {rule_name!r}: consequent variables "
+                    f"{sorted(unbound)} not bound by any antecedent")
+        filter_expression = (parse_filter(filter_text)
+                             if filter_text else None)
+        return cls(rule_name, antecedent_patterns, filter_expression,
+                   consequent_patterns)
+
+    def apply(self, graph: Graph) -> Iterator[Triple]:
+        """All consequent triples derivable from ``graph`` in one step.
+
+        Consequent instantiations that would be malformed RDF (e.g. a
+        literal in subject position, which rdfs3 can produce) are
+        silently dropped, per RDF abstract syntax.
+        """
+        for triple, _antecedents in self.apply_traced(graph):
+            yield triple
+
+    def apply_traced(self, graph: Graph
+                     ) -> Iterator[tuple[Triple, tuple[Triple, ...]]]:
+        """Like :meth:`apply`, but each derivation carries the
+        instantiated antecedent triples that produced it — the raw
+        material for explanations (see
+        :meth:`repro.inference.rules_index.RulesIndexManager.explain`).
+        """
+        for bindings in match_patterns(graph, list(self.antecedents)):
+            if self.filter is not None and not self.filter.evaluate(
+                    bindings):
+                continue
+            antecedent_triples = tuple(
+                pattern.substitute(bindings)
+                for pattern in self.antecedents)
+            for consequent in self.consequents:
+                try:
+                    yield (consequent.substitute(bindings),
+                           antecedent_triples)
+                except QueryError:
+                    continue
+
+
+def match_patterns(graph: Graph, patterns: list[TriplePattern],
+                   bindings: dict[str, RDFTerm] | None = None
+                   ) -> Iterator[dict[str, RDFTerm]]:
+    """All variable bindings satisfying a conjunction of patterns.
+
+    Backtracking join over the in-memory graph; each step narrows using
+    whatever components are already bound.
+    """
+    if bindings is None:
+        bindings = {}
+    if not patterns:
+        yield dict(bindings)
+        return
+    head, *tail = patterns
+    subject = _resolve(head.subject, bindings)
+    predicate = _resolve(head.predicate, bindings)
+    obj = _resolve(head.object, bindings)
+    for triple in graph.match(subject, predicate, obj):
+        extended = _extend(bindings, head, triple)
+        if extended is None:
+            continue
+        yield from match_patterns(graph, tail, extended)
+
+
+def _resolve(component, bindings: dict[str, RDFTerm]):
+    """A pattern component as a concrete term, or None (wildcard)."""
+    if isinstance(component, Variable):
+        return bindings.get(component.name)
+    return component
+
+
+def _extend(bindings: dict[str, RDFTerm], pattern: TriplePattern,
+            triple: Triple) -> dict[str, RDFTerm] | None:
+    """Bindings extended with this pattern/triple match; None on clash."""
+    extended = dict(bindings)
+    for component, term in zip(pattern.components(), triple):
+        if not isinstance(component, Variable):
+            continue
+        existing = extended.get(component.name)
+        if existing is None:
+            extended[component.name] = term
+        elif existing != term:
+            return None
+    return extended
+
+
+@dataclass(frozen=True)
+class Rulebase:
+    """A named rulebase and its rule table."""
+
+    rulebase_name: str
+
+    @property
+    def table_name(self) -> str:
+        return f"rdfr_{self.rulebase_name}"
+
+
+class RulebaseManager:
+    """CREATE_RULEBASE / rule CRUD over ``rdfr_<rb>`` tables."""
+
+    def __init__(self, database: "Database") -> None:
+        self._db = database
+        self._db.execute(
+            f"CREATE TABLE IF NOT EXISTS "
+            f"{quote_identifier(RULEBASE_CATALOG)} ("
+            " rulebase_name TEXT PRIMARY KEY)")
+
+    def create_rulebase(self, rulebase_name: str) -> Rulebase:
+        """``SDO_RDF_INFERENCE.CREATE_RULEBASE(name)``."""
+        name = rulebase_name.lower()
+        if self.exists(name):
+            raise RulebaseError(f"rulebase {rulebase_name!r} already exists")
+        rulebase = Rulebase(name)
+        self._db.execute(
+            f"INSERT INTO {quote_identifier(RULEBASE_CATALOG)} VALUES (?)",
+            (name,))
+        self._db.execute(
+            f"CREATE TABLE {quote_identifier(rulebase.table_name)} ("
+            " rule_name TEXT PRIMARY KEY,"
+            " antecedents TEXT NOT NULL,"
+            " filter TEXT,"
+            " consequents TEXT NOT NULL,"
+            " aliases TEXT)")
+        return rulebase
+
+    def drop_rulebase(self, rulebase_name: str) -> None:
+        name = rulebase_name.lower()
+        rulebase = self.get(name)
+        self._db.drop_table(rulebase.table_name)
+        self._db.execute(
+            f"DELETE FROM {quote_identifier(RULEBASE_CATALOG)} "
+            "WHERE rulebase_name = ?", (name,))
+
+    def exists(self, rulebase_name: str) -> bool:
+        return self._db.query_one(
+            f"SELECT 1 FROM {quote_identifier(RULEBASE_CATALOG)} "
+            "WHERE rulebase_name = ?", (rulebase_name.lower(),)) is not None
+
+    def get(self, rulebase_name: str) -> Rulebase:
+        name = rulebase_name.lower()
+        if not self.exists(name):
+            raise RulebaseNotFoundError(rulebase_name)
+        return Rulebase(name)
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+
+    def insert_rule(self, rulebase_name: str, rule_name: str,
+                    antecedents: str, filter_text: str | None,
+                    consequents: str,
+                    aliases: AliasSet | None = None) -> Rule:
+        """The Figure 8 ``INSERT INTO mdsys.rdfr_<rb> VALUES (...)``.
+
+        The rule is parsed eagerly so syntax errors surface at insert
+        time, then stored in the rule table.
+        """
+        rulebase = self.get(rulebase_name)
+        rule = Rule.parse(rule_name, antecedents, filter_text, consequents,
+                          aliases)
+        self._db.execute(
+            f"INSERT INTO {quote_identifier(rulebase.table_name)} "
+            "VALUES (?, ?, ?, ?, ?)",
+            (rule_name, antecedents, filter_text, consequents,
+             _serialize_aliases(aliases)))
+        return rule
+
+    def delete_rule(self, rulebase_name: str, rule_name: str) -> None:
+        rulebase = self.get(rulebase_name)
+        cursor = self._db.execute(
+            f"DELETE FROM {quote_identifier(rulebase.table_name)} "
+            "WHERE rule_name = ?", (rule_name,))
+        if cursor.rowcount == 0:
+            raise RulebaseError(
+                f"no rule {rule_name!r} in rulebase {rulebase_name!r}")
+
+    def rules(self, rulebase_name: str) -> list[Rule]:
+        """All parsed rules of a rulebase."""
+        rulebase = self.get(rulebase_name)
+        parsed: list[Rule] = []
+        for row in self._db.query_all(
+                f"SELECT * FROM {quote_identifier(rulebase.table_name)} "
+                "ORDER BY rule_name"):
+            parsed.append(Rule.parse(
+                row["rule_name"], row["antecedents"], row["filter"],
+                row["consequents"], _deserialize_aliases(row["aliases"])))
+        return parsed
+
+
+def _serialize_aliases(aliases: AliasSet | None) -> str | None:
+    if aliases is None or len(aliases) == 0:
+        return None
+    return json.dumps([[a.namespace_id, a.namespace_val] for a in aliases])
+
+
+def _deserialize_aliases(payload: str | None) -> AliasSet | None:
+    if payload is None:
+        return None
+    return AliasSet(Alias(prefix, namespace)
+                    for prefix, namespace in json.loads(payload))

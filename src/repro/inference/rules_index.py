@@ -1,0 +1,341 @@
+"""Rules indexes: pre-computed inferred triples.
+
+"A rules index pre-computes triples that can be inferred from applying
+the rulebases" (paper section 6.1).  ``CREATE_RULES_INDEX(index_name,
+models, rulebases)`` forward-chains the union of the named models'
+triples under the named rulebases to fixpoint and materialises every
+*new* triple in the ``rdf_inferred$`` table, keyed by index name and
+stored as VALUE_IDs — the inferred rows join with ``rdf_link$`` rows
+seamlessly at query time.
+
+The built-in ``RDFS`` rulebase name resolves to
+:func:`repro.inference.rdfs_rules.rdfs_rules`; every other name is
+looked up through the :class:`repro.inference.rulebase.RulebaseManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.db.connection import quote_identifier
+from repro.errors import RulesIndexError
+from repro.inference.rdfs_rules import RDFS_RULEBASE_NAME, rdfs_rules
+from repro.inference.rulebase import Rule, RulebaseManager
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.terms import URI
+from repro.rdf.triple import Triple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+INDEX_CATALOG = "rdf_rules_index$"
+INFERRED_TABLE = "rdf_inferred$"
+
+#: Fixpoint guard: forward chaining aborts past this many rounds, which
+#: only a pathological recursive rulebase can reach.
+MAX_ROUNDS = 1000
+
+
+@dataclass(frozen=True)
+class RulesIndex:
+    """One catalog row: an index over (models, rulebases)."""
+
+    index_name: str
+    model_names: tuple[str, ...]
+    rulebase_names: tuple[str, ...]
+    inferred_count: int
+
+    def covers(self, model_names: Iterable[str],
+               rulebase_names: Iterable[str]) -> bool:
+        """True when this index was built over supersets of the given
+        models and rulebases (Oracle picks any covering index)."""
+        return (set(m.lower() for m in model_names)
+                <= set(self.model_names)
+                and set(r.upper() for r in rulebase_names)
+                <= set(r.upper() for r in self.rulebase_names))
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """How one inferred triple came to be: the rule and the
+    instantiated antecedent triples of its first derivation."""
+
+    rule_name: str
+    antecedents: tuple[Triple, ...]
+
+
+def forward_closure(base: Graph, rules: list[Rule],
+                    max_rounds: int = MAX_ROUNDS,
+                    provenance: dict[Triple, Derivation] | None = None
+                    ) -> Graph:
+    """Forward-chain ``rules`` over ``base`` to fixpoint.
+
+    Returns the graph of *inferred* triples only (the closure minus the
+    base).  Naive evaluation with a growing working graph; each round
+    applies every rule to the current closure and stops when a round
+    adds nothing.
+
+    Pass a dict as ``provenance`` to record, for every inferred triple,
+    the :class:`Derivation` that first produced it.
+    """
+    working = Graph(base)
+    inferred = Graph()
+    for _round in range(max_rounds):
+        added = 0
+        for rule in rules:
+            for triple, antecedents in list(rule.apply_traced(working)):
+                if working.add(triple):
+                    inferred.add(triple)
+                    added += 1
+                    if provenance is not None:
+                        provenance[triple] = Derivation(
+                            rule.rule_name, antecedents)
+        if not added:
+            return inferred
+    raise RulesIndexError(
+        f"forward chaining did not converge in {max_rounds} rounds")
+
+
+class RulesIndexManager:
+    """CREATE_RULES_INDEX / lookup / drop."""
+
+    def __init__(self, store: "RDFStore") -> None:
+        self._store = store
+        self._db = store.database
+        self._rulebases = RulebaseManager(self._db)
+        self._ensure_tables()
+
+    @property
+    def rulebases(self) -> RulebaseManager:
+        return self._rulebases
+
+    def _ensure_tables(self) -> None:
+        self._db.execute(
+            f"CREATE TABLE IF NOT EXISTS {quote_identifier(INDEX_CATALOG)} ("
+            " index_name TEXT PRIMARY KEY,"
+            " model_names TEXT NOT NULL,"
+            " rulebase_names TEXT NOT NULL,"
+            " inferred_count INTEGER NOT NULL DEFAULT 0,"
+            " source_triple_count INTEGER NOT NULL DEFAULT 0)")
+        self._db.execute(
+            f"CREATE TABLE IF NOT EXISTS {quote_identifier(INFERRED_TABLE)} ("
+            " index_name TEXT NOT NULL,"
+            " s_id INTEGER NOT NULL,"
+            " p_id INTEGER NOT NULL,"
+            " o_id INTEGER NOT NULL,"
+            " rule_name TEXT,"
+            " antecedents TEXT,"
+            " PRIMARY KEY (index_name, s_id, p_id, o_id))")
+
+    # ------------------------------------------------------------------
+    # creation
+    # ------------------------------------------------------------------
+
+    def create_rules_index(self, index_name: str,
+                           model_names: Iterable[str],
+                           rulebase_names: Iterable[str]) -> RulesIndex:
+        """``SDO_RDF_INFERENCE.CREATE_RULES_INDEX(name, models, rbs)``."""
+        name = index_name.lower()
+        if self.exists(name):
+            raise RulesIndexError(
+                f"rules index {index_name!r} already exists")
+        models = tuple(m.lower() for m in model_names)
+        rulebases = tuple(rulebase_names)
+        count, source = self._build(name, models, rulebases)
+        self._db.execute(
+            f"INSERT INTO {quote_identifier(INDEX_CATALOG)} "
+            "VALUES (?, ?, ?, ?, ?)",
+            (name, ",".join(models), ",".join(rulebases), count, source))
+        return RulesIndex(name, models, rulebases, count)
+
+    def _build(self, name: str, models: tuple[str, ...],
+               rulebases: tuple[str, ...]) -> tuple[int, int]:
+        """Run the closure and materialise it; returns (inferred,
+        source-triple-count)."""
+        rules = self._resolve_rules(rulebases)
+        base = Graph()
+        for model_name in models:
+            base.update(self._store.iter_model_triples(model_name))
+        provenance: dict[Triple, Derivation] = {}
+        inferred = forward_closure(base, rules, provenance=provenance)
+        return self._materialize(name, inferred, provenance), \
+            self._source_count(models)
+
+    def _source_count(self, models: Iterable[str]) -> int:
+        return sum(
+            self._store.links.count(
+                self._store.models.get(model_name).model_id)
+            for model_name in models)
+
+    def is_stale(self, index_name: str) -> bool:
+        """True when the underlying models changed since the index was
+        built (Oracle marks such indexes invalid until rebuilt)."""
+        index = self.get(index_name)
+        row = self._db.query_one(
+            f"SELECT source_triple_count FROM "
+            f"{quote_identifier(INDEX_CATALOG)} WHERE index_name = ?",
+            (index.index_name,))
+        return int(row["source_triple_count"]) != \
+            self._source_count(index.model_names)
+
+    def rebuild(self, index_name: str) -> RulesIndex:
+        """Re-run the closure over the current model contents."""
+        index = self.get(index_name)
+        with self._db.transaction():
+            self._db.execute(
+                f"DELETE FROM {quote_identifier(INFERRED_TABLE)} "
+                "WHERE index_name = ?", (index.index_name,))
+            count, source = self._build(index.index_name,
+                                        index.model_names,
+                                        index.rulebase_names)
+            self._db.execute(
+                f"UPDATE {quote_identifier(INDEX_CATALOG)} "
+                "SET inferred_count = ?, source_triple_count = ? "
+                "WHERE index_name = ?",
+                (count, source, index.index_name))
+        return self.get(index_name)
+
+    def _resolve_rules(self, rulebase_names: tuple[str, ...]) -> list[Rule]:
+        rules: list[Rule] = []
+        for rulebase_name in rulebase_names:
+            if rulebase_name.upper() == RDFS_RULEBASE_NAME:
+                rules.extend(rdfs_rules())
+            else:
+                rules.extend(self._rulebases.rules(rulebase_name))
+        return rules
+
+    def _materialize(self, index_name: str, inferred: Graph,
+                     provenance: dict[Triple, Derivation] | None = None
+                     ) -> int:
+        values = self._store.values
+        rows = []
+        for triple in inferred:
+            derivation = (provenance or {}).get(triple)
+            rule_name = None
+            antecedents_text = None
+            if derivation is not None:
+                rule_name = derivation.rule_name
+                antecedents_text = serialize_ntriples(
+                    derivation.antecedents)
+            rows.append((index_name,
+                         values.lookup_or_insert(triple.subject),
+                         values.lookup_or_insert(triple.predicate),
+                         values.lookup_or_insert(triple.object),
+                         rule_name, antecedents_text))
+        self._db.executemany(
+            f"INSERT OR IGNORE INTO {quote_identifier(INFERRED_TABLE)} "
+            "VALUES (?, ?, ?, ?, ?, ?)", rows)
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # explanations
+    # ------------------------------------------------------------------
+
+    def explain(self, index_name: str,
+                triple: Triple) -> Derivation | None:
+        """Why is ``triple`` in the rules index?
+
+        Returns the recorded :class:`Derivation` (rule name plus the
+        instantiated antecedents of its first derivation), or None when
+        the triple is not an inferred triple of this index.
+        """
+        values = self._store.values
+        ids = [values.find_id(term) for term in triple]
+        if None in ids:
+            return None
+        row = self._db.query_one(
+            f"SELECT rule_name, antecedents FROM "
+            f"{quote_identifier(INFERRED_TABLE)} "
+            "WHERE index_name = ? AND s_id = ? AND p_id = ? "
+            "AND o_id = ?", (index_name.lower(), *ids))
+        if row is None or row["rule_name"] is None:
+            return None
+        antecedents = tuple(parse_ntriples(row["antecedents"]))
+        return Derivation(row["rule_name"], antecedents)
+
+    def explain_tree(self, index_name: str, triple: Triple,
+                     max_depth: int = 20) -> list[tuple[int, Triple,
+                                                        str | None]]:
+        """A depth-annotated proof tree for an inferred triple.
+
+        Each entry is (depth, triple, rule_name); rule_name is None for
+        base facts.  Antecedents that are themselves inferred are
+        expanded recursively up to ``max_depth``.
+        """
+        tree: list[tuple[int, Triple, str | None]] = []
+        self._explain_into(index_name, triple, 0, max_depth, tree,
+                           seen=set())
+        return tree
+
+    def _explain_into(self, index_name: str, triple: Triple, depth: int,
+                      max_depth: int, tree: list, seen: set) -> None:
+        derivation = self.explain(index_name, triple)
+        rule_name = None if derivation is None else derivation.rule_name
+        tree.append((depth, triple, rule_name))
+        if derivation is None or depth >= max_depth or triple in seen:
+            return
+        seen.add(triple)
+        for antecedent in derivation.antecedents:
+            self._explain_into(index_name, antecedent, depth + 1,
+                               max_depth, tree, seen)
+
+    # ------------------------------------------------------------------
+    # lookup / maintenance
+    # ------------------------------------------------------------------
+
+    def exists(self, index_name: str) -> bool:
+        return self._db.query_one(
+            f"SELECT 1 FROM {quote_identifier(INDEX_CATALOG)} "
+            "WHERE index_name = ?", (index_name.lower(),)) is not None
+
+    def get(self, index_name: str) -> RulesIndex:
+        row = self._db.query_one(
+            f"SELECT * FROM {quote_identifier(INDEX_CATALOG)} "
+            "WHERE index_name = ?", (index_name.lower(),))
+        if row is None:
+            raise RulesIndexError(
+                f"rules index {index_name!r} does not exist")
+        return self._index_from_row(row)
+
+    def drop_rules_index(self, index_name: str) -> None:
+        name = index_name.lower()
+        self.get(name)
+        self._db.execute(
+            f"DELETE FROM {quote_identifier(INFERRED_TABLE)} "
+            "WHERE index_name = ?", (name,))
+        self._db.execute(
+            f"DELETE FROM {quote_identifier(INDEX_CATALOG)} "
+            "WHERE index_name = ?", (name,))
+
+    def find_covering(self, model_names: Iterable[str],
+                      rulebase_names: Iterable[str]) -> RulesIndex | None:
+        """An existing index covering the given models and rulebases."""
+        for row in self._db.query_all(
+                f"SELECT * FROM {quote_identifier(INDEX_CATALOG)}"):
+            index = self._index_from_row(row)
+            if index.covers(model_names, rulebase_names):
+                return index
+        return None
+
+    def inferred_triples(self, index_name: str) -> Iterator[Triple]:
+        """The materialised inferred triples of an index."""
+        values = self._store.values
+        for row in self._db.execute(
+                f"SELECT s_id, p_id, o_id FROM "
+                f"{quote_identifier(INFERRED_TABLE)} "
+                "WHERE index_name = ?", (index_name.lower(),)):
+            subject = values.get_term(row["s_id"])
+            predicate = values.get_term(row["p_id"])
+            obj = values.get_term(row["o_id"])
+            assert isinstance(predicate, URI)
+            yield Triple(subject, predicate, obj)
+
+    @staticmethod
+    def _index_from_row(row) -> RulesIndex:
+        return RulesIndex(
+            index_name=row["index_name"],
+            model_names=tuple(row["model_names"].split(",")),
+            rulebase_names=tuple(row["rulebase_names"].split(",")),
+            inferred_count=int(row["inferred_count"]))

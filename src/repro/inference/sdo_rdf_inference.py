@@ -1,0 +1,86 @@
+"""The SDO_RDF_INFERENCE package facade.
+
+One object bundling the inference subprograms of the paper's section 6:
+``CREATE_RULEBASE``, rule insertion, ``CREATE_RULES_INDEX``, and the
+``SDO_RDF_MATCH`` table function — bound to one store, so application
+code reads like the paper's Figure 8 PL/SQL block.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.inference.match import MatchRow, sdo_rdf_match
+from repro.inference.rulebase import Rule, Rulebase, RulebaseManager
+from repro.inference.rules_index import RulesIndex, RulesIndexManager
+from repro.rdf.namespaces import AliasSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+
+class SDO_RDF_INFERENCE:
+    """Inference package bound to one RDF store."""
+
+    def __init__(self, store: "RDFStore") -> None:
+        self._store = store
+        self._indexes = RulesIndexManager(store)
+
+    @property
+    def store(self) -> "RDFStore":
+        return self._store
+
+    @property
+    def rulebases(self) -> RulebaseManager:
+        return self._indexes.rulebases
+
+    @property
+    def indexes(self) -> RulesIndexManager:
+        return self._indexes
+
+    # ------------------------------------------------------------------
+    # rulebases
+    # ------------------------------------------------------------------
+
+    def create_rulebase(self, rulebase_name: str) -> Rulebase:
+        """``SDO_RDF_INFERENCE.CREATE_RULEBASE('intel_rb')``."""
+        return self.rulebases.create_rulebase(rulebase_name)
+
+    def drop_rulebase(self, rulebase_name: str) -> None:
+        self.rulebases.drop_rulebase(rulebase_name)
+
+    def insert_rule(self, rulebase_name: str, rule_name: str,
+                    antecedents: str, filter: str | None,
+                    consequents: str,
+                    aliases: AliasSet | None = None) -> Rule:
+        """The rule-table insert of Figure 8."""
+        return self.rulebases.insert_rule(
+            rulebase_name, rule_name, antecedents, filter, consequents,
+            aliases)
+
+    # ------------------------------------------------------------------
+    # rules indexes
+    # ------------------------------------------------------------------
+
+    def create_rules_index(self, index_name: str,
+                           models: Sequence[str],
+                           rulebases: Sequence[str]) -> RulesIndex:
+        """``SDO_RDF_INFERENCE.CREATE_RULES_INDEX(name, models, rbs)``."""
+        return self._indexes.create_rules_index(index_name, models,
+                                                rulebases)
+
+    def drop_rules_index(self, index_name: str) -> None:
+        self._indexes.drop_rules_index(index_name)
+
+    # ------------------------------------------------------------------
+    # query
+    # ------------------------------------------------------------------
+
+    def match(self, query: str, models: Sequence[str],
+              rulebases: Sequence[str] = (),
+              aliases: AliasSet | None = None,
+              filter: str | None = None) -> list[MatchRow]:
+        """The ``SDO_RDF_MATCH`` table function."""
+        return sdo_rdf_match(self._store, query, models,
+                             rulebases=rulebases, aliases=aliases,
+                             filter=filter)

@@ -1,0 +1,35 @@
+"""The Jena2 baseline: denormalized multi-model relational RDF storage.
+
+Section 3.1 of the paper reviews the Jena2 schema the experiments
+compare against:
+
+* a *multi-model* layout — each model stores asserted statements in one
+  table and reified statements in another;
+* the asserted statement table stores **actual text values** in
+  subject/predicate/object columns (denormalized; more space, fewer
+  joins);
+* reified statements live in a *property-class table* with columns
+  StmtURI, rdf:subject, rdf:predicate, rdf:object, rdf:type — "a single
+  row with all attributes present represents a reified triple";
+* optional *property tables* cluster subject-value pairs for chosen
+  predicates (the Dublin Core example);
+* Jena1's normalized layout (statement table + resource/literal tables,
+  three-way join on find) is provided for the ABL-SCHEMA ablation.
+
+The API mirrors Jena's Model: ``list_statements``, ``create_statement``,
+``is_reified`` — so the Experiment II/III queries read like the paper's
+Java snippets.
+"""
+
+from repro.jena2.store import Jena2Store
+from repro.jena2.model import JenaModel, Statement
+from repro.jena2.property_tables import PropertyTable
+from repro.jena2.jena1 import Jena1Store
+
+__all__ = [
+    "Jena1Store",
+    "Jena2Store",
+    "JenaModel",
+    "PropertyTable",
+    "Statement",
+]

@@ -1,0 +1,26 @@
+"""Term encoding for the Jena relational layouts.
+
+Jena's database layouts store typed columns of encoded term text (its
+own ``Uv::``/``Lv::`` prefixes); what matters for fidelity is that the
+encoding is *lossless* — a typed literal must come back typed.  We use
+the N-Triples spelling for literals (it carries language tags and
+datatypes) and the raw lexical form for URIs and blank nodes, which
+keeps the common case (URI columns) human-readable and index-friendly.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.ntriples import term_to_ntriples
+from repro.rdf.terms import Literal, RDFTerm, parse_term_text
+
+
+def encode_term(term: RDFTerm) -> str:
+    """The column text for ``term`` (lossless)."""
+    if isinstance(term, Literal):
+        return term_to_ntriples(term)
+    return term.lexical
+
+
+def decode_term(text: str) -> RDFTerm:
+    """Rebuild the term from its column text."""
+    return parse_term_text(text)

@@ -1,0 +1,164 @@
+"""The Jena1 baseline: the normalized triple store.
+
+"Jena1 utilized a normalized triple store approach: a statement table
+stored references to the subject, predicate, and object, and the actual
+text values for the URIs and the literals were stored in two additional
+tables.  This design was efficient on space ... however, a three-way
+join was required for find operations" (paper section 3.1).
+
+:class:`Jena1Store` implements exactly that layout — a statement table
+of IDs, a resources table, and a literals table — so the ABL-SCHEMA
+ablation can measure the space/time trade-off against Jena2 and the RDF
+objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.db.connection import Database, quote_identifier
+from repro.db.storage import StorageReport, combined_storage, table_storage
+from repro.jena2.encoding import decode_term, encode_term
+from repro.rdf.terms import Literal, RDFTerm, URI, parse_term_text
+from repro.rdf.triple import Triple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+_STMT = "jena1_stmt"
+_RESOURCES = "jena1_resources"
+_LITERALS = "jena1_literals"
+
+
+class Jena1Store:
+    """The single-statement-table normalized layout."""
+
+    def __init__(self, database: "Database | str | Path | None" = None
+                 ) -> None:
+        if database is None:
+            database = Database()
+        elif not isinstance(database, Database):
+            database = Database(database)
+        self._db = database
+        self._db.executescript(f"""
+            CREATE TABLE IF NOT EXISTS {quote_identifier(_RESOURCES)} (
+                res_id INTEGER PRIMARY KEY,
+                uri TEXT NOT NULL UNIQUE);
+            CREATE TABLE IF NOT EXISTS {quote_identifier(_LITERALS)} (
+                lit_id INTEGER PRIMARY KEY,
+                value TEXT NOT NULL UNIQUE);
+            CREATE TABLE IF NOT EXISTS {quote_identifier(_STMT)} (
+                subj_id INTEGER NOT NULL,
+                prop_id INTEGER NOT NULL,
+                obj_id  INTEGER NOT NULL,
+                obj_is_literal INTEGER NOT NULL DEFAULT 0);
+            CREATE INDEX IF NOT EXISTS jena1_stmt_s
+                ON {quote_identifier(_STMT)} (subj_id);
+            CREATE INDEX IF NOT EXISTS jena1_stmt_p
+                ON {quote_identifier(_STMT)} (prop_id);
+            CREATE INDEX IF NOT EXISTS jena1_stmt_o
+                ON {quote_identifier(_STMT)} (obj_id, obj_is_literal);
+        """)
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    def close(self) -> None:
+        self._db.close()
+
+    # ------------------------------------------------------------------
+    # value tables
+    # ------------------------------------------------------------------
+
+    def _resource_id(self, term: RDFTerm) -> int:
+        row = self._db.query_one(
+            f"SELECT res_id FROM {quote_identifier(_RESOURCES)} "
+            "WHERE uri = ?", (term.lexical,))
+        if row is not None:
+            return int(row["res_id"])
+        cursor = self._db.execute(
+            f"INSERT INTO {quote_identifier(_RESOURCES)} (uri) "
+            "VALUES (?)", (term.lexical,))
+        return int(cursor.lastrowid)
+
+    def _literal_id(self, term: Literal) -> int:
+        row = self._db.query_one(
+            f"SELECT lit_id FROM {quote_identifier(_LITERALS)} "
+            "WHERE value = ?", (encode_term(term),))
+        if row is not None:
+            return int(row["lit_id"])
+        cursor = self._db.execute(
+            f"INSERT INTO {quote_identifier(_LITERALS)} (value) "
+            "VALUES (?)", (encode_term(term),))
+        return int(cursor.lastrowid)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def add(self, triple: Triple) -> None:
+        """Insert a statement (references only)."""
+        subj_id = self._resource_id(triple.subject)
+        prop_id = self._resource_id(triple.predicate)
+        if isinstance(triple.object, Literal):
+            obj_id, is_literal = self._literal_id(triple.object), 1
+        else:
+            obj_id, is_literal = self._resource_id(triple.object), 0
+        self._db.execute(
+            f"INSERT INTO {quote_identifier(_STMT)} VALUES (?, ?, ?, ?)",
+            (subj_id, prop_id, obj_id, is_literal))
+
+    def add_all(self, triples) -> int:
+        count = 0
+        with self._db.transaction():
+            for triple in triples:
+                self.add(triple)
+                count += 1
+        return count
+
+    def find_by_subject(self, subject_text: str) -> Iterator[Triple]:
+        """The find operation: the three-way join of the paper.
+
+        Joins the statement table with the resources table (for subject,
+        predicate, and resource objects) and the literals table (for
+        literal objects).
+        """
+        stmt = quote_identifier(_STMT)
+        res = quote_identifier(_RESOURCES)
+        lit = quote_identifier(_LITERALS)
+        sql = (
+            f"SELECT rs.uri AS subj, rp.uri AS prop, "
+            f"ro.uri AS obj_res, lo.value AS obj_lit, "
+            f"st.obj_is_literal AS is_lit "
+            f"FROM {stmt} st "
+            f"JOIN {res} rs ON rs.res_id = st.subj_id "
+            f"JOIN {res} rp ON rp.res_id = st.prop_id "
+            f"LEFT JOIN {res} ro ON ro.res_id = st.obj_id "
+            f"AND st.obj_is_literal = 0 "
+            f"LEFT JOIN {lit} lo ON lo.lit_id = st.obj_id "
+            f"AND st.obj_is_literal = 1 "
+            f"WHERE rs.uri = ?")
+        for row in self._db.execute(sql, (subject_text,)):
+            yield self._triple_from_row(row)
+
+    @staticmethod
+    def _triple_from_row(row) -> Triple:
+        subject = parse_term_text(row["subj"])
+        predicate = parse_term_text(row["prop"])
+        assert isinstance(predicate, URI)
+        if row["is_lit"]:
+            obj: RDFTerm = decode_term(row["obj_lit"])
+        else:
+            obj = parse_term_text(row["obj_res"])
+        return Triple(subject, predicate, obj)
+
+    def size(self) -> int:
+        return self._db.row_count(_STMT)
+
+    def storage(self) -> StorageReport:
+        """Combined storage of the three tables (ABL-SCHEMA metric)."""
+        return combined_storage(
+            [table_storage(self._db, table)
+             for table in (_STMT, _RESOURCES, _LITERALS)],
+            label="jena1")

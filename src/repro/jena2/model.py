@@ -1,0 +1,275 @@
+"""The Jena-style Model API over the Jena2 relational layout.
+
+Mirrors the Jena calls the paper's experiments use (Figures 10 and 11)::
+
+    StmtIterator iter = m.listStatements(m.getResource(uri), null, null);
+    boolean isReif = m.isReified(stmt);
+
+A :class:`Statement` is the Jena statement object: subject/predicate/
+object terms.  :class:`JenaModel` is one model's view over its asserted
+and reified statement tables (created by
+:class:`repro.jena2.store.Jena2Store`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.db.connection import quote_identifier
+from repro.jena2.encoding import decode_term, encode_term
+from repro.rdf.terms import RDFTerm, URI, parse_term_text
+from repro.rdf.triple import Triple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.connection import Database
+    from repro.jena2.store import Jena2Store
+
+_reif_uri_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Statement:
+    """A Jena statement: the term triple plus convenience accessors."""
+
+    subject: RDFTerm
+    predicate: URI
+    object: RDFTerm
+
+    @classmethod
+    def from_triple(cls, triple: Triple) -> "Statement":
+        return cls(triple.subject, triple.predicate, triple.object)
+
+    def as_triple(self) -> Triple:
+        return Triple(self.subject, self.predicate, self.object)
+
+    def __str__(self) -> str:
+        return f"[{self.subject}, {self.predicate}, {self.object}]"
+
+
+class JenaModel:
+    """One Jena2 model: asserted + reified statement tables."""
+
+    def __init__(self, store: "Jena2Store", model_name: str) -> None:
+        self._store = store
+        self._db: "Database" = store.database
+        self.model_name = model_name
+        self._property_tables = None
+
+    def _tables_for_properties(self):
+        """The model's configured property tables (lazy)."""
+        if self._property_tables is None:
+            self._property_tables = self._store.property_tables(
+                self.model_name)
+        return self._property_tables
+
+    def _route_to_property_table(self, triple: Triple) -> bool:
+        """Store ``triple`` in a covering property table, if any."""
+        for table in self._tables_for_properties():
+            if table.add_triple(triple):
+                return True
+        return False
+
+    @property
+    def statement_table(self) -> str:
+        return self._store.statement_table(self.model_name)
+
+    @property
+    def reified_table(self) -> str:
+        return self._store.reified_table(self.model_name)
+
+    # ------------------------------------------------------------------
+    # resource/statement factories (Jena API shims)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def get_resource(uri: str) -> RDFTerm:
+        """``m.getResource(uri)``."""
+        return parse_term_text(uri)
+
+    @staticmethod
+    def get_property(uri: str) -> URI:
+        """``m.getProperty(uri)``."""
+        term = parse_term_text(uri)
+        assert isinstance(term, URI)
+        return term
+
+    @staticmethod
+    def create_statement(subject: RDFTerm, predicate: URI,
+                         obj: RDFTerm) -> Statement:
+        """``m.createStatement(s, p, o)``."""
+        return Statement(subject, predicate, obj)
+
+    # ------------------------------------------------------------------
+    # asserted statements
+    # ------------------------------------------------------------------
+
+    def add(self, statement: Statement | Triple) -> None:
+        """Insert an asserted statement (text stored inline).
+
+        With property tables configured (section 3.1), statements whose
+        predicate is covered are clustered there instead.
+        """
+        triple = statement.as_triple() if isinstance(statement, Statement) \
+            else statement
+        if self._route_to_property_table(triple):
+            return
+        self._db.execute(
+            f"INSERT INTO {quote_identifier(self.statement_table)} "
+            "(subj, prop, obj) VALUES (?, ?, ?)",
+            (encode_term(triple.subject), encode_term(triple.predicate),
+             encode_term(triple.object)))
+
+    def add_all(self, statements) -> int:
+        """Bulk insert; returns the statement count added."""
+        rows = []
+        routed = 0
+        for statement in statements:
+            triple = statement.as_triple() \
+                if isinstance(statement, Statement) else statement
+            if self._route_to_property_table(triple):
+                routed += 1
+                continue
+            rows.append((encode_term(triple.subject),
+                         encode_term(triple.predicate),
+                         encode_term(triple.object)))
+        self._db.executemany(
+            f"INSERT INTO {quote_identifier(self.statement_table)} "
+            "(subj, prop, obj) VALUES (?, ?, ?)", rows)
+        return len(rows) + routed
+
+    def remove(self, statement: Statement | Triple) -> int:
+        triple = statement.as_triple() if isinstance(statement, Statement) \
+            else statement
+        cursor = self._db.execute(
+            f"DELETE FROM {quote_identifier(self.statement_table)} "
+            "WHERE subj = ? AND prop = ? AND obj = ?",
+            (encode_term(triple.subject), encode_term(triple.predicate),
+             encode_term(triple.object)))
+        return cursor.rowcount
+
+    def list_statements(self, subject: RDFTerm | None = None,
+                        predicate: URI | None = None,
+                        obj: RDFTerm | None = None
+                        ) -> Iterator[Statement]:
+        """``m.listStatements(s, p, o)`` with null wildcards.
+
+        One single-table SQL query — the design point of Jena2's
+        denormalized layout (no joins on find).
+        """
+        clauses: list[str] = []
+        params: list[str] = []
+        for column, term in (("subj", subject), ("prop", predicate),
+                             ("obj", obj)):
+            if term is not None:
+                clauses.append(f"{column} = ?")
+                params.append(encode_term(term))
+        sql = (f"SELECT subj, prop, obj FROM "
+               f"{quote_identifier(self.statement_table)}")
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        for row in self._db.execute(sql, params):
+            yield self._statement_from_row(row)
+        for triple in self._property_table_matches(subject, predicate,
+                                                   obj):
+            yield Statement.from_triple(triple)
+
+    def _property_table_matches(self, subject, predicate, obj):
+        """Statements from the property tables matching the pattern."""
+        for table in self._tables_for_properties():
+            for triple in table.triples():
+                if subject is not None and triple.subject != subject:
+                    continue
+                if predicate is not None and \
+                        triple.predicate != predicate:
+                    continue
+                if obj is not None and triple.object != obj:
+                    continue
+                yield triple
+
+    def contains(self, statement: Statement | Triple) -> bool:
+        triple = statement.as_triple() if isinstance(statement, Statement) \
+            else statement
+        in_statement_table = self._db.query_one(
+            f"SELECT 1 FROM {quote_identifier(self.statement_table)} "
+            "WHERE subj = ? AND prop = ? AND obj = ? LIMIT 1",
+            (encode_term(triple.subject), encode_term(triple.predicate),
+             encode_term(triple.object))) is not None
+        if in_statement_table:
+            return True
+        for table in self._tables_for_properties():
+            if table.covers(triple.predicate) and table.get_value(
+                    triple.subject, triple.predicate) == triple.object:
+                return True
+        return False
+
+    def size(self) -> int:
+        """``m.size()``: asserted statement count (all tables)."""
+        count = self._db.row_count(self.statement_table)
+        for table in self._tables_for_properties():
+            count += sum(1 for _triple in table.triples())
+        return count
+
+    @staticmethod
+    def _statement_from_row(row) -> Statement:
+        subject = decode_term(row["subj"])
+        predicate = decode_term(row["prop"])
+        obj = decode_term(row["obj"])
+        assert isinstance(predicate, URI)
+        return Statement(subject, predicate, obj)
+
+    # ------------------------------------------------------------------
+    # reified statements (property-class table)
+    # ------------------------------------------------------------------
+
+    def create_reified_statement(self, statement: Statement | Triple,
+                                 stmt_uri: str | None = None) -> str:
+        """Reify a statement: one property-class row with all attributes.
+
+        Returns the StmtURI.  Idempotent per (statement, auto-URI): an
+        existing reification row for the same statement is reused when
+        no explicit URI is given, matching Jena's reified-statement
+        cache.
+        """
+        triple = statement.as_triple() if isinstance(statement, Statement) \
+            else statement
+        if stmt_uri is None:
+            existing = self._find_reified(triple)
+            if existing is not None:
+                return existing
+            stmt_uri = (f"urn:jena:reified:{self.model_name}:"
+                        f"{next(_reif_uri_counter)}")
+        self._db.execute(
+            f"INSERT INTO {quote_identifier(self.reified_table)} "
+            "(stmt_uri, subj, prop, obj, rdf_type) VALUES (?, ?, ?, ?, ?)",
+            (stmt_uri, encode_term(triple.subject),
+             encode_term(triple.predicate),
+             encode_term(triple.object),
+             "http://www.w3.org/1999/02/22-rdf-syntax-ns#Statement"))
+        return stmt_uri
+
+    def _find_reified(self, triple: Triple) -> str | None:
+        row = self._db.query_one(
+            f"SELECT stmt_uri FROM {quote_identifier(self.reified_table)} "
+            "WHERE subj = ? AND prop = ? AND obj = ? LIMIT 1",
+            (encode_term(triple.subject), encode_term(triple.predicate),
+             encode_term(triple.object)))
+        return None if row is None else row["stmt_uri"]
+
+    def is_reified(self, statement: Statement | Triple) -> bool:
+        """``m.isReified(stmt)``: one indexed lookup on the
+        property-class table — Jena2's optimised reification check."""
+        triple = statement.as_triple() if isinstance(statement, Statement) \
+            else statement
+        return self._find_reified(triple) is not None
+
+    def reified_count(self) -> int:
+        return self._db.row_count(self.reified_table)
+
+    def list_reified(self) -> Iterator[tuple[str, Statement]]:
+        """All (StmtURI, statement) reifications of this model."""
+        for row in self._db.execute(
+                f"SELECT stmt_uri, subj, prop, obj FROM "
+                f"{quote_identifier(self.reified_table)}"):
+            yield row["stmt_uri"], self._statement_from_row(row)

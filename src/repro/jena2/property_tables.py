@@ -1,0 +1,148 @@
+"""Jena2 property tables.
+
+"Jena2 can be configured to include property tables on graph creation
+... these tables store subject-value pairs for specified predicates"
+(paper section 3.1).  A property table has a subject column plus one
+column per configured predicate; a row stores the values of those
+predicates for a common subject.  Predicate URIs themselves are not
+stored (the "modest storage reduction"), and commonly co-accessed
+properties cluster in one row (the performance motivation).
+
+The Dublin Core example of the paper::
+
+    PropertyTable.create(db, "dc_props", "docs", [DC.title,
+                         DC.publisher, DC.description])
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.db.connection import quote_identifier
+from repro.errors import StorageError
+from repro.jena2.encoding import decode_term, encode_term
+from repro.rdf.terms import RDFTerm, URI
+from repro.rdf.triple import Triple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.connection import Database
+
+
+def _column_for(predicate: URI) -> str:
+    """A column name derived from a predicate's local name."""
+    local = predicate.value
+    for separator in ("#", "/", ":"):
+        if separator in local:
+            local = local.rsplit(separator, 1)[1]
+    cleaned = "".join(ch if ch.isalnum() else "_" for ch in local)
+    if not cleaned or not cleaned[0].isalpha():
+        cleaned = "p_" + cleaned
+    return cleaned.lower()
+
+
+class PropertyTable:
+    """One property table: subject + one column per predicate."""
+
+    def __init__(self, database: "Database", table_name: str,
+                 predicates: Sequence[URI]) -> None:
+        if not predicates:
+            raise StorageError("a property table needs >= 1 predicate")
+        self._db = database
+        self.table_name = table_name
+        self.predicates = tuple(predicates)
+        self._columns = {predicate: _column_for(predicate)
+                         for predicate in self.predicates}
+        if len(set(self._columns.values())) != len(self._columns):
+            raise StorageError(
+                "property-table predicates collide on column names: "
+                f"{sorted(self._columns.values())}")
+
+    @classmethod
+    def create(cls, database: "Database", table_name: str,
+               predicates: Sequence[URI]) -> "PropertyTable":
+        """Create the table for the given predicates."""
+        table = cls(database, table_name, predicates)
+        columns = ", ".join(
+            f"{quote_identifier(column)} TEXT"
+            for column in table._columns.values())
+        database.execute(
+            f"CREATE TABLE {quote_identifier(table_name)} "
+            f"(subject TEXT PRIMARY KEY, {columns})")
+        return table
+
+    def column_for(self, predicate: URI) -> str:
+        column = self._columns.get(predicate)
+        if column is None:
+            raise StorageError(
+                f"{predicate} is not covered by property table "
+                f"{self.table_name}")
+        return column
+
+    def covers(self, predicate: URI) -> bool:
+        return predicate in self._columns
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def set_value(self, subject: RDFTerm, predicate: URI,
+                  obj: RDFTerm) -> None:
+        """Upsert one predicate value for a subject."""
+        column = self.column_for(predicate)
+        self._db.execute(
+            f"INSERT INTO {quote_identifier(self.table_name)} "
+            f"(subject, {quote_identifier(column)}) VALUES (?, ?) "
+            f"ON CONFLICT(subject) DO UPDATE SET "
+            f"{quote_identifier(column)} = excluded."
+            f"{quote_identifier(column)}",
+            (encode_term(subject), encode_term(obj)))
+
+    def add_triple(self, triple: Triple) -> bool:
+        """Route a triple into the table; False when not covered."""
+        if not self.covers(triple.predicate):
+            return False
+        self.set_value(triple.subject, triple.predicate, triple.object)
+        return True
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def get_value(self, subject: RDFTerm, predicate: URI) -> RDFTerm | None:
+        """The stored value, or None."""
+        column = self.column_for(predicate)
+        row = self._db.query_one(
+            f"SELECT {quote_identifier(column)} FROM "
+            f"{quote_identifier(self.table_name)} WHERE subject = ?",
+            (encode_term(subject),))
+        if row is None or row[0] is None:
+            return None
+        return decode_term(row[0])
+
+    def subject_row(self, subject: RDFTerm) -> dict[URI, RDFTerm]:
+        """All clustered values of one subject (one-row fetch)."""
+        row = self._db.query_one(
+            f"SELECT * FROM {quote_identifier(self.table_name)} "
+            "WHERE subject = ?", (encode_term(subject),))
+        if row is None:
+            return {}
+        values: dict[URI, RDFTerm] = {}
+        for predicate, column in self._columns.items():
+            text = row[column]
+            if text is not None:
+                values[predicate] = decode_term(text)
+        return values
+
+    def triples(self) -> Iterator[Triple]:
+        """Expand the table back into triples."""
+        for row in self._db.execute(
+                f"SELECT * FROM {quote_identifier(self.table_name)}"):
+            subject = decode_term(row["subject"])
+            for predicate, column in self._columns.items():
+                text = row[column]
+                if text is not None:
+                    yield Triple(subject, predicate,
+                                 decode_term(text))
+
+    def __len__(self) -> int:
+        return self._db.row_count(self.table_name)

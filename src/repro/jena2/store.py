@@ -1,0 +1,172 @@
+"""The Jena2 store: per-model table management.
+
+"Models are stored in separate tables, and each model stores asserted
+statements in one table and reified statements in another" (paper
+section 3.1).  :class:`Jena2Store` creates those tables — with the
+indexes a deployed Jena2-on-Oracle would carry — and hands out
+:class:`repro.jena2.model.JenaModel` views.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.db.connection import Database, quote_identifier
+from repro.errors import ModelExistsError, ModelNotFoundError
+from repro.jena2.model import JenaModel
+from repro.jena2.property_tables import PropertyTable
+from repro.rdf.terms import URI
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+_CATALOG = "jena_models$"
+_PROP_CATALOG = "jena_prop_tables$"
+
+
+class Jena2Store:
+    """Multi-model Jena2 layout on one database.
+
+    :param database: the hosting database; a path or None (in-memory)
+        is also accepted.
+    """
+
+    def __init__(self, database: "Database | str | Path | None" = None
+                 ) -> None:
+        if database is None:
+            database = Database()
+        elif not isinstance(database, Database):
+            database = Database(database)
+        self._db = database
+        self._db.execute(
+            f"CREATE TABLE IF NOT EXISTS {quote_identifier(_CATALOG)} ("
+            " model_name TEXT PRIMARY KEY)")
+        self._db.execute(
+            f"CREATE TABLE IF NOT EXISTS "
+            f"{quote_identifier(_PROP_CATALOG)} ("
+            " model_name TEXT NOT NULL,"
+            " table_name TEXT NOT NULL,"
+            " predicates TEXT NOT NULL,"
+            " PRIMARY KEY (model_name, table_name))")
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    def close(self) -> None:
+        self._db.close()
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def statement_table(model_name: str) -> str:
+        """The asserted-statement table of a model."""
+        return f"jena_{model_name.lower()}_stmt"
+
+    @staticmethod
+    def reified_table(model_name: str) -> str:
+        """The reified-statement property-class table of a model."""
+        return f"jena_{model_name.lower()}_reif"
+
+    # ------------------------------------------------------------------
+    # model management
+    # ------------------------------------------------------------------
+
+    def create_model(self, model_name: str,
+                     property_tables: Sequence[
+                         tuple[str, Sequence[URI]]] = ()) -> JenaModel:
+        """Create a model's tables and indexes.
+
+        ``property_tables`` configures section 3.1's optional property
+        tables at graph-creation time: each (table_name, predicates)
+        entry becomes a :class:`~repro.jena2.property_tables.
+        PropertyTable`; statements whose predicate is covered are routed
+        there instead of the statement table.
+        """
+        name = model_name.lower()
+        if self.model_exists(name):
+            raise ModelExistsError(model_name)
+        stmt = self.statement_table(name)
+        reif = self.reified_table(name)
+        self._db.executescript(f"""
+            CREATE TABLE {quote_identifier(stmt)} (
+                subj TEXT NOT NULL,
+                prop TEXT NOT NULL,
+                obj  TEXT NOT NULL);
+            CREATE INDEX {quote_identifier(stmt + '_subj')}
+                ON {quote_identifier(stmt)} (subj);
+            CREATE INDEX {quote_identifier(stmt + '_prop')}
+                ON {quote_identifier(stmt)} (prop);
+            CREATE INDEX {quote_identifier(stmt + '_obj')}
+                ON {quote_identifier(stmt)} (obj);
+            CREATE TABLE {quote_identifier(reif)} (
+                stmt_uri TEXT PRIMARY KEY,
+                subj     TEXT,
+                prop     TEXT,
+                obj      TEXT,
+                rdf_type TEXT);
+            CREATE INDEX {quote_identifier(reif + '_spo')}
+                ON {quote_identifier(reif)} (subj, prop, obj);
+        """)
+        self._db.execute(
+            f"INSERT INTO {quote_identifier(_CATALOG)} VALUES (?)",
+            (name,))
+        for table_name, predicates in property_tables:
+            PropertyTable.create(self._db, table_name, list(predicates))
+            self._db.execute(
+                f"INSERT INTO {quote_identifier(_PROP_CATALOG)} "
+                "VALUES (?, ?, ?)",
+                (name, table_name,
+                 json.dumps([p.value for p in predicates])))
+        return JenaModel(self, name)
+
+    def property_tables(self, model_name: str) -> list[PropertyTable]:
+        """The configured property tables of a model."""
+        tables: list[PropertyTable] = []
+        for row in self._db.query_all(
+                f"SELECT table_name, predicates FROM "
+                f"{quote_identifier(_PROP_CATALOG)} "
+                "WHERE model_name = ? ORDER BY table_name",
+                (model_name.lower(),)):
+            predicates = [URI(value)
+                          for value in json.loads(row["predicates"])]
+            tables.append(PropertyTable(self._db, row["table_name"],
+                                        predicates))
+        return tables
+
+    def open_model(self, model_name: str) -> JenaModel:
+        """Open an existing model."""
+        name = model_name.lower()
+        if not self.model_exists(name):
+            raise ModelNotFoundError(model_name)
+        return JenaModel(self, name)
+
+    def drop_model(self, model_name: str) -> None:
+        """Drop a model and its tables (property tables included)."""
+        name = model_name.lower()
+        if not self.model_exists(name):
+            raise ModelNotFoundError(model_name)
+        self._db.drop_table(self.statement_table(name))
+        self._db.drop_table(self.reified_table(name))
+        for table in self.property_tables(name):
+            self._db.drop_table(table.table_name)
+        self._db.execute(
+            f"DELETE FROM {quote_identifier(_PROP_CATALOG)} "
+            "WHERE model_name = ?", (name,))
+        self._db.execute(
+            f"DELETE FROM {quote_identifier(_CATALOG)} "
+            "WHERE model_name = ?", (name,))
+
+    def model_exists(self, model_name: str) -> bool:
+        return self._db.query_one(
+            f"SELECT 1 FROM {quote_identifier(_CATALOG)} "
+            "WHERE model_name = ?", (model_name.lower(),)) is not None
+
+    def model_names(self) -> Iterator[str]:
+        for row in self._db.query_all(
+                f"SELECT model_name FROM {quote_identifier(_CATALOG)} "
+                "ORDER BY model_name"):
+            yield row["model_name"]

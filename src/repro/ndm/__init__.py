@@ -1,0 +1,48 @@
+"""Network Data Model (NDM) substrate.
+
+Oracle Spatial's NDM stores, manages, and analyses networks in the
+database; the paper builds the RDF store on top of it, modelling RDF
+graphs as *directed logical networks* whose node and link tables are the
+central-schema ``rdf_node$`` / ``rdf_link$`` tables.
+
+This subpackage reimplements the part of NDM the RDF store relies on:
+
+* a network **catalog** (:mod:`repro.ndm.catalog`) registering logical
+  networks and the tables that back them;
+* the :class:`repro.ndm.network.LogicalNetwork` API over node/link tables
+  (nodes, links, degrees, neighbours);
+* **analysis** (:mod:`repro.ndm.analysis`): shortest paths, reachability,
+  connected components, traversals — the "analyzed as networks" promise
+  of the paper's abstract.
+"""
+
+from repro.ndm.builder import NetworkBuilder
+from repro.ndm.catalog import NetworkCatalog, NetworkMetadata
+from repro.ndm.network import Link, LogicalNetwork, Node
+from repro.ndm.analysis import (
+    NetworkAnalyzer,
+    Path,
+    bfs_order,
+    connected_components,
+    nearest_neighbors,
+    reachable_nodes,
+    shortest_path,
+    within_cost,
+)
+
+__all__ = [
+    "Link",
+    "LogicalNetwork",
+    "NetworkAnalyzer",
+    "NetworkBuilder",
+    "NetworkCatalog",
+    "NetworkMetadata",
+    "Node",
+    "Path",
+    "bfs_order",
+    "connected_components",
+    "nearest_neighbors",
+    "reachable_nodes",
+    "shortest_path",
+    "within_cost",
+]

@@ -1,0 +1,346 @@
+"""NDM network analysis: traversal, shortest paths, connectivity.
+
+These are the "analyze as networks" capabilities the paper inherits from
+NDM.  All algorithms run over an adjacency snapshot taken from a
+:class:`repro.ndm.network.LogicalNetwork` so repeated analyses don't
+re-query the database, and all are implemented from scratch (BFS, DFS,
+Dijkstra, union-find components) — no external graph library.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import NetworkError
+from repro.ndm.network import LogicalNetwork
+
+Adjacency = dict[int, list[tuple[int, float, int]]]
+
+
+@dataclass(frozen=True, slots=True)
+class Path:
+    """A path through a network: node sequence, link sequence, total cost."""
+
+    nodes: tuple[int, ...]
+    links: tuple[int, ...]
+    cost: float
+
+    @property
+    def start(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def end(self) -> int:
+        return self.nodes[-1]
+
+    def __len__(self) -> int:
+        """Number of links (hops) in the path."""
+        return len(self.links)
+
+
+def shortest_path(adjacency: Adjacency, source: int,
+                  target: int) -> Path | None:
+    """Dijkstra shortest path from ``source`` to ``target``.
+
+    Returns None when the target is unreachable.  A zero-length path is
+    returned when source == target.
+    """
+    if source not in adjacency:
+        raise NetworkError(f"node {source} is not in the network")
+    if source == target:
+        return Path((source,), (), 0.0)
+    distances: dict[int, float] = {source: 0.0}
+    previous: dict[int, tuple[int, int]] = {}
+    queue: list[tuple[float, int]] = [(0.0, source)]
+    visited: set[int] = set()
+    while queue:
+        distance, node = heapq.heappop(queue)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == target:
+            break
+        for neighbor, cost, link_id in adjacency.get(node, ()):
+            if cost < 0:
+                raise NetworkError(
+                    f"negative link cost {cost} on link {link_id}")
+            candidate = distance + cost
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                previous[neighbor] = (node, link_id)
+                heapq.heappush(queue, (candidate, neighbor))
+    if target not in previous:
+        return None
+    nodes: list[int] = [target]
+    links: list[int] = []
+    cursor = target
+    while cursor != source:
+        parent, link_id = previous[cursor]
+        nodes.append(parent)
+        links.append(link_id)
+        cursor = parent
+    nodes.reverse()
+    links.reverse()
+    return Path(tuple(nodes), tuple(links), distances[target])
+
+
+def within_cost(adjacency: Adjacency, source: int,
+                max_cost: float) -> dict[int, float]:
+    """All nodes reachable within ``max_cost``, with their distances.
+
+    Oracle NDM's "within cost" analysis: a bounded Dijkstra from the
+    source.  The source is included at distance 0.
+    """
+    if source not in adjacency:
+        raise NetworkError(f"node {source} is not in the network")
+    distances: dict[int, float] = {source: 0.0}
+    queue: list[tuple[float, int]] = [(0.0, source)]
+    settled: dict[int, float] = {}
+    while queue:
+        distance, node = heapq.heappop(queue)
+        if node in settled:
+            continue
+        settled[node] = distance
+        for neighbor, cost, link_id in adjacency.get(node, ()):
+            if cost < 0:
+                raise NetworkError(
+                    f"negative link cost {cost} on link {link_id}")
+            candidate = distance + cost
+            if candidate > max_cost:
+                continue
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                heapq.heappush(queue, (candidate, neighbor))
+    return settled
+
+
+def nearest_neighbors(adjacency: Adjacency, source: int,
+                      count: int) -> list[tuple[int, float]]:
+    """The ``count`` nearest nodes to ``source`` by path cost.
+
+    Oracle NDM's nearest-neighbours analysis: Dijkstra until ``count``
+    nodes (excluding the source) are settled.  Returns (node, cost)
+    pairs ordered by distance; fewer when the component is small.
+    """
+    if source not in adjacency:
+        raise NetworkError(f"node {source} is not in the network")
+    if count < 0:
+        raise NetworkError("neighbor count must be non-negative")
+    distances: dict[int, float] = {source: 0.0}
+    queue: list[tuple[float, int]] = [(0.0, source)]
+    settled: set[int] = set()
+    neighbors: list[tuple[int, float]] = []
+    while queue and len(neighbors) < count:
+        distance, node = heapq.heappop(queue)
+        if node in settled:
+            continue
+        settled.add(node)
+        if node != source:
+            neighbors.append((node, distance))
+        for neighbor, cost, link_id in adjacency.get(node, ()):
+            if cost < 0:
+                raise NetworkError(
+                    f"negative link cost {cost} on link {link_id}")
+            candidate = distance + cost
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                heapq.heappush(queue, (candidate, neighbor))
+    return neighbors
+
+
+def reachable_nodes(adjacency: Adjacency, source: int,
+                    max_hops: int | None = None) -> set[int]:
+    """All nodes reachable from ``source`` (source included).
+
+    ``max_hops`` bounds the BFS depth; None means unbounded.
+    """
+    if source not in adjacency:
+        raise NetworkError(f"node {source} is not in the network")
+    seen = {source}
+    frontier = [source]
+    hops = 0
+    while frontier and (max_hops is None or hops < max_hops):
+        next_frontier: list[int] = []
+        for node in frontier:
+            for neighbor, _cost, _link in adjacency.get(node, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+        hops += 1
+    return seen
+
+
+def bfs_order(adjacency: Adjacency, source: int) -> list[int]:
+    """Breadth-first visit order from ``source``."""
+    if source not in adjacency:
+        raise NetworkError(f"node {source} is not in the network")
+    order: list[int] = []
+    seen = {source}
+    frontier = [source]
+    while frontier:
+        next_frontier: list[int] = []
+        for node in frontier:
+            order.append(node)
+            for neighbor, _cost, _link in adjacency.get(node, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return order
+
+
+def dfs_order(adjacency: Adjacency, source: int) -> list[int]:
+    """Depth-first visit order from ``source`` (iterative)."""
+    if source not in adjacency:
+        raise NetworkError(f"node {source} is not in the network")
+    order: list[int] = []
+    seen: set[int] = set()
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        neighbors = [n for n, _c, _l in adjacency.get(node, ())]
+        stack.extend(reversed(neighbors))
+    return order
+
+
+def minimum_spanning_forest(adjacency: Adjacency
+                            ) -> list[tuple[int, int, float, int]]:
+    """Kruskal's minimum spanning forest over the undirected view.
+
+    Treats every link as undirected (NDM's MST analysis ignores
+    direction) and returns the chosen edges as (start, end, cost,
+    link_id), one forest tree per connected component.  Deterministic:
+    ties break on link_id.
+    """
+    edges: list[tuple[float, int, int, int]] = []
+    seen_links: set[int] = set()
+    for start, neighbors in adjacency.items():
+        for end, cost, link_id in neighbors:
+            if cost < 0:
+                raise NetworkError(
+                    f"negative link cost {cost} on link {link_id}")
+            if link_id in seen_links:
+                continue  # mirrored undirected edge
+            seen_links.add(link_id)
+            edges.append((cost, link_id, start, end))
+    edges.sort()
+    parent: dict[int, int] = {node: node for node in adjacency}
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    forest: list[tuple[int, int, float, int]] = []
+    for cost, link_id, start, end in edges:
+        root_start, root_end = find(start), find(end)
+        if root_start == root_end:
+            continue
+        parent[root_start] = root_end
+        forest.append((start, end, cost, link_id))
+    return forest
+
+
+def connected_components(adjacency: Adjacency) -> list[set[int]]:
+    """Weakly connected components, largest first.
+
+    The adjacency must already be undirected (see
+    ``LogicalNetwork.adjacency(undirected=True)``); for a directed
+    adjacency this computes components of the directed reachability
+    relation's symmetric closure *as given*.
+    """
+    components: list[set[int]] = []
+    unvisited = set(adjacency)
+    while unvisited:
+        root = next(iter(unvisited))
+        component = _flood(adjacency, root)
+        components.append(component)
+        unvisited -= component
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def _flood(adjacency: Adjacency, root: int) -> set[int]:
+    seen = {root}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for neighbor, _cost, _link in adjacency.get(node, ()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return seen
+
+
+class NetworkAnalyzer:
+    """Convenience facade binding the algorithms to one network.
+
+    Takes the adjacency snapshot once and exposes the NDM-style analysis
+    entry points.  ``undirected=True`` analyses the symmetric closure —
+    appropriate for connectivity questions over RDF graphs, where link
+    direction encodes subject/object roles rather than traversability.
+    """
+
+    def __init__(self, network: LogicalNetwork,
+                 undirected: bool = False) -> None:
+        self._network = network
+        self._adjacency = network.adjacency(undirected=undirected)
+        self._undirected = undirected
+
+    @property
+    def adjacency(self) -> Adjacency:
+        return self._adjacency
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._adjacency
+
+    def shortest_path(self, source: int, target: int) -> Path | None:
+        return shortest_path(self._adjacency, source, target)
+
+    def within_cost(self, source: int,
+                    max_cost: float) -> dict[int, float]:
+        return within_cost(self._adjacency, source, max_cost)
+
+    def nearest_neighbors(self, source: int,
+                          count: int) -> list[tuple[int, float]]:
+        return nearest_neighbors(self._adjacency, source, count)
+
+    def reachable(self, source: int,
+                  max_hops: int | None = None) -> set[int]:
+        return reachable_nodes(self._adjacency, source, max_hops=max_hops)
+
+    def is_reachable(self, source: int, target: int) -> bool:
+        return target in self.reachable(source)
+
+    def bfs(self, source: int) -> list[int]:
+        return bfs_order(self._adjacency, source)
+
+    def dfs(self, source: int) -> list[int]:
+        return dfs_order(self._adjacency, source)
+
+    def components(self) -> list[set[int]]:
+        return connected_components(self._adjacency)
+
+    def minimum_spanning_forest(self):
+        return minimum_spanning_forest(self._adjacency)
+
+    def degrees(self) -> dict[int, int]:
+        """Out-degree per node over the snapshot."""
+        return {node: len(edges) for node, edges in self._adjacency.items()}
+
+    def hubs(self, top: int = 10) -> list[tuple[int, int]]:
+        """The ``top`` highest out-degree nodes as (node, degree)."""
+        degrees = self.degrees()
+        ranked = sorted(degrees.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top]
+
+    def nodes(self) -> Iterator[int]:
+        return iter(self._adjacency)

@@ -1,0 +1,179 @@
+"""Creating and editing standalone NDM logical networks.
+
+The RDF store rides on NDM, but NDM itself is a general network
+facility — "Oracle's optimal solution for storing, managing, and
+analyzing networks or graphs in the database".  This module provides
+the *managing* part for networks that are not RDF models: creating a
+network's node/link tables, inserting and removing nodes and links,
+and updating link costs.  The resulting networks are ordinary catalog
+entries, so :class:`repro.ndm.network.LogicalNetwork` and the analysis
+suite work on them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.db.connection import quote_identifier
+from repro.errors import NetworkError
+from repro.ndm.catalog import NetworkCatalog, NetworkMetadata
+from repro.ndm.network import Link, LogicalNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.connection import Database
+
+
+class NetworkBuilder:
+    """Create and mutate one standalone logical network.
+
+    :param database: the hosting database.
+    :param network_name: catalog name; the backing tables are
+        ``ndm_<name>_node$`` and ``ndm_<name>_link$``.
+    """
+
+    def __init__(self, database: "Database", network_name: str,
+                 directed: bool = True) -> None:
+        self._db = database
+        self.network_name = network_name
+        self._catalog = NetworkCatalog(database)
+        if not self._catalog.exists(network_name):
+            self._create(directed)
+        self._meta = self._catalog.get(network_name)
+
+    def _table(self, kind: str) -> str:
+        return f"ndm_{self.network_name.lower()}_{kind}$"
+
+    def _create(self, directed: bool) -> None:
+        node_table = self._table("node")
+        link_table = self._table("link")
+        self._db.executescript(f"""
+            CREATE TABLE {quote_identifier(node_table)} (
+                node_id   INTEGER PRIMARY KEY,
+                node_name TEXT UNIQUE,
+                active    TEXT NOT NULL DEFAULT 'Y');
+            CREATE TABLE {quote_identifier(link_table)} (
+                link_id       INTEGER PRIMARY KEY,
+                link_name     TEXT,
+                start_node_id INTEGER NOT NULL REFERENCES
+                              {quote_identifier(node_table)} (node_id),
+                end_node_id   INTEGER NOT NULL REFERENCES
+                              {quote_identifier(node_table)} (node_id),
+                cost          REAL NOT NULL DEFAULT 1.0);
+            CREATE INDEX {quote_identifier(link_table + '_s')}
+                ON {quote_identifier(link_table)} (start_node_id);
+            CREATE INDEX {quote_identifier(link_table + '_e')}
+                ON {quote_identifier(link_table)} (end_node_id);
+        """)
+        self._catalog.register(NetworkMetadata(
+            network_name=self.network_name,
+            node_table=node_table,
+            link_table=link_table,
+            node_id_column="node_id",
+            link_id_column="link_id",
+            start_node_column="start_node_id",
+            end_node_column="end_node_id",
+            cost_column="cost",
+            directed=directed))
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+
+    def add_node(self, node_name: str | None = None) -> int:
+        """Insert a node; returns its NODE_ID.
+
+        Named nodes are idempotent: re-adding a name returns the
+        existing ID.
+        """
+        if node_name is not None:
+            existing = self.node_id(node_name)
+            if existing is not None:
+                return existing
+        cursor = self._db.execute(
+            f"INSERT INTO {quote_identifier(self._table('node'))} "
+            "(node_name) VALUES (?)", (node_name,))
+        return int(cursor.lastrowid)
+
+    def node_id(self, node_name: str) -> int | None:
+        """The NODE_ID of a named node, or None."""
+        return self._db.query_value(
+            f"SELECT node_id FROM "
+            f"{quote_identifier(self._table('node'))} "
+            "WHERE node_name = ?", (node_name,))
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node; refuses while links reference it."""
+        in_use = self._db.query_one(
+            f"SELECT 1 FROM {quote_identifier(self._table('link'))} "
+            "WHERE start_node_id = ? OR end_node_id = ? LIMIT 1",
+            (node_id, node_id))
+        if in_use is not None:
+            raise NetworkError(
+                f"node {node_id} still has links; remove them first")
+        self._db.execute(
+            f"DELETE FROM {quote_identifier(self._table('node'))} "
+            "WHERE node_id = ?", (node_id,))
+
+    # ------------------------------------------------------------------
+    # links
+    # ------------------------------------------------------------------
+
+    def add_link(self, start_node_id: int, end_node_id: int,
+                 cost: float = 1.0,
+                 link_name: str | None = None) -> Link:
+        """Insert a directed link; returns it."""
+        if cost < 0:
+            raise NetworkError(f"link cost must be >= 0, got {cost}")
+        cursor = self._db.execute(
+            f"INSERT INTO {quote_identifier(self._table('link'))} "
+            "(link_name, start_node_id, end_node_id, cost) "
+            "VALUES (?, ?, ?, ?)",
+            (link_name, start_node_id, end_node_id, cost))
+        return Link(int(cursor.lastrowid), start_node_id, end_node_id,
+                    cost)
+
+    def connect(self, start_name: str, end_name: str,
+                cost: float = 1.0) -> Link:
+        """Name-based convenience: add (and auto-create) named nodes
+        and a link between them."""
+        return self.add_link(self.add_node(start_name),
+                             self.add_node(end_name), cost=cost)
+
+    def set_cost(self, link_id: int, cost: float) -> None:
+        """Update one link's traversal cost."""
+        if cost < 0:
+            raise NetworkError(f"link cost must be >= 0, got {cost}")
+        cursor = self._db.execute(
+            f"UPDATE {quote_identifier(self._table('link'))} "
+            "SET cost = ? WHERE link_id = ?", (cost, link_id))
+        if cursor.rowcount == 0:
+            raise NetworkError(f"no link with LINK_ID={link_id}")
+
+    def remove_link(self, link_id: int) -> None:
+        cursor = self._db.execute(
+            f"DELETE FROM {quote_identifier(self._table('link'))} "
+            "WHERE link_id = ?", (link_id,))
+        if cursor.rowcount == 0:
+            raise NetworkError(f"no link with LINK_ID={link_id}")
+
+    # ------------------------------------------------------------------
+    # handoff
+    # ------------------------------------------------------------------
+
+    def network(self) -> LogicalNetwork:
+        """The read/analysis view over this network."""
+        return LogicalNetwork(self._db, self._meta)
+
+    def node_names(self) -> dict[int, str]:
+        """NODE_ID -> node_name for named nodes."""
+        return {row["node_id"]: row["node_name"]
+                for row in self._db.query_all(
+                    f"SELECT node_id, node_name FROM "
+                    f"{quote_identifier(self._table('node'))} "
+                    "WHERE node_name IS NOT NULL")}
+
+    def drop(self) -> None:
+        """Drop the network: catalog entry and both tables."""
+        self._catalog.drop(self.network_name)
+        self._db.drop_table(self._table("link"))
+        self._db.drop_table(self._table("node"))

@@ -1,0 +1,119 @@
+"""The NDM network catalog.
+
+Oracle NDM keeps network metadata in catalog views (which tables back a
+network, whether it is directed, logical or spatial).  Our catalog is a
+single table ``ndm_network$`` with one row per registered logical
+network.  The RDF store registers its universe network here at schema
+creation time, so generic NDM tooling can discover it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.db.connection import quote_identifier
+from repro.errors import NetworkError, NetworkNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.connection import Database
+
+CATALOG_TABLE = "ndm_network$"
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkMetadata:
+    """One catalog row: how a logical network is stored.
+
+    ``partition_column`` names an optional column of the link table that
+    logically partitions the network (MODEL_ID for the RDF universe
+    network); analyses can then be restricted to one partition.
+    """
+
+    network_name: str
+    node_table: str
+    link_table: str
+    node_id_column: str
+    link_id_column: str
+    start_node_column: str
+    end_node_column: str
+    cost_column: str | None = None
+    directed: bool = True
+    partition_column: str | None = None
+
+
+class NetworkCatalog:
+    """CRUD over the ``ndm_network$`` catalog."""
+
+    def __init__(self, database: "Database") -> None:
+        self._db = database
+        self._ensure_table()
+
+    def _ensure_table(self) -> None:
+        self._db.execute(
+            f"CREATE TABLE IF NOT EXISTS {quote_identifier(CATALOG_TABLE)} ("
+            " network_name TEXT PRIMARY KEY,"
+            " node_table TEXT NOT NULL,"
+            " link_table TEXT NOT NULL,"
+            " node_id_column TEXT NOT NULL,"
+            " link_id_column TEXT NOT NULL,"
+            " start_node_column TEXT NOT NULL,"
+            " end_node_column TEXT NOT NULL,"
+            " cost_column TEXT,"
+            " directed INTEGER NOT NULL DEFAULT 1,"
+            " partition_column TEXT)")
+
+    def register(self, metadata: NetworkMetadata) -> None:
+        """Register a network; raises on duplicate names."""
+        if self.exists(metadata.network_name):
+            raise NetworkError(
+                f"network {metadata.network_name!r} is already registered")
+        self._db.execute(
+            f"INSERT INTO {quote_identifier(CATALOG_TABLE)} VALUES "
+            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (metadata.network_name, metadata.node_table,
+             metadata.link_table, metadata.node_id_column,
+             metadata.link_id_column, metadata.start_node_column,
+             metadata.end_node_column, metadata.cost_column,
+             1 if metadata.directed else 0, metadata.partition_column))
+
+    def drop(self, network_name: str) -> None:
+        """Remove a network's catalog entry (its tables are untouched)."""
+        cursor = self._db.execute(
+            f"DELETE FROM {quote_identifier(CATALOG_TABLE)} "
+            "WHERE network_name = ?", (network_name,))
+        if cursor.rowcount == 0:
+            raise NetworkNotFoundError(network_name)
+
+    def exists(self, network_name: str) -> bool:
+        return self._db.query_one(
+            f"SELECT 1 FROM {quote_identifier(CATALOG_TABLE)} "
+            "WHERE network_name = ?", (network_name,)) is not None
+
+    def get(self, network_name: str) -> NetworkMetadata:
+        row = self._db.query_one(
+            f"SELECT * FROM {quote_identifier(CATALOG_TABLE)} "
+            "WHERE network_name = ?", (network_name,))
+        if row is None:
+            raise NetworkNotFoundError(network_name)
+        return self._metadata_from_row(row)
+
+    def __iter__(self) -> Iterator[NetworkMetadata]:
+        for row in self._db.query_all(
+                f"SELECT * FROM {quote_identifier(CATALOG_TABLE)} "
+                "ORDER BY network_name"):
+            yield self._metadata_from_row(row)
+
+    @staticmethod
+    def _metadata_from_row(row) -> NetworkMetadata:
+        return NetworkMetadata(
+            network_name=row["network_name"],
+            node_table=row["node_table"],
+            link_table=row["link_table"],
+            node_id_column=row["node_id_column"],
+            link_id_column=row["link_id_column"],
+            start_node_column=row["start_node_column"],
+            end_node_column=row["end_node_column"],
+            cost_column=row["cost_column"],
+            directed=bool(row["directed"]),
+            partition_column=row["partition_column"])

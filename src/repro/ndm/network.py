@@ -1,0 +1,192 @@
+"""The logical-network API over node/link tables.
+
+A *logical network* in NDM is a graph without geometry: nodes and directed
+links stored in two tables.  :class:`LogicalNetwork` gives a graph-shaped
+view over whatever tables the catalog entry names — for the RDF store that
+is ``rdf_node$`` / ``rdf_link$``, so every RDF model *is* an NDM network
+partition and all the analysis below applies to it directly (the paper's
+"RDF data ... analyzed as networks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.db.connection import quote_identifier
+from repro.errors import NetworkError
+from repro.ndm.catalog import NetworkCatalog, NetworkMetadata
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.connection import Database
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """One network node."""
+
+    node_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """One directed network link with an optional traversal cost."""
+
+    link_id: int
+    start_node_id: int
+    end_node_id: int
+    cost: float = 1.0
+
+
+class LogicalNetwork:
+    """A graph view over the node/link tables of one catalog entry.
+
+    :param database: the hosting database.
+    :param metadata: the catalog entry describing the backing tables.
+    :param partition: optional partition key value; when the metadata
+        declares a ``partition_column`` (MODEL_ID for RDF), restricts the
+        network to that partition — i.e. to one RDF model.
+    """
+
+    def __init__(self, database: "Database", metadata: NetworkMetadata,
+                 partition: int | None = None) -> None:
+        if partition is not None and metadata.partition_column is None:
+            raise NetworkError(
+                f"network {metadata.network_name!r} is not partitioned")
+        self._db = database
+        self._meta = metadata
+        self._partition = partition
+
+    @classmethod
+    def open(cls, database: "Database", network_name: str,
+             partition: int | None = None) -> "LogicalNetwork":
+        """Open a network by catalog name."""
+        metadata = NetworkCatalog(database).get(network_name)
+        return cls(database, metadata, partition=partition)
+
+    @property
+    def metadata(self) -> NetworkMetadata:
+        return self._meta
+
+    @property
+    def directed(self) -> bool:
+        return self._meta.directed
+
+    @property
+    def partition(self) -> int | None:
+        return self._partition
+
+    # ------------------------------------------------------------------
+    # SQL assembly
+    # ------------------------------------------------------------------
+
+    def _link_filter(self) -> tuple[str, tuple]:
+        if self._partition is None:
+            return "", ()
+        return (f" WHERE {quote_identifier(self._meta.partition_column)} = ?",
+                (self._partition,))
+
+    def _link_select(self, extra_where: str = "",
+                     extra_params: tuple = ()) -> tuple[str, tuple]:
+        meta = self._meta
+        cost_expr = (quote_identifier(meta.cost_column)
+                     if meta.cost_column else "1.0")
+        sql = (f"SELECT {quote_identifier(meta.link_id_column)} AS link_id,"
+               f" {quote_identifier(meta.start_node_column)} AS start_id,"
+               f" {quote_identifier(meta.end_node_column)} AS end_id,"
+               f" {cost_expr} AS cost"
+               f" FROM {quote_identifier(meta.link_table)}")
+        where, params = self._link_filter()
+        if extra_where:
+            connective = " AND " if where else " WHERE "
+            where += connective + extra_where
+            params = params + extra_params
+        return sql + where, params
+
+    # ------------------------------------------------------------------
+    # graph access
+    # ------------------------------------------------------------------
+
+    def links(self) -> Iterator[Link]:
+        """All links of the (partitioned) network."""
+        sql, params = self._link_select()
+        for row in self._db.execute(sql, params):
+            yield Link(row["link_id"], row["start_id"], row["end_id"],
+                       float(row["cost"]))
+
+    def nodes(self) -> set[int]:
+        """All node IDs participating in any link."""
+        sql, params = self._link_select()
+        node_ids: set[int] = set()
+        for row in self._db.execute(sql, params):
+            node_ids.add(row["start_id"])
+            node_ids.add(row["end_id"])
+        return node_ids
+
+    def link_count(self) -> int:
+        where, params = self._link_filter()
+        return int(self._db.query_value(
+            f"SELECT COUNT(*) FROM "
+            f"{quote_identifier(self._meta.link_table)}{where}",
+            params, default=0))
+
+    def node_count(self) -> int:
+        return len(self.nodes())
+
+    def successors(self, node_id: int) -> list[Link]:
+        """Links leaving ``node_id``."""
+        sql, params = self._link_select(
+            f"{quote_identifier(self._meta.start_node_column)} = ?",
+            (node_id,))
+        return [Link(row["link_id"], row["start_id"], row["end_id"],
+                     float(row["cost"]))
+                for row in self._db.execute(sql, params)]
+
+    def predecessors(self, node_id: int) -> list[Link]:
+        """Links arriving at ``node_id``."""
+        sql, params = self._link_select(
+            f"{quote_identifier(self._meta.end_node_column)} = ?",
+            (node_id,))
+        return [Link(row["link_id"], row["start_id"], row["end_id"],
+                     float(row["cost"]))
+                for row in self._db.execute(sql, params)]
+
+    def out_degree(self, node_id: int) -> int:
+        return len(self.successors(node_id))
+
+    def in_degree(self, node_id: int) -> int:
+        return len(self.predecessors(node_id))
+
+    def degree(self, node_id: int) -> int:
+        """Total degree (in + out for directed networks)."""
+        return self.in_degree(node_id) + self.out_degree(node_id)
+
+    def has_link(self, start_node_id: int, end_node_id: int) -> bool:
+        """True when a link start -> end exists."""
+        meta = self._meta
+        sql, params = self._link_select(
+            f"{quote_identifier(meta.start_node_column)} = ? AND "
+            f"{quote_identifier(meta.end_node_column)} = ?",
+            (start_node_id, end_node_id))
+        return self._db.query_one(sql, params) is not None
+
+    # ------------------------------------------------------------------
+    # adjacency snapshot for the analyzer
+    # ------------------------------------------------------------------
+
+    def adjacency(self, undirected: bool = False
+                  ) -> dict[int, list[tuple[int, float, int]]]:
+        """In-memory adjacency: node -> [(neighbor, cost, link_id)].
+
+        With ``undirected=True`` every link is mirrored, which is how NDM
+        treats directed networks for connectivity-style analyses.
+        """
+        adjacency: dict[int, list[tuple[int, float, int]]] = {}
+        for link in self.links():
+            adjacency.setdefault(link.start_node_id, []).append(
+                (link.end_node_id, link.cost, link.link_id))
+            adjacency.setdefault(link.end_node_id, [])
+            if undirected:
+                adjacency[link.end_node_id].append(
+                    (link.start_node_id, link.cost, link.link_id))
+        return adjacency

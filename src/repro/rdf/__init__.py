@@ -1,0 +1,86 @@
+"""RDF data model: terms, triples, namespaces, parsing, and graphs.
+
+This subpackage is the self-contained RDF substrate the store is built on.
+It implements the term model of the RDF Concepts and Abstract Syntax
+recommendation as the paper uses it: URIs, blank nodes, plain literals with
+optional language tags, typed literals, and long literals (values longer
+than :data:`repro.rdf.terms.LONG_LITERAL_THRESHOLD` characters, which the
+paper stores out-of-line in a LONG_VALUE column).
+"""
+
+from repro.rdf.terms import (
+    LONG_LITERAL_THRESHOLD,
+    BlankNode,
+    Literal,
+    RDFTerm,
+    URI,
+    ValueType,
+    term_from_lexical,
+)
+from repro.rdf.triple import Triple
+from repro.rdf.namespaces import (
+    Alias,
+    AliasSet,
+    Namespace,
+    DC,
+    OWL,
+    RDF,
+    RDFS,
+    XSD,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import (
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+    term_to_ntriples,
+)
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+from repro.rdf.rdfxml import parse_rdfxml, serialize_rdfxml
+from repro.rdf.isomorphism import isomorphic
+from repro.rdf.containers import Alt, Bag, Container, Seq
+from repro.rdf.reification_vocab import (
+    REIFICATION_PREDICATES,
+    Quad,
+    collect_quads,
+    expand_quad,
+    is_reification_predicate,
+)
+
+__all__ = [
+    "Alias",
+    "AliasSet",
+    "Alt",
+    "Bag",
+    "BlankNode",
+    "Container",
+    "DC",
+    "Graph",
+    "LONG_LITERAL_THRESHOLD",
+    "Literal",
+    "Namespace",
+    "OWL",
+    "Quad",
+    "RDF",
+    "RDFS",
+    "RDFTerm",
+    "REIFICATION_PREDICATES",
+    "Seq",
+    "Triple",
+    "URI",
+    "ValueType",
+    "XSD",
+    "collect_quads",
+    "expand_quad",
+    "is_reification_predicate",
+    "isomorphic",
+    "parse_ntriples",
+    "parse_ntriples_line",
+    "parse_rdfxml",
+    "parse_turtle",
+    "serialize_ntriples",
+    "serialize_rdfxml",
+    "serialize_turtle",
+    "term_from_lexical",
+    "term_to_ntriples",
+]

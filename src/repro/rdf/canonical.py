@@ -1,0 +1,107 @@
+"""Canonicalization of typed literals.
+
+The ``rdf_link$`` table carries a ``CANON_END_NODE_ID`` column: the
+VALUE_ID for the *canonical form* of the object of the triple.  Two typed
+literals that denote the same value — ``"024"^^xsd:int`` and
+``"24"^^xsd:int`` — have different VALUE_IDs but share one canonical
+VALUE_ID, so value-based joins and DISTINCT queries can compare a single
+integer column.
+
+This module computes the canonical lexical form for the common XSD
+datatypes; for unknown datatypes and non-literals the canonical form is
+the term itself.
+"""
+
+from __future__ import annotations
+
+import math
+from decimal import Decimal, InvalidOperation
+
+from repro.rdf.namespaces import XSD
+from repro.rdf.terms import Literal, RDFTerm
+
+_INTEGER_TYPES = frozenset(
+    XSD.term(name).value for name in (
+        "integer", "int", "long", "short", "byte",
+        "nonNegativeInteger", "positiveInteger",
+        "nonPositiveInteger", "negativeInteger",
+        "unsignedLong", "unsignedInt", "unsignedShort", "unsignedByte",
+    ))
+_DECIMAL_TYPE = XSD.term("decimal").value
+_FLOAT_TYPES = frozenset((XSD.term("float").value, XSD.term("double").value))
+_BOOLEAN_TYPE = XSD.term("boolean").value
+_STRING_TYPE = XSD.term("string").value
+
+
+def canonical_term(term: RDFTerm) -> RDFTerm:
+    """The canonical form of ``term``.
+
+    URIs and blank nodes are already canonical.  Plain literals are
+    canonical.  Typed literals are normalised per datatype; literals whose
+    lexical form is not valid for their datatype are left unchanged (the
+    store accepts them as opaque text, matching Oracle's permissive
+    behaviour).
+    """
+    if not isinstance(term, Literal) or term.datatype is None:
+        return term
+    canonical = canonical_lexical(term.lexical_form, term.datatype.value)
+    if canonical == term.lexical_form:
+        return term
+    return Literal(canonical, datatype=term.datatype)
+
+
+def canonical_lexical(lexical: str, datatype: str) -> str:
+    """The canonical lexical form of ``lexical`` under ``datatype``."""
+    if datatype in _INTEGER_TYPES:
+        return _canonical_integer(lexical)
+    if datatype == _DECIMAL_TYPE:
+        return _canonical_decimal(lexical)
+    if datatype in _FLOAT_TYPES:
+        return _canonical_float(lexical)
+    if datatype == _BOOLEAN_TYPE:
+        return _canonical_boolean(lexical)
+    if datatype == _STRING_TYPE:
+        return lexical
+    return lexical
+
+
+def _canonical_integer(lexical: str) -> str:
+    text = lexical.strip()
+    try:
+        value = int(text, 10)
+    except ValueError:
+        return lexical
+    return str(value)
+
+
+def _canonical_decimal(lexical: str) -> str:
+    text = lexical.strip()
+    try:
+        value = Decimal(text)
+    except InvalidOperation:
+        return lexical
+    if value == value.to_integral_value():
+        return str(value.to_integral_value())
+    return str(value.normalize())
+
+
+def _canonical_float(lexical: str) -> str:
+    text = lexical.strip()
+    try:
+        value = float(text)
+    except ValueError:
+        return lexical
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "INF" if value > 0 else "-INF"
+    return repr(value)
+
+
+def _canonical_boolean(lexical: str) -> str:
+    text = lexical.strip()
+    if text in ("true", "1"):
+        return "true"
+    if text in ("false", "0"):
+        return "false"
+    return lexical

@@ -1,0 +1,143 @@
+"""RDF containers: Bag, Seq, and Alt.
+
+To describe groups of things, RDF uses a *container* resource: a blank
+node typed ``rdf:Bag`` / ``rdf:Seq`` / ``rdf:Alt`` whose members hang off
+membership properties ``rdf:_1``, ``rdf:_2``, ... (paper section 2).  The
+store recognises membership predicates and tags their links with
+``LINK_TYPE='RDF_MEMBER'`` (see :mod:`repro.core.links`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import TermError
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import BlankNode, RDFTerm, URI
+from repro.rdf.triple import Triple
+
+_MEMBER_RE = re.compile(
+    re.escape(RDF.base) + r"_([1-9][0-9]*)$")
+
+_container_counter = itertools.count(1)
+
+
+def is_membership_property(predicate: URI) -> bool:
+    """True for the container membership properties ``rdf:_n``."""
+    return _MEMBER_RE.match(predicate.value) is not None
+
+
+def membership_index(predicate: URI) -> int:
+    """The ordinal ``n`` of a membership property ``rdf:_n``."""
+    match = _MEMBER_RE.match(predicate.value)
+    if match is None:
+        raise TermError(f"{predicate} is not a membership property")
+    return int(match.group(1))
+
+
+def membership_property(index: int) -> URI:
+    """The membership property ``rdf:_index``."""
+    if index < 1:
+        raise TermError("membership index starts at 1")
+    return RDF.term(f"_{index}")
+
+
+class Container:
+    """Base class for the three container kinds.
+
+    A container owns a node (a fresh blank node by default) and an ordered
+    member list; :meth:`triples` yields the RDF statements that represent
+    it: one ``rdf:type`` triple and one ``rdf:_n`` triple per member.
+    """
+
+    #: The rdf: type URI of the concrete container kind.
+    TYPE: URI
+
+    def __init__(self, members: Iterable[RDFTerm] = (),
+                 node: RDFTerm | None = None) -> None:
+        if node is None:
+            node = BlankNode(f"container{next(_container_counter):06d}")
+        if not isinstance(node, (URI, BlankNode)):
+            raise TermError("container node must be a URI or blank node")
+        self._node = node
+        self._members: list[RDFTerm] = list(members)
+
+    @property
+    def node(self) -> RDFTerm:
+        """The resource that stands for this container."""
+        return self._node
+
+    @property
+    def members(self) -> Sequence[RDFTerm]:
+        return tuple(self._members)
+
+    def append(self, member: RDFTerm) -> None:
+        """Add ``member`` at the end of the container."""
+        self._members.append(member)
+
+    def triples(self) -> Iterator[Triple]:
+        """The statements representing this container."""
+        yield Triple(self._node, RDF.type, self.TYPE)
+        for index, member in enumerate(self._members, start=1):
+            yield Triple(self._node, membership_property(index), member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[RDFTerm]:
+        return iter(self._members)
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(node={self._node}, "
+                f"members={len(self._members)})")
+
+
+class Bag(Container):
+    """An unordered container (duplicates allowed)."""
+
+    TYPE = RDF.Bag
+
+
+class Seq(Container):
+    """An ordered container."""
+
+    TYPE = RDF.Seq
+
+
+class Alt(Container):
+    """A container of alternatives; the first member is the default."""
+
+    TYPE = RDF.Alt
+
+    @property
+    def default(self) -> RDFTerm:
+        """The preferred alternative (``rdf:_1``)."""
+        if not self._members:
+            raise TermError("Alt container has no members")
+        return self._members[0]
+
+
+def container_from_triples(node: RDFTerm,
+                           triples: Iterable[Triple]) -> Container:
+    """Reconstruct a container rooted at ``node`` from its statements.
+
+    Membership triples are ordered by their ``rdf:_n`` index; the
+    container kind comes from the ``rdf:type`` triple (defaults to Bag
+    when absent, which is how bare membership sets are interpreted).
+    """
+    kind: type[Container] = Bag
+    indexed_members: list[tuple[int, RDFTerm]] = []
+    for triple in triples:
+        if triple.subject != node:
+            continue
+        if triple.predicate == RDF.type:
+            for candidate in (Bag, Seq, Alt):
+                if triple.object == candidate.TYPE:
+                    kind = candidate
+        elif is_membership_property(triple.predicate):
+            indexed_members.append(
+                (membership_index(triple.predicate), triple.object))
+    indexed_members.sort(key=lambda pair: pair[0])
+    return kind((member for _, member in indexed_members), node=node)

@@ -1,0 +1,143 @@
+"""An in-memory RDF graph: a set of triples with pattern matching.
+
+The store's persistent graphs live in ``rdf_link$``; this class is the
+lightweight in-memory counterpart used by parsers, the quad converter, the
+workload generators, and tests.  It supports the same triple-pattern match
+primitive (None = wildcard) that the persistent store exposes, plus set
+algebra.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.rdf.terms import BlankNode, RDFTerm, URI
+from repro.rdf.triple import Triple
+
+
+class Graph:
+    """A mutable set of :class:`Triple` with indexed pattern matching.
+
+    Three hash indexes (by subject, predicate, object) accelerate
+    single-bound-term matches; fully-bound membership checks hit the
+    underlying set directly.
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: set[Triple] = set()
+        self._by_subject: dict[RDFTerm, set[Triple]] = defaultdict(set)
+        self._by_predicate: dict[URI, set[Triple]] = defaultdict(set)
+        self._by_object: dict[RDFTerm, set[Triple]] = defaultdict(set)
+        for triple in triples:
+            self.add(triple)
+
+    def add(self, triple: Triple) -> bool:
+        """Add ``triple``; return True if it was not already present."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._by_subject[triple.subject].add(triple)
+        self._by_predicate[triple.predicate].add(triple)
+        self._by_object[triple.object].add(triple)
+        return True
+
+    def add_text(self, subject: str, predicate: str, obj: str) -> bool:
+        """Parse the string forms and add the resulting triple."""
+        return self.add(Triple.from_text(subject, predicate, obj))
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove ``triple`` if present; return True if it was removed."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._by_subject[triple.subject].discard(triple)
+        self._by_predicate[triple.predicate].discard(triple)
+        self._by_object[triple.object].discard(triple)
+        return True
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Add all ``triples``; return how many were new."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def match(self, subject: RDFTerm | None = None,
+              predicate: URI | None = None,
+              obj: RDFTerm | None = None) -> Iterator[Triple]:
+        """All triples matching the pattern; None components are wildcards.
+
+        This is the in-memory analogue of Jena's ``listStatements`` and of
+        a single SDO_RDF_MATCH triple pattern.
+        """
+        if (subject is not None and predicate is not None
+                and obj is not None):
+            candidate = Triple(subject, predicate, obj)
+            if candidate in self._triples:
+                yield candidate
+            return
+        candidates = self._candidate_set(subject, predicate, obj)
+        for triple in candidates:
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
+            yield triple
+
+    def _candidate_set(self, subject: RDFTerm | None,
+                       predicate: URI | None,
+                       obj: RDFTerm | None) -> Iterable[Triple]:
+        """The smallest index bucket covering the bound components."""
+        buckets: list[set[Triple]] = []
+        if subject is not None:
+            buckets.append(self._by_subject.get(subject, set()))
+        if predicate is not None:
+            buckets.append(self._by_predicate.get(predicate, set()))
+        if obj is not None:
+            buckets.append(self._by_object.get(obj, set()))
+        if not buckets:
+            return self._triples
+        return min(buckets, key=len)
+
+    def subjects(self) -> set[RDFTerm]:
+        """All distinct subjects."""
+        return {s for s, bucket in self._by_subject.items() if bucket}
+
+    def predicates(self) -> set[URI]:
+        """All distinct predicates."""
+        return {p for p, bucket in self._by_predicate.items() if bucket}
+
+    def objects(self) -> set[RDFTerm]:
+        """All distinct objects."""
+        return {o for o, bucket in self._by_object.items() if bucket}
+
+    def nodes(self) -> set[RDFTerm]:
+        """All distinct subject and object nodes (the NDM node set)."""
+        return self.subjects() | self.objects()
+
+    def blank_nodes(self) -> set[BlankNode]:
+        """All distinct blank nodes appearing in any position."""
+        return {node for node in self.nodes()
+                if isinstance(node, BlankNode)}
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __or__(self, other: "Graph") -> "Graph":
+        merged = Graph(self._triples)
+        merged.update(other)
+        return merged
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._triples == other._triples
+
+    def __repr__(self) -> str:
+        return f"Graph({len(self)} triples)"

@@ -1,0 +1,137 @@
+"""RDF graph isomorphism up to blank-node renaming.
+
+Two RDF graphs are *equivalent* when some bijection between their
+blank nodes makes them equal (RDF Concepts §6.3).  Serializers that
+mint fresh blank-node labels (Turtle ``[...]``, RDF/XML anonymous
+descriptions) preserve equivalence but not equality, so round-trip
+tests need this check rather than set equality.
+
+The algorithm is the standard two-phase approach: partition blank
+nodes by a structural signature (their ground neighbourhood), then
+backtrack over signature-compatible candidate pairings.  RDF documents
+have few, shallowly-connected blank nodes, so the backtracking stays
+tiny in practice; a safety cap guards degenerate inputs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ReproError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BlankNode, RDFTerm
+from repro.rdf.triple import Triple
+
+#: Backtracking budget; beyond this the graphs are pathological
+#: (e.g. hundreds of interchangeable blank nodes) and we refuse rather
+#: than hang.
+_MAX_STEPS = 200_000
+
+
+def isomorphic(left: Graph | list[Triple],
+               right: Graph | list[Triple]) -> bool:
+    """True when the graphs are equal up to blank-node renaming."""
+    left_graph = left if isinstance(left, Graph) else Graph(left)
+    right_graph = right if isinstance(right, Graph) else Graph(right)
+    if len(left_graph) != len(right_graph):
+        return False
+    left_ground, left_blank = _split(left_graph)
+    right_ground, right_blank = _split(right_graph)
+    if left_ground != right_ground:
+        return False
+    left_nodes = sorted(_blank_nodes(left_blank), key=str)
+    right_nodes = sorted(_blank_nodes(right_blank), key=str)
+    if len(left_nodes) != len(right_nodes):
+        return False
+    if not left_nodes:
+        return True
+    left_signatures = _signatures(left_blank)
+    right_signatures = _signatures(right_blank)
+    if sorted(left_signatures.values()) != \
+            sorted(right_signatures.values()):
+        return False
+    matcher = _Matcher(left_blank, right_blank, left_signatures,
+                       right_signatures)
+    return matcher.search(left_nodes, {})
+
+
+def _split(graph: Graph) -> tuple[set[Triple], set[Triple]]:
+    """Partition into ground triples and triples touching blank nodes."""
+    ground: set[Triple] = set()
+    blank: set[Triple] = set()
+    for triple in graph:
+        if isinstance(triple.subject, BlankNode) or \
+                isinstance(triple.object, BlankNode):
+            blank.add(triple)
+        else:
+            ground.add(triple)
+    return ground, blank
+
+
+def _blank_nodes(triples: set[Triple]) -> set[BlankNode]:
+    nodes: set[BlankNode] = set()
+    for triple in triples:
+        for term in (triple.subject, triple.object):
+            if isinstance(term, BlankNode):
+                nodes.add(term)
+    return nodes
+
+
+def _signatures(triples: set[Triple]) -> dict[BlankNode, tuple]:
+    """A renaming-invariant structural signature per blank node."""
+    buckets: dict[BlankNode, list[str]] = defaultdict(list)
+    for triple in triples:
+        subject_blank = isinstance(triple.subject, BlankNode)
+        object_blank = isinstance(triple.object, BlankNode)
+        if subject_blank:
+            other = ("*" if object_blank else triple.object.lexical)
+            buckets[triple.subject].append(
+                f"out:{triple.predicate.value}:{other}")
+        if object_blank:
+            other = ("*" if subject_blank else triple.subject.lexical)
+            buckets[triple.object].append(
+                f"in:{triple.predicate.value}:{other}")
+    return {node: tuple(sorted(entries))
+            for node, entries in buckets.items()}
+
+
+class _Matcher:
+    def __init__(self, left: set[Triple], right: set[Triple],
+                 left_signatures, right_signatures) -> None:
+        self._left = left
+        self._right = right
+        self._left_signatures = left_signatures
+        self._right_signatures = right_signatures
+        self._steps = 0
+
+    def search(self, remaining: list[BlankNode],
+               mapping: dict[BlankNode, BlankNode]) -> bool:
+        self._steps += 1
+        if self._steps > _MAX_STEPS:
+            raise ReproError(
+                "isomorphism search budget exhausted; graphs have too "
+                "many interchangeable blank nodes")
+        if not remaining:
+            return self._apply(mapping) == self._right
+        node, *rest = remaining
+        used = set(mapping.values())
+        signature = self._left_signatures.get(node)
+        for candidate in sorted(self._right_signatures, key=str):
+            if candidate in used:
+                continue
+            if self._right_signatures[candidate] != signature:
+                continue
+            mapping[node] = candidate
+            if self.search(rest, mapping):
+                return True
+            del mapping[node]
+        return False
+
+    def _apply(self, mapping: dict[BlankNode, BlankNode]) -> set[Triple]:
+        def rename(term: RDFTerm) -> RDFTerm:
+            if isinstance(term, BlankNode):
+                return mapping[term]
+            return term
+
+        return {Triple(rename(t.subject), t.predicate,
+                       rename(t.object)) for t in self._left}

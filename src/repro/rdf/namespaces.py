@@ -1,0 +1,165 @@
+"""Namespaces and aliases.
+
+The paper's queries pass an ``SDO_RDF_ALIASES(SDO_RDF_ALIAS('gov',
+'http://www.us.gov#'))`` argument to ``SDO_RDF_MATCH`` so that patterns can
+be written with short prefixed names.  :class:`Alias` and :class:`AliasSet`
+reproduce that mechanism; :class:`Namespace` is a convenience for minting
+URIs in a vocabulary.
+
+The well-known vocabularies used by the store (RDF, RDFS, XSD, OWL, Dublin
+Core) are provided as module-level :class:`Namespace` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import TermError
+from repro.rdf.terms import URI, WELL_KNOWN_PREFIXES
+
+
+class Namespace:
+    """A URI namespace that mints terms via attribute access.
+
+    >>> GOV = Namespace("http://www.us.gov#")
+    >>> GOV.terrorSuspect
+    URI(value='http://www.us.gov#terrorSuspect')
+    """
+
+    def __init__(self, base: str) -> None:
+        if not base:
+            raise TermError("namespace base must be non-empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, local_name: str) -> URI:
+        """The URI for ``local_name`` in this namespace."""
+        return URI(self._base + local_name)
+
+    def __getattr__(self, local_name: str) -> URI:
+        if local_name.startswith("_"):
+            raise AttributeError(local_name)
+        return self.term(local_name)
+
+    def __getitem__(self, local_name: str) -> URI:
+        return self.term(local_name)
+
+    def __contains__(self, uri: URI | str) -> bool:
+        value = uri.value if isinstance(uri, URI) else uri
+        return value.startswith(self._base)
+
+    def local_name(self, uri: URI | str) -> str:
+        """The part of ``uri`` after this namespace's base."""
+        value = uri.value if isinstance(uri, URI) else uri
+        if not value.startswith(self._base):
+            raise TermError(f"{value!r} is not in namespace {self._base!r}")
+        return value[len(self._base):]
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+
+#: RDF built-in vocabulary (rdf:type, rdf:subject, ...).
+RDF = Namespace(WELL_KNOWN_PREFIXES["rdf"])
+#: RDF Schema vocabulary (rdfs:subClassOf, rdfs:seeAlso, ...).
+RDFS = Namespace(WELL_KNOWN_PREFIXES["rdfs"])
+#: XML Schema datatypes (xsd:int, xsd:string, ...).
+XSD = Namespace(WELL_KNOWN_PREFIXES["xsd"])
+#: OWL vocabulary (used by some workloads).
+OWL = Namespace(WELL_KNOWN_PREFIXES["owl"])
+#: Dublin Core elements (the paper's property-table example uses dc:*).
+DC = Namespace(WELL_KNOWN_PREFIXES["dc"])
+
+#: Prefixes every query understands without declaring an alias; mirrors
+#: Oracle's built-in namespace knowledge for rdf:/rdfs:/xsd:.
+BUILTIN_PREFIXES: dict[str, str] = dict(WELL_KNOWN_PREFIXES)
+
+
+@dataclass(frozen=True, slots=True)
+class Alias:
+    """One ``SDO_RDF_ALIAS(namespace_id, namespace_val)`` pair."""
+
+    namespace_id: str
+    namespace_val: str
+
+    def __post_init__(self) -> None:
+        if not self.namespace_id:
+            raise TermError("alias prefix must be non-empty")
+        if ":" in self.namespace_id:
+            raise TermError(
+                f"alias prefix {self.namespace_id!r} must not contain ':'")
+        if not self.namespace_val:
+            raise TermError("alias namespace value must be non-empty")
+
+
+class AliasSet:
+    """An ordered set of aliases; the ``SDO_RDF_ALIASES`` collection.
+
+    Expansion resolves prefixed names (``gov:terrorSuspect``) to full URIs
+    using the user aliases first, then the built-in rdf/rdfs/xsd prefixes.
+    """
+
+    def __init__(self, aliases: Iterable[Alias] = ()) -> None:
+        self._aliases: dict[str, str] = {}
+        for alias in aliases:
+            self.add(alias)
+
+    def add(self, alias: Alias) -> None:
+        """Register ``alias``, overriding a previous binding of its prefix."""
+        self._aliases[alias.namespace_id] = alias.namespace_val
+
+    def __len__(self) -> int:
+        return len(self._aliases)
+
+    def __iter__(self) -> Iterator[Alias]:
+        for prefix, value in self._aliases.items():
+            yield Alias(prefix, value)
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._aliases or prefix in BUILTIN_PREFIXES
+
+    def namespace_for(self, prefix: str) -> str | None:
+        """The namespace bound to ``prefix``, or None."""
+        if prefix in self._aliases:
+            return self._aliases[prefix]
+        return BUILTIN_PREFIXES.get(prefix)
+
+    def expand(self, name: str) -> str:
+        """Expand a possibly-prefixed name to a full URI string.
+
+        Strings that are not prefixed names — full URIs, quoted literals,
+        blank nodes, query variables — are returned unchanged.
+        """
+        if (not name or name.startswith(('"', "_:", "?", "<"))
+                or "://" in name):
+            return name
+        prefix, sep, local = name.partition(":")
+        if not sep:
+            return name
+        namespace = self.namespace_for(prefix)
+        if namespace is None:
+            return name
+        return namespace + local
+
+    def compact(self, uri: str) -> str:
+        """Abbreviate ``uri`` with the longest matching alias, if any."""
+        best_prefix: str | None = None
+        best_namespace = ""
+        candidates = dict(BUILTIN_PREFIXES)
+        candidates.update(self._aliases)
+        for prefix, namespace in candidates.items():
+            if uri.startswith(namespace) and len(namespace) > len(
+                    best_namespace):
+                best_prefix, best_namespace = prefix, namespace
+        if best_prefix is None:
+            return uri
+        return f"{best_prefix}:{uri[len(best_namespace):]}"
+
+
+def aliases(*pairs: tuple[str, str]) -> AliasSet:
+    """Shorthand: ``aliases(('gov', 'http://www.us.gov#'))``."""
+    return AliasSet(Alias(prefix, namespace) for prefix, namespace in pairs)

@@ -1,0 +1,196 @@
+"""N-Triples parsing and serialization.
+
+N-Triples is the line-oriented exchange syntax the loaders use: one triple
+per line, terms in angle brackets / ``_:`` / quoted form, terminated by a
+full stop.  The reification-quad loader (:mod:`repro.reification.quads`)
+reads quads from N-Triples files, and the workload generators emit it.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, Iterable, Iterator
+
+from repro.errors import ParseError, TermError
+from repro.rdf.terms import (
+    BlankNode,
+    Literal,
+    RDFTerm,
+    URI,
+    _unescape,
+)
+from repro.rdf.triple import Triple
+
+
+def parse_ntriples(source: str | IO[str]) -> Iterator[Triple]:
+    """Parse an N-Triples document (string or text stream) lazily.
+
+    Blank lines and ``#`` comment lines are skipped.  Raises
+    :class:`repro.errors.ParseError` with a line number on bad input.
+    """
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    for line_number, raw_line in enumerate(stream, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            yield parse_ntriples_line(line)
+        except (ParseError, TermError) as exc:
+            raise ParseError(str(exc), line=line_number) from exc
+
+
+def parse_ntriples_line(line: str) -> Triple:
+    """Parse one N-Triples statement line into a :class:`Triple`."""
+    scanner = _Scanner(line)
+    try:
+        subject = scanner.read_term()
+        predicate = scanner.read_term()
+        obj = scanner.read_term()
+    except TermError as exc:
+        raise ParseError(f"{exc} in {line!r}") from exc
+    scanner.expect_terminator()
+    if isinstance(subject, Literal):
+        raise ParseError(f"literal subject in {line!r}")
+    if not isinstance(predicate, URI):
+        raise ParseError(f"non-URI predicate in {line!r}")
+    return Triple(subject, predicate, obj)
+
+
+class _Scanner:
+    """A tiny cursor-based scanner over one N-Triples line."""
+
+    def __init__(self, line: str) -> None:
+        self.line = line
+        self.pos = 0
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def read_term(self) -> RDFTerm:
+        self._skip_whitespace()
+        if self.pos >= len(self.line):
+            raise ParseError(f"unexpected end of line in {self.line!r}",
+                             column=self.pos)
+        ch = self.line[self.pos]
+        if ch == "<":
+            return self._read_uri()
+        if ch == "_":
+            return self._read_blank_node()
+        if ch == '"':
+            return self._read_literal()
+        raise ParseError(
+            f"unexpected character {ch!r} at column {self.pos} "
+            f"in {self.line!r}", column=self.pos)
+
+    def _read_uri(self) -> URI:
+        end = self.line.find(">", self.pos)
+        if end == -1:
+            raise ParseError(f"unterminated URI in {self.line!r}",
+                             column=self.pos)
+        value = self.line[self.pos + 1:end]
+        self.pos = end + 1
+        return URI(_unescape(value))
+
+    def _read_blank_node(self) -> BlankNode:
+        start = self.pos
+        if not self.line.startswith("_:", start):
+            raise ParseError(f"malformed blank node in {self.line!r}",
+                             column=start)
+        end = start + 2
+        while end < len(self.line) and (self.line[end].isalnum()
+                                        or self.line[end] in "._-"):
+            end += 1
+        # A trailing dot is the statement terminator, not label text.
+        while end > start + 2 and self.line[end - 1] == ".":
+            end -= 1
+        label = self.line[start:end]
+        self.pos = end
+        return BlankNode(label)
+
+    def _read_literal(self) -> Literal:
+        end = self.pos + 1
+        while end < len(self.line):
+            if self.line[end] == "\\":
+                end += 2
+                continue
+            if self.line[end] == '"':
+                break
+            end += 1
+        else:
+            raise ParseError(f"unterminated literal in {self.line!r}",
+                             column=self.pos)
+        body = _unescape(self.line[self.pos + 1:end])
+        self.pos = end + 1
+        if self.line.startswith("@", self.pos):
+            tag_end = self.pos + 1
+            while (tag_end < len(self.line)
+                   and self.line[tag_end] not in " \t."):
+                tag_end += 1
+            language = self.line[self.pos + 1:tag_end]
+            self.pos = tag_end
+            return Literal(body, language=language)
+        if self.line.startswith("^^<", self.pos):
+            dt_end = self.line.find(">", self.pos + 3)
+            if dt_end == -1:
+                raise ParseError(
+                    f"unterminated datatype URI in {self.line!r}",
+                    column=self.pos)
+            datatype = URI(self.line[self.pos + 3:dt_end])
+            self.pos = dt_end + 1
+            return Literal(body, datatype=datatype)
+        return Literal(body)
+
+    def expect_terminator(self) -> None:
+        self._skip_whitespace()
+        if self.pos >= len(self.line) or self.line[self.pos] != ".":
+            raise ParseError(f"missing '.' terminator in {self.line!r}",
+                             column=self.pos)
+        trailing = self.line[self.pos + 1:].strip()
+        if trailing and not trailing.startswith("#"):
+            raise ParseError(
+                f"trailing content {trailing!r} in {self.line!r}",
+                column=self.pos + 1)
+
+
+def term_to_ntriples(term: RDFTerm) -> str:
+    """The N-Triples spelling of one term."""
+    if isinstance(term, URI):
+        return f"<{term.value}>"
+    if isinstance(term, BlankNode):
+        return term.lexical
+    assert isinstance(term, Literal)
+    body = _escape(term.lexical_form)
+    if term.datatype is not None:
+        return f'"{body}"^^<{term.datatype.value}>'
+    if term.language is not None:
+        return f'"{body}"@{term.language}'
+    return f'"{body}"'
+
+
+def serialize_ntriples(triples: Iterable[Triple],
+                       out: IO[str] | None = None) -> str | None:
+    """Serialize triples to N-Triples.
+
+    With ``out`` given, writes to the stream and returns None; otherwise
+    returns the document as a string.
+    """
+    buffer = out if out is not None else io.StringIO()
+    for triple in triples:
+        buffer.write(
+            f"{term_to_ntriples(triple.subject)} "
+            f"{term_to_ntriples(triple.predicate)} "
+            f"{term_to_ntriples(triple.object)} .\n")
+    if out is not None:
+        return None
+    assert isinstance(buffer, io.StringIO)
+    return buffer.getvalue()
+
+
+def _escape(text: str) -> str:
+    """Apply the N-Triples backslash escapes to a literal body."""
+    return (text.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\r", "\\r")
+                .replace("\t", "\\t"))

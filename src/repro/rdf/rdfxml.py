@@ -1,0 +1,309 @@
+"""An RDF/XML subset parser.
+
+RDF/XML was *the* RDF exchange syntax of the paper's era — the UniProt
+catalogue the experiments load is published in it, and reification
+quads typically enter a system through RDF/XML's ``rdf:ID`` attribute
+on property elements (each such statement is implicitly reified,
+producing exactly the quad the paper's loader consumes).
+
+Supported subset (stdlib ``xml.etree`` underneath):
+
+* ``rdf:RDF`` roots and *typed node elements*
+  (``<up:Protein rdf:about="...">`` ≙ an ``rdf:type`` statement);
+* ``rdf:Description`` with ``rdf:about`` / ``rdf:ID`` / ``rdf:nodeID``
+  (or none — a fresh blank node);
+* property elements with ``rdf:resource`` / ``rdf:nodeID`` references,
+  nested node elements, or text content;
+* ``rdf:datatype`` and ``xml:lang`` on property elements (``xml:lang``
+  also inherits from ancestors);
+* *property attributes* (literal-valued attributes on node elements);
+* ``rdf:li`` / container membership (expanded to ``rdf:_n``);
+* **statement reification** via ``rdf:ID`` on property elements — the
+  four reification-quad statements are emitted alongside the base
+  triple, ready for :class:`repro.reification.quads.QuadConverter`;
+* ``rdf:parseType="Resource"`` (inline blank node).
+
+Not supported (rejected): ``rdf:parseType="Collection"``/``"Literal"``.
+Relative URIs are resolved against ``xml:base`` when present, else kept
+as written.
+"""
+
+from __future__ import annotations
+
+import itertools
+import xml.etree.ElementTree as ET
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.rdf.namespaces import RDF
+from repro.rdf.reification_vocab import expand_quad
+from repro.rdf.terms import BlankNode, Literal, RDFTerm, URI
+from repro.rdf.triple import Triple
+
+RDF_NS = RDF.base
+XML_NS = "http://www.w3.org/XML/1998/namespace"
+
+_rdf = "{" + RDF_NS + "}"
+_xml = "{" + XML_NS + "}"
+
+#: RDF/XML syntax attributes that are not property attributes.
+_SYNTAX_ATTRIBUTES = frozenset((
+    f"{_rdf}about", f"{_rdf}ID", f"{_rdf}nodeID", f"{_rdf}resource",
+    f"{_rdf}datatype", f"{_rdf}parseType", f"{_xml}lang",
+    f"{_xml}base"))
+
+_anon_counter = itertools.count(1)
+
+
+def parse_rdfxml(document: str) -> list[Triple]:
+    """Parse an RDF/XML document into triples (quads included for
+    ``rdf:ID``-reified statements)."""
+    return list(iter_rdfxml(document))
+
+
+def iter_rdfxml(document: str) -> Iterator[Triple]:
+    """Iterator form of :func:`parse_rdfxml`."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed XML: {exc}") from exc
+    parser = _RDFXMLParser()
+    if root.tag == f"{_rdf}RDF":
+        base = root.get(f"{_xml}base", "")
+        lang = root.get(f"{_xml}lang")
+        for child in root:
+            yield from parser.parse_node_element(child, base, lang)[1]
+    else:
+        yield from parser.parse_node_element(root, "", None)[1]
+
+
+class _RDFXMLParser:
+    """Stateless helpers; recursion carries base/lang explicitly."""
+
+    # -- node elements ---------------------------------------------------
+
+    def parse_node_element(self, element: ET.Element, base: str,
+                           lang: str | None
+                           ) -> tuple[RDFTerm, list[Triple]]:
+        """One node element -> (its subject term, emitted triples)."""
+        base = element.get(f"{_xml}base", base)
+        lang = element.get(f"{_xml}lang", lang)
+        subject = self._subject_of(element, base)
+        triples: list[Triple] = []
+        if element.tag != f"{_rdf}Description":
+            triples.append(Triple(subject, RDF.type,
+                                  URI(_tag_to_uri(element.tag))))
+        triples.extend(self._property_attributes(element, subject, lang))
+        li_counter = itertools.count(1)
+        for child in element:
+            triples.extend(self._parse_property_element(
+                subject, child, base, lang, li_counter))
+        return subject, triples
+
+    def _subject_of(self, element: ET.Element, base: str) -> RDFTerm:
+        about = element.get(f"{_rdf}about")
+        if about is not None:
+            return URI(_resolve(about, base))
+        fragment_id = element.get(f"{_rdf}ID")
+        if fragment_id is not None:
+            return URI(_resolve("#" + fragment_id, base))
+        node_id = element.get(f"{_rdf}nodeID")
+        if node_id is not None:
+            return BlankNode(node_id)
+        return BlankNode(f"xml{next(_anon_counter):06d}")
+
+    def _property_attributes(self, element: ET.Element,
+                             subject: RDFTerm,
+                             lang: str | None) -> list[Triple]:
+        """Literal-valued attributes on a node element."""
+        triples = []
+        for name, value in element.attrib.items():
+            if name in _SYNTAX_ATTRIBUTES or name.startswith("{" + XML_NS):
+                continue
+            if name == f"{_rdf}type":
+                triples.append(Triple(subject, RDF.type, URI(value)))
+                continue
+            triples.append(Triple(
+                subject, URI(_tag_to_uri(name)),
+                Literal(value, language=lang)))
+        return triples
+
+    # -- property elements -------------------------------------------------
+
+    def _parse_property_element(self, subject: RDFTerm,
+                                element: ET.Element, base: str,
+                                lang: str | None,
+                                li_counter) -> list[Triple]:
+        base = element.get(f"{_xml}base", base)
+        lang = element.get(f"{_xml}lang", lang)
+        predicate = self._predicate_of(element, li_counter)
+        parse_type = element.get(f"{_rdf}parseType")
+        if parse_type is not None and parse_type != "Resource":
+            raise ParseError(
+                f"rdf:parseType={parse_type!r} is not supported")
+        obj, nested = self._object_of(element, base, lang, parse_type)
+        triples = [Triple(subject, predicate, obj)] + nested
+        reify_id = element.get(f"{_rdf}ID")
+        if reify_id is not None:
+            # rdf:ID on a property element reifies the statement: the
+            # classic source of reification quads.
+            resource = URI(_resolve("#" + reify_id, base))
+            triples.extend(expand_quad(resource, triples[0]))
+        return triples
+
+    @staticmethod
+    def _predicate_of(element: ET.Element, li_counter) -> URI:
+        if element.tag == f"{_rdf}li":
+            return RDF.term(f"_{next(li_counter)}")
+        return URI(_tag_to_uri(element.tag))
+
+    def _object_of(self, element: ET.Element, base: str,
+                   lang: str | None, parse_type: str | None
+                   ) -> tuple[RDFTerm, list[Triple]]:
+        resource = element.get(f"{_rdf}resource")
+        if resource is not None:
+            return URI(_resolve(resource, base)), []
+        node_id = element.get(f"{_rdf}nodeID")
+        if node_id is not None:
+            return BlankNode(node_id), []
+        if parse_type == "Resource":
+            # Inline anonymous resource: the element's children are
+            # property elements of a fresh blank node.
+            node = BlankNode(f"xml{next(_anon_counter):06d}")
+            nested: list[Triple] = []
+            inner_counter = itertools.count(1)
+            for child in element:
+                nested.extend(self._parse_property_element(
+                    node, child, base, lang, inner_counter))
+            return node, nested
+        children = list(element)
+        if children:
+            if len(children) != 1:
+                raise ParseError(
+                    f"property element {element.tag} has "
+                    f"{len(children)} child node elements; expected 1")
+            node, nested = self.parse_node_element(children[0], base,
+                                                   lang)
+            return node, nested
+        text = element.text or ""
+        datatype = element.get(f"{_rdf}datatype")
+        if datatype is not None:
+            return Literal(text, datatype=URI(datatype)), []
+        return Literal(text, language=lang), []
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+
+def serialize_rdfxml(triples) -> str:
+    """Serialize triples as RDF/XML (``rdf:Description`` form).
+
+    Deterministic output: subjects and predicates sorted; namespaces
+    derived from the predicate URIs and declared on the root.  Blank
+    nodes use ``rdf:nodeID`` so graphs round-trip exactly.
+    """
+    by_subject: dict[RDFTerm, list[Triple]] = {}
+    for triple in triples:
+        by_subject.setdefault(triple.subject, []).append(triple)
+
+    namespaces: dict[str, str] = {RDF_NS: "rdf"}
+    import re as _re
+
+    local_name_re = _re.compile(r"[A-Za-z_][A-Za-z0-9._-]*$")
+
+    def prefix_for(uri: str) -> tuple[str, str]:
+        """Split a predicate URI into (namespace, local), registering
+        a prefix for the namespace.
+
+        RDF/XML spells predicates as XML element names, so the local
+        part must be a legal XML name; a predicate URI that cannot be
+        split that way (e.g. ``urn:123``) is not representable in
+        RDF/XML at all and is rejected rather than silently mangled.
+        """
+        from repro.errors import ReproError
+
+        for separator in ("#", "/", ":"):
+            index = uri.rfind(separator)
+            if index not in (-1, len(uri) - 1):
+                namespace, local = uri[:index + 1], uri[index + 1:]
+                if local_name_re.match(local):
+                    break
+        else:
+            raise ReproError(
+                f"predicate {uri!r} cannot be written as an RDF/XML "
+                "element name; serialize as N-Triples or Turtle "
+                "instead")
+        if namespace not in namespaces:
+            namespaces[namespace] = f"ns{len(namespaces)}"
+        return namespace, local
+
+    body_lines: list[str] = []
+    for subject in sorted(by_subject, key=lambda t: t.lexical):
+        if isinstance(subject, BlankNode):
+            opening = (f'  <rdf:Description rdf:nodeID='
+                       f'"{subject.label}">')
+        else:
+            opening = (f'  <rdf:Description rdf:about='
+                       f'"{_xml_escape(subject.lexical)}">')
+        body_lines.append(opening)
+        for triple in sorted(by_subject[subject],
+                             key=lambda t: (t.predicate.value,
+                                            t.object.lexical)):
+            namespace, local = prefix_for(triple.predicate.value)
+            tag = f"{namespaces[namespace]}:{local}"
+            body_lines.append(_property_xml(tag, triple.object))
+        body_lines.append("  </rdf:Description>")
+
+    declarations = " ".join(
+        f'xmlns:{prefix}="{_xml_escape(namespace)}"'
+        for namespace, prefix in sorted(namespaces.items(),
+                                        key=lambda kv: kv[1]))
+    return (f"<rdf:RDF {declarations}>\n"
+            + "\n".join(body_lines) + "\n</rdf:RDF>\n")
+
+
+def _property_xml(tag: str, obj: RDFTerm) -> str:
+    if isinstance(obj, URI):
+        return f'    <{tag} rdf:resource="{_xml_escape(obj.value)}"/>'
+    if isinstance(obj, BlankNode):
+        return f'    <{tag} rdf:nodeID="{obj.label}"/>'
+    assert isinstance(obj, Literal)
+    text = _xml_escape(obj.lexical_form)
+    if obj.datatype is not None:
+        return (f'    <{tag} rdf:datatype='
+                f'"{_xml_escape(obj.datatype.value)}">{text}</{tag}>')
+    if obj.language is not None:
+        return f'    <{tag} xml:lang="{obj.language}">{text}</{tag}>'
+    return f"    <{tag}>{text}</{tag}>"
+
+
+def _xml_escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _tag_to_uri(tag: str) -> str:
+    """ElementTree ``{namespace}local`` -> concatenated URI."""
+    if tag.startswith("{"):
+        namespace, _brace, local = tag[1:].partition("}")
+        return namespace + local
+    return tag
+
+
+def _resolve(reference: str, base: str) -> str:
+    """Resolve ``reference`` against ``xml:base`` (subset semantics).
+
+    Absolute URIs pass through; fragments append to the base; other
+    relative references join on '/'.  Without a base, references are
+    kept verbatim (many standalone documents rely on that).
+    """
+    if not reference:
+        return base or reference
+    if ":" in reference.split("/", 1)[0].split("#", 1)[0]:
+        return reference  # absolute (has a scheme before any / or #)
+    if not base:
+        return reference
+    if reference.startswith("#"):
+        return base.split("#", 1)[0] + reference
+    return base.rstrip("/") + "/" + reference

@@ -1,0 +1,154 @@
+"""The RDF reification vocabulary and quad handling.
+
+Reifying ``<S, P, O>`` by a resource R produces the four statements of
+the *reification quad* (paper section 2)::
+
+    <R, rdf:type,      rdf:Statement>
+    <R, rdf:subject,   S>
+    <R, rdf:predicate, P>
+    <R, rdf:object,    O>
+
+The naive store keeps all four; the paper's streamlined scheme keeps only
+the ``rdf:type`` statement with a DBUri as R.  This module provides the
+vocabulary constants, quad expansion, and quad *collection* — scanning a
+stream of triples and grouping the reification statements per resource,
+which is what the quad-loading API consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import IncompleteQuadError, TermError
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import Literal, RDFTerm, URI
+from repro.rdf.triple import Triple
+
+#: The three "pointer" predicates of the quad.
+RDF_SUBJECT = RDF.subject
+RDF_PREDICATE = RDF.predicate
+RDF_OBJECT = RDF.object
+RDF_TYPE = RDF.type
+RDF_STATEMENT = RDF.Statement
+
+#: All four predicates that can appear in a reification quad.
+REIFICATION_PREDICATES = frozenset(
+    (RDF_TYPE, RDF_SUBJECT, RDF_PREDICATE, RDF_OBJECT))
+
+
+def is_reification_predicate(predicate: URI) -> bool:
+    """True for rdf:type/rdf:subject/rdf:predicate/rdf:object."""
+    return predicate in REIFICATION_PREDICATES
+
+
+@dataclass(frozen=True, slots=True)
+class Quad:
+    """A complete reification quad: resource R plus the reified triple."""
+
+    resource: RDFTerm
+    triple: Triple
+
+    def statements(self) -> Iterator[Triple]:
+        """The four statements of the quad, in vocabulary order."""
+        return iter(expand_quad(self.resource, self.triple))
+
+
+def expand_quad(resource: RDFTerm, triple: Triple) -> list[Triple]:
+    """The four reification statements for ``triple`` reified by
+    ``resource``."""
+    if isinstance(resource, Literal):
+        raise TermError("a reification resource cannot be a literal")
+    return [
+        Triple(resource, RDF_TYPE, RDF_STATEMENT),
+        Triple(resource, RDF_SUBJECT, triple.subject),
+        Triple(resource, RDF_PREDICATE, triple.predicate),
+        Triple(resource, RDF_OBJECT, triple.object),
+    ]
+
+
+@dataclass
+class _PartialQuad:
+    """Accumulates the pieces of one quad while scanning a stream."""
+
+    resource: RDFTerm
+    typed: bool = False
+    subject: RDFTerm | None = None
+    predicate: RDFTerm | None = None
+    object: RDFTerm | None = None
+
+    def missing(self) -> list[str]:
+        missing: list[str] = []
+        if not self.typed:
+            missing.append("rdf:type rdf:Statement")
+        if self.subject is None:
+            missing.append("rdf:subject")
+        if self.predicate is None:
+            missing.append("rdf:predicate")
+        if self.object is None:
+            missing.append("rdf:object")
+        return missing
+
+    def complete(self) -> Quad:
+        missing = self.missing()
+        if missing:
+            raise IncompleteQuadError(str(self.resource), missing)
+        if not isinstance(self.predicate, URI):
+            raise TermError(
+                f"rdf:predicate of {self.resource} must be a URI")
+        assert self.subject is not None and self.object is not None
+        return Quad(self.resource,
+                    Triple(self.subject, self.predicate, self.object))
+
+
+def collect_quads(triples: Iterable[Triple]
+                  ) -> tuple[list[Quad], list["_PartialQuad"], list[Triple]]:
+    """Partition a triple stream into quads, incomplete quads, and the rest.
+
+    Returns ``(complete, incomplete, others)`` where *complete* is the
+    list of fully-assembled :class:`Quad` objects, *incomplete* the
+    partial quads (resources that used some reification vocabulary but not
+    all four statements), and *others* every triple that is not part of
+    any reification quad — these pass through the loader unchanged.
+    """
+    partials: dict[RDFTerm, _PartialQuad] = {}
+    others: list[Triple] = []
+    for triple in triples:
+        if _absorb(partials, triple):
+            continue
+        others.append(triple)
+    complete: list[Quad] = []
+    incomplete: list[_PartialQuad] = []
+    for partial in partials.values():
+        if partial.missing():
+            incomplete.append(partial)
+        else:
+            complete.append(partial.complete())
+    return complete, incomplete, others
+
+
+def _absorb(partials: dict[RDFTerm, _PartialQuad], triple: Triple) -> bool:
+    """Fold ``triple`` into a partial quad; False if it is unrelated."""
+    predicate = triple.predicate
+    if predicate == RDF_TYPE and triple.object == RDF_STATEMENT:
+        _partial_for(partials, triple.subject).typed = True
+        return True
+    if predicate == RDF_SUBJECT:
+        _partial_for(partials, triple.subject).subject = triple.object
+        return True
+    if predicate == RDF_PREDICATE:
+        _partial_for(partials, triple.subject).predicate = triple.object
+        return True
+    if predicate == RDF_OBJECT:
+        _partial_for(partials, triple.subject).object = triple.object
+        return True
+    return False
+
+
+def _partial_for(partials: dict[RDFTerm, _PartialQuad],
+                 resource: RDFTerm) -> _PartialQuad:
+    partial = partials.get(resource)
+    if partial is None:
+        partial = _PartialQuad(resource)
+        partials[resource] = partial
+    return partial

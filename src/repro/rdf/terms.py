@@ -1,0 +1,369 @@
+"""RDF term model: URIs, blank nodes, and literals.
+
+The term model follows the RDF Concepts and Abstract Syntax recommendation
+as the paper summarises it in its section 2:
+
+* a **URI** is a general identifier (``http://...``, ``urn:lsid:...``);
+* a **blank node** is an anonymous node written ``_:name``;
+* a **plain literal** is a string with an optional language tag;
+* a **typed literal** is a string paired with a datatype URI;
+* a **long literal** is any literal whose lexical form exceeds
+  :data:`LONG_LITERAL_THRESHOLD` characters (4000 in the paper, stored in
+  the ``LONG_VALUE`` column of ``rdf_value$`` instead of ``VALUE_NAME``).
+
+Every term knows its storage :class:`ValueType` code, matching the
+``VALUE_TYPE`` column of the paper's ``rdf_value$`` table: ``UR`` (URI),
+``BN`` (blank node), ``PL`` (plain literal), ``PL@`` (plain literal with a
+language tag), ``TL`` (typed literal), ``PLL`` (plain long-literal), and
+``TLL`` (typed long-literal).
+
+Terms are immutable, hashable value objects; two terms compare equal when
+their RDF abstract-syntax components are equal.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Union
+
+from repro.errors import TermError
+
+#: Lexical forms longer than this are "long literals" (paper section 2:
+#: "long-literals are text values that exceed 4000 characters").
+LONG_LITERAL_THRESHOLD = 4000
+
+# Blank-node labels: letters/digits/._- with no trailing dot (a final
+# dot would be ambiguous with the N-Triples statement terminator).
+_BLANK_NODE_RE = re.compile(
+    r"_:[A-Za-z](?:[A-Za-z0-9._-]*[A-Za-z0-9_-])?$")
+_LANGUAGE_TAG_RE = re.compile(r"[A-Za-z]{1,8}(-[A-Za-z0-9]{1,8})*$")
+# A pragmatic absolute-URI check: a scheme followed by a non-empty body with
+# no whitespace or angle brackets.  RDF URIs in the wild (LSIDs,
+# namespace-prefixed forms used in examples) all pass this.
+_URI_RE = re.compile(r"[A-Za-z][A-Za-z0-9+.-]*:\S+$")
+# Oracle XML DB DBUris (/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID=n]) are
+# scheme-less path URIs; the reification scheme uses them as resources,
+# so the term model must accept them (see repro.db.dburi).
+_DBURI_PREFIX = "/ORADB/"
+
+#: Well-known vocabulary prefixes, expanded at parse time so that the
+#: convenient ``rdf:type`` spelling and the full URI denote the same
+#: stored value.  (:mod:`repro.rdf.namespaces` builds its Namespace
+#: objects from this table — single source of truth.)
+WELL_KNOWN_PREFIXES: dict[str, str] = {
+    "rdf": "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+    "rdfs": "http://www.w3.org/2000/01/rdf-schema#",
+    "xsd": "http://www.w3.org/2001/XMLSchema#",
+    "owl": "http://www.w3.org/2002/07/owl#",
+    "dc": "http://purl.org/dc/elements/1.1/",
+}
+
+
+def expand_well_known(text: str) -> str:
+    """Expand a well-known prefixed name (``rdf:type``) to its full URI.
+
+    Unknown prefixes and non-prefixed text pass through unchanged.
+    """
+    prefix, sep, local = text.partition(":")
+    if sep and prefix in WELL_KNOWN_PREFIXES:
+        return WELL_KNOWN_PREFIXES[prefix] + local
+    return text
+# Prefixed names such as ``gov:terrorSuspect`` used throughout the paper's
+# examples before alias expansion.
+_PREFIXED_NAME_RE = re.compile(r"[A-Za-z][A-Za-z0-9_.-]*:[^\s<>]*$")
+
+
+class ValueType(str, Enum):
+    """``VALUE_TYPE`` codes for ``rdf_value$`` rows (paper section 4)."""
+
+    URI = "UR"
+    BLANK_NODE = "BN"
+    PLAIN_LITERAL = "PL"
+    PLAIN_LITERAL_LANG = "PL@"
+    TYPED_LITERAL = "TL"
+    PLAIN_LONG_LITERAL = "PLL"
+    TYPED_LONG_LITERAL = "TLL"
+
+    @property
+    def is_literal(self) -> bool:
+        """True for the five literal codes."""
+        return self not in (ValueType.URI, ValueType.BLANK_NODE)
+
+    @property
+    def is_long(self) -> bool:
+        """True for the long-literal codes (stored in LONG_VALUE)."""
+        return self in (ValueType.PLAIN_LONG_LITERAL,
+                        ValueType.TYPED_LONG_LITERAL)
+
+
+@dataclass(frozen=True, slots=True)
+class URI:
+    """A URI reference, e.g. ``http://www.us.gov#terrorSuspect``.
+
+    Accepts both full URIs and prefixed names (``gov:terrorSuspect``); the
+    paper's examples use prefixed names throughout and notes that complete
+    namespaces should be used in real data.  Alias expansion is performed
+    by :class:`repro.rdf.namespaces.AliasSet`.
+    """
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise TermError("URI must be a non-empty string")
+        if self.value.startswith("_:"):
+            raise TermError(
+                f"{self.value!r} is a blank-node label, not a URI")
+        if not (_URI_RE.match(self.value)
+                or _PREFIXED_NAME_RE.match(self.value)
+                or self.value.startswith(_DBURI_PREFIX)):
+            raise TermError(f"{self.value!r} is not a valid URI or "
+                            "prefixed name")
+
+    @property
+    def value_type(self) -> ValueType:
+        return ValueType.URI
+
+    @property
+    def is_literal(self) -> bool:
+        return False
+
+    @property
+    def lexical(self) -> str:
+        """The lexical form stored in ``rdf_value$.VALUE_NAME``."""
+        return self.value
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class BlankNode:
+    """A blank node, written ``_:label``.
+
+    Used when a subject or object node is unknown, and for n-ary
+    relationships such as RDF containers (paper section 2).
+    """
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise TermError("blank node label must be non-empty")
+        full = self.label if self.label.startswith("_:") else f"_:{self.label}"
+        if not _BLANK_NODE_RE.match(full):
+            raise TermError(f"{self.label!r} is not a valid blank-node label")
+        # Normalise: keep the bare label without the "_:" prefix.
+        if self.label.startswith("_:"):
+            object.__setattr__(self, "label", self.label[2:])
+
+    @property
+    def value_type(self) -> ValueType:
+        return ValueType.BLANK_NODE
+
+    @property
+    def is_literal(self) -> bool:
+        return False
+
+    @property
+    def lexical(self) -> str:
+        """The lexical form stored in ``rdf_value$.VALUE_NAME``."""
+        return f"_:{self.label}"
+
+    def __str__(self) -> str:
+        return self.lexical
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An RDF literal: a string with an optional language tag or datatype.
+
+    Exactly one of ``language`` and ``datatype`` may be set; a literal with
+    a datatype is a *typed literal* and its datatype is always a URI
+    (paper section 2).  Lexical forms longer than
+    :data:`LONG_LITERAL_THRESHOLD` make the literal a *long literal*,
+    reflected in :attr:`value_type`.
+    """
+
+    lexical_form: str
+    language: str | None = field(default=None)
+    datatype: URI | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lexical_form, str):
+            raise TermError("literal lexical form must be a string")
+        if self.language is not None and self.datatype is not None:
+            raise TermError(
+                "a literal cannot carry both a language tag and a datatype")
+        if self.language is not None:
+            if not _LANGUAGE_TAG_RE.match(self.language):
+                raise TermError(
+                    f"{self.language!r} is not a valid language tag")
+            # Language tags are case-insensitive; normalise to lower case.
+            object.__setattr__(self, "language", self.language.lower())
+        if self.datatype is not None and not isinstance(self.datatype, URI):
+            raise TermError("literal datatype must be a URI")
+
+    @property
+    def is_long(self) -> bool:
+        """True when the lexical form exceeds the 4000-character limit."""
+        return len(self.lexical_form) > LONG_LITERAL_THRESHOLD
+
+    @property
+    def value_type(self) -> ValueType:
+        if self.datatype is not None:
+            return (ValueType.TYPED_LONG_LITERAL if self.is_long
+                    else ValueType.TYPED_LITERAL)
+        if self.is_long:
+            return ValueType.PLAIN_LONG_LITERAL
+        if self.language is not None:
+            return ValueType.PLAIN_LITERAL_LANG
+        return ValueType.PLAIN_LITERAL
+
+    @property
+    def is_literal(self) -> bool:
+        return True
+
+    @property
+    def lexical(self) -> str:
+        """The lexical form stored in VALUE_NAME / LONG_VALUE."""
+        return self.lexical_form
+
+    def __str__(self) -> str:
+        if self.datatype is not None:
+            return f'"{self.lexical_form}"^^<{self.datatype.value}>'
+        if self.language is not None:
+            return f'"{self.lexical_form}"@{self.language}'
+        return f'"{self.lexical_form}"'
+
+
+#: Any RDF term.
+RDFTerm = Union[URI, BlankNode, Literal]
+
+
+def term_from_lexical(lexical: str,
+                      value_type: ValueType,
+                      literal_type: str | None = None,
+                      language_type: str | None = None) -> RDFTerm:
+    """Rebuild a term from the columns of an ``rdf_value$`` row.
+
+    This is the inverse of the decomposition done at insert time: the store
+    keeps (VALUE_NAME/LONG_VALUE, VALUE_TYPE, LITERAL_TYPE, LANGUAGE_TYPE)
+    and this function reassembles the term object.
+
+    :param lexical: the text value (VALUE_NAME, or LONG_VALUE for long
+        literals).
+    :param value_type: the VALUE_TYPE code.
+    :param literal_type: the datatype URI for typed literals.
+    :param language_type: the language tag for tagged plain literals.
+    """
+    if value_type is ValueType.URI:
+        return URI(lexical)
+    if value_type is ValueType.BLANK_NODE:
+        return BlankNode(lexical)
+    if value_type in (ValueType.TYPED_LITERAL, ValueType.TYPED_LONG_LITERAL):
+        if not literal_type:
+            raise TermError(
+                f"typed literal {lexical!r} requires a LITERAL_TYPE")
+        return Literal(lexical, datatype=URI(literal_type))
+    if value_type is ValueType.PLAIN_LITERAL_LANG:
+        if not language_type:
+            raise TermError(
+                f"PL@ literal {lexical!r} requires a LANGUAGE_TYPE")
+        return Literal(lexical, language=language_type)
+    # PL or PLL; a PLL may still carry a language tag per the paper
+    # ("plain long-literal, with a language specified").
+    if language_type:
+        return Literal(lexical, language=language_type)
+    return Literal(lexical)
+
+
+def parse_term_text(text: str) -> RDFTerm:
+    """Parse a user-supplied term string into an :class:`RDFTerm`.
+
+    This implements the conventions of the paper's SQL examples, where
+    triples are supplied as plain strings to the ``SDO_RDF_TRIPLE_S``
+    constructor:
+
+    * ``_:name`` — blank node;
+    * ``"text"^^<datatype>`` or ``"text"^^datatype`` — typed literal;
+    * ``"text"@lang`` — plain literal with language tag;
+    * ``"text"`` — plain literal;
+    * ``<uri>`` or a bare URI / prefixed name — URI;
+    * anything else — plain literal (a bare word like ``bombing`` in the
+      paper's DHS example is a literal object).
+    """
+    if not text:
+        raise TermError("empty term")
+    if text.startswith("_:"):
+        return BlankNode(text)
+    if text.startswith("<") and text.endswith(">") and len(text) > 2:
+        return URI(text[1:-1])
+    if text.startswith('"'):
+        return _parse_quoted_literal(text)
+    if (_URI_RE.match(text) or _PREFIXED_NAME_RE.match(text)
+            or text.startswith(_DBURI_PREFIX)):
+        return URI(expand_well_known(text))
+    return Literal(text)
+
+
+def _parse_quoted_literal(text: str) -> Literal:
+    """Parse a double-quoted literal with optional ``@lang`` / ``^^type``."""
+    closing = _find_closing_quote(text)
+    body = _unescape(text[1:closing])
+    suffix = text[closing + 1:]
+    if not suffix:
+        return Literal(body)
+    if suffix.startswith("@"):
+        return Literal(body, language=suffix[1:])
+    if suffix.startswith("^^"):
+        datatype = suffix[2:]
+        if datatype.startswith("<") and datatype.endswith(">"):
+            datatype = datatype[1:-1]
+        return Literal(body, datatype=URI(expand_well_known(datatype)))
+    raise TermError(f"malformed literal suffix in {text!r}")
+
+
+def _find_closing_quote(text: str) -> int:
+    """Index of the unescaped closing quote of a literal starting at 0."""
+    i = 1
+    while i < len(text):
+        if text[i] == "\\":
+            i += 2
+            continue
+        if text[i] == '"':
+            return i
+        i += 1
+    raise TermError(f"unterminated literal {text!r}")
+
+
+def _unescape(text: str) -> str:
+    """Resolve N-Triples style backslash escapes in a literal body."""
+    if "\\" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    escapes = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
+    while i < len(text):
+        ch = text[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(text):
+            raise TermError(f"dangling escape in {text!r}")
+        nxt = text[i + 1]
+        if nxt in escapes:
+            out.append(escapes[nxt])
+            i += 2
+        elif nxt == "u":
+            out.append(chr(int(text[i + 2:i + 6], 16)))
+            i += 6
+        elif nxt == "U":
+            out.append(chr(int(text[i + 2:i + 10], 16)))
+            i += 10
+        else:
+            raise TermError(f"unknown escape \\{nxt} in {text!r}")
+    return "".join(out)

@@ -1,0 +1,80 @@
+"""The RDF triple: ``<subject, predicate, object>``.
+
+Each RDF statement is a triple, effectively a directed edge pointing from
+the subject node to the object node, labelled by the predicate (paper
+Figure 1).  The component constraints follow RDF Concepts:
+
+* subject — URI or blank node;
+* predicate — URI;
+* object — URI, blank node, or literal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import TermError
+from repro.rdf.terms import BlankNode, Literal, RDFTerm, URI, parse_term_text
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """An immutable RDF statement.
+
+    Triples are hashable value objects, so a set of triples is an RDF
+    graph (see :class:`repro.rdf.graph.Graph`).
+    """
+
+    subject: RDFTerm
+    predicate: URI
+    object: RDFTerm
+
+    def __post_init__(self) -> None:
+        if isinstance(self.subject, Literal):
+            raise TermError("triple subject cannot be a literal")
+        if not isinstance(self.subject, (URI, BlankNode)):
+            raise TermError(
+                f"triple subject must be a URI or blank node, "
+                f"got {type(self.subject).__name__}")
+        if not isinstance(self.predicate, URI):
+            raise TermError(
+                f"triple predicate must be a URI, "
+                f"got {type(self.predicate).__name__}")
+        if not isinstance(self.object, (URI, BlankNode, Literal)):
+            raise TermError(
+                f"triple object must be an RDF term, "
+                f"got {type(self.object).__name__}")
+
+    @classmethod
+    def from_text(cls, subject: str, predicate: str, obj: str) -> "Triple":
+        """Build a triple from the string forms used in the paper's SQL.
+
+        ``Triple.from_text('gov:files', 'gov:terrorSuspect', 'id:JohnDoe')``
+        mirrors the ``SDO_RDF_TRIPLE_S(model, s, p, o)`` constructor
+        arguments.
+        """
+        subj = parse_term_text(subject)
+        pred = parse_term_text(predicate)
+        if not isinstance(pred, URI):
+            raise TermError(
+                f"predicate {predicate!r} must parse to a URI")
+        return cls(subj, pred, parse_term_text(obj))
+
+    def __iter__(self) -> Iterator[RDFTerm]:
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def __str__(self) -> str:
+        return f"<{self.subject}, {self.predicate}, {self.object}>"
+
+    def replace(self, subject: RDFTerm | None = None,
+                predicate: URI | None = None,
+                obj: RDFTerm | None = None) -> "Triple":
+        """A copy of this triple with the given components replaced."""
+        return Triple(
+            subject if subject is not None else self.subject,
+            predicate if predicate is not None else self.predicate,
+            obj if obj is not None else self.object,
+        )

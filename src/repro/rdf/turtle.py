@@ -1,0 +1,362 @@
+"""A practical Turtle subset: parser and serializer.
+
+N-Triples (:mod:`repro.rdf.ntriples`) is the loader's exchange format;
+Turtle is the human-facing one — the syntax RDF examples, ontologies,
+and rule fixtures are usually written in.  The supported subset covers
+what real documents use:
+
+* ``@prefix`` / ``PREFIX`` directives and prefixed names;
+* the ``a`` keyword for ``rdf:type``;
+* predicate lists (``;``) and object lists (``,``);
+* anonymous blank nodes ``[ p o ; ... ]`` (as subject or object) and
+  labelled ``_:name`` nodes;
+* literals: quoted strings (with ``\\`` escapes and triple-quoted
+  ``\"\"\"...\"\"\"`` long strings), ``@lang`` tags, ``^^`` datatypes,
+  and the numeric/boolean shorthands (``42`` → ``xsd:integer``,
+  ``4.2`` → ``xsd:decimal``, ``true``/``false`` → ``xsd:boolean``);
+* comments (``#`` to end of line).
+
+Not supported (rejected with a clear error): ``@base``/relative IRIs
+and RDF collections ``( ... )``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterator
+
+from repro.errors import ParseError, TermError
+from repro.rdf.namespaces import RDF, XSD, AliasSet
+from repro.rdf.ntriples import term_to_ntriples
+from repro.rdf.terms import (
+    BlankNode,
+    Literal,
+    RDFTerm,
+    URI,
+    _unescape,
+    expand_well_known,
+)
+from repro.rdf.triple import Triple
+
+_anon_counter = itertools.count(1)
+
+_TOKEN_RE = re.compile(r"""
+    (?P<longstring>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\")
+  | (?P<string>"(?:[^"\\\n]|\\.)*")
+  | (?P<iri><[^<>\s]*>)
+  | (?P<comment>\#[^\n]*)
+  | (?P<at>@[A-Za-z][A-Za-z0-9-]*)
+  | (?P<caret>\^\^)
+  | (?P<punct>[;,.\[\]()])
+  | (?P<blank>_:[A-Za-z][A-Za-z0-9._-]*)
+  | (?P<number>[+-]?(?:\d+\.\d+|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<pname>[A-Za-z][A-Za-z0-9_.-]*)?:(?P<local>[A-Za-z0-9_.%-]*)
+  | (?P<word>[A-Za-z][A-Za-z0-9_-]*)
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+def _tokenize(document: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    line = 1
+    while position < len(document):
+        match = _TOKEN_RE.match(document, position)
+        if match is None or match.end() == position:
+            snippet = document[position:position + 20]
+            raise ParseError(f"unexpected input {snippet!r}", line=line)
+        kind = match.lastgroup or ""
+        text = match.group(0)
+        if kind == "local":
+            kind = "pname"
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line))
+        line += text.count("\n")
+        position = match.end()
+    return tokens
+
+
+class TurtleParser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, document: str) -> None:
+        self._tokens = _tokenize(document)
+        self._position = 0
+        self._prefixes: dict[str, str] = {}
+        self._triples: list[Triple] = []
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._position >= len(self._tokens):
+            return None
+        return self._tokens[self._position]
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            last_line = self._tokens[-1].line if self._tokens else 1
+            raise ParseError("unexpected end of document",
+                             line=last_line)
+        self._position += 1
+        return token
+
+    def _expect_punct(self, text: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.text != text:
+            raise ParseError(
+                f"expected {text!r}, got {token.text!r}",
+                line=token.line)
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> list[Triple]:
+        while self._peek() is not None:
+            token = self._peek()
+            assert token is not None
+            if token.kind == "at" or (token.kind == "word"
+                                      and token.text.upper() == "PREFIX"):
+                self._parse_directive()
+            else:
+                self._parse_statement()
+        return self._triples
+
+    def _parse_directive(self) -> None:
+        keyword = self._next()
+        name = keyword.text.lstrip("@").lower()
+        if name != "prefix":
+            raise ParseError(
+                f"unsupported directive {keyword.text!r} (only @prefix "
+                "is supported; @base/relative IRIs are not)",
+                line=keyword.line)
+        prefix_token = self._next()
+        if prefix_token.kind != "pname" or not \
+                prefix_token.text.endswith(":"):
+            raise ParseError(
+                f"expected 'prefix:' after @prefix, got "
+                f"{prefix_token.text!r}", line=prefix_token.line)
+        iri_token = self._next()
+        if iri_token.kind != "iri":
+            raise ParseError("expected <iri> in @prefix",
+                             line=iri_token.line)
+        self._prefixes[prefix_token.text[:-1]] = iri_token.text[1:-1]
+        if keyword.kind == "at":  # Turtle @prefix ends with '.'
+            self._expect_punct(".")
+
+    def _parse_statement(self) -> None:
+        subject = self._parse_subject()
+        self._parse_predicate_object_list(subject)
+        self._expect_punct(".")
+
+    def _parse_subject(self) -> RDFTerm:
+        token = self._peek()
+        assert token is not None
+        if token.kind == "punct" and token.text == "[":
+            return self._parse_blank_node_properties()
+        term = self._parse_term()
+        if isinstance(term, Literal):
+            raise ParseError("literal subject", line=token.line)
+        return term
+
+    def _parse_predicate_object_list(self, subject: RDFTerm) -> None:
+        while True:
+            predicate = self._parse_predicate()
+            self._parse_object_list(subject, predicate)
+            token = self._peek()
+            if token is not None and token.kind == "punct" \
+                    and token.text == ";":
+                self._next()
+                # A trailing ';' before '.' or ']' is legal Turtle.
+                nxt = self._peek()
+                if nxt is not None and nxt.kind == "punct" \
+                        and nxt.text in ".]":
+                    return
+                continue
+            return
+
+    def _parse_predicate(self) -> URI:
+        token = self._peek()
+        assert token is not None
+        if token.kind == "word" and token.text == "a":
+            self._next()
+            return RDF.type
+        term = self._parse_term()
+        if not isinstance(term, URI):
+            raise ParseError(f"predicate must be an IRI, got {term}",
+                             line=token.line)
+        return term
+
+    def _parse_object_list(self, subject: RDFTerm,
+                           predicate: URI) -> None:
+        while True:
+            obj = self._parse_object()
+            self._triples.append(Triple(subject, predicate, obj))
+            token = self._peek()
+            if token is not None and token.kind == "punct" \
+                    and token.text == ",":
+                self._next()
+                continue
+            return
+
+    def _parse_object(self) -> RDFTerm:
+        token = self._peek()
+        assert token is not None
+        if token.kind == "punct" and token.text == "[":
+            return self._parse_blank_node_properties()
+        if token.kind == "punct" and token.text == "(":
+            raise ParseError("RDF collections '(...)' are not supported",
+                             line=token.line)
+        return self._parse_term()
+
+    def _parse_blank_node_properties(self) -> BlankNode:
+        open_token = self._next()  # '['
+        node = BlankNode(f"anon{next(_anon_counter):06d}")
+        token = self._peek()
+        if token is not None and token.kind == "punct" \
+                and token.text == "]":
+            self._next()
+            return node
+        self._parse_predicate_object_list(node)
+        closing = self._next()
+        if closing.kind != "punct" or closing.text != "]":
+            raise ParseError("expected ']' closing blank node",
+                             line=open_token.line)
+        return node
+
+    # -- terms -------------------------------------------------------------
+
+    def _parse_term(self) -> RDFTerm:
+        token = self._next()
+        if token.kind == "iri":
+            try:
+                return URI(_unescape(token.text[1:-1]))
+            except TermError as exc:
+                raise ParseError(str(exc), line=token.line) from exc
+        if token.kind == "blank":
+            return BlankNode(token.text)
+        if token.kind == "pname":
+            return self._resolve_pname(token)
+        if token.kind in ("string", "longstring"):
+            return self._parse_literal(token)
+        if token.kind == "number":
+            return self._numeric_literal(token.text)
+        if token.kind == "word" and token.text in ("true", "false"):
+            return Literal(token.text, datatype=XSD.boolean)
+        raise ParseError(f"unexpected token {token.text!r}",
+                         line=token.line)
+
+    def _resolve_pname(self, token: _Token) -> URI:
+        prefix, _colon, local = token.text.partition(":")
+        if prefix in self._prefixes:
+            return URI(self._prefixes[prefix] + local)
+        expanded = expand_well_known(token.text)
+        if expanded != token.text:
+            return URI(expanded)
+        raise ParseError(f"undeclared prefix {prefix!r}:",
+                         line=token.line)
+
+    def _parse_literal(self, token: _Token) -> Literal:
+        if token.kind == "longstring":
+            body = _unescape(token.text[3:-3])
+        else:
+            body = _unescape(token.text[1:-1])
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "at":
+            self._next()
+            return Literal(body, language=nxt.text[1:])
+        if nxt is not None and nxt.kind == "caret":
+            self._next()
+            datatype = self._parse_term()
+            if not isinstance(datatype, URI):
+                raise ParseError("datatype must be an IRI",
+                                 line=token.line)
+            return Literal(body, datatype=datatype)
+        return Literal(body)
+
+    @staticmethod
+    def _numeric_literal(text: str) -> Literal:
+        if re.fullmatch(r"[+-]?\d+", text):
+            return Literal(text, datatype=XSD.integer)
+        if "e" in text.lower():
+            return Literal(text, datatype=XSD.double)
+        return Literal(text, datatype=XSD.decimal)
+
+
+def parse_turtle(document: str) -> list[Triple]:
+    """Parse a Turtle document into triples."""
+    return TurtleParser(document).parse()
+
+
+def iter_turtle(document: str) -> Iterator[Triple]:
+    """Iterator form of :func:`parse_turtle`."""
+    return iter(parse_turtle(document))
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+
+def serialize_turtle(triples, aliases: AliasSet | None = None) -> str:
+    """Serialize triples as Turtle, grouped by subject.
+
+    Prefixes from ``aliases`` (plus the built-ins actually used) are
+    declared up front; predicates and objects reuse them.  Output is
+    deterministic: subjects, predicates, and objects are sorted.
+    """
+    aliases = aliases or AliasSet()
+    by_subject: dict[RDFTerm, dict[URI, list[RDFTerm]]] = {}
+    for triple in triples:
+        by_subject.setdefault(triple.subject, {}) \
+            .setdefault(triple.predicate, []).append(triple.object)
+
+    used_prefixes: dict[str, str] = {}
+    local_re = re.compile(r"[A-Za-z][A-Za-z0-9_.%-]*$")
+
+    def spell(term: RDFTerm) -> str:
+        if isinstance(term, URI):
+            compact = aliases.compact(term.value)
+            if compact != term.value and ":" in compact:
+                prefix, _colon, local = compact.partition(":")
+                namespace = aliases.namespace_for(prefix)
+                # Only compact when the local part is legal pname
+                # syntax; otherwise the output would not re-parse.
+                if namespace and local_re.match(local):
+                    used_prefixes[prefix] = namespace
+                    return compact
+            return f"<{term.value}>"
+        return term_to_ntriples(term)
+
+    lines: list[str] = []
+    for subject in sorted(by_subject, key=lambda t: t.lexical):
+        predicates = by_subject[subject]
+        entry_lines: list[str] = []
+        for predicate in sorted(predicates, key=lambda t: t.value):
+            spelled_predicate = ("a" if predicate == RDF.type
+                                 else spell(predicate))
+            objects = ", ".join(
+                spell(obj) for obj in sorted(
+                    predicates[predicate], key=lambda t: t.lexical))
+            entry_lines.append(f"    {spelled_predicate} {objects}")
+        body = " ;\n".join(entry_lines)
+        lines.append(f"{spell(subject)}\n{body} .")
+
+    header = [f"@prefix {prefix}: <{namespace}> ."
+              for prefix, namespace in sorted(used_prefixes.items())]
+    sections = []
+    if header:
+        sections.append("\n".join(header))
+    sections.extend(lines)
+    return "\n\n".join(sections) + ("\n" if sections else "")

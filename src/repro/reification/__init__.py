@@ -1,0 +1,41 @@
+"""Reification: the streamlined DBUri scheme, the quad loader, and the
+naive baseline.
+
+The paper's section 5: reification "when implemented naively ...
+significantly bloats storage and inflates query times, since four new
+triples are stored for each reification".  The streamlined scheme stores
+**one** statement whose subject is a DBUri pointing straight at the
+``rdf_link$`` row.
+
+* the streamlined primitives live on :class:`repro.core.store.RDFStore`
+  (``reify_triple`` / ``assert_about`` / ``assert_implied`` /
+  ``is_reified``); :mod:`repro.reification.streamlined` adds reporting
+  helpers over them;
+* :mod:`repro.reification.quads` is the quad loader — the paper's "Java
+  API ... for reading reification quads and converting them into reified
+  statements";
+* :mod:`repro.reification.naive` is the 4-triples-per-reification
+  baseline used by the EXP-STOR storage comparison.
+"""
+
+from repro.reification.streamlined import (
+    reification_statements,
+    reified_link_ids,
+    reification_storage,
+)
+from repro.reification.quads import (
+    IncompleteQuadPolicy,
+    QuadConversionReport,
+    QuadConverter,
+)
+from repro.reification.naive import NaiveReificationStore
+
+__all__ = [
+    "IncompleteQuadPolicy",
+    "NaiveReificationStore",
+    "QuadConversionReport",
+    "QuadConverter",
+    "reification_statements",
+    "reification_storage",
+    "reified_link_ids",
+]

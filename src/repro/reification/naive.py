@@ -1,0 +1,132 @@
+"""The naive reification baseline: four triples per reification.
+
+"When implemented naively, reification ... significantly bloats storage
+and inflates query times, since four new triples are stored for each
+reification" (paper section 1).  This store is that naive implementation,
+kept side-by-side with the streamlined scheme so the EXP-STOR benchmark
+can measure the 25 % storage claim and the Table 2 benchmark can contrast
+IS_REIFIED costs.
+
+The naive store keeps its quads in a dedicated statement table in the
+same database — a classic triple-table layout where every quad statement
+is one row of inline text (the storage-maximal design the paper's "Big
+Ugly" quote refers to).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.db.connection import quote_identifier
+from repro.db.storage import StorageReport, table_storage
+from repro.rdf.ntriples import term_to_ntriples
+from repro.rdf.reification_vocab import expand_quad
+from repro.rdf.terms import RDFTerm, URI
+from repro.rdf.triple import Triple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.connection import Database
+
+_NAIVE_TABLE = "naive_reif_stmt$"
+
+
+class NaiveReificationStore:
+    """A quad-per-reification statement table.
+
+    :param database: the hosting database.
+    :param table_name: the statement table (one per comparison run).
+    """
+
+    def __init__(self, database: "Database",
+                 table_name: str = _NAIVE_TABLE) -> None:
+        self._db = database
+        self.table_name = table_name
+        self._resource_counter = itertools.count(1)
+        self._db.execute(
+            f"CREATE TABLE IF NOT EXISTS {quote_identifier(table_name)} ("
+            " stmt_id INTEGER PRIMARY KEY,"
+            " subject TEXT NOT NULL,"
+            " predicate TEXT NOT NULL,"
+            " object TEXT NOT NULL)")
+        self._db.execute(
+            f"CREATE INDEX IF NOT EXISTS "
+            f"{quote_identifier(table_name + '_spo')} "
+            f"ON {quote_identifier(table_name)} "
+            "(subject, predicate, object)")
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def new_resource(self) -> URI:
+        """Mint a fresh reification resource URI."""
+        return URI(f"urn:repro:reif:{next(self._resource_counter)}")
+
+    def reify(self, triple: Triple, resource: RDFTerm | None = None) -> URI:
+        """Store the full four-statement quad for ``triple``.
+
+        Returns the reification resource.
+        """
+        if resource is None:
+            resource = self.new_resource()
+        statements = expand_quad(resource, triple)
+        self._db.executemany(
+            f"INSERT INTO {quote_identifier(self.table_name)} "
+            "(subject, predicate, object) VALUES (?, ?, ?)",
+            [(term_to_ntriples(s.subject), term_to_ntriples(s.predicate),
+              term_to_ntriples(s.object)) for s in statements])
+        assert isinstance(resource, URI)
+        return resource
+
+    def insert_statement(self, triple: Triple) -> None:
+        """Store one raw statement (assertions about resources)."""
+        self._db.execute(
+            f"INSERT INTO {quote_identifier(self.table_name)} "
+            "(subject, predicate, object) VALUES (?, ?, ?)",
+            (term_to_ntriples(triple.subject),
+             term_to_ntriples(triple.predicate),
+             term_to_ntriples(triple.object)))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def is_reified(self, triple: Triple) -> bool:
+        """The naive IS_REIFIED: a three-way self-join over the quad.
+
+        Finds a resource R with matching rdf:subject, rdf:predicate, and
+        rdf:object rows — the multi-row retrieval the streamlined scheme
+        replaces with one lookup.
+        """
+        from repro.rdf.namespaces import RDF
+        table = quote_identifier(self.table_name)
+        row = self._db.query_one(
+            f"SELECT s.subject FROM {table} s "
+            f"JOIN {table} p ON p.subject = s.subject "
+            f"JOIN {table} o ON o.subject = s.subject "
+            "WHERE s.predicate = ? AND s.object = ? "
+            "AND p.predicate = ? AND p.object = ? "
+            "AND o.predicate = ? AND o.object = ? "
+            "LIMIT 1",
+            (term_to_ntriples(RDF.subject),
+             term_to_ntriples(triple.subject),
+             term_to_ntriples(RDF.predicate),
+             term_to_ntriples(triple.predicate),
+             term_to_ntriples(RDF.object),
+             term_to_ntriples(triple.object)))
+        return row is not None
+
+    def statement_count(self) -> int:
+        """Total stored statements (4x the reification count plus any
+        raw assertions)."""
+        return self._db.row_count(self.table_name)
+
+    def storage(self) -> StorageReport:
+        """Row/byte figures for the quad table (EXP-STOR numerator)."""
+        return table_storage(self._db, self.table_name)
+
+    def clear(self) -> None:
+        """Remove all stored statements."""
+        self._db.execute(
+            f"DELETE FROM {quote_identifier(self.table_name)}")

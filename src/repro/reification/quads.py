@@ -1,0 +1,262 @@
+"""The quad loader: reading reification quads, converting to reified
+statements.
+
+The paper (section 5): "A Java API is provided for reading reification
+quads and converting them into reified statements in Oracle.  On
+conversion, the user specifies whether incomplete quads should be
+deleted, output to a file or inserted into the database like other
+triples.  The user also specifies whether URIs replaced by the DBUriType
+should be stored."
+
+:class:`QuadConverter` is that API.  It consumes triples (from an
+iterable, an in-memory graph, or an N-Triples file), separates complete
+reification quads from ordinary triples, and loads the result:
+
+* ordinary triples are inserted normally;
+* for each complete quad, the base triple is inserted (CONTEXT='I' when
+  new, section 5.2) and reified through the streamlined scheme — one
+  stored statement instead of four;
+* assertions *about* the quad's resource are rewritten to point at the
+  DBUri, and optionally the original resource URI is recorded in a
+  mapping table (``keep_replaced_uris``);
+* incomplete quads follow the selected
+  :class:`IncompleteQuadPolicy`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Iterable
+
+from repro.db.connection import quote_identifier
+from repro.db.dburi import DBUri
+from repro.errors import IncompleteQuadError
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.reification_vocab import Quad, collect_quads, expand_quad
+from repro.rdf.terms import RDFTerm, URI
+from repro.rdf.triple import Triple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+#: The mapping table recording DBUri -> original reification resource.
+REPLACED_URI_TABLE = "rdf_reified_uri$"
+
+
+class IncompleteQuadPolicy(enum.Enum):
+    """What to do with quads missing part of their four statements."""
+
+    #: Drop the partial statements entirely.
+    DELETE = "delete"
+    #: Write the partial statements to a side file.
+    TO_FILE = "file"
+    #: Insert the partial statements like ordinary triples.
+    INSERT = "insert"
+    #: Raise IncompleteQuadError (strict loads).
+    RAISE = "raise"
+
+
+@dataclass
+class QuadConversionReport:
+    """What a conversion run did."""
+
+    ordinary_triples: int = 0
+    quads_converted: int = 0
+    assertions_rewritten: int = 0
+    incomplete_quads: int = 0
+    incomplete_statements_inserted: int = 0
+    replaced_uris_kept: int = 0
+    incomplete_resources: list[str] = field(default_factory=list)
+
+
+class QuadConverter:
+    """Converts reification quads into streamlined reified statements.
+
+    :param store: the target store.
+    :param model_name: the model to load into.
+    :param incomplete: policy for incomplete quads.
+    :param keep_replaced_uris: record the original reification resource
+        URI for each DBUri in ``rdf_reified_uri$``.
+    :param incomplete_file: target stream/path for
+        ``IncompleteQuadPolicy.TO_FILE``.
+    """
+
+    def __init__(self, store: "RDFStore", model_name: str,
+                 incomplete: IncompleteQuadPolicy =
+                 IncompleteQuadPolicy.DELETE,
+                 keep_replaced_uris: bool = False,
+                 incomplete_file: IO[str] | str | Path | None = None
+                 ) -> None:
+        self._store = store
+        self._model_name = model_name
+        self._incomplete = incomplete
+        self._keep_replaced = keep_replaced_uris
+        self._incomplete_file = incomplete_file
+        if keep_replaced_uris:
+            self._ensure_mapping_table()
+
+    def _ensure_mapping_table(self) -> None:
+        self._store.database.execute(
+            f"CREATE TABLE IF NOT EXISTS "
+            f"{quote_identifier(REPLACED_URI_TABLE)} ("
+            " dburi TEXT NOT NULL,"
+            " orig_uri TEXT NOT NULL,"
+            " model_name TEXT NOT NULL,"
+            " PRIMARY KEY (dburi, orig_uri, model_name))")
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def convert_file(self, path: str | Path) -> QuadConversionReport:
+        """Load an N-Triples file, converting its reification quads."""
+        with open(path, encoding="utf-8") as stream:
+            return self.convert(parse_ntriples(stream))
+
+    def convert_text(self, document: str) -> QuadConversionReport:
+        """Load an N-Triples document given as a string."""
+        return self.convert(parse_ntriples(document))
+
+    def convert_rdfxml(self, document: str) -> QuadConversionReport:
+        """Load an RDF/XML document; its ``rdf:ID``-reified statements
+        arrive as quads and convert to streamlined reifications."""
+        from repro.rdf.rdfxml import parse_rdfxml
+
+        return self.convert(parse_rdfxml(document))
+
+    def convert(self, triples: Iterable[Triple]) -> QuadConversionReport:
+        """Convert and load a stream of triples.
+
+        The whole input is read before inserting — the paper notes the
+        same ("the entire input file must be read before inserting
+        triples"), because a quad's four statements may arrive in any
+        order and assertions may precede the quad they reference.
+        """
+        report = QuadConversionReport()
+        complete, incomplete, others = collect_quads(triples)
+        resource_to_dburi: dict[RDFTerm, str] = {}
+        with self._store.database.transaction():
+            for quad in complete:
+                dburi = self._load_quad(quad, report)
+                resource_to_dburi[quad.resource] = dburi
+            for triple in others:
+                self._load_ordinary(triple, resource_to_dburi, report)
+            self._handle_incomplete(incomplete, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    def _load_quad(self, quad: Quad,
+                   report: QuadConversionReport) -> str:
+        """Insert the base triple, reify it, map resource -> DBUri."""
+        store = self._store
+        base = store.assert_base_for_reification(self._model_name,
+                                                 quad.triple)
+        dburi = DBUri.for_link(base.link_id).text
+        if not store.is_reified_id(self._model_name, base.link_id):
+            store.reify_triple(self._model_name, base.link_id)
+        report.quads_converted += 1
+        if self._keep_replaced:
+            self._record_replaced(dburi, quad.resource)
+            report.replaced_uris_kept += 1
+        return dburi
+
+    def _record_replaced(self, dburi: str, resource: RDFTerm) -> None:
+        self._store.database.execute(
+            f"INSERT OR IGNORE INTO {quote_identifier(REPLACED_URI_TABLE)} "
+            "VALUES (?, ?, ?)",
+            (dburi, resource.lexical, self._model_name))
+
+    def _load_ordinary(self, triple: Triple,
+                       resource_to_dburi: dict[RDFTerm, str],
+                       report: QuadConversionReport) -> None:
+        """Insert a non-quad triple, rewriting references to reified
+        resources into their DBUris (these become assertions)."""
+        rewritten = triple
+        changed = False
+        if triple.subject in resource_to_dburi:
+            rewritten = rewritten.replace(
+                subject=URI(resource_to_dburi[triple.subject]))
+            changed = True
+        if triple.object in resource_to_dburi:
+            rewritten = rewritten.replace(
+                obj=URI(resource_to_dburi[triple.object]))
+            changed = True
+        self._store.insert_triple_obj(self._model_name, rewritten)
+        if changed:
+            report.assertions_rewritten += 1
+        else:
+            report.ordinary_triples += 1
+
+    def _handle_incomplete(self, incomplete,
+                           report: QuadConversionReport) -> None:
+        report.incomplete_quads = len(incomplete)
+        if not incomplete:
+            return
+        report.incomplete_resources = [
+            str(partial.resource) for partial in incomplete]
+        if self._incomplete is IncompleteQuadPolicy.RAISE:
+            first = incomplete[0]
+            raise IncompleteQuadError(str(first.resource), first.missing())
+        if self._incomplete is IncompleteQuadPolicy.DELETE:
+            return
+        statements = [stmt for partial in incomplete
+                      for stmt in self._partial_statements(partial)]
+        if self._incomplete is IncompleteQuadPolicy.INSERT:
+            for statement in statements:
+                self._store.insert_triple_obj(self._model_name, statement)
+            report.incomplete_statements_inserted = len(statements)
+            return
+        # TO_FILE
+        self._write_incomplete(statements)
+
+    @staticmethod
+    def _partial_statements(partial) -> list[Triple]:
+        """Reconstruct the statements a partial quad actually contained."""
+        statements = expand_quad(
+            partial.resource,
+            # Dummy placeholders for missing slots are filtered below.
+            _PartialView(partial).as_triple())
+        present: list[Triple] = []
+        if partial.typed:
+            present.append(statements[0])
+        if partial.subject is not None:
+            present.append(statements[1])
+        if partial.predicate is not None:
+            present.append(statements[2])
+        if partial.object is not None:
+            present.append(statements[3])
+        return present
+
+    def _write_incomplete(self, statements: list[Triple]) -> None:
+        target = self._incomplete_file
+        if target is None:
+            raise IncompleteQuadError(
+                "<unknown>", ["incomplete_file not configured for "
+                              "IncompleteQuadPolicy.TO_FILE"])
+        if isinstance(target, (str, Path)):
+            with open(target, "a", encoding="utf-8") as stream:
+                serialize_ntriples(statements, out=stream)
+        else:
+            serialize_ntriples(statements, out=target)
+
+
+class _PartialView:
+    """Fills missing quad slots with placeholders so expand_quad can
+    rebuild the statements that *were* present."""
+
+    _PLACEHOLDER = URI("urn:repro:quad-placeholder")
+
+    def __init__(self, partial) -> None:
+        self._partial = partial
+
+    def as_triple(self) -> Triple:
+        subject = self._partial.subject or self._PLACEHOLDER
+        predicate = self._partial.predicate \
+            if isinstance(self._partial.predicate, URI) else self._PLACEHOLDER
+        obj = self._partial.object or self._PLACEHOLDER
+        return Triple(subject, predicate, obj)

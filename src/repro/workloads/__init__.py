@@ -1,0 +1,30 @@
+"""Workload generators for the paper's experiments.
+
+* :mod:`repro.workloads.uniprot` — a deterministic synthetic generator
+  shaped like the UniProt RDF catalogue the paper benchmarks with
+  (LSID URIs, protein records, ``rdfs:seeAlso`` cross-references, the
+  paper's reified-statement ratios);
+* :mod:`repro.workloads.intel` — the Intelligence Community scenario of
+  the paper's sections 1 and 6.1 (CIA/DHS/FBI models, the intel_rb
+  rule, the address table).
+"""
+
+from repro.workloads.uniprot import (
+    PROBE_OBJECT,
+    PROBE_SUBJECT,
+    UNIPROT,
+    UniProtGenerator,
+    paper_reified_count,
+)
+from repro.workloads.intel import IntelScenario, GOV, IDNS
+
+__all__ = [
+    "GOV",
+    "IDNS",
+    "IntelScenario",
+    "PROBE_OBJECT",
+    "PROBE_SUBJECT",
+    "UNIPROT",
+    "UniProtGenerator",
+    "paper_reified_count",
+]

@@ -1,0 +1,143 @@
+"""The Intelligence Community scenario (paper sections 1, 5, 6.1).
+
+Builds the CIA/DHS/FBI application tables and models with the Figure 2
+data, the ``ic.address`` side table, and the ``intel_rb`` rulebase —
+everything needed to run the Figure 8 inference query and the section 5
+reification examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.apptable import ApplicationTable
+from repro.core.sdo_rdf import SDO_RDF
+from repro.inference.sdo_rdf_inference import SDO_RDF_INFERENCE
+from repro.rdf.namespaces import AliasSet, Namespace, aliases
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+#: The government vocabulary namespace of the paper's examples.
+GOV = Namespace("http://www.us.gov#")
+#: The person-identifier namespace.
+IDNS = Namespace("http://www.us.id#")
+
+#: (name, address) rows of the ic.address table joined in Figure 8.
+_ADDRESSES = [
+    ("JohnDoe", "Brooklyn, NY"),
+    ("JaneDoe", "Brooklyn, NY"),
+    ("JimDoe", "Trenton, NJ"),
+]
+
+
+@dataclass
+class IntelScenario:
+    """Handles to the built scenario."""
+
+    store: "RDFStore"
+    sdo_rdf: SDO_RDF
+    inference: SDO_RDF_INFERENCE
+    cia: ApplicationTable
+    dhs: ApplicationTable
+    fbi: ApplicationTable
+    aliases: AliasSet
+
+    MODEL_NAMES = ("cia", "dhs", "fbi")
+    RULEBASE = "intel_rb"
+    RULES_INDEX = "rdfs_rix_intel"
+
+    @classmethod
+    def build(cls, store: "RDFStore",
+              with_rules_index: bool = True) -> "IntelScenario":
+        """Create tables, models, data, rulebase, and rules index."""
+        sdo_rdf = SDO_RDF(store)
+        inference = SDO_RDF_INFERENCE(store)
+        tables: dict[str, ApplicationTable] = {}
+        for model in cls.MODEL_NAMES:
+            table_name = f"{model}data"
+            ApplicationTable.create(store, table_name)
+            sdo_rdf.create_rdf_model(model, table_name)
+            tables[model] = ApplicationTable.open(store, table_name)
+        scenario = cls(
+            store=store, sdo_rdf=sdo_rdf, inference=inference,
+            cia=tables["cia"], dhs=tables["dhs"], fbi=tables["fbi"],
+            aliases=aliases(("gov", GOV.base), ("id", IDNS.base)))
+        scenario._load_figure2_data()
+        scenario._create_address_table()
+        scenario._create_rulebase()
+        if with_rules_index:
+            scenario.create_rules_index()
+        return scenario
+
+    # ------------------------------------------------------------------
+    # data loading
+    # ------------------------------------------------------------------
+
+    def _load_figure2_data(self) -> None:
+        """The Figure 2 triples, full-URI form."""
+        files = GOV.files.value
+        suspect = GOV.terrorSuspect.value
+        self.cia.insert(1, "cia", files, suspect, IDNS.JohnDoe.value)
+        self.cia.insert(2, "cia", files, suspect, IDNS.JaneDoe.value)
+        self.dhs.insert(1, "dhs", IDNS.JimDoe.value,
+                        GOV.terrorAction.value, '"bombing"')
+        self.dhs.insert(2, "dhs", files, suspect, IDNS.JohnDoe.value)
+        self.fbi.insert(1, "fbi", IDNS.JohnDoe.value,
+                        GOV.enteredCountry.value, '"June-20-2000"')
+        self.fbi.insert(2, "fbi", files, suspect, IDNS.JohnDoe.value)
+
+    def _create_address_table(self) -> None:
+        """The ic.address table of Figure 8 (name joined on the ID local
+        name)."""
+        database = self.store.database
+        database.execute(
+            "CREATE TABLE ic_address (name TEXT PRIMARY KEY, "
+            "address TEXT NOT NULL)")
+        database.executemany(
+            "INSERT INTO ic_address VALUES (?, ?)",
+            [(IDNS.term(name).value, address)
+             for name, address in _ADDRESSES])
+
+    def _create_rulebase(self) -> None:
+        """intel_rb: bombers are terror suspects (Figure 8)."""
+        self.inference.create_rulebase(self.RULEBASE)
+        self.inference.insert_rule(
+            self.RULEBASE, "intel_rule",
+            '(?x gov:terrorAction "bombing")', None,
+            "(gov:files gov:terrorSuspect ?x)",
+            aliases(("gov", GOV.base)))
+
+    def create_rules_index(self) -> None:
+        """``CREATE_RULES_INDEX('rdfs_rix_intel', models, rulebases)``."""
+        self.inference.create_rules_index(
+            self.RULES_INDEX, list(self.MODEL_NAMES),
+            ["RDFS", self.RULEBASE])
+
+    # ------------------------------------------------------------------
+    # the Figure 8 query
+    # ------------------------------------------------------------------
+
+    def terror_watch_list(self) -> list[tuple[str, str]]:
+        """The Figure 8 result: (terror_watch_list, location) rows.
+
+        Runs SDO_RDF_MATCH over the three models with the RDFS and
+        intel_rb rulebases, then joins the names against ic_address.
+        """
+        rows = self.inference.match(
+            "(gov:files gov:terrorSuspect ?name)",
+            list(self.MODEL_NAMES),
+            rulebases=["RDFS", self.RULEBASE],
+            aliases=self.aliases)
+        database = self.store.database
+        results: list[tuple[str, str]] = []
+        for row in rows:
+            address_row = database.query_one(
+                "SELECT address FROM ic_address WHERE name = ?",
+                (row["name"],))
+            if address_row is not None:
+                results.append((self.aliases.compact(row["name"]),
+                                address_row["address"]))
+        results.sort()
+        return results

@@ -1,0 +1,203 @@
+"""Synthetic UniProt-shaped RDF data.
+
+The paper benchmarks on UniProt, "a catalogue of information on proteins
+in RDF", at 10 k / 100 k / 1 M / 5 M triples.  That dataset is not
+shipped here, so this generator produces a deterministic synthetic
+equivalent that preserves everything the experiments touch:
+
+* subjects are protein LSIDs (``urn:lsid:uniprot.org:uniprot:P#####``);
+* each protein record carries a realistic predicate mix — ``rdf:type``,
+  name/mnemonic literals, dates, organism links, keyword links, and
+  ``rdfs:seeAlso`` cross-references into SMART/InterPro/PROSITE/Pfam;
+* the paper's probe subject ``P93259`` exists with **exactly 24
+  statements** (Table 1 reports 24 rows for the subject query), one of
+  them the ``rdfs:seeAlso`` to ``urn:lsid:uniprot.org:smart:SM00101``
+  used by the Table 2 IS_REIFIED=true probe;
+* the reified-statement counts match the paper's ratios (659 per 10 k,
+  247 002 per 5 M), linearly interpolated in between.
+
+Generation is seeded and streaming: ``triples(n)`` yields exactly ``n``
+triples without materialising the dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.rdf.namespaces import Namespace, RDF, RDFS, XSD
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+
+#: The UniProt core ontology namespace used by the generator.
+UNIPROT = Namespace("urn:lsid:uniprot.org:ontology:")
+
+#: The Table 1 / Table 2 probe subject (paper Figures 9-11).
+PROBE_SUBJECT = "urn:lsid:uniprot.org:uniprot:P93259"
+#: The Table 2 IS_REIFIED=true probe object.
+PROBE_OBJECT = "urn:lsid:uniprot.org:smart:SM00101"
+#: The predicate of the true probe statement.
+PROBE_PREDICATE = RDFS.term("seeAlso").value
+
+#: Rows returned by the paper's subject query (Table 1).
+PROBE_FANOUT = 24
+
+#: Paper-reported reified statement counts per dataset size.
+_PAPER_REIFIED = {10_000: 659, 5_000_000: 247_002}
+
+_CROSS_REFERENCE_DBS = ("smart", "interpro", "prosite", "pfam", "embl",
+                        "pdb", "go")
+_ORGANISMS = tuple(f"urn:lsid:uniprot.org:taxonomy:{tax_id}"
+                   for tax_id in (9606, 10090, 10116, 7227, 6239, 4932,
+                                  83333, 3702, 7955, 9913))
+_KEYWORDS = tuple(f"urn:lsid:uniprot.org:keywords:{kw_id}"
+                  for kw_id in range(100, 160))
+_AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+
+
+def paper_reified_count(triple_count: int) -> int:
+    """Reified-statement count matching the paper's ratios.
+
+    Exact at 10 k and 5 M; linear in the triple count elsewhere (the two
+    paper points are nearly collinear through the origin).
+    """
+    if triple_count in _PAPER_REIFIED:
+        return _PAPER_REIFIED[triple_count]
+    slope = _PAPER_REIFIED[5_000_000] / 5_000_000
+    return max(1, round(triple_count * slope))
+
+
+class UniProtGenerator:
+    """Deterministic synthetic UniProt generator.
+
+    :param seed: PRNG seed; the same seed yields the same dataset.
+    """
+
+    def __init__(self, seed: int = 93259) -> None:
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    # triples
+    # ------------------------------------------------------------------
+
+    def triples(self, count: int) -> Iterator[Triple]:
+        """Exactly ``count`` triples, the probe record first."""
+        rng = random.Random(self._seed)
+        emitted = 0
+        for triple in self._probe_record():
+            if emitted >= count:
+                return
+            yield triple
+            emitted += 1
+        accession = 0
+        while emitted < count:
+            accession += 1
+            for triple in self._protein_record(rng, accession):
+                if emitted >= count:
+                    return
+                yield triple
+                emitted += 1
+
+    def _probe_record(self) -> list[Triple]:
+        """The P93259 record: exactly PROBE_FANOUT statements."""
+        subject = URI(PROBE_SUBJECT)
+        see_also = RDFS.seeAlso
+        statements = [
+            Triple(subject, RDF.type, UNIPROT.Protein),
+            Triple(subject, UNIPROT.name,
+                   Literal("Probable inactive purple acid phosphatase 27")),
+            Triple(subject, UNIPROT.mnemonic, Literal("PPA27_ARATH")),
+            Triple(subject, UNIPROT.created,
+                   Literal("1997-05-01", datatype=XSD.date)),
+            Triple(subject, UNIPROT.modified,
+                   Literal("2005-06-07", datatype=XSD.date)),
+            Triple(subject, UNIPROT.version,
+                   Literal("42", datatype=XSD.int)),
+            Triple(subject, UNIPROT.organism, URI(_ORGANISMS[7])),
+            Triple(subject, UNIPROT.sequence,
+                   Literal("".join(_AMINO_ACIDS[(i * 7) % 20]
+                                   for i in range(60)))),
+            Triple(subject, see_also, URI(PROBE_OBJECT)),
+        ]
+        for index in range(1, 9):
+            statements.append(Triple(
+                subject, see_also,
+                URI(f"urn:lsid:uniprot.org:interpro:IPR{index:06d}")))
+        for keyword in _KEYWORDS[:6]:
+            statements.append(Triple(subject, UNIPROT.keyword,
+                                     URI(keyword)))
+        statements.append(Triple(subject, UNIPROT.citation,
+                                 URI("urn:lsid:uniprot.org:citations:1")))
+        assert len(statements) == PROBE_FANOUT, len(statements)
+        return statements
+
+    def _protein_record(self, rng: random.Random,
+                        accession: int) -> list[Triple]:
+        """One synthetic protein record (8-24 statements)."""
+        subject = URI(
+            f"urn:lsid:uniprot.org:uniprot:Q{accession:06d}")
+        statements = [
+            Triple(subject, RDF.type, UNIPROT.Protein),
+            Triple(subject, UNIPROT.name,
+                   Literal(f"Uncharacterized protein {accession}")),
+            Triple(subject, UNIPROT.mnemonic,
+                   Literal(f"Y{accession % 10000:04d}_SYNTH")),
+            Triple(subject, UNIPROT.created,
+                   Literal(f"{1990 + accession % 16:04d}-"
+                           f"{1 + accession % 12:02d}-"
+                           f"{1 + accession % 28:02d}",
+                           datatype=XSD.date)),
+            Triple(subject, UNIPROT.organism,
+                   URI(rng.choice(_ORGANISMS))),
+            Triple(subject, UNIPROT.sequence,
+                   Literal("".join(rng.choice(_AMINO_ACIDS)
+                                   for _ in range(rng.randint(30, 80))))),
+        ]
+        references: set[str] = set()
+        reference_count = rng.randint(1, 8)
+        while len(references) < reference_count:
+            db = rng.choice(_CROSS_REFERENCE_DBS)
+            ref = rng.randint(1, 99_999)
+            references.add(f"urn:lsid:uniprot.org:{db}:X{ref:05d}")
+        for reference in sorted(references):
+            statements.append(Triple(subject, RDFS.seeAlso,
+                                     URI(reference)))
+        for keyword in rng.sample(_KEYWORDS, rng.randint(1, 10)):
+            statements.append(Triple(subject, UNIPROT.keyword,
+                                     URI(keyword)))
+        return statements
+
+    # ------------------------------------------------------------------
+    # reification targets
+    # ------------------------------------------------------------------
+
+    def reified_statements(self, triple_count: int,
+                           reified_count: int | None = None
+                           ) -> list[Triple]:
+        """The statements to reify for a dataset of ``triple_count``.
+
+        Reifies ``rdfs:seeAlso`` statements — cross-reference provenance
+        is the natural reification target in UniProt — starting with the
+        Table 2 true-probe statement, until ``reified_count`` (default:
+        the paper's ratio) is reached.
+        """
+        if reified_count is None:
+            reified_count = paper_reified_count(triple_count)
+        see_also = RDFS.seeAlso
+        selected: list[Triple] = []
+        for triple in self.triples(triple_count):
+            if triple.predicate != see_also:
+                continue
+            selected.append(triple)
+            if len(selected) >= reified_count:
+                break
+        return selected
+
+    def false_probe(self) -> Triple:
+        """A statement that exists but is never reified (Table 2 false
+        probe): the probe subject's rdf:type statement."""
+        return Triple(URI(PROBE_SUBJECT), RDF.type, UNIPROT.Protein)
+
+    def true_probe(self) -> Triple:
+        """The reified probe statement (Table 2 true probe)."""
+        return Triple(URI(PROBE_SUBJECT), RDFS.seeAlso, URI(PROBE_OBJECT))

@@ -1,0 +1,102 @@
+"""Tests for the benchmark dataset fixtures (small scale)."""
+
+import pytest
+
+from repro.bench.datasets import (
+    MODEL_NAME,
+    _size_suffix,
+    load_jena_uniprot,
+    load_oracle_uniprot,
+)
+from repro.workloads.uniprot import PROBE_SUBJECT, UniProtGenerator
+
+SIZE = 2_000
+REIFIED = 40
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    fixture = load_oracle_uniprot(SIZE, reified_count=REIFIED)
+    yield fixture
+    fixture.store.close()
+
+
+@pytest.fixture(scope="module")
+def jena():
+    fixture = load_jena_uniprot(SIZE, reified_count=REIFIED)
+    yield fixture
+    fixture.jena.close()
+
+
+class TestSuffix:
+    def test_suffixes(self):
+        assert _size_suffix(10_000) == "10k"
+        assert _size_suffix(5_000_000) == "5m"
+        assert _size_suffix(1_234) == "1234"
+
+
+class TestOracleFixture:
+    def test_triple_count(self, oracle):
+        assert oracle.sdo_rdf.triple_count(MODEL_NAME) >= SIZE
+        assert len(oracle.table) == SIZE
+
+    def test_indexes_created(self, oracle):
+        database = oracle.store.database
+        suffix = _size_suffix(SIZE)
+        for name in (f"up{suffix}_sub_fbidx", f"up{suffix}_prop_fbidx",
+                     f"up{suffix}_obj_fbidx"):
+            assert database.index_exists(name)
+
+    def test_probe_query_returns_24(self, oracle):
+        triples = oracle.table.get_triples("GET_SUBJECT", PROBE_SUBJECT)
+        assert len(triples) == 24
+
+    def test_reified_count(self, oracle):
+        assert oracle.reified_count == REIFIED
+
+    def test_true_probe_reified(self, oracle):
+        generator = UniProtGenerator()
+        probe = generator.true_probe()
+        assert oracle.sdo_rdf.is_reified(
+            MODEL_NAME, probe.subject.lexical, probe.predicate.lexical,
+            probe.object.lexical)
+
+    def test_false_probe_not_reified(self, oracle):
+        generator = UniProtGenerator()
+        probe = generator.false_probe()
+        assert not oracle.sdo_rdf.is_reified(
+            MODEL_NAME, probe.subject.lexical, probe.predicate.lexical,
+            probe.object.lexical)
+
+
+class TestJenaFixture:
+    def test_statement_count(self, jena):
+        assert jena.model.size() == SIZE
+
+    def test_probe_query_returns_24(self, jena):
+        probe = jena.model.get_resource(PROBE_SUBJECT)
+        assert len(list(jena.model.list_statements(subject=probe))) == 24
+
+    def test_reified_count(self, jena):
+        assert jena.model.reified_count() == REIFIED
+
+    def test_probe_reification_answers(self, jena):
+        from repro.jena2.model import Statement
+
+        generator = UniProtGenerator()
+        assert jena.model.is_reified(
+            Statement.from_triple(generator.true_probe()))
+        assert not jena.model.is_reified(
+            Statement.from_triple(generator.false_probe()))
+
+
+class TestCrossSystemAgreement:
+    def test_same_probe_rows(self, oracle, jena):
+        oracle_rows = oracle.table.get_triples("GET_SUBJECT",
+                                               PROBE_SUBJECT)
+        probe = jena.model.get_resource(PROBE_SUBJECT)
+        jena_rows = list(jena.model.list_statements(subject=probe))
+        assert len(oracle_rows) == len(jena_rows) == 24
+        oracle_objects = {triple.object for triple in oracle_rows}
+        jena_objects = {stmt.object.lexical for stmt in jena_rows}
+        assert oracle_objects == jena_objects

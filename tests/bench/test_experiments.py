@@ -1,0 +1,57 @@
+"""Tests for the experiment drivers (small scale, shape assertions)."""
+
+from repro.bench.experiments import (
+    run_experiment_1,
+    run_experiment_2,
+    run_experiment_3,
+    run_storage_experiment,
+)
+
+
+class TestExperiment1:
+    def test_shape(self):
+        result = run_experiment_1(triple_count=2_000, trials=2)
+        assert len(result.rows) == 2
+        member_rows = result.rows[0][2]
+        flat_rows = result.rows[1][2]
+        assert member_rows == flat_rows == 24
+        assert "Table" in result.table() or "Experiment" in result.table()
+
+
+class TestExperiment2:
+    def test_both_systems_return_24_rows(self):
+        result = run_experiment_2(sizes=(1_000, 2_000), trials=2)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row[3] == 24
+
+    def test_headers_match_table1(self):
+        result = run_experiment_2(sizes=(1_000,), trials=1)
+        assert result.headers == ["Triples", "Jena2 (sec)",
+                                  "RDF objects (sec)", "Rows"]
+
+
+class TestExperiment3:
+    def test_true_false_rows(self):
+        result = run_experiment_3(sizes=(2_000,), trials=2)
+        assert [row[3] for row in result.rows] == ["true", "false"]
+
+    def test_headers_match_table2(self):
+        result = run_experiment_3(sizes=(1_000,), trials=1)
+        assert result.headers[0] == "Triples/Stmts"
+
+
+class TestStorageExperiment:
+    def test_25_percent_claim(self):
+        result = run_storage_experiment(reified_count=100,
+                                        triple_count=3_000)
+        naive_row, streamlined_row = result.rows
+        naive_statements = naive_row[1]
+        streamlined_statements = streamlined_row[1]
+        # The paper's claim exactly: 1 stored triple vs 4.
+        assert naive_statements == 4 * streamlined_statements
+        # Byte ratio lands near 25 %.
+        naive_bytes = naive_row[2]
+        streamlined_bytes = streamlined_row[2]
+        ratio = streamlined_bytes / naive_bytes
+        assert 0.1 < ratio < 0.5

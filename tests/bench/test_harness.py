@@ -1,0 +1,65 @@
+"""Tests for the bench harness utilities."""
+
+from repro.bench.harness import (
+    Timer,
+    format_seconds,
+    format_table,
+    mean_time,
+)
+
+
+class TestTimer:
+    def test_records_samples(self):
+        timer = Timer("op")
+        result = timer.time(lambda: 42)
+        assert result == 42
+        assert len(timer.samples) == 1
+        assert timer.samples[0] >= 0
+
+    def test_mean_and_best(self):
+        timer = Timer("op")
+        timer.samples = [0.1, 0.2, 0.3]
+        assert abs(timer.mean - 0.2) < 1e-12
+        assert timer.best == 0.1
+
+    def test_empty_timer(self):
+        timer = Timer("op")
+        assert timer.mean == 0.0
+        assert timer.best == 0.0
+
+
+class TestMeanTime:
+    def test_runs_warmup_plus_trials(self):
+        calls = []
+        mean_time(lambda: calls.append(1), trials=5, warmup=2)
+        assert len(calls) == 7
+
+    def test_returns_positive(self):
+        assert mean_time(lambda: sum(range(100)), trials=3) > 0
+
+
+class TestFormatting:
+    def test_format_seconds(self):
+        assert format_seconds(0.034) == "0.03"
+        assert format_seconds(0.0) == "0.00"
+        assert format_seconds(1.2345) == "1.23"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["Triples", "Jena2 (sec)"],
+            [["10 k", "0.03"], ["5 M", "0.04"]],
+            title="Table 1")
+        lines = table.splitlines()
+        assert lines[0] == "Table 1"
+        assert lines[1].startswith("Triples")
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_format_table_widens_for_long_cells(self):
+        table = format_table(["H"], [["a very long cell"]])
+        header, rule, row = table.splitlines()
+        assert len(rule) == len("a very long cell")
+
+    def test_format_table_no_title(self):
+        table = format_table(["A"], [["1"]])
+        assert table.splitlines()[0] == "A"

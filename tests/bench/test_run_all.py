@@ -1,0 +1,22 @@
+"""Smoke test: the run_all experiment driver produces the paper's
+tables end to end (tiny sizes)."""
+
+from repro.bench.run_all import main, run_figure8
+
+
+class TestRunAll:
+    def test_main_prints_all_tables(self, capsys):
+        main(["--sizes", "1000", "--trials", "1"])
+        output = capsys.readouterr().out
+        assert "Experiment I" in output
+        assert "Table 1. Query times on the UniProt datasets" in output
+        assert "Table 2. IS_REIFIED() query times" in output
+        assert "Reification storage" in output
+        assert "TERROR_WATCH_LIST" in output
+
+    def test_figure8_rows(self):
+        output = run_figure8()
+        assert "id:JimDoe" in output
+        assert "Trenton, NJ" in output
+        assert output.index("JaneDoe") < output.index("JimDoe") \
+            < output.index("JohnDoe")

@@ -1,0 +1,54 @@
+"""Shared fixtures: fresh in-memory stores and the IC scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.apptable import ApplicationTable
+from repro.core.sdo_rdf import SDO_RDF
+from repro.core.store import RDFStore
+from repro.db.connection import Database
+from repro.inference.sdo_rdf_inference import SDO_RDF_INFERENCE
+from repro.workloads.intel import IntelScenario
+
+
+@pytest.fixture
+def database():
+    """A fresh in-memory database."""
+    db = Database()
+    yield db
+    db.close()
+
+
+@pytest.fixture
+def store():
+    """A fresh in-memory RDF store with the central schema."""
+    rdf_store = RDFStore()
+    yield rdf_store
+    rdf_store.close()
+
+
+@pytest.fixture
+def sdo_rdf(store):
+    """The SDO_RDF package over the fresh store."""
+    return SDO_RDF(store)
+
+
+@pytest.fixture
+def inference(store):
+    """The SDO_RDF_INFERENCE package over the fresh store."""
+    return SDO_RDF_INFERENCE(store)
+
+
+@pytest.fixture
+def cia_table(store, sdo_rdf):
+    """An application table with a registered 'cia' model."""
+    ApplicationTable.create(store, "ciadata")
+    sdo_rdf.create_rdf_model("cia", "ciadata")
+    return ApplicationTable.open(store, "ciadata")
+
+
+@pytest.fixture
+def intel(store):
+    """The full Intelligence Community scenario with rules index."""
+    return IntelScenario.build(store)

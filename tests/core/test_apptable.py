@@ -1,0 +1,123 @@
+"""Tests for application tables (repro.core.apptable)."""
+
+import pytest
+
+from repro.core.apptable import ApplicationTable
+from repro.errors import StorageError
+
+
+class TestDDL:
+    def test_create_physical_columns(self, store):
+        ApplicationTable.create(store, "mydata")
+        columns = store.database.table_columns("mydata")
+        assert columns == ["id", "triple_t_id", "triple_m_id",
+                           "triple_s_id", "triple_p_id", "triple_o_id"]
+
+    def test_custom_object_column(self, store):
+        ApplicationTable.create(store, "mydata", object_column="trip")
+        assert "trip_t_id" in store.database.table_columns("mydata")
+
+    def test_open_missing_raises(self, store):
+        with pytest.raises(StorageError):
+            ApplicationTable.open(store, "ghost")
+
+    def test_open_existing(self, store):
+        ApplicationTable.create(store, "mydata")
+        table = ApplicationTable.open(store, "mydata")
+        assert table.table_name == "mydata"
+
+
+class TestInsert:
+    def test_insert_constructor_args(self, store, cia_table):
+        obj = cia_table.insert(1, "cia", "gov:files",
+                               "gov:terrorSuspect", "id:JohnDoe")
+        assert len(cia_table) == 1
+        assert obj.get_subject() == "gov:files"
+
+    def test_insert_object(self, store, cia_table):
+        obj = store.insert_triple("cia", "s:x", "p:x", "o:x")
+        cia_table.insert_object(7, obj)
+        rows = dict(cia_table.rows())
+        assert rows[7].rdf_t_id == obj.rdf_t_id
+
+    def test_insert_requires_model_name(self, store, cia_table):
+        with pytest.raises(StorageError):
+            cia_table.insert(1, 42, "s:x")
+        with pytest.raises(StorageError):
+            cia_table.insert(1)
+
+    def test_duplicate_rows_share_triple(self, store, cia_table):
+        a = cia_table.insert(1, "cia", "s:x", "p:x", "o:x")
+        b = cia_table.insert(2, "cia", "s:x", "p:x", "o:x")
+        assert a.rdf_t_id == b.rdf_t_id
+        assert len(cia_table) == 2
+        # COST reflects the two application rows.
+        assert store.links.get(a.rdf_t_id).cost == 2
+
+    def test_delete_row(self, store, cia_table):
+        cia_table.insert(1, "cia", "s:x", "p:x", "o:x")
+        assert cia_table.delete_row(1) == 1
+        assert cia_table.delete_row(1) == 0
+        assert len(cia_table) == 0
+
+
+class TestQueries:
+    @pytest.fixture
+    def loaded(self, store, cia_table):
+        cia_table.insert(1, "cia", "s:a", "p:x", "o:1")
+        cia_table.insert(2, "cia", "s:a", "p:y", "o:2")
+        cia_table.insert(3, "cia", "s:b", "p:x", "o:1")
+        return cia_table
+
+    def test_rows(self, loaded):
+        rows = list(loaded.rows())
+        assert [row_id for row_id, _obj in rows] == [1, 2, 3]
+
+    def test_select_by_subject_scan(self, loaded):
+        rows = loaded.select_where_member("GET_SUBJECT", "s:a")
+        assert sorted(row_id for row_id, _ in rows) == [1, 2]
+
+    def test_select_by_property(self, loaded):
+        rows = loaded.select_where_member("GET_PROPERTY", "p:x")
+        assert sorted(row_id for row_id, _ in rows) == [1, 3]
+
+    def test_select_by_object(self, loaded):
+        rows = loaded.select_where_member("GET_OBJECT", "o:1")
+        assert sorted(row_id for row_id, _ in rows) == [1, 3]
+
+    def test_select_unknown_value_empty(self, loaded):
+        assert loaded.select_where_member("GET_SUBJECT", "s:zzz") == []
+
+    def test_select_unknown_member_raises(self, loaded):
+        with pytest.raises(StorageError):
+            loaded.select_where_member("GET_NONSENSE", "x")
+
+    def test_get_triples_returns_views(self, loaded):
+        triples = loaded.get_triples("GET_SUBJECT", "s:a")
+        assert {t.object for t in triples} == {"o:1", "o:2"}
+
+    def test_member_function_accepts_parens(self, loaded):
+        rows = loaded.select_where_member("get_subject()", "s:a")
+        assert len(rows) == 2
+
+    def test_indexed_lookup_on_unknown_value(self, store, loaded):
+        from repro.db.indexes import create_function_based_index
+
+        create_function_based_index(store.database, "idx_s", "ciadata",
+                                    "GET_SUBJECT")
+        assert loaded.select_where_member("GET_SUBJECT", "s:zzz") == []
+
+    def test_quoted_literal_probe_both_paths(self, store, cia_table):
+        # The same quoted-literal probe answers identically on the
+        # scan path and the indexed path.
+        from repro.db.indexes import create_function_based_index
+
+        cia_table.insert(1, "cia", "id:JimDoe", "gov:terrorAction",
+                         '"bombing"')
+        scan = cia_table.select_where_member("GET_OBJECT",
+                                             '"bombing"')
+        create_function_based_index(store.database, "idx_o", "ciadata",
+                                    "GET_OBJECT")
+        indexed = cia_table.select_where_member("GET_OBJECT",
+                                                '"bombing"')
+        assert [r for r, _ in scan] == [r for r, _ in indexed] == [1]

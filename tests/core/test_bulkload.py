@@ -1,0 +1,182 @@
+"""Tests for the bulk loader (repro.core.bulkload)."""
+
+import io
+
+import pytest
+
+from repro.core.bulkload import (
+    STAGE_TABLE,
+    BulkLoader,
+    bulk_load_ntriples,
+)
+from repro.core.links import LinkType
+from repro.core.schema import NODE_TABLE
+from repro.rdf.namespaces import XSD
+from repro.rdf.ntriples import serialize_ntriples
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triple import Triple
+from repro.workloads.uniprot import UniProtGenerator
+
+
+@pytest.fixture
+def model(store):
+    store.create_model("m")
+    return "m"
+
+
+def t(s, p, o):
+    return Triple.from_text(s, p, o)
+
+
+class TestBulkLoad:
+    def test_basic_load(self, store, model):
+        report = BulkLoader(store, model).load([
+            t("s:a", "p:x", "o:a"),
+            t("s:b", "p:x", "o:b"),
+        ])
+        assert report.staged == 2
+        assert report.new_links == 2
+        assert report.duplicate_triples == 0
+        assert store.links.count() == 2
+
+    def test_equivalent_to_row_at_a_time(self, store, model):
+        triples = list(UniProtGenerator().triples(1_500))
+        BulkLoader(store, model).load(triples)
+        bulk_result = set(store.iter_model_triples(model))
+
+        store.create_model("reference")
+        for triple in triples:
+            store.insert_triple_obj("reference", triple)
+        reference = set(store.iter_model_triples("reference"))
+        assert bulk_result == reference
+
+    def test_values_deduplicated(self, store, model):
+        report = BulkLoader(store, model).load([
+            t("s:shared", "p:x", "o:a"),
+            t("s:shared", "p:x", "o:b"),
+        ])
+        # s:shared, p:x, o:a, o:b -> 4 distinct values.
+        assert report.new_values == 4
+
+    def test_duplicates_within_batch_collapse(self, store, model):
+        report = BulkLoader(store, model).load([
+            t("s:a", "p:x", "o:a"),
+            t("s:a", "p:x", "o:a"),
+        ])
+        assert report.staged == 2
+        assert report.new_links == 1
+        assert report.duplicate_triples == 1
+
+    def test_duplicates_against_existing_rows(self, store, model):
+        store.insert_triple(model, "s:a", "p:x", "o:a")
+        report = BulkLoader(store, model).load([t("s:a", "p:x", "o:a"),
+                                                t("s:b", "p:x", "o:b")])
+        assert report.new_links == 1
+        assert report.duplicate_triples == 1
+        assert store.links.count() == 2
+
+    def test_reuses_existing_values(self, store, model):
+        store.insert_triple(model, "s:a", "p:x", "o:a")
+        report = BulkLoader(store, model).load([t("s:a", "p:x", "o:b")])
+        # Only o:b is new.
+        assert report.new_values == 1
+
+    def test_nodes_registered(self, store, model):
+        BulkLoader(store, model).load([t("s:a", "p:x", "o:a")])
+        assert store.database.row_count(NODE_TABLE) == 2
+
+    def test_blank_nodes_tracked(self, store, model):
+        BulkLoader(store, model).load([
+            Triple(BlankNode("b1"), URI("p:x"), Literal("v"))])
+        row = store.database.query_one(
+            'SELECT orig_label FROM "rdf_blank_node$"')
+        assert row["orig_label"] == "b1"
+
+    def test_canonical_ids_set(self, store, model):
+        BulkLoader(store, model).load([
+            Triple(URI("s:a"), URI("p:x"),
+                   Literal("024", datatype=XSD.int))])
+        link = next(iter(store.links.iter_model(
+            store.models.get(model).model_id)))
+        canonical = store.values.get_term(link.canon_end_node_id)
+        assert canonical == Literal("24", datatype=XSD.int)
+
+    def test_link_type_classified(self, store, model):
+        BulkLoader(store, model).load([t("s:a", "rdf:type", "c:X")])
+        link = next(iter(store.links.iter_model(
+            store.models.get(model).model_id)))
+        assert link.link_type is LinkType.RDF_TYPE
+
+    def test_cost_starts_at_zero(self, store, model):
+        BulkLoader(store, model).load([t("s:a", "p:x", "o:a")])
+        link = store.find_link(model, "s:a", "p:x", "o:a")
+        assert link.cost == 0
+
+    def test_stage_table_emptied(self, store, model):
+        BulkLoader(store, model).load([t("s:a", "p:x", "o:a")])
+        assert store.database.row_count(STAGE_TABLE) == 0
+
+    def test_batching(self, store, model):
+        triples = [t(f"s:{i}", "p:x", f"o:{i}") for i in range(25)]
+        report = BulkLoader(store, model, batch_size=7).load(triples)
+        assert report.new_links == 25
+
+    def test_long_literals(self, store, model):
+        text = "z" * 4500
+        BulkLoader(store, model).load([
+            Triple(URI("s:a"), URI("p:x"), Literal(text))])
+        triple = next(store.iter_model_triples(model))
+        assert triple.object == Literal(text)
+
+    def test_reif_flags_consistent_with_integrity(self, store, model):
+        # Bulk-loaded DBUri statements pass the strict integrity check,
+        # including malformed /ORADB/ strings that only *look* like
+        # DBUris.
+        from repro.core.integrity import check_integrity
+        from repro.db.dburi import DBUri
+
+        from repro.rdf.namespaces import RDF
+
+        base = store.insert_triple(model, "s:base", "p:x", "o:base")
+        dburi = DBUri.for_link(base.rdf_t_id).text
+        BulkLoader(store, model).load([
+            Triple(URI(dburi), RDF.type, RDF.Statement),
+            Triple(URI("/ORADB/not-actually-a-dburi"), URI("p:x"),
+                   URI("o:x")),
+        ])
+        assert check_integrity(store) == []
+        link = store.find_link(model, dburi, RDF.type.value,
+                               RDF.Statement.value)
+        assert store.links.get(link.link_id).reif_link
+        # The lookalike got 'N'.
+        fake = store.find_link(model, "/ORADB/not-actually-a-dburi",
+                               "p:x", "o:x")
+        assert not store.links.get(fake.link_id).reif_link
+
+    def test_rollback_on_parse_error(self, store, model):
+        document = "<urn:s> <urn:p> <urn:o> .\nbroken line\n"
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            BulkLoader(store, model).load_stream(io.StringIO(document))
+        assert store.links.count() == 0
+
+
+class TestFileLoading:
+    def test_load_file(self, store, model, tmp_path):
+        path = tmp_path / "data.nt"
+        triples = [Triple(URI(f"urn:s:{i}"), URI("urn:p"),
+                          Literal(f"value {i}")) for i in range(10)]
+        path.write_text(serialize_ntriples(triples), encoding="utf-8")
+        report = bulk_load_ntriples(store, model, path)
+        assert report.new_links == 10
+        assert set(store.iter_model_triples(model)) == set(triples)
+
+    def test_member_functions_after_bulk_load(self, store, model,
+                                              tmp_path):
+        path = tmp_path / "data.nt"
+        path.write_text("<urn:s> <urn:p> <urn:o> .\n", encoding="utf-8")
+        bulk_load_ntriples(store, model, path)
+        link = store.find_link(model, "urn:s", "urn:p", "urn:o")
+        obj = store.get_triple_s(link.link_id)
+        assert obj.get_subject() == "urn:s"

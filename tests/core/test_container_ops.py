@@ -1,0 +1,81 @@
+"""Tests for container storage (repro.core.container_ops)."""
+
+import pytest
+
+from repro.core.container_ops import (
+    fetch_container,
+    insert_container,
+    member_links,
+)
+from repro.errors import ModelError
+from repro.rdf.containers import Alt, Bag, Seq
+from repro.rdf.terms import BlankNode, Literal, URI
+
+
+@pytest.fixture
+def model(store):
+    store.create_model("m")
+    return "m"
+
+
+class TestInsertContainer:
+    def test_seq_roundtrip(self, store, model):
+        seq = Seq([Literal("alice"), Literal("bob"), Literal("carol")],
+                  node=URI("urn:class:students"))
+        inserted = insert_container(store, model, seq)
+        assert inserted == 4  # rdf:type + 3 members
+        rebuilt = fetch_container(store, model, seq.node)
+        assert isinstance(rebuilt, Seq)
+        assert rebuilt.members == seq.members
+
+    def test_bag_with_blank_node(self, store, model):
+        bag = Bag([URI("urn:m:1"), URI("urn:m:2")],
+                  node=BlankNode("container1"))
+        insert_container(store, model, bag)
+        rebuilt = fetch_container(store, model, bag.node)
+        assert isinstance(rebuilt, Bag)
+        assert set(rebuilt.members) == set(bag.members)
+
+    def test_alt_preserves_default(self, store, model):
+        alt = Alt([Literal("preferred"), Literal("fallback")],
+                  node=URI("urn:choice:1"))
+        insert_container(store, model, alt)
+        rebuilt = fetch_container(store, model, alt.node)
+        assert isinstance(rebuilt, Alt)
+        assert rebuilt.default == Literal("preferred")
+
+    def test_membership_links_classified(self, store, model):
+        seq = Seq([Literal("a"), Literal("b")], node=URI("urn:c:1"))
+        insert_container(store, model, seq)
+        assert member_links(store, model) == 2
+
+    def test_empty_container_type_only(self, store, model):
+        bag = Bag(node=URI("urn:c:empty"))
+        insert_container(store, model, bag)
+        rebuilt = fetch_container(store, model, bag.node)
+        assert len(rebuilt) == 0
+        assert isinstance(rebuilt, Bag)
+
+    def test_fetch_non_container_raises(self, store, model):
+        store.insert_triple(model, "urn:s", "urn:p", "urn:o")
+        with pytest.raises(ModelError):
+            fetch_container(store, model, URI("urn:s"))
+
+    def test_ordering_preserved_with_many_members(self, store, model):
+        members = [Literal(f"member {index:02d}")
+                   for index in range(15)]
+        seq = Seq(members, node=URI("urn:c:big"))
+        insert_container(store, model, seq)
+        rebuilt = fetch_container(store, model, seq.node)
+        assert list(rebuilt.members) == members
+
+    def test_two_containers_in_one_model(self, store, model):
+        a = Seq([Literal("x")], node=URI("urn:c:a"))
+        b = Seq([Literal("y"), Literal("z")], node=URI("urn:c:b"))
+        insert_container(store, model, a)
+        insert_container(store, model, b)
+        assert fetch_container(store, model, a.node).members == \
+            (Literal("x"),)
+        assert fetch_container(store, model, b.node).members == \
+            (Literal("y"), Literal("z"))
+        assert member_links(store, model) == 3

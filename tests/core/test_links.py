@@ -1,0 +1,134 @@
+"""Tests for the rdf_link$ store (repro.core.links)."""
+
+import pytest
+
+from repro.core.links import Context, LinkType
+from repro.errors import TripleNotFoundError
+from repro.rdf.namespaces import RDF
+
+
+class TestLinkType:
+    def test_rdf_type(self):
+        assert LinkType.for_predicate(RDF.type) is LinkType.RDF_TYPE
+
+    def test_rdf_member(self):
+        assert LinkType.for_predicate(RDF.term("_1")) is \
+            LinkType.RDF_MEMBER
+
+    def test_rdf_other(self):
+        assert LinkType.for_predicate(RDF.subject) is LinkType.RDF_OTHER
+        assert LinkType.for_predicate(RDF.value) is LinkType.RDF_OTHER
+
+    def test_standard(self):
+        from repro.rdf.terms import URI
+
+        assert LinkType.for_predicate(URI("gov:terrorSuspect")) is \
+            LinkType.STANDARD
+
+    def test_codes_match_paper(self):
+        assert LinkType.STANDARD.value == "STANDARD"
+        assert LinkType.RDF_TYPE.value == "RDF_TYPE"
+        assert LinkType.RDF_MEMBER.value == "RDF_MEMBER"
+        assert LinkType.RDF_OTHER.value == "RDF_*"
+
+
+class TestContext:
+    def test_codes(self):
+        assert Context.DIRECT.value == "D"
+        assert Context.INDIRECT.value == "I"
+
+
+@pytest.fixture
+def linked_store(store, cia_table):
+    """Store with three triples in the cia model."""
+    objs = [
+        cia_table.insert(1, "cia", "gov:files", "gov:terrorSuspect",
+                         "id:JohnDoe"),
+        cia_table.insert(2, "cia", "gov:files", "gov:terrorSuspect",
+                         "id:JaneDoe"),
+        cia_table.insert(3, "cia", "id:JohnDoe", "rdf:type",
+                         "gov:Person"),
+    ]
+    return store, objs
+
+
+class TestLinkStore:
+    def test_get_by_id(self, linked_store):
+        store, objs = linked_store
+        link = store.links.get(objs[0].rdf_t_id)
+        assert link.start_node_id == objs[0].rdf_s_id
+        assert link.cost == 1
+        assert link.context is Context.DIRECT
+        assert not link.reif_link
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(TripleNotFoundError):
+            store.links.get(999)
+
+    def test_exists(self, linked_store):
+        store, objs = linked_store
+        assert store.links.exists(objs[0].rdf_t_id)
+        assert not store.links.exists(999)
+
+    def test_find_by_components(self, linked_store):
+        store, objs = linked_store
+        link = store.links.find(objs[0].rdf_m_id, objs[0].rdf_s_id,
+                                objs[0].rdf_p_id, objs[0].rdf_o_id)
+        assert link is not None
+        assert link.link_id == objs[0].rdf_t_id
+
+    def test_find_missing_returns_none(self, linked_store):
+        store, objs = linked_store
+        assert store.links.find(objs[0].rdf_m_id, 9999, 9999, 9999) is None
+
+    def test_count(self, linked_store):
+        store, objs = linked_store
+        assert store.links.count() == 3
+        assert store.links.count(objs[0].rdf_m_id) == 3
+        assert store.links.count(objs[0].rdf_m_id + 1) == 0
+
+    def test_iter_model_ordered(self, linked_store):
+        store, objs = linked_store
+        link_ids = [link.link_id
+                    for link in store.links.iter_model(objs[0].rdf_m_id)]
+        assert link_ids == sorted(link_ids)
+        assert len(link_ids) == 3
+
+    def test_link_type_recorded(self, linked_store):
+        store, objs = linked_store
+        assert store.links.get(objs[0].rdf_t_id).link_type is \
+            LinkType.STANDARD
+        assert store.links.get(objs[2].rdf_t_id).link_type is \
+            LinkType.RDF_TYPE
+
+    def test_cost_increment_decrement(self, linked_store):
+        store, objs = linked_store
+        link_id = objs[0].rdf_t_id
+        assert store.links.increment_cost(link_id) == 2
+        assert store.links.decrement_cost(link_id) == 1
+        assert store.links.decrement_cost(link_id) == 0
+        # Clamped at zero.
+        assert store.links.decrement_cost(link_id) == 0
+
+    def test_promote_context(self, store, cia_table):
+        obj = store.assert_base_for_reification(
+            "cia",
+            __import__("repro.rdf.triple", fromlist=["Triple"])
+            .Triple.from_text("s:x", "p:x", "o:x"))
+        assert store.links.get(obj.link_id).context is Context.INDIRECT
+        store.links.promote_context(obj.link_id)
+        assert store.links.get(obj.link_id).context is Context.DIRECT
+
+    def test_delete(self, linked_store):
+        store, objs = linked_store
+        removed = store.links.delete(objs[0].rdf_t_id)
+        assert removed.link_id == objs[0].rdf_t_id
+        assert not store.links.exists(objs[0].rdf_t_id)
+
+    def test_node_in_use(self, linked_store):
+        store, objs = linked_store
+        assert store.links.node_in_use(objs[0].rdf_s_id)
+        store.links.delete(objs[0].rdf_t_id)
+        store.links.delete(objs[1].rdf_t_id)
+        # gov:files no longer appears in any link.
+        assert not store.links.node_in_use(objs[0].rdf_s_id)

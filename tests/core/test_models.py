@@ -1,0 +1,92 @@
+"""Tests for the rdf_model$ registry (repro.core.models)."""
+
+import pytest
+
+from repro.errors import ModelError, ModelExistsError, ModelNotFoundError
+
+
+class TestCreate:
+    def test_create_assigns_id(self, store):
+        info = store.models.create("cia", "ciadata", "triple")
+        assert info.model_id >= 1
+        assert info.model_name == "cia"
+        assert info.table_name == "ciadata"
+        assert info.column_name == "triple"
+
+    def test_names_case_insensitive(self, store):
+        store.models.create("CIA", "ciadata", "triple")
+        assert store.models.exists("cia")
+        assert store.models.get("Cia").model_name == "cia"
+
+    def test_duplicate_rejected(self, store):
+        store.models.create("cia", "ciadata", "triple")
+        with pytest.raises(ModelExistsError):
+            store.models.create("cia", "other", "triple")
+
+    @pytest.mark.parametrize("bad", ["", "1model", "has space",
+                                     "has-dash", "a;b"])
+    def test_illegal_names_rejected(self, store, bad):
+        with pytest.raises(ModelError):
+            store.models.create(bad, "t", "c")
+
+    def test_view_created(self, store):
+        info = store.models.create("cia", "ciadata", "triple")
+        assert info.view_name == "rdfm_cia"
+        assert store.database.table_exists("rdfm_cia")
+
+    def test_view_filters_to_model(self, store, sdo_rdf):
+        from repro.core.apptable import ApplicationTable
+
+        for model, table in (("m1", "t1"), ("m2", "t2")):
+            ApplicationTable.create(store, table)
+            sdo_rdf.create_rdf_model(model, table)
+        t1 = ApplicationTable.open(store, "t1")
+        t2 = ApplicationTable.open(store, "t2")
+        t1.insert(1, "m1", "s:a", "p:x", "o:a")
+        t2.insert(1, "m2", "s:b", "p:x", "o:b")
+        t2.insert(2, "m2", "s:c", "p:x", "o:c")
+        assert store.database.row_count("rdfm_m1") == 1
+        assert store.database.row_count("rdfm_m2") == 2
+
+
+class TestLookup:
+    def test_get_missing_raises(self, store):
+        with pytest.raises(ModelNotFoundError):
+            store.models.get("ghost")
+
+    def test_get_by_id(self, store):
+        info = store.models.create("cia", "ciadata", "triple")
+        assert store.models.get_by_id(info.model_id) == info
+
+    def test_get_by_id_missing_raises(self, store):
+        with pytest.raises(ModelNotFoundError):
+            store.models.get_by_id(999)
+
+    def test_iteration_ordered_by_id(self, store):
+        store.models.create("zeta", "t1", "c")
+        store.models.create("alpha", "t2", "c")
+        names = [info.model_name for info in store.models]
+        assert names == ["zeta", "alpha"]
+
+    def test_cache_survives_invalidation(self, store):
+        info = store.models.create("cia", "ciadata", "triple")
+        store.models.invalidate_cache()
+        assert store.models.get("cia") == info
+
+
+class TestDrop:
+    def test_drop_removes_row_and_view(self, store):
+        store.models.create("cia", "ciadata", "triple")
+        store.models.drop("cia")
+        assert not store.models.exists("cia")
+        assert not store.database.table_exists("rdfm_cia")
+
+    def test_drop_missing_raises(self, store):
+        with pytest.raises(ModelNotFoundError):
+            store.models.drop("ghost")
+
+    def test_name_reusable_after_drop(self, store):
+        store.models.create("cia", "ciadata", "triple")
+        store.models.drop("cia")
+        info = store.models.create("cia", "ciadata2", "triple")
+        assert info.table_name == "ciadata2"

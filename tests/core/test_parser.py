@@ -1,0 +1,184 @@
+"""Tests for the section 4.1 insert pipeline (repro.core.parser)."""
+
+import pytest
+
+from repro.core.links import Context, LinkType
+from repro.core.schema import BLANK_NODE_TABLE, NODE_TABLE
+from repro.rdf.namespaces import XSD
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triple import Triple
+
+
+@pytest.fixture
+def model(store):
+    return store.models.create("m", "t", "c")
+
+
+def insert(store, model, s, p, o, **kwargs):
+    return store.parser.insert(model, Triple.from_text(s, p, o), **kwargs)
+
+
+class TestInsertPipeline:
+    def test_new_triple_created(self, store, model):
+        result = insert(store, model, "gov:files", "gov:terrorSuspect",
+                        "id:JohnDoe")
+        assert result.created
+        assert result.link.cost == 1
+        assert result.link.context is Context.DIRECT
+
+    def test_duplicate_returns_existing_ids(self, store, model):
+        # Section 4.1: "the IDs for the previously inserted triple are
+        # returned ... no new inserts are made".
+        first = insert(store, model, "gov:files", "gov:terrorSuspect",
+                       "id:JohnDoe")
+        second = insert(store, model, "gov:files", "gov:terrorSuspect",
+                        "id:JohnDoe")
+        assert not second.created
+        assert second.link_id == first.link_id
+        assert store.links.count(model.model_id) == 1
+
+    def test_duplicate_increments_cost(self, store, model):
+        first = insert(store, model, "s:x", "p:x", "o:x")
+        second = insert(store, model, "s:x", "p:x", "o:x")
+        assert second.link.cost == first.link.cost + 1
+
+    def test_count_cost_false_starts_at_zero(self, store, model):
+        result = insert(store, model, "s:x", "p:x", "o:x",
+                        count_cost=False)
+        assert result.link.cost == 0
+
+    def test_nodes_stored_once(self, store, model):
+        # "nodes are stored only once - regardless of the number of
+        # times they participate in triples" (section 4).
+        insert(store, model, "s:shared", "p:x", "o:a")
+        insert(store, model, "s:shared", "p:y", "o:b")
+        insert(store, model, "o:a", "p:z", "s:shared")
+        node_count = store.database.row_count(NODE_TABLE)
+        # s:shared, o:a, o:b — three distinct nodes.
+        assert node_count == 3
+
+    def test_new_link_per_triple(self, store, model):
+        # "a new link is always created whenever a new triple is
+        # inserted" — Figure 3's three triples make three links.
+        insert(store, model, "s:1", "p:1", "o:1")
+        insert(store, model, "s:1", "p:2", "o:2")
+        insert(store, model, "s:2", "p:2", "o:2")
+        assert store.links.count(model.model_id) == 3
+
+    def test_same_triple_different_models_distinct_links(self, store):
+        # Figure 6: the repeated IC triple has one row per model but
+        # shares VALUE_IDs.
+        m1 = store.models.create("m1", "t1", "c")
+        m2 = store.models.create("m2", "t2", "c")
+        r1 = insert(store, m1, "gov:files", "gov:terrorSuspect",
+                    "id:JohnDoe")
+        r2 = insert(store, m2, "gov:files", "gov:terrorSuspect",
+                    "id:JohnDoe")
+        assert r1.link_id != r2.link_id
+        assert r1.link.start_node_id == r2.link.start_node_id
+        assert r1.link.p_value_id == r2.link.p_value_id
+        assert r1.link.end_node_id == r2.link.end_node_id
+
+    def test_link_type_classified(self, store, model):
+        result = insert(store, model, "s:x", "rdf:type", "c:Person")
+        assert result.link.link_type is LinkType.RDF_TYPE
+
+    def test_blank_node_registered(self, store, model):
+        store.parser.insert(
+            model, Triple(BlankNode("b1"), URI("p:x"), Literal("v")))
+        row = store.database.query_one(
+            f'SELECT * FROM "{BLANK_NODE_TABLE}"')
+        assert row is not None
+        assert row["orig_label"] == "b1"
+        assert row["model_id"] == model.model_id
+
+    def test_canonical_object_id(self, store, model):
+        result = store.parser.insert(
+            model, Triple(URI("s:x"), URI("p:x"),
+                          Literal("024", datatype=XSD.int)))
+        canonical_term = store.values.get_term(
+            result.link.canon_end_node_id)
+        assert canonical_term == Literal("24", datatype=XSD.int)
+        assert result.link.canon_end_node_id != result.link.end_node_id
+
+    def test_canonical_id_equals_object_when_canonical(self, store, model):
+        result = insert(store, model, "s:x", "p:x", "o:x")
+        assert result.link.canon_end_node_id == result.link.end_node_id
+
+    def test_canonical_join_across_spellings(self, store, model):
+        a = store.parser.insert(
+            model, Triple(URI("s:a"), URI("p:x"),
+                          Literal("024", datatype=XSD.int)))
+        b = store.parser.insert(
+            model, Triple(URI("s:b"), URI("p:x"),
+                          Literal("24", datatype=XSD.int)))
+        assert a.link.canon_end_node_id == b.link.canon_end_node_id
+
+    def test_indirect_promoted_to_direct(self, store, model):
+        # Section 5.2 note: implied triple later entered as fact.
+        first = insert(store, model, "s:x", "p:x", "o:x",
+                       context=Context.INDIRECT, count_cost=False)
+        assert first.link.context is Context.INDIRECT
+        second = insert(store, model, "s:x", "p:x", "o:x")
+        assert second.link.context is Context.DIRECT
+
+    def test_direct_never_demoted(self, store, model):
+        insert(store, model, "s:x", "p:x", "o:x")
+        again = insert(store, model, "s:x", "p:x", "o:x",
+                       context=Context.INDIRECT, count_cost=False)
+        assert again.link.context is Context.DIRECT
+
+
+class TestRemove:
+    def test_remove_deletes_link_at_zero_cost(self, store, model):
+        insert(store, model, "s:x", "p:x", "o:x")
+        removed = store.parser.remove(
+            model, Triple.from_text("s:x", "p:x", "o:x"))
+        assert removed
+        assert store.links.count(model.model_id) == 0
+
+    def test_remove_decrements_before_delete(self, store, model):
+        insert(store, model, "s:x", "p:x", "o:x")
+        insert(store, model, "s:x", "p:x", "o:x")  # cost 2
+        triple = Triple.from_text("s:x", "p:x", "o:x")
+        assert store.parser.remove(model, triple) is False
+        assert store.links.count(model.model_id) == 1
+        assert store.parser.remove(model, triple) is True
+
+    def test_force_remove_ignores_cost(self, store, model):
+        insert(store, model, "s:x", "p:x", "o:x")
+        insert(store, model, "s:x", "p:x", "o:x")
+        assert store.parser.remove(
+            model, Triple.from_text("s:x", "p:x", "o:x"), force=True)
+        assert store.links.count(model.model_id) == 0
+
+    def test_remove_missing_returns_false(self, store, model):
+        assert store.parser.remove(
+            model, Triple.from_text("s:x", "p:x", "o:x")) is False
+
+    def test_nodes_kept_while_referenced(self, store, model):
+        # Section 4: "the nodes attached to this link are not removed if
+        # there are other links connected to them".
+        insert(store, model, "s:shared", "p:x", "o:a")
+        insert(store, model, "s:shared", "p:y", "o:b")
+        store.parser.remove(model,
+                            Triple.from_text("s:shared", "p:x", "o:a"))
+        shared_id = store.values.find_id(URI("s:shared"))
+        node = store.database.query_one(
+            f'SELECT 1 FROM "{NODE_TABLE}" WHERE node_id = ?',
+            (shared_id,))
+        assert node is not None
+
+    def test_orphan_nodes_collected(self, store, model):
+        insert(store, model, "s:only", "p:x", "o:only")
+        store.parser.remove(model,
+                            Triple.from_text("s:only", "p:x", "o:only"))
+        assert store.database.row_count(NODE_TABLE) == 0
+
+    def test_remove_model_triples(self, store, model):
+        insert(store, model, "s:1", "p:x", "o:1")
+        insert(store, model, "s:2", "p:x", "o:2")
+        removed = store.parser.remove_model_triples(model)
+        assert removed == 2
+        assert store.links.count(model.model_id) == 0
+        assert store.database.row_count(NODE_TABLE) == 0

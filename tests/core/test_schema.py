@@ -1,0 +1,126 @@
+"""Tests for the central schema DDL (repro.core.schema)."""
+
+from repro.core.schema import (
+    BLANK_NODE_TABLE,
+    LINK_TABLE,
+    MODEL_TABLE,
+    NODE_TABLE,
+    RDF_NETWORK_NAME,
+    VALUE_TABLE,
+    central_schema_exists,
+    create_central_schema,
+)
+from repro.ndm.catalog import NetworkCatalog
+
+
+class TestSchemaVersioning:
+    def test_version_recorded(self, database):
+        from repro.core.schema import SCHEMA_VERSION, VERSION_TABLE
+
+        create_central_schema(database)
+        stored = database.query_value(
+            f'SELECT MAX(version) FROM "{VERSION_TABLE}"')
+        assert stored == SCHEMA_VERSION
+
+    def test_future_version_refused(self, database):
+        import pytest
+
+        from repro.core.schema import SCHEMA_VERSION, VERSION_TABLE
+        from repro.errors import SchemaError
+
+        create_central_schema(database)
+        database.execute(
+            f'INSERT INTO "{VERSION_TABLE}" VALUES (?)',
+            (SCHEMA_VERSION + 1,))
+        with pytest.raises(SchemaError):
+            create_central_schema(database)
+
+    def test_same_version_reopens(self, database):
+        create_central_schema(database)
+        create_central_schema(database)  # no error
+
+
+class TestSchemaCreation:
+    def test_all_tables_created(self, database):
+        create_central_schema(database)
+        for table in (MODEL_TABLE, VALUE_TABLE, NODE_TABLE, LINK_TABLE,
+                      BLANK_NODE_TABLE):
+            assert database.table_exists(table)
+
+    def test_exists_check(self, database):
+        assert not central_schema_exists(database)
+        create_central_schema(database)
+        assert central_schema_exists(database)
+
+    def test_idempotent(self, database):
+        create_central_schema(database)
+        create_central_schema(database)
+        assert central_schema_exists(database)
+
+    def test_network_registered(self, database):
+        create_central_schema(database)
+        metadata = NetworkCatalog(database).get(RDF_NETWORK_NAME)
+        assert metadata.node_table == NODE_TABLE
+        assert metadata.link_table == LINK_TABLE
+        assert metadata.directed
+        assert metadata.partition_column == "model_id"
+
+    def test_link_table_paper_columns(self, database):
+        create_central_schema(database)
+        columns = database.table_columns(LINK_TABLE)
+        for expected in ("link_id", "start_node_id", "p_value_id",
+                         "end_node_id", "canon_end_node_id", "link_type",
+                         "cost", "context", "reif_link", "model_id"):
+            assert expected in columns
+
+    def test_value_table_paper_columns(self, database):
+        create_central_schema(database)
+        columns = database.table_columns(VALUE_TABLE)
+        for expected in ("value_id", "value_name", "value_type",
+                         "literal_type", "language_type", "long_value"):
+            assert expected in columns
+
+    def test_context_check_constraint(self, database):
+        import pytest
+
+        from repro.errors import StorageError
+
+        create_central_schema(database)
+        database.execute(
+            f'INSERT INTO "{MODEL_TABLE}" '
+            "(model_name, table_name, column_name) VALUES ('m', 't', 'c')")
+        database.execute(
+            f'INSERT INTO "{VALUE_TABLE}" (value_name, value_type) '
+            "VALUES ('urn:x', 'UR')")
+        database.execute(
+            f'INSERT INTO "{NODE_TABLE}" (node_id, node_type) '
+            "VALUES (1, 'UR')")
+        with pytest.raises(StorageError):
+            database.execute(
+                f'INSERT INTO "{LINK_TABLE}" '
+                "(start_node_id, p_value_id, end_node_id, "
+                "canon_end_node_id, context, model_id) "
+                "VALUES (1, 1, 1, 1, 'X', 1)")
+
+    def test_link_unique_per_model(self, database):
+        import pytest
+
+        from repro.errors import StorageError
+
+        create_central_schema(database)
+        database.execute(
+            f'INSERT INTO "{MODEL_TABLE}" '
+            "(model_name, table_name, column_name) VALUES ('m', 't', 'c')")
+        database.execute(
+            f'INSERT INTO "{VALUE_TABLE}" (value_name, value_type) '
+            "VALUES ('urn:x', 'UR')")
+        database.execute(
+            f'INSERT INTO "{NODE_TABLE}" (node_id, node_type) '
+            "VALUES (1, 'UR')")
+        insert = (
+            f'INSERT INTO "{LINK_TABLE}" '
+            "(start_node_id, p_value_id, end_node_id, canon_end_node_id,"
+            " model_id) VALUES (1, 1, 1, 1, 1)")
+        database.execute(insert)
+        with pytest.raises(StorageError):
+            database.execute(insert)

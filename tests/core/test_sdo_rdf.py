@@ -1,0 +1,86 @@
+"""Tests for the SDO_RDF package (repro.core.sdo_rdf)."""
+
+import pytest
+
+from repro.core.apptable import ApplicationTable
+from repro.errors import (
+    ModelExistsError,
+    StorageError,
+    TripleNotFoundError,
+)
+
+
+class TestCreateRdfModel:
+    def test_paper_steps(self, store, sdo_rdf):
+        # Section 4.3's three steps.
+        ApplicationTable.create(store, "ciadata")
+        info = sdo_rdf.create_rdf_model("cia", "ciadata", "triple")
+        assert info.model_name == "cia"
+        table = ApplicationTable.open(store, "ciadata")
+        table.insert(1, "cia", "gov:files", "gov:terrorSuspect",
+                     "id:JohnDoe")
+        assert sdo_rdf.is_triple("cia", "gov:files", "gov:terrorSuspect",
+                                 "id:JohnDoe")
+
+    def test_missing_application_table_rejected(self, store, sdo_rdf):
+        with pytest.raises(StorageError):
+            sdo_rdf.create_rdf_model("cia", "no_such_table")
+
+    def test_duplicate_model_rejected(self, store, sdo_rdf):
+        ApplicationTable.create(store, "ciadata")
+        sdo_rdf.create_rdf_model("cia", "ciadata")
+        with pytest.raises(ModelExistsError):
+            sdo_rdf.create_rdf_model("cia", "ciadata")
+
+    def test_drop_model(self, store, sdo_rdf, cia_table):
+        cia_table.insert(1, "cia", "s:x", "p:x", "o:x")
+        removed = sdo_rdf.drop_rdf_model("cia")
+        assert removed == 1
+        assert not store.model_exists("cia")
+
+
+class TestQueries:
+    def test_is_triple(self, store, sdo_rdf, cia_table):
+        cia_table.insert(1, "cia", "s:x", "p:x", "o:x")
+        assert sdo_rdf.is_triple("cia", "s:x", "p:x", "o:x")
+        assert not sdo_rdf.is_triple("cia", "s:x", "p:x", "o:other")
+
+    def test_get_model_id(self, store, sdo_rdf, cia_table):
+        assert sdo_rdf.get_model_id("cia") == \
+            store.models.get("cia").model_id
+
+    def test_get_triple_id(self, store, sdo_rdf, cia_table):
+        obj = cia_table.insert(1, "cia", "s:x", "p:x", "o:x")
+        assert sdo_rdf.get_triple_id("cia", "s:x", "p:x", "o:x") == \
+            obj.rdf_t_id
+
+    def test_get_triple_id_missing_raises(self, store, sdo_rdf,
+                                          cia_table):
+        with pytest.raises(TripleNotFoundError):
+            sdo_rdf.get_triple_id("cia", "s:x", "p:x", "o:x")
+
+    def test_get_triple_by_link_id(self, store, sdo_rdf, cia_table):
+        obj = cia_table.insert(1, "cia", "s:x", "p:x", "o:x")
+        triple = sdo_rdf.get_triple(obj.rdf_t_id)
+        assert (triple.subject, triple.property, triple.object) == \
+            ("s:x", "p:x", "o:x")
+
+    def test_triple_count(self, store, sdo_rdf, cia_table):
+        cia_table.insert(1, "cia", "s:a", "p:x", "o:a")
+        cia_table.insert(2, "cia", "s:b", "p:x", "o:b")
+        assert sdo_rdf.triple_count() == 2
+        assert sdo_rdf.triple_count("cia") == 2
+
+
+class TestIsReified:
+    def test_figure11_flow(self, store, sdo_rdf, cia_table):
+        obj = cia_table.insert(1, "cia", "gov:files",
+                               "gov:terrorSuspect", "id:JohnDoe")
+        assert not sdo_rdf.is_reified("cia", "gov:files",
+                                      "gov:terrorSuspect", "id:JohnDoe")
+        cia_table.insert(2, "cia", obj.rdf_t_id)  # reification insert
+        assert sdo_rdf.is_reified("cia", "gov:files",
+                                  "gov:terrorSuspect", "id:JohnDoe")
+
+    def test_unknown_triple_is_false(self, store, sdo_rdf, cia_table):
+        assert not sdo_rdf.is_reified("cia", "s:never", "p:x", "o:x")

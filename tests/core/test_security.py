@@ -1,0 +1,135 @@
+"""Tests for model-level access control (repro.core.security)."""
+
+import pytest
+
+from repro.core.security import (
+    AccessDenied,
+    PrivilegeRegistry,
+    SecureStoreSession,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def registry(store, cia_table):
+    registry = PrivilegeRegistry(store)
+    registry.set_owner("cia", "alice")
+    return registry
+
+
+@pytest.fixture
+def sessions(store, registry):
+    return {user: SecureStoreSession(store, user, registry)
+            for user in ("alice", "bob", "carol")}
+
+
+class TestRegistry:
+    def test_owner_recorded(self, registry):
+        assert registry.owner_of("cia") == "alice"
+
+    def test_owner_of_unowned(self, store, registry):
+        store.create_model("open_model")
+        assert registry.owner_of("open_model") is None
+
+    def test_owner_requires_existing_model(self, store, registry):
+        from repro.errors import ModelNotFoundError
+
+        with pytest.raises(ModelNotFoundError):
+            registry.set_owner("ghost", "alice")
+
+    def test_grant_and_check(self, registry):
+        registry.grant("cia", "bob", "SELECT")
+        assert registry.has_privilege("bob", "cia", "SELECT")
+        assert not registry.has_privilege("bob", "cia", "INSERT")
+
+    def test_owner_has_everything(self, registry):
+        assert registry.has_privilege("alice", "cia", "SELECT")
+        assert registry.has_privilege("alice", "cia", "INSERT")
+
+    def test_unowned_model_unrestricted(self, store, registry):
+        store.create_model("open_model")
+        assert registry.has_privilege("anyone", "open_model", "SELECT")
+
+    def test_revoke(self, registry):
+        registry.grant("cia", "bob", "SELECT")
+        registry.revoke("cia", "bob", "SELECT")
+        assert not registry.has_privilege("bob", "cia", "SELECT")
+
+    def test_unknown_privilege_rejected(self, registry):
+        with pytest.raises(ReproError):
+            registry.grant("cia", "bob", "DROP")
+
+    def test_grants_listing(self, registry):
+        registry.grant("cia", "bob", "SELECT")
+        registry.grant("cia", "bob", "INSERT")
+        grants = registry.grants_for("cia")
+        assert [(g.user, g.privilege) for g in grants] == [
+            ("alice", "OWNER"), ("bob", "INSERT"), ("bob", "SELECT")]
+
+    def test_check_raises_access_denied(self, registry):
+        with pytest.raises(AccessDenied) as excinfo:
+            registry.check("bob", "cia", "SELECT")
+        assert excinfo.value.user == "bob"
+        assert excinfo.value.model_name == "cia"
+
+
+class TestSecureSession:
+    def test_owner_full_cycle(self, sessions):
+        alice = sessions["alice"]
+        alice.insert_triple("cia", "s:x", "p:x", "o:x")
+        assert len(list(alice.iter_triples("cia"))) == 1
+        assert alice.remove_triple("cia", "s:x", "p:x", "o:x")
+
+    def test_reader_cannot_write(self, registry, sessions):
+        registry.grant("cia", "bob", "SELECT")
+        bob = sessions["bob"]
+        with pytest.raises(AccessDenied):
+            bob.insert_triple("cia", "s:x", "p:x", "o:x")
+        assert list(bob.iter_triples("cia")) == []
+
+    def test_writer_cannot_read_without_select(self, registry,
+                                               sessions):
+        registry.grant("cia", "carol", "INSERT")
+        carol = sessions["carol"]
+        carol.insert_triple("cia", "s:x", "p:x", "o:x")
+        with pytest.raises(AccessDenied):
+            list(carol.iter_triples("cia"))
+
+    def test_stranger_denied_everything(self, sessions):
+        bob = sessions["bob"]
+        with pytest.raises(AccessDenied):
+            list(bob.iter_triples("cia"))
+        with pytest.raises(AccessDenied):
+            bob.insert_triple("cia", "s:x", "p:x", "o:x")
+
+    def test_view_access(self, registry, sessions):
+        alice = sessions["alice"]
+        alice.insert_triple("cia", "s:x", "p:x", "o:x")
+        assert len(alice.view_rows("cia")) == 1
+        with pytest.raises(AccessDenied):
+            sessions["bob"].view_rows("cia")
+        registry.grant("cia", "bob", "SELECT")
+        assert len(sessions["bob"].view_rows("cia")) == 1
+
+    def test_query_checks_every_model(self, store, registry, sessions,
+                                      sdo_rdf):
+        from repro.core.apptable import ApplicationTable
+
+        ApplicationTable.create(store, "fbidata")
+        sdo_rdf.create_rdf_model("fbi", "fbidata")
+        registry.set_owner("fbi", "alice")
+        registry.grant("cia", "bob", "SELECT")
+        bob = sessions["bob"]
+        # bob can query cia alone...
+        assert bob.query("(?s ?p ?o)", ["cia"]) == []
+        # ...but not the pair, since fbi is closed to him.
+        with pytest.raises(AccessDenied):
+            bob.query("(?s ?p ?o)", ["cia", "fbi"])
+
+    def test_query_returns_matches(self, sessions):
+        alice = sessions["alice"]
+        alice.insert_triple("cia", "gov:files", "gov:terrorSuspect",
+                            "id:JohnDoe")
+        rows = alice.query("(gov:files gov:terrorSuspect ?who)",
+                           ["cia"])
+        assert rows[0]["who"] == "id:JohnDoe"

@@ -1,0 +1,82 @@
+"""Tests for store statistics (repro.core.statistics)."""
+
+import pytest
+
+from repro.core.statistics import gather_statistics
+
+
+@pytest.fixture
+def populated(store, cia_table):
+    base = cia_table.insert(1, "cia", "gov:files", "gov:terrorSuspect",
+                            "id:JohnDoe")
+    cia_table.insert(2, "cia", "gov:files", "gov:terrorSuspect",
+                     "id:JaneDoe")
+    cia_table.insert(3, "cia", "id:JohnDoe", "rdf:type", "gov:Person")
+    cia_table.insert(4, "cia", "id:JohnDoe", "gov:age", '"42"')
+    cia_table.insert(5, "cia", base.rdf_t_id)  # reify
+    return store
+
+
+class TestWholeStore:
+    def test_counts(self, populated):
+        stats = gather_statistics(populated)
+        assert stats.triple_count == 5  # 4 base + 1 reification
+        assert stats.reified_statement_count == 1
+        assert stats.total_cost == 5
+
+    def test_value_type_histogram(self, populated):
+        stats = gather_statistics(populated)
+        assert stats.value_types["PL"] == 1  # "42"
+        assert stats.value_types["UR"] > 5
+
+    def test_link_type_histogram(self, populated):
+        stats = gather_statistics(populated)
+        assert stats.link_types["STANDARD"] == 3
+        assert stats.link_types["RDF_TYPE"] == 2  # rdf:type + reif stmt
+
+    def test_contexts(self, populated):
+        stats = gather_statistics(populated)
+        assert stats.contexts == {"D": 5}
+
+    def test_sharing_factor(self, populated):
+        stats = gather_statistics(populated)
+        # 5 triples x 3 components over fewer distinct values.
+        assert stats.sharing_factor > 1.0
+
+    def test_empty_store(self, store):
+        stats = gather_statistics(store)
+        assert stats.triple_count == 0
+        assert stats.sharing_factor == 0.0
+
+    def test_lines_render(self, populated):
+        lines = gather_statistics(populated).lines()
+        text = "\n".join(lines)
+        assert "triples: 5" in text
+        assert "sharing factor" in text
+        assert "value types:" in text
+
+
+class TestPerModel:
+    def test_model_scope(self, populated, sdo_rdf):
+        from repro.core.apptable import ApplicationTable
+
+        ApplicationTable.create(populated, "other")
+        sdo_rdf.create_rdf_model("other", "other")
+        ApplicationTable.open(populated, "other").insert(
+            1, "other", "s:x", "p:x", "o:x")
+        cia_stats = gather_statistics(populated, "cia")
+        other_stats = gather_statistics(populated, "other")
+        assert cia_stats.triple_count == 5
+        assert other_stats.triple_count == 1
+        assert other_stats.distinct_value_count == 3
+
+    def test_model_value_types(self, populated):
+        stats = gather_statistics(populated, "cia")
+        assert stats.value_types.get("PL") == 1
+
+    def test_indirect_context_counted(self, populated):
+        populated.assert_implied(
+            "cia", "gov:Interpol", "gov:source", "gov:files",
+            "gov:terrorSuspect", "id:JohnDoeJr")
+        stats = gather_statistics(populated, "cia")
+        assert stats.contexts.get("I") == 1

@@ -1,0 +1,140 @@
+"""Tests for the RDF object types (repro.core.triple_s)."""
+
+import pytest
+
+from repro.core.triple_s import SDO_RDF_TRIPLE, SDO_RDF_TRIPLE_S
+from repro.errors import ReproError, TripleNotFoundError
+from repro.rdf.terms import LONG_LITERAL_THRESHOLD
+
+
+class TestSDORDFTriple:
+    def test_fields(self):
+        triple = SDO_RDF_TRIPLE("gov:files", "gov:terrorSuspect",
+                                "id:JohnDoe")
+        assert triple.subject == "gov:files"
+        assert triple.property == "gov:terrorSuspect"
+        assert triple.object == "id:JohnDoe"
+
+    def test_str(self):
+        triple = SDO_RDF_TRIPLE("s", "p", "o")
+        assert str(triple) == "<s, p, o>"
+
+
+class TestConstructorDispatch:
+    def test_base_constructor(self, store, cia_table):
+        obj = SDO_RDF_TRIPLE_S.construct(
+            store, "cia", "gov:files", "gov:terrorSuspect", "id:JohnDoe")
+        assert obj.get_subject() == "gov:files"
+
+    def test_reification_constructor(self, store, cia_table):
+        base = cia_table.insert(1, "cia", "gov:files",
+                                "gov:terrorSuspect", "id:JohnDoe")
+        reif = SDO_RDF_TRIPLE_S.construct(store, "cia", base.rdf_t_id)
+        assert reif.get_subject() == \
+            f"/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID={base.rdf_t_id}]"
+        assert reif.get_object().endswith("#Statement")
+
+    def test_assertion_constructor(self, store, cia_table):
+        base = cia_table.insert(1, "cia", "gov:files",
+                                "gov:terrorSuspect", "id:JohnDoe")
+        assertion = SDO_RDF_TRIPLE_S.construct(
+            store, "cia", "gov:MI5", "gov:source", base.rdf_t_id)
+        assert assertion.get_subject() == "gov:MI5"
+        assert assertion.get_object() == \
+            f"/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID={base.rdf_t_id}]"
+
+    def test_implied_assertion_constructor(self, store, cia_table):
+        assertion = SDO_RDF_TRIPLE_S.construct(
+            store, "cia", "gov:Interpol", "gov:source",
+            "gov:files", "gov:terrorSuspect", "id:JohnDoeJr")
+        assert assertion.get_subject() == "gov:Interpol"
+        # The base triple now exists as an indirect statement.
+        link = store.find_link("cia", "gov:files", "gov:terrorSuspect",
+                               "id:JohnDoeJr")
+        assert link is not None
+
+    def test_no_matching_overload(self, store, cia_table):
+        with pytest.raises(ReproError):
+            SDO_RDF_TRIPLE_S.construct(store, "cia", 1, 2)
+        with pytest.raises(ReproError):
+            SDO_RDF_TRIPLE_S.construct(store, "cia")
+
+    def test_reify_missing_triple_raises(self, store, cia_table):
+        with pytest.raises(TripleNotFoundError):
+            SDO_RDF_TRIPLE_S.construct(store, "cia", 999)
+
+
+class TestMemberFunctions:
+    def test_get_triple(self, store, cia_table):
+        obj = cia_table.insert(1, "cia", "gov:files",
+                               "gov:terrorSuspect", "id:JohnDoe")
+        triple = obj.get_triple()
+        assert isinstance(triple, SDO_RDF_TRIPLE)
+        assert triple.subject == "gov:files"
+        assert triple.property == "gov:terrorSuspect"
+        assert triple.object == "id:JohnDoe"
+
+    def test_get_components(self, store, cia_table):
+        obj = cia_table.insert(1, "cia", "gov:files",
+                               "gov:terrorSuspect", "id:JohnDoe")
+        assert obj.get_subject() == "gov:files"
+        assert obj.get_property() == "gov:terrorSuspect"
+        assert obj.get_object() == "id:JohnDoe"
+
+    def test_get_object_clob_semantics(self, store, cia_table):
+        # GET_OBJECT returns the full long literal.
+        long_text = "x" * (LONG_LITERAL_THRESHOLD + 100)
+        obj = cia_table.insert(1, "cia", "s:x", "p:x",
+                               f'"{long_text}"')
+        assert obj.get_object() == long_text
+
+    def test_detached_object_raises(self):
+        detached = SDO_RDF_TRIPLE_S(1, 1, 1, 2, 3)
+        with pytest.raises(ReproError):
+            detached.get_subject()
+
+    def test_with_store_attaches(self, store, cia_table):
+        obj = cia_table.insert(1, "cia", "s:x", "p:x", "o:x")
+        detached = SDO_RDF_TRIPLE_S(*obj.ids())
+        attached = detached.with_store(store)
+        assert attached.get_subject() == "s:x"
+
+    def test_attach_via_store(self, store, cia_table):
+        obj = cia_table.insert(1, "cia", "s:x", "p:x", "o:x")
+        detached = SDO_RDF_TRIPLE_S(*obj.ids())
+        assert store.attach(detached).get_property() == "p:x"
+
+
+class TestValueSemantics:
+    def test_ids_tuple(self, store, cia_table):
+        obj = cia_table.insert(1, "cia", "s:x", "p:x", "o:x")
+        assert obj.ids() == (obj.rdf_t_id, obj.rdf_m_id, obj.rdf_s_id,
+                             obj.rdf_p_id, obj.rdf_o_id)
+
+    def test_equality_ignores_store(self, store, cia_table):
+        obj = cia_table.insert(1, "cia", "s:x", "p:x", "o:x")
+        assert obj == SDO_RDF_TRIPLE_S(*obj.ids())
+
+    def test_str_matches_figure6(self, store, cia_table):
+        obj = cia_table.insert(1, "cia", "s:x", "p:x", "o:x")
+        text = str(obj)
+        assert text.startswith("SDO_RDF_TRIPLE_S (")
+        assert str(obj.rdf_t_id) in text
+
+    def test_repeated_triple_shares_component_ids(self, store, sdo_rdf):
+        # Figure 6: same RDF_S_ID/RDF_P_ID/RDF_O_ID across models.
+        from repro.core.apptable import ApplicationTable
+
+        for model, table in (("cia", "t_cia"), ("dhs", "t_dhs")):
+            ApplicationTable.create(store, table)
+            sdo_rdf.create_rdf_model(model, table)
+        cia = ApplicationTable.open(store, "t_cia")
+        dhs = ApplicationTable.open(store, "t_dhs")
+        a = cia.insert(1, "cia", "gov:files", "gov:terrorSuspect",
+                       "id:JohnDoe")
+        b = dhs.insert(1, "dhs", "gov:files", "gov:terrorSuspect",
+                       "id:JohnDoe")
+        assert (a.rdf_s_id, a.rdf_p_id, a.rdf_o_id) == \
+            (b.rdf_s_id, b.rdf_p_id, b.rdf_o_id)
+        assert a.rdf_t_id != b.rdf_t_id
+        assert a.rdf_m_id != b.rdf_m_id

@@ -1,0 +1,136 @@
+"""Tests for the rdf_value$ store (repro.core.values)."""
+
+import pytest
+
+from repro.errors import ValueNotFoundError
+from repro.rdf.namespaces import XSD
+from repro.rdf.terms import (
+    LONG_LITERAL_THRESHOLD,
+    BlankNode,
+    Literal,
+    URI,
+)
+
+
+class TestLookupOrInsert:
+    def test_new_value_gets_id(self, store):
+        value_id = store.values.lookup_or_insert(URI("gov:files"))
+        assert isinstance(value_id, int)
+
+    def test_values_stored_once(self, store):
+        # "Each text entry is uniquely stored" (section 4).
+        first = store.values.lookup_or_insert(URI("gov:files"))
+        second = store.values.lookup_or_insert(URI("gov:files"))
+        assert first == second
+        assert store.values.count() == 1
+
+    def test_distinct_values_distinct_ids(self, store):
+        a = store.values.lookup_or_insert(URI("gov:files"))
+        b = store.values.lookup_or_insert(URI("gov:file"))
+        assert a != b
+
+    def test_same_lexical_different_type_distinct(self, store):
+        # The URI gov:files and the literal "gov:files" are different
+        # values even though the text matches.
+        uri_id = store.values.lookup_or_insert(URI("gov:files"))
+        lit_id = store.values.lookup_or_insert(Literal("gov:files"))
+        assert uri_id != lit_id
+
+    def test_language_distinguishes(self, store):
+        plain = store.values.lookup_or_insert(Literal("chat"))
+        french = store.values.lookup_or_insert(
+            Literal("chat", language="fr"))
+        english = store.values.lookup_or_insert(
+            Literal("chat", language="en"))
+        assert len({plain, french, english}) == 3
+
+    def test_datatype_distinguishes(self, store):
+        a = store.values.lookup_or_insert(Literal("25", datatype=XSD.int))
+        b = store.values.lookup_or_insert(
+            Literal("25", datatype=XSD.string))
+        assert a != b
+
+    def test_find_id_missing_returns_none(self, store):
+        assert store.values.find_id(URI("urn:never")) is None
+
+
+class TestGetTerm:
+    @pytest.mark.parametrize("term", [
+        URI("gov:files"),
+        URI("urn:lsid:uniprot.org:uniprot:P93259"),
+        BlankNode("b1"),
+        Literal("bombing"),
+        Literal("chat", language="fr"),
+        Literal("25", datatype=XSD.int),
+    ])
+    def test_roundtrip(self, store, term):
+        value_id = store.values.lookup_or_insert(term)
+        assert store.values.get_term(value_id) == term
+
+    def test_unknown_id_raises(self, store):
+        with pytest.raises(ValueNotFoundError):
+            store.values.get_term(424242)
+
+    def test_get_lexical(self, store):
+        value_id = store.values.lookup_or_insert(Literal("bombing"))
+        assert store.values.get_lexical(value_id) == "bombing"
+
+    def test_get_lexical_unknown_raises(self, store):
+        with pytest.raises(ValueNotFoundError):
+            store.values.get_lexical(424242)
+
+
+class TestLongLiterals:
+    def test_long_value_roundtrip(self, store):
+        text = "z" * (LONG_LITERAL_THRESHOLD + 500)
+        value_id = store.values.lookup_or_insert(Literal(text))
+        assert store.values.get_term(value_id) == Literal(text)
+        assert store.values.get_lexical(value_id) == text
+
+    def test_long_value_stored_once(self, store):
+        text = "z" * (LONG_LITERAL_THRESHOLD + 500)
+        a = store.values.lookup_or_insert(Literal(text))
+        b = store.values.lookup_or_insert(Literal(text))
+        assert a == b
+
+    def test_short_literal_not_conflated_with_long_prefix(self, store):
+        # A 4000-char plain literal and a longer literal sharing that
+        # prefix are different values.
+        prefix = Literal("x" * LONG_LITERAL_THRESHOLD)
+        long_form = Literal("x" * (LONG_LITERAL_THRESHOLD + 5))
+        long_id = store.values.lookup_or_insert(long_form)
+        assert store.values.find_id(prefix) is None
+        short_id = store.values.lookup_or_insert(prefix)
+        assert short_id != long_id
+        assert store.values.get_term(short_id) == prefix
+        assert store.values.get_term(long_id) == long_form
+
+    def test_long_values_same_prefix_distinct(self, store):
+        # Two long literals sharing the first 4000 chars must not be
+        # conflated.
+        prefix = "z" * LONG_LITERAL_THRESHOLD
+        a = store.values.lookup_or_insert(Literal(prefix + "AAA"))
+        b = store.values.lookup_or_insert(Literal(prefix + "BBB"))
+        assert a != b
+        assert store.values.get_lexical(a).endswith("AAA")
+        assert store.values.get_lexical(b).endswith("BBB")
+
+    def test_typed_long_literal(self, store):
+        text = "y" * (LONG_LITERAL_THRESHOLD + 1)
+        term = Literal(text, datatype=XSD.string)
+        value_id = store.values.lookup_or_insert(term)
+        assert store.values.get_term(value_id) == term
+
+
+class TestCache:
+    def test_cache_invalidation(self, store):
+        value_id = store.values.lookup_or_insert(URI("gov:files"))
+        store.values.invalidate_cache()
+        assert store.values.find_id(URI("gov:files")) == value_id
+
+    def test_cache_eviction_at_capacity(self, store):
+        store.values._cache_size = 4
+        ids = [store.values.lookup_or_insert(URI(f"urn:v:{i}"))
+               for i in range(10)]
+        # Still correct after eviction.
+        assert store.values.find_id(URI("urn:v:0")) == ids[0]

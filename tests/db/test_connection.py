@@ -1,0 +1,151 @@
+"""Tests for the Database engine wrapper (repro.db.connection)."""
+
+import pytest
+
+from repro.db.connection import Database, quote_identifier
+from repro.errors import StorageError
+
+
+class TestQuoteIdentifier:
+    def test_plain(self):
+        assert quote_identifier("ciadata") == '"ciadata"'
+
+    def test_dollar_suffix(self):
+        assert quote_identifier("rdf_link$") == '"rdf_link$"'
+
+    def test_injection_rejected(self):
+        with pytest.raises(StorageError):
+            quote_identifier('x"; DROP TABLE y; --')
+
+    def test_leading_digit_rejected(self):
+        with pytest.raises(StorageError):
+            quote_identifier("1table")
+
+    def test_empty_rejected(self):
+        with pytest.raises(StorageError):
+            quote_identifier("")
+
+
+class TestExecution:
+    def test_execute_and_query(self, database):
+        database.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        database.execute("INSERT INTO t VALUES (?, ?)", (1, "one"))
+        row = database.query_one("SELECT * FROM t")
+        assert row["a"] == 1
+        assert row["b"] == "one"
+
+    def test_executemany(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        database.executemany("INSERT INTO t VALUES (?)",
+                             [(i,) for i in range(5)])
+        assert database.row_count("t") == 5
+
+    def test_executescript(self, database):
+        database.executescript(
+            "CREATE TABLE a (x INTEGER); CREATE TABLE b (y INTEGER);")
+        assert database.table_exists("a")
+        assert database.table_exists("b")
+
+    def test_bad_sql_raises_storage_error(self, database):
+        with pytest.raises(StorageError) as excinfo:
+            database.execute("SELEC nonsense")
+        assert "SELEC" in str(excinfo.value)
+
+    def test_query_value_default(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        assert database.query_value("SELECT a FROM t", default=-1) == -1
+
+    def test_query_all(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        database.executemany("INSERT INTO t VALUES (?)",
+                             [(1,), (2,)])
+        assert [row["a"] for row in
+                database.query_all("SELECT a FROM t ORDER BY a")] == [1, 2]
+
+
+class TestTransactions:
+    def test_commit_on_success(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with database.transaction():
+            database.execute("INSERT INTO t VALUES (1)")
+        assert database.row_count("t") == 1
+
+    def test_rollback_on_error(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.execute("INSERT INTO t VALUES (1)")
+                raise RuntimeError("boom")
+        assert database.row_count("t") == 0
+
+    def test_nested_joins_outer(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with database.transaction():
+            database.execute("INSERT INTO t VALUES (1)")
+            with database.transaction():
+                database.execute("INSERT INTO t VALUES (2)")
+        assert database.row_count("t") == 2
+
+    def test_nested_failure_rolls_back_everything(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.execute("INSERT INTO t VALUES (1)")
+                with database.transaction():
+                    database.execute("INSERT INTO t VALUES (2)")
+                    raise RuntimeError("inner boom")
+        assert database.row_count("t") == 0
+
+
+class TestIntrospection:
+    def test_table_exists(self, database):
+        assert not database.table_exists("t")
+        database.execute("CREATE TABLE t (a INTEGER)")
+        assert database.table_exists("t")
+
+    def test_view_counts_as_table(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        database.execute("CREATE VIEW v AS SELECT * FROM t")
+        assert database.table_exists("v")
+
+    def test_index_exists(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        assert not database.index_exists("t_a")
+        database.execute("CREATE INDEX t_a ON t (a)")
+        assert database.index_exists("t_a")
+
+    def test_table_columns(self, database):
+        database.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        assert database.table_columns("t") == ["a", "b"]
+
+    def test_table_columns_missing_raises(self, database):
+        with pytest.raises(StorageError):
+            database.table_columns("missing")
+
+    def test_drop_table_idempotent(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        database.drop_table("t")
+        database.drop_table("t")
+        assert not database.table_exists("t")
+
+    def test_drop_view(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        database.execute("CREATE VIEW v AS SELECT * FROM t")
+        database.drop_view("v")
+        assert not database.table_exists("v")
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self):
+        with Database() as db:
+            db.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(StorageError):
+            db.execute("SELECT 1")
+
+    def test_file_backed(self, tmp_path):
+        path = tmp_path / "test.db"
+        with Database(path) as db:
+            db.execute("CREATE TABLE t (a INTEGER)")
+            db.execute("INSERT INTO t VALUES (7)")
+        with Database(path) as db:
+            assert db.query_value("SELECT a FROM t") == 7

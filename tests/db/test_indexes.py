@@ -1,0 +1,97 @@
+"""Tests for function-based index emulation (repro.db.indexes)."""
+
+import pytest
+
+from repro.db.indexes import (
+    MEMBER_FUNCTION_COLUMNS,
+    create_function_based_index,
+    drop_function_based_index,
+    index_for,
+)
+from repro.core.apptable import ApplicationTable
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def app_table(store, sdo_rdf):
+    ApplicationTable.create(store, "updata")
+    sdo_rdf.create_rdf_model("up", "updata")
+    table = ApplicationTable.open(store, "updata")
+    table.insert(1, "up", "urn:s:1", "urn:p:x", "urn:o:1")
+    table.insert(2, "up", "urn:s:1", "urn:p:y", "urn:o:2")
+    table.insert(3, "up", "urn:s:2", "urn:p:x", "urn:o:1")
+    return table
+
+
+class TestCreate:
+    def test_create_subject_index(self, store, app_table):
+        index = create_function_based_index(
+            store.database, "up_sub_fbidx", "updata", "GET_SUBJECT")
+        assert index.column == "triple_s_id"
+        assert store.database.index_exists("up_sub_fbidx")
+
+    def test_registry_lookup(self, store, app_table):
+        create_function_based_index(
+            store.database, "up_sub_fbidx", "updata", "GET_SUBJECT")
+        found = index_for(store.database, "updata", "GET_SUBJECT")
+        assert found is not None
+        assert found.index_name == "up_sub_fbidx"
+
+    def test_lookup_missing_returns_none(self, store, app_table):
+        assert index_for(store.database, "updata", "GET_SUBJECT") is None
+
+    def test_paper_spellings_accepted(self, store, app_table):
+        # The section 7.2 DDL writes triple.GET_SUBJECT() and
+        # TO_CHAR(triple.GET_OBJECT()).
+        create_function_based_index(
+            store.database, "i1", "updata", "triple.GET_SUBJECT()")
+        create_function_based_index(
+            store.database, "i2", "updata",
+            "TO_CHAR(triple.GET_OBJECT())")
+        assert index_for(store.database, "updata",
+                         "GET_SUBJECT") is not None
+        assert index_for(store.database, "updata",
+                         "GET_OBJECT") is not None
+
+    def test_unsupported_function_rejected(self, store, app_table):
+        with pytest.raises(StorageError):
+            create_function_based_index(
+                store.database, "bad", "updata", "GET_TRIPLE")
+
+    def test_all_member_functions_mapped(self):
+        assert set(MEMBER_FUNCTION_COLUMNS) == {
+            "GET_SUBJECT", "GET_PROPERTY", "GET_OBJECT"}
+
+
+class TestDrop:
+    def test_drop_removes_index_and_registration(self, store, app_table):
+        create_function_based_index(
+            store.database, "up_sub_fbidx", "updata", "GET_SUBJECT")
+        drop_function_based_index(store.database, "up_sub_fbidx")
+        assert not store.database.index_exists("up_sub_fbidx")
+        assert index_for(store.database, "updata", "GET_SUBJECT") is None
+
+    def test_drop_missing_is_noop(self, store, app_table):
+        drop_function_based_index(store.database, "never_created")
+
+
+class TestAccessPathBehaviour:
+    def test_indexed_and_scan_agree(self, store, app_table):
+        scan = app_table.select_where_member("GET_SUBJECT", "urn:s:1")
+        create_function_based_index(
+            store.database, "up_sub_fbidx", "updata", "GET_SUBJECT")
+        indexed = app_table.select_where_member("GET_SUBJECT", "urn:s:1")
+        assert sorted(row_id for row_id, _ in scan) == \
+            sorted(row_id for row_id, _ in indexed) == [1, 2]
+
+    def test_property_index(self, store, app_table):
+        create_function_based_index(
+            store.database, "up_prop_fbidx", "updata", "GET_PROPERTY")
+        rows = app_table.select_where_member("GET_PROPERTY", "urn:p:x")
+        assert sorted(row_id for row_id, _ in rows) == [1, 3]
+
+    def test_object_index(self, store, app_table):
+        create_function_based_index(
+            store.database, "up_obj_fbidx", "updata", "GET_OBJECT")
+        rows = app_table.select_where_member("GET_OBJECT", "urn:o:1")
+        assert sorted(row_id for row_id, _ in rows) == [1, 3]

@@ -1,0 +1,74 @@
+"""Tests for storage accounting (repro.db.storage)."""
+
+from repro.db.storage import (
+    StorageReport,
+    combined_storage,
+    table_storage,
+)
+
+
+class TestTableStorage:
+    def test_counts_rows_and_bytes(self, database):
+        database.execute("CREATE TABLE t (a TEXT, b INTEGER)")
+        database.execute("INSERT INTO t VALUES ('abcd', 1)")
+        database.execute("INSERT INTO t VALUES ('xy', 2)")
+        report = table_storage(database, "t")
+        assert report.row_count == 2
+        # 'abcd' (4) + 8 + 'xy' (2) + 8
+        assert report.byte_count == 22
+
+    def test_null_costs_nothing(self, database):
+        database.execute("CREATE TABLE t (a TEXT)")
+        database.execute("INSERT INTO t VALUES (NULL)")
+        assert table_storage(database, "t").byte_count == 0
+
+    def test_utf8_bytes(self, database):
+        database.execute("CREATE TABLE t (a TEXT)")
+        database.execute("INSERT INTO t VALUES ('é')")
+        assert table_storage(database, "t").byte_count == 2
+
+    def test_where_filter(self, database):
+        database.execute("CREATE TABLE t (a TEXT, keep INTEGER)")
+        database.execute("INSERT INTO t VALUES ('yes', 1)")
+        database.execute("INSERT INTO t VALUES ('no', 0)")
+        report = table_storage(database, "t", where="keep = ?",
+                               parameters=(1,))
+        assert report.row_count == 1
+
+    def test_empty_table(self, database):
+        database.execute("CREATE TABLE t (a TEXT)")
+        report = table_storage(database, "t")
+        assert report.row_count == 0
+        assert report.byte_count == 0
+
+    def test_blob_and_float(self, database):
+        database.execute("CREATE TABLE t (a BLOB, b REAL)")
+        database.execute("INSERT INTO t VALUES (?, ?)", (b"12345", 1.5))
+        assert table_storage(database, "t").byte_count == 13
+
+
+class TestReportArithmetic:
+    def test_ratio(self):
+        small = StorageReport("s", 1, 25)
+        big = StorageReport("b", 4, 100)
+        assert small.ratio_to(big) == 0.25
+        assert small.row_ratio_to(big) == 0.25
+
+    def test_ratio_to_empty(self):
+        empty = StorageReport("e", 0, 0)
+        nonempty = StorageReport("n", 1, 10)
+        assert nonempty.ratio_to(empty) == float("inf")
+        assert empty.ratio_to(nonempty) == 0.0
+        assert empty.row_ratio_to(empty) == 0.0
+
+    def test_combined(self):
+        combined = combined_storage(
+            [StorageReport("a", 1, 10), StorageReport("b", 2, 20)],
+            label="total")
+        assert combined.table_name == "total"
+        assert combined.row_count == 3
+        assert combined.byte_count == 30
+
+    def test_combined_empty_list(self):
+        combined = combined_storage([])
+        assert combined.row_count == 0

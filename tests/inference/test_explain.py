@@ -1,0 +1,98 @@
+"""Tests for inference explanations (rules-index provenance)."""
+
+import pytest
+
+from repro.inference.rules_index import Derivation, forward_closure
+from repro.inference.rulebase import Rule
+from repro.rdf.graph import Graph
+from repro.rdf.triple import Triple
+
+
+def t(s, p, o):
+    return Triple.from_text(s, p, o)
+
+
+class TestForwardClosureProvenance:
+    def test_provenance_recorded(self):
+        rule = Rule.parse("bombers",
+                          '(?x gov:terrorAction "bombing")', None,
+                          "(gov:files gov:terrorSuspect ?x)")
+        provenance = {}
+        inferred = forward_closure(
+            Graph([t("id:JimDoe", "gov:terrorAction", "bombing")]),
+            [rule], provenance=provenance)
+        conclusion = t("gov:files", "gov:terrorSuspect", "id:JimDoe")
+        assert conclusion in inferred
+        derivation = provenance[conclusion]
+        assert derivation.rule_name == "bombers"
+        assert derivation.antecedents == (
+            t("id:JimDoe", "gov:terrorAction", "bombing"),)
+
+    def test_first_derivation_kept(self):
+        # Two rules can derive the same conclusion; the first recorded
+        # derivation wins and is stable.
+        rule_a = Rule.parse("a", "(?x p:in ?y)", None, "(?x p:out ?y)")
+        rule_b = Rule.parse("b", "(?x p:in ?y)", None, "(?x p:out ?y)")
+        provenance = {}
+        forward_closure(Graph([t("s:1", "p:in", "o:1")]),
+                        [rule_a, rule_b], provenance=provenance)
+        assert provenance[t("s:1", "p:out", "o:1")].rule_name == "a"
+
+    def test_chained_derivations(self):
+        trans = Rule.parse("trans", "(?x p:le ?y) (?y p:le ?z)", None,
+                           "(?x p:le ?z)")
+        provenance = {}
+        forward_closure(Graph([t("n:0", "p:le", "n:1"),
+                               t("n:1", "p:le", "n:2"),
+                               t("n:2", "p:le", "n:3")]),
+                        [trans], provenance=provenance)
+        far = provenance[t("n:0", "p:le", "n:3")]
+        assert far.rule_name == "trans"
+        assert len(far.antecedents) == 2
+
+
+@pytest.fixture
+def indexed(store, cia_table, inference):
+    inference.create_rulebase("rb")
+    inference.insert_rule("rb", "bombers",
+                          '(?x gov:terrorAction "bombing")', None,
+                          "(gov:files gov:terrorSuspect ?x)")
+    inference.insert_rule("rb", "watch",
+                          "(gov:files gov:terrorSuspect ?x)", None,
+                          "(?x rdf:type gov:WatchListed)")
+    cia_table.insert(1, "cia", "id:JimDoe", "gov:terrorAction",
+                     '"bombing"')
+    inference.create_rules_index("rix", ["cia"], ["rb"])
+    return inference.indexes
+
+
+class TestIndexExplain:
+    def test_explain_inferred(self, indexed):
+        derivation = indexed.explain(
+            "rix", t("gov:files", "gov:terrorSuspect", "id:JimDoe"))
+        assert isinstance(derivation, Derivation)
+        assert derivation.rule_name == "bombers"
+
+    def test_explain_base_fact_returns_none(self, indexed):
+        assert indexed.explain(
+            "rix", t("id:JimDoe", "gov:terrorAction", "bombing")) \
+            is None
+
+    def test_explain_unknown_triple_returns_none(self, indexed):
+        assert indexed.explain("rix", t("s:x", "p:x", "o:x")) is None
+
+    def test_explain_tree_chains(self, indexed):
+        tree = indexed.explain_tree(
+            "rix", t("id:JimDoe", "rdf:type", "gov:WatchListed"))
+        # depth 0: conclusion via 'watch'; depth 1: intermediate via
+        # 'bombers'; depth 2: the base fact.
+        assert tree[0][0] == 0 and tree[0][2] == "watch"
+        assert tree[1][0] == 1 and tree[1][2] == "bombers"
+        assert tree[2][0] == 2 and tree[2][2] is None
+
+    def test_explain_survives_rebuild(self, indexed):
+        indexed.rebuild("rix")
+        derivation = indexed.explain(
+            "rix", t("gov:files", "gov:terrorSuspect", "id:JimDoe"))
+        assert derivation is not None
+        assert derivation.rule_name == "bombers"

@@ -1,0 +1,106 @@
+"""Tests for filter expressions (repro.inference.filters)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.inference.filters import parse_filter
+from repro.rdf.terms import Literal, URI
+
+
+def evaluate(text, **bindings):
+    terms = {}
+    for name, value in bindings.items():
+        terms[name] = value if not isinstance(value, str) else \
+            Literal(value)
+    return parse_filter(text).evaluate(terms)
+
+
+class TestComparisons:
+    def test_equality_string(self):
+        assert evaluate('?x = "bombing"', x="bombing")
+        assert not evaluate('?x = "bombing"', x="arson")
+
+    def test_inequality(self):
+        assert evaluate('?x != "a"', x="b")
+        assert evaluate('?x <> "a"', x="b")
+        assert not evaluate('?x != "a"', x="a")
+
+    def test_numeric_comparison(self):
+        assert evaluate("?age > 18", age="21")
+        assert not evaluate("?age > 18", age="12")
+        assert evaluate("?age <= 18", age="18")
+        assert evaluate("?age >= 18", age="18")
+        assert evaluate("?age < 30", age="21")
+
+    def test_numeric_coercion_both_sides(self):
+        # "021" compares numerically equal to 21.
+        assert evaluate("?x = 21", x="021")
+
+    def test_string_comparison_when_not_numeric(self):
+        assert evaluate('?x < "b"', x="a")
+
+    def test_like_wildcards(self):
+        assert evaluate('?x LIKE "id:%"', x="id:JohnDoe")
+        assert evaluate('?x LIKE "id:J_hnDoe"', x="id:JohnDoe")
+        assert not evaluate('?x LIKE "gov:%"', x="id:JohnDoe")
+
+    def test_like_case_word_operator(self):
+        # LIKE keyword is case-insensitive per SQL convention.
+        assert evaluate('?x like "a%"', x="abc")
+
+    def test_uri_operand(self):
+        assert parse_filter('?x = "gov:files"').evaluate(
+            {"x": URI("gov:files")})
+
+    def test_unbound_variable_is_false(self):
+        assert not evaluate('?missing = "x"')
+
+    def test_variable_to_variable(self):
+        assert evaluate("?a = ?b", a="same", b="same")
+        assert not evaluate("?a = ?b", a="one", b="two")
+
+    def test_bare_word_is_variable(self):
+        # Oracle filter style references columns without '?'.
+        assert evaluate('a = "x"', a="x")
+
+
+class TestBooleanStructure:
+    def test_and(self):
+        assert evaluate('?x = "a" AND ?y = "b"', x="a", y="b")
+        assert not evaluate('?x = "a" AND ?y = "b"', x="a", y="z")
+
+    def test_or(self):
+        assert evaluate('?x = "a" OR ?x = "b"', x="b")
+        assert not evaluate('?x = "a" OR ?x = "b"', x="c")
+
+    def test_and_binds_tighter_than_or(self):
+        # a OR (b AND c)
+        expression = '?x = "1" OR ?x = "2" AND ?y = "3"'
+        assert evaluate(expression, x="1", y="nope")
+        assert evaluate(expression, x="2", y="3")
+        assert not evaluate(expression, x="2", y="4")
+
+    def test_case_insensitive_keywords(self):
+        assert evaluate('?x = "a" and ?x != "b"', x="a")
+        assert evaluate('?x = "z" or ?x = "a"', x="a")
+
+    def test_variables_collected(self):
+        expression = parse_filter('?a = "x" AND ?b > 3 OR c LIKE "%"')
+        assert expression.variables() == {"a", "b", "c"}
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "?x =",
+        '= "x"',
+        "?x ~ ?y",
+        '?x = "a" AND',
+        '?x = "a" extra_tokens_here ?y',
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(QueryError):
+            parse_filter(bad)
+
+    def test_escaped_quote_in_string(self):
+        assert evaluate('?x = "say \\"hi\\""', x='say "hi"')

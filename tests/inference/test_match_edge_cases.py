@@ -1,0 +1,97 @@
+"""Edge cases in SDO_RDF_MATCH SQL compilation."""
+
+import pytest
+
+from repro.inference.match import sdo_rdf_match
+
+
+@pytest.fixture
+def loaded(store, cia_table):
+    cia_table.insert(1, "cia", "s:a", "p:x", "s:a")   # self loop
+    cia_table.insert(2, "cia", "s:a", "p:x", "o:b")
+    cia_table.insert(3, "cia", "o:b", "p:y", "s:a")
+    cia_table.insert(4, "cia", "s:a", "s:a", "o:c")   # subject == pred
+    return store
+
+
+class TestRepeatedComponents:
+    def test_same_constant_in_two_patterns(self, loaded):
+        rows = sdo_rdf_match(loaded, "(s:a p:x ?o1) (s:a ?p ?o2)",
+                             ["cia"])
+        assert rows  # cross product over s:a's statements
+
+    def test_variable_in_subject_and_object(self, loaded):
+        rows = sdo_rdf_match(loaded, "(?x p:x ?x)", ["cia"])
+        assert [row.x for row in rows] == ["s:a"]
+
+    def test_variable_as_subject_and_predicate(self, loaded):
+        rows = sdo_rdf_match(loaded, "(?x ?x ?o)", ["cia"])
+        assert [(row.x, row.o) for row in rows] == [("s:a", "o:c")]
+
+    def test_three_way_shared_variable(self, loaded):
+        rows = sdo_rdf_match(loaded,
+                             "(?a p:x ?b) (?b p:y ?c) (?c p:x ?d)",
+                             ["cia"])
+        chains = {(row.a, row.b, row.c, row.d) for row in rows}
+        assert ("s:a", "o:b", "s:a", "o:b") in chains
+
+    def test_cycle_detection_query(self, loaded):
+        # ?x -> ?y -> ?x: the p:x/p:y two-cycle.
+        rows = sdo_rdf_match(loaded, "(?x p:x ?y) (?y p:y ?x)",
+                             ["cia"])
+        assert {(row.x, row.y) for row in rows} == {("s:a", "o:b")}
+
+
+class TestCrossModel:
+    def test_join_spans_models(self, loaded, sdo_rdf):
+        from repro.core.apptable import ApplicationTable
+
+        ApplicationTable.create(loaded, "extra")
+        sdo_rdf.create_rdf_model("m2", "extra")
+        ApplicationTable.open(loaded, "extra").insert(
+            1, "m2", "o:b", "p:z", "o:final")
+        rows = sdo_rdf_match(loaded, "(s:a p:x ?mid) (?mid p:z ?end)",
+                             ["cia", "m2"])
+        assert [(row.mid, row.end) for row in rows] == \
+            [("o:b", "o:final")]
+
+    def test_model_isolation(self, loaded, sdo_rdf):
+        from repro.core.apptable import ApplicationTable
+
+        ApplicationTable.create(loaded, "extra")
+        sdo_rdf.create_rdf_model("m2", "extra")
+        ApplicationTable.open(loaded, "extra").insert(
+            1, "m2", "s:hidden", "p:x", "o:hidden")
+        rows = sdo_rdf_match(loaded, "(?s p:x ?o)", ["cia"])
+        subjects = {row.s for row in rows}
+        assert "s:hidden" not in subjects
+
+
+class TestDegenerateInputs:
+    def test_unknown_model_raises(self, loaded):
+        from repro.errors import ModelNotFoundError
+
+        with pytest.raises(ModelNotFoundError):
+            sdo_rdf_match(loaded, "(?s ?p ?o)", ["ghost"])
+
+    def test_empty_model(self, store, sdo_rdf):
+        from repro.core.apptable import ApplicationTable
+
+        ApplicationTable.create(store, "empty")
+        sdo_rdf.create_rdf_model("empty_m", "empty")
+        assert sdo_rdf_match(store, "(?s ?p ?o)", ["empty_m"]) == []
+
+    def test_many_patterns(self, loaded):
+        # Six chained copies of the same pattern still compile and run.
+        query = " ".join("(s:a p:x ?o)" for _ in range(6)).replace(
+            "?o", "?o0", 1)
+        query = "(s:a p:x ?o1) (s:a p:x ?o2) (s:a p:x ?o3) " \
+                "(s:a p:x ?o4) (s:a p:x ?o5) (s:a p:x ?o6)"
+        rows = sdo_rdf_match(loaded, query, ["cia"])
+        assert len(rows) == 2 ** 6
+
+    def test_duplicate_pattern_is_idempotent(self, loaded):
+        once = sdo_rdf_match(loaded, "(?s p:x ?o)", ["cia"])
+        twice = sdo_rdf_match(loaded, "(?s p:x ?o) (?s p:x ?o)",
+                              ["cia"])
+        assert set(once) == set(twice)

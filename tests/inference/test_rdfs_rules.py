@@ -1,0 +1,120 @@
+"""Tests for the built-in RDFS rulebase (repro.inference.rdfs_rules)."""
+
+from repro.inference.rdfs_rules import rdfs_rules
+from repro.inference.rules_index import forward_closure
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import RDF, RDFS
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+
+
+def closure(*triples):
+    return forward_closure(Graph(triples), rdfs_rules())
+
+
+def t(s, p, o):
+    return Triple.from_text(s, p, o)
+
+
+class TestRuleInventory:
+    def test_default_rule_names(self):
+        names = {rule.rule_name for rule in rdfs_rules()}
+        assert {"rdf1", "rdfs2", "rdfs3", "rdfs5", "rdfs7", "rdfs9",
+                "rdfs11"} <= names
+        assert "rdfs4a" not in names
+
+    def test_axiomatic_opt_in(self):
+        names = {rule.rule_name
+                 for rule in rdfs_rules(include_axiomatic=True)}
+        assert {"rdfs4a", "rdfs4b"} <= names
+
+
+class TestEntailments:
+    def test_rdfs2_domain(self):
+        inferred = closure(
+            Triple(URI("p:teaches"), RDFS.domain, URI("c:Teacher")),
+            t("s:ana", "p:teaches", "s:math"))
+        assert Triple(URI("s:ana"), RDF.type, URI("c:Teacher")) in inferred
+
+    def test_rdfs3_range(self):
+        inferred = closure(
+            Triple(URI("p:teaches"), RDFS.range, URI("c:Subject")),
+            t("s:ana", "p:teaches", "s:math"))
+        assert Triple(URI("s:math"), RDF.type, URI("c:Subject")) \
+            in inferred
+
+    def test_rdfs3_literal_object_skipped(self):
+        # No literal-subject triples may be inferred.
+        inferred = closure(
+            Triple(URI("p:name"), RDFS.range, URI("c:Name")),
+            Triple(URI("s:ana"), URI("p:name"), Literal("Ana")))
+        for triple in inferred:
+            assert not triple.subject.is_literal
+
+    def test_rdfs5_subproperty_transitivity(self):
+        inferred = closure(
+            Triple(URI("p:a"), RDFS.subPropertyOf, URI("p:b")),
+            Triple(URI("p:b"), RDFS.subPropertyOf, URI("p:c")))
+        assert Triple(URI("p:a"), RDFS.subPropertyOf, URI("p:c")) \
+            in inferred
+
+    def test_rdfs7_subproperty_inheritance(self):
+        inferred = closure(
+            Triple(URI("p:hasMother"), RDFS.subPropertyOf,
+                   URI("p:hasParent")),
+            t("s:kid", "p:hasMother", "s:mom"))
+        assert t("s:kid", "p:hasParent", "s:mom") in inferred
+
+    def test_rdfs9_subclass_inheritance(self):
+        inferred = closure(
+            Triple(URI("c:Dog"), RDFS.subClassOf, URI("c:Animal")),
+            Triple(URI("s:rex"), RDF.type, URI("c:Dog")))
+        assert Triple(URI("s:rex"), RDF.type, URI("c:Animal")) in inferred
+
+    def test_rdfs11_subclass_transitivity(self):
+        inferred = closure(
+            Triple(URI("c:A"), RDFS.subClassOf, URI("c:B")),
+            Triple(URI("c:B"), RDFS.subClassOf, URI("c:C")))
+        assert Triple(URI("c:A"), RDFS.subClassOf, URI("c:C")) in inferred
+
+    def test_deep_class_hierarchy_closes(self):
+        depth = 12
+        base = [Triple(URI(f"c:{i}"), RDFS.subClassOf, URI(f"c:{i+1}"))
+                for i in range(depth)]
+        base.append(Triple(URI("s:x"), RDF.type, URI("c:0")))
+        inferred = forward_closure(Graph(base), rdfs_rules())
+        assert Triple(URI("s:x"), RDF.type, URI(f"c:{depth}")) in inferred
+
+    def test_rdf1_predicates_are_properties(self):
+        inferred = closure(t("s:a", "p:anything", "s:b"))
+        assert Triple(URI("p:anything"), RDF.type, RDF.Property) \
+            in inferred
+
+    def test_rdfs6_property_reflexivity(self):
+        inferred = closure(t("s:a", "p:x", "s:b"))
+        assert Triple(URI("p:x"), RDFS.subPropertyOf, URI("p:x")) \
+            in inferred
+
+    def test_rdfs10_class_reflexivity(self):
+        inferred = closure(
+            Triple(URI("c:A"), RDF.type, RDFS.Class))
+        assert Triple(URI("c:A"), RDFS.subClassOf, URI("c:A")) in inferred
+
+    def test_rdfs8_classes_subclass_resource(self):
+        inferred = closure(
+            Triple(URI("c:A"), RDF.type, RDFS.Class))
+        assert Triple(URI("c:A"), RDFS.subClassOf, RDFS.Resource) \
+            in inferred
+
+    def test_domain_plus_subclass_composes(self):
+        # Domain inference then subclass inheritance, needing 2 rounds.
+        inferred = closure(
+            Triple(URI("p:teaches"), RDFS.domain, URI("c:Teacher")),
+            Triple(URI("c:Teacher"), RDFS.subClassOf, URI("c:Person")),
+            t("s:ana", "p:teaches", "s:math"))
+        assert Triple(URI("s:ana"), RDF.type, URI("c:Person")) in inferred
+
+    def test_closure_excludes_base(self):
+        base = t("s:a", "p:x", "s:b")
+        inferred = closure(base)
+        assert base not in inferred

@@ -1,0 +1,172 @@
+"""Tests for rulebases and rule application (repro.inference.rulebase)."""
+
+import pytest
+
+from repro.errors import RulebaseError, RulebaseNotFoundError
+from repro.inference.rulebase import (
+    Rule,
+    RulebaseManager,
+    match_patterns,
+)
+from repro.inference.patterns import parse_pattern_list
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import aliases
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+
+
+@pytest.fixture
+def manager(database):
+    return RulebaseManager(database)
+
+
+class TestRulebaseManagement:
+    def test_create(self, manager, database):
+        rulebase = manager.create_rulebase("intel_rb")
+        assert rulebase.table_name == "rdfr_intel_rb"
+        assert database.table_exists("rdfr_intel_rb")
+
+    def test_names_case_insensitive(self, manager):
+        manager.create_rulebase("Intel_RB")
+        assert manager.exists("intel_rb")
+
+    def test_duplicate_rejected(self, manager):
+        manager.create_rulebase("rb")
+        with pytest.raises(RulebaseError):
+            manager.create_rulebase("rb")
+
+    def test_get_missing_raises(self, manager):
+        with pytest.raises(RulebaseNotFoundError):
+            manager.get("ghost")
+
+    def test_drop(self, manager, database):
+        manager.create_rulebase("rb")
+        manager.drop_rulebase("rb")
+        assert not manager.exists("rb")
+        assert not database.table_exists("rdfr_rb")
+
+
+class TestRuleCRUD:
+    def test_insert_figure8_rule(self, manager):
+        manager.create_rulebase("intel_rb")
+        rule = manager.insert_rule(
+            "intel_rb", "intel_rule",
+            '(?x gov:terrorAction "bombing")', None,
+            "(gov:files gov:terrorSuspect ?x)",
+            aliases(("gov", "http://www.us.gov#")))
+        assert rule.rule_name == "intel_rule"
+        assert len(rule.antecedents) == 1
+        assert rule.antecedents[0].subject.name == "x"
+
+    def test_rules_roundtrip_with_aliases(self, manager):
+        manager.create_rulebase("rb")
+        manager.insert_rule(
+            "rb", "r1", "(?x gov:a ?y)", None, "(?y gov:b ?x)",
+            aliases(("gov", "http://www.us.gov#")))
+        rules = manager.rules("rb")
+        assert len(rules) == 1
+        assert rules[0].consequents[0].predicate == URI(
+            "http://www.us.gov#b")
+
+    def test_bad_rule_syntax_rejected_at_insert(self, manager):
+        manager.create_rulebase("rb")
+        with pytest.raises(Exception):
+            manager.insert_rule("rb", "bad", "(not a valid", None,
+                                "(a b c)")
+
+    def test_unbound_consequent_rejected(self, manager):
+        manager.create_rulebase("rb")
+        with pytest.raises(RulebaseError):
+            manager.insert_rule("rb", "bad", "(?x p:a ?y)", None,
+                                "(?x p:b ?z)")
+
+    def test_delete_rule(self, manager):
+        manager.create_rulebase("rb")
+        manager.insert_rule("rb", "r1", "(?x p:a ?y)", None,
+                            "(?y p:b ?x)")
+        manager.delete_rule("rb", "r1")
+        assert manager.rules("rb") == []
+
+    def test_delete_missing_rule_raises(self, manager):
+        manager.create_rulebase("rb")
+        with pytest.raises(RulebaseError):
+            manager.delete_rule("rb", "ghost")
+
+
+class TestMatchPatterns:
+    def setup_method(self):
+        self.graph = Graph([
+            Triple.from_text("s:a", "p:knows", "s:b"),
+            Triple.from_text("s:b", "p:knows", "s:c"),
+            Triple.from_text("s:a", "p:age", '"30"'),
+        ])
+
+    def test_single_pattern_bindings(self):
+        patterns = parse_pattern_list("(?x p:knows ?y)")
+        bindings = list(match_patterns(self.graph, patterns))
+        assert len(bindings) == 2
+
+    def test_join_on_shared_variable(self):
+        patterns = parse_pattern_list("(?x p:knows ?y) (?y p:knows ?z)")
+        bindings = list(match_patterns(self.graph, patterns))
+        assert len(bindings) == 1
+        assert bindings[0]["x"] == URI("s:a")
+        assert bindings[0]["z"] == URI("s:c")
+
+    def test_repeated_variable_within_pattern(self):
+        graph = Graph([Triple.from_text("s:self", "p:knows", "s:self"),
+                       Triple.from_text("s:a", "p:knows", "s:b")])
+        patterns = parse_pattern_list("(?x p:knows ?x)")
+        bindings = list(match_patterns(graph, patterns))
+        assert len(bindings) == 1
+        assert bindings[0]["x"] == URI("s:self")
+
+    def test_constant_pattern(self):
+        patterns = parse_pattern_list("(s:a p:age ?age)")
+        bindings = list(match_patterns(self.graph, patterns))
+        assert bindings == [{"age": Literal("30")}]
+
+    def test_no_match_empty(self):
+        patterns = parse_pattern_list("(?x p:never ?y)")
+        assert list(match_patterns(self.graph, patterns)) == []
+
+
+class TestRuleApply:
+    def test_figure8_rule_semantics(self):
+        rule = Rule.parse(
+            "intel_rule", '(?x gov:terrorAction "bombing")', None,
+            "(gov:files gov:terrorSuspect ?x)")
+        graph = Graph([
+            Triple.from_text("id:JimDoe", "gov:terrorAction", "bombing"),
+            Triple.from_text("id:Innocent", "gov:terrorAction",
+                             "jaywalking"),
+        ])
+        derived = set(rule.apply(graph))
+        assert derived == {Triple.from_text(
+            "gov:files", "gov:terrorSuspect", "id:JimDoe")}
+
+    def test_filter_applied(self):
+        rule = Rule.parse(
+            "adults", "(?x p:age ?a)", "?a >= 18", "(?x p:isAdult ?a)")
+        graph = Graph([
+            Triple.from_text("s:old", "p:age", '"30"'),
+            Triple.from_text("s:young", "p:age", '"10"'),
+        ])
+        derived = list(rule.apply(graph))
+        assert len(derived) == 1
+        assert derived[0].subject == URI("s:old")
+
+    def test_multiple_consequents(self):
+        rule = Rule.parse(
+            "sym", "(?x p:marriedTo ?y)", None,
+            "(?y p:marriedTo ?x) (?x rdf:type p:Married)")
+        graph = Graph([Triple.from_text("s:a", "p:marriedTo", "s:b")])
+        derived = set(rule.apply(graph))
+        assert len(derived) == 2
+
+    def test_malformed_consequent_dropped(self):
+        # ?v binds to a literal; (?v p:x ...) would be a literal
+        # subject and must be silently skipped.
+        rule = Rule.parse("bad", "(?x p:a ?v)", None, "(?v p:b ?x)")
+        graph = Graph([Triple.from_text("s:a", "p:a", '"literal"')])
+        assert list(rule.apply(graph)) == []

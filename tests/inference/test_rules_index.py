@@ -1,0 +1,142 @@
+"""Tests for rules indexes (repro.inference.rules_index)."""
+
+import pytest
+
+from repro.errors import RulesIndexError
+from repro.inference.rulebase import Rule
+from repro.inference.rules_index import (
+    RulesIndexManager,
+    forward_closure,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.triple import Triple
+
+
+@pytest.fixture
+def indexes(store):
+    return RulesIndexManager(store)
+
+
+@pytest.fixture
+def loaded_store(store, cia_table):
+    cia_table.insert(1, "cia", "id:JimDoe", "gov:terrorAction",
+                     '"bombing"')
+    cia_table.insert(2, "cia", "gov:files", "gov:terrorSuspect",
+                     "id:JohnDoe")
+    return store
+
+
+def make_intel_rulebase(indexes):
+    indexes.rulebases.create_rulebase("intel_rb")
+    indexes.rulebases.insert_rule(
+        "intel_rb", "intel_rule", '(?x gov:terrorAction "bombing")',
+        None, "(gov:files gov:terrorSuspect ?x)")
+
+
+class TestForwardClosure:
+    def test_fixpoint_reached(self):
+        rule = Rule.parse("trans", "(?x p:le ?y) (?y p:le ?z)", None,
+                          "(?x p:le ?z)")
+        chain = Graph([Triple.from_text(f"n:{i}", "p:le", f"n:{i+1}")
+                       for i in range(5)])
+        inferred = forward_closure(chain, [rule])
+        assert Triple.from_text("n:0", "p:le", "n:5") in inferred
+        # Full transitive closure of a 6-chain: C(6,2) - 5 base = 10.
+        assert len(inferred) == 10
+
+    def test_no_rules_no_inferences(self):
+        graph = Graph([Triple.from_text("s:a", "p:x", "o:a")])
+        assert len(forward_closure(graph, [])) == 0
+
+    def test_round_limit_guards_runaway(self):
+        rule = Rule.parse("mint", "(?x p:next ?y)", None,
+                          "(?y p:next ?y)")
+        graph = Graph([Triple.from_text("n:0", "p:next", "n:1")])
+        # This converges quickly; use a tiny limit with a genuinely
+        # growing rulebase instead.
+        growing = Rule.parse(
+            "grow", "(?x p:a ?y)", None, "(?x p:a ?x)")
+        small = Graph([Triple.from_text("n:0", "p:a", "n:1")])
+        inferred = forward_closure(small, [growing, rule], max_rounds=50)
+        assert inferred is not None
+
+
+class TestCreateRulesIndex:
+    def test_create_and_count(self, loaded_store, indexes):
+        make_intel_rulebase(indexes)
+        index = indexes.create_rules_index("rix", ["cia"], ["intel_rb"])
+        assert index.inferred_count == 1
+        inferred = list(indexes.inferred_triples("rix"))
+        assert Triple.from_text("gov:files", "gov:terrorSuspect",
+                                "id:JimDoe") in inferred
+
+    def test_rdfs_builtin_resolves(self, loaded_store, indexes):
+        index = indexes.create_rules_index("rix", ["cia"], ["RDFS"])
+        assert index.inferred_count > 0
+
+    def test_combined_rulebases(self, loaded_store, indexes):
+        make_intel_rulebase(indexes)
+        index = indexes.create_rules_index("rix", ["cia"],
+                                           ["RDFS", "intel_rb"])
+        assert "RDFS" in index.rulebase_names
+        assert "intel_rb" in index.rulebase_names
+
+    def test_duplicate_name_rejected(self, loaded_store, indexes):
+        make_intel_rulebase(indexes)
+        indexes.create_rules_index("rix", ["cia"], ["intel_rb"])
+        with pytest.raises(RulesIndexError):
+            indexes.create_rules_index("rix", ["cia"], ["intel_rb"])
+
+    def test_unknown_rulebase_rejected(self, loaded_store, indexes):
+        from repro.errors import RulebaseNotFoundError
+
+        with pytest.raises(RulebaseNotFoundError):
+            indexes.create_rules_index("rix", ["cia"], ["ghost_rb"])
+
+    def test_get_and_exists(self, loaded_store, indexes):
+        make_intel_rulebase(indexes)
+        indexes.create_rules_index("rix", ["cia"], ["intel_rb"])
+        assert indexes.exists("rix")
+        assert indexes.get("RIX").index_name == "rix"
+
+    def test_get_missing_raises(self, indexes):
+        with pytest.raises(RulesIndexError):
+            indexes.get("ghost")
+
+    def test_drop(self, loaded_store, indexes):
+        make_intel_rulebase(indexes)
+        indexes.create_rules_index("rix", ["cia"], ["intel_rb"])
+        indexes.drop_rules_index("rix")
+        assert not indexes.exists("rix")
+        assert list(indexes.inferred_triples("rix")) == []
+
+
+class TestCovering:
+    def test_find_covering_exact(self, loaded_store, indexes):
+        make_intel_rulebase(indexes)
+        indexes.create_rules_index("rix", ["cia"], ["intel_rb"])
+        found = indexes.find_covering(["cia"], ["intel_rb"])
+        assert found is not None and found.index_name == "rix"
+
+    def test_find_covering_subset(self, store, sdo_rdf, indexes):
+        from repro.core.apptable import ApplicationTable
+
+        for model, table in (("m1", "t1"), ("m2", "t2")):
+            ApplicationTable.create(store, table)
+            sdo_rdf.create_rdf_model(model, table)
+        make_intel_rulebase(indexes)
+        indexes.create_rules_index("rix", ["m1", "m2"],
+                                   ["RDFS", "intel_rb"])
+        # A query over fewer models/rulebases is covered.
+        assert indexes.find_covering(["m1"], ["intel_rb"]) is not None
+
+    def test_find_covering_missing(self, loaded_store, indexes):
+        make_intel_rulebase(indexes)
+        indexes.create_rules_index("rix", ["cia"], ["intel_rb"])
+        assert indexes.find_covering(["cia"], ["RDFS"]) is None
+
+    def test_covering_rulebase_names_case_insensitive(self, loaded_store,
+                                                      indexes):
+        make_intel_rulebase(indexes)
+        indexes.create_rules_index("rix", ["cia"], ["RDFS", "intel_rb"])
+        assert indexes.find_covering(["cia"], ["rdfs"]) is not None

@@ -1,0 +1,89 @@
+"""Tests for rules-index staleness and rebuild."""
+
+import pytest
+
+from repro.inference.rules_index import RulesIndexManager
+from repro.rdf.triple import Triple
+
+
+@pytest.fixture
+def setup(store, cia_table, inference):
+    inference.create_rulebase("rb")
+    inference.insert_rule("rb", "r", '(?x gov:terrorAction "bombing")',
+                          None, "(gov:files gov:terrorSuspect ?x)")
+    cia_table.insert(1, "cia", "id:JimDoe", "gov:terrorAction",
+                     '"bombing"')
+    inference.create_rules_index("rix", ["cia"], ["rb"])
+    return store, cia_table, inference
+
+
+class TestStaleness:
+    def test_fresh_index_not_stale(self, setup):
+        _store, _table, inference = setup
+        assert not inference.indexes.is_stale("rix")
+
+    def test_insert_makes_stale(self, setup):
+        _store, table, inference = setup
+        table.insert(2, "cia", "id:JoeDoe", "gov:terrorAction",
+                     '"bombing"')
+        assert inference.indexes.is_stale("rix")
+
+    def test_delete_makes_stale(self, setup):
+        store, _table, inference = setup
+        store.remove_triple("cia", "id:JimDoe", "gov:terrorAction",
+                            '"bombing"')
+        assert inference.indexes.is_stale("rix")
+
+    def test_other_model_change_does_not_stale(self, setup, sdo_rdf):
+        store, _table, inference = setup
+        from repro.core.apptable import ApplicationTable
+
+        ApplicationTable.create(store, "other")
+        sdo_rdf.create_rdf_model("other", "other")
+        ApplicationTable.open(store, "other").insert(
+            1, "other", "s:x", "p:x", "o:x")
+        assert not inference.indexes.is_stale("rix")
+
+
+class TestRebuild:
+    def test_rebuild_picks_up_new_facts(self, setup):
+        _store, table, inference = setup
+        table.insert(2, "cia", "id:JoeDoe", "gov:terrorAction",
+                     '"bombing"')
+        rebuilt = inference.indexes.rebuild("rix")
+        assert not inference.indexes.is_stale("rix")
+        inferred = set(inference.indexes.inferred_triples("rix"))
+        assert Triple.from_text("gov:files", "gov:terrorSuspect",
+                                "id:JoeDoe") in inferred
+        assert rebuilt.inferred_count == 2
+
+    def test_rebuild_removes_retracted_inferences(self, setup):
+        store, _table, inference = setup
+        store.remove_triple("cia", "id:JimDoe", "gov:terrorAction",
+                            '"bombing"')
+        rebuilt = inference.indexes.rebuild("rix")
+        assert rebuilt.inferred_count == 0
+        assert list(inference.indexes.inferred_triples("rix")) == []
+
+    def test_rebuild_visible_through_match(self, setup):
+        _store, table, inference = setup
+        table.insert(2, "cia", "id:JoeDoe", "gov:terrorAction",
+                     '"bombing"')
+        inference.indexes.rebuild("rix")
+        rows = inference.match("(gov:files gov:terrorSuspect ?x)",
+                               ["cia"], rulebases=["rb"])
+        assert {row.x for row in rows} == {"id:JimDoe", "id:JoeDoe"}
+
+    def test_rebuild_unknown_raises(self, setup):
+        from repro.errors import RulesIndexError
+
+        _store, _table, inference = setup
+        with pytest.raises(RulesIndexError):
+            inference.indexes.rebuild("ghost")
+
+
+class TestManagerConstruction:
+    def test_manager_reuse_same_store(self, setup):
+        store, _table, _inference = setup
+        again = RulesIndexManager(store)
+        assert again.exists("rix")

@@ -1,0 +1,66 @@
+"""Tests for the SDO_RDF_INFERENCE package facade."""
+
+import pytest
+
+from repro.errors import RulebaseError, RulesIndexError
+from repro.rdf.namespaces import aliases
+
+
+@pytest.fixture
+def loaded(store, cia_table):
+    cia_table.insert(1, "cia", "id:JimDoe", "gov:terrorAction",
+                     '"bombing"')
+    return store
+
+
+class TestFacade:
+    def test_full_figure8_sequence(self, loaded, inference):
+        inference.create_rulebase("intel_rb")
+        inference.insert_rule(
+            "intel_rb", "intel_rule",
+            '(?x gov:terrorAction "bombing")', None,
+            "(gov:files gov:terrorSuspect ?x)")
+        inference.create_rules_index("rix", ["cia"],
+                                     ["RDFS", "intel_rb"])
+        rows = inference.match("(gov:files gov:terrorSuspect ?x)",
+                               ["cia"], rulebases=["intel_rb"])
+        assert [row.x for row in rows] == ["id:JimDoe"]
+
+    def test_drop_rulebase(self, loaded, inference):
+        inference.create_rulebase("rb")
+        inference.drop_rulebase("rb")
+        assert not inference.rulebases.exists("rb")
+
+    def test_drop_rules_index(self, loaded, inference):
+        inference.create_rulebase("rb")
+        inference.insert_rule("rb", "r", "(?x gov:terrorAction ?y)",
+                              None, "(?x rdf:type gov:Actor)")
+        inference.create_rules_index("rix", ["cia"], ["rb"])
+        inference.drop_rules_index("rix")
+        with pytest.raises(RulesIndexError):
+            inference.match("(?x rdf:type gov:Actor)", ["cia"],
+                            rulebases=["rb"])
+
+    def test_insert_rule_requires_rulebase(self, loaded, inference):
+        with pytest.raises(RulebaseError):
+            inference.insert_rule("ghost", "r", "(?x ?p ?y)", None,
+                                  "(?x ?p ?y)")
+
+    def test_match_with_aliases_and_filter(self, loaded, inference,
+                                           cia_table):
+        cia_table.insert(2, "cia", "http://www.us.id#A",
+                         "http://www.us.gov#age", '"30"')
+        cia_table.insert(3, "cia", "http://www.us.id#B",
+                         "http://www.us.gov#age", '"12"')
+        rows = inference.match(
+            "(?p gov:age ?age)", ["cia"],
+            aliases=aliases(("gov", "http://www.us.gov#")),
+            filter="?age >= 18")
+        assert [row.p for row in rows] == ["http://www.us.id#A"]
+
+    def test_store_property(self, loaded, inference):
+        assert inference.store is loaded
+
+    def test_indexes_property_shared(self, loaded, inference):
+        inference.create_rulebase("rb")
+        assert inference.indexes.rulebases.exists("rb")

@@ -1,0 +1,120 @@
+"""Cross-system consistency: the same dataset in all three layouts
+answers every paper query identically."""
+
+import pytest
+
+from repro.core.store import RDFStore
+from repro.db.connection import Database
+from repro.jena2.jena1 import Jena1Store
+from repro.jena2.model import Statement
+from repro.jena2.store import Jena2Store
+from repro.workloads.uniprot import PROBE_SUBJECT, UniProtGenerator
+
+SIZE = 1_500
+REIFIED = 30
+
+
+@pytest.fixture(scope="module")
+def systems():
+    generator = UniProtGenerator()
+    triples = list(generator.triples(SIZE))
+    reified = generator.reified_statements(SIZE, REIFIED)
+
+    oracle = RDFStore()
+    oracle.create_model("uniprot")
+    oracle.insert_many("uniprot", triples)
+    for statement in reified:
+        link = oracle.find_link(
+            "uniprot", statement.subject.lexical,
+            statement.predicate.lexical, statement.object.lexical)
+        oracle.reify_triple("uniprot", link.link_id)
+
+    jena2 = Jena2Store(Database())
+    model = jena2.create_model("uniprot")
+    model.add_all(triples)
+    for statement in reified:
+        model.create_reified_statement(Statement.from_triple(statement))
+
+    jena1 = Jena1Store(Database())
+    jena1.add_all(triples)
+
+    yield triples, reified, oracle, model, jena1
+    oracle.close()
+    jena2.close()
+    jena1.close()
+
+
+class TestSubjectQueryAgreement:
+    def test_probe_subject_same_triples(self, systems):
+        triples, _reified, oracle, jena2_model, jena1 = systems
+        expected = {t for t in triples
+                    if t.subject.lexical == PROBE_SUBJECT}
+        oracle_result = {
+            t for t in oracle.iter_model_triples("uniprot")
+            if t.subject.lexical == PROBE_SUBJECT}
+        jena2_result = {
+            s.as_triple() for s in jena2_model.list_statements(
+                subject=jena2_model.get_resource(PROBE_SUBJECT))}
+        jena1_result = set(jena1.find_by_subject(PROBE_SUBJECT))
+        assert oracle_result == expected
+        assert jena2_result == expected
+        assert jena1_result == expected
+
+    def test_sampled_subjects_agree(self, systems):
+        triples, _reified, oracle, jena2_model, jena1 = systems
+        subjects = sorted({t.subject.lexical for t in triples})[::50]
+        for subject in subjects:
+            expected = {t for t in triples
+                        if t.subject.lexical == subject}
+            jena1_result = set(jena1.find_by_subject(subject))
+            jena2_result = {
+                s.as_triple() for s in jena2_model.list_statements(
+                    subject=jena2_model.get_resource(subject))}
+            assert jena1_result == expected, subject
+            assert jena2_result == expected, subject
+
+
+class TestReificationAgreement:
+    def test_reified_statements_agree(self, systems):
+        _triples, reified, oracle, jena2_model, _jena1 = systems
+        for statement in reified:
+            assert oracle.is_reified(
+                "uniprot", statement.subject.lexical,
+                statement.predicate.lexical, statement.object.lexical)
+            assert jena2_model.is_reified(
+                Statement.from_triple(statement))
+
+    def test_non_reified_agree(self, systems):
+        triples, reified, oracle, jena2_model, _jena1 = systems
+        reified_set = set(reified)
+        checked = 0
+        for triple in triples:
+            if triple in reified_set:
+                continue
+            assert not oracle.is_reified(
+                "uniprot", triple.subject.lexical,
+                triple.predicate.lexical, triple.object.lexical)
+            assert not jena2_model.is_reified(
+                Statement.from_triple(triple))
+            checked += 1
+            if checked >= 40:
+                break
+        assert checked == 40
+
+    def test_counts_match(self, systems):
+        _triples, reified, oracle, jena2_model, _jena1 = systems
+        from repro.reification.streamlined import reification_count
+
+        assert reification_count(oracle, "uniprot") == len(reified)
+        assert jena2_model.reified_count() == len(reified)
+
+
+class TestSizeAgreement:
+    def test_triple_counts(self, systems):
+        triples, reified, oracle, jena2_model, jena1 = systems
+        distinct = len(set(triples))
+        # Oracle dedupes; its link count = distinct triples plus one
+        # reification statement per reified triple.
+        assert oracle.links.count() == distinct + len(reified)
+        assert jena2_model.size() == len(triples)
+        assert jena1.size() == len(triples)

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "<gov:files, gov:terrorSuspect, id:JohnDoe>" in output
+        assert "JohnDoe is a suspect: True" in output
+
+    def test_intelligence_community(self):
+        output = run_example("intelligence_community.py")
+        # The Figure 8 rows, including the inferred JimDoe.
+        assert "id:JimDoe" in output and "Trenton, NJ" in output
+        assert "IS_REIFIED says: True" in output
+
+    def test_uniprot_lifescience(self):
+        output = run_example("uniprot_lifescience.py", "3000")
+        assert "24 rows" in output
+        assert "IS_REIFIED(reified seeAlso): true" in output
+        assert "IS_REIFIED(plain rdf:type): false" in output
+
+    def test_reification_provenance(self):
+        output = run_example("reification_provenance.py")
+        assert "2 reifications = 2 stored triples" in output
+        assert "2 reifications = 8 stored triples" in output
+        assert "1 quad converted" in output
+
+    def test_network_analysis(self):
+        output = run_example("network_analysis.py")
+        assert "id:Ali -> id:Front_Company -> id:Cell7" in output
+        assert "2 connected components" in output
+
+    def test_trust_reasoning(self):
+        output = run_example("trust_reasoning.py")
+        assert "[ FACT  ] <gov:files, gov:terrorSuspect, id:JohnDoe>" \
+            in output
+        assert "said by: gov:Interpol" in output
+        assert "rule fact_watch" in output
+
+    def test_digital_library(self):
+        output = run_example("digital_library.py")
+        assert "Practical RDF  —  O'Reilly" in output
+        assert "3. The RDF Big Ugly" in output
+        assert "one per book, predicates clustered" in output
+
+    def test_all_examples_present(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {"quickstart.py", "intelligence_community.py",
+                "uniprot_lifescience.py", "reification_provenance.py",
+                "network_analysis.py", "trust_reasoning.py",
+                "digital_library.py"} <= names

@@ -1,0 +1,151 @@
+"""End-to-end integration tests walking the paper's own narratives."""
+
+from repro.core.apptable import ApplicationTable
+from repro.core.links import Context
+from repro.core.sdo_rdf import SDO_RDF
+from repro.core.store import RDFStore
+from repro.inference.sdo_rdf_inference import SDO_RDF_INFERENCE
+from repro.ndm.analysis import NetworkAnalyzer
+from repro.rdf.terms import URI
+
+
+class TestSection43ApplicationFlow:
+    """The three steps of section 4.3, verbatim."""
+
+    def test_full_flow(self):
+        with RDFStore() as store:
+            sdo_rdf = SDO_RDF(store)
+            # 1. Create an application table with the RDF object.
+            ApplicationTable.create(store, "ciadata")
+            # 2. Create a graph.
+            sdo_rdf.create_rdf_model("cia", "ciadata", "triple")
+            # 3. Insert triples into the application table.
+            table = ApplicationTable.open(store, "ciadata")
+            obj = table.insert(1, "cia", "gov:files",
+                               "gov:terrorSuspect", "id:JohnDoe")
+            assert obj.get_triple().subject == "gov:files"
+            # The model view exposes exactly this model's data.
+            assert store.database.row_count("rdfm_cia") == 1
+
+
+class TestSection5ReificationFlow:
+    """Sections 5.1 and 5.2: reifying and asserting triples."""
+
+    def test_direct_and_indirect(self, store, cia_table):
+        # Direct fact.
+        base = cia_table.insert(1, "cia", "gov:files",
+                                "gov:terrorSuspect", "id:JohnDoe")
+        # 5.1: reify it (row 3 of the paper's example).
+        cia_table.insert(3, "cia", base.rdf_t_id)
+        # 5.1: MI5 said it (row 4).
+        cia_table.insert(4, "cia", "gov:MI5", "gov:source",
+                         base.rdf_t_id)
+        # 5.2: Interpol's implied statement about JohnDoeJr (row 5).
+        cia_table.insert(5, "cia", "gov:Interpol", "gov:source",
+                         "gov:files", "gov:terrorSuspect", "id:JohnDoeJr")
+
+        # Both base triples are reified; the second is indirect.
+        assert store.is_reified("cia", "gov:files", "gov:terrorSuspect",
+                                "id:JohnDoe")
+        assert store.is_reified("cia", "gov:files", "gov:terrorSuspect",
+                                "id:JohnDoeJr")
+        direct = store.find_link("cia", "gov:files", "gov:terrorSuspect",
+                                 "id:JohnDoe")
+        implied = store.find_link("cia", "gov:files",
+                                  "gov:terrorSuspect", "id:JohnDoeJr")
+        assert direct.context is Context.DIRECT
+        assert implied.context is Context.INDIRECT
+
+        # The paper's note: once entered as a fact, 'I' flips to 'D'.
+        cia_table.insert(6, "cia", "gov:files", "gov:terrorSuspect",
+                         "id:JohnDoeJr")
+        implied = store.find_link("cia", "gov:files",
+                                  "gov:terrorSuspect", "id:JohnDoeJr")
+        assert implied.context is Context.DIRECT
+
+    def test_assertion_object_resolves_back(self, store, cia_table):
+        base = cia_table.insert(1, "cia", "gov:files",
+                                "gov:terrorSuspect", "id:JohnDoe")
+        assertion = cia_table.insert(2, "cia", "gov:MI5", "gov:source",
+                                     base.rdf_t_id)
+        target = store.reified_target(assertion.get_object())
+        assert target.link_id == base.rdf_t_id
+        rebuilt = store.triple_of(target.link_id)
+        assert str(rebuilt) == \
+            "<gov:files, gov:terrorSuspect, id:JohnDoe>"
+
+
+class TestCentralSchemaSharing:
+    """Section 1/4: one universe, shared values, per-model links."""
+
+    def test_cross_model_reasoning_data_layout(self, intel):
+        store = intel.store
+        # All three models share one rdf_value$ universe: the repeated
+        # triple added three times created its values once.
+        from repro.workloads.intel import GOV
+
+        value_id = store.values.find_id(URI(GOV.files.value))
+        assert value_id is not None
+        # The repeated <files, terrorSuspect, JohnDoe> triple is one
+        # link per model, all sharing the same component VALUE_IDs.
+        from repro.workloads.intel import IDNS
+
+        suspect_id = store.values.find_id(
+            URI(GOV.terrorSuspect.value))
+        john_id = store.values.find_id(URI(IDNS.JohnDoe.value))
+        rows = store.database.query_all(
+            'SELECT model_id FROM "rdf_link$" WHERE start_node_id = ? '
+            "AND p_value_id = ? AND end_node_id = ?",
+            (value_id, suspect_id, john_id))
+        assert len(rows) == 3
+        assert len({row["model_id"] for row in rows}) == 3
+
+
+class TestNDMAnalysisOverRDF:
+    """The abstract's promise: RDF data analyzed as networks."""
+
+    def test_path_through_knowledge_graph(self, store, cia_table):
+        cia_table.insert(1, "cia", "id:JohnDoe", "gov:knows",
+                         "id:JaneDoe")
+        cia_table.insert(2, "cia", "id:JaneDoe", "gov:knows",
+                         "id:JimDoe")
+        cia_table.insert(3, "cia", "id:JimDoe", "gov:memberOf",
+                         "org:Cell7")
+        analyzer = NetworkAnalyzer(store.network("cia"))
+        john = store.values.find_id(URI("id:JohnDoe"))
+        cell = store.values.find_id(URI("org:Cell7"))
+        path = analyzer.shortest_path(john, cell)
+        assert path is not None
+        assert len(path) == 3
+        # Decode the path back to terms.
+        labels = [store.values.get_lexical(node) for node in path.nodes]
+        assert labels == ["id:JohnDoe", "id:JaneDoe", "id:JimDoe",
+                          "org:Cell7"]
+
+    def test_reification_links_visible_in_network(self, store,
+                                                  cia_table):
+        base = cia_table.insert(1, "cia", "s:a", "p:x", "o:a")
+        cia_table.insert(2, "cia", base.rdf_t_id)
+        network = store.network("cia")
+        # Base link + reification statement link.
+        assert network.link_count() == 2
+
+
+class TestInferenceJoinWithEnterpriseData:
+    """Figure 8: RDF inference joined against a relational table."""
+
+    def test_watch_list_with_locations(self, intel):
+        results = intel.terror_watch_list()
+        locations = dict(results)
+        assert locations["id:JimDoe"] == "Trenton, NJ"
+        assert locations["id:JohnDoe"] == "Brooklyn, NY"
+
+    def test_inference_package_composition(self, store, cia_table):
+        # Build a tiny RDFS ontology and query through the rules index.
+        inference = SDO_RDF_INFERENCE(store)
+        cia_table.insert(1, "cia", "c:Spy", "rdfs:subClassOf", "c:Agent")
+        cia_table.insert(2, "cia", "id:Bond", "rdf:type", "c:Spy")
+        inference.create_rules_index("rix", ["cia"], ["RDFS"])
+        rows = inference.match("(?x rdf:type c:Agent)", ["cia"],
+                               rulebases=["RDFS"])
+        assert {row.x for row in rows} == {"id:Bond"}

@@ -1,0 +1,70 @@
+"""Medium-scale end-to-end smoke: everything holds together at 20 k."""
+
+import pytest
+
+from repro.core.bulkload import BulkLoader
+from repro.core.integrity import check_integrity
+from repro.core.statistics import gather_statistics
+from repro.core.store import RDFStore
+from repro.ndm.analysis import NetworkAnalyzer
+from repro.rdf.terms import URI
+from repro.workloads.uniprot import (
+    PROBE_SUBJECT,
+    UniProtGenerator,
+    paper_reified_count,
+)
+
+SIZE = 20_000
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    store = RDFStore()
+    store.create_model("uniprot")
+    generator = UniProtGenerator()
+    report = BulkLoader(store, "uniprot").load(generator.triples(SIZE))
+    for statement in generator.reified_statements(SIZE):
+        link = store.find_link(
+            "uniprot", statement.subject.lexical,
+            statement.predicate.lexical, statement.object.lexical)
+        store.reify_triple("uniprot", link.link_id)
+    yield store, report
+    store.close()
+
+
+class TestScaleSmoke:
+    def test_load_figures(self, loaded):
+        _store, report = loaded
+        assert report.staged == SIZE
+        assert report.new_links == SIZE
+
+    def test_integrity_clean(self, loaded):
+        store, _report = loaded
+        assert check_integrity(store) == []
+
+    def test_statistics(self, loaded):
+        store, _report = loaded
+        stats = gather_statistics(store, "uniprot")
+        assert stats.triple_count == SIZE + paper_reified_count(SIZE)
+        assert stats.reified_statement_count == \
+            paper_reified_count(SIZE)
+        assert stats.sharing_factor > 1.5
+
+    def test_network_analysis(self, loaded):
+        store, _report = loaded
+        analyzer = NetworkAnalyzer(store.network("uniprot"))
+        probe = store.values.find_id(URI(PROBE_SUBJECT))
+        assert len(analyzer.reachable(probe, max_hops=2)) > 10
+
+    def test_probe_queries(self, loaded):
+        store, _report = loaded
+        from repro.inference.match import sdo_rdf_match
+
+        rows = sdo_rdf_match(store, f"(<{PROBE_SUBJECT}> ?p ?o)",
+                             ["uniprot"])
+        assert len(rows) == 24
+        generator = UniProtGenerator()
+        probe = generator.true_probe()
+        assert store.is_reified("uniprot", probe.subject.lexical,
+                                probe.predicate.lexical,
+                                probe.object.lexical)

@@ -1,0 +1,92 @@
+"""Both systems in one database — the paper ran Jena2 *on Oracle*, so
+the Jena tables and the central schema coexist in one instance."""
+
+import pytest
+
+from repro.core.apptable import ApplicationTable
+from repro.core.sdo_rdf import SDO_RDF
+from repro.core.store import RDFStore
+from repro.db.connection import Database
+from repro.jena2.model import Statement
+from repro.jena2.store import Jena2Store
+from repro.rdf.triple import Triple
+from repro.workloads.uniprot import UniProtGenerator
+
+
+@pytest.fixture
+def shared(tmp_path):
+    """One database file hosting the RDF objects AND Jena2."""
+    path = tmp_path / "shared.db"
+    database = Database(path)
+    store = RDFStore(database)
+    jena = Jena2Store(database)
+    yield path, database, store, jena
+    database.close()
+
+
+class TestCoexistence:
+    def test_both_systems_load(self, shared):
+        _path, _db, store, jena = shared
+        triples = list(UniProtGenerator().triples(300))
+        store.create_model("uniprot")
+        store.insert_many("uniprot", triples)
+        model = jena.create_model("uniprot")
+        model.add_all(triples)
+        assert store.links.count() == len(set(triples))
+        assert model.size() == len(triples)
+
+    def test_no_table_collisions(self, shared):
+        _path, database, store, jena = shared
+        store.create_model("m")
+        jena.create_model("m")
+        store.insert_triple("m", "s:a", "p:x", "o:a")
+        jena.open_model("m").add(
+            Statement.from_triple(Triple.from_text("s:b", "p:x",
+                                                   "o:b")))
+        # Each system only sees its own data.
+        assert store.links.count() == 1
+        assert jena.open_model("m").size() == 1
+
+    def test_persistence_across_reopen(self, shared):
+        path, database, store, jena = shared
+        store.create_model("m")
+        obj = store.insert_triple("m", "gov:files", "gov:terrorSuspect",
+                                  "id:JohnDoe")
+        store.reify_triple("m", obj.rdf_t_id)
+        model = jena.create_model("jm")
+        model.create_reified_statement(
+            Statement.from_triple(
+                Triple.from_text("s:x", "p:x", "o:x")))
+        database.close()
+
+        reopened = Database(path)
+        store2 = RDFStore(reopened)
+        jena2 = Jena2Store(reopened)
+        assert store2.is_reified("m", "gov:files", "gov:terrorSuspect",
+                                 "id:JohnDoe")
+        assert jena2.open_model("jm").is_reified(
+            Statement.from_triple(
+                Triple.from_text("s:x", "p:x", "o:x")))
+        reopened.close()
+
+    def test_rules_index_persists(self, shared):
+        path, database, store, _jena = shared
+        sdo_rdf = SDO_RDF(store)
+        ApplicationTable.create(store, "data")
+        sdo_rdf.create_rdf_model("m", "data")
+        table = ApplicationTable.open(store, "data")
+        table.insert(1, "m", "c:Dog", "rdfs:subClassOf", "c:Animal")
+        table.insert(2, "m", "id:rex", "rdf:type", "c:Dog")
+        from repro.inference.sdo_rdf_inference import SDO_RDF_INFERENCE
+
+        SDO_RDF_INFERENCE(store).create_rules_index("rix", ["m"],
+                                                    ["RDFS"])
+        database.close()
+
+        reopened = Database(path)
+        store2 = RDFStore(reopened)
+        inference = SDO_RDF_INFERENCE(store2)
+        rows = inference.match("(?x rdf:type c:Animal)", ["m"],
+                               rulebases=["RDFS"])
+        assert {row.x for row in rows} == {"id:rex"}
+        reopened.close()

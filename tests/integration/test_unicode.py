@@ -1,0 +1,91 @@
+"""Unicode round-trips through the whole stack."""
+
+import pytest
+
+from repro.core.bulkload import BulkLoader
+from repro.inference.match import sdo_rdf_match
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+
+NAMES = [
+    "Müller", "Ōoka Tadasuke", "Пушкин", "李白", "مها", "Νίκος",
+    "emoji 🎭 works", "combining é é",
+]
+
+
+@pytest.fixture
+def loaded(store, cia_table):
+    for index, name in enumerate(NAMES, start=1):
+        cia_table.insert(index, "cia", f"urn:person:{index}",
+                         "urn:vocab:name", f'"{name}"')
+    return store
+
+
+class TestUnicodeStorage:
+    def test_roundtrip_through_store(self, loaded):
+        objects = {t.object.lexical_form
+                   for t in loaded.iter_model_triples("cia")}
+        assert objects == set(NAMES)
+
+    def test_member_functions(self, loaded, cia_table):
+        matches = [obj for _id, obj in cia_table.rows()
+                   if obj.get_object() == NAMES[2]]
+        assert len(matches) == 1
+        assert matches[0].get_subject() == "urn:person:3"
+
+    def test_match_binds_unicode(self, loaded):
+        rows = sdo_rdf_match(loaded, "(?who urn:vocab:name ?name)",
+                             ["cia"])
+        assert {row["name"] for row in rows} == set(NAMES)
+
+    def test_match_constant_unicode(self, loaded):
+        rows = sdo_rdf_match(loaded, '(?who urn:vocab:name "李白")',
+                             ["cia"])
+        assert len(rows) == 1
+
+    def test_filter_on_unicode(self, loaded):
+        rows = sdo_rdf_match(loaded, "(?who urn:vocab:name ?name)",
+                             ["cia"], filter='?name = "Пушкин"')
+        assert len(rows) == 1
+
+
+class TestUnicodeSerialization:
+    def test_ntriples_roundtrip(self):
+        triples = [Triple(URI("urn:s"), URI("urn:p"), Literal(name))
+                   for name in NAMES]
+        assert list(parse_ntriples(serialize_ntriples(triples))) == \
+            triples
+
+    def test_turtle_roundtrip(self):
+        from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+        triples = [Triple(URI("urn:s"), URI("urn:p"), Literal(name))
+                   for name in NAMES]
+        assert set(parse_turtle(serialize_turtle(triples))) == \
+            set(triples)
+
+    def test_rdfxml_roundtrip(self):
+        from repro.rdf.rdfxml import parse_rdfxml, serialize_rdfxml
+
+        triples = [Triple(URI("urn:s"), URI("urn:p"), Literal(name))
+                   for name in NAMES]
+        assert set(parse_rdfxml(serialize_rdfxml(triples))) == \
+            set(triples)
+
+    def test_bulk_load_unicode_file(self, store, tmp_path):
+        store.create_model("m")
+        path = tmp_path / "unicode.nt"
+        triples = [Triple(URI(f"urn:s:{i}"), URI("urn:p"),
+                          Literal(name))
+                   for i, name in enumerate(NAMES)]
+        path.write_text(serialize_ntriples(triples), encoding="utf-8")
+        BulkLoader(store, "m").load_file(path)
+        assert set(store.iter_model_triples("m")) == set(triples)
+
+    def test_unicode_uri(self, store, cia_table):
+        # IRIs with non-ASCII characters are accepted and stored.
+        cia_table.insert(1, "cia", "urn:città:napoli", "urn:p",
+                         "urn:o")
+        assert store.is_triple("cia", "urn:città:napoli", "urn:p",
+                               "urn:o")

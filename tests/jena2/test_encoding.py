@@ -1,0 +1,46 @@
+"""Tests for the lossless Jena column encoding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jena2.encoding import decode_term, encode_term
+from repro.rdf.namespaces import XSD
+from repro.rdf.terms import BlankNode, Literal, URI
+
+
+class TestEncodeDecode:
+    def test_uri_stays_bare(self):
+        assert encode_term(URI("urn:x:1")) == "urn:x:1"
+
+    def test_blank_node(self):
+        assert encode_term(BlankNode("b1")) == "_:b1"
+        assert decode_term("_:b1") == BlankNode("b1")
+
+    def test_plain_literal_quoted(self):
+        assert encode_term(Literal("bombing")) == '"bombing"'
+        assert decode_term('"bombing"') == Literal("bombing")
+
+    def test_typed_literal_roundtrip(self):
+        literal = Literal("42", datatype=XSD.int)
+        assert decode_term(encode_term(literal)) == literal
+
+    def test_language_literal_roundtrip(self):
+        literal = Literal("chat", language="fr")
+        assert decode_term(encode_term(literal)) == literal
+
+    def test_literal_looking_like_uri_stays_literal(self):
+        literal = Literal("urn:x:1")
+        assert decode_term(encode_term(literal)) == literal
+
+    @given(st.one_of(
+        st.builds(Literal, st.text(max_size=50)),
+        st.builds(lambda t: Literal(t, language="en"),
+                  st.text(max_size=50)),
+        st.builds(lambda t: Literal(t, datatype=XSD.string),
+                  st.text(max_size=50)),
+        st.builds(lambda n: URI(f"urn:x:{n}"),
+                  st.integers(min_value=0, max_value=10**6)),
+    ))
+    @settings(max_examples=150)
+    def test_roundtrip_property(self, term):
+        assert decode_term(encode_term(term)) == term

@@ -1,0 +1,84 @@
+"""Tests for the Jena1 normalized baseline (repro.jena2.jena1)."""
+
+import pytest
+
+from repro.jena2.jena1 import Jena1Store
+from repro.rdf.terms import Literal
+from repro.rdf.triple import Triple
+
+
+@pytest.fixture
+def jena1(database):
+    return Jena1Store(database)
+
+
+def t(s, p, o):
+    return Triple.from_text(s, p, o)
+
+
+class TestStorage:
+    def test_add_and_size(self, jena1):
+        jena1.add(t("urn:s", "urn:p", "urn:o"))
+        assert jena1.size() == 1
+
+    def test_text_values_stored_once(self, jena1, database):
+        # The normalized design: "text values were only stored once,
+        # regardless of the number of times they occurred in triples".
+        jena1.add(t("urn:s", "urn:p", "urn:o1"))
+        jena1.add(t("urn:s", "urn:p", "urn:o2"))
+        jena1.add(t("urn:o1", "urn:p", "urn:o2"))
+        # Resources: urn:s, urn:p, urn:o1, urn:o2 = 4 rows.
+        assert database.row_count("jena1_resources") == 4
+
+    def test_literaccording_table(self, jena1, database):
+        jena1.add(t("urn:s", "urn:p", '"a literal"'))
+        jena1.add(t("urn:s2", "urn:p", '"a literal"'))
+        assert database.row_count("jena1_literals") == 1
+
+    def test_add_all(self, jena1):
+        count = jena1.add_all(
+            t(f"urn:s{i}", "urn:p", f"urn:o{i}") for i in range(4))
+        assert count == 4
+        assert jena1.size() == 4
+
+
+class TestFind:
+    def test_three_way_join_find(self, jena1):
+        jena1.add(t("urn:s", "urn:p1", "urn:o"))
+        jena1.add(t("urn:s", "urn:p2", '"literal"'))
+        jena1.add(t("urn:other", "urn:p1", "urn:o"))
+        found = set(jena1.find_by_subject("urn:s"))
+        assert found == {t("urn:s", "urn:p1", "urn:o"),
+                         t("urn:s", "urn:p2", '"literal"')}
+
+    def test_find_missing_subject_empty(self, jena1):
+        assert list(jena1.find_by_subject("urn:ghost")) == []
+
+    def test_literal_vs_resource_objects_distinguished(self, jena1):
+        # An object literal and a resource with the same text must not
+        # be confused (they live in different tables).
+        jena1.add(t("urn:s1", "urn:p", '"urn:o"'))
+        jena1.add(t("urn:s2", "urn:p", "urn:o"))
+        lit = list(jena1.find_by_subject("urn:s1"))
+        res = list(jena1.find_by_subject("urn:s2"))
+        assert isinstance(lit[0].object, Literal)
+        assert not isinstance(res[0].object, Literal)
+
+
+class TestStorageComparison:
+    def test_normalized_smaller_than_denormalized(self, database):
+        # Section 3.1: Jena2 "consumes more storage space than Jena1".
+        from repro.db.storage import table_storage
+        from repro.jena2.store import Jena2Store
+
+        long_uri = "urn:very:long:repeated:uri:" + "x" * 60
+        triples = [Triple.from_text(long_uri, "urn:p", f"urn:o{i}")
+                   for i in range(50)]
+        jena1 = Jena1Store(database)
+        jena1.add_all(triples)
+        jena2 = Jena2Store(database)
+        model = jena2.create_model("m")
+        model.add_all(triples)
+        jena1_bytes = jena1.storage().byte_count
+        jena2_bytes = table_storage(database, "jena_m_stmt").byte_count
+        assert jena1_bytes < jena2_bytes

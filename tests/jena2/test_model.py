@@ -1,0 +1,151 @@
+"""Tests for the Jena-style Model API (repro.jena2.model)."""
+
+import pytest
+
+from repro.jena2.model import Statement
+from repro.jena2.store import Jena2Store
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+
+
+@pytest.fixture
+def model(database):
+    return Jena2Store(database).create_model("uniprot")
+
+
+def stmt(s, p, o):
+    return Statement.from_triple(Triple.from_text(s, p, o))
+
+
+class TestAssertedStatements:
+    def test_add_and_size(self, model):
+        model.add(stmt("urn:s", "urn:p", "urn:o"))
+        assert model.size() == 1
+
+    def test_add_triple_directly(self, model):
+        model.add(Triple.from_text("urn:s", "urn:p", "urn:o"))
+        assert model.size() == 1
+
+    def test_add_all(self, model):
+        count = model.add_all([stmt("urn:s", "urn:p", f"urn:o{i}")
+                               for i in range(5)])
+        assert count == 5
+        assert model.size() == 5
+
+    def test_contains(self, model):
+        model.add(stmt("urn:s", "urn:p", "urn:o"))
+        assert model.contains(stmt("urn:s", "urn:p", "urn:o"))
+        assert not model.contains(stmt("urn:s", "urn:p", "urn:other"))
+
+    def test_remove(self, model):
+        model.add(stmt("urn:s", "urn:p", "urn:o"))
+        assert model.remove(stmt("urn:s", "urn:p", "urn:o")) == 1
+        assert model.size() == 0
+
+    def test_duplicates_stored_redundantly(self, model):
+        # The denormalized layout stores text redundantly; Jena models
+        # are bags at the SQL level.
+        model.add(stmt("urn:s", "urn:p", "urn:o"))
+        model.add(stmt("urn:s", "urn:p", "urn:o"))
+        assert model.size() == 2
+
+
+class TestListStatements:
+    @pytest.fixture(autouse=True)
+    def populate(self, model):
+        model.add_all([
+            stmt("urn:s1", "urn:p1", "urn:o1"),
+            stmt("urn:s1", "urn:p2", '"literal value"'),
+            stmt("urn:s2", "urn:p1", "urn:o1"),
+        ])
+        self.model = model
+
+    def test_figure10_subject_query(self):
+        # m.listStatements(m.getResource(uri), null, null)
+        resource = self.model.get_resource("urn:s1")
+        statements = list(self.model.list_statements(subject=resource))
+        assert len(statements) == 2
+
+    def test_wildcard_all(self):
+        assert len(list(self.model.list_statements())) == 3
+
+    def test_predicate_filter(self):
+        statements = list(self.model.list_statements(
+            predicate=self.model.get_property("urn:p1")))
+        assert len(statements) == 2
+
+    def test_object_filter_literal(self):
+        statements = list(self.model.list_statements(
+            obj=Literal("literal value")))
+        assert len(statements) == 1
+        assert statements[0].object == Literal("literal value")
+
+    def test_combined_filters(self):
+        statements = list(self.model.list_statements(
+            subject=URI("urn:s1"),
+            predicate=self.model.get_property("urn:p1")))
+        assert len(statements) == 1
+
+    def test_no_match(self):
+        assert list(self.model.list_statements(
+            subject=URI("urn:ghost"))) == []
+
+
+class TestReifiedStatements:
+    def test_create_reified(self, model):
+        statement = stmt("urn:s", "urn:p", "urn:o")
+        uri = model.create_reified_statement(statement)
+        assert uri.startswith("urn:jena:reified:")
+        assert model.reified_count() == 1
+
+    def test_single_row_per_reification(self, model):
+        # "A single row with all attributes present represents a
+        # reified triple" (section 3.1).
+        model.create_reified_statement(stmt("urn:s", "urn:p", "urn:o"))
+        assert model.reified_count() == 1
+
+    def test_is_reified(self, model):
+        statement = stmt("urn:s", "urn:p", "urn:o")
+        assert not model.is_reified(statement)
+        model.create_reified_statement(statement)
+        assert model.is_reified(statement)
+        assert not model.is_reified(stmt("urn:s", "urn:p", "urn:x"))
+
+    def test_reuse_existing_reification(self, model):
+        statement = stmt("urn:s", "urn:p", "urn:o")
+        first = model.create_reified_statement(statement)
+        second = model.create_reified_statement(statement)
+        assert first == second
+        assert model.reified_count() == 1
+
+    def test_explicit_stmt_uri(self, model):
+        statement = stmt("urn:s", "urn:p", "urn:o")
+        uri = model.create_reified_statement(statement,
+                                             stmt_uri="urn:my:reif")
+        assert uri == "urn:my:reif"
+
+    def test_list_reified(self, model):
+        statement = stmt("urn:s", "urn:p", "urn:o")
+        uri = model.create_reified_statement(statement)
+        listed = list(model.list_reified())
+        assert listed == [(uri, statement)]
+
+    def test_is_reified_triple_accepted(self, model):
+        triple = Triple.from_text("urn:s", "urn:p", "urn:o")
+        model.create_reified_statement(triple)
+        assert model.is_reified(triple)
+
+
+class TestStatementObject:
+    def test_roundtrip(self):
+        triple = Triple.from_text("urn:s", "urn:p", '"v"')
+        statement = Statement.from_triple(triple)
+        assert statement.as_triple() == triple
+
+    def test_str(self):
+        statement = stmt("urn:s", "urn:p", "urn:o")
+        assert str(statement) == "[urn:s, urn:p, urn:o]"
+
+    def test_get_resource_and_property(self, model):
+        assert model.get_resource("urn:x") == URI("urn:x")
+        assert model.get_property("urn:p") == URI("urn:p")

@@ -1,0 +1,116 @@
+"""Tests for property-table routing configured at graph creation
+(paper section 3.1)."""
+
+import pytest
+
+from repro.jena2.store import Jena2Store
+from repro.rdf.namespaces import DC
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+
+PREDICATES = [DC.title, DC.publisher, DC.description]
+
+
+@pytest.fixture
+def configured(database):
+    store = Jena2Store(database)
+    model = store.create_model(
+        "docs", property_tables=[("docs_dc", PREDICATES)])
+    return store, model
+
+
+def dc_triple(doc, predicate, text):
+    return Triple(URI(doc), predicate, Literal(text))
+
+
+class TestRouting:
+    def test_covered_predicate_goes_to_property_table(self, configured,
+                                                      database):
+        _store, model = configured
+        model.add(dc_triple("urn:doc:1", DC.title, "Practical RDF"))
+        assert database.row_count("jena_docs_stmt") == 0
+        assert database.row_count("docs_dc") == 1
+
+    def test_uncovered_predicate_goes_to_statement_table(self,
+                                                         configured,
+                                                         database):
+        _store, model = configured
+        model.add(Triple(URI("urn:doc:1"), URI("urn:other:pred"),
+                         Literal("x")))
+        assert database.row_count("jena_docs_stmt") == 1
+        assert database.row_count("docs_dc") == 0
+
+    def test_clustering_one_row_per_subject(self, configured, database):
+        _store, model = configured
+        model.add(dc_triple("urn:doc:1", DC.title, "t"))
+        model.add(dc_triple("urn:doc:1", DC.publisher, "p"))
+        model.add(dc_triple("urn:doc:1", DC.description, "d"))
+        assert database.row_count("docs_dc") == 1
+
+    def test_add_all_mixed(self, configured, database):
+        _store, model = configured
+        count = model.add_all([
+            dc_triple("urn:doc:1", DC.title, "t"),
+            Triple(URI("urn:doc:1"), URI("urn:other:p"), Literal("x")),
+        ])
+        assert count == 2
+        assert database.row_count("jena_docs_stmt") == 1
+        assert database.row_count("docs_dc") == 1
+
+
+class TestQueriesSpanTables:
+    def test_list_statements_unions(self, configured):
+        _store, model = configured
+        model.add(dc_triple("urn:doc:1", DC.title, "t"))
+        model.add(Triple(URI("urn:doc:1"), URI("urn:other:p"),
+                         Literal("x")))
+        statements = list(model.list_statements(
+            subject=URI("urn:doc:1")))
+        assert len(statements) == 2
+
+    def test_list_statements_predicate_filter(self, configured):
+        _store, model = configured
+        model.add(dc_triple("urn:doc:1", DC.title, "t"))
+        model.add(dc_triple("urn:doc:2", DC.title, "t2"))
+        statements = list(model.list_statements(predicate=DC.title))
+        assert len(statements) == 2
+
+    def test_contains_sees_property_rows(self, configured):
+        _store, model = configured
+        triple = dc_triple("urn:doc:1", DC.title, "t")
+        assert not model.contains(triple)
+        model.add(triple)
+        assert model.contains(triple)
+
+    def test_size_spans_tables(self, configured):
+        _store, model = configured
+        model.add(dc_triple("urn:doc:1", DC.title, "t"))
+        model.add(Triple(URI("urn:doc:1"), URI("urn:other:p"),
+                         Literal("x")))
+        assert model.size() == 2
+
+
+class TestLifecycle:
+    def test_property_tables_listed(self, configured):
+        store, _model = configured
+        tables = store.property_tables("docs")
+        assert [table.table_name for table in tables] == ["docs_dc"]
+        assert tables[0].covers(DC.title)
+
+    def test_unconfigured_model_has_none(self, database):
+        store = Jena2Store(database)
+        store.create_model("plain")
+        assert store.property_tables("plain") == []
+
+    def test_drop_model_removes_property_tables(self, configured,
+                                                database):
+        store, _model = configured
+        store.drop_model("docs")
+        assert not database.table_exists("docs_dc")
+        assert store.property_tables("docs") == []
+
+    def test_reopened_model_keeps_routing(self, configured, database):
+        store, model = configured
+        model.add(dc_triple("urn:doc:1", DC.title, "t"))
+        reopened = store.open_model("docs")
+        assert reopened.contains(dc_triple("urn:doc:1", DC.title, "t"))

@@ -1,0 +1,109 @@
+"""Tests for Jena2 property tables (repro.jena2.property_tables)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.jena2.property_tables import PropertyTable, _column_for
+from repro.rdf.namespaces import DC
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+
+PREDICATES = [DC.title, DC.publisher, DC.description]
+
+
+@pytest.fixture
+def table(database):
+    return PropertyTable.create(database, "dc_props", PREDICATES)
+
+
+class TestColumnNaming:
+    def test_hash_namespace(self):
+        assert _column_for(URI("http://x#myTitle")) == "mytitle"
+
+    def test_slash_namespace(self):
+        assert _column_for(DC.title) == "title"
+
+    def test_colon_namespace(self):
+        assert _column_for(URI("urn:vocab:keyword")) == "keyword"
+
+    def test_non_alnum_replaced(self):
+        assert _column_for(URI("http://x#my-prop.2")) == "my_prop_2"
+
+    def test_leading_digit_prefixed(self):
+        assert _column_for(URI("http://x#2prop")) == "p_2prop"
+
+
+class TestDDL:
+    def test_create_columns(self, database, table):
+        columns = database.table_columns("dc_props")
+        assert columns == ["subject", "title", "publisher", "description"]
+
+    def test_empty_predicates_rejected(self, database):
+        with pytest.raises(StorageError):
+            PropertyTable(database, "bad", [])
+
+    def test_colliding_columns_rejected(self, database):
+        with pytest.raises(StorageError):
+            PropertyTable(database, "bad",
+                          [URI("http://a#title"), URI("http://b#title")])
+
+
+class TestReadWrite:
+    DOC = URI("urn:doc:1")
+
+    def test_set_and_get(self, table):
+        table.set_value(self.DOC, DC.title, Literal("Practical RDF"))
+        assert table.get_value(self.DOC, DC.title) == \
+            Literal("Practical RDF")
+
+    def test_get_missing_returns_none(self, table):
+        assert table.get_value(self.DOC, DC.title) is None
+
+    def test_upsert_same_subject(self, table):
+        # Clustered: one row per subject (section 3.1).
+        table.set_value(self.DOC, DC.title, Literal("v1"))
+        table.set_value(self.DOC, DC.publisher, Literal("OReilly"))
+        table.set_value(self.DOC, DC.title, Literal("v2"))
+        assert len(table) == 1
+        assert table.get_value(self.DOC, DC.title) == Literal("v2")
+        assert table.get_value(self.DOC, DC.publisher) == \
+            Literal("OReilly")
+
+    def test_subject_row_clusters(self, table):
+        table.set_value(self.DOC, DC.title, Literal("t"))
+        table.set_value(self.DOC, DC.description, Literal("d"))
+        row = table.subject_row(self.DOC)
+        assert row == {DC.title: Literal("t"),
+                       DC.description: Literal("d")}
+
+    def test_subject_row_missing_subject(self, table):
+        assert table.subject_row(URI("urn:ghost")) == {}
+
+    def test_add_triple_covered(self, table):
+        added = table.add_triple(
+            Triple(self.DOC, DC.title, Literal("t")))
+        assert added
+        assert table.get_value(self.DOC, DC.title) == Literal("t")
+
+    def test_add_triple_uncovered(self, table):
+        added = table.add_triple(
+            Triple(self.DOC, URI("urn:other:pred"), Literal("x")))
+        assert not added
+        assert len(table) == 0
+
+    def test_covers(self, table):
+        assert table.covers(DC.title)
+        assert not table.covers(URI("urn:other:pred"))
+
+    def test_uncovered_get_raises(self, table):
+        with pytest.raises(StorageError):
+            table.get_value(self.DOC, URI("urn:other:pred"))
+
+    def test_triples_expansion(self, table):
+        table.set_value(self.DOC, DC.title, Literal("t"))
+        table.set_value(URI("urn:doc:2"), DC.publisher, Literal("p"))
+        expanded = set(table.triples())
+        assert Triple(self.DOC, DC.title, Literal("t")) in expanded
+        assert Triple(URI("urn:doc:2"), DC.publisher, Literal("p")) \
+            in expanded
+        assert len(expanded) == 2

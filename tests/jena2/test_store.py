@@ -1,0 +1,69 @@
+"""Tests for the Jena2 store (repro.jena2.store)."""
+
+import pytest
+
+from repro.errors import ModelExistsError, ModelNotFoundError
+from repro.jena2.store import Jena2Store
+
+
+@pytest.fixture
+def jena(database):
+    return Jena2Store(database)
+
+
+class TestModelManagement:
+    def test_create_makes_two_tables(self, jena, database):
+        jena.create_model("uniprot")
+        assert database.table_exists("jena_uniprot_stmt")
+        assert database.table_exists("jena_uniprot_reif")
+
+    def test_statement_indexes_created(self, jena, database):
+        jena.create_model("m")
+        for index in ("jena_m_stmt_subj", "jena_m_stmt_prop",
+                      "jena_m_stmt_obj", "jena_m_reif_spo"):
+            assert database.index_exists(index)
+
+    def test_duplicate_rejected(self, jena):
+        jena.create_model("m")
+        with pytest.raises(ModelExistsError):
+            jena.create_model("m")
+
+    def test_names_case_insensitive(self, jena):
+        jena.create_model("Uniprot")
+        assert jena.model_exists("uniprot")
+        assert jena.open_model("UNIPROT").model_name == "uniprot"
+
+    def test_open_missing_raises(self, jena):
+        with pytest.raises(ModelNotFoundError):
+            jena.open_model("ghost")
+
+    def test_drop(self, jena, database):
+        jena.create_model("m")
+        jena.drop_model("m")
+        assert not jena.model_exists("m")
+        assert not database.table_exists("jena_m_stmt")
+
+    def test_drop_missing_raises(self, jena):
+        with pytest.raises(ModelNotFoundError):
+            jena.drop_model("ghost")
+
+    def test_model_names_sorted(self, jena):
+        jena.create_model("zeta")
+        jena.create_model("alpha")
+        assert list(jena.model_names()) == ["alpha", "zeta"]
+
+    def test_in_memory_default(self):
+        jena = Jena2Store()
+        jena.create_model("m")
+        assert jena.model_exists("m")
+        jena.close()
+
+    def test_separate_tables_per_model(self, jena):
+        # "Models are stored in separate tables" (section 3.1).
+        m1 = jena.create_model("m1")
+        m2 = jena.create_model("m2")
+        m1.add(m1.create_statement(
+            m1.get_resource("urn:s"), m1.get_property("urn:p"),
+            m1.get_resource("urn:o")))
+        assert m1.size() == 1
+        assert m2.size() == 0

@@ -1,0 +1,184 @@
+"""Tests for NDM network analysis (repro.ndm.analysis)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.ndm.analysis import (
+    NetworkAnalyzer,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    reachable_nodes,
+    shortest_path,
+)
+
+
+def adj(*edges):
+    """Build an adjacency dict from (start, end, cost) tuples."""
+    adjacency = {}
+    for index, (start, end, cost) in enumerate(edges, start=1):
+        adjacency.setdefault(start, []).append((end, cost, index))
+        adjacency.setdefault(end, [])
+    return adjacency
+
+
+DIAMOND = adj((1, 2, 1.0), (2, 4, 1.0), (1, 3, 1.0), (3, 4, 10.0),
+              (1, 4, 5.0))
+
+
+class TestShortestPath:
+    def test_picks_cheapest_route(self):
+        path = shortest_path(DIAMOND, 1, 4)
+        assert path is not None
+        assert path.nodes == (1, 2, 4)
+        assert path.cost == 2.0
+        assert len(path) == 2
+
+    def test_self_path(self):
+        path = shortest_path(DIAMOND, 1, 1)
+        assert path.nodes == (1,)
+        assert path.cost == 0.0
+        assert len(path) == 0
+
+    def test_unreachable_returns_none(self):
+        graph = adj((1, 2, 1.0), (3, 4, 1.0))
+        assert shortest_path(graph, 1, 4) is None
+
+    def test_direction_respected(self):
+        graph = adj((1, 2, 1.0))
+        assert shortest_path(graph, 2, 1) is None
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(NetworkError):
+            shortest_path(DIAMOND, 99, 1)
+
+    def test_negative_cost_rejected(self):
+        graph = adj((1, 2, -1.0))
+        with pytest.raises(NetworkError):
+            shortest_path(graph, 1, 2)
+
+    def test_links_traceable(self):
+        path = shortest_path(DIAMOND, 1, 4)
+        assert len(path.links) == 2
+        assert path.start == 1 and path.end == 4
+
+    def test_matches_networkx(self):
+        # Cross-check Dijkstra against networkx on a bigger graph.
+        import random
+
+        import networkx as nx
+
+        rng = random.Random(7)
+        edges = [(rng.randint(0, 30), rng.randint(0, 30),
+                  float(rng.randint(1, 9))) for _ in range(150)]
+        graph = adj(*edges)
+        nx_graph = nx.DiGraph()
+        for start, end, cost in edges:
+            if nx_graph.has_edge(start, end):
+                cost = min(cost, nx_graph[start][end]["weight"])
+            nx_graph.add_edge(start, end, weight=cost)
+        for target in range(1, 31):
+            if target not in graph or 0 not in graph:
+                continue
+            ours = shortest_path(graph, 0, target)
+            try:
+                expected = nx.shortest_path_length(
+                    nx_graph, 0, target, weight="weight")
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                expected = None
+            if expected is None:
+                assert ours is None or target == 0
+            else:
+                assert ours is not None
+                assert ours.cost == pytest.approx(expected)
+
+
+class TestReachability:
+    def test_reachable_includes_source(self):
+        assert 1 in reachable_nodes(DIAMOND, 1)
+
+    def test_full_reachability(self):
+        assert reachable_nodes(DIAMOND, 1) == {1, 2, 3, 4}
+
+    def test_directed_reachability(self):
+        assert reachable_nodes(DIAMOND, 4) == {4}
+
+    def test_max_hops(self):
+        chain = adj((1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0))
+        assert reachable_nodes(chain, 1, max_hops=2) == {1, 2, 3}
+
+    def test_zero_hops(self):
+        assert reachable_nodes(DIAMOND, 1, max_hops=0) == {1}
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(NetworkError):
+            reachable_nodes(DIAMOND, 99)
+
+
+class TestTraversals:
+    def test_bfs_levels(self):
+        chain = adj((1, 2, 1.0), (1, 3, 1.0), (2, 4, 1.0))
+        order = bfs_order(chain, 1)
+        assert order[0] == 1
+        assert set(order[1:3]) == {2, 3}
+        assert order[3] == 4
+
+    def test_dfs_depth_first(self):
+        chain = adj((1, 2, 1.0), (2, 3, 1.0), (1, 4, 1.0))
+        order = dfs_order(chain, 1)
+        assert order == [1, 2, 3, 4]
+
+    def test_traversal_handles_cycles(self):
+        cycle = adj((1, 2, 1.0), (2, 3, 1.0), (3, 1, 1.0))
+        assert bfs_order(cycle, 1) == [1, 2, 3]
+        assert dfs_order(cycle, 1) == [1, 2, 3]
+
+
+class TestComponents:
+    def test_two_components(self):
+        graph = adj((1, 2, 1.0), (2, 1, 1.0), (3, 4, 1.0), (4, 3, 1.0),
+                    (4, 5, 1.0), (5, 4, 1.0))
+        components = connected_components(graph)
+        assert len(components) == 2
+        assert components[0] == {3, 4, 5}  # largest first
+        assert components[1] == {1, 2}
+
+    def test_empty_graph(self):
+        assert connected_components({}) == []
+
+
+class TestAnalyzer:
+    def test_over_rdf_network(self, store, cia_table):
+        cia_table.insert(1, "cia", "a:x", "p:r", "b:x")
+        cia_table.insert(2, "cia", "b:x", "p:r", "c:x")
+        cia_table.insert(3, "cia", "q:isolated", "p:r", "q:island")
+        analyzer = NetworkAnalyzer(store.network("cia"))
+        a_id = store.values.find_id(store.values.get_term(1))
+        # Resolve node ids through the value store by lexical form.
+        ids = {}
+        for lexical in ("a:x", "b:x", "c:x", "q:isolated", "q:island"):
+            from repro.rdf.terms import URI
+            ids[lexical] = store.values.find_id(URI(lexical))
+        path = analyzer.shortest_path(ids["a:x"], ids["c:x"])
+        assert path is not None and len(path) == 2
+        assert analyzer.is_reachable(ids["a:x"], ids["c:x"])
+        assert not analyzer.is_reachable(ids["a:x"], ids["q:island"])
+
+    def test_components_undirected(self, store, cia_table):
+        cia_table.insert(1, "cia", "a:x", "p:r", "b:x")
+        cia_table.insert(2, "cia", "c:x", "p:r", "d:x")
+        analyzer = NetworkAnalyzer(store.network("cia"),
+                                   undirected=True)
+        assert len(analyzer.components()) == 2
+
+    def test_hubs(self):
+        analyzer = object.__new__(NetworkAnalyzer)
+        analyzer._adjacency = adj((1, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0))
+        top = NetworkAnalyzer.hubs(analyzer, top=1)
+        assert top == [(1, 2)]
+
+    def test_has_node(self):
+        analyzer = object.__new__(NetworkAnalyzer)
+        analyzer._adjacency = DIAMOND
+        assert NetworkAnalyzer.has_node(analyzer, 1)
+        assert not NetworkAnalyzer.has_node(analyzer, 99)

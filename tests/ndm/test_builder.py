@@ -1,0 +1,138 @@
+"""Tests for standalone NDM network building (repro.ndm.builder)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.ndm.analysis import NetworkAnalyzer
+from repro.ndm.builder import NetworkBuilder
+from repro.ndm.catalog import NetworkCatalog
+from repro.ndm.network import LogicalNetwork
+
+
+@pytest.fixture
+def builder(database):
+    return NetworkBuilder(database, "roads")
+
+
+class TestCreation:
+    def test_tables_and_catalog(self, database, builder):
+        assert database.table_exists("ndm_roads_node$")
+        assert database.table_exists("ndm_roads_link$")
+        metadata = NetworkCatalog(database).get("roads")
+        assert metadata.cost_column == "cost"
+        assert metadata.directed
+
+    def test_reopen_existing(self, database, builder):
+        builder.add_node("a")
+        again = NetworkBuilder(database, "roads")
+        assert again.node_id("a") is not None
+
+    def test_undirected_flag(self, database):
+        NetworkBuilder(database, "u", directed=False)
+        assert not NetworkCatalog(database).get("u").directed
+
+    def test_drop(self, database, builder):
+        builder.drop()
+        assert not database.table_exists("ndm_roads_node$")
+        assert not NetworkCatalog(database).exists("roads")
+
+
+class TestNodes:
+    def test_add_anonymous(self, builder):
+        a = builder.add_node()
+        b = builder.add_node()
+        assert a != b
+
+    def test_named_nodes_idempotent(self, builder):
+        assert builder.add_node("NYC") == builder.add_node("NYC")
+
+    def test_node_id_lookup(self, builder):
+        node = builder.add_node("NYC")
+        assert builder.node_id("NYC") == node
+        assert builder.node_id("LA") is None
+
+    def test_remove_unlinked(self, builder):
+        node = builder.add_node("gone")
+        builder.remove_node(node)
+        assert builder.node_id("gone") is None
+
+    def test_remove_linked_refused(self, builder):
+        link = builder.connect("a", "b")
+        with pytest.raises(NetworkError):
+            builder.remove_node(link.start_node_id)
+
+    def test_node_names(self, builder):
+        builder.add_node("x")
+        builder.add_node()
+        names = builder.node_names()
+        assert "x" in names.values()
+        assert len(names) == 1
+
+
+class TestLinks:
+    def test_add_link(self, builder):
+        a, b = builder.add_node("a"), builder.add_node("b")
+        link = builder.add_link(a, b, cost=2.5)
+        assert link.cost == 2.5
+        assert builder.network().has_link(a, b)
+
+    def test_connect_by_name(self, builder):
+        builder.connect("NYC", "BOS", cost=4.0)
+        network = builder.network()
+        assert network.link_count() == 1
+
+    def test_negative_cost_rejected(self, builder):
+        with pytest.raises(NetworkError):
+            builder.connect("a", "b", cost=-1.0)
+
+    def test_set_cost(self, builder):
+        link = builder.connect("a", "b", cost=1.0)
+        builder.set_cost(link.link_id, 9.0)
+        stored = list(builder.network().links())[0]
+        assert stored.cost == 9.0
+
+    def test_set_cost_missing_raises(self, builder):
+        with pytest.raises(NetworkError):
+            builder.set_cost(999, 1.0)
+
+    def test_set_negative_cost_rejected(self, builder):
+        link = builder.connect("a", "b")
+        with pytest.raises(NetworkError):
+            builder.set_cost(link.link_id, -2.0)
+
+    def test_remove_link(self, builder):
+        link = builder.connect("a", "b")
+        builder.remove_link(link.link_id)
+        assert builder.network().link_count() == 0
+
+    def test_remove_missing_link_raises(self, builder):
+        with pytest.raises(NetworkError):
+            builder.remove_link(999)
+
+
+class TestAnalysisIntegration:
+    def test_shortest_path_over_built_network(self, builder):
+        builder.connect("NYC", "PHL", cost=1.0)
+        builder.connect("PHL", "DC", cost=1.0)
+        builder.connect("NYC", "DC", cost=5.0)
+        analyzer = NetworkAnalyzer(builder.network())
+        path = analyzer.shortest_path(builder.node_id("NYC"),
+                                      builder.node_id("DC"))
+        assert path.cost == 2.0
+        names = builder.node_names()
+        assert [names[n] for n in path.nodes] == ["NYC", "PHL", "DC"]
+
+    def test_open_by_catalog_name(self, database, builder):
+        builder.connect("a", "b")
+        network = LogicalNetwork.open(database, "roads")
+        assert network.link_count() == 1
+
+    def test_coexists_with_rdf_network(self, store):
+        # The RDF universe network and a standalone network share the
+        # catalog peacefully.
+        builder = NetworkBuilder(store.database, "side")
+        builder.connect("x", "y")
+        store.create_model("m")
+        store.insert_triple("m", "s:a", "p:x", "o:a")
+        assert builder.network().link_count() == 1
+        assert store.network("m").link_count() == 1

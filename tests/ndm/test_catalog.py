@@ -1,0 +1,71 @@
+"""Tests for the NDM network catalog (repro.ndm.catalog)."""
+
+import pytest
+
+from repro.errors import NetworkError, NetworkNotFoundError
+from repro.ndm.catalog import NetworkCatalog, NetworkMetadata
+
+
+def metadata(name="test_net", **overrides):
+    base = dict(
+        network_name=name, node_table="nodes", link_table="links",
+        node_id_column="node_id", link_id_column="link_id",
+        start_node_column="start_id", end_node_column="end_id")
+    base.update(overrides)
+    return NetworkMetadata(**base)
+
+
+class TestCatalog:
+    def test_register_and_get(self, database):
+        catalog = NetworkCatalog(database)
+        catalog.register(metadata())
+        fetched = catalog.get("test_net")
+        assert fetched.node_table == "nodes"
+        assert fetched.directed is True
+        assert fetched.cost_column is None
+
+    def test_duplicate_rejected(self, database):
+        catalog = NetworkCatalog(database)
+        catalog.register(metadata())
+        with pytest.raises(NetworkError):
+            catalog.register(metadata())
+
+    def test_missing_get_raises(self, database):
+        with pytest.raises(NetworkNotFoundError):
+            NetworkCatalog(database).get("ghost")
+
+    def test_exists(self, database):
+        catalog = NetworkCatalog(database)
+        assert not catalog.exists("test_net")
+        catalog.register(metadata())
+        assert catalog.exists("test_net")
+
+    def test_drop(self, database):
+        catalog = NetworkCatalog(database)
+        catalog.register(metadata())
+        catalog.drop("test_net")
+        assert not catalog.exists("test_net")
+
+    def test_drop_missing_raises(self, database):
+        with pytest.raises(NetworkNotFoundError):
+            NetworkCatalog(database).drop("ghost")
+
+    def test_iteration_ordered(self, database):
+        catalog = NetworkCatalog(database)
+        catalog.register(metadata("zeta"))
+        catalog.register(metadata("alpha"))
+        assert [m.network_name for m in catalog] == ["alpha", "zeta"]
+
+    def test_roundtrip_all_fields(self, database):
+        catalog = NetworkCatalog(database)
+        catalog.register(metadata(
+            directed=False, cost_column="weight",
+            partition_column="model_id"))
+        fetched = catalog.get("test_net")
+        assert fetched.directed is False
+        assert fetched.cost_column == "weight"
+        assert fetched.partition_column == "model_id"
+
+    def test_two_catalog_instances_share_table(self, database):
+        NetworkCatalog(database).register(metadata())
+        assert NetworkCatalog(database).exists("test_net")

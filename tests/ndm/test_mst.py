@@ -1,0 +1,79 @@
+"""Tests for the minimum spanning forest analysis."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkError
+from repro.ndm.analysis import minimum_spanning_forest
+
+
+def adj(*edges):
+    """Undirected adjacency (mirrored) from (a, b, cost) tuples."""
+    adjacency = {}
+    for index, (a, b, cost) in enumerate(edges, start=1):
+        adjacency.setdefault(a, []).append((b, cost, index))
+        adjacency.setdefault(b, []).append((a, cost, index))
+    return adjacency
+
+
+class TestMST:
+    def test_triangle_drops_heaviest(self):
+        forest = minimum_spanning_forest(
+            adj((1, 2, 1.0), (2, 3, 2.0), (1, 3, 5.0)))
+        costs = sorted(cost for _s, _e, cost, _l in forest)
+        assert costs == [1.0, 2.0]
+
+    def test_forest_spans_components(self):
+        forest = minimum_spanning_forest(
+            adj((1, 2, 1.0), (3, 4, 1.0)))
+        assert len(forest) == 2
+
+    def test_empty_graph(self):
+        assert minimum_spanning_forest({}) == []
+
+    def test_single_node(self):
+        assert minimum_spanning_forest({1: []}) == []
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(NetworkError):
+            minimum_spanning_forest(adj((1, 2, -1.0)))
+
+    def test_deterministic_tie_break(self):
+        adjacency = adj((1, 2, 1.0), (2, 3, 1.0), (1, 3, 1.0))
+        assert minimum_spanning_forest(adjacency) == \
+            minimum_spanning_forest(adjacency)
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 10), st.integers(0, 10),
+                  st.integers(1, 9)),
+        min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_total_weight_matches_networkx(self, edges):
+        edges = [(a, b, float(c)) for a, b, c in edges if a != b]
+        if not edges:
+            return
+        adjacency = adj(*edges)
+        forest = minimum_spanning_forest(adjacency)
+        ours = sum(cost for _s, _e, cost, _l in forest)
+        graph = nx.Graph()
+        graph.add_nodes_from(adjacency)
+        for a, b, cost in edges:
+            if not graph.has_edge(a, b) or \
+                    graph[a][b]["weight"] > cost:
+                graph.add_edge(a, b, weight=cost)
+        expected = sum(
+            data["weight"] for _a, _b, data in
+            nx.minimum_spanning_edges(graph, data=True))
+        assert ours == pytest.approx(expected)
+
+    def test_analyzer_facade(self, store, cia_table):
+        from repro.ndm.analysis import NetworkAnalyzer
+
+        cia_table.insert(1, "cia", "a:x", "p:r", "b:x")
+        cia_table.insert(2, "cia", "b:x", "p:r", "c:x")
+        analyzer = NetworkAnalyzer(store.network("cia"),
+                                   undirected=True)
+        forest = analyzer.minimum_spanning_forest()
+        assert len(forest) == 2

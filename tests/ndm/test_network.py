@@ -1,0 +1,115 @@
+"""Tests for LogicalNetwork (repro.ndm.network)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.ndm.catalog import NetworkCatalog, NetworkMetadata
+from repro.ndm.network import LogicalNetwork
+
+
+@pytest.fixture
+def net_db(database):
+    """A database with a small generic link table and catalog entry."""
+    database.executescript("""
+        CREATE TABLE nodes (node_id INTEGER PRIMARY KEY);
+        CREATE TABLE links (
+            link_id INTEGER PRIMARY KEY,
+            start_id INTEGER, end_id INTEGER,
+            weight REAL DEFAULT 1.0, part INTEGER DEFAULT 0);
+    """)
+    catalog = NetworkCatalog(database)
+    catalog.register(NetworkMetadata(
+        network_name="g", node_table="nodes", link_table="links",
+        node_id_column="node_id", link_id_column="link_id",
+        start_node_column="start_id", end_node_column="end_id",
+        cost_column="weight", partition_column="part"))
+    # Partition 0: 1->2->3, 1->3 expensive.  Partition 1: 10->11.
+    database.executemany(
+        "INSERT INTO links (start_id, end_id, weight, part) "
+        "VALUES (?, ?, ?, ?)",
+        [(1, 2, 1.0, 0), (2, 3, 1.0, 0), (1, 3, 5.0, 0),
+         (10, 11, 1.0, 1)])
+    return database
+
+
+class TestOpenAndMetadata:
+    def test_open_by_name(self, net_db):
+        network = LogicalNetwork.open(net_db, "g")
+        assert network.directed
+        assert network.metadata.cost_column == "weight"
+
+    def test_partition_on_unpartitioned_rejected(self, database):
+        catalog = NetworkCatalog(database)
+        catalog.register(NetworkMetadata(
+            network_name="u", node_table="n", link_table="l",
+            node_id_column="a", link_id_column="b",
+            start_node_column="c", end_node_column="d"))
+        with pytest.raises(NetworkError):
+            LogicalNetwork.open(database, "u", partition=1)
+
+
+class TestGraphAccess:
+    def test_links_and_costs(self, net_db):
+        network = LogicalNetwork.open(net_db, "g", partition=0)
+        links = list(network.links())
+        assert len(links) == 3
+        costs = {(link.start_node_id, link.end_node_id): link.cost
+                 for link in links}
+        assert costs[(1, 3)] == 5.0
+
+    def test_partition_isolation(self, net_db):
+        part0 = LogicalNetwork.open(net_db, "g", partition=0)
+        part1 = LogicalNetwork.open(net_db, "g", partition=1)
+        assert part0.link_count() == 3
+        assert part1.link_count() == 1
+        assert part1.nodes() == {10, 11}
+
+    def test_whole_network(self, net_db):
+        network = LogicalNetwork.open(net_db, "g")
+        assert network.link_count() == 4
+        assert network.node_count() == 5
+
+    def test_successors(self, net_db):
+        network = LogicalNetwork.open(net_db, "g", partition=0)
+        targets = {link.end_node_id for link in network.successors(1)}
+        assert targets == {2, 3}
+
+    def test_predecessors(self, net_db):
+        network = LogicalNetwork.open(net_db, "g", partition=0)
+        sources = {link.start_node_id for link in network.predecessors(3)}
+        assert sources == {1, 2}
+
+    def test_degrees(self, net_db):
+        network = LogicalNetwork.open(net_db, "g", partition=0)
+        assert network.out_degree(1) == 2
+        assert network.in_degree(1) == 0
+        assert network.degree(3) == 2
+
+    def test_has_link(self, net_db):
+        network = LogicalNetwork.open(net_db, "g", partition=0)
+        assert network.has_link(1, 2)
+        assert not network.has_link(2, 1)
+        assert not network.has_link(1, 10)
+
+
+class TestAdjacency:
+    def test_directed_adjacency(self, net_db):
+        network = LogicalNetwork.open(net_db, "g", partition=0)
+        adjacency = network.adjacency()
+        assert {n for n, _c, _l in adjacency[1]} == {2, 3}
+        assert adjacency[3] == []
+
+    def test_undirected_adjacency_mirrors(self, net_db):
+        network = LogicalNetwork.open(net_db, "g", partition=0)
+        adjacency = network.adjacency(undirected=True)
+        assert {n for n, _c, _l in adjacency[3]} == {1, 2}
+
+    def test_rdf_store_network(self, store, cia_table):
+        # The RDF universe network is a real NDM network.
+        cia_table.insert(1, "cia", "gov:files", "gov:terrorSuspect",
+                         "id:JohnDoe")
+        cia_table.insert(2, "cia", "gov:files", "gov:terrorSuspect",
+                         "id:JaneDoe")
+        network = store.network("cia")
+        assert network.link_count() == 2
+        assert network.node_count() == 3  # gov:files shared

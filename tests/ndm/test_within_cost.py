@@ -1,0 +1,86 @@
+"""Tests for NDM within-cost and nearest-neighbor analyses."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.ndm.analysis import nearest_neighbors, within_cost
+
+
+def adj(*edges):
+    adjacency = {}
+    for index, (start, end, cost) in enumerate(edges, start=1):
+        adjacency.setdefault(start, []).append((end, cost, index))
+        adjacency.setdefault(end, [])
+    return adjacency
+
+
+CHAIN = adj((1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (1, 5, 2.5))
+
+
+class TestWithinCost:
+    def test_bounded_distances(self):
+        result = within_cost(CHAIN, 1, 2.0)
+        assert result == {1: 0.0, 2: 1.0, 3: 2.0}
+
+    def test_includes_source_at_zero(self):
+        assert within_cost(CHAIN, 4, 10.0) == {4: 0.0}
+
+    def test_exact_boundary_included(self):
+        result = within_cost(CHAIN, 1, 2.5)
+        assert 5 in result and result[5] == 2.5
+
+    def test_zero_budget(self):
+        assert within_cost(CHAIN, 1, 0.0) == {1: 0.0}
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(NetworkError):
+            within_cost(CHAIN, 99, 1.0)
+
+    def test_negative_cost_rejected(self):
+        bad = adj((1, 2, -1.0))
+        with pytest.raises(NetworkError):
+            within_cost(bad, 1, 5.0)
+
+    def test_picks_cheapest_route(self):
+        diamond = adj((1, 2, 1.0), (2, 4, 1.0), (1, 4, 5.0))
+        result = within_cost(diamond, 1, 2.0)
+        assert result[4] == 2.0
+
+
+class TestNearestNeighbors:
+    def test_ordering_by_distance(self):
+        result = nearest_neighbors(CHAIN, 1, 3)
+        assert result == [(2, 1.0), (3, 2.0), (5, 2.5)]
+
+    def test_count_zero(self):
+        assert nearest_neighbors(CHAIN, 1, 0) == []
+
+    def test_fewer_than_requested(self):
+        assert nearest_neighbors(CHAIN, 3, 10) == [(4, 1.0)]
+
+    def test_source_excluded(self):
+        result = nearest_neighbors(CHAIN, 1, 10)
+        assert all(node != 1 for node, _cost in result)
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(NetworkError):
+            nearest_neighbors(CHAIN, 99, 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(NetworkError):
+            nearest_neighbors(CHAIN, 1, -1)
+
+
+class TestAnalyzerIntegration:
+    def test_over_rdf_model(self, store, cia_table):
+        from repro.ndm.analysis import NetworkAnalyzer
+        from repro.rdf.terms import URI
+
+        cia_table.insert(1, "cia", "id:A", "gov:knows", "id:B")
+        cia_table.insert(2, "cia", "id:B", "gov:knows", "id:C")
+        analyzer = NetworkAnalyzer(store.network("cia"))
+        a = store.values.find_id(URI("id:A"))
+        b = store.values.find_id(URI("id:B"))
+        c = store.values.find_id(URI("id:C"))
+        assert analyzer.within_cost(a, 1.0) == {a: 0.0, b: 1.0}
+        assert analyzer.nearest_neighbors(a, 2) == [(b, 1.0), (c, 2.0)]

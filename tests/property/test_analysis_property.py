@@ -1,0 +1,96 @@
+"""Property tests for NDM analysis, cross-checked against networkx."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ndm.analysis import (
+    connected_components,
+    reachable_nodes,
+    shortest_path,
+)
+
+
+def edge_lists():
+    node = st.integers(min_value=0, max_value=12)
+    edge = st.tuples(node, node, st.integers(min_value=1, max_value=9))
+    return st.lists(edge, min_size=1, max_size=40)
+
+
+def build_adjacency(edges):
+    adjacency = {}
+    for index, (start, end, cost) in enumerate(edges, start=1):
+        adjacency.setdefault(start, []).append(
+            (end, float(cost), index))
+        adjacency.setdefault(end, [])
+    return adjacency
+
+
+def build_nx(edges):
+    graph = nx.DiGraph()
+    graph.add_nodes_from({n for s, e, _c in edges for n in (s, e)})
+    for start, end, cost in edges:
+        if graph.has_edge(start, end):
+            cost = min(cost, graph[start][end]["weight"])
+        graph.add_edge(start, end, weight=cost)
+    return graph
+
+
+class TestAgainstNetworkx:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_shortest_path_costs_match(self, edges):
+        adjacency = build_adjacency(edges)
+        reference = build_nx(edges)
+        source = edges[0][0]
+        lengths = nx.single_source_dijkstra_path_length(
+            reference, source, weight="weight")
+        for target in adjacency:
+            ours = shortest_path(adjacency, source, target)
+            if target in lengths:
+                assert ours is not None
+                assert ours.cost == float(lengths[target])
+            else:
+                assert ours is None
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_reachability_matches(self, edges):
+        adjacency = build_adjacency(edges)
+        reference = build_nx(edges)
+        source = edges[0][0]
+        expected = set(nx.descendants(reference, source)) | {source}
+        assert reachable_nodes(adjacency, source) == expected
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_components_match_undirected(self, edges):
+        # Mirror edges to get the undirected view our components use.
+        adjacency = {}
+        for index, (start, end, cost) in enumerate(edges, start=1):
+            adjacency.setdefault(start, []).append(
+                (end, float(cost), index))
+            adjacency.setdefault(end, []).append(
+                (start, float(cost), index))
+        expected = list(nx.connected_components(
+            build_nx(edges).to_undirected()))
+        ours = connected_components(adjacency)
+        assert sorted(map(sorted, ours)) == sorted(map(sorted, expected))
+
+
+class TestPathWellFormed:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_path_is_connected_edge_sequence(self, edges):
+        adjacency = build_adjacency(edges)
+        source = edges[0][0]
+        for target in adjacency:
+            path = shortest_path(adjacency, source, target)
+            if path is None:
+                continue
+            assert path.nodes[0] == source
+            assert path.nodes[-1] == target
+            # Every consecutive node pair is an actual edge.
+            for here, there in zip(path.nodes, path.nodes[1:]):
+                assert any(neighbor == there
+                           for neighbor, _c, _l in adjacency[here])

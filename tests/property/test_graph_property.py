@@ -1,0 +1,85 @@
+"""Property-based tests for the in-memory Graph."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import URI
+from repro.rdf.triple import Triple
+
+
+def small_triples():
+    """Triples over a tiny vocabulary, to force collisions and joins."""
+    names = st.sampled_from(["a", "b", "c", "d"])
+    return st.builds(
+        lambda s, p, o: Triple(URI(f"s:{s}"), URI(f"p:{p}"),
+                               URI(f"o:{o}")),
+        names, names, names)
+
+
+triple_lists = st.lists(small_triples(), max_size=40)
+
+
+class TestGraphSetSemantics:
+    @given(triple_lists)
+    @settings(max_examples=150)
+    def test_len_equals_distinct(self, triples):
+        graph = Graph(triples)
+        assert len(graph) == len(set(triples))
+
+    @given(triple_lists)
+    def test_membership_matches_input(self, triples):
+        graph = Graph(triples)
+        for triple in triples:
+            assert triple in graph
+
+    @given(triple_lists, small_triples())
+    def test_add_discard_inverse(self, triples, extra):
+        graph = Graph(triples)
+        was_present = extra in graph
+        added = graph.add(extra)
+        assert added == (not was_present)
+        removed = graph.discard(extra)
+        assert removed
+        assert extra not in graph
+
+    @given(triple_lists)
+    def test_match_wildcard_is_everything(self, triples):
+        graph = Graph(triples)
+        assert set(graph.match()) == set(triples)
+
+
+class TestMatchConsistency:
+    @given(triple_lists)
+    @settings(max_examples=150)
+    def test_indexed_match_equals_filter(self, triples):
+        graph = Graph(triples)
+        for subject in graph.subjects():
+            expected = {t for t in set(triples) if t.subject == subject}
+            assert set(graph.match(subject=subject)) == expected
+        for predicate in graph.predicates():
+            expected = {t for t in set(triples)
+                        if t.predicate == predicate}
+            assert set(graph.match(predicate=predicate)) == expected
+        for obj in graph.objects():
+            expected = {t for t in set(triples) if t.object == obj}
+            assert set(graph.match(obj=obj)) == expected
+
+    @given(triple_lists)
+    def test_nodes_union_of_subjects_objects(self, triples):
+        graph = Graph(triples)
+        assert graph.nodes() == graph.subjects() | graph.objects()
+
+    @given(triple_lists, triple_lists)
+    def test_union_commutative(self, left, right):
+        a = Graph(left) | Graph(right)
+        b = Graph(right) | Graph(left)
+        assert a == b
+
+    @given(triple_lists)
+    def test_discard_then_indexes_clean(self, triples):
+        graph = Graph(triples)
+        for triple in list(set(triples)):
+            graph.discard(triple)
+        assert len(graph) == 0
+        assert set(graph.match()) == set()

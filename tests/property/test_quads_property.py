@@ -1,0 +1,101 @@
+"""Property tests for quad collection and the quad converter."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.store import RDFStore
+from repro.rdf.graph import Graph
+from repro.rdf.reification_vocab import collect_quads, expand_quad
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+from repro.reification.quads import QuadConverter
+from repro.reification.streamlined import reification_count
+
+
+def base_triples():
+    names = st.integers(min_value=0, max_value=5)
+    return st.builds(
+        lambda s, p, o, lit: Triple(
+            URI(f"s:{s}"), URI(f"p:{p}"),
+            Literal(f"v{o}") if lit else URI(f"o:{o}")),
+        names, names, names, st.booleans())
+
+
+def resources():
+    return st.builds(lambda n: URI(f"urn:reif:{n}"),
+                     st.integers(min_value=0, max_value=8))
+
+
+quad_specs = st.lists(st.tuples(resources(), base_triples()),
+                      max_size=6, unique_by=lambda pair: pair[0])
+ordinary_lists = st.lists(base_triples(), max_size=8)
+
+
+class TestCollectQuadsProperties:
+    @given(quad_specs, ordinary_lists, st.randoms())
+    @settings(max_examples=80, deadline=None)
+    def test_partition_is_exact(self, specs, ordinary, rng):
+        statements = [s for resource, base in specs
+                      for s in expand_quad(resource, base)]
+        # Ordinary triples that accidentally collide with quad
+        # statements would be absorbed; filter those out of the
+        # expectation.
+        quad_statement_set = set(statements)
+        pure_ordinary = [t for t in ordinary
+                         if t not in quad_statement_set
+                         and not _uses_reif_vocab(t)]
+        mixed = statements + pure_ordinary
+        rng.shuffle(mixed)
+        complete, incomplete, others = collect_quads(mixed)
+        assert {(q.resource, q.triple) for q in complete} == set(specs)
+        assert not incomplete
+        # Pass-through preserves duplicates (stream semantics).
+        assert sorted(others, key=str) == sorted(pure_ordinary, key=str)
+
+    @given(quad_specs)
+    @settings(max_examples=50, deadline=None)
+    def test_dropping_any_statement_makes_incomplete(self, specs):
+        if not specs:
+            return
+        resource, base = specs[0]
+        statements = expand_quad(resource, base)
+        for index in range(4):
+            partial = statements[:index] + statements[index + 1:]
+            complete, incomplete, _others = collect_quads(partial)
+            assert complete == []
+            assert len(incomplete) == 1
+
+
+def _uses_reif_vocab(triple: Triple) -> bool:
+    from repro.rdf.reification_vocab import is_reification_predicate
+
+    return is_reification_predicate(triple.predicate)
+
+
+class TestConverterProperties:
+    @given(quad_specs, ordinary_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_converter_counts(self, specs, ordinary):
+        quad_statement_set = {
+            s for resource, base in specs
+            for s in expand_quad(resource, base)}
+        pure_ordinary = [t for t in ordinary
+                         if t not in quad_statement_set
+                         and not _uses_reif_vocab(t)]
+        statements = [s for resource, base in specs
+                      for s in expand_quad(resource, base)]
+        with RDFStore() as store:
+            store.create_model("m")
+            report = QuadConverter(store, "m").convert(
+                statements + pure_ordinary)
+            assert report.quads_converted == len(specs)
+            # Distinct base triples each get exactly one streamlined
+            # reification statement.
+            distinct_bases = {base for _resource, base in specs}
+            assert reification_count(store, "m") == len(distinct_bases)
+            # Every base triple and ordinary triple is queryable.
+            stored = Graph(store.iter_model_triples("m"))
+            for _resource, base in specs:
+                assert base in stored
+            for triple in pure_ordinary:
+                assert triple in stored

@@ -1,0 +1,74 @@
+"""End-to-end property: store -> export -> bulk reload preserves graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bulkload import BulkLoader
+from repro.core.export import export_model
+from repro.core.store import RDFStore
+from repro.rdf.namespaces import XSD
+from repro.rdf.ntriples import parse_ntriples
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triple import Triple
+
+
+def terms():
+    return st.one_of(
+        st.builds(lambda n: URI(f"urn:x:n{n}"), st.integers(0, 15)),
+        st.builds(lambda n: BlankNode(f"b{n}"), st.integers(0, 5)),
+        st.builds(Literal, st.text(max_size=25)),
+        st.builds(lambda t: Literal(t, language="en"),
+                  st.text(max_size=25)),
+        st.builds(lambda n: Literal(str(n), datatype=XSD.integer),
+                  st.integers()))
+
+
+def triples():
+    return st.builds(
+        Triple,
+        st.one_of(st.builds(lambda n: URI(f"urn:x:s{n}"),
+                            st.integers(0, 10)),
+                  st.builds(lambda n: BlankNode(f"b{n}"),
+                            st.integers(0, 5))),
+        st.builds(lambda n: URI(f"urn:p:{n}"), st.integers(0, 6)),
+        terms())
+
+
+class TestExportReloadRoundtrip:
+    @given(st.lists(triples(), max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_ntriples_roundtrip_through_store(self, triple_list):
+        with RDFStore() as store:
+            store.create_model("original")
+            store.insert_many("original", triple_list)
+            document = export_model(store, "original",
+                                    format="ntriples")
+            store.create_model("copy")
+            BulkLoader(store, "copy").load(parse_ntriples(document))
+            assert set(store.iter_model_triples("copy")) == \
+                set(store.iter_model_triples("original")) == \
+                set(triple_list)
+
+    @given(st.lists(triples(), max_size=15))
+    @settings(max_examples=20, deadline=None)
+    def test_turtle_roundtrip_through_store(self, triple_list):
+        from repro.rdf.turtle import parse_turtle
+
+        with RDFStore() as store:
+            store.create_model("original")
+            store.insert_many("original", triple_list)
+            document = export_model(store, "original", format="turtle")
+            store.create_model("copy")
+            BulkLoader(store, "copy").load(parse_turtle(document))
+            assert set(store.iter_model_triples("copy")) == \
+                set(triple_list)
+
+    @given(st.lists(triples(), max_size=15))
+    @settings(max_examples=20, deadline=None)
+    def test_integrity_after_random_load(self, triple_list):
+        from repro.core.integrity import check_integrity
+
+        with RDFStore() as store:
+            store.create_model("m")
+            BulkLoader(store, "m").load(triple_list)
+            assert check_integrity(store) == []

@@ -1,0 +1,93 @@
+"""Property-based tests on the central-schema store invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schema import NODE_TABLE
+from repro.core.store import RDFStore
+from repro.rdf.terms import URI
+from repro.rdf.triple import Triple
+
+
+def small_triples():
+    names = st.sampled_from(["a", "b", "c"])
+    return st.builds(
+        lambda s, p, o: Triple(URI(f"s:{s}"), URI(f"p:{p}"),
+                               URI(f"o:{o}")),
+        names, names, names)
+
+
+triple_lists = st.lists(small_triples(), max_size=25)
+
+
+class TestInsertInvariants:
+    @given(triple_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_link_rows_equal_distinct_triples(self, triples):
+        with RDFStore() as store:
+            store.create_model("m")
+            for triple in triples:
+                store.insert_triple_obj("m", triple)
+            assert store.links.count() == len(set(triples))
+
+    @given(triple_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_node_rows_equal_distinct_nodes(self, triples):
+        with RDFStore() as store:
+            store.create_model("m")
+            for triple in triples:
+                store.insert_triple_obj("m", triple)
+            expected_nodes = {t.subject for t in triples} | \
+                {t.object for t in triples}
+            assert store.database.row_count(NODE_TABLE) == \
+                len(expected_nodes)
+
+    @given(triple_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_sums_to_insert_count(self, triples):
+        with RDFStore() as store:
+            store.create_model("m")
+            for triple in triples:
+                store.insert_triple_obj("m", triple)
+            total_cost = store.database.query_value(
+                'SELECT COALESCE(SUM(cost), 0) FROM "rdf_link$"')
+            assert total_cost == len(triples)
+
+    @given(triple_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_set(self, triples):
+        with RDFStore() as store:
+            store.create_model("m")
+            for triple in triples:
+                store.insert_triple_obj("m", triple)
+            assert set(store.iter_model_triples("m")) == set(triples)
+
+
+class TestDeleteInvariants:
+    @given(triple_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_insert_then_remove_leaves_empty(self, triples):
+        with RDFStore() as store:
+            store.create_model("m")
+            for triple in triples:
+                store.insert_triple_obj("m", triple)
+            for triple in triples:
+                store.parser.remove(store.models.get("m"), triple)
+            assert store.links.count() == 0
+            # Node garbage collection is complete.
+            assert store.database.row_count(NODE_TABLE) == 0
+
+    @given(triple_lists, st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_partial_removal_consistency(self, triples, rng):
+        with RDFStore() as store:
+            store.create_model("m")
+            model = store.models.get("m")
+            for triple in triples:
+                store.insert_triple_obj("m", triple)
+            distinct = list(set(triples))
+            rng.shuffle(distinct)
+            keep = set(distinct[len(distinct) // 2:])
+            for triple in distinct[:len(distinct) // 2]:
+                store.parser.remove(model, triple, force=True)
+            assert set(store.iter_model_triples("m")) == keep

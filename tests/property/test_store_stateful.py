@@ -1,0 +1,110 @@
+"""Stateful model-based testing: the persistent store against an
+in-memory reference model under random operation sequences."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.core.store import RDFStore
+from repro.rdf.triple import Triple
+
+_SUBJECTS = [f"s:{n}" for n in "abc"]
+_PREDICATES = [f"p:{n}" for n in "xy"]
+_OBJECTS = [f"o:{n}" for n in "abc"]
+
+triples_strategy = st.builds(
+    Triple.from_text,
+    st.sampled_from(_SUBJECTS),
+    st.sampled_from(_PREDICATES),
+    st.sampled_from(_OBJECTS))
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """Reference model: a dict triple -> reference count, plus the set
+    of reified triples."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = RDFStore()
+        self.store.create_model("m")
+        self.model = self.store.models.get("m")
+        self.reference: dict[Triple, int] = {}
+        self.reified: set[Triple] = set()
+
+    def teardown(self):
+        self.store.close()
+
+    # -- operations ------------------------------------------------------
+
+    @rule(triple=triples_strategy)
+    def insert(self, triple):
+        self.store.insert_triple_obj("m", triple)
+        self.reference[triple] = self.reference.get(triple, 0) + 1
+
+    @rule(triple=triples_strategy)
+    def remove_once(self, triple):
+        removed = self.store.parser.remove(self.model, triple)
+        count = self.reference.get(triple, 0)
+        if count == 0:
+            assert not removed
+        elif count == 1:
+            assert removed
+            del self.reference[triple]
+            self.reified.discard(triple)
+        else:
+            assert not removed
+            self.reference[triple] = count - 1
+
+    @rule(triple=triples_strategy)
+    def reify_if_present(self, triple):
+        link = self.store.find_link(
+            "m", triple.subject.lexical, triple.predicate.lexical,
+            triple.object.lexical)
+        if link is None or triple not in self.reference:
+            return
+        self.store.reify_triple("m", link.link_id)
+        self.reified.add(triple)
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def membership_agrees(self):
+        for triple in self.reference:
+            assert self.store.is_triple(
+                "m", triple.subject.lexical, triple.predicate.lexical,
+                triple.object.lexical), triple
+
+    @invariant()
+    def costs_agree(self):
+        for triple, count in self.reference.items():
+            link = self.store.find_link(
+                "m", triple.subject.lexical, triple.predicate.lexical,
+                triple.object.lexical)
+            assert link is not None
+            assert link.cost == count, (triple, link.cost, count)
+
+    @invariant()
+    def reification_agrees(self):
+        for triple in self.reference:
+            expected = triple in self.reified
+            actual = self.store.is_reified(
+                "m", triple.subject.lexical, triple.predicate.lexical,
+                triple.object.lexical)
+            assert actual == expected, triple
+
+    @invariant()
+    def integrity_holds(self):
+        # Cascade deletion keeps reifications from dangling, so the
+        # *full* checker must stay clean at every step.
+        from repro.core.integrity import check_integrity
+
+        assert check_integrity(self.store) == []
+
+
+StoreMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestStoreStateMachine = StoreMachine.TestCase

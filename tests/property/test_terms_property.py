@@ -1,0 +1,101 @@
+"""Property-based tests for terms and N-Triples round-trips."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.ntriples import parse_ntriples_line, term_to_ntriples
+from repro.rdf.terms import (
+    BlankNode,
+    Literal,
+    URI,
+    term_from_lexical,
+)
+from repro.rdf.triple import Triple
+
+_URI_CHARS = string.ascii_letters + string.digits + "._-~/#:?=&%"
+
+
+def uris():
+    return st.builds(
+        URI,
+        st.text(alphabet=_URI_CHARS, min_size=1, max_size=40).map(
+            lambda body: "urn:x:" + body.replace(">", "")))
+
+
+def blank_nodes():
+    return st.builds(
+        BlankNode,
+        st.from_regex(r"[A-Za-z](?:[A-Za-z0-9._-]{0,19}[A-Za-z0-9_-])?",
+                      fullmatch=True))
+
+
+def literals():
+    body = st.text(max_size=60)
+    plain = st.builds(Literal, body)
+    tagged = st.builds(
+        Literal, body,
+        language=st.from_regex(r"[a-z]{2,5}(-[a-z0-9]{1,4}){0,2}",
+                               fullmatch=True))
+    typed = st.builds(
+        lambda text, dt: Literal(text, datatype=dt), body, uris())
+    return st.one_of(plain, tagged, typed)
+
+
+def terms():
+    return st.one_of(uris(), blank_nodes(), literals())
+
+
+def triples():
+    return st.builds(
+        Triple,
+        st.one_of(uris(), blank_nodes()),
+        uris(),
+        terms())
+
+
+class TestNTriplesRoundtrip:
+    @given(triples())
+    @settings(max_examples=200)
+    def test_serialize_parse_identity(self, triple):
+        line = (f"{term_to_ntriples(triple.subject)} "
+                f"{term_to_ntriples(triple.predicate)} "
+                f"{term_to_ntriples(triple.object)} .")
+        assert parse_ntriples_line(line) == triple
+
+
+class TestValueDecomposition:
+    @given(terms())
+    @settings(max_examples=200)
+    def test_value_columns_roundtrip(self, term):
+        # The decomposition into rdf_value$ columns is lossless.
+        from repro.core.values import _decompose
+
+        name, vtype, ltype, lang, long_value = _decompose(term)
+        from repro.rdf.terms import ValueType
+
+        rebuilt = term_from_lexical(
+            long_value if long_value is not None else name,
+            ValueType(vtype), literal_type=ltype, language_type=lang)
+        assert rebuilt == term
+
+
+class TestTermInvariants:
+    @given(literals())
+    def test_literal_value_type_consistency(self, literal):
+        value_type = literal.value_type
+        assert value_type.is_literal
+        assert value_type.is_long == literal.is_long
+        if literal.datatype is not None:
+            assert value_type.value in ("TL", "TLL")
+        elif literal.language is not None and not literal.is_long:
+            assert value_type.value == "PL@"
+
+    @given(terms())
+    def test_lexical_is_string(self, term):
+        assert isinstance(term.lexical, str)
+
+    @given(triples())
+    def test_triple_iter_three_terms(self, triple):
+        assert len(list(triple)) == 3

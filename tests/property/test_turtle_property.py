@@ -1,0 +1,57 @@
+"""Property test: Turtle serialization round-trips arbitrary graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.namespaces import XSD
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triple import Triple
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+
+def uris():
+    return st.builds(lambda n: URI(f"urn:x:node{n}"),
+                     st.integers(min_value=0, max_value=50))
+
+
+def blank_nodes():
+    return st.builds(lambda n: BlankNode(f"b{n}"),
+                     st.integers(min_value=0, max_value=20))
+
+
+def literals():
+    body = st.text(max_size=40)
+    return st.one_of(
+        st.builds(Literal, body),
+        st.builds(lambda t: Literal(t, language="en"), body),
+        st.builds(lambda t: Literal(t, datatype=XSD.string), body),
+        st.builds(lambda n: Literal(str(n), datatype=XSD.integer),
+                  st.integers()),
+    )
+
+
+def triples():
+    return st.builds(
+        Triple,
+        st.one_of(uris(), blank_nodes()),
+        uris(),
+        st.one_of(uris(), blank_nodes(), literals()))
+
+
+class TestTurtleRoundtrip:
+    @given(st.lists(triples(), max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_serialize_parse_identity(self, triple_list):
+        document = serialize_turtle(triple_list)
+        assert set(parse_turtle(document)) == set(triple_list)
+
+    @given(st.lists(triples(), max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_ntriples_and_turtle_agree(self, triple_list):
+        from repro.rdf.ntriples import parse_ntriples, \
+            serialize_ntriples
+
+        via_turtle = set(parse_turtle(serialize_turtle(triple_list)))
+        via_ntriples = set(parse_ntriples(
+            serialize_ntriples(triple_list)))
+        assert via_turtle == via_ntriples

@@ -1,0 +1,87 @@
+"""Tests for typed-literal canonicalization (repro.rdf.canonical)."""
+
+import pytest
+
+from repro.rdf.canonical import canonical_lexical, canonical_term
+from repro.rdf.namespaces import XSD
+from repro.rdf.terms import BlankNode, Literal, URI
+
+
+class TestCanonicalLexical:
+    @pytest.mark.parametrize("raw,expected", [
+        ("024", "24"),
+        ("+7", "7"),
+        ("-0", "0"),
+        (" 13 ", "13"),
+        ("13", "13"),
+    ])
+    def test_integers(self, raw, expected):
+        assert canonical_lexical(raw, XSD.int.value) == expected
+        assert canonical_lexical(raw, XSD.integer.value) == expected
+
+    def test_integer_garbage_left_alone(self):
+        assert canonical_lexical("not-a-number", XSD.int.value) == \
+            "not-a-number"
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("1.50", "1.5"),
+        ("2.0", "2"),
+        ("0.5", "0.5"),
+        ("-3.140", "-3.14"),
+    ])
+    def test_decimals(self, raw, expected):
+        assert canonical_lexical(raw, XSD.decimal.value) == expected
+
+    def test_float_normalisation(self):
+        assert canonical_lexical("1.0e1", XSD.double.value) == \
+            canonical_lexical("10.0", XSD.double.value)
+
+    def test_float_special_values(self):
+        assert canonical_lexical("inf", XSD.double.value) == "INF"
+        assert canonical_lexical("-inf", XSD.float.value) == "-INF"
+        assert canonical_lexical("nan", XSD.double.value) == "NaN"
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("true", "true"), ("1", "true"), ("false", "false"),
+        ("0", "false"),
+    ])
+    def test_booleans(self, raw, expected):
+        assert canonical_lexical(raw, XSD.boolean.value) == expected
+
+    def test_boolean_garbage_left_alone(self):
+        assert canonical_lexical("maybe", XSD.boolean.value) == "maybe"
+
+    def test_string_type_untouched(self):
+        assert canonical_lexical("  spaces  ", XSD.string.value) == \
+            "  spaces  "
+
+    def test_unknown_datatype_untouched(self):
+        assert canonical_lexical("024", "urn:custom:type") == "024"
+
+
+class TestCanonicalTerm:
+    def test_uri_identity(self):
+        uri = URI("gov:files")
+        assert canonical_term(uri) is uri
+
+    def test_blank_identity(self):
+        node = BlankNode("b")
+        assert canonical_term(node) is node
+
+    def test_plain_literal_identity(self):
+        literal = Literal("024")
+        assert canonical_term(literal) is literal
+
+    def test_typed_literal_normalised(self):
+        literal = Literal("024", datatype=XSD.int)
+        canonical = canonical_term(literal)
+        assert canonical == Literal("24", datatype=XSD.int)
+
+    def test_already_canonical_identity(self):
+        literal = Literal("24", datatype=XSD.int)
+        assert canonical_term(literal) is literal
+
+    def test_same_value_same_canonical(self):
+        a = canonical_term(Literal("024", datatype=XSD.int))
+        b = canonical_term(Literal("24", datatype=XSD.int))
+        assert a == b

@@ -1,0 +1,115 @@
+"""Tests for RDF containers (repro.rdf.containers)."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.rdf.containers import (
+    Alt,
+    Bag,
+    Seq,
+    container_from_triples,
+    is_membership_property,
+    membership_index,
+    membership_property,
+)
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import BlankNode, Literal, URI
+
+
+class TestMembershipProperties:
+    def test_property_generation(self):
+        assert membership_property(1) == RDF.term("_1")
+        assert membership_property(42) == RDF.term("_42")
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(TermError):
+            membership_property(0)
+
+    def test_is_membership(self):
+        assert is_membership_property(RDF.term("_1"))
+        assert is_membership_property(RDF.term("_120"))
+        assert not is_membership_property(RDF.type)
+        assert not is_membership_property(RDF.term("_0"))
+        assert not is_membership_property(URI("urn:other:_1"))
+
+    def test_index_extraction(self):
+        assert membership_index(RDF.term("_7")) == 7
+
+    def test_index_of_non_membership_raises(self):
+        with pytest.raises(TermError):
+            membership_index(RDF.type)
+
+
+class TestContainers:
+    def test_bag_triples(self):
+        bag = Bag([URI("urn:m:1"), URI("urn:m:2")])
+        triples = list(bag.triples())
+        assert triples[0].predicate == RDF.type
+        assert triples[0].object == RDF.Bag
+        assert triples[1].predicate == RDF.term("_1")
+        assert triples[2].predicate == RDF.term("_2")
+        assert len(triples) == 3
+
+    def test_fresh_blank_node_per_container(self):
+        assert Bag().node != Bag().node
+
+    def test_explicit_node(self):
+        node = URI("urn:container:students")
+        assert Seq(node=node).node == node
+
+    def test_literal_node_rejected(self):
+        with pytest.raises(TermError):
+            Bag(node=Literal("nope"))
+
+    def test_append_and_len(self):
+        seq = Seq()
+        seq.append(Literal("a"))
+        seq.append(Literal("b"))
+        assert len(seq) == 2
+        assert list(seq) == [Literal("a"), Literal("b")]
+
+    def test_alt_default(self):
+        alt = Alt([URI("urn:first"), URI("urn:second")])
+        assert alt.default == URI("urn:first")
+
+    def test_alt_empty_default_raises(self):
+        with pytest.raises(TermError):
+            Alt().default
+
+    def test_types(self):
+        assert Bag.TYPE == RDF.Bag
+        assert Seq.TYPE == RDF.Seq
+        assert Alt.TYPE == RDF.Alt
+
+
+class TestContainerRoundtrip:
+    def test_roundtrip_seq(self):
+        original = Seq([Literal("x"), Literal("y"), Literal("z")],
+                       node=BlankNode("c1"))
+        rebuilt = container_from_triples(original.node,
+                                         original.triples())
+        assert isinstance(rebuilt, Seq)
+        assert rebuilt.members == original.members
+
+    def test_roundtrip_orders_by_index(self):
+        seq = Seq([Literal("a"), Literal("b")], node=BlankNode("c2"))
+        shuffled = sorted(seq.triples(), key=str, reverse=True)
+        rebuilt = container_from_triples(seq.node, shuffled)
+        assert rebuilt.members == (Literal("a"), Literal("b"))
+
+    def test_default_kind_is_bag(self):
+        node = BlankNode("c3")
+        bag = Bag([Literal("m")], node=node)
+        # Strip the rdf:type triple; only membership remains.
+        membership_only = [triple for triple in bag.triples()
+                           if triple.predicate != RDF.type]
+        rebuilt = container_from_triples(node, membership_only)
+        assert isinstance(rebuilt, Bag)
+        assert rebuilt.members == (Literal("m"),)
+
+    def test_ignores_other_subjects(self):
+        seq = Seq([Literal("a")], node=BlankNode("c4"))
+        other = Bag([Literal("noise")], node=BlankNode("c5"))
+        rebuilt = container_from_triples(
+            seq.node, list(seq.triples()) + list(other.triples()))
+        assert rebuilt.members == (Literal("a"),)

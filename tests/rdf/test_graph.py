@@ -1,0 +1,139 @@
+"""Tests for the in-memory Graph (repro.rdf.graph)."""
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triple import Triple
+
+
+def t(s, p, o):
+    return Triple.from_text(s, p, o)
+
+
+class TestGraphMutation:
+    def test_add_new_returns_true(self):
+        graph = Graph()
+        assert graph.add(t("s:a", "p:x", "o:a")) is True
+        assert len(graph) == 1
+
+    def test_add_duplicate_returns_false(self):
+        graph = Graph([t("s:a", "p:x", "o:a")])
+        assert graph.add(t("s:a", "p:x", "o:a")) is False
+        assert len(graph) == 1
+
+    def test_add_text(self):
+        graph = Graph()
+        assert graph.add_text("s:a", "p:x", "o:a")
+        assert t("s:a", "p:x", "o:a") in graph
+
+    def test_discard_present(self):
+        graph = Graph([t("s:a", "p:x", "o:a")])
+        assert graph.discard(t("s:a", "p:x", "o:a")) is True
+        assert len(graph) == 0
+
+    def test_discard_absent(self):
+        assert Graph().discard(t("s:a", "p:x", "o:a")) is False
+
+    def test_update_counts_new_only(self):
+        graph = Graph([t("s:a", "p:x", "o:a")])
+        added = graph.update([t("s:a", "p:x", "o:a"),
+                              t("s:b", "p:x", "o:b")])
+        assert added == 1
+        assert len(graph) == 2
+
+    def test_discard_then_match_empty(self):
+        triple = t("s:a", "p:x", "o:a")
+        graph = Graph([triple])
+        graph.discard(triple)
+        assert list(graph.match(subject=URI("s:a"))) == []
+
+
+class TestGraphMatch:
+    def setup_method(self):
+        self.graph = Graph([
+            t("s:a", "p:x", "o:a"),
+            t("s:a", "p:y", "o:b"),
+            t("s:b", "p:y", "o:b"),
+            Triple(BlankNode("b1"), URI("p:x"), Literal("lit")),
+        ])
+
+    def test_match_all(self):
+        assert len(list(self.graph.match())) == 4
+
+    def test_match_by_subject(self):
+        assert len(list(self.graph.match(subject=URI("s:a")))) == 2
+
+    def test_match_by_predicate(self):
+        assert len(list(self.graph.match(predicate=URI("p:y")))) == 2
+
+    def test_match_by_object(self):
+        assert len(list(self.graph.match(obj=URI("o:b")))) == 2
+
+    def test_match_by_literal_object(self):
+        assert len(list(self.graph.match(obj=Literal("lit")))) == 1
+
+    def test_match_subject_predicate(self):
+        matches = list(self.graph.match(subject=URI("s:a"),
+                                        predicate=URI("p:y")))
+        assert matches == [t("s:a", "p:y", "o:b")]
+
+    def test_match_fully_bound_present(self):
+        assert len(list(self.graph.match(URI("s:a"), URI("p:x"),
+                                         URI("o:a")))) == 1
+
+    def test_match_fully_bound_absent(self):
+        assert list(self.graph.match(URI("s:a"), URI("p:x"),
+                                     URI("o:zzz"))) == []
+
+    def test_match_unknown_subject_empty(self):
+        assert list(self.graph.match(subject=URI("s:zzz"))) == []
+
+
+class TestGraphViews:
+    def setup_method(self):
+        self.graph = Graph([
+            t("s:a", "p:x", "o:a"),
+            t("o:a", "p:x", "o:b"),
+            Triple(BlankNode("b1"), URI("p:y"), Literal("v")),
+        ])
+
+    def test_subjects(self):
+        assert URI("s:a") in self.graph.subjects()
+        assert BlankNode("b1") in self.graph.subjects()
+
+    def test_predicates(self):
+        assert self.graph.predicates() == {URI("p:x"), URI("p:y")}
+
+    def test_objects(self):
+        assert Literal("v") in self.graph.objects()
+
+    def test_nodes_union(self):
+        nodes = self.graph.nodes()
+        assert URI("o:a") in nodes  # both subject and object
+        assert Literal("v") in nodes
+
+    def test_blank_nodes(self):
+        assert self.graph.blank_nodes() == {BlankNode("b1")}
+
+
+class TestGraphAlgebra:
+    def test_union(self):
+        a = Graph([t("s:a", "p:x", "o:a")])
+        b = Graph([t("s:b", "p:x", "o:b")])
+        merged = a | b
+        assert len(merged) == 2
+        assert len(a) == 1  # originals untouched
+
+    def test_equality(self):
+        assert Graph([t("s:a", "p:x", "o:a")]) == \
+            Graph([t("s:a", "p:x", "o:a")])
+        assert Graph() != Graph([t("s:a", "p:x", "o:a")])
+
+    def test_equality_other_type(self):
+        assert Graph() != 42
+
+    def test_iter(self):
+        triple = t("s:a", "p:x", "o:a")
+        assert list(Graph([triple])) == [triple]
+
+    def test_repr(self):
+        assert "1 triples" in repr(Graph([t("s:a", "p:x", "o:a")]))

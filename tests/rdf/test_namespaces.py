@@ -1,0 +1,125 @@
+"""Tests for repro.rdf.namespaces."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.rdf.namespaces import (
+    Alias,
+    AliasSet,
+    Namespace,
+    RDF,
+    RDFS,
+    XSD,
+    aliases,
+)
+from repro.rdf.terms import URI
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        gov = Namespace("http://www.us.gov#")
+        assert gov.terrorSuspect == URI("http://www.us.gov#terrorSuspect")
+
+    def test_item_access(self):
+        gov = Namespace("http://www.us.gov#")
+        assert gov["files"] == URI("http://www.us.gov#files")
+
+    def test_term_method(self):
+        assert Namespace("urn:x:").term("a") == URI("urn:x:a")
+
+    def test_contains(self):
+        gov = Namespace("http://www.us.gov#")
+        assert gov.files in gov
+        assert "http://elsewhere#x" not in gov
+
+    def test_local_name(self):
+        gov = Namespace("http://www.us.gov#")
+        assert gov.local_name(gov.files) == "files"
+
+    def test_local_name_outside_raises(self):
+        with pytest.raises(TermError):
+            Namespace("urn:a:").local_name("urn:b:x")
+
+    def test_underscore_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            Namespace("urn:a:")._private
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(TermError):
+            Namespace("")
+
+    def test_well_known_vocabularies(self):
+        assert RDF.type.value.endswith("22-rdf-syntax-ns#type")
+        assert RDFS.seeAlso.value.endswith("rdf-schema#seeAlso")
+        assert XSD.int.value.endswith("XMLSchema#int")
+
+
+class TestAlias:
+    def test_basic(self):
+        alias = Alias("gov", "http://www.us.gov#")
+        assert alias.namespace_id == "gov"
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(TermError):
+            Alias("", "http://x#")
+
+    def test_colon_in_prefix_rejected(self):
+        with pytest.raises(TermError):
+            Alias("a:b", "http://x#")
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(TermError):
+            Alias("gov", "")
+
+
+class TestAliasSet:
+    def test_expand_user_alias(self):
+        alias_set = aliases(("gov", "http://www.us.gov#"))
+        assert alias_set.expand("gov:files") == "http://www.us.gov#files"
+
+    def test_expand_builtin_rdf(self):
+        alias_set = AliasSet()
+        assert alias_set.expand("rdf:type") == RDF.type.value
+
+    def test_expand_unknown_prefix_unchanged(self):
+        assert AliasSet().expand("zzz:thing") == "zzz:thing"
+
+    def test_expand_full_uri_unchanged(self):
+        uri = "http://www.us.gov#files"
+        assert AliasSet().expand(uri) == uri
+
+    def test_expand_variable_unchanged(self):
+        assert AliasSet().expand("?x") == "?x"
+
+    def test_expand_literal_unchanged(self):
+        assert AliasSet().expand('"gov:files"') == '"gov:files"'
+
+    def test_expand_blank_node_unchanged(self):
+        assert AliasSet().expand("_:b1") == "_:b1"
+
+    def test_user_alias_overrides_builtin(self):
+        alias_set = aliases(("rdf", "urn:custom:"))
+        assert alias_set.expand("rdf:type") == "urn:custom:type"
+
+    def test_add_overrides_previous(self):
+        alias_set = aliases(("g", "urn:a:"))
+        alias_set.add(Alias("g", "urn:b:"))
+        assert alias_set.expand("g:x") == "urn:b:x"
+
+    def test_len_and_iter(self):
+        alias_set = aliases(("a", "urn:a:"), ("b", "urn:b:"))
+        assert len(alias_set) == 2
+        assert {alias.namespace_id for alias in alias_set} == {"a", "b"}
+
+    def test_contains_builtin(self):
+        assert "rdfs" in AliasSet()
+
+    def test_compact_prefers_longest_namespace(self):
+        alias_set = aliases(("a", "urn:x:"), ("ab", "urn:x:y:"))
+        assert alias_set.compact("urn:x:y:z") == "ab:z"
+
+    def test_compact_no_match_returns_uri(self):
+        assert AliasSet().compact("urn:none:x") == "urn:none:x"
+
+    def test_compact_builtin(self):
+        assert AliasSet().compact(RDF.type.value) == "rdf:type"

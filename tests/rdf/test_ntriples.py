@@ -1,0 +1,136 @@
+"""Tests for the N-Triples parser/serializer (repro.rdf.ntriples)."""
+
+import io
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf.ntriples import (
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+    term_to_ntriples,
+)
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triple import Triple
+
+
+class TestParseLine:
+    def test_uri_triple(self):
+        triple = parse_ntriples_line(
+            "<urn:s> <urn:p> <urn:o> .")
+        assert triple == Triple(URI("urn:s"), URI("urn:p"), URI("urn:o"))
+
+    def test_blank_subject(self):
+        triple = parse_ntriples_line("_:b1 <urn:p> <urn:o> .")
+        assert triple.subject == BlankNode("b1")
+
+    def test_plain_literal_object(self):
+        triple = parse_ntriples_line('<urn:s> <urn:p> "hello" .')
+        assert triple.object == Literal("hello")
+
+    def test_language_literal(self):
+        triple = parse_ntriples_line('<urn:s> <urn:p> "salut"@fr .')
+        assert triple.object == Literal("salut", language="fr")
+
+    def test_typed_literal(self):
+        triple = parse_ntriples_line(
+            '<urn:s> <urn:p> "25"^^'
+            "<http://www.w3.org/2001/XMLSchema#int> .")
+        assert triple.object.datatype.value.endswith("#int")
+
+    def test_escapes_in_literal(self):
+        triple = parse_ntriples_line(
+            '<urn:s> <urn:p> "line1\\nline2\\t\\"q\\"" .')
+        assert triple.object == Literal('line1\nline2\t"q"')
+
+    def test_unicode_escape(self):
+        triple = parse_ntriples_line('<urn:s> <urn:p> "\\u00e9" .')
+        assert triple.object == Literal("é")
+
+    def test_trailing_comment_allowed(self):
+        triple = parse_ntriples_line("<urn:s> <urn:p> <urn:o> . # note")
+        assert triple.predicate == URI("urn:p")
+
+    def test_missing_terminator(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<urn:s> <urn:p> <urn:o>")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<urn:s> <urn:p> <urn:o> . garbage")
+
+    def test_unterminated_uri(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<urn:s <urn:p> <urn:o> .")
+
+    def test_unterminated_literal(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line('<urn:s> <urn:p> "open .')
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line('"lit" <urn:p> <urn:o> .')
+
+    def test_blank_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<urn:s> _:b <urn:o> .")
+
+    def test_too_few_terms(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<urn:s> <urn:p> .")
+
+
+class TestParseDocument:
+    DOC = """\
+# a comment
+<urn:s1> <urn:p> <urn:o1> .
+
+<urn:s2> <urn:p> "v" .
+"""
+
+    def test_from_string(self):
+        triples = list(parse_ntriples(self.DOC))
+        assert len(triples) == 2
+
+    def test_from_stream(self):
+        triples = list(parse_ntriples(io.StringIO(self.DOC)))
+        assert len(triples) == 2
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            list(parse_ntriples("<urn:s> <urn:p> <urn:o> .\nbad line .\n"))
+        assert excinfo.value.line == 2
+
+    def test_empty_document(self):
+        assert list(parse_ntriples("")) == []
+
+
+class TestSerialize:
+    def test_term_spelling(self):
+        assert term_to_ntriples(URI("urn:s")) == "<urn:s>"
+        assert term_to_ntriples(BlankNode("b1")) == "_:b1"
+        assert term_to_ntriples(Literal("v")) == '"v"'
+        assert term_to_ntriples(Literal("v", language="en")) == '"v"@en'
+        typed = Literal("1", datatype=URI("urn:t"))
+        assert term_to_ntriples(typed) == '"1"^^<urn:t>'
+
+    def test_escaping(self):
+        assert term_to_ntriples(Literal('a"b\n')) == '"a\\"b\\n"'
+
+    def test_roundtrip(self):
+        triples = [
+            Triple(URI("urn:s"), URI("urn:p"), Literal('x "y"\nz')),
+            Triple(BlankNode("b"), URI("urn:p"),
+                   Literal("1", datatype=URI("urn:t"))),
+            Triple(URI("urn:s"), URI("urn:p"), Literal("fr", language="fr")),
+        ]
+        document = serialize_ntriples(triples)
+        assert list(parse_ntriples(document)) == triples
+
+    def test_serialize_to_stream(self):
+        out = io.StringIO()
+        result = serialize_ntriples(
+            [Triple(URI("urn:s"), URI("urn:p"), URI("urn:o"))], out=out)
+        assert result is None
+        assert out.getvalue() == "<urn:s> <urn:p> <urn:o> .\n"

@@ -1,0 +1,206 @@
+"""Tests for the RDF/XML subset parser (repro.rdf.rdfxml)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf.namespaces import RDF
+from repro.rdf.rdfxml import parse_rdfxml
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triple import Triple
+
+HEADER = ('<rdf:RDF xmlns:rdf='
+          '"http://www.w3.org/1999/02/22-rdf-syntax-ns#" '
+          'xmlns:up="urn:lsid:uniprot.org:ontology:" '
+          'xmlns:gov="http://www.us.gov#"')
+
+
+def doc(body, extra_attrs=""):
+    return f"{HEADER}{extra_attrs}>{body}</rdf:RDF>"
+
+
+class TestDescriptions:
+    def test_simple_description(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description rdf:about="urn:s">'
+            '<gov:name>John</gov:name></rdf:Description>'))
+        assert triples == [Triple(URI("urn:s"),
+                                  URI("http://www.us.gov#name"),
+                                  Literal("John"))]
+
+    def test_resource_reference(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description rdf:about="urn:s">'
+            '<gov:knows rdf:resource="urn:o"/></rdf:Description>'))
+        assert triples[0].object == URI("urn:o")
+
+    def test_typed_node_element(self):
+        triples = parse_rdfxml(doc(
+            '<up:Protein rdf:about="urn:lsid:uniprot.org:uniprot:P1"/>'))
+        assert triples == [Triple(
+            URI("urn:lsid:uniprot.org:uniprot:P1"), RDF.type,
+            URI("urn:lsid:uniprot.org:ontology:Protein"))]
+
+    def test_blank_node_via_nodeid(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description rdf:nodeID="b1">'
+            '<gov:p rdf:nodeID="b2"/></rdf:Description>'))
+        assert triples[0].subject == BlankNode("b1")
+        assert triples[0].object == BlankNode("b2")
+
+    def test_anonymous_description(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description><gov:p>v</gov:p></rdf:Description>'))
+        assert isinstance(triples[0].subject, BlankNode)
+
+    def test_rdf_id_with_base(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description rdf:ID="thing">'
+            '<gov:p>v</gov:p></rdf:Description>',
+            extra_attrs=' xml:base="http://example.org/doc"'))
+        assert triples[0].subject == URI("http://example.org/doc#thing")
+
+    def test_nested_node_element(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description rdf:about="urn:s">'
+            '<gov:knows><rdf:Description rdf:about="urn:o">'
+            '<gov:name>Jane</gov:name>'
+            '</rdf:Description></gov:knows></rdf:Description>'))
+        assert len(triples) == 2
+        assert Triple(URI("urn:s"), URI("http://www.us.gov#knows"),
+                      URI("urn:o")) in triples
+
+    def test_property_attributes(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description rdf:about="urn:s" gov:name="John" '
+            'gov:age="42"/>'))
+        objects = {t.predicate.value: t.object for t in triples}
+        assert objects["http://www.us.gov#name"] == Literal("John")
+        assert objects["http://www.us.gov#age"] == Literal("42")
+
+
+class TestLiterals:
+    def test_datatype(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description rdf:about="urn:s">'
+            '<gov:age rdf:datatype='
+            '"http://www.w3.org/2001/XMLSchema#int">42</gov:age>'
+            '</rdf:Description>'))
+        assert triples[0].object == Literal(
+            "42", datatype=URI("http://www.w3.org/2001/XMLSchema#int"))
+
+    def test_xml_lang_on_property(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description rdf:about="urn:s">'
+            '<gov:name xml:lang="fr">Jean</gov:name>'
+            '</rdf:Description>'))
+        assert triples[0].object == Literal("Jean", language="fr")
+
+    def test_xml_lang_inherited(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description rdf:about="urn:s" xml:lang="de">'
+            '<gov:name>Johann</gov:name></rdf:Description>'))
+        assert triples[0].object == Literal("Johann", language="de")
+
+    def test_empty_literal(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description rdf:about="urn:s"><gov:note/>'
+            '</rdf:Description>'))
+        assert triples[0].object == Literal("")
+
+
+class TestContainers:
+    def test_li_expansion(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Bag rdf:about="urn:bag">'
+            '<rdf:li rdf:resource="urn:m1"/>'
+            '<rdf:li rdf:resource="urn:m2"/></rdf:Bag>'))
+        predicates = [t.predicate for t in triples
+                      if t.predicate != RDF.type]
+        assert predicates == [RDF.term("_1"), RDF.term("_2")]
+        assert Triple(URI("urn:bag"), RDF.type, RDF.Bag) in triples
+
+
+class TestReificationViaRdfID:
+    DOCUMENT = doc(
+        '<rdf:Description rdf:about="urn:s">'
+        '<gov:terrorSuspect rdf:ID="stmt1" rdf:resource="urn:o"/>'
+        '</rdf:Description>',
+        extra_attrs=' xml:base="http://example.org/intel"')
+
+    def test_emits_base_plus_quad(self):
+        triples = parse_rdfxml(self.DOCUMENT)
+        assert len(triples) == 5  # base + 4 quad statements
+
+    def test_quad_structure(self):
+        from repro.rdf.reification_vocab import collect_quads
+
+        triples = parse_rdfxml(self.DOCUMENT)
+        complete, incomplete, others = collect_quads(triples)
+        assert len(complete) == 1
+        assert not incomplete
+        quad = complete[0]
+        assert quad.resource == URI("http://example.org/intel#stmt1")
+        assert quad.triple == others[0]
+
+    def test_feeds_quad_converter(self, store, cia_table):
+        from repro.reification.quads import QuadConverter
+        from repro.reification.streamlined import reification_count
+
+        report = QuadConverter(store, "cia").convert(
+            parse_rdfxml(self.DOCUMENT))
+        assert report.quads_converted == 1
+        assert reification_count(store, "cia") == 1
+
+
+class TestParseTypes:
+    def test_parse_type_resource(self):
+        triples = parse_rdfxml(doc(
+            '<rdf:Description rdf:about="urn:s">'
+            '<gov:address rdf:parseType="Resource">'
+            '<gov:city>Brooklyn</gov:city>'
+            '<gov:state>NY</gov:state>'
+            '</gov:address></rdf:Description>'))
+        assert len(triples) == 3
+        address = [t.object for t in triples
+                   if t.predicate.value.endswith("address")][0]
+        assert isinstance(address, BlankNode)
+        cities = [t for t in triples
+                  if t.predicate.value.endswith("city")]
+        assert cities[0].subject == address
+
+    def test_parse_type_collection_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rdfxml(doc(
+                '<rdf:Description rdf:about="urn:s">'
+                '<gov:list rdf:parseType="Collection"/>'
+                '</rdf:Description>'))
+
+    def test_parse_type_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rdfxml(doc(
+                '<rdf:Description rdf:about="urn:s">'
+                '<gov:xml rdf:parseType="Literal">x</gov:xml>'
+                '</rdf:Description>'))
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(ParseError):
+            parse_rdfxml("<rdf:RDF <broken")
+
+    def test_two_children_in_property_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rdfxml(doc(
+                '<rdf:Description rdf:about="urn:s"><gov:p>'
+                '<rdf:Description rdf:about="urn:a"/>'
+                '<rdf:Description rdf:about="urn:b"/>'
+                '</gov:p></rdf:Description>'))
+
+    def test_document_without_rdf_root(self):
+        # A bare node element (no rdf:RDF wrapper) is accepted.
+        triples = parse_rdfxml(
+            '<rdf:Description xmlns:rdf='
+            '"http://www.w3.org/1999/02/22-rdf-syntax-ns#" '
+            'xmlns:gov="http://www.us.gov#" rdf:about="urn:s">'
+            '<gov:p>v</gov:p></rdf:Description>')
+        assert len(triples) == 1

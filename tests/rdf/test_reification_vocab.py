@@ -1,0 +1,108 @@
+"""Tests for the reification vocabulary and quad collection."""
+
+import pytest
+
+from repro.errors import IncompleteQuadError, TermError
+from repro.rdf.namespaces import RDF
+from repro.rdf.reification_vocab import (
+    Quad,
+    collect_quads,
+    expand_quad,
+    is_reification_predicate,
+)
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+
+
+BASE = Triple.from_text("gov:files", "gov:terrorSuspect", "id:JohnDoe")
+R = URI("urn:reif:1")
+
+
+class TestExpandQuad:
+    def test_four_statements(self):
+        statements = expand_quad(R, BASE)
+        assert len(statements) == 4
+        assert statements[0] == Triple(R, RDF.type, RDF.Statement)
+        assert statements[1] == Triple(R, RDF.subject, BASE.subject)
+        assert statements[2] == Triple(R, RDF.predicate, BASE.predicate)
+        assert statements[3] == Triple(R, RDF.object, BASE.object)
+
+    def test_literal_resource_rejected(self):
+        with pytest.raises(TermError):
+            expand_quad(Literal("nope"), BASE)
+
+    def test_quad_statements_iterator(self):
+        quad = Quad(R, BASE)
+        assert list(quad.statements()) == expand_quad(R, BASE)
+
+
+class TestIsReificationPredicate:
+    def test_members(self):
+        for predicate in (RDF.type, RDF.subject, RDF.predicate,
+                          RDF.object):
+            assert is_reification_predicate(predicate)
+
+    def test_non_members(self):
+        assert not is_reification_predicate(RDF.Bag)
+        assert not is_reification_predicate(URI("gov:terrorSuspect"))
+
+
+class TestCollectQuads:
+    def test_complete_quad(self):
+        complete, incomplete, others = collect_quads(expand_quad(R, BASE))
+        assert len(complete) == 1
+        assert complete[0].triple == BASE
+        assert incomplete == []
+        assert others == []
+
+    def test_ordinary_triples_pass_through(self):
+        extra = Triple.from_text("s:x", "p:x", "o:x")
+        complete, incomplete, others = collect_quads(
+            [extra] + expand_quad(R, BASE))
+        assert others == [extra]
+        assert len(complete) == 1
+
+    def test_out_of_order_statements(self):
+        statements = expand_quad(R, BASE)
+        statements.reverse()
+        complete, incomplete, _others = collect_quads(statements)
+        assert len(complete) == 1
+        assert not incomplete
+
+    def test_incomplete_quad_detected(self):
+        statements = expand_quad(R, BASE)[:3]  # drop rdf:object
+        complete, incomplete, _others = collect_quads(statements)
+        assert complete == []
+        assert len(incomplete) == 1
+        assert incomplete[0].missing() == ["rdf:object"]
+
+    def test_type_only_is_incomplete(self):
+        complete, incomplete, _ = collect_quads(
+            [Triple(R, RDF.type, RDF.Statement)])
+        assert complete == []
+        assert len(incomplete[0].missing()) == 3
+
+    def test_two_interleaved_quads(self):
+        r2 = URI("urn:reif:2")
+        base2 = Triple.from_text("s:x", "p:x", "o:x")
+        interleaved = [
+            statement for pair in zip(expand_quad(R, BASE),
+                                      expand_quad(r2, base2))
+            for statement in pair]
+        complete, incomplete, _ = collect_quads(interleaved)
+        assert len(complete) == 2
+        assert not incomplete
+        assert {quad.triple for quad in complete} == {BASE, base2}
+
+    def test_non_statement_rdf_type_is_ordinary(self):
+        typed = Triple(URI("s:x"), RDF.type, URI("c:Person"))
+        complete, incomplete, others = collect_quads([typed])
+        assert others == [typed]
+        assert not complete and not incomplete
+
+    def test_incomplete_complete_raises(self):
+        statements = expand_quad(R, BASE)[:2]
+        _, incomplete, _ = collect_quads(statements)
+        with pytest.raises(IncompleteQuadError) as excinfo:
+            incomplete[0].complete()
+        assert "rdf:predicate" in str(excinfo.value)

@@ -1,0 +1,251 @@
+"""Tests for the RDF term model (repro.rdf.terms)."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.rdf.terms import (
+    LONG_LITERAL_THRESHOLD,
+    BlankNode,
+    Literal,
+    URI,
+    ValueType,
+    parse_term_text,
+    term_from_lexical,
+)
+
+
+class TestURI:
+    def test_full_uri(self):
+        uri = URI("http://www.us.gov#terrorSuspect")
+        assert uri.value == "http://www.us.gov#terrorSuspect"
+        assert uri.value_type is ValueType.URI
+        assert not uri.is_literal
+
+    def test_lsid_uri(self):
+        uri = URI("urn:lsid:uniprot.org:uniprot:P93259")
+        assert uri.lexical == "urn:lsid:uniprot.org:uniprot:P93259"
+
+    def test_prefixed_name_accepted(self):
+        assert URI("gov:terrorSuspect").value == "gov:terrorSuspect"
+
+    def test_dburi_accepted(self):
+        uri = URI("/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID=2051]")
+        assert uri.value_type is ValueType.URI
+
+    def test_empty_rejected(self):
+        with pytest.raises(TermError):
+            URI("")
+
+    def test_blank_node_label_rejected(self):
+        with pytest.raises(TermError):
+            URI("_:b1")
+
+    def test_whitespace_rejected(self):
+        with pytest.raises(TermError):
+            URI("http://example.org/a b")
+
+    def test_equality_and_hash(self):
+        assert URI("gov:files") == URI("gov:files")
+        assert hash(URI("gov:files")) == hash(URI("gov:files"))
+        assert URI("gov:files") != URI("gov:file")
+
+    def test_str(self):
+        assert str(URI("gov:files")) == "gov:files"
+
+
+class TestBlankNode:
+    def test_bare_label(self):
+        node = BlankNode("anyname001")
+        assert node.label == "anyname001"
+        assert node.lexical == "_:anyname001"
+        assert node.value_type is ValueType.BLANK_NODE
+
+    def test_prefixed_label_normalised(self):
+        assert BlankNode("_:b1") == BlankNode("b1")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TermError):
+            BlankNode("")
+
+    def test_bad_characters_rejected(self):
+        with pytest.raises(TermError):
+            BlankNode("has space")
+
+    def test_leading_digit_rejected(self):
+        with pytest.raises(TermError):
+            BlankNode("1abc")
+
+    def test_not_literal(self):
+        assert not BlankNode("b").is_literal
+
+
+class TestLiteral:
+    def test_plain(self):
+        literal = Literal("bombing")
+        assert literal.value_type is ValueType.PLAIN_LITERAL
+        assert literal.is_literal
+        assert str(literal) == '"bombing"'
+
+    def test_language_tagged(self):
+        literal = Literal("chat", language="fr")
+        assert literal.value_type is ValueType.PLAIN_LITERAL_LANG
+        assert str(literal) == '"chat"@fr'
+
+    def test_language_normalised_lowercase(self):
+        assert Literal("x", language="EN-us").language == "en-us"
+
+    def test_typed(self):
+        literal = Literal(
+            "25", datatype=URI("http://www.w3.org/2001/XMLSchema#int"))
+        assert literal.value_type is ValueType.TYPED_LITERAL
+        assert str(literal).endswith("XMLSchema#int>")
+
+    def test_language_and_datatype_conflict(self):
+        with pytest.raises(TermError):
+            Literal("x", language="en",
+                    datatype=URI("http://www.w3.org/2001/XMLSchema#string"))
+
+    def test_bad_language_tag(self):
+        with pytest.raises(TermError):
+            Literal("x", language="not a tag")
+
+    def test_long_literal_plain(self):
+        literal = Literal("x" * (LONG_LITERAL_THRESHOLD + 1))
+        assert literal.is_long
+        assert literal.value_type is ValueType.PLAIN_LONG_LITERAL
+
+    def test_long_literal_typed(self):
+        literal = Literal(
+            "x" * (LONG_LITERAL_THRESHOLD + 1),
+            datatype=URI("http://www.w3.org/2001/XMLSchema#string"))
+        assert literal.value_type is ValueType.TYPED_LONG_LITERAL
+
+    def test_exactly_threshold_is_not_long(self):
+        assert not Literal("x" * LONG_LITERAL_THRESHOLD).is_long
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TermError):
+            Literal(25)  # type: ignore[arg-type]
+
+
+class TestValueType:
+    def test_literal_flags(self):
+        assert ValueType.PLAIN_LITERAL.is_literal
+        assert ValueType.TYPED_LONG_LITERAL.is_literal
+        assert not ValueType.URI.is_literal
+        assert not ValueType.BLANK_NODE.is_literal
+
+    def test_long_flags(self):
+        assert ValueType.PLAIN_LONG_LITERAL.is_long
+        assert ValueType.TYPED_LONG_LITERAL.is_long
+        assert not ValueType.TYPED_LITERAL.is_long
+
+    def test_codes_match_paper(self):
+        assert ValueType.URI.value == "UR"
+        assert ValueType.BLANK_NODE.value == "BN"
+        assert ValueType.PLAIN_LITERAL.value == "PL"
+        assert ValueType.PLAIN_LITERAL_LANG.value == "PL@"
+        assert ValueType.TYPED_LITERAL.value == "TL"
+        assert ValueType.PLAIN_LONG_LITERAL.value == "PLL"
+        assert ValueType.TYPED_LONG_LITERAL.value == "TLL"
+
+
+class TestParseTermText:
+    def test_bare_uri(self):
+        assert parse_term_text("http://example.org/x") == URI(
+            "http://example.org/x")
+
+    def test_angle_bracket_uri(self):
+        assert parse_term_text("<http://example.org/x>") == URI(
+            "http://example.org/x")
+
+    def test_prefixed_name(self):
+        assert parse_term_text("gov:files") == URI("gov:files")
+
+    def test_blank_node(self):
+        assert parse_term_text("_:b1") == BlankNode("b1")
+
+    def test_plain_literal_quoted(self):
+        assert parse_term_text('"bombing"') == Literal("bombing")
+
+    def test_bare_word_is_literal(self):
+        # The paper's DHS example: <id:JimDoe, gov:terrorAction, bombing>.
+        assert parse_term_text("bombing") == Literal("bombing")
+
+    def test_language_literal(self):
+        assert parse_term_text('"chat"@fr') == Literal("chat",
+                                                       language="fr")
+
+    def test_typed_literal_angle(self):
+        parsed = parse_term_text(
+            '"25"^^<http://www.w3.org/2001/XMLSchema#int>')
+        assert parsed == Literal(
+            "25", datatype=URI("http://www.w3.org/2001/XMLSchema#int"))
+
+    def test_typed_literal_bare_datatype_expands(self):
+        # Well-known prefixes expand at parse time, so xsd:int and the
+        # full datatype URI denote the same stored value.
+        parsed = parse_term_text('"25"^^xsd:int')
+        assert parsed.datatype == URI(
+            "http://www.w3.org/2001/XMLSchema#int")
+
+    def test_well_known_prefix_expands(self):
+        parsed = parse_term_text("rdf:type")
+        assert parsed == URI(
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+    def test_unknown_prefix_kept_verbatim(self):
+        assert parse_term_text("gov:files") == URI("gov:files")
+
+    def test_escaped_quote_in_literal(self):
+        assert parse_term_text('"say \\"hi\\""') == Literal('say "hi"')
+
+    def test_dburi(self):
+        parsed = parse_term_text("/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID=1]")
+        assert isinstance(parsed, URI)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TermError):
+            parse_term_text("")
+
+    def test_unterminated_literal_rejected(self):
+        with pytest.raises(TermError):
+            parse_term_text('"unterminated')
+
+    def test_bad_suffix_rejected(self):
+        with pytest.raises(TermError):
+            parse_term_text('"x"~~nonsense')
+
+
+class TestTermFromLexical:
+    def test_uri_roundtrip(self):
+        assert term_from_lexical("gov:files", ValueType.URI) == URI(
+            "gov:files")
+
+    def test_blank_roundtrip(self):
+        assert term_from_lexical("_:b1", ValueType.BLANK_NODE) == \
+            BlankNode("b1")
+
+    def test_plain_literal(self):
+        assert term_from_lexical("x", ValueType.PLAIN_LITERAL) == \
+            Literal("x")
+
+    def test_typed_requires_literal_type(self):
+        with pytest.raises(TermError):
+            term_from_lexical("25", ValueType.TYPED_LITERAL)
+
+    def test_lang_requires_language(self):
+        with pytest.raises(TermError):
+            term_from_lexical("x", ValueType.PLAIN_LITERAL_LANG)
+
+    def test_typed_with_datatype(self):
+        term = term_from_lexical("25", ValueType.TYPED_LITERAL,
+                                 literal_type="xsd:int")
+        assert term == Literal("25", datatype=URI("xsd:int"))
+
+    def test_long_plain_with_language(self):
+        term = term_from_lexical("y" * 5000,
+                                 ValueType.PLAIN_LONG_LITERAL,
+                                 language_type="en")
+        assert term.language == "en"
+        assert term.is_long

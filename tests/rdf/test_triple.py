@@ -1,0 +1,89 @@
+"""Tests for repro.rdf.triple."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triple import Triple
+
+
+class TestTripleConstruction:
+    def test_basic(self):
+        triple = Triple(URI("gov:files"), URI("gov:terrorSuspect"),
+                        URI("id:JohnDoe"))
+        assert triple.subject == URI("gov:files")
+        assert triple.predicate == URI("gov:terrorSuspect")
+        assert triple.object == URI("id:JohnDoe")
+
+    def test_blank_subject_allowed(self):
+        triple = Triple(BlankNode("b"), URI("p:x"), Literal("v"))
+        assert triple.subject == BlankNode("b")
+
+    def test_literal_object_allowed(self):
+        assert Triple(URI("s:x"), URI("p:x"), Literal("v")).object == \
+            Literal("v")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TermError):
+            Triple(Literal("nope"), URI("p:x"), URI("o:x"))
+
+    def test_blank_predicate_rejected(self):
+        with pytest.raises(TermError):
+            Triple(URI("s:x"), BlankNode("b"), URI("o:x"))
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(TermError):
+            Triple(URI("s:x"), Literal("p"), URI("o:x"))
+
+    def test_non_term_rejected(self):
+        with pytest.raises(TermError):
+            Triple("s:x", URI("p:x"), URI("o:x"))  # type: ignore
+
+
+class TestFromText:
+    def test_paper_example(self):
+        triple = Triple.from_text("gov:files", "gov:terrorSuspect",
+                                  "id:JohnDoe")
+        assert triple.object == URI("id:JohnDoe")
+
+    def test_literal_object(self):
+        triple = Triple.from_text("id:JimDoe", "gov:terrorAction",
+                                  "bombing")
+        assert triple.object == Literal("bombing")
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(TermError):
+            Triple.from_text("s:x", '"literal predicate"', "o:x")
+
+
+class TestTripleBehaviour:
+    def test_iteration_order(self):
+        triple = Triple.from_text("s:x", "p:x", "o:x")
+        assert list(triple) == [URI("s:x"), URI("p:x"), URI("o:x")]
+
+    def test_equality_and_hash(self):
+        a = Triple.from_text("s:x", "p:x", "o:x")
+        b = Triple.from_text("s:x", "p:x", "o:x")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_str_matches_paper_notation(self):
+        triple = Triple.from_text("gov:files", "gov:terrorSuspect",
+                                  "id:JohnDoe")
+        assert str(triple) == "<gov:files, gov:terrorSuspect, id:JohnDoe>"
+
+    def test_replace_subject(self):
+        triple = Triple.from_text("s:x", "p:x", "o:x")
+        replaced = triple.replace(subject=URI("s:y"))
+        assert replaced.subject == URI("s:y")
+        assert replaced.predicate == triple.predicate
+        assert triple.subject == URI("s:x")  # original untouched
+
+    def test_replace_object(self):
+        triple = Triple.from_text("s:x", "p:x", "o:x")
+        assert triple.replace(obj=Literal("v")).object == Literal("v")
+
+    def test_replace_validates(self):
+        triple = Triple.from_text("s:x", "p:x", "o:x")
+        with pytest.raises(TermError):
+            triple.replace(subject=Literal("bad"))

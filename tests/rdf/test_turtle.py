@@ -1,0 +1,240 @@
+"""Tests for the Turtle subset parser/serializer (repro.rdf.turtle)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf.namespaces import RDF, XSD, aliases
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triple import Triple
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+
+class TestBasicStatements:
+    def test_full_iris(self):
+        triples = parse_turtle("<urn:s> <urn:p> <urn:o> .")
+        assert triples == [Triple(URI("urn:s"), URI("urn:p"),
+                                  URI("urn:o"))]
+
+    def test_prefix_directive(self):
+        document = """
+        @prefix gov: <http://www.us.gov#> .
+        gov:files gov:terrorSuspect <urn:JohnDoe> .
+        """
+        triples = parse_turtle(document)
+        assert triples[0].subject == URI("http://www.us.gov#files")
+
+    def test_sparql_style_prefix(self):
+        document = """
+        PREFIX gov: <http://www.us.gov#>
+        gov:a gov:b gov:c .
+        """
+        assert len(parse_turtle(document)) == 1
+
+    def test_default_prefix(self):
+        document = """
+        @prefix : <urn:default#> .
+        :a :b :c .
+        """
+        triples = parse_turtle(document)
+        assert triples[0].subject == URI("urn:default#a")
+
+    def test_well_known_prefix_without_declaration(self):
+        triples = parse_turtle("<urn:s> rdf:type <urn:Class> .")
+        assert triples[0].predicate == RDF.type
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(ParseError):
+            parse_turtle("zzz:a zzz:b zzz:c .")
+
+    def test_a_keyword(self):
+        triples = parse_turtle("<urn:s> a <urn:Class> .")
+        assert triples[0].predicate == RDF.type
+
+    def test_comments_ignored(self):
+        document = """
+        # leading comment
+        <urn:s> <urn:p> <urn:o> . # trailing comment
+        """
+        assert len(parse_turtle(document)) == 1
+
+    def test_labelled_blank_nodes(self):
+        triples = parse_turtle("_:b1 <urn:p> _:b2 .")
+        assert triples[0].subject == BlankNode("b1")
+        assert triples[0].object == BlankNode("b2")
+
+
+class TestAbbreviations:
+    def test_predicate_list(self):
+        document = """
+        <urn:s> <urn:p1> <urn:o1> ;
+                <urn:p2> <urn:o2> .
+        """
+        triples = parse_turtle(document)
+        assert len(triples) == 2
+        assert {t.predicate.value for t in triples} == {"urn:p1",
+                                                        "urn:p2"}
+
+    def test_object_list(self):
+        triples = parse_turtle("<urn:s> <urn:p> <urn:o1>, <urn:o2> .")
+        assert len(triples) == 2
+        assert all(t.subject == URI("urn:s") for t in triples)
+
+    def test_trailing_semicolon(self):
+        triples = parse_turtle("<urn:s> <urn:p> <urn:o> ; .")
+        assert len(triples) == 1
+
+    def test_anonymous_blank_node_object(self):
+        document = "<urn:s> <urn:p> [ <urn:q> <urn:o> ] ."
+        triples = parse_turtle(document)
+        assert len(triples) == 2
+        blank = [t.object for t in triples
+                 if isinstance(t.object, BlankNode)][0]
+        inner = [t for t in triples if t.subject == blank][0]
+        assert inner.predicate == URI("urn:q")
+
+    def test_anonymous_blank_node_subject(self):
+        triples = parse_turtle("[ <urn:p> <urn:o> ] <urn:q> <urn:r> .")
+        assert len(triples) == 2
+
+    def test_empty_blank_node(self):
+        triples = parse_turtle("<urn:s> <urn:p> [] .")
+        assert len(triples) == 1
+        assert isinstance(triples[0].object, BlankNode)
+
+    def test_nested_blank_nodes(self):
+        document = "<urn:s> <urn:p> [ <urn:q> [ <urn:r> <urn:o> ] ] ."
+        assert len(parse_turtle(document)) == 3
+
+
+class TestLiterals:
+    def test_plain_string(self):
+        triples = parse_turtle('<urn:s> <urn:p> "hello" .')
+        assert triples[0].object == Literal("hello")
+
+    def test_escapes(self):
+        triples = parse_turtle('<urn:s> <urn:p> "a\\nb\\"c" .')
+        assert triples[0].object == Literal('a\nb"c')
+
+    def test_language_tag(self):
+        triples = parse_turtle('<urn:s> <urn:p> "chat"@fr .')
+        assert triples[0].object == Literal("chat", language="fr")
+
+    def test_typed_literal(self):
+        triples = parse_turtle('<urn:s> <urn:p> "42"^^xsd:int .')
+        assert triples[0].object == Literal("42", datatype=XSD.int)
+
+    def test_integer_shorthand(self):
+        triples = parse_turtle("<urn:s> <urn:p> 42 .")
+        assert triples[0].object == Literal("42", datatype=XSD.integer)
+
+    def test_negative_integer(self):
+        triples = parse_turtle("<urn:s> <urn:p> -7 .")
+        assert triples[0].object == Literal("-7", datatype=XSD.integer)
+
+    def test_decimal_shorthand(self):
+        triples = parse_turtle("<urn:s> <urn:p> 4.2 .")
+        assert triples[0].object == Literal("4.2",
+                                            datatype=XSD.decimal)
+
+    def test_double_shorthand(self):
+        triples = parse_turtle("<urn:s> <urn:p> 1.0e3 .")
+        assert triples[0].object.datatype == XSD.double
+
+    def test_boolean_shorthand(self):
+        triples = parse_turtle("<urn:s> <urn:p> true, false .")
+        assert {t.object.lexical_form for t in triples} == {"true",
+                                                            "false"}
+
+    def test_long_string(self):
+        # A quote immediately before the closing delimiter must be
+        # escaped, per the Turtle grammar.
+        document = '<urn:s> <urn:p> """line1\nline2 "quoted\\"""" .'
+        triples = parse_turtle(document)
+        assert triples[0].object == Literal('line1\nline2 "quoted"')
+
+    def test_long_string_internal_quotes(self):
+        document = '<urn:s> <urn:p> """say "hi" twice""" .'
+        triples = parse_turtle(document)
+        assert triples[0].object == Literal('say "hi" twice')
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "<urn:s> <urn:p> <urn:o>",          # missing dot
+        "<urn:s> <urn:p> .",                # missing object
+        '"literal" <urn:p> <urn:o> .',      # literal subject
+        "<urn:s> _:b <urn:o> .",            # blank predicate
+        "@prefix broken",                   # bad directive
+        "@base <urn:base#> .",              # unsupported directive
+        "<urn:s> <urn:p> (1 2) .",          # collections unsupported
+        "<urn:s> <urn:p> [ <urn:q> <urn:o> .",  # unclosed bracket
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_turtle(bad)
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_turtle("<urn:s> <urn:p> <urn:o> .\nzzz:x zzz:y zzz:z .")
+        assert excinfo.value.line == 2
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        triples = [
+            Triple(URI("urn:s"), RDF.type, URI("urn:Class")),
+            Triple(URI("urn:s"), URI("urn:p"), Literal("v")),
+            Triple(URI("urn:s"), URI("urn:p"),
+                   Literal("42", datatype=XSD.int)),
+            Triple(URI("urn:s2"), URI("urn:p"),
+                   Literal("fr", language="fr")),
+            Triple(BlankNode("b1"), URI("urn:p"), URI("urn:s")),
+        ]
+        document = serialize_turtle(triples)
+        assert set(parse_turtle(document)) == set(triples)
+
+    def test_groups_by_subject(self):
+        triples = [
+            Triple(URI("urn:s"), URI("urn:p1"), Literal("a")),
+            Triple(URI("urn:s"), URI("urn:p2"), Literal("b")),
+        ]
+        document = serialize_turtle(triples)
+        assert document.count("<urn:s>") == 1
+        assert " ;" in document
+
+    def test_uses_a_for_rdf_type(self):
+        document = serialize_turtle(
+            [Triple(URI("urn:s"), RDF.type, URI("urn:C"))])
+        assert " a " in document.replace("\n", " ")
+
+    def test_prefix_compaction(self):
+        gov = aliases(("gov", "http://www.us.gov#"))
+        triples = [Triple(URI("http://www.us.gov#files"),
+                          URI("http://www.us.gov#terrorSuspect"),
+                          URI("http://www.us.gov#X"))]
+        document = serialize_turtle(triples, aliases=gov)
+        assert "@prefix gov: <http://www.us.gov#> ." in document
+        assert "gov:files" in document
+        # And it parses back to the same triples.
+        assert parse_turtle(document) == triples
+
+    def test_unsafe_local_names_stay_full_iris(self):
+        # A local name with '/' is not legal pname syntax; the
+        # serializer must fall back to <...> so output re-parses.
+        gov = aliases(("x", "urn:x:"))
+        triples = [Triple(URI("urn:x:path/with/slashes"),
+                          URI("urn:x:p"), Literal("v"))]
+        document = serialize_turtle(triples, aliases=gov)
+        assert "<urn:x:path/with/slashes>" in document
+        assert parse_turtle(document) == triples
+
+    def test_empty_input(self):
+        assert serialize_turtle([]) == ""
+
+    def test_deterministic(self):
+        triples = [
+            Triple(URI("urn:b"), URI("urn:p"), Literal("2")),
+            Triple(URI("urn:a"), URI("urn:p"), Literal("1")),
+        ]
+        assert serialize_turtle(triples) == \
+            serialize_turtle(list(reversed(triples)))

@@ -1,0 +1,77 @@
+"""Tests for the naive quad-store baseline (repro.reification.naive)."""
+
+from repro.rdf.terms import URI
+from repro.rdf.triple import Triple
+from repro.reification.naive import NaiveReificationStore
+
+BASE = Triple.from_text("gov:files", "gov:terrorSuspect", "id:JohnDoe")
+
+
+class TestNaiveStore:
+    def test_reify_stores_four_rows(self, database):
+        naive = NaiveReificationStore(database)
+        naive.reify(BASE)
+        assert naive.statement_count() == 4
+
+    def test_explicit_resource(self, database):
+        naive = NaiveReificationStore(database)
+        resource = naive.reify(BASE, resource=URI("urn:custom:r"))
+        assert resource == URI("urn:custom:r")
+
+    def test_minted_resources_unique(self, database):
+        naive = NaiveReificationStore(database)
+        a = naive.reify(BASE)
+        b = naive.reify(Triple.from_text("s:x", "p:x", "o:x"))
+        assert a != b
+
+    def test_is_reified_true(self, database):
+        naive = NaiveReificationStore(database)
+        naive.reify(BASE)
+        assert naive.is_reified(BASE)
+
+    def test_is_reified_false(self, database):
+        naive = NaiveReificationStore(database)
+        naive.reify(BASE)
+        assert not naive.is_reified(
+            Triple.from_text("s:x", "p:x", "o:x"))
+
+    def test_is_reified_needs_full_quad_match(self, database):
+        naive = NaiveReificationStore(database)
+        naive.reify(BASE)
+        # Same subject/predicate but different object: no match.
+        assert not naive.is_reified(
+            Triple.from_text("gov:files", "gov:terrorSuspect",
+                             "id:JaneDoe"))
+
+    def test_cross_resource_quads_do_not_false_positive(self, database):
+        # Two reifications must not combine their rows into a phantom
+        # third statement.
+        naive = NaiveReificationStore(database)
+        naive.reify(Triple.from_text("s:a", "p:x", "o:a"))
+        naive.reify(Triple.from_text("s:b", "p:x", "o:b"))
+        assert not naive.is_reified(
+            Triple.from_text("s:a", "p:x", "o:b"))
+
+    def test_storage_grows_four_rows_per_reification(self, database):
+        naive = NaiveReificationStore(database)
+        for index in range(10):
+            naive.reify(Triple.from_text(f"s:{index}", "p:x",
+                                         f"o:{index}"))
+        report = naive.storage()
+        assert report.row_count == 40
+
+    def test_insert_statement(self, database):
+        naive = NaiveReificationStore(database)
+        naive.insert_statement(BASE)
+        assert naive.statement_count() == 1
+
+    def test_clear(self, database):
+        naive = NaiveReificationStore(database)
+        naive.reify(BASE)
+        naive.clear()
+        assert naive.statement_count() == 0
+
+    def test_custom_table_name(self, database):
+        naive = NaiveReificationStore(database, table_name="my_quads")
+        naive.reify(BASE)
+        assert database.row_count("my_quads") == 4

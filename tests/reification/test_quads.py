@@ -1,0 +1,182 @@
+"""Tests for the quad loader (repro.reification.quads)."""
+
+import pytest
+
+from repro.errors import IncompleteQuadError
+from repro.rdf.namespaces import RDF
+from repro.rdf.ntriples import serialize_ntriples
+from repro.rdf.reification_vocab import expand_quad
+from repro.rdf.terms import URI
+from repro.rdf.triple import Triple
+from repro.reification.quads import (
+    REPLACED_URI_TABLE,
+    IncompleteQuadPolicy,
+    QuadConverter,
+)
+from repro.reification.streamlined import (
+    reification_count,
+    reified_link_ids,
+)
+
+BASE = Triple.from_text("gov:files", "gov:terrorSuspect", "id:JohnDoe")
+R = URI("urn:reif:r1")
+
+
+class TestQuadConversion:
+    def test_quad_becomes_one_statement(self, store, cia_table):
+        converter = QuadConverter(store, "cia")
+        report = converter.convert(expand_quad(R, BASE))
+        assert report.quads_converted == 1
+        assert report.ordinary_triples == 0
+        # Base triple + one reification statement in the store.
+        assert store.links.count() == 2
+        assert reification_count(store, "cia") == 1
+
+    def test_base_triple_is_indirect(self, store, cia_table):
+        from repro.core.links import Context
+
+        QuadConverter(store, "cia").convert(expand_quad(R, BASE))
+        link = store.find_link("cia", "gov:files", "gov:terrorSuspect",
+                               "id:JohnDoe")
+        assert link.context is Context.INDIRECT
+
+    def test_existing_fact_stays_direct(self, store, cia_table):
+        from repro.core.links import Context
+
+        cia_table.insert(1, "cia", "gov:files", "gov:terrorSuspect",
+                         "id:JohnDoe")
+        QuadConverter(store, "cia").convert(expand_quad(R, BASE))
+        link = store.find_link("cia", "gov:files", "gov:terrorSuspect",
+                               "id:JohnDoe")
+        assert link.context is Context.DIRECT
+
+    def test_ordinary_triples_inserted(self, store, cia_table):
+        extra = Triple.from_text("s:x", "p:x", "o:x")
+        report = QuadConverter(store, "cia").convert(
+            [extra] + expand_quad(R, BASE))
+        assert report.ordinary_triples == 1
+        assert store.is_triple("cia", "s:x", "p:x", "o:x")
+
+    def test_assertions_rewritten_to_dburi(self, store, cia_table):
+        assertion = Triple(URI("gov:MI5"), URI("gov:source"), R)
+        report = QuadConverter(store, "cia").convert(
+            expand_quad(R, BASE) + [assertion])
+        assert report.assertions_rewritten == 1
+        base_link = store.find_link("cia", "gov:files",
+                                    "gov:terrorSuspect", "id:JohnDoe")
+        dburi = f"/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID={base_link.link_id}]"
+        assert store.is_triple("cia", "gov:MI5", "gov:source", dburi)
+
+    def test_subject_position_rewritten(self, store, cia_table):
+        assertion = Triple(R, URI("gov:confidence"), URI("gov:high"))
+        QuadConverter(store, "cia").convert(
+            expand_quad(R, BASE) + [assertion])
+        base_link = store.find_link("cia", "gov:files",
+                                    "gov:terrorSuspect", "id:JohnDoe")
+        dburi = f"/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID={base_link.link_id}]"
+        assert store.is_triple("cia", dburi, "gov:confidence", "gov:high")
+
+    def test_duplicate_quads_single_reification(self, store, cia_table):
+        statements = expand_quad(R, BASE) + expand_quad(
+            URI("urn:reif:r2"), BASE)
+        report = QuadConverter(store, "cia").convert(statements)
+        assert report.quads_converted == 2
+        # Same base triple: both map to the same DBUri reification.
+        assert reification_count(store, "cia") == 1
+
+    def test_convert_text_ntriples(self, store, cia_table):
+        document = serialize_ntriples(expand_quad(
+            R, Triple.from_text("urn:s", "urn:p", "urn:o")))
+        report = QuadConverter(store, "cia").convert_text(document)
+        assert report.quads_converted == 1
+
+    def test_convert_file(self, store, cia_table, tmp_path):
+        path = tmp_path / "quads.nt"
+        path.write_text(serialize_ntriples(expand_quad(
+            R, Triple.from_text("urn:s", "urn:p", "urn:o"))),
+            encoding="utf-8")
+        report = QuadConverter(store, "cia").convert_file(path)
+        assert report.quads_converted == 1
+        assert len(reified_link_ids(store, "cia")) == 1
+
+
+class TestIncompletePolicies:
+    INCOMPLETE = expand_quad(R, BASE)[:3]  # missing rdf:object
+
+    def test_delete_policy_drops(self, store, cia_table):
+        report = QuadConverter(
+            store, "cia",
+            incomplete=IncompleteQuadPolicy.DELETE).convert(
+            self.INCOMPLETE)
+        assert report.incomplete_quads == 1
+        assert store.links.count() == 0
+
+    def test_raise_policy(self, store, cia_table):
+        with pytest.raises(IncompleteQuadError):
+            QuadConverter(
+                store, "cia",
+                incomplete=IncompleteQuadPolicy.RAISE).convert(
+                self.INCOMPLETE)
+
+    def test_insert_policy_keeps_statements(self, store, cia_table):
+        report = QuadConverter(
+            store, "cia",
+            incomplete=IncompleteQuadPolicy.INSERT).convert(
+            self.INCOMPLETE)
+        assert report.incomplete_statements_inserted == 3
+        assert store.is_triple(
+            "cia", "urn:reif:r1", RDF.subject.value, "gov:files")
+
+    def test_file_policy_writes_statements(self, store, cia_table,
+                                           tmp_path):
+        side_file = tmp_path / "incomplete.nt"
+        report = QuadConverter(
+            store, "cia", incomplete=IncompleteQuadPolicy.TO_FILE,
+            incomplete_file=side_file).convert(self.INCOMPLETE)
+        assert report.incomplete_quads == 1
+        content = side_file.read_text(encoding="utf-8")
+        assert content.count("\n") == 3
+        assert store.links.count() == 0
+
+    def test_file_policy_without_target_raises(self, store, cia_table):
+        with pytest.raises(IncompleteQuadError):
+            QuadConverter(
+                store, "cia",
+                incomplete=IncompleteQuadPolicy.TO_FILE).convert(
+                self.INCOMPLETE)
+
+    def test_incomplete_resources_reported(self, store, cia_table):
+        report = QuadConverter(store, "cia").convert(self.INCOMPLETE)
+        assert report.incomplete_resources == ["urn:reif:r1"]
+
+
+class TestTransactionality:
+    def test_raise_policy_rolls_back_everything(self, store, cia_table):
+        # A failing conversion leaves no partial state: neither the
+        # complete quad nor the ordinary triples land.
+        statements = (expand_quad(R, BASE)
+                      + [Triple.from_text("s:x", "p:x", "o:x")]
+                      + expand_quad(URI("urn:reif:r2"), Triple.from_text(
+                          "s:y", "p:y", "o:y"))[:3])  # incomplete
+        with pytest.raises(IncompleteQuadError):
+            QuadConverter(
+                store, "cia",
+                incomplete=IncompleteQuadPolicy.RAISE).convert(
+                statements)
+        assert store.links.count() == 0
+        assert not store.is_triple("cia", "s:x", "p:x", "o:x")
+
+
+class TestReplacedUris:
+    def test_mapping_recorded(self, store, cia_table):
+        converter = QuadConverter(store, "cia", keep_replaced_uris=True)
+        report = converter.convert(expand_quad(R, BASE))
+        assert report.replaced_uris_kept == 1
+        row = store.database.query_one(
+            f'SELECT * FROM "{REPLACED_URI_TABLE}"')
+        assert row["orig_uri"] == "urn:reif:r1"
+        assert row["dburi"].startswith("/ORADB/MDSYS/RDF_LINK$/")
+
+    def test_mapping_not_recorded_by_default(self, store, cia_table):
+        QuadConverter(store, "cia").convert(expand_quad(R, BASE))
+        assert not store.database.table_exists(REPLACED_URI_TABLE)

@@ -1,0 +1,72 @@
+"""Tests for the streamlined reification helpers."""
+
+from repro.reification.streamlined import (
+    reification_count,
+    reification_statements,
+    reification_storage,
+    reified_link_ids,
+)
+
+
+class TestEnumeration:
+    def test_empty_model(self, store, cia_table):
+        assert list(reification_statements(store, "cia")) == []
+        assert reified_link_ids(store, "cia") == set()
+        assert reification_count(store, "cia") == 0
+
+    def test_statements_found(self, store, cia_table):
+        a = cia_table.insert(1, "cia", "s:a", "p:x", "o:a")
+        b = cia_table.insert(2, "cia", "s:b", "p:x", "o:b")
+        store.reify_triple("cia", a.rdf_t_id)
+        store.reify_triple("cia", b.rdf_t_id)
+        statements = list(reification_statements(store, "cia"))
+        assert len(statements) == 2
+        assert all(stmt.reif_link for stmt in statements)
+
+    def test_reified_link_ids(self, store, cia_table):
+        a = cia_table.insert(1, "cia", "s:a", "p:x", "o:a")
+        cia_table.insert(2, "cia", "s:b", "p:x", "o:b")
+        store.reify_triple("cia", a.rdf_t_id)
+        assert reified_link_ids(store, "cia") == {a.rdf_t_id}
+
+    def test_reify_idempotent_single_statement(self, store, cia_table):
+        a = cia_table.insert(1, "cia", "s:a", "p:x", "o:a")
+        store.reify_triple("cia", a.rdf_t_id)
+        store.reify_triple("cia", a.rdf_t_id)
+        assert reification_count(store, "cia") == 1
+
+    def test_other_rdf_type_triples_not_counted(self, store, cia_table):
+        # A plain <x rdf:type rdf:Statement> with a non-DBUri subject is
+        # not a streamlined reification.
+        cia_table.insert(
+            1, "cia", "urn:some:resource",
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#Statement")
+        assert reification_count(store, "cia") == 0
+
+    def test_scoped_per_model(self, store, sdo_rdf):
+        from repro.core.apptable import ApplicationTable
+
+        for model, table in (("m1", "t1"), ("m2", "t2")):
+            ApplicationTable.create(store, table)
+            sdo_rdf.create_rdf_model(model, table)
+        t1 = ApplicationTable.open(store, "t1")
+        obj = t1.insert(1, "m1", "s:a", "p:x", "o:a")
+        store.reify_triple("m1", obj.rdf_t_id)
+        assert reification_count(store, "m1") == 1
+        assert reification_count(store, "m2") == 0
+
+
+class TestStorage:
+    def test_storage_counts_links_and_values(self, store, cia_table):
+        a = cia_table.insert(1, "cia", "s:a", "p:x", "o:a")
+        store.reify_triple("cia", a.rdf_t_id)
+        report = reification_storage(store, "cia")
+        # One link row + one DBUri value row.
+        assert report.row_count == 2
+        assert report.byte_count > 0
+
+    def test_storage_empty(self, store, cia_table):
+        report = reification_storage(store, "cia")
+        assert report.row_count == 0
+        assert report.byte_count == 0

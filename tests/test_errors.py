@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_value_error_compatibility(self):
+        # Term/parse problems should be catchable as ValueError.
+        assert issubclass(errors.TermError, ValueError)
+        assert issubclass(errors.ParseError, ValueError)
+        assert issubclass(errors.DBUriError, ValueError)
+
+    def test_lookup_error_compatibility(self):
+        for cls in (errors.ModelNotFoundError,
+                    errors.TripleNotFoundError,
+                    errors.ValueNotFoundError,
+                    errors.RulebaseNotFoundError,
+                    errors.NetworkNotFoundError):
+            assert issubclass(cls, LookupError)
+
+    def test_one_catch_all_at_api_boundary(self, store):
+        # Every library error is catchable with one except clause.
+        with pytest.raises(errors.ReproError):
+            store.models.get("ghost")
+        with pytest.raises(errors.ReproError):
+            store.links.get(10_000)
+
+
+class TestMessages:
+    def test_parse_error_location(self):
+        error = errors.ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert error.line == 3
+
+    def test_parse_error_line_only(self):
+        assert "(line 9)" in str(errors.ParseError("oops", line=9))
+
+    def test_model_not_found_carries_name(self):
+        error = errors.ModelNotFoundError("cia")
+        assert error.model_name == "cia"
+        assert "cia" in str(error)
+
+    def test_triple_not_found_carries_id(self):
+        error = errors.TripleNotFoundError(42)
+        assert error.link_id == 42
+        assert "42" in str(error)
+
+    def test_incomplete_quad_lists_missing(self):
+        error = errors.IncompleteQuadError(
+            "urn:r", ["rdf:object", "rdf:subject"])
+        assert "rdf:object" in str(error)
+        assert error.missing == ["rdf:object", "rdf:subject"]

@@ -1,0 +1,74 @@
+"""The public API surface: exports exist, resolve, and are documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.rdf",
+    "repro.db",
+    "repro.ndm",
+    "repro.core",
+    "repro.reification",
+    "repro.inference",
+    "repro.jena2",
+    "repro.workloads",
+    "repro.bench",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_entries_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", [])
+        for name in exported:
+            assert hasattr(package, name), (package_name, name)
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_is_sorted(self, package_name):
+        package = importlib.import_module(package_name)
+        exported = list(getattr(package, "__all__", []))
+        assert exported == sorted(exported), package_name
+
+    def test_top_level_quickstart_names(self):
+        import repro
+
+        for name in ("RDFStore", "SDO_RDF", "ApplicationTable",
+                     "SDO_RDF_TRIPLE_S", "Triple", "URI", "Literal",
+                     "DBUri"):
+            assert name in repro.__all__
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_packages_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__ and len(package.__doc__.strip()) > 40
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_exported_objects_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if getattr(obj, "__origin__", None) is not None:
+                continue  # typing aliases (e.g. RDFTerm) carry no doc
+            if isinstance(obj, type) or callable(obj):
+                assert getattr(obj, "__doc__", None), \
+                    f"{package_name}.{name} lacks a docstring"
+
+    def test_public_methods_documented(self):
+        from repro.core.store import RDFStore
+
+        for name in dir(RDFStore):
+            if name.startswith("_"):
+                continue
+            member = getattr(RDFStore, name)
+            if callable(member):
+                assert member.__doc__, f"RDFStore.{name}"

@@ -1,0 +1,93 @@
+"""Tests for the Intelligence Community scenario (paper Figures 2/6/8)."""
+
+from repro.core.links import Context
+from repro.workloads.intel import GOV, IDNS, IntelScenario
+
+
+class TestScenarioBuild:
+    def test_models_created(self, intel):
+        for model in IntelScenario.MODEL_NAMES:
+            assert intel.store.model_exists(model)
+
+    def test_figure2_triple_counts(self, intel):
+        assert intel.sdo_rdf.triple_count("cia") == 2
+        assert intel.sdo_rdf.triple_count("dhs") == 2
+        assert intel.sdo_rdf.triple_count("fbi") == 2
+
+    def test_repeated_triple_shares_value_ids(self, intel):
+        # Figure 6: the repeated triple shares RDF_S_ID/P_ID/O_ID.
+        store = intel.store
+        links = [store.find_link(model, GOV.files.value,
+                                 GOV.terrorSuspect.value,
+                                 IDNS.JohnDoe.value)
+                 for model in ("cia", "dhs", "fbi")]
+        assert all(link is not None for link in links)
+        s_ids = {link.start_node_id for link in links}
+        p_ids = {link.p_value_id for link in links}
+        o_ids = {link.end_node_id for link in links}
+        assert len(s_ids) == len(p_ids) == len(o_ids) == 1
+        # ...but each model has its own LINK_ID.
+        assert len({link.link_id for link in links}) == 3
+
+    def test_address_table(self, intel):
+        rows = intel.store.database.query_all(
+            "SELECT * FROM ic_address ORDER BY name")
+        assert len(rows) == 3
+
+    def test_rulebase_created(self, intel):
+        assert intel.inference.rulebases.exists("intel_rb")
+        rules = intel.inference.rulebases.rules("intel_rb")
+        assert [rule.rule_name for rule in rules] == ["intel_rule"]
+
+
+class TestFigure8:
+    def test_watch_list_matches_paper(self, intel):
+        # Figure 8's result table, exactly.
+        assert intel.terror_watch_list() == [
+            ("id:JaneDoe", "Brooklyn, NY"),
+            ("id:JimDoe", "Trenton, NJ"),
+            ("id:JohnDoe", "Brooklyn, NY"),
+        ]
+
+    def test_jimdoe_only_via_inference(self, intel):
+        # Without rulebases JimDoe is not a terror suspect.
+        rows = intel.inference.match(
+            "(gov:files gov:terrorSuspect ?name)",
+            list(IntelScenario.MODEL_NAMES), aliases=intel.aliases)
+        names = {intel.aliases.compact(row["name"]) for row in rows}
+        assert names == {"id:JohnDoe", "id:JaneDoe"}
+
+    def test_build_without_rules_index(self, store):
+        scenario = IntelScenario.build(store, with_rules_index=False)
+        from repro.errors import RulesIndexError
+
+        import pytest
+
+        with pytest.raises(RulesIndexError):
+            scenario.terror_watch_list()
+        scenario.create_rules_index()
+        assert len(scenario.terror_watch_list()) == 3
+
+
+class TestSection5Reification:
+    def test_direct_reify_and_assert(self, intel):
+        # Section 5.1: reify the CIA's JohnDoe triple and assert MI5.
+        store = intel.store
+        link = store.find_link("cia", GOV.files.value,
+                               GOV.terrorSuspect.value,
+                               IDNS.JohnDoe.value)
+        intel.cia.insert(3, "cia", link.link_id)
+        intel.cia.insert(4, "cia", GOV.MI5.value, GOV.source.value,
+                         link.link_id)
+        assert store.is_reified_id("cia", link.link_id)
+
+    def test_implied_statement(self, intel):
+        # Section 5.2: Interpol says JohnDoeJr is a terrorSuspect.
+        store = intel.store
+        intel.cia.insert(5, "cia", GOV.Interpol.value, GOV.source.value,
+                         GOV.files.value, GOV.terrorSuspect.value,
+                         IDNS.JohnDoeJr.value)
+        link = store.find_link("cia", GOV.files.value,
+                               GOV.terrorSuspect.value,
+                               IDNS.JohnDoeJr.value)
+        assert link.context is Context.INDIRECT

@@ -1,0 +1,101 @@
+"""Tests for the synthetic UniProt generator."""
+
+from repro.rdf.namespaces import RDFS
+from repro.rdf.terms import URI
+from repro.workloads.uniprot import (
+    PROBE_FANOUT,
+    PROBE_OBJECT,
+    PROBE_SUBJECT,
+    UniProtGenerator,
+    paper_reified_count,
+)
+
+
+class TestPaperRatios:
+    def test_exact_paper_points(self):
+        assert paper_reified_count(10_000) == 659
+        assert paper_reified_count(5_000_000) == 247_002
+
+    def test_interpolation_monotone(self):
+        counts = [paper_reified_count(n)
+                  for n in (1_000, 10_000, 100_000, 1_000_000)]
+        assert counts == sorted(counts)
+
+    def test_minimum_one(self):
+        assert paper_reified_count(1) == 1
+
+
+class TestGeneration:
+    def test_exact_count(self):
+        generator = UniProtGenerator()
+        assert sum(1 for _ in generator.triples(1_000)) == 1_000
+
+    def test_deterministic(self):
+        a = list(UniProtGenerator(seed=1).triples(500))
+        b = list(UniProtGenerator(seed=1).triples(500))
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = list(UniProtGenerator(seed=1).triples(500))
+        b = list(UniProtGenerator(seed=2).triples(500))
+        assert a != b
+
+    def test_prefix_stability_across_sizes(self):
+        # The 10k dataset is a prefix of the 100k dataset, mirroring
+        # the paper's "extracted from the 5-million-triple dataset".
+        small = list(UniProtGenerator().triples(1_000))
+        large = list(UniProtGenerator().triples(2_000))
+        assert large[:1_000] == small
+
+    def test_probe_subject_fanout(self):
+        generator = UniProtGenerator()
+        triples = list(generator.triples(10_000))
+        probe = [t for t in triples
+                 if t.subject == URI(PROBE_SUBJECT)]
+        assert len(probe) == PROBE_FANOUT == 24
+
+    def test_probe_true_statement_present(self):
+        generator = UniProtGenerator()
+        assert generator.true_probe() in set(generator.triples(100))
+
+    def test_lsid_shape(self):
+        for triple in UniProtGenerator().triples(200):
+            assert triple.subject.lexical.startswith(
+                "urn:lsid:uniprot.org:uniprot:")
+
+    def test_no_duplicate_triples_at_small_scale(self):
+        triples = list(UniProtGenerator().triples(5_000))
+        assert len(set(triples)) == len(triples)
+
+
+class TestReificationTargets:
+    def test_count_matches_paper_default(self):
+        generator = UniProtGenerator()
+        statements = generator.reified_statements(10_000)
+        assert len(statements) == 659
+
+    def test_explicit_count(self):
+        generator = UniProtGenerator()
+        assert len(generator.reified_statements(10_000, 50)) == 50
+
+    def test_all_see_also(self):
+        generator = UniProtGenerator()
+        for statement in generator.reified_statements(2_000, 20):
+            assert statement.predicate == RDFS.seeAlso
+
+    def test_true_probe_is_first_reified(self):
+        generator = UniProtGenerator()
+        statements = generator.reified_statements(10_000, 10)
+        assert statements[0] == generator.true_probe()
+
+    def test_false_probe_exists_but_not_reified(self):
+        generator = UniProtGenerator()
+        false_probe = generator.false_probe()
+        assert false_probe in set(generator.triples(100))
+        assert false_probe not in set(
+            generator.reified_statements(10_000, 659))
+
+    def test_true_probe_components(self):
+        probe = UniProtGenerator().true_probe()
+        assert probe.subject == URI(PROBE_SUBJECT)
+        assert probe.object == URI(PROBE_OBJECT)
