@@ -17,7 +17,12 @@ from repro.bench.datasets import (
     load_jena_uniprot,
     load_oracle_uniprot,
 )
-from repro.bench.harness import format_seconds, format_table, mean_time
+from repro.bench.harness import (
+    Timer,
+    format_seconds,
+    format_table,
+    run_trials,
+)
 from repro.core.schema import LINK_TABLE, VALUE_TABLE
 from repro.db.connection import Database
 from repro.jena2.model import Statement
@@ -38,6 +43,9 @@ class ExperimentResult:
     headers: list[str]
     rows: list[list[object]]
     notes: list[str] = field(default_factory=list)
+    #: label -> Timer summary (trials/mean/p50/p95/stdev/best); the
+    #: machine-readable timings behind the formatted cells.
+    stats: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def table(self) -> str:
         text = format_table(self.headers, self.rows,
@@ -45,6 +53,26 @@ class ExperimentResult:
         if self.notes:
             text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
         return text
+
+    def record(self, label: str, timer: Timer) -> None:
+        """Keep one timer's full statistics under ``label``."""
+        self.stats[label] = timer.summary()
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the ``BENCH_*.json`` snapshots."""
+        return {
+            "experiment": self.experiment,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+            "stats": {label: dict(summary)
+                      for label, summary in self.stats.items()},
+        }
+
+
+def _quantiles(timer: Timer) -> str:
+    """The ``p50/p95`` cell next to each mean column."""
+    return f"{timer.p50:.2f}/{timer.p95:.2f}"
 
 
 # ----------------------------------------------------------------------
@@ -75,27 +103,31 @@ def run_experiment_1(triple_count: int = DEFAULT_SIZES[0],
     """Experiment I: member functions vs direct storage-table query."""
     fixture = load_oracle_uniprot(triple_count)
     model_id = fixture.store.models.get(MODEL_NAME).model_id
-    member = mean_time(
+    member = run_trials(
         lambda: fixture.table.get_triples("GET_SUBJECT", PROBE_SUBJECT),
-        trials=trials)
-    flat = mean_time(
+        trials=trials, label="member_functions")
+    flat = run_trials(
         lambda: flat_table_subject_query(fixture.store.database,
                                          model_id, PROBE_SUBJECT),
-        trials=trials)
+        trials=trials, label="flat_tables")
     rows_returned = len(
         fixture.table.get_triples("GET_SUBJECT", PROBE_SUBJECT))
     result = ExperimentResult(
         experiment=("Experiment I: flat storage tables versus member "
                     f"functions ({triple_count:,} triples)"),
-        headers=["Access path", "Time (sec)", "Rows"],
+        headers=["Access path", "Mean (sec)", "p50/p95", "Rows"],
         rows=[
             ["Member functions (GET_SUBJECT)",
-             format_seconds(member), rows_returned],
+             format_seconds(member.mean), _quantiles(member),
+             rows_returned],
             ["Flat storage tables (3-way join)",
-             format_seconds(flat), rows_returned],
+             format_seconds(flat.mean), _quantiles(flat),
+             rows_returned],
         ],
         notes=["paper: member functions perform similarly or slightly "
                "better; no significant object overhead"])
+    result.record("member_functions", member)
+    result.record("flat_tables", flat)
     fixture.store.close()
     return result
 
@@ -108,27 +140,34 @@ def run_experiment_2(sizes: tuple[int, ...] = DEFAULT_SIZES,
                      trials: int = 10) -> ExperimentResult:
     """Table 1: the subject query on both systems across sizes."""
     rows: list[list[object]] = []
+    result = ExperimentResult(
+        experiment="Table 1. Query times on the UniProt datasets",
+        headers=["Triples", "Jena2 (sec)", "Jena2 p50/p95",
+                 "RDF objects (sec)", "RDF p50/p95", "Rows"],
+        rows=rows,
+        notes=["paper: both systems similar; times flat in dataset size "
+               "for constant result cardinality (24 rows)"])
     for size in sizes:
         oracle = load_oracle_uniprot(size)
         jena = load_jena_uniprot(size)
         probe = jena.model.get_resource(PROBE_SUBJECT)
-        jena_time = mean_time(
+        jena_timer = run_trials(
             lambda: list(jena.model.list_statements(subject=probe)),
-            trials=trials)
-        oracle_time = mean_time(
+            trials=trials, label=f"jena2_{size}")
+        oracle_timer = run_trials(
             lambda: oracle.table.get_triples("GET_SUBJECT", PROBE_SUBJECT),
-            trials=trials)
+            trials=trials, label=f"oracle_{size}")
         returned = len(list(jena.model.list_statements(subject=probe)))
-        rows.append([f"{_label(size)}", format_seconds(jena_time),
-                     format_seconds(oracle_time), returned])
+        rows.append([f"{_label(size)}",
+                     format_seconds(jena_timer.mean),
+                     _quantiles(jena_timer),
+                     format_seconds(oracle_timer.mean),
+                     _quantiles(oracle_timer), returned])
+        result.record(f"jena2_{size}", jena_timer)
+        result.record(f"oracle_{size}", oracle_timer)
         oracle.store.close()
         jena.jena.close()
-    return ExperimentResult(
-        experiment="Table 1. Query times on the UniProt datasets",
-        headers=["Triples", "Jena2 (sec)", "RDF objects (sec)", "Rows"],
-        rows=rows,
-        notes=["paper: both systems similar; times flat in dataset size "
-               "for constant result cardinality (24 rows)"])
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -142,18 +181,28 @@ def run_experiment_3(sizes: tuple[int, ...] = DEFAULT_SIZES,
     true_probe = generator.true_probe()
     false_probe = generator.false_probe()
     rows: list[list[object]] = []
+    result = ExperimentResult(
+        experiment=("Table 2. IS_REIFIED() query times on the UniProt "
+                    "datasets"),
+        headers=["Triples/Stmts", "Jena2 (sec)", "Jena2 p50/p95",
+                 "RDF objects (sec)", "RDF p50/p95", "Res"],
+        rows=rows,
+        notes=["paper: both ~0.00-0.01 s at every size; single-row "
+               "retrieval on both systems"])
     for size in sizes:
         oracle = load_oracle_uniprot(size)
         jena = load_jena_uniprot(size)
         for probe, expected in ((true_probe, True), (false_probe, False)):
             statement = Statement.from_triple(probe)
-            jena_time = mean_time(
-                lambda: jena.model.is_reified(statement), trials=trials)
-            oracle_time = mean_time(
+            suffix = "true" if expected else "false"
+            jena_timer = run_trials(
+                lambda: jena.model.is_reified(statement), trials=trials,
+                label=f"jena2_{size}_{suffix}")
+            oracle_timer = run_trials(
                 lambda: oracle.sdo_rdf.is_reified(
                     MODEL_NAME, probe.subject.lexical,
                     probe.predicate.lexical, probe.object.lexical),
-                trials=trials)
+                trials=trials, label=f"oracle_{size}_{suffix}")
             jena_answer = jena.model.is_reified(statement)
             oracle_answer = oracle.sdo_rdf.is_reified(
                 MODEL_NAME, probe.subject.lexical,
@@ -162,18 +211,14 @@ def run_experiment_3(sizes: tuple[int, ...] = DEFAULT_SIZES,
                 size, expected, jena_answer, oracle_answer)
             rows.append([
                 f"{_label(size)} /{oracle.reified_count}",
-                format_seconds(jena_time), format_seconds(oracle_time),
-                "true" if expected else "false"])
+                format_seconds(jena_timer.mean), _quantiles(jena_timer),
+                format_seconds(oracle_timer.mean),
+                _quantiles(oracle_timer), suffix])
+            result.record(f"jena2_{size}_{suffix}", jena_timer)
+            result.record(f"oracle_{size}_{suffix}", oracle_timer)
         oracle.store.close()
         jena.jena.close()
-    return ExperimentResult(
-        experiment=("Table 2. IS_REIFIED() query times on the UniProt "
-                    "datasets"),
-        headers=["Triples/Stmts", "Jena2 (sec)", "RDF objects (sec)",
-                 "Res"],
-        rows=rows,
-        notes=["paper: both ~0.00-0.01 s at every size; single-row "
-               "retrieval on both systems"])
+    return result
 
 
 # ----------------------------------------------------------------------

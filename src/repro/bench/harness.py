@@ -2,15 +2,25 @@
 
 The paper reports "the mean results of ten trials with warm caches";
 :func:`mean_time` reproduces that protocol (warm-up run, then the mean
-of N timed trials).  :func:`format_table` renders aligned text tables in
-the style of the paper's Tables 1 and 2.
+of N timed trials).  :class:`Timer` additionally reports p50/p95 and
+standard deviation so tail behaviour is visible, not just the mean.
+:func:`format_table` renders aligned text tables in the style of the
+paper's Tables 1 and 2, and :func:`write_bench_json` emits the
+machine-readable ``BENCH_*.json`` snapshots tracked across PRs for the
+perf trajectory.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+#: Filename prefix of machine-readable benchmark snapshots.
+BENCH_SNAPSHOT_PREFIX = "BENCH_"
 
 
 @dataclass
@@ -37,23 +47,87 @@ class Timer:
     def best(self) -> float:
         return min(self.samples) if self.samples else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Exact q-quantile (``q`` in [0, 1]) over the recorded samples
+        with linear interpolation between closest ranks."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = q * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        fraction = rank - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (0.0 with fewer than 2 samples)."""
+        count = len(self.samples)
+        if count < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((sample - mean) ** 2
+                       for sample in self.samples) / (count - 1)
+        return math.sqrt(variance)
+
+    def summary(self) -> dict[str, float]:
+        """The JSON-ready statistics of this timer."""
+        return {
+            "trials": len(self.samples),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "stdev": self.stdev,
+            "best": self.best,
+        }
+
+
+def run_trials(operation: Callable[[], object], trials: int = 10,
+               warmup: int = 1, label: str = "op") -> Timer:
+    """The paper's warm-cache protocol, returning the full Timer.
+
+    Runs ``warmup`` unmeasured executions, then ``trials`` timed ones.
+    Use :func:`mean_time` when only the mean matters.
+    """
+    for _ in range(warmup):
+        operation()
+    timer = Timer(label)
+    for _ in range(trials):
+        timer.time(operation)
+    return timer
+
 
 def mean_time(operation: Callable[[], object], trials: int = 10,
               warmup: int = 1) -> float:
     """Mean wall time over ``trials`` runs after ``warmup`` unmeasured
     runs — the paper's warm-cache protocol."""
-    for _ in range(warmup):
-        operation()
-    timer = Timer("op")
-    for _ in range(trials):
-        timer.time(operation)
-    return timer.mean
+    return run_trials(operation, trials=trials, warmup=warmup).mean
 
 
 def format_seconds(seconds: float) -> str:
     """Seconds to 2 decimals, like the paper's tables (0.00 means
     'less than a hundredth of a second')."""
     return f"{seconds:.2f}"
+
+
+def format_timing_cell(timer: Timer) -> str:
+    """``mean/p95`` rendering for table cells — the tail next to the
+    headline number the paper reports."""
+    return f"{timer.mean:.2f}/{timer.p95:.2f}"
 
 
 def format_table(headers: Sequence[str],
@@ -75,3 +149,18 @@ def format_table(headers: Sequence[str],
         lines.append("  ".join(cell.ljust(width)
                                for cell, width in zip(row, widths)))
     return "\n".join(lines)
+
+
+def write_bench_json(name: str, payload: dict[str, Any],
+                     directory: str | Path = ".") -> Path:
+    """Write one machine-readable ``BENCH_<name>.json`` snapshot.
+
+    The snapshot carries whatever the driver measured — timings
+    (p50/p95, not just means), metrics-registry dumps, dataset sizes —
+    so the perf trajectory across PRs is diffable without re-parsing
+    text tables.
+    """
+    path = Path(directory) / f"{BENCH_SNAPSHOT_PREFIX}{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               default=repr) + "\n", encoding="utf-8")
+    return path

@@ -3,9 +3,13 @@
 Usage::
 
     python -m repro.bench.run_all [--sizes 10000,100000] [--trials 10]
+                                  [--json-dir DIR | --no-json]
 
 This is the script that regenerates the measured numbers recorded in
-EXPERIMENTS.md.
+EXPERIMENTS.md and ``experiments_output.txt``.  Unless ``--no-json`` is
+given it also writes a machine-readable ``BENCH_experiments.json``
+snapshot (timings with p50/p95, plus a metrics/span snapshot from an
+observed run) so the perf trajectory across PRs is diffable.
 """
 
 from __future__ import annotations
@@ -19,21 +23,30 @@ from repro.bench.experiments import (
     run_experiment_3,
     run_storage_experiment,
 )
+from repro.bench.harness import write_bench_json
 from repro.core.store import RDFStore
 from repro.workloads.intel import IntelScenario
 
 
-def run_figure8() -> str:
-    """The Figure 8 inference output."""
-    store = RDFStore()
+def run_figure8_observed(observe: bool = True) -> tuple[str, dict]:
+    """The Figure 8 inference output plus the observability snapshot
+    of the run (SQL timings, spans, counters) when ``observe``."""
+    store = RDFStore(observe=observe)
     intel = IntelScenario.build(store)
     lines = ["Figure 8. Inference over the IC applications",
              f"{'TERROR_WATCH_LIST':<24}LOCATION",
              "-" * 44]
     for name, location in intel.terror_watch_list():
         lines.append(f"{name:<24}{location}")
+    snapshot = store.observer.snapshot()
     store.close()
-    return "\n".join(lines)
+    return "\n".join(lines), snapshot
+
+
+def run_figure8() -> str:
+    """The Figure 8 inference output."""
+    text, _snapshot = run_figure8_observed(observe=False)
+    return text
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -43,20 +56,43 @@ def main(argv: list[str] | None = None) -> None:
                         help="comma-separated triple counts")
     parser.add_argument("--trials", type=int, default=10,
                         help="timed trials per measurement")
+    parser.add_argument("--json-dir", default=".",
+                        help="directory for the BENCH_experiments.json "
+                        "snapshot")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip the machine-readable snapshot")
     args = parser.parse_args(argv)
     sizes = tuple(int(size) for size in args.sizes.split(","))
 
     start = time.perf_counter()
-    print(run_experiment_1(sizes[0], trials=args.trials).table())
+    experiment_1 = run_experiment_1(sizes[0], trials=args.trials)
+    print(experiment_1.table())
     print()
-    print(run_experiment_2(sizes, trials=args.trials).table())
+    experiment_2 = run_experiment_2(sizes, trials=args.trials)
+    print(experiment_2.table())
     print()
-    print(run_experiment_3(sizes, trials=args.trials).table())
+    experiment_3 = run_experiment_3(sizes, trials=args.trials)
+    print(experiment_3.table())
     print()
-    print(run_storage_experiment().table())
+    storage = run_storage_experiment()
+    print(storage.table())
     print()
-    print(run_figure8())
-    print(f"\ntotal: {time.perf_counter() - start:.1f}s")
+    figure8, observability = run_figure8_observed(
+        observe=not args.no_json)
+    print(figure8)
+    total = time.perf_counter() - start
+    print(f"\ntotal: {total:.1f}s")
+    if not args.no_json:
+        path = write_bench_json("experiments", {
+            "sizes": list(sizes),
+            "trials": args.trials,
+            "total_seconds": total,
+            "experiments": [result.to_dict()
+                            for result in (experiment_1, experiment_2,
+                                           experiment_3, storage)],
+            "figure8_observability": observability,
+        }, directory=args.json_dir)
+        print(f"snapshot: {path}")
 
 
 if __name__ == "__main__":

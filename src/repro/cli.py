@@ -6,14 +6,22 @@ Usage (``python -m repro <command> ...``)::
     repro load          DB MODEL FILE.nt        bulk-load N-Triples
     repro insert        DB MODEL S P O          insert one triple
     repro query         DB 'PATTERNS' -m m1,m2  SDO_RDF_MATCH
+    repro trace         DB 'PATTERNS' -m m1     query + span/SQL report
     repro reify         DB MODEL S P O          reify a triple
     repro is-reified    DB MODEL S P O          reification check
     repro models        DB                      list models
-    repro stats         DB [MODEL]              store/network figures
+    repro stats         DB [MODEL] [--json]     store/network figures
     repro experiments   [--sizes ...]           run the paper's tables
 
 ``DB`` is a database file path (created as needed).  The CLI is a thin
 shell over the library; every command maps to one documented API call.
+
+Global flags: ``--verbose`` switches on debug logging (JSON lines on
+stderr; see :mod:`repro.obs.logjson`), ``--observe`` enables the
+observability layer (SQL timing, spans, metrics) for the command —
+``repro stats --json`` then includes the collected figures.  The
+``REPRO_OBSERVE`` and ``REPRO_LOG`` environment variables do the same
+without flags.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from repro.core.store import RDFStore
 from repro.errors import ReproError
 from repro.inference.match import sdo_rdf_match
 from repro.ndm.analysis import NetworkAnalyzer
+from repro.obs import configure_logging
 from repro.rdf.namespaces import Alias, AliasSet
 
 
@@ -34,6 +43,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Object-typed RDF store (ICDE 2006 "
         "reproduction)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="debug logging (JSON lines on stderr)")
+    parser.add_argument("--observe", action="store_true",
+                        help="enable SQL timing, spans, and metrics "
+                        "for this command (also: REPRO_OBSERVE=1)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     create_model = commands.add_parser(
@@ -65,6 +79,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="PREFIX=NAMESPACE")
     query.add_argument("-f", "--filter", default=None)
 
+    trace = commands.add_parser(
+        "trace", help="run a query under tracing, print the span tree "
+        "and SQL timings")
+    trace.add_argument("db")
+    trace.add_argument("patterns",
+                       help="e.g. '(?s gov:terrorSuspect ?o)'")
+    trace.add_argument("-m", "--models", required=True,
+                       help="comma-separated model names")
+    trace.add_argument("-r", "--rulebases", default="",
+                       help="comma-separated rulebase names")
+    trace.add_argument("-a", "--alias", action="append", default=[],
+                       metavar="PREFIX=NAMESPACE")
+    trace.add_argument("--last", type=int, default=20,
+                       help="show the last N spans (default 20)")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the span/SQL report as JSON")
+
     reify = commands.add_parser("reify", help="reify a triple")
     for name in ("db", "model", "subject", "predicate", "object"):
         reify.add_argument(name)
@@ -80,6 +111,12 @@ def _build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="store/network figures")
     stats.add_argument("db")
     stats.add_argument("model", nargs="?")
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable output; includes SQL "
+                       "timings/spans/metrics when observing")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="dump the metrics registry in Prometheus "
+                       "text format (requires --observe)")
 
     check = commands.add_parser(
         "check", help="run the central-schema integrity checks")
@@ -136,6 +173,10 @@ def main(argv: Sequence[str] | None = None,
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
+    if args.verbose:
+        configure_logging("debug")
+    else:
+        configure_logging()  # honours REPRO_LOG, silent otherwise
     try:
         return _dispatch(args, out)
     except ReproError as exc:
@@ -152,7 +193,10 @@ def _dispatch(args: argparse.Namespace, out) -> int:
         return 0
     if args.command == "generate-uniprot":
         return _generate_uniprot(args, out)
-    with RDFStore(args.db) as store:
+    # The trace command is only useful observed; --observe opts other
+    # commands in, None defers to REPRO_OBSERVE.
+    observe = True if (args.observe or args.command == "trace") else None
+    with RDFStore(args.db, observe=observe) as store:
         return _dispatch_store(args, store, out)
 
 
@@ -231,6 +275,8 @@ def _dispatch_store(args: argparse.Namespace, store: RDFStore,
             print(f"{info.model_name}  (MODEL_ID={info.model_id}, "
                   f"{count} triples)", file=out)
         return 0
+    if command == "trace":
+        return _trace(args, store, out)
     if command == "stats":
         return _stats(args, store, out)
     if command == "path":
@@ -282,17 +328,76 @@ def _path(args: argparse.Namespace, store: RDFStore, out) -> int:
     return 0
 
 
+def _trace(args: argparse.Namespace, store: RDFStore, out) -> int:
+    import json
+
+    rows = sdo_rdf_match(
+        store, args.patterns, args.models.split(","),
+        rulebases=[r for r in args.rulebases.split(",") if r],
+        aliases=_parse_aliases(args.alias))
+    observer = store.observer
+    if args.json:
+        payload = observer.snapshot(last_spans=args.last)
+        payload["rows"] = len(rows)
+        print(json.dumps(payload, indent=2, sort_keys=True,
+                         default=repr), file=out)
+        return 0
+    print(f"({len(rows)} rows)", file=out)
+    print("", file=out)
+    print(f"spans (last {args.last}):", file=out)
+    for span in observer.tracer.last(args.last):
+        attrs = " ".join(f"{key}={value}"
+                         for key, value in span.attributes.items())
+        indent = "  " * (span.depth + 1)
+        line = f"{indent}{span.name}  {span.duration * 1000:.3f} ms"
+        if attrs:
+            line += f"  [{attrs}]"
+        print(line, file=out)
+    if observer.sql is not None:
+        print("", file=out)
+        print("top SQL statements (by total time):", file=out)
+        for stats in observer.sql.statements(top=10):
+            print(f"  {stats.count:>5}x  {stats.total_time * 1000:8.3f} ms"
+                  f"  rows={stats.rows:<6}  {stats.statement}", file=out)
+    return 0
+
+
 def _stats(args: argparse.Namespace, store: RDFStore, out) -> int:
+    import dataclasses
+    import json
+
     from repro.core.statistics import gather_statistics
 
-    for line in gather_statistics(store, args.model).lines():
-        print(line, file=out)
+    if args.prometheus:
+        print(store.observer.metrics.prometheus_text(), file=out)
+        return 0
+    statistics = gather_statistics(store, args.model)
     network = store.network(args.model)
-    print(f"network nodes: {network.node_count()}", file=out)
-    print(f"network links: {network.link_count()}", file=out)
+    components: list = []
     if network.link_count():
         analyzer = NetworkAnalyzer(network, undirected=True)
         components = analyzer.components()
+    if args.json:
+        payload: dict = {
+            "statistics": dataclasses.asdict(statistics),
+            "network": {
+                "nodes": network.node_count(),
+                "links": network.link_count(),
+                "components": len(components),
+                "largest_component": (len(components[0])
+                                      if components else 0),
+            },
+        }
+        if store.observer.enabled:
+            payload["observability"] = store.observer.snapshot()
+        print(json.dumps(payload, indent=2, sort_keys=True,
+                         default=repr), file=out)
+        return 0
+    for line in statistics.lines():
+        print(line, file=out)
+    print(f"network nodes: {network.node_count()}", file=out)
+    print(f"network links: {network.link_count()}", file=out)
+    if components:
         print(f"components: {len(components)} "
               f"(largest {len(components[0])})", file=out)
     return 0

@@ -112,16 +112,31 @@ class BulkLoader:
         The entire input is staged before any central-schema insert —
         the same whole-input-first behaviour the paper describes.
         """
-        with self._db.transaction():
-            staged = self._stage(triples)
-            new_values = self._merge_values()
-            new_links = self._merge_links()
-            self._fix_reif_flags()
-            self._db.execute(f'DELETE FROM "{STAGE_TABLE}"')
-        self._store.values.invalidate_cache()
-        if new_links:
-            # Keep the planner's selectivity estimates current.
-            self._db.analyze()
+        observer = self._db.observer
+        with observer.span("bulkload.load",
+                           model=self._model.model_name) as span:
+            with self._db.transaction():
+                with observer.span("bulkload.stage") as stage_span:
+                    staged = self._stage(triples)
+                    stage_span.set("staged", staged)
+                with observer.span("bulkload.merge_values") as mv_span:
+                    new_values = self._merge_values()
+                    mv_span.set("new_values", new_values)
+                with observer.span("bulkload.merge_links") as ml_span:
+                    new_links = self._merge_links()
+                    ml_span.set("new_links", new_links)
+                self._fix_reif_flags()
+                self._db.execute(f'DELETE FROM "{STAGE_TABLE}"')
+            self._store.values.invalidate_cache()
+            if new_links:
+                # Keep the planner's selectivity estimates current.
+                with observer.span("bulkload.analyze"):
+                    self._db.analyze()
+            span.set("staged", staged)
+            span.set("new_links", new_links)
+            if observer.enabled:
+                observer.counter("bulkload.triples_staged").inc(staged)
+                observer.counter("bulkload.links_created").inc(new_links)
         return BulkLoadReport(staged, new_values, new_links,
                               staged - new_links)
 
@@ -139,6 +154,8 @@ class BulkLoader:
             " o_name, o_type, o_ltype, o_lang, o_long,"
             " c_name, c_type, c_ltype, c_lang, c_long, link_type)"
             " VALUES (" + ", ".join("?" * 21) + ")")
+        batch_counter = self._db.observer.counter(
+            "bulkload.batches", "staging batches written")
         for triple in triples:
             canonical = canonical_term(triple.object)
             rows.append(_decompose(triple.subject)
@@ -149,9 +166,11 @@ class BulkLoader:
             staged += 1
             if len(rows) >= self._batch_size:
                 self._db.executemany(insert_sql, rows)
+                batch_counter.inc()
                 rows = []
         if rows:
             self._db.executemany(insert_sql, rows)
+            batch_counter.inc()
         return staged
 
     def _merge_values(self) -> int:

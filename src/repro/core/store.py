@@ -30,6 +30,7 @@ from repro.db.connection import Database
 from repro.db.dburi import DBUri
 from repro.errors import ReificationError, TripleNotFoundError
 from repro.ndm.network import LogicalNetwork
+from repro.obs.observer import Observer, observe_from_env
 from repro.rdf.namespaces import RDF
 from repro.rdf.terms import RDFTerm, URI
 from repro.rdf.triple import Triple
@@ -45,14 +46,23 @@ class RDFStore:
     :param database: the hosting database; pass an existing
         :class:`~repro.db.connection.Database`, a path, or nothing for an
         in-memory store.
+    :param observe: switch observability (SQL timing, spans, metrics —
+        see :mod:`repro.obs`) on for the hosting database.  ``None``
+        (the default) defers to the ``REPRO_OBSERVE`` environment
+        variable; an existing enabled observer on a passed-in database
+        is never downgraded.
     """
 
-    def __init__(self, database: Database | str | Path | None = None
-                 ) -> None:
+    def __init__(self, database: Database | str | Path | None = None,
+                 observe: bool | None = None) -> None:
         if database is None:
             database = Database()
         elif isinstance(database, (str, Path)):
             database = Database(database)
+        if observe is None:
+            observe = observe_from_env()
+        if observe and not database.observer.enabled:
+            database.set_observer(Observer())
         self._db = database
         if not central_schema_exists(database):
             create_central_schema(database)
@@ -69,6 +79,11 @@ class RDFStore:
     def database(self) -> Database:
         """The hosting database engine."""
         return self._db
+
+    @property
+    def observer(self) -> Observer:
+        """The hosting database's observer (no-op unless enabled)."""
+        return self._db.observer
 
     def close(self) -> None:
         """Close the underlying database connection."""
@@ -129,6 +144,11 @@ class RDFStore:
         info = self.models.get(model_name)
         result = self.parser.insert(info, triple, context=context,
                                     count_cost=count_cost)
+        observer = self._db.observer
+        if observer.enabled:
+            observer.counter("store.insert_triple").inc()
+            if result.created:
+                observer.counter("store.triples_created").inc()
         return self._handle(result.link)
 
     def insert_many(self, model_name: str,
@@ -137,10 +157,17 @@ class RDFStore:
         """Bulk insert; returns the number of *new* link rows created."""
         info = self.models.get(model_name)
         created = 0
-        with self._db.transaction():
-            for triple in triples:
-                result = self.parser.insert(info, triple, context=context)
-                created += 1 if result.created else 0
+        total = 0
+        with self._db.observer.span("store.insert_many",
+                                    model=model_name) as span:
+            with self._db.transaction():
+                for triple in triples:
+                    result = self.parser.insert(info, triple,
+                                                context=context)
+                    created += 1 if result.created else 0
+                    total += 1
+            span.set("triples", total)
+            span.set("created", created)
         return created
 
     def remove_triple(self, model_name: str, subject: str, predicate: str,
@@ -165,6 +192,7 @@ class RDFStore:
         """
         if not self.links.exists(rdf_t_id):
             raise TripleNotFoundError(rdf_t_id)
+        self._db.observer.counter("store.reify_triple").inc()
         resource = URI(DBUri.for_link(rdf_t_id).text)
         statement = Triple(resource, _RDF_TYPE, _RDF_STATEMENT)
         return self.insert_triple_obj(model_name, statement)

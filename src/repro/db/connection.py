@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import re
 import sqlite3
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import StorageError
+from repro.obs.observer import NULL_OBSERVER, Observer
 
 _IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*$")
 
@@ -46,20 +48,28 @@ class Database:
     :param path: filesystem path for the database file, or ``":memory:"``
         (the default) for an in-memory instance — ideal for tests and
         benchmarks.
+    :param observer: an :class:`~repro.obs.observer.Observer` collecting
+        SQL timings, spans, and metrics for this connection; default is
+        the shared no-op (observability off, near-zero overhead).
     """
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(self, path: str | Path = ":memory:",
+                 observer: Observer | None = None) -> None:
         self._path = str(path)
         self._connection = sqlite3.connect(self._path)
         self._connection.row_factory = sqlite3.Row
         # The store manages transactions explicitly via transaction().
         self._connection.isolation_level = None
         self._in_transaction = 0
+        self._closed = False
+        self._observer = NULL_OBSERVER
         cursor = self._connection.cursor()
         cursor.execute("PRAGMA foreign_keys = ON")
         cursor.execute("PRAGMA journal_mode = MEMORY")
         cursor.execute("PRAGMA synchronous = OFF")
         cursor.close()
+        if observer is not None:
+            self.set_observer(observer)
 
     @property
     def path(self) -> str:
@@ -70,15 +80,52 @@ class Database:
         """The raw sqlite3 connection (escape hatch for power users)."""
         return self._connection
 
+    @property
+    def observer(self) -> Observer:
+        """This connection's observer (the shared no-op when disabled)."""
+        return self._observer
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def set_observer(self, observer: Observer) -> None:
+        """Attach (or detach, with :data:`NULL_OBSERVER`) an observer.
+
+        An enabled observer installs the sqlite3 trace callback so raw
+        engine statements are counted; swapping back to the no-op
+        removes it.
+        """
+        if self._observer.enabled and self._observer.sql is not None \
+                and not self._closed:
+            self._observer.sql.detach(self._connection)
+        self._observer = observer
+        if observer.enabled and observer.sql is not None \
+                and not self._closed:
+            observer.sql.attach(self._connection)
+
     def close(self) -> None:
-        """Close the underlying connection."""
-        self._connection.close()
+        """Close the underlying connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._connection.close()
+        except sqlite3.Error as exc:  # pragma: no cover - defensive
+            raise StorageError(f"{exc} while closing {self._path}") \
+                from exc
 
     def __enter__(self) -> "Database":
         return self
 
     def __exit__(self, *_exc_info: object) -> None:
         self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError(
+                f"database connection to {self._path} is closed")
 
     # ------------------------------------------------------------------
     # statement execution
@@ -87,25 +134,58 @@ class Database:
     def execute(self, sql: str,
                 parameters: Sequence[Any] = ()) -> sqlite3.Cursor:
         """Execute one statement and return its cursor."""
+        if self._observer.enabled:
+            return self._execute_observed(sql, parameters)
         try:
             return self._connection.execute(sql, parameters)
         except sqlite3.Error as exc:
+            self._require_open()
             raise StorageError(f"{exc} while executing: {sql}") from exc
+
+    def _execute_observed(self, sql: str,
+                          parameters: Sequence[Any]) -> sqlite3.Cursor:
+        """The instrumented twin of :meth:`execute`.
+
+        Times the statement, aggregates it under its normalized shape,
+        and (for slow statements) captures its query plan.  Result rows
+        fetched later are credited by the ``query_*`` helpers.
+        """
+        start = time.perf_counter()
+        try:
+            cursor = self._connection.execute(sql, parameters)
+        except sqlite3.Error as exc:
+            self._require_open()
+            self._observer.counter("sql.errors").inc()
+            raise StorageError(f"{exc} while executing: {sql}") from exc
+        duration = time.perf_counter() - start
+        self._observer.sql.record(
+            sql, duration, rows=max(cursor.rowcount, 0),
+            connection=self._connection, parameters=parameters)
+        return cursor
 
     def executemany(self, sql: str,
                     parameter_rows: Iterable[Sequence[Any]]
                     ) -> sqlite3.Cursor:
         """Execute one statement for many parameter rows."""
+        observed = self._observer.enabled
+        start = time.perf_counter() if observed else 0.0
         try:
-            return self._connection.executemany(sql, parameter_rows)
+            cursor = self._connection.executemany(sql, parameter_rows)
         except sqlite3.Error as exc:
+            self._require_open()
             raise StorageError(f"{exc} while executing: {sql}") from exc
+        if observed:
+            self._observer.sql.record(
+                sql, time.perf_counter() - start,
+                rows=max(cursor.rowcount, 0))
+        return cursor
 
     def executescript(self, script: str) -> None:
         """Execute a multi-statement DDL script."""
         try:
             self._connection.executescript(script)
         except sqlite3.Error as exc:
+            self._require_open()
             raise StorageError(f"{exc} while executing script") from exc
 
     # ------------------------------------------------------------------
@@ -115,12 +195,18 @@ class Database:
     def query_all(self, sql: str,
                   parameters: Sequence[Any] = ()) -> list[sqlite3.Row]:
         """All rows of a query."""
-        return self.execute(sql, parameters).fetchall()
+        rows = self.execute(sql, parameters).fetchall()
+        if self._observer.enabled:
+            self._observer.sql.add_rows(sql, len(rows))
+        return rows
 
     def query_one(self, sql: str,
                   parameters: Sequence[Any] = ()) -> sqlite3.Row | None:
         """The first row of a query, or None."""
-        return self.execute(sql, parameters).fetchone()
+        row = self.execute(sql, parameters).fetchone()
+        if row is not None and self._observer.enabled:
+            self._observer.sql.add_rows(sql, 1)
+        return row
 
     def query_value(self, sql: str,
                     parameters: Sequence[Any] = (),

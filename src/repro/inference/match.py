@@ -31,6 +31,7 @@ from repro.inference.patterns import (
     parse_pattern_list,
 )
 from repro.inference.rules_index import INFERRED_TABLE, RulesIndexManager
+from repro.obs.metrics import DEFAULT_COUNT_BUCKETS as _COUNT_BUCKETS
 from repro.rdf.namespaces import AliasSet
 from repro.rdf.terms import RDFTerm
 
@@ -115,35 +116,57 @@ def sdo_rdf_match(store: "RDFStore", query: str,
         raise QueryError("SDO_RDF_MATCH requires at least one model")
     if limit is not None and limit < 0:
         raise QueryError(f"limit must be >= 0, got {limit}")
-    aliases = aliases or AliasSet()
-    patterns = parse_pattern_list(query, aliases)
-    filter_expression = parse_filter(filter) if filter else None
-    _check_filter_variables(filter_expression, patterns, filter)
-    bound = set().union(*(p.variables() for p in patterns))
-    if order_by is not None:
-        order_by = order_by.lstrip("?")
-        if order_by not in bound:
-            raise QueryError(
-                f"order_by variable {order_by!r} is not bound by the "
-                "query")
-    compiled = _compile(store, patterns, models, rulebases)
-    if compiled is None:
-        return []
-    sql, params, projection = compiled
-    rows: list[MatchRow] = []
-    for row in store.database.execute(sql, params):
-        terms = {name: store.values.get_term(row[index])
-                 for name, index in projection.items()}
-        match_row = MatchRow(terms)
-        if filter_expression is not None and not filter_expression.evaluate(
-                dict(match_row._terms)):
-            continue
-        rows.append(match_row)
-    if order_by is not None:
-        rows.sort(key=lambda match_row: match_row[order_by])
-    if limit is not None:
-        rows = rows[:limit]
-    return rows
+    observer = store.observer
+    with observer.span("match.execute", models=",".join(models),
+                       query=query) as span:
+        aliases = aliases or AliasSet()
+        patterns = parse_pattern_list(query, aliases)
+        filter_expression = parse_filter(filter) if filter else None
+        _check_filter_variables(filter_expression, patterns, filter)
+        bound = set().union(*(p.variables() for p in patterns))
+        if order_by is not None:
+            order_by = order_by.lstrip("?")
+            if order_by not in bound:
+                raise QueryError(
+                    f"order_by variable {order_by!r} is not bound by the "
+                    "query")
+        with observer.span("match.compile", patterns=len(patterns)):
+            compiled = _compile(store, patterns, models, rulebases)
+        if observer.enabled:
+            observer.counter("match.queries").inc()
+            observer.metrics.histogram(
+                "match.patterns", "triple patterns per query",
+                buckets=range(1, 17)).observe(len(patterns))
+        if compiled is None:
+            # A constant with no VALUE_ID: nothing can match.
+            span.set("rows", 0)
+            span.set("short_circuit", "unknown-constant")
+            return []
+        sql, params, projection = compiled
+        rows: list[MatchRow] = []
+        fetched = 0
+        with observer.span("match.sql") as sql_span:
+            for row in store.database.execute(sql, params):
+                fetched += 1
+                terms = {name: store.values.get_term(row[index])
+                         for name, index in projection.items()}
+                match_row = MatchRow(terms)
+                if filter_expression is not None and \
+                        not filter_expression.evaluate(
+                            dict(match_row._terms)):
+                    continue
+                rows.append(match_row)
+            sql_span.set("fetched", fetched)
+        if order_by is not None:
+            rows.sort(key=lambda match_row: match_row[order_by])
+        if limit is not None:
+            rows = rows[:limit]
+        span.set("rows", len(rows))
+        if observer.enabled:
+            observer.metrics.histogram(
+                "match.rows", "result rows per query",
+                buckets=_COUNT_BUCKETS).observe(len(rows))
+        return rows
 
 
 def ask(store: "RDFStore", query: str, models: Sequence[str],

@@ -230,6 +230,7 @@ class RulebaseManager:
             "VALUES (?, ?, ?, ?, ?)",
             (rule_name, antecedents, filter_text, consequents,
              _serialize_aliases(aliases)))
+        self._db.observer.counter("rulebase.rules_inserted").inc()
         return rule
 
     def delete_rule(self, rulebase_name: str, rule_name: str) -> None:
@@ -245,12 +246,18 @@ class RulebaseManager:
         """All parsed rules of a rulebase."""
         rulebase = self.get(rulebase_name)
         parsed: list[Rule] = []
-        for row in self._db.query_all(
-                f"SELECT * FROM {quote_identifier(rulebase.table_name)} "
-                "ORDER BY rule_name"):
-            parsed.append(Rule.parse(
-                row["rule_name"], row["antecedents"], row["filter"],
-                row["consequents"], _deserialize_aliases(row["aliases"])))
+        with self._db.observer.span("rulebase.load_rules",
+                                    rulebase=rulebase.rulebase_name
+                                    ) as span:
+            for row in self._db.query_all(
+                    f"SELECT * FROM "
+                    f"{quote_identifier(rulebase.table_name)} "
+                    "ORDER BY rule_name"):
+                parsed.append(Rule.parse(
+                    row["rule_name"], row["antecedents"], row["filter"],
+                    row["consequents"],
+                    _deserialize_aliases(row["aliases"])))
+            span.set("rules", len(parsed))
         return parsed
 
 

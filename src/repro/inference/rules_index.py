@@ -154,14 +154,31 @@ class RulesIndexManager:
                rulebases: tuple[str, ...]) -> tuple[int, int]:
         """Run the closure and materialise it; returns (inferred,
         source-triple-count)."""
-        rules = self._resolve_rules(rulebases)
-        base = Graph()
-        for model_name in models:
-            base.update(self._store.iter_model_triples(model_name))
-        provenance: dict[Triple, Derivation] = {}
-        inferred = forward_closure(base, rules, provenance=provenance)
-        return self._materialize(name, inferred, provenance), \
-            self._source_count(models)
+        observer = self._db.observer
+        with observer.span("rules_index.build", index=name,
+                           models=",".join(models),
+                           rulebases=",".join(rulebases)) as span:
+            rules = self._resolve_rules(rulebases)
+            base = Graph()
+            with observer.span("rules_index.load_base") as load_span:
+                for model_name in models:
+                    base.update(
+                        self._store.iter_model_triples(model_name))
+                load_span.set("base_triples", len(base))
+            provenance: dict[Triple, Derivation] = {}
+            with observer.span("rules_index.closure",
+                               rules=len(rules)) as closure_span:
+                inferred = forward_closure(base, rules,
+                                           provenance=provenance)
+                closure_span.set("inferred", len(inferred))
+            with observer.span("rules_index.materialize"):
+                count = self._materialize(name, inferred, provenance)
+            span.set("inferred", count)
+            if observer.enabled:
+                observer.counter("rules_index.builds").inc()
+                observer.counter("rules_index.inferred_triples").inc(
+                    count)
+            return count, self._source_count(models)
 
     def _source_count(self, models: Iterable[str]) -> int:
         return sum(

@@ -292,7 +292,11 @@ class NetworkAnalyzer:
     def __init__(self, network: LogicalNetwork,
                  undirected: bool = False) -> None:
         self._network = network
-        self._adjacency = network.adjacency(undirected=undirected)
+        self._observer = network.database.observer
+        with self._observer.span("ndm.snapshot",
+                                 undirected=undirected) as span:
+            self._adjacency = network.adjacency(undirected=undirected)
+            span.set("nodes", len(self._adjacency))
         self._undirected = undirected
 
     @property
@@ -303,7 +307,11 @@ class NetworkAnalyzer:
         return node_id in self._adjacency
 
     def shortest_path(self, source: int, target: int) -> Path | None:
-        return shortest_path(self._adjacency, source, target)
+        with self._observer.span("ndm.shortest_path", source=source,
+                                 target=target) as span:
+            found = shortest_path(self._adjacency, source, target)
+            span.set("hops", len(found) if found is not None else -1)
+        return found
 
     def within_cost(self, source: int,
                     max_cost: float) -> dict[int, float]:
@@ -327,7 +335,10 @@ class NetworkAnalyzer:
         return dfs_order(self._adjacency, source)
 
     def components(self) -> list[set[int]]:
-        return connected_components(self._adjacency)
+        with self._observer.span("ndm.components") as span:
+            components = connected_components(self._adjacency)
+            span.set("components", len(components))
+        return components
 
     def minimum_spanning_forest(self):
         return minimum_spanning_forest(self._adjacency)

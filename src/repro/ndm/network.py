@@ -57,6 +57,11 @@ class LogicalNetwork:
         self._meta = metadata
         self._partition = partition
 
+    @property
+    def database(self) -> "Database":
+        """The hosting database engine."""
+        return self._db
+
     @classmethod
     def open(cls, database: "Database", network_name: str,
              partition: int | None = None) -> "LogicalNetwork":

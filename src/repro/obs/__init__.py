@@ -1,0 +1,54 @@
+"""Observability: metrics, tracing, SQL instrumentation, logging.
+
+The paper's whole evaluation is about *measuring* the central-schema
+store (Tables 1-2, Figure 8); this subpackage gives the reproduction the
+same visibility into its own hot paths:
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms with JSON and Prometheus-text exposition;
+* :mod:`repro.obs.tracing` — nested spans with attributes and a
+  ring-buffer exporter (``with observer.span("match.execute"): ...``);
+* :mod:`repro.obs.sqltrace` — per-statement SQL timing, rows-fetched
+  counts, normalized-statement aggregation, and ``EXPLAIN QUERY PLAN``
+  capture for slow statements;
+* :mod:`repro.obs.logjson` — structured (JSON-lines) stdlib logging,
+  switched on via the ``REPRO_LOG`` environment variable;
+* :mod:`repro.obs.observer` — the :class:`Observer` facade bundling all
+  of the above, and the shared no-op :data:`NULL_OBSERVER` that keeps
+  the disabled path near-zero-cost.
+
+Everything is off by default: :class:`repro.db.connection.Database` and
+:class:`repro.core.store.RDFStore` carry :data:`NULL_OBSERVER` unless
+observation is requested explicitly (``RDFStore(observe=True)``) or via
+the ``REPRO_OBSERVE`` environment variable.
+"""
+
+from repro.obs.logjson import JsonFormatter, configure_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.observer import NULL_OBSERVER, Observer, observe_from_env
+from repro.obs.sqltrace import SQLInstrumenter, normalize_statement
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Observer",
+    "SQLInstrumenter",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "normalize_statement",
+    "observe_from_env",
+]

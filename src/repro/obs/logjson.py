@@ -1,0 +1,128 @@
+"""Structured logging: stdlib ``logging`` with a JSON-lines formatter.
+
+The library logs under the ``repro`` logger hierarchy
+(``repro.db``, ``repro.match``, ``repro.bulkload``, ...) and stays
+silent by default — the root ``repro`` logger gets a
+:class:`logging.NullHandler` so applications without logging config see
+nothing.
+
+Switch it on with the ``REPRO_LOG`` environment variable or
+:func:`configure_logging`::
+
+    REPRO_LOG=debug repro --verbose query ...   # JSON lines on stderr
+    REPRO_LOG=info:text ...                     # plain text instead
+
+Accepted values: a level name (``debug``/``info``/``warning``/...),
+optionally suffixed ``:text`` for the classic formatter, or ``0``/
+``off`` to disable.  Each JSON line carries timestamp, level, logger,
+message, and any ``extra={...}`` fields the call site attached.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import IO
+
+#: Environment variable switching library logging on.
+LOG_ENV_VAR = "REPRO_LOG"
+
+#: Root logger name of the library.
+ROOT_LOGGER = "repro"
+
+#: LogRecord fields that are plumbing, not payload.
+_RESERVED = frozenset(vars(logging.LogRecord(
+    "", 0, "", 0, "", (), None)).keys()) | {
+        "message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """Format records as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S",
+                time.gmtime(record.created)) + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=repr)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the library hierarchy (``repro`` or ``repro.x``)."""
+    return logging.getLogger(
+        f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def configure_logging(level: int | str | None = None,
+                      stream: IO[str] | None = None,
+                      json_lines: bool = True) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root logger.
+
+    :param level: explicit level; None reads ``REPRO_LOG`` (and leaves
+        logging disabled when it is unset/off).
+    :param stream: handler target, default ``sys.stderr``.
+    :param json_lines: JSON-lines formatter (default) or plain text.
+    """
+    if level is None:
+        setting = os.environ.get(LOG_ENV_VAR, "").strip().lower()
+        if not setting or setting in ("0", "off", "false", "no"):
+            return _silence()
+        if setting.endswith(":text"):
+            json_lines = False
+            setting = setting[:-len(":text")]
+        resolved = logging.getLevelName(setting.upper())
+        if not isinstance(resolved, int):
+            resolved = logging.INFO
+        level = resolved
+    elif isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        level = resolved if isinstance(resolved, int) else logging.INFO
+    root = logging.getLogger(ROOT_LOGGER)
+    _clear_handlers(root)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s %(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root
+
+
+def _silence() -> logging.Logger:
+    """Default state: the library never emits through the root logger."""
+    root = logging.getLogger(ROOT_LOGGER)
+    if not root.handlers:
+        root.addHandler(logging.NullHandler())
+    return root
+
+
+def _clear_handlers(logger: logging.Logger) -> None:
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+        handler.close()
+
+
+# Silence by default on import: "no logging config, no output".
+_silence()

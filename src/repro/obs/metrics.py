@@ -1,0 +1,318 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` names and owns instruments; call sites hold
+the instrument (``registry.counter("match.queries")``) and update it
+with plain attribute math — no locks, no label cartesian products.  Two
+exposition formats are built in: :meth:`MetricsRegistry.as_dict` (the
+JSON surface used by ``repro stats --json``) and
+:meth:`MetricsRegistry.prometheus_text` (the ``text/plain; version=0.0.4``
+format, so a scrape endpoint needs no extra dependency).
+
+The disabled path uses :data:`NULL_REGISTRY`, whose instruments share
+single no-op objects — creating or updating them costs one method call
+that does nothing, keeping observability near-zero-cost when off.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterator, Sequence
+
+#: Default histogram buckets (seconds): 100 us .. 10 s, roughly
+#: logarithmic — matched to SQLite statement and span durations.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Default histogram buckets for row counts / cardinalities.
+DEFAULT_COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 5_000, 10_000,
+    50_000, 100_000)
+
+
+def _sanitize_prometheus(name: str) -> str:
+    """Dots and dashes become underscores; Prometheus names are
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    cleaned = []
+    for index, char in enumerate(name):
+        if char.isalnum() or char in "_:":
+            cleaned.append(char)
+        else:
+            cleaned.append("_")
+        if index == 0 and char.isdigit():
+            cleaned.insert(0, "_")
+    return "".join(cleaned)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value:g})"
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value:g})"
+
+
+class Histogram:
+    """A fixed-bucket histogram with percentile estimation.
+
+    Buckets are cumulative-upper-bound style (Prometheus ``le``): an
+    observation lands in the first bucket whose bound is >= the value;
+    larger values land in the implicit ``+Inf`` overflow bucket.
+    Percentiles interpolate linearly inside the chosen bucket, which is
+    exact enough for reporting p50/p95 over timing data.
+    """
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "count",
+                 "sum", "min", "max")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        self.name = name
+        self.help = help
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        # One slot per finite bound plus the +Inf overflow slot.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-quantile (``q`` in [0, 1]) from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index >= len(self.bounds):
+                    # Overflow bucket: best estimate is the observed max.
+                    return self.max
+                lower = self.bounds[index - 1] if index else 0.0
+                upper = self.bounds[index]
+                fraction = ((target - previous) / bucket_count
+                            if bucket_count else 1.0)
+                estimate = lower + (upper - lower) * fraction
+                # Never report outside the observed range.
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}: n={self.count}, "
+                f"mean={self.mean:g})")
+
+
+class MetricsRegistry:
+    """Names and owns the instruments of one observed process.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call registers, later calls return the same instrument — so call
+    sites never need module-level instrument globals.
+    """
+
+    #: Distinguishes a live registry from :class:`NullRegistry` without
+    #: an isinstance check on the hot path.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name, help)
+        return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name, help)
+        return instrument
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+                  ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, help, buckets)
+        return instrument
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        yield from self._counters.values()
+        yield from self._gauges.values()
+        yield from self._histograms.values()
+
+    def reset(self) -> None:
+        """Forget every instrument (tests, bench trial isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """The JSON-ready snapshot used by ``repro stats --json``."""
+        counters = {c.name: c.value for c in self._counters.values()}
+        gauges = {g.name: g.value for g in self._gauges.values()}
+        histograms = {}
+        for histogram in self._histograms.values():
+            histograms[histogram.name] = {
+                "count": histogram.count,
+                "sum": histogram.sum,
+                "mean": histogram.mean,
+                "min": histogram.min if histogram.count else 0.0,
+                "max": histogram.max if histogram.count else 0.0,
+                "p50": histogram.p50,
+                "p95": histogram.p95,
+            }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def prometheus_text(self) -> str:
+        """The Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for counter in self._counters.values():
+            name = _sanitize_prometheus(counter.name)
+            if counter.help:
+                lines.append(f"# HELP {name} {counter.help}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {counter.value:g}")
+        for gauge in self._gauges.values():
+            name = _sanitize_prometheus(gauge.name)
+            if gauge.help:
+                lines.append(f"# HELP {name} {gauge.help}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {gauge.value:g}")
+        for histogram in self._histograms.values():
+            name = _sanitize_prometheus(histogram.name)
+            if histogram.help:
+                lines.append(f"# HELP {name} {histogram.help}")
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, bucket_count in zip(histogram.bounds,
+                                           histogram.bucket_counts):
+                cumulative += bucket_count
+                lines.append(
+                    f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
+            lines.append(
+                f'{name}_bucket{{le="+Inf"}} {histogram.count}')
+            lines.append(f"{name}_sum {histogram.sum:g}")
+            lines.append(f"{name}_count {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullInstrument:
+    """One shared object standing in for every disabled instrument."""
+
+    __slots__ = ()
+    name = ""
+    help = ""
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every lookup returns the shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, help: str = ""):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = ""):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+                  ):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+
+#: The shared disabled registry.
+NULL_REGISTRY = NullRegistry()

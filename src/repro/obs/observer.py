@@ -1,0 +1,139 @@
+"""The :class:`Observer` facade: one handle for all instrumentation.
+
+One :class:`Observer` bundles a metrics registry, a tracer, a SQL
+instrumenter, and a logger.  The :class:`~repro.db.connection.Database`
+carries one (default: the shared no-op :data:`NULL_OBSERVER`), and every
+layer above reaches it through the database — so a single
+``RDFStore(observe=True)`` switch lights up SQL timing, spans, and
+counters across the whole stack::
+
+    store = RDFStore(observe=True)
+    ...
+    snapshot = store.observer.snapshot()     # JSON-ready dict
+    text = store.observer.metrics.prometheus_text()
+
+The disabled path is engineered for near-zero cost: ``NULL_OBSERVER``
+is a singleton whose ``enabled`` is False; its tracer returns one
+shared no-op span and its registry one shared no-op instrument, and the
+``Database`` execute path checks one attribute before doing anything
+observational.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Any
+
+from repro.obs.logjson import get_logger
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sqltrace import DEFAULT_SLOW_THRESHOLD, SQLInstrumenter
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
+
+#: Environment variable enabling observation without code changes.
+OBSERVE_ENV_VAR = "REPRO_OBSERVE"
+
+
+def observe_from_env() -> bool:
+    """True when ``REPRO_OBSERVE`` asks for an enabled observer."""
+    value = os.environ.get(OBSERVE_ENV_VAR, "").strip().lower()
+    return value not in ("", "0", "off", "false", "no")
+
+
+class Observer:
+    """A live observer: metrics + tracer + SQL stats + logger.
+
+    :param slow_sql_threshold: seconds past which a statement's query
+        plan is captured (see :class:`~repro.obs.sqltrace.SQLInstrumenter`).
+    :param span_capacity: tracer ring-buffer size.
+    :param capture_plans: toggle EXPLAIN QUERY PLAN capture.
+    """
+
+    enabled = True
+
+    def __init__(self,
+                 slow_sql_threshold: float = DEFAULT_SLOW_THRESHOLD,
+                 span_capacity: int = 2048,
+                 capture_plans: bool = True) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(capacity=span_capacity,
+                             on_finish=self._span_finished)
+        self.sql = SQLInstrumenter(self.metrics,
+                                   slow_threshold=slow_sql_threshold,
+                                   capture_plans=capture_plans)
+        self.log = get_logger()
+        self._span_seconds = self.metrics.histogram(
+            "span.seconds", "wall time of every finished span")
+
+    def _span_finished(self, span: Span) -> None:
+        self._span_seconds.observe(span.duration)
+        self.metrics.counter(f"span.{span.name}").inc()
+        if self.log.isEnabledFor(logging.DEBUG):
+            self.log.debug("span %s finished", span.name, extra={
+                "span": span.name,
+                "duration_s": round(span.duration, 6),
+                "span_attributes": {k: v for k, v
+                                    in span.attributes.items()
+                                    if isinstance(v, (str, int, float,
+                                                      bool, type(None)))},
+            })
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Shorthand for ``observer.tracer.span(...)``."""
+        return self.tracer.span(name, **attributes)
+
+    def counter(self, name: str, help: str = ""):
+        """Shorthand for ``observer.metrics.counter(...)``."""
+        return self.metrics.counter(name, help)
+
+    def snapshot(self, top_statements: int = 25,
+                 last_spans: int = 50) -> dict[str, Any]:
+        """The JSON-ready state dump used by ``repro stats --json``."""
+        return {
+            "enabled": True,
+            "metrics": self.metrics.as_dict(),
+            "sql": self.sql.as_dict(top=top_statements),
+            "spans": {
+                "finished": len(self.tracer),
+                "dropped": self.tracer.dropped,
+                "last": [span.as_dict()
+                         for span in self.tracer.last(last_spans)],
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop all collected state (bench trial isolation)."""
+        self.metrics.reset()
+        self.sql.reset()
+        self.tracer.clear()
+        self._span_seconds = self.metrics.histogram(
+            "span.seconds", "wall time of every finished span")
+
+
+class NullObserver(Observer):
+    """The disabled observer — all components are shared no-ops."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = NULL_REGISTRY
+        self.tracer = NULL_TRACER
+        self.sql = None  # The Database never touches sql when disabled.
+        self.log = get_logger()
+
+    def span(self, name: str, **attributes: Any):  # type: ignore[override]
+        return self.tracer.span(name)
+
+    def counter(self, name: str, help: str = ""):
+        return self.metrics.counter(name)
+
+    def snapshot(self, top_statements: int = 25,
+                 last_spans: int = 50) -> dict[str, Any]:
+        return {"enabled": False}
+
+    def reset(self) -> None:
+        pass
+
+
+#: The process-wide disabled observer; identity-comparable.
+NULL_OBSERVER = NullObserver()

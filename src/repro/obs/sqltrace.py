@@ -1,0 +1,240 @@
+"""SQL-level instrumentation for the :class:`~repro.db.connection.Database`.
+
+Three layers of visibility, all per-connection:
+
+* a raw ``sqlite3`` trace callback (``set_trace_callback``) counting
+  every statement the engine actually runs — including the ones inside
+  ``executescript``/``executemany`` expansions that the Python wrapper
+  never sees individually;
+* timed execution: :meth:`SQLInstrumenter.record` aggregates duration,
+  execution count, and affected/fetched row counts per *normalized*
+  statement (literals stripped, whitespace collapsed), so the top-N
+  report groups the thousands of parameterized executions of one
+  statement shape into one line;
+* slow-statement plans: the first execution of a normalized statement
+  over the ``slow_threshold`` captures its ``EXPLAIN QUERY PLAN`` so a
+  missing index shows up in ``repro stats --json`` without re-running
+  the workload under a debugger.
+
+This module never imports :mod:`repro.db` — the database imports *it* —
+so the dependency arrow stays engine -> observability.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+#: Statements slower than this (seconds) get an EXPLAIN QUERY PLAN.
+DEFAULT_SLOW_THRESHOLD = 0.010
+
+#: At most this many distinct slow-statement plans are retained.
+DEFAULT_PLAN_LIMIT = 32
+
+#: At most this many distinct normalized statements are aggregated;
+#: beyond it, new shapes are counted under the overflow key.
+DEFAULT_STATEMENT_LIMIT = 512
+
+OVERFLOW_KEY = "<other statements>"
+
+_STRING_LITERAL_RE = re.compile(r"'(?:[^']|'')*'")
+_NUMBER_LITERAL_RE = re.compile(r"\b\d+(?:\.\d+)?\b")
+_PLACEHOLDER_RUN_RE = re.compile(r"\?(?:\s*,\s*\?)+")
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize_statement(sql: str, max_length: int = 300) -> str:
+    """Collapse one concrete statement to its aggregation shape.
+
+    String and numeric literals become ``?``; runs of placeholders
+    (``IN (?, ?, ?)`` from per-model or per-batch expansion) collapse to
+    ``?+`` so batch size doesn't explode the statement cardinality.
+    """
+    text = _STRING_LITERAL_RE.sub("?", sql)
+    text = _NUMBER_LITERAL_RE.sub("?", text)
+    text = _WHITESPACE_RE.sub(" ", text).strip()
+    text = _PLACEHOLDER_RUN_RE.sub("?+", text)
+    if len(text) > max_length:
+        text = text[:max_length] + " ..."
+    return text
+
+
+class StatementStats:
+    """Aggregated figures for one normalized statement."""
+
+    __slots__ = ("statement", "count", "total_time", "max_time", "rows")
+
+    def __init__(self, statement: str) -> None:
+        self.statement = statement
+        self.count = 0
+        self.total_time = 0.0
+        self.max_time = 0.0
+        self.rows = 0
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "statement": self.statement,
+            "count": self.count,
+            "total_seconds": self.total_time,
+            "mean_seconds": self.mean_time,
+            "max_seconds": self.max_time,
+            "rows": self.rows,
+        }
+
+    def __repr__(self) -> str:
+        return (f"StatementStats({self.statement[:40]!r}, "
+                f"n={self.count}, total={self.total_time:.6f})")
+
+
+class SQLInstrumenter:
+    """Per-connection SQL statistics collector.
+
+    :param metrics: registry receiving the rolled-up instruments
+        (``sql.statements`` counter, ``sql.statement.seconds``
+        histogram); pass :data:`~repro.obs.metrics.NULL_REGISTRY` to
+        keep only the per-statement table.
+    :param slow_threshold: duration (seconds) past which a statement's
+        query plan is captured.
+    :param capture_plans: disable to skip EXPLAIN QUERY PLAN entirely.
+    """
+
+    def __init__(self, metrics: "MetricsRegistry",
+                 slow_threshold: float = DEFAULT_SLOW_THRESHOLD,
+                 capture_plans: bool = True,
+                 statement_limit: int = DEFAULT_STATEMENT_LIMIT,
+                 plan_limit: int = DEFAULT_PLAN_LIMIT) -> None:
+        self._statements: dict[str, StatementStats] = {}
+        self._plans: dict[str, list[str]] = {}
+        self._statement_limit = statement_limit
+        self._plan_limit = plan_limit
+        self.slow_threshold = slow_threshold
+        self.capture_plans = capture_plans
+        #: Raw statements the engine ran (trace-callback count).
+        self.engine_statements = 0
+        self._capturing_plan = False
+        self._statement_counter = metrics.counter(
+            "sql.statements", "statements timed by the Database wrapper")
+        self._engine_counter = metrics.counter(
+            "sql.engine_statements",
+            "raw statements seen by the sqlite3 trace callback")
+        self._duration_histogram = metrics.histogram(
+            "sql.statement.seconds", "per-statement wall time")
+
+    # ------------------------------------------------------------------
+    # connection hooks
+    # ------------------------------------------------------------------
+
+    def attach(self, connection: sqlite3.Connection) -> None:
+        """Install the raw trace callback on ``connection``."""
+        connection.set_trace_callback(self._trace)
+
+    def detach(self, connection: sqlite3.Connection) -> None:
+        connection.set_trace_callback(None)
+
+    def _trace(self, _sql: str) -> None:
+        if self._capturing_plan:
+            return
+        self.engine_statements += 1
+        self._engine_counter.inc()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(self, sql: str, duration: float, rows: int = 0,
+               connection: sqlite3.Connection | None = None,
+               parameters: Sequence[Any] = ()) -> None:
+        """Aggregate one timed execution.
+
+        :param rows: affected rows for DML (``cursor.rowcount``), or 0;
+            fetched result rows are credited later via :meth:`add_rows`.
+        :param connection: when given and the statement is slow, used to
+            capture its EXPLAIN QUERY PLAN.
+        """
+        key = normalize_statement(sql)
+        stats = self._statements.get(key)
+        if stats is None:
+            if len(self._statements) >= self._statement_limit:
+                key = OVERFLOW_KEY
+                stats = self._statements.get(key)
+                if stats is None:
+                    stats = self._statements[key] = StatementStats(key)
+            else:
+                stats = self._statements[key] = StatementStats(key)
+        stats.count += 1
+        stats.total_time += duration
+        if duration > stats.max_time:
+            stats.max_time = duration
+        if rows > 0:
+            stats.rows += rows
+        self._statement_counter.inc()
+        self._duration_histogram.observe(duration)
+        if (self.capture_plans and connection is not None
+                and duration >= self.slow_threshold
+                and key not in self._plans
+                and key != OVERFLOW_KEY
+                and len(self._plans) < self._plan_limit):
+            self._capture_plan(key, sql, parameters, connection)
+
+    def add_rows(self, sql: str, rows: int) -> None:
+        """Credit fetched result rows to an already-recorded statement."""
+        stats = self._statements.get(normalize_statement(sql))
+        if stats is not None:
+            stats.rows += rows
+
+    def _capture_plan(self, key: str, sql: str,
+                      parameters: Sequence[Any],
+                      connection: sqlite3.Connection) -> None:
+        self._capturing_plan = True
+        try:
+            rows = connection.execute(
+                f"EXPLAIN QUERY PLAN {sql}", parameters).fetchall()
+            self._plans[key] = [str(row[-1]) for row in rows]
+        except sqlite3.Error:
+            # Not every statement EXPLAINs (DDL, PRAGMA); skip quietly.
+            self._plans[key] = []
+        finally:
+            self._capturing_plan = False
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def statement_count(self) -> int:
+        """Distinct normalized statements aggregated so far."""
+        return len(self._statements)
+
+    def statements(self, top: int | None = None) -> list[StatementStats]:
+        """Aggregates ordered by total time, heaviest first."""
+        ordered = sorted(self._statements.values(),
+                         key=lambda stats: -stats.total_time)
+        return ordered if top is None else ordered[:top]
+
+    def plan_for(self, sql: str) -> list[str] | None:
+        """The captured EXPLAIN QUERY PLAN lines, if this statement was
+        ever slow."""
+        return self._plans.get(normalize_statement(sql))
+
+    def reset(self) -> None:
+        self._statements.clear()
+        self._plans.clear()
+        self.engine_statements = 0
+
+    def as_dict(self, top: int = 25) -> dict[str, Any]:
+        return {
+            "engine_statements": self.engine_statements,
+            "distinct_statements": len(self._statements),
+            "top_statements": [stats.as_dict()
+                               for stats in self.statements(top)],
+            "slow_plans": {key: list(plan)
+                           for key, plan in self._plans.items()},
+        }

@@ -1,0 +1,193 @@
+"""Span-based tracing with nesting and a ring-buffer exporter.
+
+A *span* is one timed region of work with a name, attributes, and a
+position in the call tree::
+
+    with tracer.span("match.execute", model="cia") as span:
+        rows = run_query()
+        span.set("rows", len(rows))
+
+Spans nest: a span opened while another is active records it as its
+parent, so exporters can rebuild the tree (``repro trace`` renders it by
+indenting on depth).  Finished spans land in a bounded ring buffer —
+memory use is capped no matter how long the process runs; the newest
+spans win.
+
+The disabled path (:data:`NULL_TRACER`) hands out one shared reusable
+no-op span, so ``with tracer.span(...)`` costs two method calls that do
+nothing.  Hot loops that want even that gone can guard on
+``tracer.enabled``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Iterator
+
+#: Default ring-buffer capacity (finished spans retained).
+DEFAULT_CAPACITY = 2048
+
+
+class Span:
+    """One timed region; use as a context manager via ``Tracer.span``."""
+
+    __slots__ = ("name", "attributes", "span_id", "parent_id", "depth",
+                 "start_time", "duration", "error", "_tracer", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: int | None, depth: int,
+                 attributes: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.attributes = attributes
+        self.start_time = time.time()
+        self.duration = 0.0
+        self.error: str | None = None
+        self._start = time.perf_counter()
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        self.duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._finish(self)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "start_time": self.start_time,
+            "duration": self.duration,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"duration={self.duration:.6f})")
+
+
+class Tracer:
+    """Creates spans, tracks nesting, retains finished spans.
+
+    :param capacity: ring-buffer size for finished spans.
+    :param on_finish: optional hook called with each finished span —
+        the :class:`repro.obs.observer.Observer` uses it to feed span
+        durations into the metrics registry.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 on_finish: Callable[[Span], None] | None = None) -> None:
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._on_finish = on_finish
+        self.dropped = 0
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a span; use as ``with tracer.span("x") as span:``."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(self, name, self._next_id,
+                    parent.span_id if parent else None,
+                    parent.depth + 1 if parent else 0, attributes)
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        # Pop back to (and including) this span; tolerates a span
+        # __exit__ arriving out of order after an exception unwound
+        # several frames at once.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if len(self._finished) == self._finished.maxlen:
+            self.dropped += 1
+        self._finished.append(span)
+        if self._on_finish is not None:
+            self._on_finish(span)
+
+    @property
+    def active(self) -> Span | None:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def spans(self) -> list[Span]:
+        """Finished spans, oldest first."""
+        return list(self._finished)
+
+    def last(self, count: int) -> list[Span]:
+        """The ``count`` most recent finished spans, oldest first."""
+        if count <= 0:
+            return []
+        return list(self._finished)[-count:]
+
+    def find(self, name: str) -> list[Span]:
+        """Finished spans with this name, oldest first."""
+        return [span for span in self._finished if span.name == name]
+
+    def clear(self) -> None:
+        self._finished.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._finished)
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [span.as_dict() for span in self._finished]
+
+
+class _NullSpan:
+    """The shared no-op span; reused for every disabled ``span()``."""
+
+    __slots__ = ()
+    name = ""
+    duration = 0.0
+    error = None
+    attributes: dict[str, Any] = {}
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: no allocation, no retention."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def span(self, name: str, **attributes: Any):  # type: ignore[override]
+        return _NULL_SPAN
+
+
+#: The shared disabled tracer.
+NULL_TRACER = NullTracer()

@@ -135,15 +135,21 @@ class QuadConverter:
         order and assertions may precede the quad they reference.
         """
         report = QuadConversionReport()
-        complete, incomplete, others = collect_quads(triples)
-        resource_to_dburi: dict[RDFTerm, str] = {}
-        with self._store.database.transaction():
-            for quad in complete:
-                dburi = self._load_quad(quad, report)
-                resource_to_dburi[quad.resource] = dburi
-            for triple in others:
-                self._load_ordinary(triple, resource_to_dburi, report)
-            self._handle_incomplete(incomplete, report)
+        with self._store.observer.span("quads.convert",
+                                       model=self._model_name) as span:
+            complete, incomplete, others = collect_quads(triples)
+            resource_to_dburi: dict[RDFTerm, str] = {}
+            with self._store.database.transaction():
+                for quad in complete:
+                    dburi = self._load_quad(quad, report)
+                    resource_to_dburi[quad.resource] = dburi
+                for triple in others:
+                    self._load_ordinary(triple, resource_to_dburi,
+                                        report)
+                self._handle_incomplete(incomplete, report)
+            span.set("quads_converted", report.quads_converted)
+            span.set("ordinary_triples", report.ordinary_triples)
+            span.set("incomplete_quads", report.incomplete_quads)
         return report
 
     # ------------------------------------------------------------------

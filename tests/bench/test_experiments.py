@@ -12,8 +12,8 @@ class TestExperiment1:
     def test_shape(self):
         result = run_experiment_1(triple_count=2_000, trials=2)
         assert len(result.rows) == 2
-        member_rows = result.rows[0][2]
-        flat_rows = result.rows[1][2]
+        member_rows = result.rows[0][3]
+        flat_rows = result.rows[1][3]
         assert member_rows == flat_rows == 24
         assert "Table" in result.table() or "Experiment" in result.table()
 
@@ -23,18 +23,28 @@ class TestExperiment2:
         result = run_experiment_2(sizes=(1_000, 2_000), trials=2)
         assert len(result.rows) == 2
         for row in result.rows:
-            assert row[3] == 24
+            assert row[5] == 24
 
     def test_headers_match_table1(self):
         result = run_experiment_2(sizes=(1_000,), trials=1)
         assert result.headers == ["Triples", "Jena2 (sec)",
-                                  "RDF objects (sec)", "Rows"]
+                                  "Jena2 p50/p95", "RDF objects (sec)",
+                                  "RDF p50/p95", "Rows"]
+
+    def test_stats_carry_percentiles(self):
+        result = run_experiment_2(sizes=(1_000,), trials=3)
+        summary = result.stats["oracle_1000"]
+        assert summary["trials"] == 3
+        assert summary["p50"] <= summary["p95"]
+        assert summary["stdev"] >= 0.0
+        payload = result.to_dict()
+        assert payload["stats"]["jena2_1000"]["trials"] == 3
 
 
 class TestExperiment3:
     def test_true_false_rows(self):
         result = run_experiment_3(sizes=(2_000,), trials=2)
-        assert [row[3] for row in result.rows] == ["true", "false"]
+        assert [row[5] for row in result.rows] == ["true", "false"]
 
     def test_headers_match_table2(self):
         result = run_experiment_3(sizes=(1_000,), trials=1)

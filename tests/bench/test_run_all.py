@@ -1,18 +1,41 @@
 """Smoke test: the run_all experiment driver produces the paper's
 tables end to end (tiny sizes)."""
 
+import json
+
 from repro.bench.run_all import main, run_figure8
 
 
 class TestRunAll:
     def test_main_prints_all_tables(self, capsys):
-        main(["--sizes", "1000", "--trials", "1"])
+        main(["--sizes", "1000", "--trials", "1", "--no-json"])
         output = capsys.readouterr().out
         assert "Experiment I" in output
         assert "Table 1. Query times on the UniProt datasets" in output
         assert "Table 2. IS_REIFIED() query times" in output
         assert "Reification storage" in output
         assert "TERROR_WATCH_LIST" in output
+
+    def test_main_writes_bench_snapshot(self, capsys, tmp_path):
+        main(["--sizes", "1000", "--trials", "1",
+              "--json-dir", str(tmp_path)])
+        capsys.readouterr()
+        snapshot_path = tmp_path / "BENCH_experiments.json"
+        assert snapshot_path.exists()
+        payload = json.loads(snapshot_path.read_text())
+        assert payload["sizes"] == [1000]
+        assert len(payload["experiments"]) == 4
+        table1 = payload["experiments"][1]
+        assert table1["headers"][0] == "Triples"
+        stats = table1["stats"]
+        assert all("p95" in summary for summary in stats.values())
+        # The observed Figure 8 run contributes SQL timings and spans.
+        observability = payload["figure8_observability"]
+        assert observability["enabled"] is True
+        assert observability["sql"]["top_statements"]
+        span_names = {span["name"]
+                      for span in observability["spans"]["last"]}
+        assert "match.execute" in span_names
 
     def test_figure8_rows(self):
         output = run_figure8()

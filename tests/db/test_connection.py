@@ -96,6 +96,39 @@ class TestTransactions:
                     raise RuntimeError("inner boom")
         assert database.row_count("t") == 0
 
+    def test_depth_counter_restored_after_rollback(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                with database.transaction():
+                    raise RuntimeError("boom")
+        assert database._in_transaction == 0
+        # A fresh transaction works normally afterwards.
+        with database.transaction():
+            database.execute("INSERT INTO t VALUES (1)")
+        assert database.row_count("t") == 1
+        assert database._in_transaction == 0
+
+    def test_depth_counter_tracks_nesting(self, database):
+        assert database._in_transaction == 0
+        with database.transaction():
+            assert database._in_transaction == 1
+            with database.transaction():
+                assert database._in_transaction == 2
+            assert database._in_transaction == 1
+        assert database._in_transaction == 0
+
+    def test_inner_exit_does_not_commit_outer(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                with database.transaction():
+                    database.execute("INSERT INTO t VALUES (1)")
+                # Inner block exited cleanly; outer still owns the
+                # transaction and must roll everything back.
+                raise RuntimeError("outer boom")
+        assert database.row_count("t") == 0
+
 
 class TestIntrospection:
     def test_table_exists(self, database):
@@ -149,3 +182,37 @@ class TestLifecycle:
             db.execute("INSERT INTO t VALUES (7)")
         with Database(path) as db:
             assert db.query_value("SELECT a FROM t") == 7
+
+    def test_close_is_idempotent(self):
+        db = Database()
+        assert db.closed is False
+        db.close()
+        assert db.closed is True
+        db.close()  # second close is a no-op, not an error
+        assert db.closed is True
+
+    def test_exit_after_manual_close(self):
+        with Database() as db:
+            db.close()
+        assert db.closed is True
+
+    def test_use_after_close_raises_storage_error(self):
+        db = Database()
+        db.close()
+        for operation in (
+                lambda: db.execute("SELECT 1"),
+                lambda: db.executemany("SELECT ?", [(1,)]),
+                lambda: db.query_all("SELECT 1"),
+                lambda: db.query_one("SELECT 1"),
+                lambda: db.executescript("SELECT 1;")):
+            with pytest.raises(StorageError) as excinfo:
+                operation()
+            assert "closed" in str(excinfo.value)
+
+    def test_store_double_close(self):
+        from repro.core.store import RDFStore
+
+        store = RDFStore()
+        store.create_model("m")
+        store.close()
+        store.close()  # idempotent through the store layer too

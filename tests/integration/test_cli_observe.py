@@ -1,0 +1,142 @@
+"""CLI integration tests for the observability surface: ``repro
+trace``, ``repro stats --json/--prometheus``, and the ``--observe`` /
+``--verbose`` global flags."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.obs.logjson import ROOT_LOGGER
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    """Drop any handler ``-v`` installed so it can't leak a captured
+    stderr into later tests."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.addHandler(logging.NullHandler())
+    root.setLevel(logging.NOTSET)
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "cli.db")
+
+
+@pytest.fixture
+def seeded(db_path):
+    run("create-model", db_path, "cia")
+    run("insert", db_path, "cia", "gov:files", "gov:terrorSuspect",
+        "id:JohnDoe")
+    run("insert", db_path, "cia", "gov:files", "gov:terrorSuspect",
+        "id:JaneDoe")
+    return db_path
+
+
+def run(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestTraceCommand:
+    def test_trace_prints_spans_and_sql(self, seeded):
+        code, output = run("trace", seeded,
+                           "(gov:files gov:terrorSuspect ?who)",
+                           "-m", "cia")
+        assert code == 0
+        assert "(2 rows)" in output
+        assert "match.execute" in output
+        assert "match.sql" in output
+        assert "rows=2" in output
+        assert "top SQL statements" in output
+        assert "rdf_link$" in output
+
+    def test_trace_json(self, seeded):
+        code, output = run("trace", seeded,
+                           "(gov:files gov:terrorSuspect ?who)",
+                           "-m", "cia", "--json", "--last", "5")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["enabled"] is True
+        assert payload["rows"] == 2
+        span_names = {span["name"]
+                      for span in payload["spans"]["last"]}
+        assert "match.execute" in span_names
+        assert len(payload["spans"]["last"]) <= 5
+        assert payload["sql"]["top_statements"]
+
+    def test_trace_respects_last(self, seeded):
+        code, output = run("trace", seeded,
+                           "(gov:files gov:terrorSuspect ?who)",
+                           "-m", "cia", "--last", "1")
+        assert code == 0
+        # Only the most recent span (the root match.execute) is shown;
+        # its nested children fall outside --last 1.
+        assert "match.execute" in output
+        assert "match.sql" not in output
+        assert "match.compile" not in output
+
+
+class TestStatsObserved:
+    def test_stats_json_plain(self, seeded):
+        code, output = run("stats", seeded)
+        assert code == 0 and "triples: 2" in output
+        code, output = run("stats", seeded, "--json")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["statistics"]["triple_count"] == 2
+        assert payload["statistics"]["distinct_value_count"] == 4
+        assert payload["network"]["nodes"] >= 2
+        # Not observing: no observability block.
+        assert "observability" not in payload
+
+    def test_stats_json_observed_reports_sql_timings(self, seeded):
+        code, output = run("--observe", "stats", seeded, "--json")
+        assert code == 0
+        payload = json.loads(output)
+        observability = payload["observability"]
+        assert observability["enabled"] is True
+        top = observability["sql"]["top_statements"]
+        assert top, "expected per-statement SQL timings"
+        first = top[0]
+        assert first["count"] >= 1
+        assert first["total_seconds"] > 0.0
+        assert "statement" in first
+
+    def test_stats_prometheus(self, seeded):
+        code, output = run("--observe", "stats", seeded,
+                           "--prometheus")
+        assert code == 0
+        assert "# TYPE sql_statements counter" in output
+        assert "sql_statement_seconds_bucket" in output
+
+    def test_env_var_enables_observation(self, seeded, monkeypatch):
+        monkeypatch.setenv("REPRO_OBSERVE", "1")
+        code, output = run("stats", seeded, "--json")
+        assert code == 0
+        assert json.loads(output)["observability"]["enabled"] is True
+
+    def test_disabled_by_default(self, seeded, monkeypatch):
+        monkeypatch.delenv("REPRO_OBSERVE", raising=False)
+        code, output = run("stats", seeded, "--json")
+        assert code == 0
+        assert "observability" not in json.loads(output)
+
+
+class TestVerboseFlag:
+    def test_verbose_emits_debug_json_lines(self, seeded, capsys):
+        code, _output = run("-v", "--observe", "query", seeded,
+                            "(gov:files gov:terrorSuspect ?who)",
+                            "-m", "cia")
+        assert code == 0
+        stderr = capsys.readouterr().err
+        lines = [json.loads(line)
+                 for line in stderr.splitlines() if line.strip()]
+        assert any(payload["level"] == "debug" for payload in lines)

@@ -1,0 +1,128 @@
+"""Structured logging: the JSON formatter and the REPRO_LOG switch."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logjson import (
+    LOG_ENV_VAR,
+    ROOT_LOGGER,
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    """Leave the repro logger tree the way the library ships it."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.addHandler(logging.NullHandler())
+    root.setLevel(logging.NOTSET)
+    root.propagate = False
+
+
+def _format(record_args: dict) -> dict:
+    record = logging.LogRecord(
+        name=record_args.get("name", "repro.test"),
+        level=record_args.get("level", logging.INFO),
+        pathname=__file__, lineno=1,
+        msg=record_args.get("msg", "hello %s"),
+        args=record_args.get("args", ("world",)), exc_info=None)
+    for key, value in record_args.get("extra", {}).items():
+        setattr(record, key, value)
+    return json.loads(JsonFormatter().format(record))
+
+
+class TestJsonFormatter:
+    def test_core_fields(self):
+        payload = _format({})
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.test"
+        assert payload["message"] == "hello world"
+        assert isinstance(payload["ts"], float)
+        assert payload["time"].endswith("Z")
+
+    def test_extra_fields_survive(self):
+        payload = _format({"extra": {"model": "m", "rows": 3}})
+        assert payload["model"] == "m"
+        assert payload["rows"] == 3
+
+    def test_unserializable_extras_fall_back_to_repr(self):
+        payload = _format({"extra": {"conn": object()}})
+        assert payload["conn"].startswith("<object object")
+
+    def test_exception_is_rendered(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+            record = logging.LogRecord(
+                name="repro.test", level=logging.ERROR,
+                pathname=__file__, lineno=1, msg="failed", args=(),
+                exc_info=sys.exc_info())
+        payload = json.loads(JsonFormatter().format(record))
+        assert "RuntimeError: boom" in payload["exception"]
+
+
+class TestConfigureLogging:
+    def test_explicit_level_emits_json_lines(self):
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        get_logger("match").debug("query ran", extra={"rows": 2})
+        (line,) = stream.getvalue().splitlines()
+        payload = json.loads(line)
+        assert payload["message"] == "query ran"
+        assert payload["rows"] == 2
+        assert payload["logger"] == "repro.match"
+
+    def test_unset_env_stays_silent(self, monkeypatch):
+        monkeypatch.delenv(LOG_ENV_VAR, raising=False)
+        root = configure_logging()
+        assert all(isinstance(handler, logging.NullHandler)
+                   for handler in root.handlers)
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", ""])
+    def test_off_values_stay_silent(self, monkeypatch, value):
+        monkeypatch.setenv(LOG_ENV_VAR, value)
+        root = configure_logging()
+        assert all(isinstance(handler, logging.NullHandler)
+                   for handler in root.handlers)
+
+    def test_env_level_is_read(self, monkeypatch):
+        monkeypatch.setenv(LOG_ENV_VAR, "warning")
+        stream = io.StringIO()
+        root = configure_logging(stream=stream)
+        assert root.level == logging.WARNING
+        get_logger().info("dropped")
+        get_logger().warning("kept")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["message"] == "kept"
+
+    def test_text_suffix_switches_formatter(self, monkeypatch):
+        monkeypatch.setenv(LOG_ENV_VAR, "info:text")
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        get_logger().info("plain")
+        line = stream.getvalue().strip()
+        assert "plain" in line
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(line)
+
+    def test_unknown_level_defaults_to_info(self, monkeypatch):
+        monkeypatch.setenv(LOG_ENV_VAR, "chatty")
+        root = configure_logging(stream=io.StringIO())
+        assert root.level == logging.INFO
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        configure_logging("info", stream=stream)
+        get_logger().info("once")
+        assert len(stream.getvalue().splitlines()) == 1

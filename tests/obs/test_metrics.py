@@ -1,0 +1,127 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms, and
+the two exposition formats (as_dict / prometheus_text)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("queries")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("depth")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+    def test_histogram_tracks_count_sum_min_max(self):
+        histogram = Histogram("t", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(5.55)
+        assert histogram.min == 0.05
+        assert histogram.max == 5.0
+        assert histogram.mean == pytest.approx(1.85)
+
+    def test_histogram_percentiles_stay_in_observed_range(self):
+        histogram = Histogram("t", buckets=(0.1, 1.0, 10.0))
+        for _ in range(100):
+            histogram.observe(0.5)
+        assert 0.5 <= histogram.p50 <= 0.5
+        assert histogram.p95 == 0.5
+
+    def test_histogram_percentile_orders_buckets(self):
+        histogram = Histogram("t", buckets=tuple(DEFAULT_COUNT_BUCKETS))
+        for value in (1, 1, 1, 1, 1, 1, 1, 1, 1, 90_000):
+            histogram.observe(value)
+        assert histogram.p50 <= histogram.p95
+        assert histogram.p95 <= histogram.max
+
+    def test_histogram_overflow_bucket_reports_max(self):
+        histogram = Histogram("t", buckets=(1.0,))
+        histogram.observe(500.0)
+        assert histogram.p95 == 500.0
+
+    def test_empty_histogram_is_zero(self):
+        histogram = Histogram("t")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.p50 == 0.0
+
+    def test_percentile_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("t").percentile(1.5)
+
+    def test_histogram_requires_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_as_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"]["c"] == 3.0
+        assert snapshot["gauges"]["g"] == 7.0
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["histograms"]["h"]["p95"] == 0.5
+
+    def test_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("sql.statements", "timed statements").inc(2)
+        registry.histogram("span.seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.prometheus_text()
+        assert "# TYPE sql_statements counter" in text
+        assert "sql_statements 2" in text
+        assert '# HELP sql_statements timed statements' in text
+        assert 'span_seconds_bucket{le="0.1"} 1' in text
+        assert 'span_seconds_bucket{le="+Inf"} 1' in text
+        assert "span_seconds_count 1" in text
+
+    def test_reset_clears_values_keeps_nothing_stale(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(9)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        assert registry.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestNullRegistry:
+    def test_shared_noop_instruments(self):
+        instrument = NULL_REGISTRY.counter("anything")
+        assert instrument is NULL_REGISTRY.histogram("other")
+        instrument.inc()
+        instrument.observe(3.0)
+        instrument.set(1.0)
+        instrument.dec()
+        assert NULL_REGISTRY.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_is_a_registry(self):
+        assert isinstance(NULL_REGISTRY, MetricsRegistry)
+        assert isinstance(NULL_REGISTRY, NullRegistry)

@@ -1,0 +1,130 @@
+"""The Observer facade: wiring, snapshot shape, env switch, and the
+disabled fast path used by every hot loop."""
+
+import pytest
+
+from repro.db.connection import Database
+from repro.core.store import RDFStore
+from repro.inference.match import sdo_rdf_match
+from repro.obs import NULL_OBSERVER, Observer, observe_from_env
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.observer import OBSERVE_ENV_VAR
+from repro.obs.tracing import NULL_TRACER, _NULL_SPAN
+
+
+class TestObserver:
+    def test_span_feeds_metrics(self):
+        observer = Observer()
+        with observer.span("unit.work", model="m"):
+            pass
+        snapshot = observer.metrics.as_dict()
+        assert snapshot["counters"]["span.unit.work"] == 1.0
+        assert snapshot["histograms"]["span.seconds"]["count"] == 1
+
+    def test_snapshot_shape(self):
+        observer = Observer()
+        with observer.span("unit.work"):
+            pass
+        observer.sql.record("SELECT 1", 0.001)
+        snapshot = observer.snapshot(last_spans=5)
+        assert snapshot["enabled"] is True
+        assert snapshot["metrics"]["counters"]["span.unit.work"] == 1.0
+        assert snapshot["sql"]["top_statements"][0]["statement"] == \
+            "SELECT ?"
+        assert snapshot["spans"]["finished"] == 1
+        assert snapshot["spans"]["last"][0]["name"] == "unit.work"
+
+    def test_reset_clears_everything(self):
+        observer = Observer()
+        with observer.span("unit.work"):
+            pass
+        observer.sql.record("SELECT 1", 0.001)
+        observer.reset()
+        snapshot = observer.snapshot()
+        assert snapshot["spans"]["finished"] == 0
+        assert snapshot["sql"]["top_statements"] == []
+        assert "span.unit.work" not in snapshot["metrics"]["counters"]
+        # Spans keep feeding the recreated histogram after reset.
+        with observer.span("again"):
+            pass
+        assert observer.metrics.as_dict()[
+            "histograms"]["span.seconds"]["count"] == 1
+
+
+class TestNullObserver:
+    def test_disabled_and_shared_noops(self):
+        assert NULL_OBSERVER.enabled is False
+        assert NULL_OBSERVER.metrics is NULL_REGISTRY
+        assert NULL_OBSERVER.tracer is NULL_TRACER
+        assert NULL_OBSERVER.sql is None
+        assert NULL_OBSERVER.span("anything") is _NULL_SPAN
+        assert NULL_OBSERVER.snapshot() == {"enabled": False}
+        NULL_OBSERVER.reset()  # must be a no-op, not raise
+
+    def test_database_defaults_to_null_observer(self):
+        with Database() as database:
+            assert database.observer is NULL_OBSERVER
+            assert database.observer.enabled is False
+
+    def test_disabled_store_records_nothing(self):
+        with RDFStore(observe=False) as store:
+            store.create_model("m")
+            store.insert_triple("m", "<urn:a>", "<urn:p>", "<urn:b>")
+            sdo_rdf_match(store, "(?s ?p ?o)", ["m"])
+            assert store.observer is NULL_OBSERVER
+            assert len(store.observer.tracer) == 0
+            assert store.observer.metrics.as_dict()["counters"] == {}
+
+
+class TestEnvSwitch:
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("on", True), ("true", True), ("yes", True),
+        ("0", False), ("off", False), ("false", False), ("no", False),
+        ("", False),
+    ])
+    def test_observe_from_env(self, monkeypatch, value, expected):
+        monkeypatch.setenv(OBSERVE_ENV_VAR, value)
+        assert observe_from_env() is expected
+
+    def test_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv(OBSERVE_ENV_VAR, raising=False)
+        assert observe_from_env() is False
+
+    def test_store_honours_env(self, monkeypatch):
+        monkeypatch.setenv(OBSERVE_ENV_VAR, "1")
+        with RDFStore() as store:
+            assert store.observer.enabled is True
+
+
+class TestStoreIntegration:
+    def test_observe_true_lights_up_the_stack(self):
+        with RDFStore(observe=True) as store:
+            store.create_model("m")
+            store.insert_triple("m", "<urn:a>", "<urn:p>", "<urn:b>")
+            rows = sdo_rdf_match(store, "(?s ?p ?o)", ["m"])
+            observer = store.observer
+            assert observer.enabled is True
+            # Acceptance: every SDO_RDF_MATCH run produced a span with
+            # duration, model list, and result-row count.
+            (match_span,) = observer.tracer.find("match.execute")
+            assert match_span.duration > 0.0
+            assert match_span.attributes["models"] == "m"
+            assert match_span.attributes["rows"] == len(rows)
+            # And the SQL layer timed real statements.
+            assert observer.sql.statement_count > 0
+            assert observer.metrics.as_dict()[
+                "counters"]["sql.statements"] > 0
+
+    def test_database_observer_detaches_on_swap(self):
+        database = Database()
+        first = Observer()
+        database.set_observer(first)
+        database.execute("SELECT 1").fetchall()
+        count_after_first = first.sql.engine_statements
+        assert count_after_first >= 1
+        second = Observer()
+        database.set_observer(second)
+        database.execute("SELECT 2").fetchall()
+        assert first.sql.engine_statements == count_after_first
+        assert second.sql.engine_statements >= 1
+        database.close()

@@ -1,0 +1,156 @@
+"""SQL instrumentation: statement normalization, aggregation, slow-plan
+capture, and the overflow guard."""
+
+import sqlite3
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sqltrace import (
+    OVERFLOW_KEY,
+    SQLInstrumenter,
+    normalize_statement,
+)
+
+
+class TestNormalizeStatement:
+    def test_string_literals_become_placeholders(self):
+        assert normalize_statement(
+            "SELECT * FROM t WHERE name = 'Jim ''Doe'''") == \
+            "SELECT * FROM t WHERE name = ?"
+
+    def test_numbers_become_placeholders(self):
+        assert normalize_statement(
+            "SELECT * FROM t WHERE id = 42 AND w > 1.5") == \
+            "SELECT * FROM t WHERE id = ? AND w > ?"
+
+    def test_placeholder_runs_collapse(self):
+        assert normalize_statement(
+            "INSERT INTO t VALUES (?, ?, ?), (?, ?, ?)") == \
+            "INSERT INTO t VALUES (?+), (?+)"
+
+    def test_whitespace_collapses(self):
+        assert normalize_statement("SELECT\n  *\tFROM   t") == \
+            "SELECT * FROM t"
+
+    def test_long_statements_truncate(self):
+        text = "SELECT " + ", ".join(f"col_{i}" for i in range(200))
+        normalized = normalize_statement(text, max_length=50)
+        assert len(normalized) <= 50 + len(" ...")
+        assert normalized.endswith(" ...")
+
+
+class TestSQLInstrumenter:
+    def test_aggregates_by_normalized_statement(self):
+        instrumenter = SQLInstrumenter(MetricsRegistry(),
+                                       capture_plans=False)
+        instrumenter.record("SELECT * FROM t WHERE id = 1", 0.002)
+        instrumenter.record("SELECT * FROM t WHERE id = 2", 0.004,
+                            rows=1)
+        assert instrumenter.statement_count == 1
+        (stats,) = instrumenter.statements()
+        assert stats.count == 2
+        assert stats.total_time == 0.006
+        assert stats.max_time == 0.004
+        assert stats.rows == 1
+        assert stats.mean_time == 0.003
+
+    def test_metrics_registry_is_fed(self):
+        registry = MetricsRegistry()
+        instrumenter = SQLInstrumenter(registry, capture_plans=False)
+        instrumenter.record("SELECT 1", 0.001)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"]["sql.statements"] == 1.0
+        assert snapshot["histograms"]["sql.statement.seconds"]["count"] == 1
+
+    def test_add_rows_credits_existing_statement(self):
+        instrumenter = SQLInstrumenter(NULL_REGISTRY,
+                                       capture_plans=False)
+        instrumenter.record("SELECT * FROM t WHERE id = 7", 0.001)
+        instrumenter.add_rows("SELECT * FROM t WHERE id = 8", 24)
+        (stats,) = instrumenter.statements()
+        assert stats.rows == 24
+        # Unknown statements are ignored, never created.
+        instrumenter.add_rows("SELECT * FROM other", 5)
+        assert instrumenter.statement_count == 1
+
+    def test_trace_callback_counts_engine_statements(self):
+        instrumenter = SQLInstrumenter(NULL_REGISTRY)
+        connection = sqlite3.connect(":memory:")
+        try:
+            instrumenter.attach(connection)
+            connection.execute("CREATE TABLE t (x)")
+            connection.execute("INSERT INTO t VALUES (1)")
+            # At least the two statements (sqlite may add an implicit
+            # BEGIN); detaching freezes the count.
+            seen = instrumenter.engine_statements
+            assert seen >= 2
+            instrumenter.detach(connection)
+            connection.execute("SELECT * FROM t")
+            assert instrumenter.engine_statements == seen
+        finally:
+            connection.close()
+
+    def test_slow_statement_captures_plan(self):
+        instrumenter = SQLInstrumenter(NULL_REGISTRY,
+                                       slow_threshold=0.005)
+        connection = sqlite3.connect(":memory:")
+        try:
+            connection.execute("CREATE TABLE t (x)")
+            sql = "SELECT * FROM t WHERE x = ?"
+            instrumenter.record(sql, 0.050, connection=connection,
+                                parameters=(1,))
+            plan = instrumenter.plan_for(sql)
+            assert plan is not None
+            assert any("SCAN" in line.upper() for line in plan)
+        finally:
+            connection.close()
+
+    def test_fast_statement_skips_plan(self):
+        instrumenter = SQLInstrumenter(NULL_REGISTRY,
+                                       slow_threshold=0.005)
+        connection = sqlite3.connect(":memory:")
+        try:
+            connection.execute("CREATE TABLE t (x)")
+            instrumenter.record("SELECT * FROM t", 0.0001,
+                                connection=connection)
+            assert instrumenter.plan_for("SELECT * FROM t") is None
+        finally:
+            connection.close()
+
+    def test_plan_capture_does_not_pollute_engine_count(self):
+        instrumenter = SQLInstrumenter(NULL_REGISTRY,
+                                       slow_threshold=0.0)
+        connection = sqlite3.connect(":memory:")
+        try:
+            instrumenter.attach(connection)
+            connection.execute("CREATE TABLE t (x)")
+            before = instrumenter.engine_statements
+            instrumenter.record("SELECT * FROM t", 1.0,
+                                connection=connection)
+            # The EXPLAIN QUERY PLAN run is invisible to the counter.
+            assert instrumenter.engine_statements == before
+        finally:
+            connection.close()
+
+    def test_statement_limit_overflows_to_bucket(self):
+        instrumenter = SQLInstrumenter(NULL_REGISTRY,
+                                       capture_plans=False,
+                                       statement_limit=2)
+        instrumenter.record("SELECT a FROM t", 0.001)
+        instrumenter.record("SELECT b FROM t", 0.001)
+        instrumenter.record("SELECT c FROM t", 0.001)
+        instrumenter.record("SELECT d FROM t", 0.001)
+        assert instrumenter.statement_count == 3  # 2 + overflow bucket
+        overflow = [stats for stats in instrumenter.statements()
+                    if stats.statement == OVERFLOW_KEY]
+        assert overflow and overflow[0].count == 2
+
+    def test_as_dict_and_reset(self):
+        instrumenter = SQLInstrumenter(NULL_REGISTRY,
+                                       capture_plans=False)
+        instrumenter.record("SELECT 1", 0.001)
+        payload = instrumenter.as_dict()
+        assert payload["distinct_statements"] == 1
+        assert payload["top_statements"][0]["count"] == 1
+        instrumenter.reset()
+        assert instrumenter.as_dict()["distinct_statements"] == 0
+        assert instrumenter.engine_statements == 0

@@ -1,0 +1,96 @@
+"""Span tracer: nesting, ring buffer, error capture, no-op path."""
+
+import pytest
+
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer, _NULL_SPAN
+
+
+class TestSpans:
+    def test_span_records_duration_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", model="m") as span:
+            span.set("rows", 3)
+        finished = tracer.spans()
+        assert len(finished) == 1
+        assert finished[0].name == "work"
+        assert finished[0].duration > 0.0
+        assert finished[0].attributes == {"model": "m", "rows": 3}
+        assert finished[0].error is None
+
+    def test_nesting_assigns_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.active is outer
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == 1
+        assert tracer.active is None
+        assert [span.name for span in tracer.spans()] == \
+            ["inner", "outer"]
+
+    def test_error_is_captured_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("payload")
+        span = tracer.spans()[0]
+        assert span.error == "ValueError: payload"
+
+    def test_ring_buffer_caps_retention(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [span.name for span in tracer.spans()] == \
+            ["s2", "s3", "s4"]
+
+    def test_last_and_find(self):
+        tracer = Tracer()
+        for name in ("a", "b", "a"):
+            with tracer.span(name):
+                pass
+        assert [span.name for span in tracer.last(2)] == ["b", "a"]
+        assert len(tracer.find("a")) == 2
+
+    def test_on_finish_hook_fires(self):
+        seen = []
+        tracer = Tracer(on_finish=seen.append)
+        with tracer.span("hooked"):
+            pass
+        assert [span.name for span in seen] == ["hooked"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.as_dicts() == []
+
+    def test_as_dicts_shape(self):
+        tracer = Tracer()
+        with tracer.span("x", k="v"):
+            pass
+        (payload,) = tracer.as_dicts()
+        assert payload["name"] == "x"
+        assert payload["attributes"] == {"k": "v"}
+        assert payload["parent_id"] is None
+        assert payload["depth"] == 0
+        assert payload["duration"] > 0.0
+
+
+class TestNullTracer:
+    def test_returns_shared_noop_span(self):
+        span = NULL_TRACER.span("anything", model="m")
+        assert span is _NULL_SPAN
+        with span as entered:
+            entered.set("key", "value")
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.spans() == []
+
+    def test_is_a_tracer(self):
+        assert isinstance(NULL_TRACER, Tracer)
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.enabled is False
