@@ -11,6 +11,7 @@ Usage (``python -m repro <command> ...``)::
     repro is-reified    DB MODEL S P O          reification check
     repro models        DB                      list models
     repro stats         DB [MODEL] [--json]     store/network figures
+    repro doctor        DB                      health check (integrity)
     repro experiments   [--sizes ...]           run the paper's tables
 
 ``DB`` is a database file path (created as needed).  The CLI is a thin
@@ -21,7 +22,10 @@ stderr; see :mod:`repro.obs.logjson`), ``--observe`` enables the
 observability layer (SQL timing, spans, metrics) for the command —
 ``repro stats --json`` then includes the collected figures.  The
 ``REPRO_OBSERVE`` and ``REPRO_LOG`` environment variables do the same
-without flags.
+without flags.  ``--durability {ephemeral,durable,paranoid}`` selects
+the storage durability profile (see ``docs/durability.md``); the
+``REPRO_DURABILITY`` environment variable does the same without the
+flag.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from typing import Sequence
 
 from repro.core.bulkload import bulk_load_ntriples
 from repro.core.store import RDFStore
+from repro.db.resilience import PROFILES as DURABILITY_PROFILES
 from repro.errors import ReproError
 from repro.inference.match import sdo_rdf_match
 from repro.ndm.analysis import NetworkAnalyzer
@@ -48,6 +53,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--observe", action="store_true",
                         help="enable SQL timing, spans, and metrics "
                         "for this command (also: REPRO_OBSERVE=1)")
+    parser.add_argument("--durability",
+                        choices=sorted(DURABILITY_PROFILES),
+                        default=None,
+                        help="storage durability profile (default: "
+                        "REPRO_DURABILITY or 'ephemeral')")
     commands = parser.add_subparsers(dest="command", required=True)
 
     create_model = commands.add_parser(
@@ -121,6 +131,11 @@ def _build_parser() -> argparse.ArgumentParser:
     check = commands.add_parser(
         "check", help="run the central-schema integrity checks")
     check.add_argument("db")
+
+    doctor = commands.add_parser(
+        "doctor", help="full health check: PRAGMA integrity_check, "
+        "foreign_key_check, and the central-schema integrity sweeps")
+    doctor.add_argument("db")
 
     path = commands.add_parser(
         "path", help="shortest path between two resources (NDM)")
@@ -196,7 +211,8 @@ def _dispatch(args: argparse.Namespace, out) -> int:
     # The trace command is only useful observed; --observe opts other
     # commands in, None defers to REPRO_OBSERVE.
     observe = True if (args.observe or args.command == "trace") else None
-    with RDFStore(args.db, observe=observe) as store:
+    with RDFStore(args.db, observe=observe,
+                  durability=args.durability) as store:
         return _dispatch_store(args, store, out)
 
 
@@ -297,7 +313,38 @@ def _dispatch_store(args: argparse.Namespace, store: RDFStore,
             print(str(violation), file=out)
         print(f"({len(violations)} violations)", file=out)
         return 0 if not violations else 3
+    if command == "doctor":
+        return _doctor(store, out)
     raise ReproError(f"unknown command {command!r}")
+
+
+def _doctor(store: RDFStore, out) -> int:
+    """Engine-level and schema-level health check; exit 3 on problems."""
+    from repro.core.integrity import check_integrity
+
+    db = store.database
+    problems = 0
+    engine_rows = [row[0] for row in
+                   db.query_all("PRAGMA integrity_check")]
+    if engine_rows != ["ok"]:
+        for message in engine_rows:
+            print(f"[integrity_check] {message}", file=out)
+        problems += len(engine_rows)
+    for row in db.query_all("PRAGMA foreign_key_check"):
+        print(f"[foreign-key] table={row[0]} rowid={row[1]} "
+              f"references {row[2]}", file=out)
+        problems += 1
+    violations = check_integrity(store)
+    for violation in violations:
+        print(str(violation), file=out)
+    problems += len(violations)
+    if problems:
+        print(f"({problems} problems found)", file=out)
+        return 3
+    print(f"ok: engine integrity, foreign keys, and "
+          f"{db.row_count('rdf_link$')} triples all clean "
+          f"(durability={db.durability})", file=out)
+    return 0
 
 
 def _path(args: argparse.Namespace, store: RDFStore, out) -> int:

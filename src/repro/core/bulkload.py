@@ -75,7 +75,9 @@ class BulkLoader:
         self._db = store.database
         self._model = store.models.get(model_name)
         self._batch_size = batch_size
-        self._db.executescript(_STAGE_DDL)
+        # A single CREATE TABLE: execute() keeps it legal inside an
+        # open transaction scope (executescript would not be).
+        self._db.execute(_STAGE_DDL)
 
     # ------------------------------------------------------------------
     # entry points
@@ -115,18 +117,22 @@ class BulkLoader:
         observer = self._db.observer
         with observer.span("bulkload.load",
                            model=self._model.model_name) as span:
-            with self._db.transaction():
-                with observer.span("bulkload.stage") as stage_span:
-                    staged = self._stage(triples)
-                    stage_span.set("staged", staged)
-                with observer.span("bulkload.merge_values") as mv_span:
-                    new_values = self._merge_values()
-                    mv_span.set("new_values", new_values)
-                with observer.span("bulkload.merge_links") as ml_span:
-                    new_links = self._merge_links()
-                    ml_span.set("new_links", new_links)
-                self._fix_reif_flags()
-                self._db.execute(f'DELETE FROM "{STAGE_TABLE}"')
+            try:
+                with self._db.transaction():
+                    with observer.span("bulkload.stage") as stage_span:
+                        staged = self._stage(triples)
+                        stage_span.set("staged", staged)
+                    with observer.span("bulkload.merge_values") as mv_span:
+                        new_values = self._merge_values()
+                        mv_span.set("new_values", new_values)
+                    with observer.span("bulkload.merge_links") as ml_span:
+                        new_links = self._merge_links()
+                        ml_span.set("new_links", new_links)
+                    self._fix_reif_flags()
+                    self._db.execute(f'DELETE FROM "{STAGE_TABLE}"')
+            except BaseException:
+                self._discard_staged()
+                raise
             self._store.values.invalidate_cache()
             if new_links:
                 # Keep the planner's selectivity estimates current.
@@ -139,6 +145,23 @@ class BulkLoader:
                 observer.counter("bulkload.links_created").inc(new_links)
         return BulkLoadReport(staged, new_values, new_links,
                               staged - new_links)
+
+    def _discard_staged(self) -> None:
+        """Drop staging rows after a failed load.
+
+        The transaction rollback already removes rows staged inside
+        it, but a load that fails while nested in a caller's
+        transaction (SAVEPOINT rollback) — or is interrupted between
+        scopes — must not leak its staging rows into the next load.
+        Best effort: a dead connection is ignored, the next load's
+        rollback protection still holds.
+        """
+        from repro.errors import StorageError
+
+        try:
+            self._db.execute(f'DELETE FROM "{STAGE_TABLE}"')
+        except StorageError:  # pragma: no cover - dead connection
+            pass
 
     # ------------------------------------------------------------------
     # pipeline stages

@@ -51,14 +51,21 @@ class RDFStore:
         (the default) defers to the ``REPRO_OBSERVE`` environment
         variable; an existing enabled observer on a passed-in database
         is never downgraded.
+    :param durability: durability profile for the hosting database
+        (``ephemeral``/``durable``/``paranoid`` — see
+        :mod:`repro.db.resilience`).  ``None`` defers to the
+        ``REPRO_DURABILITY`` environment variable.  Ignored when an
+        already-constructed :class:`Database` is passed in — that
+        database's own profile stands.
     """
 
     def __init__(self, database: Database | str | Path | None = None,
-                 observe: bool | None = None) -> None:
+                 observe: bool | None = None,
+                 durability: str | None = None) -> None:
         if database is None:
-            database = Database()
+            database = Database(durability=durability)
         elif isinstance(database, (str, Path)):
-            database = Database(database)
+            database = Database(database, durability=durability)
         if observe is None:
             observe = observe_from_env()
         if observe and not database.observer.enabled:

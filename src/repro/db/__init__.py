@@ -10,21 +10,37 @@ substitute engine layer built on stdlib SQLite:
 * :mod:`repro.db.indexes` — "function-based index" emulation (SQLite
   expression indexes) used by the performance section;
 * :mod:`repro.db.storage` — storage accounting (row and byte counts) for
-  the reification storage experiment.
+  the reification storage experiment;
+* :mod:`repro.db.resilience` — durability profiles (``ephemeral``/
+  ``durable``/``paranoid``) and the transient-error retry policy;
+* :mod:`repro.db.faults` — deterministic fault injection for crash and
+  contention testing.
 """
 
 from repro.db.connection import Database
 from repro.db.dburi import DBUri, DBUriType, is_dburi
+from repro.db.faults import FaultInjector
 from repro.db.indexes import FunctionBasedIndex, create_function_based_index
+from repro.db.resilience import (
+    DurabilityProfile,
+    PROFILES,
+    RetryPolicy,
+    resolve_profile,
+)
 from repro.db.storage import StorageReport, table_storage
 
 __all__ = [
     "DBUri",
     "DBUriType",
     "Database",
+    "DurabilityProfile",
+    "FaultInjector",
     "FunctionBasedIndex",
+    "PROFILES",
+    "RetryPolicy",
     "StorageReport",
     "create_function_based_index",
     "is_dburi",
+    "resolve_profile",
     "table_storage",
 ]

@@ -6,7 +6,16 @@ application table, the Jena2 baseline tables, the NDM catalog, rulebases,
 and rules indexes.  It wraps a single ``sqlite3`` connection (file-backed
 or in-memory) and adds:
 
-* explicit transaction scoping via :meth:`transaction`;
+* explicit transaction scoping via :meth:`transaction`, with true
+  SAVEPOINT-based nesting — an inner scope that fails rolls back only
+  its own work;
+* named durability profiles (``ephemeral``/``durable``/``paranoid``,
+  see :mod:`repro.db.resilience`) selecting journal mode, fsync
+  behaviour, and busy timeout;
+* a retry/backoff policy turning transient ``database is locked``
+  errors into bounded retries instead of raw failures;
+* optional deterministic fault injection
+  (:mod:`repro.db.faults`) hooked in front of every statement;
 * small query helpers (:meth:`query_one`, :meth:`query_value`,
   :meth:`query_all`) so call sites stay readable;
 * schema introspection used by views, indexes, and storage accounting.
@@ -23,10 +32,18 @@ import sqlite3
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
+from repro.db.resilience import (
+    DurabilityProfile,
+    RetryPolicy,
+    resolve_profile,
+)
 from repro.errors import StorageError
 from repro.obs.observer import NULL_OBSERVER, Observer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.faults import FaultInjector
 
 _IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*$")
 
@@ -51,11 +68,27 @@ class Database:
     :param observer: an :class:`~repro.obs.observer.Observer` collecting
         SQL timings, spans, and metrics for this connection; default is
         the shared no-op (observability off, near-zero overhead).
+    :param durability: a profile name (``ephemeral``/``durable``/
+        ``paranoid``), a :class:`~repro.db.resilience.DurabilityProfile`,
+        or ``None`` to defer to the ``REPRO_DURABILITY`` environment
+        variable (default: ``ephemeral``, the historical behaviour).
+        WAL profiles only take effect for file-backed databases —
+        SQLite silently keeps in-memory journaling for ``:memory:``.
+    :param retry: the transient-error retry policy; default is the
+        standard bounded-backoff :class:`~repro.db.resilience.RetryPolicy`.
+    :param faults: an optional :class:`~repro.db.faults.FaultInjector`
+        consulted before every statement (tests only).
     """
 
     def __init__(self, path: str | Path = ":memory:",
-                 observer: Observer | None = None) -> None:
+                 observer: Observer | None = None,
+                 durability: str | DurabilityProfile | None = None,
+                 retry: RetryPolicy | None = None,
+                 faults: "FaultInjector | None" = None) -> None:
         self._path = str(path)
+        self._profile = resolve_profile(durability)
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._faults = faults
         self._connection = sqlite3.connect(self._path)
         self._connection.row_factory = sqlite3.Row
         # The store manages transactions explicitly via transaction().
@@ -64,9 +97,8 @@ class Database:
         self._closed = False
         self._observer = NULL_OBSERVER
         cursor = self._connection.cursor()
-        cursor.execute("PRAGMA foreign_keys = ON")
-        cursor.execute("PRAGMA journal_mode = MEMORY")
-        cursor.execute("PRAGMA synchronous = OFF")
+        for pragma in self._profile.pragmas():
+            cursor.execute(pragma)
         cursor.close()
         if observer is not None:
             self.set_observer(observer)
@@ -74,6 +106,32 @@ class Database:
     @property
     def path(self) -> str:
         return self._path
+
+    @property
+    def profile(self) -> DurabilityProfile:
+        """This connection's durability profile."""
+        return self._profile
+
+    @property
+    def durability(self) -> str:
+        """The durability profile's name (``ephemeral``/``durable``/
+        ``paranoid``)."""
+        return self._profile.name
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The transient-error retry policy."""
+        return self._retry
+
+    @property
+    def fault_injector(self) -> "FaultInjector | None":
+        """The attached fault injector, if any (tests only)."""
+        return self._faults
+
+    def set_fault_injector(self,
+                           faults: "FaultInjector | None") -> None:
+        """Attach (or with ``None`` detach) a fault injector."""
+        self._faults = faults
 
     @property
     def connection(self) -> sqlite3.Connection:
@@ -106,9 +164,19 @@ class Database:
             observer.sql.attach(self._connection)
 
     def close(self) -> None:
-        """Close the underlying connection (idempotent)."""
+        """Close the underlying connection (idempotent).
+
+        WAL profiles checkpoint first (best effort) so the main
+        database file stands alone after a clean shutdown.
+        """
         if self._closed:
             return
+        if self._profile.checkpoint_on_close and self._path != ":memory:":
+            try:
+                self._connection.execute(
+                    "PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:  # pragma: no cover - defensive
+                pass
         self._closed = True
         try:
             self._connection.close()
@@ -131,13 +199,31 @@ class Database:
     # statement execution
     # ------------------------------------------------------------------
 
+    def _run_statement(self, sql: str,
+                       parameters: Sequence[Any]) -> sqlite3.Cursor:
+        """One statement through fault injection and the retry policy."""
+        if self._faults is None and self._retry.max_attempts <= 1:
+            return self._connection.execute(sql, parameters)
+
+        def attempt() -> sqlite3.Cursor:
+            if self._faults is not None:
+                self._faults.on_statement(sql, site="statement")
+            return self._connection.execute(sql, parameters)
+
+        return self._retry.run(attempt, observer=self._observer)
+
     def execute(self, sql: str,
                 parameters: Sequence[Any] = ()) -> sqlite3.Cursor:
-        """Execute one statement and return its cursor."""
+        """Execute one statement and return its cursor.
+
+        Transient lock errors are retried per the connection's
+        :class:`~repro.db.resilience.RetryPolicy`; everything else —
+        and exhausted retries — raises :class:`StorageError`.
+        """
         if self._observer.enabled:
             return self._execute_observed(sql, parameters)
         try:
-            return self._connection.execute(sql, parameters)
+            return self._run_statement(sql, parameters)
         except sqlite3.Error as exc:
             self._require_open()
             raise StorageError(f"{exc} while executing: {sql}") from exc
@@ -152,7 +238,7 @@ class Database:
         """
         start = time.perf_counter()
         try:
-            cursor = self._connection.execute(sql, parameters)
+            cursor = self._run_statement(sql, parameters)
         except sqlite3.Error as exc:
             self._require_open()
             self._observer.counter("sql.errors").inc()
@@ -169,10 +255,28 @@ class Database:
         """Execute one statement for many parameter rows."""
         observed = self._observer.enabled
         start = time.perf_counter() if observed else 0.0
+        retryable = self._faults is not None \
+            or self._retry.max_attempts > 1
+        if retryable and not isinstance(parameter_rows, (list, tuple)):
+            # A retry must replay every row; generators cannot rewind.
+            parameter_rows = list(parameter_rows)
+
+        def attempt() -> sqlite3.Cursor:
+            if self._faults is not None:
+                self._faults.on_statement(sql, site="executemany")
+            return self._connection.executemany(sql, parameter_rows)
+
         try:
-            cursor = self._connection.executemany(sql, parameter_rows)
+            if retryable:
+                cursor = self._retry.run(attempt,
+                                         observer=self._observer)
+            else:
+                cursor = self._connection.executemany(sql,
+                                                      parameter_rows)
         except sqlite3.Error as exc:
             self._require_open()
+            if observed:
+                self._observer.counter("sql.errors").inc()
             raise StorageError(f"{exc} while executing: {sql}") from exc
         if observed:
             self._observer.sql.record(
@@ -181,12 +285,38 @@ class Database:
         return cursor
 
     def executescript(self, script: str) -> None:
-        """Execute a multi-statement DDL script."""
-        try:
+        """Execute a multi-statement DDL script.
+
+        ``sqlite3`` issues an implicit COMMIT before running a script,
+        which would silently break an open :meth:`transaction` scope —
+        so calling this inside one raises :class:`StorageError`
+        instead.  Scripts are timed and error-counted by the observer
+        like every other statement.
+        """
+        if self._in_transaction:
+            raise StorageError(
+                "executescript() inside a transaction() scope would "
+                "implicitly commit the open transaction; run the "
+                "script outside the scope or use execute() per "
+                "statement")
+        observed = self._observer.enabled
+        start = time.perf_counter() if observed else 0.0
+
+        def attempt() -> None:
+            if self._faults is not None:
+                self._faults.on_statement(script, site="executescript")
             self._connection.executescript(script)
+
+        try:
+            self._retry.run(attempt, observer=self._observer)
         except sqlite3.Error as exc:
             self._require_open()
+            if observed:
+                self._observer.counter("sql.errors").inc()
             raise StorageError(f"{exc} while executing script") from exc
+        if observed:
+            self._observer.sql.record(
+                script, time.perf_counter() - start, rows=0)
 
     # ------------------------------------------------------------------
     # query helpers
@@ -223,15 +353,31 @@ class Database:
 
     @contextmanager
     def transaction(self) -> Iterator[None]:
-        """A transaction scope; nested scopes join the outer transaction.
+        """A transaction scope with SAVEPOINT-based nesting.
 
-        Commits on normal exit of the outermost scope, rolls back if any
-        scope raises.
+        The outermost scope is a real transaction: it commits on
+        normal exit and rolls back when it raises.  A nested scope
+        opens a SAVEPOINT, so an inner failure rolls back only the
+        inner scope's work — callers that catch the inner exception
+        keep the outer scope's writes (an uncaught exception still
+        unwinds every scope and rolls back everything).
+
+        Under the ``paranoid`` profile, ``PRAGMA foreign_key_check``
+        runs before the outermost COMMIT; any violation aborts the
+        transaction with :class:`StorageError`.
         """
         if self._in_transaction:
             self._in_transaction += 1
+            name = f"repro_sp_{self._in_transaction}"
+            self.execute(f"SAVEPOINT {name}")
             try:
                 yield
+            except BaseException:
+                self.execute(f"ROLLBACK TO {name}")
+                self.execute(f"RELEASE {name}")
+                raise
+            else:
+                self.execute(f"RELEASE {name}")
             finally:
                 self._in_transaction -= 1
             return
@@ -240,11 +386,26 @@ class Database:
         try:
             yield
         except BaseException:
+            self._in_transaction = 0
             self.execute("ROLLBACK")
             raise
-        finally:
+        else:
             self._in_transaction = 0
-        self.execute("COMMIT")
+            if self._profile.verify_foreign_keys:
+                self._verify_foreign_keys()
+            self.execute("COMMIT")
+
+    def _verify_foreign_keys(self) -> None:
+        """Paranoid-profile sweep before the outermost COMMIT."""
+        rows = self.query_all("PRAGMA foreign_key_check")
+        if not rows:
+            return
+        first = rows[0]
+        self.execute("ROLLBACK")
+        raise StorageError(
+            f"foreign_key_check found {len(rows)} violation(s) at "
+            f"commit; first: table={first[0]!r} rowid={first[1]} "
+            f"references {first[2]!r}")
 
     # ------------------------------------------------------------------
     # schema introspection

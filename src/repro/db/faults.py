@@ -1,0 +1,161 @@
+"""Deterministic fault injection for the storage engine.
+
+Crash safety is only believable when it is exercised: this module lets
+tests inject engine failures at exact statement/transaction boundaries
+and prove the retry path, staging cleanup, and WAL recovery actually
+work.  A :class:`FaultInjector` attached to a
+:class:`~repro.db.connection.Database` is consulted before every
+``execute``/``executemany``/``executescript`` call (and therefore
+before ``BEGIN``/``COMMIT``/``SAVEPOINT``, which go through
+``execute``), so a fault can be pinned to "the third INSERT into
+``rdf_link$``" or "the outermost COMMIT".
+
+Three fault kinds:
+
+``lock``
+    Raises ``sqlite3.OperationalError("database is locked")`` — the
+    transient condition the :class:`~repro.db.resilience.RetryPolicy`
+    retries with backoff.  A fault with ``times=2`` fails the first two
+    attempts and lets the third succeed, exercising the full retry
+    path.
+``disk_io``
+    Raises ``sqlite3.OperationalError("disk I/O error")`` — fatal; the
+    engine wrapper must surface it as
+    :class:`~repro.errors.StorageError` without retrying.
+``kill``
+    Calls ``os._exit`` — the process dies on the spot with no cleanup,
+    no ``atexit``, no buffered-write flush, exactly like ``SIGKILL``
+    or a power cut.  Only meaningful from a sacrificial subprocess;
+    the crash-recovery tests fork a child, kill it mid-bulkload, then
+    reopen the database file and assert WAL recovery left the schema
+    invariants intact.
+
+Faults fire deterministically: ``match`` selects statements by
+case-insensitive substring, ``skip`` lets that many matching
+executions pass first, and ``times`` bounds how often the fault fires.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+#: Fault kinds.
+LOCK = "lock"
+DISK_IO = "disk_io"
+KILL = "kill"
+
+KINDS: tuple[str, ...] = (LOCK, DISK_IO, KILL)
+
+#: The messages raised for each error-raising kind; the lock message
+#: is deliberately the exact text SQLite uses, so classification in
+#: :func:`repro.db.resilience.is_transient` treats injected and real
+#: faults identically.
+_MESSAGES = {
+    LOCK: "database is locked",
+    DISK_IO: "disk I/O error",
+}
+
+#: Default exit status for ``kill`` faults (128 + SIGKILL).
+KILL_EXIT_CODE = 137
+
+
+@dataclass(slots=True)
+class Fault:
+    """One armed fault.
+
+    :param kind: ``lock``, ``disk_io``, or ``kill``.
+    :param match: case-insensitive substring the SQL text must contain
+        (empty matches every statement).  ``BEGIN``/``COMMIT``/
+        ``SAVEPOINT`` are ordinary statements here, so transaction
+        boundaries are matchable.
+    :param site: restrict to one execution site — ``statement``
+        (:meth:`Database.execute`), ``executemany``, or
+        ``executescript``; empty matches all sites.
+    :param skip: let this many matching executions succeed first.
+    :param times: fire at most this many times, then stand down.
+    :param exit_code: process exit status for ``kill`` faults.
+    """
+
+    kind: str
+    match: str = ""
+    site: str = ""
+    skip: int = 0
+    times: int = 1
+    exit_code: int = KILL_EXIT_CODE
+    #: Matching executions seen so far (including skipped ones).
+    seen: int = 0
+    #: Times this fault has fired.
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise StorageError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(KINDS)}")
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the fault has fired ``times`` times."""
+        return self.fired >= self.times
+
+    def matches(self, site: str, sql: str) -> bool:
+        if self.site and self.site != site:
+            return False
+        if self.match and self.match.lower() not in sql.lower():
+            return False
+        return True
+
+
+class FaultInjector:
+    """A scripted set of faults consulted at statement boundaries.
+
+    Attach with ``Database(faults=injector)`` or
+    ``database.set_fault_injector(injector)``; arm faults with
+    :meth:`inject`.  Thread-unsafe by design — fault tests are
+    single-threaded and deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._faults: list[Fault] = []
+        #: Total faults fired through this injector.
+        self.fired = 0
+
+    def inject(self, kind: str, *, match: str = "", site: str = "",
+               skip: int = 0, times: int = 1,
+               exit_code: int = KILL_EXIT_CODE) -> Fault:
+        """Arm one fault and return it (counters are inspectable)."""
+        fault = Fault(kind=kind, match=match, site=site, skip=skip,
+                      times=times, exit_code=exit_code)
+        self._faults.append(fault)
+        return fault
+
+    def on_statement(self, sql: str, site: str = "statement") -> None:
+        """Called by the engine wrapper before running ``sql``.
+
+        Raises (or kills the process) when an armed fault matches.
+        """
+        for fault in self._faults:
+            if fault.exhausted or not fault.matches(site, sql):
+                continue
+            fault.seen += 1
+            if fault.seen <= fault.skip:
+                continue
+            fault.fired += 1
+            self.fired += 1
+            self._fire(fault)
+
+    def reset(self) -> None:
+        """Disarm everything and zero the counters."""
+        self._faults.clear()
+        self.fired = 0
+
+    def _fire(self, fault: Fault) -> None:
+        if fault.kind == KILL:
+            # Simulated SIGKILL/power-cut: no cleanup of any kind runs.
+            os._exit(fault.exit_code)
+        raise sqlite3.OperationalError(
+            f"{_MESSAGES[fault.kind]} [injected]")

@@ -86,6 +86,10 @@ class Observer:
         """Shorthand for ``observer.metrics.counter(...)``."""
         return self.metrics.counter(name, help)
 
+    def histogram(self, name: str, help: str = ""):
+        """Shorthand for ``observer.metrics.histogram(...)``."""
+        return self.metrics.histogram(name, help)
+
     def snapshot(self, top_statements: int = 25,
                  last_spans: int = 50) -> dict[str, Any]:
         """The JSON-ready state dump used by ``repro stats --json``."""

@@ -162,6 +162,74 @@ class TestBulkLoad:
         assert store.links.count() == 0
 
 
+class TestStagingCleanup:
+    """A failed load must not leak rdf_stage$ rows into the next one."""
+
+    @staticmethod
+    def _failing_triples(count):
+        generator = UniProtGenerator()
+        for index, triple in enumerate(generator.triples(count)):
+            if index == count - 1:
+                raise RuntimeError("source failed mid-stream")
+            yield triple
+
+    def test_stage_empty_after_midstream_failure(self, store, model):
+        loader = BulkLoader(store, model, batch_size=10)
+        with pytest.raises(RuntimeError):
+            loader.load(self._failing_triples(55))
+        assert store.database.row_count(STAGE_TABLE) == 0
+        assert store.links.count() == 0
+
+    def test_stage_empty_when_failure_caught_in_outer_transaction(
+            self, store, model):
+        # The historical leak: load() nested inside a caller's
+        # transaction, the failure caught outside the inner scope —
+        # SAVEPOINT rollback plus explicit cleanup must still leave
+        # the staging table empty and the outer writes intact.
+        db = store.database
+        db.execute("CREATE TABLE outer_work (a INTEGER)")
+        loader = BulkLoader(store, model, batch_size=10)
+        with db.transaction():
+            db.execute("INSERT INTO outer_work VALUES (1)")
+            try:
+                loader.load(self._failing_triples(55))
+            except RuntimeError:
+                pass
+            assert db.row_count(STAGE_TABLE) == 0
+        assert db.row_count("outer_work") == 1
+        assert store.links.count() == 0
+
+    def test_next_load_unaffected_by_previous_failure(self, store,
+                                                      model):
+        loader = BulkLoader(store, model, batch_size=10)
+        with pytest.raises(RuntimeError):
+            loader.load(self._failing_triples(55))
+        report = loader.load(UniProtGenerator().triples(40))
+        assert report.staged == 40
+        # Only this load's rows were merged — nothing left over from
+        # the failed attempt inflated the counts.
+        assert report.new_links == store.links.count()
+        from repro.core.integrity import check_integrity
+
+        assert check_integrity(store) == []
+
+    def test_disk_fault_during_merge_cleans_stage(self, store, model):
+        from repro.db.faults import FaultInjector
+
+        injector = FaultInjector()
+        store.database.set_fault_injector(injector)
+        injector.inject("disk_io",
+                        match='INSERT OR IGNORE INTO "rdf_link$"')
+        loader = BulkLoader(store, model, batch_size=10)
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            loader.load(UniProtGenerator().triples(30))
+        store.database.set_fault_injector(None)
+        assert store.database.row_count(STAGE_TABLE) == 0
+        assert store.links.count() == 0
+
+
 class TestFileLoading:
     def test_load_file(self, store, model, tmp_path):
         path = tmp_path / "data.nt"

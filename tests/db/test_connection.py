@@ -130,6 +130,145 @@ class TestTransactions:
         assert database.row_count("t") == 0
 
 
+class TestSavepointNesting:
+    """SAVEPOINT semantics: a caught inner failure must not destroy
+    the outer scope's work."""
+
+    def test_caught_inner_failure_keeps_outer_writes(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with database.transaction():
+            database.execute("INSERT INTO t VALUES (1)")
+            try:
+                with database.transaction():
+                    database.execute("INSERT INTO t VALUES (2)")
+                    raise RuntimeError("inner boom")
+            except RuntimeError:
+                pass
+            database.execute("INSERT INTO t VALUES (3)")
+        assert [row["a"] for row in database.query_all(
+            "SELECT a FROM t ORDER BY a")] == [1, 3]
+
+    def test_three_deep_middle_failure(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with database.transaction():
+            database.execute("INSERT INTO t VALUES (1)")
+            try:
+                with database.transaction():
+                    database.execute("INSERT INTO t VALUES (2)")
+                    with database.transaction():
+                        database.execute("INSERT INTO t VALUES (3)")
+                        raise RuntimeError("innermost boom")
+            except RuntimeError:
+                pass
+            database.execute("INSERT INTO t VALUES (4)")
+        # Depths 2 and 3 rolled back together; depth-1 writes live.
+        assert [row["a"] for row in database.query_all(
+            "SELECT a FROM t ORDER BY a")] == [1, 4]
+
+    def test_three_deep_innermost_failure_caught_in_middle(
+            self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with database.transaction():
+            database.execute("INSERT INTO t VALUES (1)")
+            with database.transaction():
+                database.execute("INSERT INTO t VALUES (2)")
+                try:
+                    with database.transaction():
+                        database.execute("INSERT INTO t VALUES (3)")
+                        raise RuntimeError("innermost boom")
+                except RuntimeError:
+                    pass
+                database.execute("INSERT INTO t VALUES (4)")
+        # Only depth 3 rolled back; both enclosing scopes committed.
+        assert [row["a"] for row in database.query_all(
+            "SELECT a FROM t ORDER BY a")] == [1, 2, 4]
+
+    def test_sibling_inner_scopes_are_independent(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with database.transaction():
+            try:
+                with database.transaction():
+                    database.execute("INSERT INTO t VALUES (1)")
+                    raise RuntimeError("first sibling boom")
+            except RuntimeError:
+                pass
+            with database.transaction():
+                database.execute("INSERT INTO t VALUES (2)")
+        assert [row["a"] for row in database.query_all(
+            "SELECT a FROM t ORDER BY a")] == [2]
+
+    def test_depth_counter_after_caught_inner_failure(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with database.transaction():
+            assert database._in_transaction == 1
+            try:
+                with database.transaction():
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            assert database._in_transaction == 1
+        assert database._in_transaction == 0
+
+    def test_uncaught_inner_failure_still_rolls_back_all(self, database):
+        # The historical guarantee: an exception unwinding every scope
+        # leaves nothing behind.
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.execute("INSERT INTO t VALUES (1)")
+                with database.transaction():
+                    database.execute("INSERT INTO t VALUES (2)")
+                    with database.transaction():
+                        raise RuntimeError("boom")
+        assert database.row_count("t") == 0
+
+
+class TestExecutescriptGuard:
+    def test_rejected_inside_transaction(self, database):
+        database.execute("CREATE TABLE t (a INTEGER)")
+        with database.transaction():
+            database.execute("INSERT INTO t VALUES (1)")
+            with pytest.raises(StorageError) as excinfo:
+                database.executescript("CREATE TABLE u (b INTEGER);")
+            assert "implicitly commit" in str(excinfo.value)
+        # The transaction itself was not disturbed.
+        assert database.row_count("t") == 1
+        assert not database.table_exists("u")
+
+    def test_rejected_inside_nested_scope(self, database):
+        with database.transaction():
+            with database.transaction():
+                with pytest.raises(StorageError):
+                    database.executescript("CREATE TABLE u (b INTEGER);")
+
+    def test_allowed_after_transaction_closes(self, database):
+        with database.transaction():
+            pass
+        database.executescript("CREATE TABLE u (b INTEGER);")
+        assert database.table_exists("u")
+
+    def test_script_timed_by_observer(self, database):
+        from repro.obs.observer import Observer
+
+        observer = Observer()
+        database.set_observer(observer)
+        database.executescript(
+            "CREATE TABLE obs_a (x INTEGER); "
+            "CREATE TABLE obs_b (y INTEGER);")
+        statements = [stats.statement
+                      for stats in observer.sql.statements(top=50)]
+        assert any("obs_a" in statement for statement in statements)
+
+    def test_script_error_counted(self, database):
+        from repro.obs.observer import Observer
+
+        observer = Observer()
+        database.set_observer(observer)
+        with pytest.raises(StorageError):
+            database.executescript("CREATE BROKEN;")
+        assert observer.metrics.as_dict()["counters"]["sql.errors"] == 1
+
+
 class TestIntrospection:
     def test_table_exists(self, database):
         assert not database.table_exists("t")

@@ -1,0 +1,167 @@
+"""Fault-injection tests: the retry path under deterministic engine
+failures (repro.db.faults)."""
+
+import pytest
+
+from repro.db.connection import Database
+from repro.db.faults import Fault, FaultInjector
+from repro.db.resilience import RetryPolicy
+from repro.errors import StorageError
+from repro.obs.observer import Observer
+
+pytestmark = pytest.mark.faults
+
+
+def fast_retry(max_attempts: int = 5) -> RetryPolicy:
+    """A real policy with no wall-clock sleeping and no jitter."""
+    return RetryPolicy(max_attempts=max_attempts, base_delay=0.001,
+                       jitter=0.0, sleep=lambda _d: None)
+
+
+@pytest.fixture
+def injector():
+    return FaultInjector()
+
+
+@pytest.fixture
+def db(injector):
+    database = Database(retry=fast_retry(), faults=injector,
+                        observer=Observer())
+    database.execute("CREATE TABLE t (a INTEGER)")
+    yield database
+    database.close()
+
+
+class TestFaultMatching:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StorageError):
+            Fault(kind="meteor_strike")
+
+    def test_match_is_case_insensitive(self):
+        fault = Fault(kind="lock", match="insert into t")
+        assert fault.matches("statement", "INSERT INTO t VALUES (1)")
+        assert not fault.matches("statement", "SELECT * FROM t")
+
+    def test_site_restriction(self):
+        fault = Fault(kind="lock", site="executemany")
+        assert fault.matches("executemany", "INSERT INTO t VALUES (?)")
+        assert not fault.matches("statement", "INSERT INTO t VALUES (1)")
+
+
+class TestLockFaults:
+    def test_transient_fault_retried_to_success(self, db, injector):
+        fault = injector.inject("lock", match="INSERT INTO t", times=2)
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.row_count("t") == 1
+        assert fault.fired == 2
+
+    def test_retries_surface_in_observer_snapshot(self, db, injector):
+        injector.inject("lock", match="INSERT INTO t", times=2)
+        db.execute("INSERT INTO t VALUES (1)")
+        # The figures `repro stats --json` reports under
+        # observability.metrics: retries happened, backoff was taken.
+        metrics = db.observer.snapshot()["metrics"]
+        assert metrics["counters"]["sql.retries"] == 2
+        assert metrics["histograms"]["sql.backoff_seconds"]["count"] == 2
+
+    def test_exhausted_retries_raise_storage_error(self, db, injector):
+        injector.inject("lock", match="INSERT INTO t", times=99)
+        with pytest.raises(StorageError) as excinfo:
+            db.execute("INSERT INTO t VALUES (1)")
+        assert "database is locked" in str(excinfo.value)
+        assert db.row_count("t") == 0
+        counters = db.observer.snapshot()["metrics"]["counters"]
+        assert counters["sql.retry_exhausted"] == 1
+
+    def test_skip_lets_early_statements_pass(self, db, injector):
+        fault = injector.inject("lock", match="INSERT INTO t",
+                                skip=2, times=1)
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("INSERT INTO t VALUES (2)")
+        assert fault.fired == 0
+        db.execute("INSERT INTO t VALUES (3)")  # faulted, then retried
+        assert fault.fired == 1
+        assert db.row_count("t") == 3
+
+    def test_executemany_faults_retried(self, db, injector):
+        fault = injector.inject("lock", site="executemany", times=1)
+        db.executemany("INSERT INTO t VALUES (?)",
+                       ((i,) for i in range(5)))  # generator: must replay
+        assert fault.fired == 1
+        assert db.row_count("t") == 5
+
+    def test_commit_boundary_fault_retried(self, db, injector):
+        fault = injector.inject("lock", match="COMMIT", times=1)
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (1)")
+        assert fault.fired == 1
+        assert db.row_count("t") == 1
+
+
+class TestDiskIOFaults:
+    def test_fatal_fault_not_retried(self, db, injector):
+        fault = injector.inject("disk_io", match="INSERT INTO t")
+        with pytest.raises(StorageError) as excinfo:
+            db.execute("INSERT INTO t VALUES (1)")
+        assert "disk I/O error" in str(excinfo.value)
+        assert fault.fired == 1  # exactly one attempt, no retries
+        counters = db.observer.snapshot()["metrics"]["counters"]
+        assert "sql.retries" not in counters
+
+    def test_executescript_fault_wrapped(self, db, injector):
+        injector.inject("disk_io", site="executescript")
+        with pytest.raises(StorageError):
+            db.executescript("CREATE TABLE u (b INTEGER);")
+
+
+class TestInjectorLifecycle:
+    def test_reset_disarms(self, db, injector):
+        injector.inject("disk_io")
+        injector.reset()
+        db.execute("INSERT INTO t VALUES (1)")
+        assert injector.fired == 0
+
+    def test_attach_detach(self, injector):
+        with Database(retry=fast_retry()) as database:
+            database.execute("CREATE TABLE t (a INTEGER)")
+            database.set_fault_injector(injector)
+            assert database.fault_injector is injector
+            injector.inject("disk_io", match="INSERT")
+            with pytest.raises(StorageError):
+                database.execute("INSERT INTO t VALUES (1)")
+            database.set_fault_injector(None)
+            database.execute("INSERT INTO t VALUES (1)")
+            assert database.row_count("t") == 1
+
+    def test_exhausted_fault_stands_down(self, db, injector):
+        fault = injector.inject("disk_io", match="INSERT INTO t",
+                                times=1)
+        with pytest.raises(StorageError):
+            db.execute("INSERT INTO t VALUES (1)")
+        db.execute("INSERT INTO t VALUES (2)")
+        assert fault.fired == 1
+        assert db.row_count("t") == 1
+
+
+class TestBulkLoadUnderFaults:
+    def test_transient_faults_during_load_recovered(self, tmp_path,
+                                                    injector):
+        from repro.core.bulkload import BulkLoader
+        from repro.core.store import RDFStore
+        from repro.workloads.uniprot import UniProtGenerator
+
+        db = Database(tmp_path / "bl.db", durability="durable",
+                      retry=fast_retry(), faults=injector,
+                      observer=Observer())
+        with RDFStore(db) as store:
+            store.create_model("m")
+            injector.inject("lock", match='INSERT OR IGNORE INTO '
+                            '"rdf_link$"', times=2)
+            report = BulkLoader(store, "m").load(
+                UniProtGenerator().triples(200))
+            assert report.new_links > 0
+            counters = db.observer.snapshot()["metrics"]["counters"]
+            assert counters["sql.retries"] == 2
+            from repro.core.integrity import check_integrity
+
+            assert check_integrity(store) == []
