@@ -5,11 +5,27 @@ SDO_RDF_MATCH behaves as patterns chain (1-3 joins) and as constants
 narrow the search.  The interesting shape: constant-anchored patterns
 stay fast regardless of dataset size (index lookups), while fully
 unbound patterns scan.
+
+Also runnable standalone (``python benchmarks/bench_match_queries.py``)
+as the planner before/after harness: every query shape is timed under
+the naive textual-order compile (``optimize=False``) and under the
+staged planner, and per-query p50/p95 latencies plus the EXPLAIN plan
+go to ``BENCH_match_plan.json``.  ``--smoke`` keeps it CI-quick.
 """
 
 import pytest
 
-from benchmarks.conftest import primary_size
+try:
+    from benchmarks.conftest import primary_size
+except ImportError:  # script mode: python benchmarks/bench_match_queries.py
+    import pathlib
+    import sys
+
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(_ROOT / "src"))
+    sys.path.insert(0, str(_ROOT))
+    from benchmarks.conftest import primary_size
+
 from repro.bench.datasets import MODEL_NAME
 from repro.inference.match import sdo_rdf_match
 from repro.workloads.uniprot import PROBE_SUBJECT
@@ -72,3 +88,132 @@ def test_filter_evaluation(benchmark, fixture):
         f"(<{PROBE_SUBJECT}> rdfs:seeAlso ?ref)", [MODEL_NAME],
         filter='?ref LIKE "urn:lsid:uniprot.org:interpro:%"')
     assert len(rows) == 8
+
+
+# ----------------------------------------------------------------------
+# standalone planner before/after harness
+# ----------------------------------------------------------------------
+
+#: name -> (query, extra sdo_rdf_match kwargs); the shapes the EXPLAIN
+#: tests (tests/inference/test_match_explain.py) mirror.
+def _query_shapes():
+    return {
+        "anchored_subject": (f"(<{PROBE_SUBJECT}> ?p ?o)", {}),
+        "anchored_predicate": ("(?s rdfs:seeAlso ?o)", {}),
+        "two_pattern_join": (
+            "(?s rdf:type <urn:lsid:uniprot.org:ontology:Protein>) "
+            "(?s rdfs:seeAlso ?ref)", {}),
+        "three_pattern_join": (
+            f"(<{PROBE_SUBJECT}> rdfs:seeAlso ?ref) "
+            f"(<{PROBE_SUBJECT}> rdf:type ?t) "
+            f"(<{PROBE_SUBJECT}> "
+            "<urn:lsid:uniprot.org:ontology:organism> ?org)", {}),
+        "ground_existence": (
+            f"(<{PROBE_SUBJECT}> rdf:type "
+            "<urn:lsid:uniprot.org:ontology:Protein>)", {}),
+        "like_filter": (
+            f"(<{PROBE_SUBJECT}> rdfs:seeAlso ?ref)",
+            {"filter": '?ref LIKE "urn:lsid:uniprot.org:interpro:%"'}),
+    }
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    position = (len(ordered) - 1) * q
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+def _time_query(store, query, kwargs, trials, optimize):
+    import time
+
+    samples = []
+    rows = sdo_rdf_match(store, query, [MODEL_NAME],
+                         optimize=optimize, **kwargs)  # warm-up
+    for _ in range(trials):
+        start = time.perf_counter()
+        rows = sdo_rdf_match(store, query, [MODEL_NAME],
+                             optimize=optimize, **kwargs)
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return samples, len(rows)
+
+
+def run_plan_benchmark(size, trials):
+    """Time every shape naive vs planned; return the report dict."""
+    from repro.bench.datasets import load_oracle_uniprot
+
+    fixture = load_oracle_uniprot(size)
+    store = fixture.store
+    queries = {}
+    try:
+        for name, (query, kwargs) in _query_shapes().items():
+            naive, rows = _time_query(store, query, kwargs, trials,
+                                      optimize=False)
+            planned, planned_rows = _time_query(store, query, kwargs,
+                                                trials, optimize=True)
+            assert rows == planned_rows, name
+            explanation = sdo_rdf_match(store, query, [MODEL_NAME],
+                                        explain=True, **kwargs)
+            naive_p50 = _percentile(naive, 0.5)
+            planned_p50 = _percentile(planned, 0.5)
+            queries[name] = {
+                "rows": rows,
+                "naive_ms": {"p50": round(naive_p50, 4),
+                             "p95": round(_percentile(naive, 0.95), 4)},
+                "planned_ms": {
+                    "p50": round(planned_p50, 4),
+                    "p95": round(_percentile(planned, 0.95), 4)},
+                "speedup_p50": round(naive_p50 / planned_p50, 2)
+                if planned_p50 else None,
+                "plan": explanation.as_dict(),
+            }
+        report = {
+            "dataset": {"size": size, "trials": trials,
+                        "model": MODEL_NAME},
+            "queries": queries,
+            "plan_cache": store.plan_cache.stats(),
+        }
+    finally:
+        store.close()
+    return report
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import pathlib
+
+    parser = argparse.ArgumentParser(
+        description="SDO_RDF_MATCH planner before/after benchmark")
+    parser.add_argument("--size", type=int, default=None,
+                        help="dataset triples (default: primary "
+                        "REPRO_BENCH_SIZES entry)")
+    parser.add_argument("--trials", type=int, default=30)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small dataset, few trials")
+    parser.add_argument("--output", default="BENCH_match_plan.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        size = args.size or 2000
+        trials = min(args.trials, 5)
+    else:
+        size = args.size or primary_size()
+        trials = args.trials
+    report = run_plan_benchmark(size, trials)
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                    + "\n", encoding="utf-8")
+    for name, entry in report["queries"].items():
+        print(f"{name:22s} naive p50 {entry['naive_ms']['p50']:8.3f}ms"
+              f"  planned p50 {entry['planned_ms']['p50']:8.3f}ms"
+              f"  speedup {entry['speedup_p50']}x")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ Usage (``python -m repro <command> ...``)::
     repro load          DB MODEL FILE.nt        bulk-load N-Triples
     repro insert        DB MODEL S P O          insert one triple
     repro query         DB 'PATTERNS' -m m1,m2  SDO_RDF_MATCH
+    repro explain       DB 'PATTERNS' -m m1     query plan, no execution
     repro trace         DB 'PATTERNS' -m m1     query + span/SQL report
     repro reify         DB MODEL S P O          reify a triple
     repro is-reified    DB MODEL S P O          reification check
@@ -88,6 +89,28 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("-a", "--alias", action="append", default=[],
                        metavar="PREFIX=NAMESPACE")
     query.add_argument("-f", "--filter", default=None)
+
+    explain = commands.add_parser(
+        "explain", help="show the SDO_RDF_MATCH query plan without "
+        "executing: join order, selectivity estimates, pushdown, SQL")
+    explain.add_argument("db")
+    explain.add_argument("patterns",
+                         help="e.g. '(?s gov:terrorSuspect ?o)'")
+    explain.add_argument("-m", "--models", required=True,
+                         help="comma-separated model names")
+    explain.add_argument("-r", "--rulebases", default="",
+                         help="comma-separated rulebase names")
+    explain.add_argument("-a", "--alias", action="append", default=[],
+                         metavar="PREFIX=NAMESPACE")
+    explain.add_argument("-f", "--filter", default=None)
+    explain.add_argument("--order-by", default=None,
+                         help="variable the query would sort by")
+    explain.add_argument("--limit", type=int, default=None)
+    explain.add_argument("--naive", action="store_true",
+                         help="plan with the legacy textual-order "
+                         "compile (no statistics, no pushdown)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the plan as JSON")
 
     trace = commands.add_parser(
         "trace", help="run a query under tracing, print the span tree "
@@ -270,6 +293,21 @@ def _dispatch_store(args: argparse.Namespace, store: RDFStore,
             print("  ".join(f"{name}={row[name]}"
                             for name in row.keys()), file=out)
         print(f"({len(rows)} rows)", file=out)
+        return 0
+    if command == "explain":
+        import json
+
+        explanation = sdo_rdf_match(
+            store, args.patterns, args.models.split(","),
+            rulebases=[r for r in args.rulebases.split(",") if r],
+            aliases=_parse_aliases(args.alias), filter=args.filter,
+            order_by=args.order_by, limit=args.limit,
+            explain=True, optimize=not args.naive)
+        if args.json:
+            print(json.dumps(explanation.as_dict(), indent=2,
+                             sort_keys=True, default=str), file=out)
+        else:
+            print(explanation.render(), file=out)
         return 0
     if command == "reify":
         link = store.find_link(args.model, args.subject,

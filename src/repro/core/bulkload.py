@@ -135,6 +135,7 @@ class BulkLoader:
                 raise
             self._store.values.invalidate_cache()
             if new_links:
+                self._db.bump_data_version()
                 # Keep the planner's selectivity estimates current.
                 with observer.span("bulkload.analyze"):
                     self._db.analyze()

@@ -158,6 +158,7 @@ class LinkStore:
             (start_node_id, p_value_id, end_node_id, canon_end_node_id,
              link_type.value, context.value,
              "Y" if reif_link else "N", model_id))
+        self._db.bump_data_version()
         return self.get(int(cursor.lastrowid))
 
     def increment_cost(self, link_id: int) -> int:
@@ -190,6 +191,7 @@ class LinkStore:
         row = self.get(link_id)
         self._db.execute(
             f'DELETE FROM "{LINK_TABLE}" WHERE link_id = ?', (link_id,))
+        self._db.bump_data_version()
         return row
 
     def node_in_use(self, node_id: int) -> bool:

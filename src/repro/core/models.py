@@ -67,6 +67,7 @@ class ModelRegistry:
                          column_name)
         self._create_view(info)
         self._cache[name] = info
+        self._db.bump_data_version()
         return info
 
     def _create_view(self, info: ModelInfo) -> None:
@@ -86,6 +87,7 @@ class ModelRegistry:
             f'DELETE FROM "{MODEL_TABLE}" WHERE model_id = ?',
             (info.model_id,))
         self._cache.pop(info.model_name, None)
+        self._db.bump_data_version()
         return info
 
     def exists(self, model_name: str) -> bool:

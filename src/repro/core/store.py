@@ -81,11 +81,29 @@ class RDFStore:
         self.models = ModelRegistry(database)
         self.parser = TripleParser(database, self.values, self.links,
                                    self.models)
+        self._plan_cache = None
+        self._match_statistics = None
 
     @property
     def database(self) -> Database:
         """The hosting database engine."""
         return self._db
+
+    @property
+    def plan_cache(self):
+        """The SDO_RDF_MATCH plan cache (lazy, one per store)."""
+        if self._plan_cache is None:
+            from repro.inference.plan import PlanCache
+            self._plan_cache = PlanCache()
+        return self._plan_cache
+
+    @property
+    def match_statistics(self):
+        """Planner statistics over this store (lazy, version-checked)."""
+        if self._match_statistics is None:
+            from repro.inference.stats import MatchStatistics
+            self._match_statistics = MatchStatistics(self)
+        return self._match_statistics
 
     @property
     def observer(self) -> Observer:

@@ -59,6 +59,10 @@ class ValueStore:
     once assigned.
     """
 
+    #: VALUE_IDs per batched ``IN (...)`` lookup — comfortably under
+    #: SQLite's default 999-parameter limit.
+    _BATCH_SIZE = 400
+
     def __init__(self, database: "Database",
                  cache_size: int = 100_000) -> None:
         self._db = database
@@ -136,6 +140,45 @@ class ValueStore:
             language_type=row["language_type"])
         self._remember(term, value_id)
         return term
+
+    def get_terms(self, value_ids) -> dict[int, RDFTerm]:
+        """Batch form of :meth:`get_term`: one ``IN (...)`` query per
+        chunk instead of a round trip per VALUE_ID.
+
+        The match pipeline resolves a whole result page through this —
+        N rows x V variables collapse into a handful of statements.
+        Cached terms are served from memory; raises
+        :class:`~repro.errors.ValueNotFoundError` if any requested ID
+        is unknown.
+        """
+        wanted = set(value_ids)
+        resolved: dict[int, RDFTerm] = {}
+        missing: list[int] = []
+        for value_id in wanted:
+            cached = self._term_cache.get(value_id)
+            if cached is not None:
+                resolved[value_id] = cached
+            else:
+                missing.append(value_id)
+        for start in range(0, len(missing), self._BATCH_SIZE):
+            chunk = missing[start:start + self._BATCH_SIZE]
+            placeholders = ", ".join("?" for _ in chunk)
+            rows = self._db.query_all(
+                f'SELECT * FROM "{VALUE_TABLE}" '
+                f"WHERE value_id IN ({placeholders})", chunk)
+            for row in rows:
+                value_id = int(row["value_id"])
+                lexical = row["long_value"] \
+                    if row["long_value"] is not None else row["value_name"]
+                term = term_from_lexical(
+                    lexical, ValueType(row["value_type"]),
+                    literal_type=row["literal_type"],
+                    language_type=row["language_type"])
+                self._remember(term, value_id)
+                resolved[value_id] = term
+        if len(resolved) != len(wanted):
+            raise ValueNotFoundError(min(wanted - resolved.keys()))
+        return resolved
 
     def get_lexical(self, value_id: int) -> str:
         """The lexical form stored under ``value_id`` (VALUE_NAME or

@@ -91,6 +91,7 @@ class Database:
         self._faults = faults
         self._connection = sqlite3.connect(self._path)
         self._connection.row_factory = sqlite3.Row
+        self._data_version = 0
         # The store manages transactions explicitly via transaction().
         self._connection.isolation_level = None
         self._in_transaction = 0
@@ -147,6 +148,24 @@ class Database:
     def closed(self) -> bool:
         """True once :meth:`close` has run."""
         return self._closed
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter of triple-visible data changes.
+
+        Every write that can change what an SDO_RDF_MATCH query sees —
+        link inserts/deletes, bulk-load merges, model create/drop,
+        rules-index materialisation — bumps this counter through
+        :meth:`bump_data_version`.  The match planner's statistics and
+        plan caches are keyed on it: a stale version means re-plan.
+        Over-bumping (e.g. for a rolled-back write) only costs a cache
+        miss; the counter must never under-report a change.
+        """
+        return self._data_version
+
+    def bump_data_version(self) -> None:
+        """Record a triple-visible data change (see :attr:`data_version`)."""
+        self._data_version += 1
 
     def set_observer(self, observer: Observer) -> None:
         """Attach (or detach, with :data:`NULL_OBSERVER`) an observer.

@@ -24,11 +24,22 @@ from repro.inference.patterns import (
 from repro.inference.rulebase import Rule, Rulebase, RulebaseManager
 from repro.inference.rdfs_rules import RDFS_RULEBASE_NAME, rdfs_rules
 from repro.inference.rules_index import RulesIndex, RulesIndexManager
-from repro.inference.match import MatchRow, sdo_rdf_match
+from repro.inference.match import (
+    MatchExplanation,
+    MatchRow,
+    ask,
+    sdo_rdf_match,
+)
+from repro.inference.plan import PlanCache, QueryPlan, build_plan
+from repro.inference.stats import MatchStatistics
 from repro.inference.sdo_rdf_inference import SDO_RDF_INFERENCE
 
 __all__ = [
+    "MatchExplanation",
     "MatchRow",
+    "MatchStatistics",
+    "PlanCache",
+    "QueryPlan",
     "RDFS_RULEBASE_NAME",
     "Rule",
     "Rulebase",
@@ -38,6 +49,8 @@ __all__ = [
     "SDO_RDF_INFERENCE",
     "TriplePattern",
     "Variable",
+    "ask",
+    "build_plan",
     "parse_pattern_list",
     "rdfs_rules",
     "sdo_rdf_match",

@@ -16,21 +16,33 @@ pattern becomes a self-join over the triples dataset, executed as one
 SQL statement against ``rdf_link$`` (UNION the ``rdf_inferred$`` rows of
 a covering rules index when rulebases are given).  Joins happen on
 VALUE_IDs; lexical forms are resolved only for the final projection.
+
+Compilation is staged (see :mod:`repro.inference.plan`):
+
+1. parse patterns and filter;
+2. build the logical :class:`~repro.inference.plan.QueryPlan` —
+   constants resolved to VALUE_IDs, joins reordered most-selective
+   first using :mod:`repro.inference.stats`, filter/ORDER BY/LIMIT
+   pushed into the generated SQL where provably equivalent;
+3. cache the plan in ``store.plan_cache`` keyed on the raw query
+   shape, so a repeated query skips stages 1-2 entirely (any data
+   change bumps ``data_version`` and invalidates cached plans);
+4. execute, resolving result VALUE_IDs to terms in batches.
+
+``explain=True`` returns the :class:`MatchExplanation` for the query
+instead of executing it; ``optimize=False`` reproduces the legacy
+textual-order compile (no statistics, no pushdown, no caching) as a
+reference baseline.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.core.schema import LINK_TABLE
-from repro.errors import QueryError, RulesIndexError
+from repro.errors import QueryError
 from repro.inference.filters import FilterExpression, parse_filter
-from repro.inference.patterns import (
-    TriplePattern,
-    Variable,
-    parse_pattern_list,
-)
-from repro.inference.rules_index import INFERRED_TABLE, RulesIndexManager
+from repro.inference.patterns import TriplePattern, parse_pattern_list
+from repro.inference.plan import QueryPlan, build_plan, plan_key
 from repro.obs.metrics import DEFAULT_COUNT_BUCKETS as _COUNT_BUCKETS
 from repro.rdf.namespaces import AliasSet
 from repro.rdf.terms import RDFTerm
@@ -88,13 +100,103 @@ class MatchRow:
         return f"MatchRow({inner})"
 
 
+class MatchExplanation:
+    """The EXPLAIN surface of one SDO_RDF_MATCH query.
+
+    Returned by ``sdo_rdf_match(..., explain=True)`` instead of rows:
+    the chosen join order with selectivity estimates, what was pushed
+    into SQL, the generated statement, and whether the plan came from
+    the cache.
+    """
+
+    def __init__(self, query: str, models: tuple[str, ...],
+                 rulebases: tuple[str, ...], cache: str,
+                 plan: QueryPlan) -> None:
+        self.query = query
+        self.models = models
+        self.rulebases = rulebases
+        self.cache = cache  #: "hit", "miss", or "bypass" (optimize off)
+        self.plan = plan
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "query": self.query,
+            "models": list(self.models),
+            "rulebases": list(self.rulebases),
+            "plan_cache": self.cache,
+            "plan": self.plan.as_dict(),
+        }
+
+    def render(self) -> str:
+        """Human-readable EXPLAIN text (the ``repro explain`` output)."""
+        plan = self.plan
+        lines = [
+            "SDO_RDF_MATCH plan",
+            f"  query:           {self.query}",
+            f"  models:          {', '.join(self.models)}",
+        ]
+        if self.rulebases:
+            lines.append(f"  rulebases:       "
+                         f"{', '.join(self.rulebases)}")
+        lines.append(f"  plan cache:      {self.cache}")
+        if plan.impossible_reason is not None:
+            lines.append(f"  impossible:      {plan.impossible_reason}")
+            return "\n".join(lines)
+        if plan.dataset_size is not None:
+            lines.append(f"  dataset size:    {plan.dataset_size} "
+                         "triples")
+        reordered = "reordered" if plan.reordered else "textual order"
+        lines.append(f"  join order:      {reordered}")
+        for position, step in enumerate(plan.join_order, start=1):
+            entry = (f"    {position}. {step.alias} {step.pattern} "
+                     f"(pattern #{step.source_index + 1})")
+            if step.estimate is not None:
+                counts = " ".join(
+                    f"{pos}={count}"
+                    for pos, count in sorted(step.constant_counts.items()))
+                entry += f"  est_rows={step.estimate:.1f}"
+                if counts:
+                    entry += f"  [{counts}]"
+            lines.append(entry)
+        lines.append(f"  distinct:        "
+                     f"{'yes' if plan.distinct else 'no'}")
+        if plan.pushed_filter is not None:
+            lines.append(f"  pushed filter:   {plan.pushed_filter}")
+        lines.append(
+            "  residual filter: "
+            + ("yes (python)" if plan.residual_filter is not None
+               else "no"))
+        if plan.order_by is None:
+            order_line = "none"
+        elif plan.order_by_pushed:
+            order_line = f"?{plan.order_by} (pushed to SQL)"
+        else:
+            order_line = f"?{plan.order_by} (python sort)"
+        lines.append(f"  order by:        {order_line}")
+        if plan.limit is None:
+            limit_line = "none"
+        elif plan.limit_pushed:
+            limit_line = f"{plan.limit} (pushed to SQL)"
+        else:
+            limit_line = f"{plan.limit} (python slice)"
+        lines.append(f"  limit:           {limit_line}")
+        lines.append(f"  sql:             {plan.sql}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"MatchExplanation(cache={self.cache!r}, "
+                f"patterns={self.plan.pattern_count})")
+
+
 def sdo_rdf_match(store: "RDFStore", query: str,
                   models: Sequence[str],
                   rulebases: Sequence[str] = (),
                   aliases: AliasSet | None = None,
                   filter: str | None = None,
                   order_by: str | None = None,
-                  limit: int | None = None) -> list[MatchRow]:
+                  limit: int | None = None,
+                  explain: bool = False,
+                  optimize: bool = True):
     """Evaluate an SDO_RDF_MATCH query.
 
     :param store: the RDF store.
@@ -110,7 +212,14 @@ def sdo_rdf_match(store: "RDFStore", query: str,
         convenience for the ORDER BY the paper wraps around the table
         function in SQL.
     :param limit: optional maximum number of rows, applied after
-        filtering and ordering.
+        filtering and ordering (pushed into the SQL whenever no
+        Python-side residual filter remains).
+    :param explain: return the :class:`MatchExplanation` instead of
+        executing the query.
+    :param optimize: False reproduces the legacy naive compile —
+        textual join order, no pushdown, no plan cache.
+    :returns: ``list[MatchRow]``, or :class:`MatchExplanation` when
+        ``explain=True``.
     """
     if not models:
         raise QueryError("SDO_RDF_MATCH requires at least one model")
@@ -120,46 +229,94 @@ def sdo_rdf_match(store: "RDFStore", query: str,
     with observer.span("match.execute", models=",".join(models),
                        query=query) as span:
         aliases = aliases or AliasSet()
-        patterns = parse_pattern_list(query, aliases)
-        filter_expression = parse_filter(filter) if filter else None
-        _check_filter_variables(filter_expression, patterns, filter)
-        bound = set().union(*(p.variables() for p in patterns))
         if order_by is not None:
             order_by = order_by.lstrip("?")
-            if order_by not in bound:
-                raise QueryError(
-                    f"order_by variable {order_by!r} is not bound by the "
-                    "query")
-        with observer.span("match.compile", patterns=len(patterns)):
-            compiled = _compile(store, patterns, models, rulebases)
+
+        # ---- plan: cache lookup, else full compile ----
+        plan: QueryPlan | None = None
+        cache_status = "bypass"
+        key: tuple | None = None
+        if optimize:
+            key = plan_key(query, models, rulebases, aliases, filter,
+                           order_by, limit)
+            plan = store.plan_cache.lookup(
+                key, store.database.data_version)
+            cache_status = "miss" if plan is None else "hit"
+        if plan is None:
+            patterns = parse_pattern_list(query, aliases)
+            filter_expression = parse_filter(filter) if filter else None
+            _check_filter_variables(filter_expression, patterns, filter)
+            if order_by is not None:
+                bound = set().union(*(p.variables() for p in patterns))
+                if order_by not in bound:
+                    raise QueryError(
+                        f"order_by variable {order_by!r} is not bound "
+                        "by the query")
+            with observer.span("match.compile", patterns=len(patterns),
+                               cache=cache_status):
+                plan = build_plan(store, patterns, models, rulebases,
+                                  filter_expression=filter_expression,
+                                  order_by=order_by, limit=limit,
+                                  optimize=optimize)
+            if optimize and key is not None:
+                store.plan_cache.store(key, plan)
+            if observer.enabled and plan.reordered:
+                observer.counter("match.join_reorders").inc()
+
         if observer.enabled:
             observer.counter("match.queries").inc()
+            if optimize:
+                observer.counter(
+                    "match.plan_cache_hits" if cache_status == "hit"
+                    else "match.plan_cache_misses").inc()
             observer.metrics.histogram(
                 "match.patterns", "triple patterns per query",
-                buckets=range(1, 17)).observe(len(patterns))
-        if compiled is None:
+                buckets=range(1, 17)).observe(plan.pattern_count)
+
+        if explain:
+            span.set("explain", True)
+            span.set("plan_cache", cache_status)
+            return MatchExplanation(
+                query=query, models=tuple(models),
+                rulebases=tuple(rulebases), cache=cache_status,
+                plan=plan)
+
+        if plan.sql is None:
             # A constant with no VALUE_ID: nothing can match.
             span.set("rows", 0)
             span.set("short_circuit", "unknown-constant")
             return []
-        sql, params, projection = compiled
-        rows: list[MatchRow] = []
-        fetched = 0
+
+        # ---- execute + batched term resolution ----
+        projection = plan.projection
         with observer.span("match.sql") as sql_span:
-            for row in store.database.execute(sql, params):
-                fetched += 1
-                terms = {name: store.values.get_term(row[index])
-                         for name, index in projection.items()}
-                match_row = MatchRow(terms)
-                if filter_expression is not None and \
-                        not filter_expression.evaluate(
-                            dict(match_row._terms)):
-                    continue
-                rows.append(match_row)
-            sql_span.set("fetched", fetched)
-        if order_by is not None:
+            fetched = store.database.query_all(plan.sql, plan.params)
+            sql_span.set("fetched", len(fetched))
+        rows: list[MatchRow] = []
+        if plan.optimized:
+            with observer.span("match.resolve") as resolve_span:
+                wanted = {raw[index] for raw in fetched
+                          for index in projection.values()}
+                terms = store.values.get_terms(wanted)
+                resolve_span.set("values", len(wanted))
+            for raw in fetched:
+                rows.append(MatchRow(
+                    {name: terms[raw[index]]
+                     for name, index in projection.items()}))
+        else:
+            for raw in fetched:
+                rows.append(MatchRow(
+                    {name: store.values.get_term(raw[index])
+                     for name, index in projection.items()}))
+
+        # ---- residual filter / order / limit ----
+        residual = plan.residual_filter
+        if residual is not None:
+            rows = [row for row in rows
+                    if residual.evaluate(dict(row._terms))]
+        if order_by is not None and not plan.order_by_pushed:
             rows.sort(key=lambda match_row: match_row[order_by])
-        if limit is not None:
+        if limit is not None and not plan.limit_pushed:
             rows = rows[:limit]
         span.set("rows", len(rows))
         if observer.enabled:
@@ -172,9 +329,13 @@ def sdo_rdf_match(store: "RDFStore", query: str,
 def ask(store: "RDFStore", query: str, models: Sequence[str],
         rulebases: Sequence[str] = (),
         aliases: AliasSet | None = None) -> bool:
-    """Existence form: does the (possibly ground) pattern match at all?"""
+    """Existence form: does the (possibly ground) pattern match at all?
+
+    Compiled with ``limit=1`` so the SQL stops at the first matching
+    row instead of materializing the full result set.
+    """
     return bool(sdo_rdf_match(store, query, models, rulebases=rulebases,
-                              aliases=aliases))
+                              aliases=aliases, limit=1))
 
 
 def _check_filter_variables(filter_expression: FilterExpression | None,
@@ -188,76 +349,3 @@ def _check_filter_variables(filter_expression: FilterExpression | None,
         raise QueryError(
             f"filter {filter_text!r} references unbound variables "
             f"{sorted(unknown)}")
-
-
-def _dataset_sql(store: "RDFStore", models: Sequence[str],
-                 rulebases: Sequence[str]) -> tuple[str, list]:
-    """The (sql, params) of the triples dataset subquery."""
-    model_ids = [store.models.get(name).model_id for name in models]
-    placeholders = ", ".join("?" for _ in model_ids)
-    sql = (f'SELECT start_node_id AS s, p_value_id AS p, '
-           f'end_node_id AS o FROM "{LINK_TABLE}" '
-           f"WHERE model_id IN ({placeholders})")
-    params: list = list(model_ids)
-    if rulebases:
-        index = RulesIndexManager(store).find_covering(models, rulebases)
-        if index is None:
-            raise RulesIndexError(
-                "no rules index covers models "
-                f"{list(models)} with rulebases {list(rulebases)}; "
-                "run CREATE_RULES_INDEX first")
-        sql += (f' UNION SELECT s_id AS s, p_id AS p, o_id AS o '
-                f'FROM "{INFERRED_TABLE}" WHERE index_name = ?')
-        params.append(index.index_name)
-    return sql, params
-
-
-def _compile(store: "RDFStore", patterns: list[TriplePattern],
-             models: Sequence[str], rulebases: Sequence[str]
-             ) -> tuple[str, list, dict[str, int]] | None:
-    """Compile patterns into one self-join SQL statement.
-
-    Returns (sql, params, projection) where ``projection`` maps variable
-    names to result-column indexes — or None when a constant component
-    has no VALUE_ID, in which case nothing can match.
-    """
-    dataset_sql, dataset_params = _dataset_sql(store, models, rulebases)
-    select_columns: list[str] = []
-    projection: dict[str, int] = {}
-    joins: list[str] = []
-    where_clauses: list[str] = []
-    params: list = []
-    first_occurrence: dict[str, str] = {}
-    constant_conditions: list[tuple[str, int]] = []
-    for index, pattern in enumerate(patterns):
-        alias = f"t{index}"
-        joins.append(f"({dataset_sql}) {alias}")
-        params.extend(dataset_params)
-        for column, component in zip(("s", "p", "o"),
-                                     pattern.components()):
-            qualified = f"{alias}.{column}"
-            if isinstance(component, Variable):
-                name = component.name
-                if name in first_occurrence:
-                    where_clauses.append(
-                        f"{qualified} = {first_occurrence[name]}")
-                else:
-                    first_occurrence[name] = qualified
-                    projection[name] = len(select_columns)
-                    select_columns.append(qualified)
-            else:
-                value_id = store.values.find_id(component)
-                if value_id is None:
-                    return None
-                constant_conditions.append((qualified, value_id))
-    for qualified, value_id in constant_conditions:
-        where_clauses.append(f"{qualified} = ?")
-        params.append(value_id)
-    if not select_columns:
-        # Fully ground query: pure existence check.
-        select_columns = ["1"]
-    sql = (f"SELECT DISTINCT {', '.join(select_columns)} FROM "
-           + ", ".join(joins))
-    if where_clauses:
-        sql += " WHERE " + " AND ".join(where_clauses)
-    return sql, params, projection

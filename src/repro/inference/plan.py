@@ -1,0 +1,540 @@
+"""Logical query plans for SDO_RDF_MATCH.
+
+The match path is a staged compilation pipeline; this module is the
+middle of it:
+
+1. :func:`build_plan` turns parsed triple patterns into a
+   :class:`QueryPlan` — the logical IR.  Constants are resolved to
+   VALUE_IDs (an unknown constant makes the plan *impossible*:
+   nothing can match), estimates come from
+   :class:`~repro.inference.stats.MatchStatistics`, and a greedy
+   reorder places the most selective pattern first, preferring
+   join-connected patterns over cross products.
+2. SQL generation emits the triples-dataset subquery **once** as a
+   CTE (``WITH dataset AS NOT MATERIALIZED (...)``) instead of
+   inlining it per pattern, pushes translatable filter comparisons,
+   ORDER BY, and LIMIT down into SQL, and skips ``DISTINCT`` when the
+   dataset provably has no duplicate triples (single model, no
+   rulebases).
+3. :class:`PlanCache` keeps compiled plans keyed by the full query
+   shape and the database's ``data_version``, so a repeated query
+   skips parsing, statistics, and SQL generation entirely — and any
+   data change invalidates every cached plan at once.
+
+Filter pushdown is deliberately conservative: only comparisons whose
+SQL evaluation is *provably identical* to the Python evaluator in
+:mod:`repro.inference.filters` are translated.  That means one side a
+variable, the other a non-numeric string constant (numeric-looking
+operands trigger Python float coercion that SQL text comparison would
+not reproduce), with ``LIKE`` rewritten to the case-sensitive ``GLOB``.
+Untranslatable clauses stay in the *residual* filter, evaluated in
+Python after the SQL rows come back; a pushed clause is always a
+necessary condition of the full filter, so pushing part of it is safe.
+Lexical forms are compared via ``COALESCE(long_value, value_name)`` so
+long literals compare by their full text, exactly like the Python side.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.core.schema import LINK_TABLE
+from repro.errors import RulesIndexError
+from repro.inference.filters import Comparison, FilterExpression, _Var
+from repro.inference.patterns import TriplePattern, Variable
+from repro.inference.rules_index import INFERRED_TABLE, RulesIndexManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+
+#: ``NOT MATERIALIZED`` forces SQLite to treat the dataset CTE as a
+#: view, so constants push into each reference and the access-path
+#: indexes stay usable (3.35+ materializes multi-reference CTEs by
+#: default, which would turn every join into a dataset scan).
+_NOT_MATERIALIZED = ("NOT MATERIALIZED "
+                     if sqlite3.sqlite_version_info >= (3, 35, 0) else "")
+
+#: Operator flips for constant-on-the-left comparisons.
+_FLIPPED_OPS = {"=": "=", "!=": "!=", "<>": "<>",
+                "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+# ----------------------------------------------------------------------
+# logical IR
+# ----------------------------------------------------------------------
+
+@dataclass
+class PlannedPattern:
+    """One triple pattern, annotated by the planner."""
+
+    source_index: int            #: position in the query text (0-based)
+    pattern: TriplePattern
+    constants: dict[str, int]    #: position (s/p/o) -> VALUE_ID
+    estimate: float | None = None       #: estimated matching rows
+    constant_counts: dict[str, int] = field(default_factory=dict)
+    alias: str = ""              #: SQL alias, assigned in join order
+
+    def as_dict(self) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "pattern": str(self.pattern),
+            "source_index": self.source_index,
+            "alias": self.alias,
+        }
+        if self.estimate is not None:
+            entry["estimated_rows"] = round(self.estimate, 3)
+            entry["constant_counts"] = dict(self.constant_counts)
+        return entry
+
+
+@dataclass
+class QueryPlan:
+    """A fully compiled SDO_RDF_MATCH query.
+
+    ``sql`` is None for *impossible* plans (a constant with no
+    VALUE_ID); everything needed at execution time — parameters,
+    projection, the residual Python filter, which of ORDER BY / LIMIT
+    already happened in SQL — is carried here so a cache hit can skip
+    every earlier pipeline stage.
+    """
+
+    sql: str | None
+    params: tuple
+    projection: dict[str, int]
+    join_order: tuple[PlannedPattern, ...]
+    reordered: bool
+    dataset_size: int | None
+    distinct: bool
+    pushed_filter: str | None
+    residual_filter: FilterExpression | None
+    order_by_pushed: bool
+    limit_pushed: bool
+    impossible_reason: str | None
+    data_version: int
+    optimized: bool
+    order_by: str | None = None   #: the requested sort variable
+    limit: int | None = None      #: the requested row cap
+
+    @property
+    def pattern_count(self) -> int:
+        return len(self.join_order)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The JSON-ready EXPLAIN payload."""
+        return {
+            "optimized": self.optimized,
+            "impossible": self.impossible_reason,
+            "dataset_size": self.dataset_size,
+            "join_order": [step.as_dict() for step in self.join_order],
+            "reordered": self.reordered,
+            "distinct": self.distinct,
+            "pushed_filter": self.pushed_filter,
+            "residual_filter": self.residual_filter is not None,
+            "order_by": self.order_by,
+            "order_by_pushed": self.order_by_pushed,
+            "limit": self.limit,
+            "limit_pushed": self.limit_pushed,
+            "sql": self.sql,
+        }
+
+
+# ----------------------------------------------------------------------
+# plan cache
+# ----------------------------------------------------------------------
+
+def plan_key(query: str, models: Sequence[str],
+             rulebases: Sequence[str], aliases,
+             filter_text: str | None, order_by: str | None,
+             limit: int | None) -> tuple:
+    """The cache key of one query shape.
+
+    Built from raw inputs only (no parsing), so a cache hit can skip
+    the parse stage entirely.
+    """
+    alias_fingerprint = tuple(sorted(
+        (alias.namespace_id, alias.namespace_val) for alias in aliases))
+    return (query, tuple(models), tuple(rulebases), alias_fingerprint,
+            filter_text, order_by, limit)
+
+
+class PlanCache:
+    """A keyed LRU cache of :class:`QueryPlan` objects.
+
+    Entries carry the ``data_version`` they were planned under; a
+    lookup against a newer version drops the entry (statistics, and
+    possibly constant VALUE_IDs, are stale).  One instance lives on
+    the :class:`~repro.core.store.RDFStore` (``store.plan_cache``).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._capacity = capacity
+        self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def lookup(self, key: tuple, data_version: int) -> QueryPlan | None:
+        """The cached plan for ``key``, or None (counted as a miss)."""
+        plan = self._plans.get(key)
+        if plan is not None and plan.data_version != data_version:
+            del self._plans[key]
+            self.invalidations += 1
+            plan = None
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def store(self, key: tuple, plan: QueryPlan) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self._capacity:
+            self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._plans), "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations}
+
+
+# ----------------------------------------------------------------------
+# filter pushdown
+# ----------------------------------------------------------------------
+
+def _parses_as_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _like_to_glob(pattern: str) -> str:
+    """Rewrite a SQL-LIKE pattern as a GLOB pattern.
+
+    The Python evaluator's LIKE is case-sensitive with ``%``/``_``
+    wildcards; SQLite's LIKE is case-insensitive, but GLOB is
+    case-sensitive with ``*``/``?`` wildcards and ``[...]`` classes —
+    so GLOB is the exact translation once the wildcards are mapped
+    and GLOB's own metacharacters are escaped as classes.
+    """
+    out: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            out.append("*")
+        elif ch == "_":
+            out.append("?")
+        elif ch in "*?[":
+            out.append(f"[{ch}]")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _translate_clause(clause: Comparison) -> tuple[str, str, str] | None:
+    """Translate one comparison to ``(variable, sql_op, constant)``.
+
+    Returns None when the clause cannot be proven equivalent in SQL:
+    variable-to-variable and constant-to-constant comparisons, parsed
+    numbers, and numeric-looking strings (both trigger Python float
+    coercion with different semantics than SQL text comparison).
+    """
+    left, op, right = clause.left, clause.op, clause.right
+    if isinstance(left, _Var) and isinstance(right, str):
+        variable, constant, sql_op = left.name, right, op
+    elif isinstance(right, _Var) and isinstance(left, str):
+        if op == "LIKE":  # "pattern" LIKE ?x has a variable pattern
+            return None
+        variable, constant, sql_op = right.name, left, _FLIPPED_OPS[op]
+    else:
+        return None
+    if _parses_as_number(constant):
+        return None
+    if sql_op == "LIKE":
+        return variable, "GLOB", _like_to_glob(constant)
+    return variable, sql_op, constant
+
+
+def _translate_filter(expression: FilterExpression
+                      ) -> tuple[list[list[tuple[str, str, str]]],
+                                 bool] | None:
+    """Translate the pushable part of a filter.
+
+    Returns ``(disjuncts, complete)`` where each disjunct is the list
+    of translated clauses of one conjunct, or None when nothing useful
+    can be pushed.  ``complete`` is True when *every* clause
+    translated — only then can the Python-side filter be dropped.
+    Pushing a subset of a conjunct's clauses is sound (a weaker,
+    necessary condition); a disjunct with no translated clause makes
+    the whole OR unpushable.
+    """
+    disjuncts: list[list[tuple[str, str, str]]] = []
+    complete = True
+    for conjunct in expression.disjuncts:
+        translated = []
+        for clause in conjunct:
+            item = _translate_clause(clause)
+            if item is None:
+                complete = False
+            else:
+                translated.append(item)
+        if not translated:
+            return None
+        disjuncts.append(translated)
+    return disjuncts, complete
+
+
+# ----------------------------------------------------------------------
+# join ordering
+# ----------------------------------------------------------------------
+
+def _greedy_order(steps: list[PlannedPattern]) -> list[PlannedPattern]:
+    """Most-selective-first greedy order, avoiding cross products.
+
+    The first pattern is the one with the smallest estimate; each
+    subsequent pick considers only patterns sharing a variable with
+    the already-chosen set (join-connected) unless none is — ties
+    break on textual position, keeping the order deterministic.
+    """
+    remaining = list(steps)
+    chosen: list[PlannedPattern] = []
+    bound: set[str] = set()
+    while remaining:
+        if chosen:
+            connected = [step for step in remaining
+                         if step.pattern.variables() & bound]
+            pool = connected or remaining
+        else:
+            pool = remaining
+        best = min(pool, key=lambda step: (step.estimate or 0.0,
+                                           step.source_index))
+        chosen.append(best)
+        remaining.remove(best)
+        bound |= best.pattern.variables()
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# plan building + SQL generation
+# ----------------------------------------------------------------------
+
+def _dataset_sql(store: "RDFStore", model_ids: Sequence[int],
+                 index_name: str | None) -> tuple[str, list]:
+    """The (sql, params) of the triples-dataset subquery."""
+    placeholders = ", ".join("?" for _ in model_ids)
+    sql = (f'SELECT start_node_id AS s, p_value_id AS p, '
+           f'end_node_id AS o FROM "{LINK_TABLE}" '
+           f"WHERE model_id IN ({placeholders})")
+    params: list = list(model_ids)
+    if index_name is not None:
+        sql += (f' UNION SELECT s_id AS s, p_id AS p, o_id AS o '
+                f'FROM "{INFERRED_TABLE}" WHERE index_name = ?')
+        params.append(index_name)
+    return sql, params
+
+
+def resolve_rules_index(store: "RDFStore", models: Sequence[str],
+                        rulebases: Sequence[str]) -> str | None:
+    """The covering rules index name, or None without rulebases.
+
+    Raises :class:`~repro.errors.RulesIndexError` when rulebases are
+    given but no index covers them, mirroring Oracle's requirement to
+    run CREATE_RULES_INDEX first.
+    """
+    if not rulebases:
+        return None
+    index = RulesIndexManager(store).find_covering(models, rulebases)
+    if index is None:
+        raise RulesIndexError(
+            "no rules index covers models "
+            f"{list(models)} with rulebases {list(rulebases)}; "
+            "run CREATE_RULES_INDEX first")
+    return index.index_name
+
+
+def build_plan(store: "RDFStore", patterns: list[TriplePattern],
+               models: Sequence[str], rulebases: Sequence[str],
+               filter_expression: FilterExpression | None = None,
+               order_by: str | None = None,
+               limit: int | None = None,
+               optimize: bool = True) -> QueryPlan:
+    """Compile patterns into a :class:`QueryPlan`.
+
+    With ``optimize=False`` the plan reproduces the naive pipeline:
+    textual pattern order, the dataset subquery inlined per pattern,
+    unconditional DISTINCT, and no pushdown — the reference baseline
+    for the property tests and the benchmark's before/after snapshot.
+    """
+    data_version = store.database.data_version
+    model_ids = [store.models.get(name).model_id for name in models]
+    index_name = resolve_rules_index(store, models, rulebases)
+
+    def _plan(**overrides: Any) -> QueryPlan:
+        base: dict[str, Any] = dict(
+            sql=None, params=(), projection={}, join_order=(),
+            reordered=False, dataset_size=None, distinct=True,
+            pushed_filter=None, residual_filter=filter_expression,
+            order_by_pushed=False, limit_pushed=False,
+            impossible_reason=None, data_version=data_version,
+            optimized=optimize, order_by=order_by, limit=limit)
+        base.update(overrides)
+        return QueryPlan(**base)
+
+    # ---- stage 1: logical nodes, constants resolved to VALUE_IDs ----
+    steps: list[PlannedPattern] = []
+    for source_index, pattern in enumerate(patterns):
+        constants: dict[str, int] = {}
+        for position, component in zip("spo", pattern.components()):
+            if isinstance(component, Variable):
+                continue
+            value_id = store.values.find_id(component)
+            if value_id is None:
+                return _plan(
+                    join_order=tuple(steps),
+                    impossible_reason=f"constant {component} has no "
+                    "VALUE_ID (nothing can match)")
+            constants[position] = value_id
+        steps.append(PlannedPattern(source_index, pattern, constants))
+
+    # ---- stage 2: statistics and join order ----
+    dataset_size: int | None = None
+    if optimize:
+        statistics = store.match_statistics
+        dataset_size = statistics.dataset_size(model_ids, index_name)
+        for step in steps:
+            step.estimate, step.constant_counts = \
+                statistics.estimate_rows(model_ids, step.constants,
+                                         index_name)
+        ordered = _greedy_order(steps)
+    else:
+        ordered = steps
+    reordered = [step.source_index for step in ordered] != \
+        [step.source_index for step in steps]
+    for join_position, step in enumerate(ordered):
+        step.alias = f"t{join_position}"
+
+    # ---- stage 3: SQL generation ----
+    dataset_sql, dataset_params = _dataset_sql(store, model_ids,
+                                               index_name)
+    params: list = []
+    if optimize:
+        from_items = [f"dataset {step.alias}" for step in ordered]
+    else:
+        from_items = [f"({dataset_sql}) {step.alias}"
+                      for step in ordered]
+        for _ in ordered:
+            params.extend(dataset_params)
+
+    select_columns: list[str] = []
+    projection: dict[str, int] = {}
+    where_clauses: list[str] = []
+    first_occurrence: dict[str, str] = {}
+    for step in ordered:
+        for column, component in zip("spo", step.pattern.components()):
+            qualified = f"{step.alias}.{column}"
+            if isinstance(component, Variable):
+                name = component.name
+                if name in first_occurrence:
+                    where_clauses.append(
+                        f"{qualified} = {first_occurrence[name]}")
+                else:
+                    first_occurrence[name] = qualified
+                    projection[name] = len(select_columns)
+                    select_columns.append(
+                        f"{qualified} AS c{len(select_columns)}")
+            else:
+                where_clauses.append(f"{qualified} = ?")
+                params.append(step.constants[column])
+
+    # Lexical access for pushed filters and ORDER BY: one rdf_value$
+    # join per variable (value_id is its primary key, so the join can
+    # never duplicate rows).
+    value_aliases: dict[str, str] = {}
+
+    def lexical_of(variable: str) -> str:
+        alias = value_aliases.get(variable)
+        if alias is None:
+            alias = f"v{len(value_aliases)}"
+            value_aliases[variable] = alias
+            from_items.append(f'"rdf_value$" {alias}')
+            where_clauses.append(
+                f"{alias}.value_id = {first_occurrence[variable]}")
+        return f"COALESCE({alias}.long_value, {alias}.value_name)"
+
+    pushed_filter: str | None = None
+    residual = filter_expression
+    if optimize and filter_expression is not None:
+        translated = _translate_filter(filter_expression)
+        if translated is not None:
+            disjuncts, complete = translated
+            fragments = []
+            for conjunct in disjuncts:
+                parts = []
+                for variable, sql_op, constant in conjunct:
+                    parts.append(f"{lexical_of(variable)} {sql_op} ?")
+                    params.append(constant)
+                fragments.append("(" + " AND ".join(parts) + ")")
+            pushed_filter = " OR ".join(fragments)
+            where_clauses.append(f"({pushed_filter})")
+            if complete:
+                residual = None
+
+    order_by_pushed = False
+    order_clause = ""
+    if optimize and order_by is not None and order_by in projection:
+        order_column = f"o{len(select_columns)}"
+        select_columns.append(
+            f"{lexical_of(order_by)} AS {order_column}")
+        order_clause = f" ORDER BY {order_column}"
+        order_by_pushed = True
+
+    # DISTINCT is only needed when the dataset itself can repeat a
+    # triple: several models, or base triples UNIONed with inferred
+    # ones.  A single model's rdf_link$ rows are unique on (s, p, o),
+    # and every variable is projected, so the join cannot duplicate.
+    distinct = (not optimize) or len(model_ids) > 1 \
+        or index_name is not None
+
+    existence_only = not projection
+    limit_pushed = False
+    sql_limit: int | None = None
+    if existence_only:
+        select_columns = select_columns or ["1"]
+        if optimize:
+            # All result rows are identical; one is enough to decide.
+            sql_limit = 1
+            if residual is None and limit is not None:
+                sql_limit = min(limit, 1)
+                limit_pushed = True
+    elif optimize and residual is None and limit is not None:
+        sql_limit = limit
+        limit_pushed = True
+
+    sql = f"SELECT {'DISTINCT ' if distinct else ''}" \
+        f"{', '.join(select_columns)} FROM {', '.join(from_items)}"
+    if where_clauses:
+        sql += " WHERE " + " AND ".join(where_clauses)
+    sql += order_clause
+    if sql_limit is not None:
+        sql += f" LIMIT {sql_limit}"
+    if optimize:
+        sql = (f"WITH dataset AS {_NOT_MATERIALIZED}({dataset_sql}) "
+               + sql)
+        params = dataset_params + params
+
+    return _plan(sql=sql, params=tuple(params), projection=projection,
+                 join_order=tuple(ordered), reordered=reordered,
+                 dataset_size=dataset_size, distinct=distinct,
+                 pushed_filter=pushed_filter, residual_filter=residual,
+                 order_by_pushed=order_by_pushed,
+                 limit_pushed=limit_pushed)

@@ -148,6 +148,7 @@ class RulesIndexManager:
             f"INSERT INTO {quote_identifier(INDEX_CATALOG)} "
             "VALUES (?, ?, ?, ?, ?)",
             (name, ",".join(models), ",".join(rulebases), count, source))
+        self._db.bump_data_version()
         return RulesIndex(name, models, rulebases, count)
 
     def _build(self, name: str, models: tuple[str, ...],
@@ -212,6 +213,7 @@ class RulesIndexManager:
                 "SET inferred_count = ?, source_triple_count = ? "
                 "WHERE index_name = ?",
                 (count, source, index.index_name))
+        self._db.bump_data_version()
         return self.get(index_name)
 
     def _resolve_rules(self, rulebase_names: tuple[str, ...]) -> list[Rule]:
@@ -325,6 +327,7 @@ class RulesIndexManager:
         self._db.execute(
             f"DELETE FROM {quote_identifier(INDEX_CATALOG)} "
             "WHERE index_name = ?", (name,))
+        self._db.bump_data_version()
 
     def find_covering(self, model_names: Iterable[str],
                       rulebase_names: Iterable[str]) -> RulesIndex | None:

@@ -1,0 +1,253 @@
+"""Tests for the logical query planner (repro.inference.plan)."""
+
+import pytest
+
+from repro.inference.filters import parse_filter
+from repro.inference.patterns import parse_pattern_list
+from repro.inference.plan import (
+    PlanCache,
+    _like_to_glob,
+    _translate_clause,
+    build_plan,
+    plan_key,
+)
+from repro.rdf.namespaces import AliasSet
+
+
+@pytest.fixture
+def loaded(store, cia_table):
+    # One hub subject with many neighbours, one selective subject.
+    for index in range(20):
+        cia_table.insert(index + 1, "cia", "id:Hub", "gov:knows",
+                         f"id:n{index}")
+    cia_table.insert(50, "cia", "id:Rare", "gov:age", '"42"')
+    cia_table.insert(51, "cia", "id:Hub", "gov:age", '"17"')
+    return store
+
+
+def _plan(store, query, **kwargs):
+    patterns = parse_pattern_list(query, AliasSet())
+    return build_plan(store, patterns, ["cia"], (), **kwargs)
+
+
+class TestJoinOrdering:
+    def test_selective_pattern_first(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y) (id:Rare gov:age ?a)")
+        assert plan.reordered
+        assert [step.source_index for step in plan.join_order] == [1, 0]
+        assert plan.join_order[0].estimate <= \
+            plan.join_order[1].estimate
+
+    def test_textual_order_kept_when_already_best(self, loaded):
+        plan = _plan(loaded, "(id:Rare gov:age ?a) (?x gov:knows ?y)")
+        assert not plan.reordered
+
+    def test_join_connected_preferred_over_cross_product(self, loaded):
+        # (?z gov:knows ?b) connects to the selective anchor through
+        # ?b; the unconnected (?c gov:age ?d) must wait even though
+        # its estimate (2 rows) beats the knows scan (20 rows).
+        plan = _plan(
+            loaded,
+            "(?c gov:age ?d) (?z gov:knows ?b) (id:Rare gov:age ?b)")
+        order = [step.source_index for step in plan.join_order]
+        assert order[0] == 2          # most selective anchor
+        assert order[1] == 1          # shares ?b with the anchor
+        assert order[2] == 0          # cross product deferred to last
+
+    def test_aliases_follow_join_order(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y) (id:Rare gov:age ?a)")
+        assert [step.alias for step in plan.join_order] == ["t0", "t1"]
+
+    def test_naive_mode_keeps_textual_order(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y) (id:Rare gov:age ?a)",
+                     optimize=False)
+        assert not plan.reordered
+        assert [step.source_index for step in plan.join_order] == [0, 1]
+        assert plan.join_order[0].estimate is None
+
+
+class TestSQLShape:
+    def test_dataset_emitted_once_as_cte(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y) (?y gov:knows ?z) "
+                     "(?z gov:age ?a)")
+        assert plan.sql.startswith("WITH dataset AS ")
+        assert plan.sql.count('"rdf_link$"') == 1
+
+    def test_naive_mode_inlines_dataset_per_pattern(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y) (?y gov:age ?a)",
+                     optimize=False)
+        assert "WITH" not in plan.sql
+        assert plan.sql.count('"rdf_link$"') == 2
+
+    def test_distinct_dropped_for_single_model(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y)")
+        assert not plan.distinct
+        assert "DISTINCT" not in plan.sql
+
+    def test_distinct_kept_for_multiple_models(self, loaded):
+        loaded.create_model("fbi")
+        patterns = parse_pattern_list("(?x gov:knows ?y)", AliasSet())
+        plan = build_plan(loaded, patterns, ["cia", "fbi"], ())
+        assert plan.distinct
+        assert "DISTINCT" in plan.sql
+
+    def test_naive_mode_always_distinct(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y)", optimize=False)
+        assert plan.distinct
+
+    def test_projection_covers_all_variables(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y) (?x gov:age ?a)")
+        assert set(plan.projection) == {"x", "y", "a"}
+
+    def test_unknown_constant_makes_plan_impossible(self, loaded):
+        plan = _plan(loaded, "(id:Nobody gov:knows ?y)")
+        assert plan.sql is None
+        assert "VALUE_ID" in plan.impossible_reason
+
+    def test_ground_query_is_limit_one_existence(self, loaded):
+        plan = _plan(loaded, '(id:Hub gov:age "17")')
+        assert plan.projection == {}
+        assert plan.sql.rstrip().endswith("LIMIT 1")
+
+
+class TestFilterPushdown:
+    def test_string_equality_is_pushed(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y)",
+                     filter_expression=parse_filter('?y = "id:n3"'))
+        assert plan.pushed_filter is not None
+        assert plan.residual_filter is None
+        assert "COALESCE" in plan.sql
+
+    def test_like_becomes_glob(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y)",
+                     filter_expression=parse_filter('?y LIKE "id:n%"'))
+        assert "GLOB" in plan.pushed_filter
+        assert plan.residual_filter is None
+
+    def test_numeric_comparison_stays_in_python(self, loaded):
+        plan = _plan(loaded, "(?x gov:age ?a)",
+                     filter_expression=parse_filter("?a >= 18"))
+        assert plan.pushed_filter is None
+        assert plan.residual_filter is not None
+
+    def test_numeric_looking_string_stays_in_python(self, loaded):
+        plan = _plan(loaded, "(?x gov:age ?a)",
+                     filter_expression=parse_filter('?a = "42"'))
+        assert plan.pushed_filter is None
+        assert plan.residual_filter is not None
+
+    def test_partial_conjunct_keeps_residual(self, loaded):
+        expression = parse_filter('?y LIKE "id:n%" AND ?y != "17"')
+        plan = _plan(loaded, "(?x gov:knows ?y)",
+                     filter_expression=expression)
+        assert plan.pushed_filter is not None      # the LIKE half
+        assert plan.residual_filter is expression  # still checked fully
+
+    def test_untranslatable_disjunct_blocks_pushdown(self, loaded):
+        expression = parse_filter('?y = "id:n3" OR ?a >= 18')
+        plan = _plan(loaded, "(?x gov:knows ?y) (?x gov:age ?a)",
+                     filter_expression=expression)
+        assert plan.pushed_filter is None
+        assert plan.residual_filter is expression
+
+    def test_naive_mode_never_pushes(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y)",
+                     filter_expression=parse_filter('?y = "id:n3"'),
+                     optimize=False)
+        assert plan.pushed_filter is None
+
+
+class TestOrderLimitPushdown:
+    def test_order_by_pushed(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y)", order_by="y")
+        assert plan.order_by_pushed
+        assert "ORDER BY" in plan.sql
+
+    def test_limit_pushed_without_residual(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y)", limit=5)
+        assert plan.limit_pushed
+        assert plan.sql.rstrip().endswith("LIMIT 5")
+
+    def test_limit_not_pushed_with_residual(self, loaded):
+        plan = _plan(loaded, "(?x gov:age ?a)",
+                     filter_expression=parse_filter("?a >= 18"),
+                     limit=5)
+        assert not plan.limit_pushed
+        assert "LIMIT" not in plan.sql
+
+    def test_limit_pushed_with_fully_pushed_filter(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y)",
+                     filter_expression=parse_filter('?y = "id:n3"'),
+                     limit=5)
+        assert plan.limit_pushed
+
+    def test_naive_mode_pushes_nothing(self, loaded):
+        plan = _plan(loaded, "(?x gov:knows ?y)", order_by="y", limit=5,
+                     optimize=False)
+        assert not plan.order_by_pushed
+        assert not plan.limit_pushed
+
+
+class TestTranslationHelpers:
+    def test_like_to_glob_wildcards(self):
+        assert _like_to_glob("id:n%") == "id:n*"
+        assert _like_to_glob("a_b") == "a?b"
+
+    def test_like_to_glob_escapes_glob_metacharacters(self):
+        assert _like_to_glob("a*b?c[d") == "a[*]b[?]c[[]d"
+
+    def test_flipped_constant_on_left(self):
+        expression = parse_filter('"abc" < ?x')
+        clause = expression.disjuncts[0][0]
+        assert _translate_clause(clause) == ("x", ">", "abc")
+
+    def test_variable_like_pattern_not_pushed(self):
+        expression = parse_filter('"abc" LIKE ?x')
+        assert _translate_clause(expression.disjuncts[0][0]) is None
+
+
+class TestPlanCacheUnit:
+    def test_hit_after_store(self):
+        cache = PlanCache()
+        key = ("q",)
+        sentinel = _fake_plan(version=3)
+        cache.store(key, sentinel)
+        assert cache.lookup(key, 3) is sentinel
+        assert cache.stats()["hits"] == 1
+
+    def test_version_mismatch_invalidates(self):
+        cache = PlanCache()
+        key = ("q",)
+        cache.store(key, _fake_plan(version=3))
+        assert cache.lookup(key, 4) is None
+        assert cache.stats()["invalidations"] == 1
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        for index in range(3):
+            cache.store((index,), _fake_plan(version=0))
+        assert len(cache) == 2
+        assert cache.lookup((0,), 0) is None   # oldest evicted
+        assert cache.lookup((2,), 0) is not None
+
+    def test_plan_key_distinguishes_inputs(self):
+        base = plan_key("(?s ?p ?o)", ["m"], (), AliasSet(), None,
+                        None, None)
+        assert base != plan_key("(?s ?p ?o)", ["m"], (), AliasSet(),
+                                None, None, 5)
+        assert base != plan_key("(?s ?p ?o)", ["other"], (), AliasSet(),
+                                None, None, None)
+        assert base == plan_key("(?s ?p ?o)", ["m"], (), AliasSet(),
+                                None, None, None)
+
+
+def _fake_plan(version):
+    from repro.inference.plan import QueryPlan
+
+    return QueryPlan(
+        sql="SELECT 1", params=(), projection={}, join_order=(),
+        reordered=False, dataset_size=0, distinct=False,
+        pushed_filter=None, residual_filter=None, order_by_pushed=False,
+        limit_pushed=False, impossible_reason=None,
+        data_version=version, optimized=True)

@@ -1,0 +1,134 @@
+"""Plan-cache behaviour through the full match path: hits on repeats,
+invalidation on every triple-visible write."""
+
+import pytest
+
+from repro.core.bulkload import bulk_load_ntriples
+from repro.inference.match import sdo_rdf_match
+
+
+@pytest.fixture
+def loaded(store, cia_table):
+    cia_table.insert(1, "cia", "gov:files", "gov:terrorSuspect",
+                     "id:JohnDoe")
+    cia_table.insert(2, "cia", "id:JohnDoe", "gov:age", '"42"')
+    return store
+
+
+QUERY = "(gov:files gov:terrorSuspect ?name)"
+
+
+def _run(store, query=QUERY, **kwargs):
+    return sdo_rdf_match(store, query, ["cia"], **kwargs)
+
+
+class TestCacheHits:
+    def test_repeat_query_hits(self, loaded):
+        _run(loaded)
+        _run(loaded)
+        stats = loaded.plan_cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_hit_returns_same_rows(self, loaded):
+        first = _run(loaded)
+        second = _run(loaded)
+        assert first == second
+        assert loaded.plan_cache.stats()["hits"] == 1
+
+    def test_different_shapes_are_different_entries(self, loaded):
+        _run(loaded)
+        _run(loaded, limit=1)
+        _run(loaded, order_by="name")
+        assert loaded.plan_cache.stats()["misses"] == 3
+
+    def test_impossible_plans_are_cached_too(self, loaded):
+        query = "(gov:files gov:terrorSuspect id:Nobody)"
+        assert _run(loaded, query) == []
+        assert _run(loaded, query) == []
+        assert loaded.plan_cache.stats()["hits"] == 1
+
+    def test_naive_mode_bypasses_cache(self, loaded):
+        _run(loaded, optimize=False)
+        _run(loaded, optimize=False)
+        stats = loaded.plan_cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+
+class TestInvalidation:
+    def test_insert_invalidates(self, loaded):
+        _run(loaded)
+        loaded.insert_triple("cia", "gov:files", "gov:terrorSuspect",
+                             "id:JaneDoe")
+        rows = _run(loaded)
+        stats = loaded.plan_cache.stats()
+        assert stats["hits"] == 0
+        assert stats["invalidations"] == 1
+        assert {row["name"] for row in rows} == {"id:JohnDoe",
+                                                 "id:JaneDoe"}
+
+    def test_remove_invalidates(self, loaded):
+        _run(loaded)
+        loaded.remove_triple("cia", "gov:files", "gov:terrorSuspect",
+                             "id:JohnDoe", force=True)
+        assert _run(loaded) == []
+        assert loaded.plan_cache.stats()["invalidations"] == 1
+
+    def test_bulk_load_invalidates(self, loaded, tmp_path):
+        _run(loaded)
+        ntriples = tmp_path / "new.nt"
+        ntriples.write_text(
+            "<urn:gov:files> <urn:gov:terrorSuspect> <urn:id:X> .\n")
+        bulk_load_ntriples(loaded, "cia", str(ntriples))
+        _run(loaded)
+        assert loaded.plan_cache.stats()["invalidations"] == 1
+
+    def test_empty_bulk_load_keeps_cache(self, loaded, tmp_path):
+        _run(loaded)
+        ntriples = tmp_path / "empty.nt"
+        ntriples.write_text("")
+        bulk_load_ntriples(loaded, "cia", str(ntriples))
+        _run(loaded)
+        assert loaded.plan_cache.stats()["hits"] == 1
+
+    def test_model_drop_and_recreate_invalidates(self, loaded):
+        _run(loaded)
+        loaded.drop_model("cia")
+        loaded.create_model("cia")
+        assert _run(loaded) == []
+        assert loaded.plan_cache.stats()["hits"] == 0
+
+    def test_rules_index_creation_invalidates(self, loaded, inference):
+        _run(loaded)
+        inference.create_rulebase("rb")
+        inference.insert_rule(
+            "rb", "r1", "(?x gov:age ?a)", None,
+            "(gov:files gov:terrorSuspect ?x)")
+        inference.create_rules_index("idx", ["cia"], ["rb"])
+        _run(loaded)
+        assert loaded.plan_cache.stats()["hits"] == 0
+
+
+class TestPlanCacheMetrics:
+    def test_counter_names(self):
+        from repro.core.store import RDFStore
+
+        with RDFStore(observe=True) as store:
+            store.create_model("m")
+            store.insert_triple("m", "id:a", "p:b", "id:c")
+            sdo_rdf_match(store, "(?s ?p ?o)", ["m"])
+            sdo_rdf_match(store, "(?s ?p ?o)", ["m"])
+            sdo_rdf_match(store, "(?s ?p ?o) (id:a ?q ?r)", ["m"])
+            counters = store.observer.metrics.as_dict()["counters"]
+            assert counters["match.plan_cache_misses"] == 2
+            assert counters["match.plan_cache_hits"] == 1
+
+
+class TestDataVersion:
+    def test_monotonic_on_writes(self, store):
+        before = store.database.data_version
+        store.create_model("m")
+        after_model = store.database.data_version
+        store.insert_triple("m", "id:a", "p:b", "id:c")
+        after_insert = store.database.data_version
+        assert before < after_model < after_insert
