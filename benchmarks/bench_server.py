@@ -1,0 +1,220 @@
+"""BENCH-SERVE: concurrent /match throughput through the serving layer.
+
+Eight closed-loop HTTP clients hammer one cheap, plan-cache-friendly
+anchored query while the read pool is sized at 1, 4, and 8 workers.
+Admission control is set to shed (backlog 0), and rejected clients
+retry **immediately** — so an undersized pool pays for every 429 it
+serves.  The figures of merit:
+
+* successful-request throughput and p50/p95 latency per pool size;
+* the 8-worker/1-worker throughput ratio (the acceptance criterion:
+  > 2x — an 8-reader pool must actually absorb an 8-client load that
+  a single-connection configuration sheds);
+* a direct in-process single-connection baseline for the HTTP tax.
+
+429 counts are reported, not hidden: on a small host the 1-worker
+configuration spends its CPU parsing and rejecting requests, which is
+precisely the failure mode the pool exists to avoid.
+
+Standalone only (CI runs ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import threading
+import time
+
+try:
+    from repro.core.store import RDFStore
+except ImportError:  # script mode: python benchmarks/bench_server.py
+    import sys
+
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(_ROOT / "src"))
+    sys.path.insert(0, str(_ROOT))
+    from repro.core.store import RDFStore
+
+from repro.errors import ServerError
+from repro.inference.match import sdo_rdf_match
+from repro.server.app import ReproServer, ServerConfig
+from repro.server.client import ReproClient
+
+MODEL = "bench"
+QUERY = "(<urn:bench:s0> <urn:bench:p> ?o)"
+CLIENTS = 8
+POOL_SIZES = (1, 4, 8)
+
+
+def build_dataset(path: pathlib.Path, triples: int) -> None:
+    """A synthetic model; every subject carries ~256 objects.
+
+    The hot query returns s0's 256 rows, so a served request costs
+    real work (query + JSON for 256 rows) while a 429 costs only the
+    HTTP exchange — the contrast admission control is about.
+    """
+    subjects = max(1, triples // 256)
+    with RDFStore(path, durability="durable") as store:
+        store.create_model(MODEL)
+        with store.database.transaction():
+            for i in range(triples):
+                store.insert_triple(
+                    MODEL, f"<urn:bench:s{i % subjects}>",
+                    "<urn:bench:p>", f"<urn:bench:o{i}>")
+
+
+def summarize(latencies_ms: list[float]) -> dict:
+    if not latencies_ms:
+        return {"p50": None, "p95": None, "mean": None}
+    ordered = sorted(latencies_ms)
+    return {
+        "p50": round(statistics.median(ordered), 3),
+        "p95": round(ordered[min(len(ordered) - 1,
+                                 int(0.95 * len(ordered)))], 3),
+        "mean": round(statistics.fmean(ordered), 3),
+    }
+
+
+def bench_direct(path: pathlib.Path, duration: float) -> dict:
+    """Baseline: the same query, in process, one connection, no HTTP."""
+    latencies: list[float] = []
+    with RDFStore(path, durability="durable") as store:
+        sdo_rdf_match(store, QUERY, [MODEL])  # warm the plan cache
+        deadline = time.perf_counter() + duration
+        while time.perf_counter() < deadline:
+            start = time.perf_counter()
+            sdo_rdf_match(store, QUERY, [MODEL])
+            latencies.append((time.perf_counter() - start) * 1000)
+    return {
+        "requests": len(latencies),
+        "throughput_rps": round(len(latencies) / duration, 1),
+        "latency_ms": summarize(latencies),
+    }
+
+
+def bench_server(path: pathlib.Path, workers: int, duration: float,
+                 clients: int = CLIENTS) -> dict:
+    """Closed-loop load: ``clients`` threads, no sleep on 429."""
+    config = ServerConfig(path=str(path), port=0, workers=workers,
+                          backlog=0, pool_timeout=0.02)
+    results: list[tuple[int, float]] = []  # (status, latency_ms)
+    lock = threading.Lock()
+    start_gate = threading.Event()
+    stop_gate = threading.Event()
+
+    def drive():
+        host, port = server.address
+        local: list[tuple[int, float]] = []
+        with ReproClient(host, port, timeout=30) as client:
+            try:
+                client.match(QUERY, [MODEL])  # connect + warm
+            except ServerError:
+                pass  # warm-up shed under a small pool; fine
+            start_gate.wait()
+            while not stop_gate.is_set():
+                begin = time.perf_counter()
+                try:
+                    client.match(QUERY, [MODEL])
+                    status = 200
+                except ServerError as exc:
+                    status = exc.status
+                local.append(
+                    (status, (time.perf_counter() - begin) * 1000))
+        with lock:
+            results.extend(local)
+
+    with ReproServer(config) as server:
+        threads = [threading.Thread(target=drive)
+                   for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)  # let every client connect and warm up
+        start_gate.set()
+        time.sleep(duration)
+        stop_gate.set()
+        for thread in threads:
+            thread.join(timeout=60)
+
+    ok = [latency for status, latency in results if status == 200]
+    rejected = sum(1 for status, _ in results if status == 429)
+    other = sum(1 for status, _ in results
+                if status not in (200, 429))
+    return {
+        "workers": workers,
+        "clients": clients,
+        "duration_s": duration,
+        "ok": len(ok),
+        "rejected_429": rejected,
+        "other_errors": other,
+        "reject_rate": round(rejected / len(results), 4) if results
+        else None,
+        "throughput_rps": round(len(ok) / duration, 1),
+        "latency_ms": summarize(ok),
+    }
+
+
+def run(triples: int, duration: float, output: str) -> dict:
+    import tempfile
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-srv-"))
+    path = workdir / "bench.db"
+    print(f"building {triples}-triple dataset ...")
+    build_dataset(path, triples)
+    report: dict = {
+        "benchmark": "server-concurrent-match",
+        "query": QUERY,
+        "triples": triples,
+        "clients": CLIENTS,
+        "duration_s": duration,
+        "baseline_direct": bench_direct(path, duration),
+        "server": {},
+    }
+    base = report["baseline_direct"]
+    print(f"direct in-process baseline: {base['throughput_rps']} rps "
+          f"(p50 {base['latency_ms']['p50']} ms)")
+    for workers in POOL_SIZES:
+        entry = bench_server(path, workers, duration)
+        report["server"][f"workers_{workers}"] = entry
+        print(f"workers={workers}: {entry['throughput_rps']} rps ok, "
+              f"{entry['rejected_429']} x 429 "
+              f"(p50 {entry['latency_ms']['p50']} ms, "
+              f"p95 {entry['latency_ms']['p95']} ms)")
+    one = report["server"]["workers_1"]["throughput_rps"]
+    eight = report["server"]["workers_8"]["throughput_rps"]
+    report["speedup_8_over_1"] = round(eight / one, 2) if one else None
+    print(f"8-worker vs 1-worker throughput: "
+          f"{report['speedup_8_over_1']}x")
+    out = pathlib.Path(output)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    print(f"wrote {out}")
+    return report
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="concurrent /match throughput benchmark")
+    parser.add_argument("--triples", type=int, default=20_000)
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="seconds of load per pool size")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small dataset, short runs")
+    parser.add_argument("--output", default="BENCH_server.json")
+    args = parser.parse_args(argv)
+    triples = args.triples
+    duration = args.duration
+    if args.smoke:
+        triples = min(triples, 2_000)
+        duration = min(duration, 1.0)
+    run(triples, duration, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

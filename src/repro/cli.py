@@ -13,6 +13,7 @@ Usage (``python -m repro <command> ...``)::
     repro models        DB                      list models
     repro stats         DB [MODEL] [--json]     store/network figures
     repro doctor        DB                      health check (integrity)
+    repro serve         DB [--port P]           HTTP serving layer
     repro experiments   [--sizes ...]           run the paper's tables
 
 ``DB`` is a database file path (created as needed).  The CLI is a thin
@@ -178,6 +179,22 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="rewrite DBUri reifications as portable "
                         "quads")
 
+    serve = commands.add_parser(
+        "serve", help="serve SDO_RDF_MATCH over HTTP: a read-connection "
+        "pool, the single-writer queue, 429 backpressure "
+        "(see docs/server.md)")
+    serve.add_argument("db", help="database file (created as needed)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7333)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="read-pool size = concurrent queries "
+                       "(default 4)")
+    serve.add_argument("--backlog", type=int, default=8,
+                       help="extra requests admitted beyond --workers "
+                       "before 429 (default 8)")
+    serve.add_argument("--writer-queue", type=int, default=64,
+                       help="bound on queued write jobs (default 64)")
+
     experiments = commands.add_parser(
         "experiments", help="run the paper's experiment tables")
     experiments.add_argument("--sizes", default="10000,100000")
@@ -231,12 +248,46 @@ def _dispatch(args: argparse.Namespace, out) -> int:
         return 0
     if args.command == "generate-uniprot":
         return _generate_uniprot(args, out)
+    if args.command == "serve":
+        return _serve(args, out)
     # The trace command is only useful observed; --observe opts other
     # commands in, None defers to REPRO_OBSERVE.
     observe = True if (args.observe or args.command == "trace") else None
     with RDFStore(args.db, observe=observe,
                   durability=args.durability) as store:
         return _dispatch_store(args, store, out)
+
+
+def _serve(args: argparse.Namespace, out) -> int:
+    """Run the HTTP serving layer until interrupted."""
+    import time
+
+    from repro.server.app import ReproServer, ServerConfig
+
+    # The serving layer needs WAL; the ephemeral default (and an
+    # explicit ephemeral) cannot host concurrent readers.
+    durability = args.durability or "durable"
+    config = ServerConfig(
+        path=args.db, host=args.host, port=args.port,
+        workers=args.workers, backlog=args.backlog,
+        writer_queue=args.writer_queue, durability=durability,
+        observe=bool(args.observe))
+    server = ReproServer(config)
+    server.start()
+    host, port = server.address
+    print(f"serving {args.db} on http://{host}:{port} "
+          f"({config.workers} workers, backlog {config.backlog}, "
+          f"durability {config.durability}) — Ctrl-C to stop",
+          file=out)
+    try:
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("draining...", file=out)
+    finally:
+        server.stop()
+    print("stopped", file=out)
+    return 0
 
 
 def _generate_uniprot(args: argparse.Namespace, out) -> int:

@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Iterator
 
@@ -28,7 +29,11 @@ from repro.core.triple_s import SDO_RDF_TRIPLE_S
 from repro.core.values import ValueStore
 from repro.db.connection import Database
 from repro.db.dburi import DBUri
-from repro.errors import ReificationError, TripleNotFoundError
+from repro.errors import (
+    ReificationError,
+    SchemaError,
+    TripleNotFoundError,
+)
 from repro.ndm.network import LogicalNetwork
 from repro.obs.observer import Observer, observe_from_env
 from repro.rdf.namespaces import RDF
@@ -71,8 +76,15 @@ class RDFStore:
         if observe and not database.observer.enabled:
             database.set_observer(Observer())
         self._db = database
-        if not central_schema_exists(database):
-            create_central_schema(database)
+        if database.read_only:
+            # A pooled server reader cannot create the schema (and the
+            # "idempotent" re-create path writes); the writer must have
+            # established it first.
+            if not central_schema_exists(database):
+                raise SchemaError(
+                    f"read-only database {database.path} has no central "
+                    "RDF schema; open it writable once (or start the "
+                    "writer) before attaching pooled readers")
         else:
             # Idempotent: ensures the NDM catalog entry exists too.
             create_central_schema(database)
@@ -83,6 +95,7 @@ class RDFStore:
                                    self.models)
         self._plan_cache = None
         self._match_statistics = None
+        self._lazy_lock = threading.Lock()
 
     @property
     def database(self) -> Database:
@@ -93,16 +106,20 @@ class RDFStore:
     def plan_cache(self):
         """The SDO_RDF_MATCH plan cache (lazy, one per store)."""
         if self._plan_cache is None:
-            from repro.inference.plan import PlanCache
-            self._plan_cache = PlanCache()
+            with self._lazy_lock:
+                if self._plan_cache is None:
+                    from repro.inference.plan import PlanCache
+                    self._plan_cache = PlanCache()
         return self._plan_cache
 
     @property
     def match_statistics(self):
         """Planner statistics over this store (lazy, version-checked)."""
         if self._match_statistics is None:
-            from repro.inference.stats import MatchStatistics
-            self._match_statistics = MatchStatistics(self)
+            with self._lazy_lock:
+                if self._match_statistics is None:
+                    from repro.inference.stats import MatchStatistics
+                    self._match_statistics = MatchStatistics(self)
         return self._match_statistics
 
     @property

@@ -14,13 +14,16 @@ substitute engine layer built on stdlib SQLite:
 * :mod:`repro.db.resilience` — durability profiles (``ephemeral``/
   ``durable``/``paranoid``) and the transient-error retry policy;
 * :mod:`repro.db.faults` — deterministic fault injection for crash and
-  contention testing.
+  contention testing;
+* :mod:`repro.db.pool` — the read-connection pool and single-writer
+  queue the concurrent serving layer is built on.
 """
 
 from repro.db.connection import Database
 from repro.db.dburi import DBUri, DBUriType, is_dburi
 from repro.db.faults import FaultInjector
 from repro.db.indexes import FunctionBasedIndex, create_function_based_index
+from repro.db.pool import ConnectionPool, WriterQueue
 from repro.db.resilience import (
     DurabilityProfile,
     PROFILES,
@@ -30,6 +33,7 @@ from repro.db.resilience import (
 from repro.db.storage import StorageReport, table_storage
 
 __all__ = [
+    "ConnectionPool",
     "DBUri",
     "DBUriType",
     "Database",
@@ -39,6 +43,7 @@ __all__ = [
     "PROFILES",
     "RetryPolicy",
     "StorageReport",
+    "WriterQueue",
     "create_function_based_index",
     "is_dburi",
     "resolve_profile",

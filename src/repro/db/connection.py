@@ -39,13 +39,25 @@ from repro.db.resilience import (
     RetryPolicy,
     resolve_profile,
 )
-from repro.errors import StorageError
+from repro.errors import ReadOnlyConnectionError, StorageError
 from repro.obs.observer import NULL_OBSERVER, Observer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.faults import FaultInjector
 
 _IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*$")
+
+#: Leading SQL keywords that mutate the database; a read-only
+#: connection rejects these up front with a clear error instead of
+#: surfacing sqlite's raw "attempt to write a readonly database".
+_WRITE_VERBS = frozenset({
+    "insert", "update", "delete", "replace", "create", "drop",
+    "alter", "vacuum", "reindex", "analyze"})
+
+
+def _leading_verb(sql: str) -> str:
+    parts = sql.split(None, 1)
+    return parts[0].lower() if parts else ""
 
 
 def quote_identifier(name: str) -> str:
@@ -78,18 +90,50 @@ class Database:
         standard bounded-backoff :class:`~repro.db.resilience.RetryPolicy`.
     :param faults: an optional :class:`~repro.db.faults.FaultInjector`
         consulted before every statement (tests only).
+    :param read_only: open the file with the ``mode=ro`` URI flag.
+        Any write raises :class:`~repro.errors.ReadOnlyConnectionError`
+        with a pointer at the writer queue instead of a raw sqlite
+        error.  Requires a file-backed database (the connection pool
+        uses this for its readers).
+    :param check_same_thread: passed to ``sqlite3.connect``.  The
+        default (True) keeps sqlite's own thread check; the connection
+        pool opens readers with False because a pooled connection is
+        handed to one handler thread at a time.
     """
 
     def __init__(self, path: str | Path = ":memory:",
                  observer: Observer | None = None,
                  durability: str | DurabilityProfile | None = None,
                  retry: RetryPolicy | None = None,
-                 faults: "FaultInjector | None" = None) -> None:
+                 faults: "FaultInjector | None" = None,
+                 read_only: bool = False,
+                 check_same_thread: bool = True) -> None:
         self._path = str(path)
         self._profile = resolve_profile(durability)
         self._retry = retry if retry is not None else RetryPolicy()
         self._faults = faults
-        self._connection = sqlite3.connect(self._path)
+        self._read_only = read_only
+        if read_only:
+            if self._path == ":memory:":
+                raise StorageError(
+                    "read-only connections need a file-backed "
+                    "database; :memory: has no second connection to "
+                    "share data with")
+            import urllib.parse
+
+            quoted = urllib.parse.quote(
+                str(Path(self._path).absolute()), safe="/")
+            try:
+                self._connection = sqlite3.connect(
+                    f"file:{quoted}?mode=ro", uri=True,
+                    check_same_thread=check_same_thread)
+            except sqlite3.Error as exc:
+                raise StorageError(
+                    f"{exc} while opening {self._path} read-only"
+                ) from exc
+        else:
+            self._connection = sqlite3.connect(
+                self._path, check_same_thread=check_same_thread)
         self._connection.row_factory = sqlite3.Row
         self._data_version = 0
         # The store manages transactions explicitly via transaction().
@@ -98,7 +142,7 @@ class Database:
         self._closed = False
         self._observer = NULL_OBSERVER
         cursor = self._connection.cursor()
-        for pragma in self._profile.pragmas():
+        for pragma in self._profile.pragmas(read_only=read_only):
             cursor.execute(pragma)
         cursor.close()
         if observer is not None:
@@ -148,6 +192,11 @@ class Database:
     def closed(self) -> bool:
         """True once :meth:`close` has run."""
         return self._closed
+
+    @property
+    def read_only(self) -> bool:
+        """True when this connection was opened with ``mode=ro``."""
+        return self._read_only
 
     @property
     def data_version(self) -> int:
@@ -214,6 +263,24 @@ class Database:
             raise StorageError(
                 f"database connection to {self._path} is closed")
 
+    def _guard_write(self, sql: str) -> None:
+        """Reject obvious writes on a read-only connection up front."""
+        if _leading_verb(sql) in _WRITE_VERBS:
+            raise ReadOnlyConnectionError(
+                f"connection to {self._path} is read-only (mode=ro); "
+                f"refusing {_leading_verb(sql).upper()} — route writes "
+                "through the writer queue (repro.db.pool.WriterQueue)")
+
+    def _wrap_sql_error(self, exc: sqlite3.Error,
+                        context: str) -> StorageError:
+        """Map a sqlite error to the right StorageError subclass."""
+        if "readonly database" in str(exc).lower():
+            return ReadOnlyConnectionError(
+                f"{exc} — connection to {self._path} is read-only "
+                "(mode=ro); route writes through the writer queue "
+                f"({context})")
+        return StorageError(f"{exc} {context}")
+
     # ------------------------------------------------------------------
     # statement execution
     # ------------------------------------------------------------------
@@ -239,13 +306,16 @@ class Database:
         :class:`~repro.db.resilience.RetryPolicy`; everything else —
         and exhausted retries — raises :class:`StorageError`.
         """
+        if self._read_only:
+            self._guard_write(sql)
         if self._observer.enabled:
             return self._execute_observed(sql, parameters)
         try:
             return self._run_statement(sql, parameters)
         except sqlite3.Error as exc:
             self._require_open()
-            raise StorageError(f"{exc} while executing: {sql}") from exc
+            raise self._wrap_sql_error(
+                exc, f"while executing: {sql}") from exc
 
     def _execute_observed(self, sql: str,
                           parameters: Sequence[Any]) -> sqlite3.Cursor:
@@ -261,7 +331,8 @@ class Database:
         except sqlite3.Error as exc:
             self._require_open()
             self._observer.counter("sql.errors").inc()
-            raise StorageError(f"{exc} while executing: {sql}") from exc
+            raise self._wrap_sql_error(
+                exc, f"while executing: {sql}") from exc
         duration = time.perf_counter() - start
         self._observer.sql.record(
             sql, duration, rows=max(cursor.rowcount, 0),
@@ -272,6 +343,8 @@ class Database:
                     parameter_rows: Iterable[Sequence[Any]]
                     ) -> sqlite3.Cursor:
         """Execute one statement for many parameter rows."""
+        if self._read_only:
+            self._guard_write(sql)
         observed = self._observer.enabled
         start = time.perf_counter() if observed else 0.0
         retryable = self._faults is not None \
@@ -296,7 +369,8 @@ class Database:
             self._require_open()
             if observed:
                 self._observer.counter("sql.errors").inc()
-            raise StorageError(f"{exc} while executing: {sql}") from exc
+            raise self._wrap_sql_error(
+                exc, f"while executing: {sql}") from exc
         if observed:
             self._observer.sql.record(
                 sql, time.perf_counter() - start,
@@ -318,6 +392,10 @@ class Database:
                 "implicitly commit the open transaction; run the "
                 "script outside the scope or use execute() per "
                 "statement")
+        if self._read_only:
+            raise ReadOnlyConnectionError(
+                f"connection to {self._path} is read-only (mode=ro); "
+                "refusing executescript — DDL belongs to the writer")
         observed = self._observer.enabled
         start = time.perf_counter() if observed else 0.0
 
@@ -332,7 +410,8 @@ class Database:
             self._require_open()
             if observed:
                 self._observer.counter("sql.errors").inc()
-            raise StorageError(f"{exc} while executing script") from exc
+            raise self._wrap_sql_error(
+                exc, "while executing script") from exc
         if observed:
             self._observer.sql.record(
                 script, time.perf_counter() - start, rows=0)

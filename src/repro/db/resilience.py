@@ -74,14 +74,22 @@ class DurabilityProfile:
     #: database file is complete on its own.
     checkpoint_on_close: bool
 
-    def pragmas(self) -> list[str]:
-        """The PRAGMA statements establishing this profile."""
-        return [
-            "PRAGMA foreign_keys = ON",
-            f"PRAGMA journal_mode = {self.journal_mode}",
+    def pragmas(self, read_only: bool = False) -> list[str]:
+        """The PRAGMA statements establishing this profile.
+
+        A read-only (``mode=ro``) connection cannot switch journal
+        modes — it inherits whatever the writer established — so that
+        pragma is omitted; the connection-local ones still apply.
+        """
+        statements = ["PRAGMA foreign_keys = ON"]
+        if not read_only:
+            statements.append(
+                f"PRAGMA journal_mode = {self.journal_mode}")
+        statements.extend([
             f"PRAGMA synchronous = {self.synchronous}",
             f"PRAGMA busy_timeout = {self.busy_timeout_ms}",
-        ]
+        ])
+        return statements
 
 
 EPHEMERAL = DurabilityProfile(

@@ -42,6 +42,37 @@ class SchemaError(StorageError):
     """The central schema is missing or inconsistent."""
 
 
+class ReadOnlyConnectionError(StorageError):
+    """A write was attempted on a read-only (``mode=ro``) connection.
+
+    Pooled server readers open read-only; mutations must go through
+    the single-writer queue (:class:`repro.db.pool.WriterQueue`).
+    """
+
+
+class PoolTimeoutError(StorageError):
+    """No pooled connection became available within the timeout.
+
+    The serving layer maps this to HTTP 429 (backpressure) instead of
+    letting requests queue without bound.
+    """
+
+
+class ServerError(ReproError):
+    """An HTTP request to the serving layer failed.
+
+    Raised by :class:`repro.server.client.ReproClient`; carries the
+    HTTP ``status`` and, for 429 responses, the server's suggested
+    ``retry_after`` delay in seconds.
+    """
+
+    def __init__(self, message: str, status: int = 0,
+                 retry_after: float | None = None) -> None:
+        self.status = status
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 class ModelError(ReproError):
     """An RDF model (graph) operation failed."""
 

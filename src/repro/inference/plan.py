@@ -37,6 +37,7 @@ long literals compare by their full text, exactly like the Python side.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
@@ -166,45 +167,55 @@ class PlanCache:
     lookup against a newer version drops the entry (statistics, and
     possibly constant VALUE_IDs, are stale).  One instance lives on
     the :class:`~repro.core.store.RDFStore` (``store.plan_cache``).
+
+    Thread-safe: the OrderedDict LRU bookkeeping (``move_to_end``,
+    eviction) and the hit/miss counters run under an RLock, so pooled
+    server readers can share a store without corrupting the cache.
     """
 
     def __init__(self, capacity: int = 256) -> None:
         self._capacity = capacity
         self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def lookup(self, key: tuple, data_version: int) -> QueryPlan | None:
         """The cached plan for ``key``, or None (counted as a miss)."""
-        plan = self._plans.get(key)
-        if plan is not None and plan.data_version != data_version:
-            del self._plans[key]
-            self.invalidations += 1
-            plan = None
-        if plan is None:
-            self.misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None and plan.data_version != data_version:
+                del self._plans[key]
+                self.invalidations += 1
+                plan = None
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
 
     def store(self, key: tuple, plan: QueryPlan) -> None:
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        while len(self._plans) > self._capacity:
-            self._plans.popitem(last=False)
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self._capacity:
+                self._plans.popitem(last=False)
 
     def clear(self) -> None:
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def stats(self) -> dict[str, int]:
-        return {"entries": len(self._plans), "hits": self.hits,
-                "misses": self.misses,
-                "invalidations": self.invalidations}
+        with self._lock:
+            return {"entries": len(self._plans), "hits": self.hits,
+                    "misses": self.misses,
+                    "invalidations": self.invalidations}
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,7 @@ decide membership, so a bad estimate costs speed, not correctness.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.schema import LINK_TABLE
@@ -53,6 +54,9 @@ class MatchStatistics:
         self._store = store
         self._version = -1
         self._counts: dict[tuple, int] = {}
+        # Pooled server readers plan queries concurrently against one
+        # store; the version check + figure cache must stay coherent.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # cache plumbing
@@ -66,21 +70,24 @@ class MatchStatistics:
 
     def __len__(self) -> int:
         """Number of cached figures (test/introspection hook)."""
-        return len(self._counts)
+        with self._lock:
+            return len(self._counts)
 
     def clear(self) -> None:
         """Drop every cached figure."""
-        self._counts.clear()
-        self._version = -1
+        with self._lock:
+            self._counts.clear()
+            self._version = -1
 
     def _cached(self, key: tuple, sql: str, params: Sequence) -> int:
-        self._sync()
-        value = self._counts.get(key)
-        if value is None:
-            value = int(self._store.database.query_value(
-                sql, params, default=0))
-            self._counts[key] = value
-        return value
+        with self._lock:
+            self._sync()
+            value = self._counts.get(key)
+            if value is None:
+                value = int(self._store.database.query_value(
+                    sql, params, default=0))
+                self._counts[key] = value
+            return value
 
     # ------------------------------------------------------------------
     # figures

@@ -2,7 +2,10 @@
 
 A :class:`MetricsRegistry` names and owns instruments; call sites hold
 the instrument (``registry.counter("match.queries")``) and update it
-with plain attribute math — no locks, no label cartesian products.  Two
+with plain attribute math — no label cartesian products.  Updates are
+thread-safe: every instrument guards its mutation with a small lock so
+concurrent server handlers (see :mod:`repro.server`) never drop
+increments, and the registry's get-or-create is atomic.  Two
 exposition formats are built in: :meth:`MetricsRegistry.as_dict` (the
 JSON surface used by ``repro stats --json``) and
 :meth:`MetricsRegistry.prometheus_text` (the ``text/plain; version=0.0.4``
@@ -17,6 +20,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import threading
 from typing import Iterator, Sequence
 
 #: Default histogram buckets (seconds): 100 us .. 10 s, roughly
@@ -46,40 +50,46 @@ def _sanitize_prometheus(name: str) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value:g})"
 
 
 class Gauge:
-    """A value that can go up and down."""
+    """A value that can go up and down (thread-safe)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value:g})"
@@ -96,7 +106,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "help", "bounds", "bucket_counts", "count",
-                 "sum", "min", "max")
+                 "sum", "min", "max", "_lock")
 
     def __init__(self, name: str, help: str = "",
                  buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
@@ -111,15 +121,18 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.bucket_counts[bisect.bisect_left(self.bounds,
+                                                  value)] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -129,27 +142,28 @@ class Histogram:
         """Estimated q-quantile (``q`` in [0, 1]) from the buckets."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        target = q * self.count
-        cumulative = 0
-        for index, bucket_count in enumerate(self.bucket_counts):
-            if bucket_count == 0:
-                continue
-            previous = cumulative
-            cumulative += bucket_count
-            if cumulative >= target:
-                if index >= len(self.bounds):
-                    # Overflow bucket: best estimate is the observed max.
-                    return self.max
-                lower = self.bounds[index - 1] if index else 0.0
-                upper = self.bounds[index]
-                fraction = ((target - previous) / bucket_count
-                            if bucket_count else 1.0)
-                estimate = lower + (upper - lower) * fraction
-                # Never report outside the observed range.
-                return min(max(estimate, self.min), self.max)
-        return self.max
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = q * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self.bucket_counts):
+                if bucket_count == 0:
+                    continue
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative >= target:
+                    if index >= len(self.bounds):
+                        # Overflow bucket: best estimate is the max.
+                        return self.max
+                    lower = self.bounds[index - 1] if index else 0.0
+                    upper = self.bounds[index]
+                    fraction = ((target - previous) / bucket_count
+                                if bucket_count else 1.0)
+                    estimate = lower + (upper - lower) * fraction
+                    # Never report outside the observed range.
+                    return min(max(estimate, self.min), self.max)
+            return self.max
 
     @property
     def p50(self) -> float:
@@ -169,7 +183,9 @@ class MetricsRegistry:
 
     ``counter``/``gauge``/``histogram`` are get-or-create: the first
     call registers, later calls return the same instrument — so call
-    sites never need module-level instrument globals.
+    sites never need module-level instrument globals.  Get-or-create is
+    atomic under the registry lock, so two threads racing to register
+    the same name always share one instrument.
     """
 
     #: Distinguishes a live registry from :class:`NullRegistry` without
@@ -180,17 +196,25 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     def counter(self, name: str, help: str = "") -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name, help)
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter(name,
+                                                                help)
         return instrument
 
     def gauge(self, name: str, help: str = "") -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name, help)
+            with self._lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = self._gauges[name] = Gauge(name, help)
         return instrument
 
     def histogram(self, name: str, help: str = "",
@@ -198,31 +222,46 @@ class MetricsRegistry:
                   ) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(
-                name, help, buckets)
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram(
+                        name, help, buckets)
         return instrument
 
     def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
-        yield from self._counters.values()
-        yield from self._gauges.values()
-        yield from self._histograms.values()
+        with self._lock:
+            instruments = (list(self._counters.values())
+                           + list(self._gauges.values())
+                           + list(self._histograms.values()))
+        return iter(instruments)
 
     def reset(self) -> None:
         """Forget every instrument (tests, bench trial isolation)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     # ------------------------------------------------------------------
     # exposition
     # ------------------------------------------------------------------
 
+    def _snapshot(self) -> tuple[list[Counter], list[Gauge],
+                                 list[Histogram]]:
+        """Stable instrument lists for exposition under concurrency."""
+        with self._lock:
+            return (list(self._counters.values()),
+                    list(self._gauges.values()),
+                    list(self._histograms.values()))
+
     def as_dict(self) -> dict:
         """The JSON-ready snapshot used by ``repro stats --json``."""
-        counters = {c.name: c.value for c in self._counters.values()}
-        gauges = {g.name: g.value for g in self._gauges.values()}
+        counter_list, gauge_list, histogram_list = self._snapshot()
+        counters = {c.name: c.value for c in counter_list}
+        gauges = {g.name: g.value for g in gauge_list}
         histograms = {}
-        for histogram in self._histograms.values():
+        for histogram in histogram_list:
             histograms[histogram.name] = {
                 "count": histogram.count,
                 "sum": histogram.sum,
@@ -237,20 +276,21 @@ class MetricsRegistry:
 
     def prometheus_text(self) -> str:
         """The Prometheus text exposition format (0.0.4)."""
+        counter_list, gauge_list, histogram_list = self._snapshot()
         lines: list[str] = []
-        for counter in self._counters.values():
+        for counter in counter_list:
             name = _sanitize_prometheus(counter.name)
             if counter.help:
                 lines.append(f"# HELP {name} {counter.help}")
             lines.append(f"# TYPE {name} counter")
             lines.append(f"{name} {counter.value:g}")
-        for gauge in self._gauges.values():
+        for gauge in gauge_list:
             name = _sanitize_prometheus(gauge.name)
             if gauge.help:
                 lines.append(f"# HELP {name} {gauge.help}")
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {gauge.value:g}")
-        for histogram in self._histograms.values():
+        for histogram in histogram_list:
             name = _sanitize_prometheus(histogram.name)
             if histogram.help:
                 lines.append(f"# HELP {name} {histogram.help}")

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import re
 import sqlite3
+import threading
 from typing import TYPE_CHECKING, Any, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -115,11 +116,16 @@ class SQLInstrumenter:
         self._plans: dict[str, list[str]] = {}
         self._statement_limit = statement_limit
         self._plan_limit = plan_limit
+        # One instrumenter may serve several pooled connections; the
+        # aggregation tables are shared state across handler threads.
+        self._lock = threading.RLock()
         self.slow_threshold = slow_threshold
         self.capture_plans = capture_plans
         #: Raw statements the engine ran (trace-callback count).
         self.engine_statements = 0
-        self._capturing_plan = False
+        # Per-thread: the trace callback fires on the executing thread,
+        # so one thread's EXPLAIN capture must not mute the others.
+        self._capturing = threading.local()
         self._statement_counter = metrics.counter(
             "sql.statements", "statements timed by the Database wrapper")
         self._engine_counter = metrics.counter(
@@ -140,9 +146,10 @@ class SQLInstrumenter:
         connection.set_trace_callback(None)
 
     def _trace(self, _sql: str) -> None:
-        if self._capturing_plan:
+        if getattr(self._capturing, "flag", False):
             return
-        self.engine_statements += 1
+        with self._lock:
+            self.engine_statements += 1
         self._engine_counter.inc()
 
     # ------------------------------------------------------------------
@@ -160,49 +167,60 @@ class SQLInstrumenter:
             capture its EXPLAIN QUERY PLAN.
         """
         key = normalize_statement(sql)
-        stats = self._statements.get(key)
-        if stats is None:
-            if len(self._statements) >= self._statement_limit:
-                key = OVERFLOW_KEY
-                stats = self._statements.get(key)
-                if stats is None:
+        capture = False
+        with self._lock:
+            stats = self._statements.get(key)
+            if stats is None:
+                if len(self._statements) >= self._statement_limit:
+                    key = OVERFLOW_KEY
+                    stats = self._statements.get(key)
+                    if stats is None:
+                        stats = self._statements[key] = \
+                            StatementStats(key)
+                else:
                     stats = self._statements[key] = StatementStats(key)
-            else:
-                stats = self._statements[key] = StatementStats(key)
-        stats.count += 1
-        stats.total_time += duration
-        if duration > stats.max_time:
-            stats.max_time = duration
-        if rows > 0:
-            stats.rows += rows
+            stats.count += 1
+            stats.total_time += duration
+            if duration > stats.max_time:
+                stats.max_time = duration
+            if rows > 0:
+                stats.rows += rows
+            if (self.capture_plans and connection is not None
+                    and duration >= self.slow_threshold
+                    and key not in self._plans
+                    and key != OVERFLOW_KEY
+                    and len(self._plans) < self._plan_limit):
+                # Reserve the slot under the lock; EXPLAIN runs outside
+                # it (on the calling thread's own connection).
+                self._plans[key] = []
+                capture = True
         self._statement_counter.inc()
         self._duration_histogram.observe(duration)
-        if (self.capture_plans and connection is not None
-                and duration >= self.slow_threshold
-                and key not in self._plans
-                and key != OVERFLOW_KEY
-                and len(self._plans) < self._plan_limit):
+        if capture:
             self._capture_plan(key, sql, parameters, connection)
 
     def add_rows(self, sql: str, rows: int) -> None:
         """Credit fetched result rows to an already-recorded statement."""
-        stats = self._statements.get(normalize_statement(sql))
-        if stats is not None:
-            stats.rows += rows
+        with self._lock:
+            stats = self._statements.get(normalize_statement(sql))
+            if stats is not None:
+                stats.rows += rows
 
     def _capture_plan(self, key: str, sql: str,
                       parameters: Sequence[Any],
                       connection: sqlite3.Connection) -> None:
-        self._capturing_plan = True
+        self._capturing.flag = True
         try:
             rows = connection.execute(
                 f"EXPLAIN QUERY PLAN {sql}", parameters).fetchall()
-            self._plans[key] = [str(row[-1]) for row in rows]
+            plan = [str(row[-1]) for row in rows]
         except sqlite3.Error:
             # Not every statement EXPLAINs (DDL, PRAGMA); skip quietly.
-            self._plans[key] = []
+            plan = []
         finally:
-            self._capturing_plan = False
+            self._capturing.flag = False
+        with self._lock:
+            self._plans[key] = plan
 
     # ------------------------------------------------------------------
     # reporting
@@ -211,30 +229,38 @@ class SQLInstrumenter:
     @property
     def statement_count(self) -> int:
         """Distinct normalized statements aggregated so far."""
-        return len(self._statements)
+        with self._lock:
+            return len(self._statements)
 
     def statements(self, top: int | None = None) -> list[StatementStats]:
         """Aggregates ordered by total time, heaviest first."""
-        ordered = sorted(self._statements.values(),
-                         key=lambda stats: -stats.total_time)
+        with self._lock:
+            ordered = sorted(self._statements.values(),
+                             key=lambda stats: -stats.total_time)
         return ordered if top is None else ordered[:top]
 
     def plan_for(self, sql: str) -> list[str] | None:
         """The captured EXPLAIN QUERY PLAN lines, if this statement was
         ever slow."""
-        return self._plans.get(normalize_statement(sql))
+        with self._lock:
+            return self._plans.get(normalize_statement(sql))
 
     def reset(self) -> None:
-        self._statements.clear()
-        self._plans.clear()
-        self.engine_statements = 0
+        with self._lock:
+            self._statements.clear()
+            self._plans.clear()
+            self.engine_statements = 0
 
     def as_dict(self, top: int = 25) -> dict[str, Any]:
+        with self._lock:
+            engine_statements = self.engine_statements
+            distinct = len(self._statements)
+            plans = {key: list(plan)
+                     for key, plan in self._plans.items()}
         return {
-            "engine_statements": self.engine_statements,
-            "distinct_statements": len(self._statements),
+            "engine_statements": engine_statements,
+            "distinct_statements": distinct,
             "top_statements": [stats.as_dict()
                                for stats in self.statements(top)],
-            "slow_plans": {key: list(plan)
-                           for key, plan in self._plans.items()},
+            "slow_plans": plans,
         }

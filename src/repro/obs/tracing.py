@@ -21,6 +21,7 @@ nothing.  Hot loops that want even that gone can guard on
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from typing import Any, Callable, Iterator
@@ -82,6 +83,12 @@ class Span:
 class Tracer:
     """Creates spans, tracks nesting, retains finished spans.
 
+    Safe to share across threads: nesting is tracked per thread (a
+    span's parent is the innermost open span *of the same thread*, so
+    concurrent server handlers never see each other's frames), while
+    span-id allocation and the finished-span ring buffer are guarded
+    by one small lock.
+
     :param capacity: ring-buffer size for finished spans.
     :param on_finish: optional hook called with each finished span —
         the :class:`repro.obs.observer.Observer` uses it to feed span
@@ -93,32 +100,46 @@ class Tracer:
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
                  on_finish: Callable[[Span], None] | None = None) -> None:
         self._finished: deque[Span] = deque(maxlen=capacity)
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 1
         self._on_finish = on_finish
         self.dropped = 0
 
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's open-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     def span(self, name: str, **attributes: Any) -> Span:
         """Open a span; use as ``with tracer.span("x") as span:``."""
-        parent = self._stack[-1] if self._stack else None
-        span = Span(self, name, self._next_id,
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(self, name, span_id,
                     parent.span_id if parent else None,
                     parent.depth + 1 if parent else 0, attributes)
-        self._next_id += 1
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def _finish(self, span: Span) -> None:
         # Pop back to (and including) this span; tolerates a span
         # __exit__ arriving out of order after an exception unwound
         # several frames at once.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
-        if len(self._finished) == self._finished.maxlen:
-            self.dropped += 1
-        self._finished.append(span)
+        with self._lock:
+            if len(self._finished) == self._finished.maxlen:
+                self.dropped += 1
+            self._finished.append(span)
         if self._on_finish is not None:
             self._on_finish(span)
 
@@ -142,8 +163,9 @@ class Tracer:
         return [span for span in self._finished if span.name == name]
 
     def clear(self) -> None:
-        self._finished.clear()
-        self.dropped = 0
+        with self._lock:
+            self._finished.clear()
+            self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._finished)

@@ -1,0 +1,36 @@
+"""The concurrent serving layer: HTTP access to SDO_RDF_MATCH.
+
+Maps SQLite's WAL concurrency model (*N readers + 1 writer*) onto an
+HTTP API:
+
+* :mod:`repro.server.app` — :class:`ReproServer`, the
+  ``ThreadingHTTPServer`` front end over a read-connection pool and
+  the single-writer queue, with admission control (429 backpressure)
+  and graceful drain;
+* :mod:`repro.server.state` — the ``rdf_serve_state$`` write-version
+  row giving every ``/match`` response a monotonic, cross-reader
+  snapshot version;
+* :mod:`repro.server.client` — :class:`ReproClient`, a stdlib
+  keep-alive client for the JSON protocol.
+
+See ``docs/server.md`` for the protocol and operational guidance.
+"""
+
+from repro.server.app import ReproServer, ServerConfig
+from repro.server.client import ReproClient
+from repro.server.state import (
+    SERVE_STATE_TABLE,
+    bump_write_version,
+    ensure_serve_state,
+    read_write_version,
+)
+
+__all__ = [
+    "ReproClient",
+    "ReproServer",
+    "SERVE_STATE_TABLE",
+    "ServerConfig",
+    "bump_write_version",
+    "ensure_serve_state",
+    "read_write_version",
+]

@@ -1,0 +1,613 @@
+"""The HTTP serving layer for SDO_RDF_MATCH.
+
+The paper's system answers SDO_RDF_MATCH queries from inside Oracle,
+where concurrent sessions are the database's own business.  Our SQLite
+substitute is an embedded library, so this module supplies the missing
+serving tier — stdlib only — on top of the concurrency primitives in
+:mod:`repro.db.pool`:
+
+* **readers**: a :class:`~repro.db.pool.ConnectionPool` of read-only
+  connections, each wrapped in its own :class:`RDFStore` (plan cache,
+  statistics, and term caches are per-connection; the acquire-time
+  snoop invalidates them when the writer commits);
+* **writer**: a :class:`~repro.db.pool.WriterQueue` — one thread, one
+  writable connection, strict FIFO.  ``/insert`` and ``/delete`` are
+  enqueued as jobs and answered when their transaction commits;
+* **admission control**: a bounded gate (``workers + backlog``
+  in-flight POSTs).  Saturation answers **429** with a ``Retry-After``
+  header — the server sheds load, it never queues without bound;
+* **consistency**: every ``/match`` reads the serve-state
+  ``write_version`` (:mod:`repro.server.state`) inside the same
+  transaction as its query SQL, so responses carry a monotonic,
+  torn-read-free snapshot version.
+
+Routes::
+
+    POST /match    {query, models, rulebases?, aliases?, filter?,
+                    order_by?, limit?}       -> {rows, count, data_version}
+    POST /insert   {model, triples, create?} -> {created, count, write_version}
+    POST /delete   {model, triple, force?}   -> {removed, write_version}
+    GET  /stats    pool/writer/admission gauges + metrics snapshot
+    GET  /metrics  Prometheus text exposition
+    GET  /healthz  writer liveness + integrity check (503 when unhealthy)
+
+Shutdown is a graceful drain: the listener stops accepting, in-flight
+requests finish (handler threads are joined), queued writes run to
+completion, then the pool and writer close.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from repro.core.store import RDFStore
+from repro.db.connection import Database
+from repro.db.pool import ConnectionPool, WriterQueue
+from repro.errors import (
+    ModelNotFoundError,
+    ParseError,
+    PoolTimeoutError,
+    QueryError,
+    ReproError,
+    StorageError,
+    TermError,
+)
+from repro.inference.match import sdo_rdf_match
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.rdf.namespaces import Alias, AliasSet
+from repro.rdf.triple import Triple
+from repro.server.state import (
+    bump_write_version,
+    ensure_serve_state,
+    read_write_version,
+)
+
+#: Durability profiles the server accepts: concurrent readers need WAL.
+_WAL_PROFILES = ("durable", "paranoid")
+
+
+class _BadRequest(ReproError):
+    """Malformed request body or parameters (HTTP 400)."""
+
+
+@dataclass
+class ServerConfig:
+    """Everything the serving layer is configured by.
+
+    :param path: the database file.  Must be file-backed — readers and
+        the writer are separate connections sharing the WAL.
+    :param host: bind address (default loopback).
+    :param port: TCP port; 0 picks an ephemeral port (tests).
+    :param workers: read-pool size == queries executing concurrently.
+    :param backlog: extra POSTs admitted beyond ``workers``; they wait
+        up to ``pool_timeout`` for a reader before 429.
+    :param writer_queue: bound on enqueued write jobs.
+    :param durability: ``durable`` or ``paranoid`` (WAL required for
+        the N-readers + 1-writer model).
+    :param observe: attach a shared :class:`Observer` to every
+        connection (SQL timing, spans) — the server's request metrics
+        are collected either way.
+    :param pool_timeout: seconds an admitted query waits for a reader.
+    :param request_timeout: seconds a write request waits for its
+        job's commit before answering 503 (the job still runs).
+    :param retry_after: suggested client backoff reported on 429.
+    """
+
+    path: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 4
+    backlog: int = 8
+    writer_queue: int = 64
+    durability: str = "durable"
+    observe: bool = False
+    pool_timeout: float = 2.0
+    request_timeout: float = 30.0
+    retry_after: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.path == ":memory:":
+            raise StorageError(
+                "the server needs a file-backed database; :memory: "
+                "cannot be shared across connections")
+        if self.durability not in _WAL_PROFILES:
+            raise StorageError(
+                f"durability {self.durability!r} cannot serve "
+                "concurrent readers; pick one of "
+                f"{', '.join(_WAL_PROFILES)} (WAL journaling)")
+        if self.workers < 1:
+            raise StorageError("server needs workers >= 1")
+        if self.backlog < 0:
+            raise StorageError("server backlog must be >= 0")
+
+
+class ReproServer:
+    """The serving layer: pool + writer + HTTP front end.
+
+    Usage::
+
+        server = ReproServer(ServerConfig(path="universe.db"))
+        server.start()          # returns once the port is bound
+        ...
+        server.stop()           # graceful drain
+
+    or blocking, from the CLI: ``server.run()``.
+    """
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        if config.observe:
+            self.observer: Observer = Observer()
+            self.metrics = self.observer.metrics
+        else:
+            self.observer = NULL_OBSERVER
+            self.metrics = MetricsRegistry()
+        self.pool: ConnectionPool | None = None
+        self.writer: WriterQueue | None = None
+        self._http: _HTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._gate = threading.BoundedSemaphore(
+            config.workers + config.backlog)
+        self._draining = False
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _writer_factory(self) -> RDFStore:
+        """Build the writer session (runs inside the writer thread)."""
+        database = Database(
+            self.config.path, durability=self.config.durability,
+            observer=self.observer if self.observer.enabled else None)
+        store = RDFStore(database, observe=self.config.observe)
+        ensure_serve_state(database)
+        return store
+
+    def start(self) -> "ReproServer":
+        """Open the writer, the pool, and the listener (non-blocking)."""
+        if self._http is not None:
+            raise StorageError("server already started")
+        self.writer = WriterQueue(
+            self._writer_factory, maxsize=self.config.writer_queue,
+            observer=self.observer).start()
+        self.pool = ConnectionPool(
+            self.config.path, size=self.config.workers,
+            durability=self.config.durability,
+            timeout=self.config.pool_timeout,
+            observer=self.observer,
+            wrap=lambda db: RDFStore(db, observe=False),
+            invalidate=lambda store: store.values.invalidate_cache())
+        self._http = _HTTPServer(
+            (self.config.host, self.config.port), _Handler)
+        self._http.app = self
+        self._draining = False
+        self._started_at = time.monotonic()
+        self._serve_thread = threading.Thread(
+            target=self._http.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve", daemon=True)
+        self._serve_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — the real port when 0 was asked."""
+        if self._http is None:
+            raise StorageError("server is not running")
+        host, port = self._http.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: drain requests, flush writes, close."""
+        if self._http is None:
+            return
+        self._draining = True
+        self._http.shutdown()          # stop accepting new connections
+        self._http.server_close()      # join in-flight handler threads
+        self._serve_thread.join(timeout=30.0)
+        self._http = None
+        self._serve_thread = None
+        if self.writer is not None:
+            self.writer.stop(drain=drain)
+            self.writer = None
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+
+    def run(self) -> None:
+        """Start and block until KeyboardInterrupt (CLI entry point)."""
+        self.start()
+        try:
+            while True:
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ReproServer":
+        if self._http is None:
+            self.start()
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+
+    def _do_match(self, payload: dict) -> tuple[int, dict]:
+        query = _require_str(payload, "query")
+        models = _require_str_list(payload, "models")
+        rulebases = _optional_str_list(payload, "rulebases")
+        aliases = _parse_aliases(payload.get("aliases"))
+        filter_ = payload.get("filter")
+        order_by = payload.get("order_by")
+        limit = payload.get("limit")
+        if limit is not None and not isinstance(limit, int):
+            raise _BadRequest("limit must be an integer")
+        with self.pool.lease() as store:
+            database = store.database
+            # One read transaction covers the version read AND the
+            # query SQL: the reported data_version is exactly the
+            # snapshot the rows came from.
+            with database.transaction():
+                version = read_write_version(database)
+                rows = sdo_rdf_match(
+                    store, query, models, rulebases=rulebases,
+                    aliases=aliases, filter=filter_,
+                    order_by=order_by, limit=limit)
+        return 200, {
+            "rows": [row.as_dict() for row in rows],
+            "count": len(rows),
+            "data_version": version,
+        }
+
+    def _do_insert(self, payload: dict) -> tuple[int, dict]:
+        model = _require_str(payload, "model")
+        create = bool(payload.get("create", False))
+        raw = payload.get("triples")
+        if not isinstance(raw, list) or not raw:
+            raise _BadRequest(
+                "triples must be a non-empty list of [s, p, o]")
+        triples = [Triple.from_text(*_spo(item)) for item in raw]
+
+        def job(store: RDFStore) -> dict:
+            database = store.database
+            created = 0
+            with database.transaction():
+                if create and not store.model_exists(model):
+                    store.create_model(model)
+                info = store.models.get(model)
+                for triple in triples:
+                    result = store.parser.insert(info, triple)
+                    created += 1 if result.created else 0
+                version = bump_write_version(database)
+            return {"created": created, "count": len(triples),
+                    "write_version": version}
+
+        return 200, self._write(job)
+
+    def _do_delete(self, payload: dict) -> tuple[int, dict]:
+        model = _require_str(payload, "model")
+        subject, predicate, obj = _spo(payload.get("triple"))
+        force = bool(payload.get("force", False))
+
+        def job(store: RDFStore) -> dict:
+            database = store.database
+            with database.transaction():
+                removed = store.remove_triple(
+                    model, subject, predicate, obj, force=force)
+                version = bump_write_version(database)
+            return {"removed": removed, "write_version": version}
+
+        return 200, self._write(job)
+
+    def _write(self, job: Callable[[RDFStore], dict]) -> dict:
+        """Enqueue a write job and wait for its commit."""
+        future = self.writer.submit(job)  # PoolTimeoutError -> 429
+        return future.result(timeout=self.config.request_timeout)
+
+    def _do_stats(self) -> tuple[int, dict]:
+        gate_free = getattr(self._gate, "_value", None)
+        return 200, {
+            "server": {
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_at, 3),
+                "workers": self.config.workers,
+                "backlog": self.config.backlog,
+                "durability": self.config.durability,
+                "observe": self.config.observe,
+                "draining": self._draining,
+                "admission_free": gate_free,
+            },
+            "pool": self.pool.stats() if self.pool else {},
+            "writer": self.writer.stats() if self.writer else {},
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def _do_healthz(self) -> tuple[int, dict]:
+        writer_ok = self.writer is not None and self.writer.running
+        integrity = "skipped (writer down)"
+        if writer_ok:
+            try:
+                with self.pool.lease(timeout=1.0) as store:
+                    integrity = str(store.database.query_value(
+                        "PRAGMA quick_check", default="failed"))
+            except PoolTimeoutError:
+                # Saturated is busy, not broken.
+                integrity = "skipped (pool busy)"
+        healthy = writer_ok and (integrity == "ok"
+                                 or integrity.startswith("skipped"))
+        body = {
+            "status": "ok" if healthy else "unhealthy",
+            "writer_running": writer_ok,
+            "writer_depth": self.writer.depth if self.writer else None,
+            "integrity": integrity,
+        }
+        return (200 if healthy else 503), body
+
+    # ------------------------------------------------------------------
+    # dispatch plumbing (called from the handler threads)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, fn: Callable[[dict], tuple[int, dict]],
+                  payload: dict) -> tuple[int, dict, dict]:
+        """Run a route, mapping exceptions to HTTP statuses."""
+        try:
+            status, body = fn(payload)
+            return status, body, {}
+        except PoolTimeoutError as exc:
+            return self._reject(str(exc))
+        except _BadRequest as exc:
+            return 400, _error(exc), {}
+        except ModelNotFoundError as exc:
+            return 404, _error(exc), {}
+        except (QueryError, ParseError, TermError) as exc:
+            return 400, _error(exc), {}
+        except FutureTimeoutError:
+            return 503, {"error": "write did not commit within "
+                         f"{self.config.request_timeout}s (still "
+                         "queued)", "type": "Timeout"}, {}
+        except StorageError as exc:
+            self.metrics.counter("server.errors").inc()
+            return 500, _error(exc), {}
+        except ReproError as exc:
+            return 400, _error(exc), {}
+
+    def _reject(self, message: str) -> tuple[int, dict, dict]:
+        """A 429 backpressure answer with Retry-After."""
+        self.metrics.counter(
+            "server.rejected", "requests shed with HTTP 429").inc()
+        body = {
+            "error": message,
+            "type": "Backpressure",
+            "retry_after_seconds": self.config.retry_after,
+        }
+        headers = {
+            "Retry-After": str(max(1, math.ceil(self.config.retry_after))),
+        }
+        return 429, body, headers
+
+    def admit(self) -> bool:
+        """Try to take an admission slot (POST routes only)."""
+        return self._gate.acquire(blocking=False)
+
+    def readmit(self) -> None:
+        self._gate.release()
+
+
+# ----------------------------------------------------------------------
+# request validation helpers
+# ----------------------------------------------------------------------
+
+def _error(exc: Exception) -> dict:
+    return {"error": str(exc), "type": type(exc).__name__}
+
+
+def _require_str(payload: dict, key: str) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str) or not value.strip():
+        raise _BadRequest(f"{key!r} must be a non-empty string")
+    return value
+
+
+def _require_str_list(payload: dict, key: str) -> list[str]:
+    value = payload.get(key)
+    if isinstance(value, str):
+        value = [value]
+    if (not isinstance(value, list) or not value
+            or not all(isinstance(item, str) for item in value)):
+        raise _BadRequest(f"{key!r} must be a non-empty list of strings")
+    return value
+
+
+def _optional_str_list(payload: dict, key: str) -> list[str]:
+    value = payload.get(key)
+    if value is None:
+        return []
+    if isinstance(value, str):
+        value = [value]
+    if (not isinstance(value, list)
+            or not all(isinstance(item, str) for item in value)):
+        raise _BadRequest(f"{key!r} must be a list of strings")
+    return value
+
+
+def _parse_aliases(raw: Any) -> AliasSet | None:
+    if raw is None:
+        return None
+    if not isinstance(raw, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in raw.items()):
+        raise _BadRequest(
+            "'aliases' must be an object of prefix -> namespace")
+    return AliasSet(Alias(prefix, namespace)
+                    for prefix, namespace in raw.items())
+
+
+def _spo(item: Any) -> tuple[str, str, str]:
+    if (not isinstance(item, (list, tuple)) or len(item) != 3
+            or not all(isinstance(part, str) for part in item)):
+        raise _BadRequest(
+            "each triple must be a [subject, predicate, object] "
+            "list of strings")
+    return item[0], item[1], item[2]
+
+
+# ----------------------------------------------------------------------
+# the HTTP front end
+# ----------------------------------------------------------------------
+
+class _HTTPServer(ThreadingHTTPServer):
+    """Threading server tuned for graceful drain.
+
+    Handler threads are non-daemon and joined on ``server_close``, so
+    ``stop()`` returns only after every in-flight request finished.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+    app: "ReproServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP adapter; all logic lives on :class:`ReproServer`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-rdf"
+    # Idle keep-alive connections release their thread after this many
+    # seconds, bounding how long a drain can take.
+    timeout = 5
+    # Headers and body go out in separate writes; without TCP_NODELAY
+    # the body write stalls on the client's delayed ACK (~40 ms per
+    # request on loopback).
+    disable_nagle_algorithm = True
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def app(self) -> ReproServer:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        self.app.observer.log.debug(
+            "http %s", format % args,
+            extra={"client": self.address_string()})
+
+    def _send_json(self, status: int, body: dict,
+                   headers: dict | None = None) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        if self.app._draining:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_body(self) -> bytes:
+        """Consume the request body.
+
+        Always called before responding — leftover body bytes on a
+        keep-alive connection would be misread as the next request
+        line.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return b""
+        return self.rfile.read(length)
+
+    @staticmethod
+    def _parse_json(raw: bytes) -> dict:
+        if not raw:
+            raise _BadRequest("request needs a JSON body")
+        try:
+            payload = json.loads(raw)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _BadRequest(f"body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("JSON body must be an object")
+        return payload
+
+    # -- routes --------------------------------------------------------
+
+    _POST_ROUTES = {
+        "/match": "_do_match",
+        "/insert": "_do_insert",
+        "/delete": "_do_delete",
+    }
+
+    def do_GET(self) -> None:
+        app = self.app
+        app.metrics.counter("server.requests").inc()
+        if self.path == "/metrics":
+            data = app.metrics.prometheus_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+            return
+        if self.path in ("/healthz", "/health"):
+            status, body = app._do_healthz()
+            self._send_json(status, body)
+            return
+        if self.path == "/stats":
+            status, body = app._do_stats()
+            self._send_json(status, body)
+            return
+        self._send_json(404, {"error": f"no such route: {self.path}",
+                              "type": "NotFound"})
+
+    def do_POST(self) -> None:
+        app = self.app
+        app.metrics.counter("server.requests").inc()
+        route = self._POST_ROUTES.get(self.path)
+        raw = self._read_body()
+        if route is None:
+            self._send_json(404, {"error": f"no such route: {self.path}",
+                                  "type": "NotFound"})
+            return
+        if not app.admit():
+            status, body, headers = app._reject(
+                f"server saturated ({app.config.workers} workers + "
+                f"{app.config.backlog} backlog in flight)")
+            self._send_json(status, body, headers)
+            return
+        start = time.perf_counter()
+        try:
+            try:
+                payload = self._parse_json(raw)
+            except _BadRequest as exc:
+                self._send_json(400, _error(exc))
+                return
+            status, body, headers = app._dispatch(
+                getattr(app, route), payload)
+            self._send_json(status, body, headers)
+        finally:
+            app.readmit()
+            app.metrics.histogram(
+                "server.latency_seconds",
+                "wall time of admitted POST requests").observe(
+                    time.perf_counter() - start)

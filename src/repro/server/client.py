@@ -1,0 +1,176 @@
+"""A thin stdlib client for the serving layer.
+
+:class:`ReproClient` speaks the JSON protocol of
+:mod:`repro.server.app` over one keep-alive ``http.client``
+connection.  It is deliberately small: requests in, parsed JSON out,
+HTTP errors raised as :class:`~repro.errors.ServerError` (with
+``status`` and, on 429, the server's suggested ``retry_after``).
+
+One client wraps **one** connection and is not thread-safe — create a
+client per thread (the benchmark and the e2e tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Sequence
+
+from repro.errors import ServerError
+
+
+class ReproClient:
+    """Client for one repro server.
+
+    :param host: server host.
+    :param port: server port.
+    :param timeout: socket timeout per request, seconds.
+    """
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = 30.0) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> Any:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            response = self._send(method, path, body, headers)
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # A stale keep-alive connection (server idled us out, or
+            # restarted): reconnect once and retry.
+            self.close()
+            response = self._send(method, path, body, headers)
+        data = response.read()
+        if response.status == 429:
+            retry_after = None
+            try:
+                retry_after = float(
+                    json.loads(data).get("retry_after_seconds"))
+            except (ValueError, TypeError, AttributeError):
+                header = response.getheader("Retry-After")
+                if header is not None:
+                    retry_after = float(header)
+            raise ServerError(_message(data, response.status),
+                              status=429, retry_after=retry_after)
+        if response.status >= 400:
+            raise ServerError(_message(data, response.status),
+                              status=response.status)
+        content_type = response.getheader("Content-Type", "")
+        if "json" in content_type:
+            return json.loads(data)
+        return data.decode("utf-8")
+
+    def _send(self, method: str, path: str, body: bytes | None,
+              headers: dict) -> http.client.HTTPResponse:
+        conn = self._connection()
+        conn.request(method, path, body=body, headers=headers)
+        return conn.getresponse()
+
+    # ------------------------------------------------------------------
+    # the API
+    # ------------------------------------------------------------------
+
+    def match(self, query: str, models: Sequence[str] | str,
+              rulebases: Sequence[str] = (),
+              aliases: dict[str, str] | None = None,
+              filter: str | None = None,
+              order_by: str | None = None,
+              limit: int | None = None) -> dict:
+        """POST /match — returns ``{rows, count, data_version}``."""
+        payload: dict[str, Any] = {
+            "query": query,
+            "models": [models] if isinstance(models, str) else list(models),
+        }
+        if rulebases:
+            payload["rulebases"] = list(rulebases)
+        if aliases:
+            payload["aliases"] = dict(aliases)
+        if filter is not None:
+            payload["filter"] = filter
+        if order_by is not None:
+            payload["order_by"] = order_by
+        if limit is not None:
+            payload["limit"] = limit
+        return self._request("POST", "/match", payload)
+
+    def match_retrying(self, *args: Any, max_attempts: int = 8,
+                       **kwargs: Any) -> dict:
+        """Like :meth:`match`, sleeping out 429s up to ``max_attempts``."""
+        for attempt in range(1, max_attempts + 1):
+            try:
+                return self.match(*args, **kwargs)
+            except ServerError as exc:
+                if exc.status != 429 or attempt == max_attempts:
+                    raise
+                time.sleep(exc.retry_after or 0.05)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def insert(self, model: str,
+               triples: Sequence[Sequence[str]],
+               create: bool = False) -> dict:
+        """POST /insert — returns ``{created, count, write_version}``."""
+        return self._request("POST", "/insert", {
+            "model": model,
+            "triples": [list(triple) for triple in triples],
+            "create": create,
+        })
+
+    def delete(self, model: str, subject: str, predicate: str,
+               obj: str, force: bool = False) -> dict:
+        """POST /delete — returns ``{removed, write_version}``."""
+        return self._request("POST", "/delete", {
+            "model": model,
+            "triple": [subject, predicate, obj],
+            "force": force,
+        })
+
+    def stats(self) -> dict:
+        """GET /stats."""
+        return self._request("GET", "/stats")
+
+    def health(self) -> dict:
+        """GET /healthz (raises :class:`ServerError` when unhealthy)."""
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """GET /metrics — the Prometheus exposition text."""
+        return self._request("GET", "/metrics")
+
+
+def _message(data: bytes, status: int) -> str:
+    detail: object = repr(data[:200])
+    try:
+        detail = json.loads(data).get("error", detail)
+    except ValueError:
+        pass
+    return f"HTTP {status}: {detail}"

@@ -1,0 +1,64 @@
+"""The serve-state table: one monotonic write version for all readers.
+
+Python-level :attr:`~repro.db.connection.Database.data_version`
+counters are per-connection, and SQLite's ``PRAGMA data_version``
+values are also per-connection — neither is comparable *across* the
+pooled readers.  The serving layer therefore keeps one row of durable
+state, ``rdf_serve_state$``::
+
+    (id = 1, write_version INTEGER)
+
+The writer bumps ``write_version`` **inside** each write transaction;
+a reader selects it **inside** the same read transaction as its query
+SQL.  Because both happen atomically, the value each ``/match``
+response reports is exactly the number of write transactions its
+snapshot includes — monotonic and torn-read-free across any reader
+connection, which is what the end-to-end consistency tests assert.
+"""
+
+from __future__ import annotations
+
+from repro.db.connection import Database
+from repro.errors import StorageError
+
+#: The serving layer's single-row state table (central-schema style name).
+SERVE_STATE_TABLE = "rdf_serve_state$"
+
+
+def ensure_serve_state(database: Database) -> None:
+    """Create the state table and its single row (writer, at startup)."""
+    with database.transaction():
+        database.execute(
+            f'CREATE TABLE IF NOT EXISTS "{SERVE_STATE_TABLE}" ('
+            "  id            INTEGER PRIMARY KEY CHECK (id = 1),"
+            "  write_version INTEGER NOT NULL"
+            ")")
+        database.execute(
+            f'INSERT OR IGNORE INTO "{SERVE_STATE_TABLE}" '
+            "(id, write_version) VALUES (1, 0)")
+
+
+def bump_write_version(database: Database) -> int:
+    """Increment the write version (call inside the write transaction).
+
+    Returns the new version so the writer can report it without a
+    second round trip.
+    """
+    database.execute(
+        f'UPDATE "{SERVE_STATE_TABLE}" '
+        "SET write_version = write_version + 1 WHERE id = 1")
+    return read_write_version(database)
+
+
+def read_write_version(database: Database) -> int:
+    """The current write version (read inside the query transaction).
+
+    Returns -1 when the table does not exist yet — a database that was
+    never served; callers treat that as "version unknown".
+    """
+    try:
+        return int(database.query_value(
+            f'SELECT write_version FROM "{SERVE_STATE_TABLE}" '
+            "WHERE id = 1", default=-1))
+    except StorageError:
+        return -1

@@ -1,0 +1,296 @@
+"""Tests for the read pool, the writer queue, and read-only connections."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.store import RDFStore
+from repro.db.connection import Database
+from repro.db.pool import ConnectionPool, WriterQueue
+from repro.errors import (
+    PoolTimeoutError,
+    ReadOnlyConnectionError,
+    SchemaError,
+    StorageError,
+)
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    """A file-backed store with one model and a couple of triples."""
+    path = tmp_path / "universe.db"
+    with RDFStore(path, durability="durable") as store:
+        store.create_model("m1")
+        store.insert_triple("m1", "<urn:a>", "<urn:p>", "<urn:b>")
+        store.insert_triple("m1", "<urn:b>", "<urn:p>", "<urn:c>")
+    return path
+
+
+# ----------------------------------------------------------------------
+# read-only connections
+# ----------------------------------------------------------------------
+
+class TestReadOnlyDatabase:
+    def test_reads_work(self, db_path):
+        with Database(db_path, read_only=True) as db:
+            assert db.read_only
+            assert db.row_count("rdf_link$") == 2
+
+    def test_memory_is_rejected(self):
+        with pytest.raises(StorageError, match="file-backed"):
+            Database(":memory:", read_only=True)
+
+    def test_write_verbs_refused_up_front(self, db_path):
+        with Database(db_path, read_only=True) as db:
+            with pytest.raises(ReadOnlyConnectionError,
+                               match="writer queue"):
+                db.execute("INSERT INTO rdf_model$ (model_name, "
+                           "table_name, column_name) "
+                           "VALUES ('x', 'x', 'x')")
+            with pytest.raises(ReadOnlyConnectionError):
+                db.executemany(
+                    'DELETE FROM "rdf_link$" WHERE link_id = ?', [(1,)])
+            with pytest.raises(ReadOnlyConnectionError):
+                db.executescript("CREATE TABLE t (x)")
+
+    def test_engine_level_write_is_mapped(self, db_path):
+        # A write sqlite itself rejects (not caught by the verb guard)
+        # still surfaces as ReadOnlyConnectionError.
+        with Database(db_path, read_only=True) as db:
+            with pytest.raises(ReadOnlyConnectionError):
+                db.execute('WITH t AS (SELECT 1) '
+                           'INSERT INTO "rdf_model$" '
+                           '(model_name, table_name, column_name) '
+                           "SELECT 'x', 'x', 'x' FROM t")
+
+    def test_read_transaction_allowed(self, db_path):
+        with Database(db_path, read_only=True) as db:
+            with db.transaction():
+                assert db.row_count("rdf_link$") == 2
+
+    def test_store_over_read_only_database(self, db_path):
+        with RDFStore(Database(db_path, read_only=True)) as store:
+            rows = list(store.iter_model_triples("m1"))
+            assert len(rows) == 2
+            with pytest.raises(ReadOnlyConnectionError):
+                store.insert_triple("m1", "<urn:x>", "<urn:p>",
+                                    "<urn:y>")
+
+    def test_store_requires_existing_schema(self, tmp_path):
+        path = tmp_path / "empty.db"
+        Database(path).close()  # a file with no schema
+        with pytest.raises(SchemaError, match="no central RDF schema"):
+            RDFStore(Database(path, read_only=True))
+
+
+# ----------------------------------------------------------------------
+# the connection pool
+# ----------------------------------------------------------------------
+
+class TestConnectionPool:
+    def test_lease_and_reuse(self, db_path):
+        with ConnectionPool(db_path, size=2) as pool:
+            with pool.lease() as db:
+                assert db.read_only
+                assert db.row_count("rdf_link$") == 2
+            with pool.lease() as db:
+                pass
+            stats = pool.stats()
+            assert stats["created"] == 1  # second lease reused
+            assert stats["leases"] == 2
+            assert stats["in_use"] == 0
+
+    def test_grows_to_size_then_times_out(self, db_path):
+        with ConnectionPool(db_path, size=2, timeout=0.05) as pool:
+            first = pool.acquire()
+            second = pool.acquire()
+            assert pool.stats()["created"] == 2
+            with pytest.raises(PoolTimeoutError, match="all leased"):
+                pool.acquire()
+            assert pool.stats()["timeouts"] == 1
+            pool.release(first)
+            third = pool.acquire()  # freed connection is reusable
+            pool.release(second)
+            pool.release(third)
+
+    def test_blocked_acquire_wakes_on_release(self, db_path):
+        with ConnectionPool(db_path, size=1, timeout=5.0) as pool:
+            entry = pool.acquire()
+            got = []
+
+            def waiter():
+                got.append(pool.acquire())
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            time.sleep(0.05)
+            pool.release(entry)
+            thread.join(timeout=5.0)
+            assert len(got) == 1
+            pool.release(got[0])
+
+    def test_snoop_invalidates_after_external_commit(self, db_path):
+        invalidated = []
+        with ConnectionPool(
+                db_path, size=1,
+                invalidate=invalidated.append) as pool:
+            with pool.lease() as db:
+                before = db.data_version
+                assert db.row_count("rdf_link$") == 2
+            # An external writer commits between leases.
+            with RDFStore(db_path, durability="durable") as writer:
+                writer.insert_triple("m1", "<urn:c>", "<urn:p>",
+                                     "<urn:d>")
+            with pool.lease() as db:
+                assert db.row_count("rdf_link$") == 3
+                assert db.data_version > before
+            assert pool.stats()["invalidations"] == 1
+            assert len(invalidated) == 1
+
+    def test_no_spurious_invalidation(self, db_path):
+        with ConnectionPool(db_path, size=1) as pool:
+            for _ in range(3):
+                with pool.lease():
+                    pass
+            assert pool.stats()["invalidations"] == 0
+
+    def test_wrap_builds_store_sessions(self, db_path):
+        with ConnectionPool(
+                db_path, size=1,
+                wrap=lambda db: RDFStore(db, observe=False),
+                invalidate=lambda s: s.values.invalidate_cache()) as pool:
+            with pool.lease() as store:
+                assert isinstance(store, RDFStore)
+                assert len(list(store.iter_model_triples("m1"))) == 2
+
+    def test_closed_pool_refuses_leases(self, db_path):
+        pool = ConnectionPool(db_path, size=1)
+        with pool.lease():
+            pass
+        pool.close()
+        with pytest.raises(StorageError, match="closed"):
+            pool.acquire()
+
+
+# ----------------------------------------------------------------------
+# the writer queue
+# ----------------------------------------------------------------------
+
+def _store_factory(path):
+    return lambda: RDFStore(path, durability="durable")
+
+
+class TestWriterQueue:
+    def test_jobs_run_in_order(self, db_path):
+        writer = WriterQueue(_store_factory(db_path)).start()
+        try:
+            order = []
+
+            def job(tag):
+                def run(store):
+                    order.append(tag)
+                    return tag
+                return run
+
+            futures = [writer.submit(job(i)) for i in range(5)]
+            assert [f.result(timeout=10) for f in futures] \
+                == [0, 1, 2, 3, 4]
+            assert order == [0, 1, 2, 3, 4]
+            assert writer.stats()["jobs_done"] == 5
+        finally:
+            writer.stop()
+
+    def test_job_writes_are_visible(self, db_path):
+        writer = WriterQueue(_store_factory(db_path)).start()
+        try:
+            writer.call(lambda store: store.insert_triple(
+                "m1", "<urn:x>", "<urn:p>", "<urn:y>"), timeout=10)
+        finally:
+            writer.stop()
+        with Database(db_path, read_only=True) as db:
+            assert db.row_count("rdf_link$") == 3
+
+    def test_job_error_propagates_writer_survives(self, db_path):
+        writer = WriterQueue(_store_factory(db_path)).start()
+        try:
+            def boom(store):
+                raise ValueError("bad job")
+
+            with pytest.raises(ValueError, match="bad job"):
+                writer.submit(boom).result(timeout=10)
+            assert writer.running
+            assert writer.call(lambda s: 42, timeout=10) == 42
+            assert writer.stats()["jobs_failed"] == 1
+        finally:
+            writer.stop()
+
+    def test_full_queue_is_backpressure(self, db_path):
+        writer = WriterQueue(_store_factory(db_path), maxsize=1).start()
+        gate = threading.Event()
+        started = threading.Event()
+
+        def block(store):
+            started.set()
+            gate.wait(10)
+
+        try:
+            blocked = writer.submit(block)
+            assert started.wait(10)  # writer is busy with `block`
+            writer.submit(lambda store: None)  # fills the queue
+            with pytest.raises(PoolTimeoutError, match="queue full"):
+                writer.submit(lambda store: None)
+        finally:
+            gate.set()
+            blocked.result(timeout=10)
+            writer.stop()
+
+    def test_stop_drains_pending_jobs(self, db_path):
+        writer = WriterQueue(_store_factory(db_path)).start()
+        futures = [
+            writer.submit(lambda store, i=i: store.insert_triple(
+                "m1", f"<urn:drain{i}>", "<urn:p>", "<urn:o>"))
+            for i in range(5)
+        ]
+        writer.stop(drain=True)
+        assert all(f.done() and f.exception() is None for f in futures)
+        with Database(db_path, read_only=True) as db:
+            assert db.row_count("rdf_link$") == 7
+
+    def test_stop_without_drain_fails_pending(self, db_path):
+        writer = WriterQueue(_store_factory(db_path)).start()
+        gate = threading.Event()
+        started = threading.Event()
+
+        def block(store):
+            started.set()
+            gate.wait(10)
+
+        blocked = writer.submit(block)
+        assert started.wait(10)  # writer is busy with `block`
+        pending = writer.submit(lambda store: None)
+        stopper = threading.Thread(
+            target=lambda: writer.stop(drain=False))
+        stopper.start()
+        # The purge fails `pending` fast, while `block` still runs.
+        with pytest.raises(StorageError, match="stopped before"):
+            pending.result(timeout=10)
+        gate.set()
+        stopper.join(timeout=10)
+        assert not stopper.is_alive()
+        blocked.result(timeout=10)
+
+    def test_factory_failure_surfaces_at_start(self, tmp_path):
+        def factory():
+            raise RuntimeError("cannot open")
+
+        with pytest.raises(StorageError, match="cannot open"):
+            WriterQueue(factory).start()
+
+    def test_submit_after_stop_is_an_error(self, db_path):
+        writer = WriterQueue(_store_factory(db_path)).start()
+        writer.stop()
+        with pytest.raises(StorageError, match="not running"):
+            writer.submit(lambda store: None)

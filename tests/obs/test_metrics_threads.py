@@ -1,0 +1,156 @@
+"""Thread-safety regressions for the observability layer.
+
+The serving layer shares one Observer across the read pool, the writer
+thread, and the HTTP handler threads.  Unlocked counters drop
+increments under contention (read-modify-write races); these tests
+fail reliably on the pre-lock implementation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import Observer
+from repro.obs.tracing import Tracer
+
+THREADS = 8
+
+
+def hammer(worker, threads=THREADS):
+    errors: list[BaseException] = []
+
+    def run(index):
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - test harness
+            errors.append(exc)
+
+    pool = [threading.Thread(target=run, args=(i,))
+            for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=60)
+    if errors:
+        raise errors[0]
+
+
+class TestMetricsThreads:
+    def test_counter_drops_no_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def worker(index):
+            for _ in range(10_000):
+                counter.inc()
+
+        hammer(worker)
+        assert counter.value == THREADS * 10_000
+
+    def test_get_or_create_race_yields_one_instrument(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for _ in range(2_000):
+                registry.counter("shared").inc()
+
+        hammer(worker)
+        assert registry.counter("shared").value == THREADS * 2_000
+        assert len(list(registry)) == 1
+
+    def test_histogram_observes_and_percentiles_concurrently(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+
+        def worker(index):
+            for i in range(2_000):
+                histogram.observe(index + i / 2_000)
+                if i % 250 == 0:
+                    histogram.percentile(0.95)  # must not crash mid-scan
+
+        hammer(worker)
+        assert histogram.count == THREADS * 2_000
+
+    def test_gauge_set_dec_concurrently(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+
+        def worker(index):
+            for _ in range(5_000):
+                gauge.inc()
+                gauge.dec()
+
+        hammer(worker)
+        assert gauge.value == 0
+
+    def test_snapshot_while_mutating(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for i in range(500):
+                registry.counter(f"c{index}.{i % 20}").inc()
+                registry.as_dict()
+                registry.prometheus_text()
+
+        hammer(worker)
+
+
+class TestTracerThreads:
+    def test_span_stacks_are_per_thread(self):
+        tracer = Tracer(capacity=100_000)
+
+        def worker(index):
+            for i in range(500):
+                with tracer.span(f"outer-{index}") as outer:
+                    with tracer.span(f"inner-{index}") as inner:
+                        # Nesting must reflect this thread only.
+                        assert inner.depth == outer.depth + 1
+
+        hammer(worker)
+        assert len(tracer) == THREADS * 500 * 2
+        assert tracer.dropped == 0
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = Tracer(capacity=50_000)
+
+        def worker(index):
+            for _ in range(1_000):
+                with tracer.span("s"):
+                    pass
+
+        hammer(worker)
+        ids = [span.span_id for span in tracer.last(THREADS * 1_000)]
+        assert len(ids) == len(set(ids))
+
+
+class TestObserverThreads:
+    def test_shared_observer_under_concurrent_database_use(self, tmp_path):
+        """One Observer over several databases used from many threads."""
+        from repro.core.store import RDFStore
+        from repro.db.connection import Database
+
+        observer = Observer(capture_plans=False)
+        path = tmp_path / "obs.db"
+        with RDFStore(Database(path, durability="durable",
+                               observer=observer)) as seed:
+            seed.create_model("m1")
+            seed.insert_triple("m1", "<urn:a>", "<urn:p>", "<urn:b>")
+
+        def worker(index):
+            database = Database(path, durability="durable",
+                                observer=observer, read_only=True)
+            try:
+                for _ in range(50):
+                    with observer.span("read"):
+                        database.query_all(
+                            'SELECT * FROM "rdf_link$"')
+            finally:
+                database.close()
+
+        hammer(worker)
+        executions = sum(stats.count
+                         for stats in observer.sql.statements())
+        assert executions >= THREADS * 50
+        snapshot = observer.snapshot()
+        assert snapshot["enabled"] is True

@@ -1,0 +1,363 @@
+"""End-to-end tests for the HTTP serving layer.
+
+Every test runs a real :class:`ReproServer` on an ephemeral port and
+talks to it with :class:`ReproClient` over actual sockets — threading,
+admission control, and the reader/writer split are exercised for real,
+not mocked.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.store import RDFStore
+from repro.errors import ServerError, StorageError
+from repro.server.app import ReproServer, ServerConfig
+from repro.server.client import ReproClient
+
+
+def make_server(tmp_path, **overrides):
+    defaults = dict(path=str(tmp_path / "serve.db"), port=0,
+                    workers=2, backlog=2, pool_timeout=0.2)
+    defaults.update(overrides)
+    return ReproServer(ServerConfig(**defaults))
+
+
+@pytest.fixture
+def server(tmp_path):
+    with make_server(tmp_path) as running:
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    with ReproClient(host, port) as c:
+        yield c
+
+
+# ----------------------------------------------------------------------
+# the basic protocol
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+    def test_insert_match_delete_roundtrip(self, client):
+        created = client.insert(
+            "m1",
+            [["<urn:a>", "<urn:p>", "<urn:b>"],
+             ["<urn:b>", "<urn:p>", "<urn:c>"]],
+            create=True)
+        assert created["created"] == 2
+        assert created["write_version"] == 1
+
+        result = client.match("(?s <urn:p> ?o)", ["m1"])
+        assert result["count"] == 2
+        assert result["data_version"] == 1
+        assert {"s": "urn:a", "o": "urn:b"} in result["rows"]
+
+        removed = client.delete("m1", "<urn:a>", "<urn:p>", "<urn:b>",
+                                force=True)
+        assert removed["removed"] is True
+        assert removed["write_version"] == 2
+        assert client.match("(?s <urn:p> ?o)", ["m1"])["count"] == 1
+
+    def test_match_with_aliases_filter_order_limit(self, client):
+        client.insert("m1", [
+            ["<urn:ex/a>", "<urn:ex/age>", '"3"'],
+            ["<urn:ex/b>", "<urn:ex/age>", '"1"'],
+            ["<urn:ex/c>", "<urn:ex/age>", '"2"'],
+        ], create=True)
+        result = client.match(
+            "(?s ex:age ?age)", "m1",
+            aliases={"ex": "urn:ex/"},
+            order_by="age", limit=2)
+        assert [row["age"] for row in result["rows"]] == ["1", "2"]
+
+    def test_match_unknown_model_is_404(self, client):
+        with pytest.raises(ServerError) as info:
+            client.match("(?s ?p ?o)", ["nope"])
+        assert info.value.status == 404
+
+    def test_bad_query_is_400(self, client):
+        client.insert("m1", [["<urn:a>", "<urn:p>", "<urn:b>"]],
+                      create=True)
+        with pytest.raises(ServerError) as info:
+            client.match("this is not a pattern", ["m1"])
+        assert info.value.status == 400
+
+    def test_malformed_body_is_400(self, server):
+        import http.client
+
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request("POST", "/match", body=b"{not json",
+                     headers={"Content-Type": "application/json"})
+        assert conn.getresponse().status == 400
+        conn.close()
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServerError) as info:
+            client._request("POST", "/nope", {})
+        assert info.value.status == 404
+
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["writer_running"] is True
+        assert health["integrity"] == "ok"
+
+    def test_stats_and_metrics(self, client):
+        client.insert("m1", [["<urn:a>", "<urn:p>", "<urn:b>"]],
+                      create=True)
+        client.match("(?s ?p ?o)", ["m1"])
+        stats = client.stats()
+        assert stats["pool"]["leases"] >= 1
+        assert stats["writer"]["jobs_done"] >= 1
+        assert stats["server"]["workers"] == 2
+        text = client.metrics_text()
+        assert "server_requests" in text
+        assert "server_latency_seconds" in text
+
+    def test_memory_path_is_rejected(self):
+        with pytest.raises(StorageError, match="file-backed"):
+            ServerConfig(path=":memory:")
+
+    def test_ephemeral_durability_is_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="WAL"):
+            ServerConfig(path=str(tmp_path / "x.db"),
+                         durability="ephemeral")
+
+
+# ----------------------------------------------------------------------
+# concurrency: readers vs the writer
+# ----------------------------------------------------------------------
+
+BATCH = 5  # triples per write transaction
+
+
+class TestConcurrentConsistency:
+    def test_no_torn_reads_and_monotonic_versions(self, server):
+        """Concurrent /match during streaming writes sees whole batches.
+
+        The writer streams batches of BATCH triples, one transaction
+        each.  Readers assert (a) every count is a multiple of BATCH —
+        a torn read would show a partial batch — and (b) data_version
+        never goes backwards per client.
+        """
+        host, port = server.address
+        with ReproClient(host, port) as setup:
+            setup.insert("m1", [["<urn:seed>", "<urn:q>", "<urn:o>"]],
+                         create=True)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writing():
+            with ReproClient(host, port) as writer_client:
+                for batch in range(12):
+                    triples = [
+                        [f"<urn:s{batch}-{i}>", "<urn:p>", "<urn:o>"]
+                        for i in range(BATCH)
+                    ]
+                    writer_client.insert("m1", triples)
+            stop.set()
+
+        def reading(tag):
+            last_version = -1
+            with ReproClient(host, port) as reader:
+                while not stop.is_set():
+                    result = reader.match_retrying(
+                        "(?s <urn:p> ?o)", ["m1"])
+                    if result["count"] % BATCH != 0:
+                        failures.append(
+                            f"{tag}: torn read, count="
+                            f"{result['count']}")
+                    if result["data_version"] < last_version:
+                        failures.append(
+                            f"{tag}: data_version went backwards "
+                            f"{last_version} -> "
+                            f"{result['data_version']}")
+                    last_version = result["data_version"]
+
+        threads = [threading.Thread(target=writing)] + [
+            threading.Thread(target=reading, args=(f"r{i}",))
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures, failures[:5]
+        with ReproClient(host, port) as check:
+            final = check.match_retrying("(?s <urn:p> ?o)", ["m1"])
+            assert final["count"] == 12 * BATCH
+
+
+# ----------------------------------------------------------------------
+# backpressure: 429, never a crash
+# ----------------------------------------------------------------------
+
+class TestBackpressure:
+    def test_saturated_admission_gate_answers_429(self, tmp_path):
+        with make_server(tmp_path, workers=1, backlog=0) as server:
+            host, port = server.address
+            with ReproClient(host, port) as setup:
+                setup.insert("m1",
+                             [["<urn:a>", "<urn:p>", "<urn:b>"]],
+                             create=True)
+            # Deterministic saturation: hold the only admission slot.
+            assert server.admit()
+            try:
+                with ReproClient(host, port) as c:
+                    with pytest.raises(ServerError) as info:
+                        c.match("(?s ?p ?o)", ["m1"])
+                assert info.value.status == 429
+                assert info.value.retry_after is not None
+                assert info.value.retry_after > 0
+            finally:
+                server.readmit()
+            # A slot freed: the same query goes through.
+            with ReproClient(host, port) as c:
+                assert c.match("(?s ?p ?o)", ["m1"])["count"] == 1
+
+    def test_429_carries_retry_after_header(self, tmp_path):
+        import http.client
+
+        with make_server(tmp_path, workers=1, backlog=0) as server:
+            host, port = server.address
+            assert server.admit()
+            try:
+                conn = http.client.HTTPConnection(host, port,
+                                                  timeout=10)
+                conn.request(
+                    "POST", "/match",
+                    body=b'{"query": "(?s ?p ?o)", "models": ["m"]}',
+                    headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                assert response.status == 429
+                assert int(response.getheader("Retry-After")) >= 1
+                conn.close()
+            finally:
+                server.readmit()
+
+    def test_full_writer_queue_answers_429(self, tmp_path):
+        with make_server(tmp_path, writer_queue=1) as server:
+            host, port = server.address
+            with ReproClient(host, port) as setup:
+                setup.insert("m1",
+                             [["<urn:a>", "<urn:p>", "<urn:b>"]],
+                             create=True)
+            gate = threading.Event()
+            started = threading.Event()
+
+            def block(store):
+                started.set()
+                gate.wait(10)
+
+            blocked = server.writer.submit(block)
+            assert started.wait(10)
+            server.writer.submit(lambda store: None)  # fills the queue
+            try:
+                with ReproClient(host, port) as c:
+                    with pytest.raises(ServerError) as info:
+                        c.insert("m1",
+                                 [["<urn:x>", "<urn:p>", "<urn:y>"]])
+                assert info.value.status == 429
+            finally:
+                gate.set()
+                blocked.result(timeout=10)
+
+    def test_storm_sheds_load_but_never_crashes(self, tmp_path):
+        """A 16-thread burst against 1 worker: 200s + 429s, no 5xx."""
+        with make_server(tmp_path, workers=1, backlog=0,
+                         pool_timeout=0.05) as server:
+            host, port = server.address
+            with ReproClient(host, port) as setup:
+                setup.insert("m1",
+                             [["<urn:a>", "<urn:p>", "<urn:b>"]],
+                             create=True)
+            statuses: list[int] = []
+            lock = threading.Lock()
+
+            def hammer():
+                with ReproClient(host, port) as c:
+                    for _ in range(5):
+                        try:
+                            c.match("(?s ?p ?o)", ["m1"])
+                            status = 200
+                        except ServerError as exc:
+                            status = exc.status
+                        with lock:
+                            statuses.append(status)
+
+            threads = [threading.Thread(target=hammer)
+                       for _ in range(16)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert len(statuses) == 16 * 5
+            assert set(statuses) <= {200, 429}
+            assert statuses.count(200) >= 1
+            # The server is still healthy after the storm.
+            with ReproClient(host, port) as c:
+                assert c.health()["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# graceful drain
+# ----------------------------------------------------------------------
+
+class TestGracefulDrain:
+    def test_stop_completes_inflight_write(self, tmp_path):
+        """stop() lets an in-flight write finish and commit."""
+        path = str(tmp_path / "serve.db")
+        server = make_server(tmp_path, path=path).start()
+        host, port = server.address
+        with ReproClient(host, port) as setup:
+            setup.insert("m1", [["<urn:seed>", "<urn:p>", "<urn:o>"]],
+                         create=True)
+        gate = threading.Event()
+        started = threading.Event()
+
+        def block(store):
+            started.set()
+            gate.wait(10)
+
+        server.writer.submit(block)
+        assert started.wait(10)
+
+        responses: list[dict] = []
+
+        def inflight_insert():
+            with ReproClient(host, port, timeout=30) as c:
+                responses.append(c.insert(
+                    "m1", [["<urn:drained>", "<urn:p>", "<urn:o>"]]))
+
+        request_thread = threading.Thread(target=inflight_insert)
+        request_thread.start()
+        # Wait until the insert is queued behind the blocker.
+        deadline = threading.Event()
+        for _ in range(200):
+            if server.writer.depth >= 1:
+                break
+            deadline.wait(0.01)
+        gate.set()
+        server.stop()  # drains: the queued insert must commit
+        request_thread.join(timeout=30)
+        assert responses and responses[0]["created"] == 1
+        with RDFStore(path, durability="durable") as store:
+            assert store.is_triple("m1", "<urn:drained>", "<urn:p>",
+                                   "<urn:o>")
+
+    def test_stop_is_idempotent_and_restartable(self, tmp_path):
+        server = make_server(tmp_path)
+        server.start()
+        server.stop()
+        server.stop()  # second stop is a no-op
+        server.start()  # the same config serves again
+        host, port = server.address
+        with ReproClient(host, port) as c:
+            assert c.health()["status"] == "ok"
+        server.stop()
