@@ -142,6 +142,18 @@ def _build_parser() -> argparse.ArgumentParser:
     models = commands.add_parser("models", help="list models")
     models.add_argument("db")
 
+    rules_index = commands.add_parser(
+        "rules-index", help="inspect or maintain rules indexes")
+    rules_index.add_argument("db")
+    rules_index.add_argument("action", choices=("status", "maintain"),
+                             help="status: list indexes with policy and "
+                             "staleness; maintain: bring one (or every) "
+                             "stale index up to date")
+    rules_index.add_argument("name", nargs="?", default=None,
+                             help="index name (default: all)")
+    rules_index.add_argument("--json", action="store_true",
+                             help="emit machine-readable output")
+
     stats = commands.add_parser("stats", help="store/network figures")
     stats.add_argument("db")
     stats.add_argument("model", nargs="?")
@@ -380,6 +392,8 @@ def _dispatch_store(args: argparse.Namespace, store: RDFStore,
             print(f"{info.model_name}  (MODEL_ID={info.model_id}, "
                   f"{count} triples)", file=out)
         return 0
+    if command == "rules-index":
+        return _rules_index(args, store, out)
     if command == "trace":
         return _trace(args, store, out)
     if command == "stats":
@@ -405,6 +419,58 @@ def _dispatch_store(args: argparse.Namespace, store: RDFStore,
     if command == "doctor":
         return _doctor(store, out)
     raise ReproError(f"unknown command {command!r}")
+
+
+def _rules_index(args: argparse.Namespace, store: RDFStore, out) -> int:
+    """``repro rules-index status|maintain [NAME]``."""
+    import json
+
+    manager = store.rules_indexes
+    if args.name is not None:
+        indexes = [manager.get(args.name)]
+    else:
+        indexes = manager.list_indexes()
+    if args.action == "status":
+        report = []
+        for index in indexes:
+            stale = manager.is_stale(index.index_name)
+            report.append({
+                "index_name": index.index_name,
+                "models": list(index.model_names),
+                "rulebases": list(index.rulebase_names),
+                "maintain": index.maintain,
+                "inferred_count": index.inferred_count,
+                "stale": stale,
+            })
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        else:
+            for entry in report:
+                print(f"{entry['index_name']}  "
+                      f"models={','.join(entry['models'])}  "
+                      f"rulebases={','.join(entry['rulebases'])}  "
+                      f"maintain={entry['maintain']}  "
+                      f"inferred={entry['inferred_count']}  "
+                      f"{'STALE' if entry['stale'] else 'fresh'}",
+                      file=out)
+            if not report:
+                print("(no rules indexes)", file=out)
+        return 0 if not any(entry["stale"] for entry in report) else 4
+    # maintain
+    results = []
+    for index in indexes:
+        worked = manager.maintain(index.index_name)
+        results.append({"index_name": index.index_name,
+                        "rebuilt": worked})
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True), file=out)
+    else:
+        for entry in results:
+            verb = "rebuilt" if entry["rebuilt"] else "already fresh"
+            print(f"{entry['index_name']}  {verb}", file=out)
+        if not results:
+            print("(no rules indexes)", file=out)
+    return 0
 
 
 def _doctor(store: RDFStore, out) -> int:

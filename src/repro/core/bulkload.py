@@ -115,6 +115,8 @@ class BulkLoader:
         the same whole-input-first behaviour the paper describes.
         """
         observer = self._db.observer
+        maintenance = self._store.rules_maintenance_targets(
+            self._model.model_name)
         with observer.span("bulkload.load",
                            model=self._model.model_name) as span:
             try:
@@ -125,11 +127,28 @@ class BulkLoader:
                     with observer.span("bulkload.merge_values") as mv_span:
                         new_values = self._merge_values()
                         mv_span.set("new_values", new_values)
+                    # Maintenance needs the exact triples this load
+                    # creates (duplicates excluded) — snapshot the link
+                    # counter so they can be read back after the merge.
+                    link_floor = self._max_link_id() if maintenance \
+                        else 0
                     with observer.span("bulkload.merge_links") as ml_span:
                         new_links = self._merge_links()
                         ml_span.set("new_links", new_links)
                     self._fix_reif_flags()
                     self._db.execute(f'DELETE FROM "{STAGE_TABLE}"')
+                    if new_links:
+                        self._store.links.bump_model_version(
+                            self._model.model_id)
+                    if maintenance and new_links:
+                        # Same transaction as the merge: the indexes
+                        # and the base rows commit (or roll back)
+                        # together.
+                        self._store.values.invalidate_cache()
+                        self._store.run_rules_maintenance(
+                            maintenance,
+                            self._new_link_triples(link_floor), (),
+                            self._model)
             except BaseException:
                 self._discard_staged()
                 raise
@@ -146,6 +165,24 @@ class BulkLoader:
                 observer.counter("bulkload.links_created").inc(new_links)
         return BulkLoadReport(staged, new_values, new_links,
                               staged - new_links)
+
+    def _max_link_id(self) -> int:
+        row = self._db.query_one(
+            f'SELECT IFNULL(MAX(link_id), 0) AS floor FROM "{LINK_TABLE}"')
+        return row["floor"]
+
+    def _new_link_triples(self, link_floor: int) -> list[Triple]:
+        """The triples whose link rows this load created."""
+        rows = self._db.query_all(
+            "SELECT start_node_id, p_value_id, end_node_id "
+            f'FROM "{LINK_TABLE}" WHERE model_id = ? AND link_id > ?',
+            (self._model.model_id, link_floor))
+        wanted: set[int] = set()
+        for row in rows:
+            wanted.update((row[0], row[1], row[2]))
+        terms = self._store.values.get_terms(wanted)
+        return [Triple(terms[row[0]], terms[row[1]], terms[row[2]])
+                for row in rows]
 
     def _discard_staged(self) -> None:
         """Drop staging rows after a failed load.

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Iterator
 
-from repro.core.schema import LINK_TABLE
+from repro.core.schema import LINK_TABLE, MODEL_VERSION_TABLE
 from repro.errors import TripleNotFoundError
 from repro.rdf.containers import is_membership_property
 from repro.rdf.namespaces import RDF
@@ -142,6 +142,50 @@ class LinkStore:
             yield LinkRow.from_row(row)
 
     # ------------------------------------------------------------------
+    # per-model write versions
+    # ------------------------------------------------------------------
+
+    def model_version(self, model_id: int) -> int:
+        """The persistent write version of a model (0 when unwritten).
+
+        Tolerates a pre-migration database without the version table
+        (possible only on read-only opens — writable opens create it).
+        """
+        if not self._db.table_exists(MODEL_VERSION_TABLE):
+            return 0
+        return int(self._db.query_value(
+            f'SELECT version FROM "{MODEL_VERSION_TABLE}" '
+            "WHERE model_id = ?", (model_id,), default=0))
+
+    def model_versions(self, model_ids) -> dict[int, int]:
+        """Batch form of :meth:`model_version`."""
+        ids = list(model_ids)
+        versions = {model_id: 0 for model_id in ids}
+        if not ids or not self._db.table_exists(MODEL_VERSION_TABLE):
+            return versions
+        placeholders = ", ".join("?" for _ in ids)
+        for row in self._db.query_all(
+                f'SELECT model_id, version FROM "{MODEL_VERSION_TABLE}" '
+                f"WHERE model_id IN ({placeholders})", ids):
+            versions[int(row["model_id"])] = int(row["version"])
+        return versions
+
+    def bump_model_version(self, model_id: int) -> None:
+        """Advance a model's write version (inside the caller's
+        transaction, so it commits or rolls back with the change)."""
+        self._db.execute(
+            f'INSERT INTO "{MODEL_VERSION_TABLE}" (model_id, version) '
+            "VALUES (?, 1) ON CONFLICT (model_id) "
+            "DO UPDATE SET version = version + 1", (model_id,))
+
+    def drop_model_version(self, model_id: int) -> None:
+        """Forget a dropped model's version row."""
+        if self._db.table_exists(MODEL_VERSION_TABLE):
+            self._db.execute(
+                f'DELETE FROM "{MODEL_VERSION_TABLE}" '
+                "WHERE model_id = ?", (model_id,))
+
+    # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
 
@@ -158,6 +202,7 @@ class LinkStore:
             (start_node_id, p_value_id, end_node_id, canon_end_node_id,
              link_type.value, context.value,
              "Y" if reif_link else "N", model_id))
+        self.bump_model_version(model_id)
         self._db.bump_data_version()
         return self.get(int(cursor.lastrowid))
 
@@ -191,6 +236,7 @@ class LinkStore:
         row = self.get(link_id)
         self._db.execute(
             f'DELETE FROM "{LINK_TABLE}" WHERE link_id = ?', (link_id,))
+        self.bump_model_version(row.model_id)
         self._db.bump_data_version()
         return row
 

@@ -12,7 +12,7 @@ import re
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
-from repro.core.schema import LINK_TABLE, MODEL_TABLE
+from repro.core.schema import LINK_TABLE, MODEL_TABLE, MODEL_VERSION_TABLE
 from repro.errors import ModelError, ModelExistsError, ModelNotFoundError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -86,6 +86,10 @@ class ModelRegistry:
         self._db.execute(
             f'DELETE FROM "{MODEL_TABLE}" WHERE model_id = ?',
             (info.model_id,))
+        if self._db.table_exists(MODEL_VERSION_TABLE):
+            self._db.execute(
+                f'DELETE FROM "{MODEL_VERSION_TABLE}" '
+                "WHERE model_id = ?", (info.model_id,))
         self._cache.pop(info.model_name, None)
         self._db.bump_data_version()
         return info

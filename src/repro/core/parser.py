@@ -57,6 +57,18 @@ class TripleParser:
         self._values = values
         self._links = links
         self._models = models
+        self._delta_hook = None
+
+    def set_delta_hook(self, hook) -> None:
+        """Register ``hook(model, added_triples, removed_triples)``.
+
+        Called inside the insert/remove transaction whenever a model's
+        triple set actually changes (a new link row, or a link row
+        going away — COST-only updates don't fire).  The store uses
+        this to maintain incremental rules indexes atomically with the
+        base write: a hook failure rolls the base write back too.
+        """
+        self._delta_hook = hook
 
     # ------------------------------------------------------------------
     # insert
@@ -72,30 +84,41 @@ class TripleParser:
         for internal inserts that do not correspond to an application
         table row (the COST column counts application rows only).
         """
-        with self._db.transaction():
-            subject_id = self._register_node(model, triple.subject)
-            predicate_id = self._values.lookup_or_insert(triple.predicate)
-            object_id = self._register_node(model, triple.object)
-            existing = self._links.find(
-                model.model_id, subject_id, predicate_id, object_id)
-            if existing is not None:
-                return self._merge_existing(existing, context, count_cost)
-            canon_id = self._canonical_object_id(triple.object, object_id)
-            link = self._links.insert(
-                model_id=model.model_id,
-                start_node_id=subject_id,
-                p_value_id=predicate_id,
-                end_node_id=object_id,
-                canon_end_node_id=canon_id,
-                link_type=LinkType.for_predicate(triple.predicate),
-                context=context,
-                reif_link=self._references_reified(triple))
-            if not count_cost:
-                # insert() seeds COST=1 assuming an application row;
-                # internal inserts start at 0.
-                self._links.decrement_cost(link.link_id)
-                link = self._links.get(link.link_id)
-            return InsertResult(link, created=True)
+        try:
+            with self._db.transaction():
+                subject_id = self._register_node(model, triple.subject)
+                predicate_id = self._values.lookup_or_insert(
+                    triple.predicate)
+                object_id = self._register_node(model, triple.object)
+                existing = self._links.find(
+                    model.model_id, subject_id, predicate_id, object_id)
+                if existing is not None:
+                    return self._merge_existing(existing, context,
+                                                count_cost)
+                canon_id = self._canonical_object_id(triple.object,
+                                                     object_id)
+                link = self._links.insert(
+                    model_id=model.model_id,
+                    start_node_id=subject_id,
+                    p_value_id=predicate_id,
+                    end_node_id=object_id,
+                    canon_end_node_id=canon_id,
+                    link_type=LinkType.for_predicate(triple.predicate),
+                    context=context,
+                    reif_link=self._references_reified(triple))
+                if not count_cost:
+                    # insert() seeds COST=1 assuming an application row;
+                    # internal inserts start at 0.
+                    self._links.decrement_cost(link.link_id)
+                    link = self._links.get(link.link_id)
+                if self._delta_hook is not None:
+                    self._delta_hook(model, (triple,), ())
+                return InsertResult(link, created=True)
+        except BaseException:
+            # The rollback discards value ids allocated in this scope;
+            # the cache must not keep handing them out.
+            self._values.invalidate_cache()
+            raise
 
     def _merge_existing(self, existing: LinkRow, context: Context,
                         count_cost: bool) -> InsertResult:
@@ -167,14 +190,28 @@ class TripleParser:
                 remaining = self._links.decrement_cost(link.link_id)
                 if remaining > 0:
                     return False
+            removed_triples = [triple]
             self._links.delete(link.link_id)
-            self._cascade_reification(model, link.link_id)
+            self._cascade_reification(model, link.link_id,
+                                      removed_triples)
             self._collect_node(subject_id)
             self._collect_node(object_id)
+            if self._delta_hook is not None:
+                self._delta_hook(model, (), tuple(removed_triples))
         return True
 
-    def _cascade_reification(self, model: ModelInfo,
-                             link_id: int) -> None:
+    def _link_triple(self, link: LinkRow) -> Triple:
+        """The stored triple of a link row, resolved back to terms."""
+        terms = self._values.get_terms(
+            {link.start_node_id, link.p_value_id, link.end_node_id})
+        predicate = terms[link.p_value_id]
+        assert isinstance(predicate, URI)
+        return Triple(terms[link.start_node_id], predicate,
+                      terms[link.end_node_id])
+
+    def _cascade_reification(self, model: ModelInfo, link_id: int,
+                             removed_triples: list[Triple] | None = None
+                             ) -> None:
         """Remove statements referencing the deleted triple's DBUri.
 
         The paper removes the link when a triple is deleted; its
@@ -192,8 +229,11 @@ class TripleParser:
             (model.model_id, dburi_id, dburi_id))]
         for dependent_id in dependent_ids:
             dependent = self._links.get(dependent_id)
+            if removed_triples is not None:
+                removed_triples.append(self._link_triple(dependent))
             self._links.delete(dependent_id)
-            self._cascade_reification(model, dependent_id)
+            self._cascade_reification(model, dependent_id,
+                                      removed_triples)
             self._collect_node(dependent.start_node_id)
             self._collect_node(dependent.end_node_id)
 

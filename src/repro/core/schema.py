@@ -42,6 +42,7 @@ NODE_TABLE = "rdf_node$"
 LINK_TABLE = "rdf_link$"
 BLANK_NODE_TABLE = "rdf_blank_node$"
 VERSION_TABLE = "rdf_schema_version$"
+MODEL_VERSION_TABLE = "rdf_model_version$"
 
 #: Bumped on incompatible central-schema layout changes; a database
 #: written by a newer layout refuses to open under older code.
@@ -127,6 +128,16 @@ CREATE TABLE IF NOT EXISTS "{BLANK_NODE_TABLE}" (
 
 CREATE TABLE IF NOT EXISTS "{VERSION_TABLE}" (
     version INTEGER PRIMARY KEY
+);
+
+-- Persistent per-model write counter: bumped inside every transaction
+-- that changes a model's triple set (insert, delete, bulk load).  Rules
+-- indexes record these at build time; staleness is the comparison —
+-- unlike triple counts, a balanced delete+insert still moves the
+-- version, and unlike in-memory counters, it survives restarts.
+CREATE TABLE IF NOT EXISTS "{MODEL_VERSION_TABLE}" (
+    model_id INTEGER PRIMARY KEY,
+    version  INTEGER NOT NULL DEFAULT 0
 );
 """
 

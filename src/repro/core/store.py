@@ -30,6 +30,7 @@ from repro.core.values import ValueStore
 from repro.db.connection import Database
 from repro.db.dburi import DBUri
 from repro.errors import (
+    ModelNotFoundError,
     ReificationError,
     SchemaError,
     TripleNotFoundError,
@@ -95,7 +96,13 @@ class RDFStore:
                                    self.models)
         self._plan_cache = None
         self._match_statistics = None
-        self._lazy_lock = threading.Lock()
+        self._rules_indexes = None
+        self._auto_rules_indexes = None
+        # RLock: loading maintenance targets under the lock may itself
+        # construct the lazy rules-index manager.
+        self._lazy_lock = threading.RLock()
+        if not database.read_only:
+            self.parser.set_delta_hook(self._on_base_delta)
 
     @property
     def database(self) -> Database:
@@ -121,6 +128,76 @@ class RDFStore:
                     from repro.inference.stats import MatchStatistics
                     self._match_statistics = MatchStatistics(self)
         return self._match_statistics
+
+    @property
+    def rules_indexes(self):
+        """The rules-index manager (lazy, one per store).
+
+        Sharing one manager keeps its in-memory closure states warm
+        across the write path, the query planner, and the inference
+        facade — constructing ad-hoc managers would reload the closure
+        on every delta.
+        """
+        if self._rules_indexes is None:
+            with self._lazy_lock:
+                if self._rules_indexes is None:
+                    from repro.inference.rules_index import (
+                        RulesIndexManager,
+                    )
+                    self._rules_indexes = RulesIndexManager(self)
+        return self._rules_indexes
+
+    def invalidate_rules_maintenance(self) -> None:
+        """Forget the cached write-time maintenance targets (called by
+        the manager when indexes are created/dropped/repoliced)."""
+        self._auto_rules_indexes = None
+
+    def rules_maintenance_targets(self, model_name: str):
+        """Auto-maintained rules indexes covering ``model_name``."""
+        targets = self._auto_rules_indexes
+        if targets is None:
+            with self._lazy_lock:
+                targets = self._auto_rules_indexes
+                if targets is None:
+                    targets = self._load_maintenance_targets()
+                    self._auto_rules_indexes = targets
+        name = model_name.lower()
+        return tuple(index for index in targets
+                     if name in index.model_names)
+
+    def _load_maintenance_targets(self):
+        # Cheap path for stores that never created a rules index: one
+        # sqlite_master probe, then a cached empty tuple — the write
+        # path must not pay for inference it doesn't use.
+        from repro.inference.rules_index import INDEX_CATALOG
+        if self._rules_indexes is None \
+                and not self._db.table_exists(INDEX_CATALOG):
+            return ()
+        return tuple(self.rules_indexes.auto_maintained())
+
+    def _on_base_delta(self, model: ModelInfo, added, removed) -> None:
+        """Parser hook: maintain covering auto-policy rules indexes
+        inside the same transaction as the base write."""
+        targets = self.rules_maintenance_targets(model.model_name)
+        if targets:
+            self.run_rules_maintenance(targets, added, removed, model)
+
+    def run_rules_maintenance(self, targets, added, removed,
+                              model: "ModelInfo | None" = None) -> None:
+        """Apply each target's maintenance policy for a base delta."""
+        manager = self.rules_indexes
+        for index in targets:
+            try:
+                if index.maintain == "incremental":
+                    manager.apply_delta(index.index_name, added, removed,
+                                        source_model=model)
+                else:
+                    manager.rebuild(index.index_name)
+            except ModelNotFoundError:
+                # Another covered model was dropped: the index cannot
+                # be maintained, but that must not fail writes to the
+                # surviving models — it simply stays stale.
+                continue
 
     @property
     def observer(self) -> Observer:

@@ -148,6 +148,23 @@ class RulesIndexError(RulebaseError):
     """A rules-index operation failed (unknown index, stale index)."""
 
 
+class StaleRulesIndexError(RulesIndexError):
+    """A query needs a rules index whose source models changed since it
+    was built (maintenance policy ``manual``).
+
+    Run ``RulesIndexManager.rebuild``/``apply_delta`` (or the CLI's
+    ``repro rules-index DB maintain``) to refresh it, or create the
+    index with ``maintain="incremental"`` so writes keep it current.
+    """
+
+    def __init__(self, index_name: str) -> None:
+        self.index_name = index_name
+        super().__init__(
+            f"rules index {index_name!r} is stale: its source models "
+            "changed since it was built; rebuild or maintain it (or "
+            "create it with maintain='incremental')")
+
+
 class NetworkError(ReproError):
     """An NDM logical-network operation failed."""
 

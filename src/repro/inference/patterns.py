@@ -86,6 +86,29 @@ class TriplePattern:
         return f"({self.subject} {self.predicate} {self.object})"
 
 
+def unify(pattern: TriplePattern, triple: Triple,
+          bindings: dict[str, RDFTerm] | None = None
+          ) -> dict[str, RDFTerm] | None:
+    """Bindings making ``pattern`` match ``triple``, or None.
+
+    Starts from ``bindings`` (not mutated) and extends it; returns None
+    on a constant mismatch or a variable clash.  The workhorse of the
+    incremental rules-index engine: anchoring a rule antecedent at a
+    delta triple, and anchoring a consequent at a triple to re-derive.
+    """
+    result = dict(bindings) if bindings else {}
+    for component, term in zip(pattern.components(), triple):
+        if isinstance(component, Variable):
+            existing = result.get(component.name)
+            if existing is None:
+                result[component.name] = term
+            elif existing != term:
+                return None
+        elif component != term:
+            return None
+    return result
+
+
 def parse_pattern_list(text: str,
                        aliases: AliasSet | None = None
                        ) -> list[TriplePattern]:

@@ -43,10 +43,10 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.core.schema import LINK_TABLE
-from repro.errors import RulesIndexError
+from repro.errors import RulesIndexError, StaleRulesIndexError
 from repro.inference.filters import Comparison, FilterExpression, _Var
 from repro.inference.patterns import TriplePattern, Variable
-from repro.inference.rules_index import INFERRED_TABLE, RulesIndexManager
+from repro.inference.rules_index import INFERRED_TABLE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.store import RDFStore
@@ -361,15 +361,26 @@ def resolve_rules_index(store: "RDFStore", models: Sequence[str],
     Raises :class:`~repro.errors.RulesIndexError` when rulebases are
     given but no index covers them, mirroring Oracle's requirement to
     run CREATE_RULES_INDEX first.
+
+    A stale index is never used silently: a ``manual`` index raises
+    :class:`~repro.errors.StaleRulesIndexError`, while an auto-policy
+    index (``incremental``/``rebuild`` — stale only through paths that
+    bypass the write hook, e.g. a crash before commit) is rebuilt in
+    place when the store is writable and refused when it is not.
     """
     if not rulebases:
         return None
-    index = RulesIndexManager(store).find_covering(models, rulebases)
+    manager = store.rules_indexes
+    index = manager.find_covering(models, rulebases)
     if index is None:
         raise RulesIndexError(
             "no rules index covers models "
             f"{list(models)} with rulebases {list(rulebases)}; "
             "run CREATE_RULES_INDEX first")
+    if manager.is_stale(index.index_name):
+        if index.maintain == "manual" or store.database.read_only:
+            raise StaleRulesIndexError(index.index_name)
+        manager.rebuild(index.index_name)
     return index.index_name
 
 

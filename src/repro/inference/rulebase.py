@@ -167,10 +167,14 @@ class RulebaseManager:
 
     def __init__(self, database: "Database") -> None:
         self._db = database
-        self._db.execute(
-            f"CREATE TABLE IF NOT EXISTS "
-            f"{quote_identifier(RULEBASE_CATALOG)} ("
-            " rulebase_name TEXT PRIMARY KEY)")
+        # Pooled server readers attach read-only: the catalog must
+        # already exist (the writer created it) and DDL would be
+        # rejected by the write guard.
+        if not database.read_only:
+            self._db.execute(
+                f"CREATE TABLE IF NOT EXISTS "
+                f"{quote_identifier(RULEBASE_CATALOG)} ("
+                " rulebase_name TEXT PRIMARY KEY)")
 
     def create_rulebase(self, rulebase_name: str) -> Rulebase:
         """``SDO_RDF_INFERENCE.CREATE_RULEBASE(name)``."""
@@ -199,6 +203,8 @@ class RulebaseManager:
             "WHERE rulebase_name = ?", (name,))
 
     def exists(self, rulebase_name: str) -> bool:
+        if not self._db.table_exists(RULEBASE_CATALOG):
+            return False  # read-only open of a database with no rules
         return self._db.query_one(
             f"SELECT 1 FROM {quote_identifier(RULEBASE_CATALOG)} "
             "WHERE rulebase_name = ?", (rulebase_name.lower(),)) is not None

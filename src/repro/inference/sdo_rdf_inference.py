@@ -24,7 +24,9 @@ class SDO_RDF_INFERENCE:
 
     def __init__(self, store: "RDFStore") -> None:
         self._store = store
-        self._indexes = RulesIndexManager(store)
+        # The store's shared manager: its in-memory closure states stay
+        # warm across this facade, the write path, and the planner.
+        self._indexes = store.rules_indexes
 
     @property
     def store(self) -> "RDFStore":
@@ -64,10 +66,17 @@ class SDO_RDF_INFERENCE:
 
     def create_rules_index(self, index_name: str,
                            models: Sequence[str],
-                           rulebases: Sequence[str]) -> RulesIndex:
-        """``SDO_RDF_INFERENCE.CREATE_RULES_INDEX(name, models, rbs)``."""
+                           rulebases: Sequence[str],
+                           maintain: str = "manual") -> RulesIndex:
+        """``SDO_RDF_INFERENCE.CREATE_RULES_INDEX(name, models, rbs)``.
+
+        ``maintain`` selects the maintenance policy (``manual``,
+        ``incremental``, or ``rebuild`` — see
+        :meth:`repro.inference.rules_index.RulesIndexManager.create_rules_index`).
+        """
         return self._indexes.create_rules_index(index_name, models,
-                                                rulebases)
+                                                rulebases,
+                                                maintain=maintain)
 
     def drop_rules_index(self, index_name: str) -> None:
         self._indexes.drop_rules_index(index_name)

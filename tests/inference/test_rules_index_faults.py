@@ -1,0 +1,193 @@
+"""Fault injection against incremental rules-index maintenance.
+
+The maintenance runs inside the same transaction as the base write,
+so the invariant under any failure — injected engine error or a
+killed process — is all-or-nothing: either the write and the index
+delta both land, or neither does.  The index is never left
+half-applied; at worst it is honestly stale.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.integrity import check_integrity
+from repro.core.store import RDFStore
+from repro.db.connection import Database
+from repro.db.faults import KILL_EXIT_CODE, FaultInjector
+from repro.db.resilience import RetryPolicy
+from repro.errors import StorageError
+from repro.inference.rules_index import count_support, forward_closure
+from repro.inference.sdo_rdf_inference import SDO_RDF_INFERENCE
+from repro.obs.observer import Observer
+from repro.rdf.graph import Graph
+
+pytestmark = pytest.mark.faults
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def fast_retry(max_attempts: int = 5) -> RetryPolicy:
+    return RetryPolicy(max_attempts=max_attempts, base_delay=0.001,
+                       jitter=0.0, sleep=lambda _d: None)
+
+
+def _chain(store, count):
+    for i in range(count):
+        store.insert_triple("m", f"<urn:n{i}>", "<urn:p>",
+                            f"<urn:n{i + 1}>")
+
+
+def _index_store(store):
+    inference = SDO_RDF_INFERENCE(store)
+    inference.create_rulebase("rb")
+    inference.insert_rule(
+        "rb", "hop2", "(?a <urn:p> ?b) (?b <urn:p> ?c)", None,
+        "(?a <urn:q> ?c)")
+    inference.create_rules_index("ix", ["m"], ["rb"],
+                                 maintain="incremental")
+    return inference
+
+
+def _assert_consistent(store):
+    """The index equals a from-scratch closure over the current base."""
+    manager = store.rules_indexes
+    base = Graph()
+    for triple in store.iter_model_triples("m"):
+        base.add(triple)
+    rules = manager._resolve_rules(("rb",))
+    inferred = forward_closure(base, rules)
+    closure = Graph(base)
+    for triple in inferred:
+        closure.add(triple)
+    assert set(manager.inferred_triples("ix")) == set(inferred)
+    assert manager.support_counts("ix") == count_support(
+        closure, inferred, rules)
+    assert not manager.is_stale("ix")
+
+
+@pytest.fixture
+def injector():
+    return FaultInjector()
+
+
+@pytest.fixture
+def store(injector):
+    database = Database(retry=fast_retry(), faults=injector,
+                        observer=Observer())
+    with RDFStore(database) as store:
+        store.create_model("m")
+        _chain(store, 4)
+        _index_store(store)
+        yield store
+
+
+class TestInjectedFaults:
+    @pytest.mark.parametrize("match,site", [
+        ('INSERT OR REPLACE INTO "rdf_inferred$"', "executemany"),
+        ('INSERT OR REPLACE INTO "rdf_infer_support$"', "executemany"),
+        ('UPDATE "rdf_rules_index$"', "statement"),
+    ])
+    def test_fatal_fault_mid_delta_is_atomic(self, store, injector,
+                                             match, site):
+        """A fatal error during apply_delta fails the *whole* write:
+        the base triple rolls back with the index delta, and the index
+        still answers for the pre-write base."""
+        fault = injector.inject("disk_io", match=match, site=site)
+        with pytest.raises(StorageError):
+            store.insert_triple("m", "<urn:n4>", "<urn:p>", "<urn:n5>")
+        assert fault.fired >= 1
+        assert not store.is_triple("m", "<urn:n4>", "<urn:p>",
+                                   "<urn:n5>")
+        _assert_consistent(store)
+        # The poisoned in-memory state was dropped: the next maintained
+        # write reloads from the rolled-back tables and stays exact.
+        injector.reset()
+        store.insert_triple("m", "<urn:n4>", "<urn:p>", "<urn:n5>")
+        _assert_consistent(store)
+
+    def test_transient_lock_mid_delta_is_retried(self, store, injector):
+        fault = injector.inject(
+            "lock", match='INSERT OR REPLACE INTO "rdf_infer_support$"',
+            site="executemany", times=2)
+        store.insert_triple("m", "<urn:n4>", "<urn:p>", "<urn:n5>")
+        assert fault.fired == 2
+        _assert_consistent(store)
+
+    def test_fatal_fault_mid_delete_is_atomic(self, store, injector):
+        fault = injector.inject(
+            "disk_io", match='DELETE FROM "rdf_inferred$"',
+            site="executemany")
+        with pytest.raises(StorageError):
+            store.remove_triple("m", "<urn:n1>", "<urn:p>", "<urn:n2>")
+        assert fault.fired == 1
+        assert store.is_triple("m", "<urn:n1>", "<urn:p>", "<urn:n2>")
+        _assert_consistent(store)
+
+
+#: Builds the maintained store, then dies mid-maintained-write.
+CHILD_SCRIPT = """
+import sys
+from repro.core.store import RDFStore
+from repro.db.faults import FaultInjector
+from repro.inference.sdo_rdf_inference import SDO_RDF_INFERENCE
+
+path, match, site = sys.argv[1:4]
+store = RDFStore(path, durability="durable")
+store.create_model("m")
+for i in range(4):
+    store.insert_triple("m", f"<urn:n{i}>", "<urn:p>",
+                        f"<urn:n{i + 1}>")
+inference = SDO_RDF_INFERENCE(store)
+inference.create_rulebase("rb")
+inference.insert_rule("rb", "hop2", "(?a <urn:p> ?b) (?b <urn:p> ?c)",
+                      None, "(?a <urn:q> ?c)")
+inference.create_rules_index("ix", ["m"], ["rb"],
+                             maintain="incremental")
+injector = FaultInjector()
+injector.inject("kill", match=match, site=site)
+store.database.set_fault_injector(injector)
+store.insert_triple("m", "<urn:n4>", "<urn:p>", "<urn:n5>")
+print("SURVIVED")  # must be unreachable
+"""
+
+
+def crash_write(db_path, match: str,
+                site: str = "statement") -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env.pop("REPRO_DURABILITY", None)
+    return subprocess.run(
+        [sys.executable, "-c", CHILD_SCRIPT, str(db_path), match, site],
+        capture_output=True, text=True, env=env, timeout=120)
+
+
+@pytest.mark.parametrize("match,site", [
+    ('INSERT OR REPLACE INTO "rdf_inferred$"', "executemany"),
+    ('INSERT OR REPLACE INTO "rdf_infer_support$"', "executemany"),
+    ("COMMIT", "statement"),
+])
+def test_kill_mid_apply_delta_recovers_clean(tmp_path, match, site):
+    db_path = tmp_path / "crash.db"
+    result = crash_write(db_path, match, site)
+    assert result.returncode == KILL_EXIT_CODE, result.stderr
+    assert "SURVIVED" not in result.stdout
+
+    with RDFStore(db_path, durability="durable") as store:
+        db = store.database
+        assert db.query_value("PRAGMA integrity_check") == "ok"
+        assert check_integrity(store) == []
+        # All-or-nothing: the maintained write died, so the base write
+        # is gone in full with its index delta ...
+        assert not store.is_triple("m", "<urn:n4>", "<urn:p>",
+                                   "<urn:n5>")
+        # ... and the recovered index is exact for the recovered base
+        # (never half-applied).
+        _assert_consistent(store)
+        # The recovered store keeps maintaining.
+        store.insert_triple("m", "<urn:n4>", "<urn:p>", "<urn:n5>")
+        _assert_consistent(store)

@@ -1,0 +1,440 @@
+"""Incremental rules-index maintenance: policies, deltas, support.
+
+The differential contract: after any maintained write, the index's
+materialised triples and support counts equal a from-scratch
+``forward_closure``/``count_support`` over the current base — and the
+index reports fresh.  The property harness
+(tests/property/test_rules_index_incremental.py) fuzzes this; here the
+named cases pin each mechanism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.store import RDFStore
+from repro.db.connection import Database
+from repro.errors import RulesIndexError, StaleRulesIndexError
+from repro.inference.match import sdo_rdf_match
+from repro.inference.rules_index import count_support, forward_closure
+from repro.rdf.graph import Graph
+
+
+def _node(i):
+    return f"<urn:n{i}>"
+
+
+def _chain(store, model, count):
+    for i in range(count):
+        store.insert_triple(model, _node(i), "<urn:p>", _node(i + 1))
+
+
+def _join_rulebase(inference, name="rb"):
+    inference.create_rulebase(name)
+    inference.insert_rule(
+        name, "hop2", "(?a <urn:p> ?b) (?b <urn:p> ?c)", None,
+        "(?a <urn:q> ?c)")
+    return name
+
+
+def _oracle(store, manager, models, rulebases):
+    """From-scratch closure + support over the current base."""
+    base = Graph()
+    for model in models:
+        for triple in store.iter_model_triples(model):
+            base.add(triple)
+    rules = manager._resolve_rules(tuple(rulebases))
+    inferred = forward_closure(base, rules)
+    closure = Graph(base)
+    for triple in inferred:
+        closure.add(triple)
+    return inferred, count_support(closure, inferred, rules)
+
+
+def _assert_consistent(store, manager, index_name, models, rulebases):
+    inferred, support = _oracle(store, manager, models, rulebases)
+    assert set(manager.inferred_triples(index_name)) == set(inferred)
+    assert manager.support_counts(index_name) == support
+    assert not manager.is_stale(index_name)
+
+
+class TestPolicies:
+    def test_default_policy_is_manual(self, store, inference):
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        index = inference.create_rules_index("ix", ["m"], ["rb"])
+        assert index.maintain == "manual"
+
+    def test_unknown_policy_rejected(self, store, inference):
+        store.create_model("m")
+        _join_rulebase(inference)
+        with pytest.raises(RulesIndexError, match="maintenance policy"):
+            inference.create_rules_index("ix", ["m"], ["rb"],
+                                         maintain="eager")
+
+    def test_manual_stale_index_refuses_match(self, store, inference):
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"])
+        store.insert_triple("m", _node(3), "<urn:p>", _node(4))
+        with pytest.raises(StaleRulesIndexError, match="ix"):
+            sdo_rdf_match(store, "(?a <urn:q> ?c)", ["m"],
+                          rulebases=["rb"])
+
+    def test_manual_fresh_index_serves_match(self, store, inference):
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"])
+        rows = sdo_rdf_match(store, "(?a <urn:q> ?c)", ["m"],
+                             rulebases=["rb"])
+        assert len(rows) == 2
+
+    def test_rebuild_policy_auto_rebuilds_on_write(self, store,
+                                                   inference):
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"],
+                                     maintain="rebuild")
+        store.insert_triple("m", _node(3), "<urn:p>", _node(4))
+        manager = store.rules_indexes
+        assert not manager.is_stale("ix")
+        assert manager.get("ix").inferred_count == 3
+
+    def test_set_maintenance_switches_policy(self, store, inference):
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"])
+        manager = store.rules_indexes
+        manager.set_maintenance("ix", "incremental")
+        assert manager.get("ix").maintain == "incremental"
+        store.insert_triple("m", _node(3), "<urn:p>", _node(4))
+        _assert_consistent(store, manager, "ix", ["m"], ["rb"])
+
+    def test_maintain_catches_up_stale_manual_index(self, store,
+                                                    inference):
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"])
+        store.insert_triple("m", _node(3), "<urn:p>", _node(4))
+        manager = store.rules_indexes
+        assert manager.maintain("ix") is True
+        _assert_consistent(store, manager, "ix", ["m"], ["rb"])
+        assert manager.maintain("ix") is False  # already fresh
+
+
+class TestIncrementalWrites:
+    def test_insert_extends_index(self, store, inference):
+        store.create_model("m")
+        _chain(store, "m", 4)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"],
+                                     maintain="incremental")
+        manager = store.rules_indexes
+        store.insert_triple("m", _node(4), "<urn:p>", _node(5))
+        _assert_consistent(store, manager, "ix", ["m"], ["rb"])
+
+    def test_delete_retracts_inferences(self, store, inference):
+        store.create_model("m")
+        _chain(store, "m", 5)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"],
+                                     maintain="incremental")
+        manager = store.rules_indexes
+        store.remove_triple("m", _node(2), "<urn:p>", _node(3),
+                            force=True)
+        _assert_consistent(store, manager, "ix", ["m"], ["rb"])
+
+    def test_multi_derivation_survives_single_delete(self, store,
+                                                     inference):
+        """A diamond: q(a,d) has two derivations; deleting one leg
+        keeps the triple with support reduced to one."""
+        store.create_model("m")
+        inference.create_rulebase("rb")
+        inference.insert_rule(
+            "rb", "hop2", "(?a <urn:p> ?b) (?b <urn:p> ?c)", None,
+            "(?a <urn:q> ?c)")
+        for s, o in (("a", "b1"), ("b1", "d"), ("a", "b2"),
+                     ("b2", "d")):
+            store.insert_triple("m", f"<urn:{s}>", "<urn:p>",
+                                f"<urn:{o}>")
+        inference.create_rules_index("ix", ["m"], ["rb"],
+                                     maintain="incremental")
+        manager = store.rules_indexes
+        from repro.rdf.terms import URI
+        from repro.rdf.triple import Triple
+        inferred = Triple(URI("urn:a"), URI("urn:q"), URI("urn:d"))
+        assert manager.support_counts("ix")[inferred] == 2
+        store.remove_triple("m", "<urn:a>", "<urn:p>", "<urn:b1>",
+                            force=True)
+        assert manager.support_counts("ix")[inferred] == 1
+        _assert_consistent(store, manager, "ix", ["m"], ["rb"])
+        store.remove_triple("m", "<urn:a>", "<urn:p>", "<urn:b2>",
+                            force=True)
+        assert inferred not in manager.support_counts("ix")
+        _assert_consistent(store, manager, "ix", ["m"], ["rb"])
+
+    def test_rdfs_transitive_cycle_delete(self, store, inference):
+        """DRed under cyclic support: counting alone cannot retract a
+        subclass cycle, delete-and-rederive can."""
+        store.create_model("m")
+        edges = [("A", "B"), ("B", "C"), ("C", "A")]
+        for s, o in edges:
+            store.insert_triple("m", f"<urn:{s}>", "rdfs:subClassOf",
+                                f"<urn:{o}>")
+        inference.create_rules_index("ix", ["m"], ["RDFS"],
+                                     maintain="incremental")
+        manager = store.rules_indexes
+        store.remove_triple("m", "<urn:C>", "rdfs:subClassOf",
+                            "<urn:A>", force=True)
+        _assert_consistent(store, manager, "ix", ["m"], ["RDFS"])
+
+    def test_inferred_to_base_transition(self, store, inference):
+        """Asserting an already-inferred triple moves it out of the
+        index (the base tables answer for it now)."""
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"],
+                                     maintain="incremental")
+        manager = store.rules_indexes
+        store.insert_triple("m", _node(0), "<urn:q>", _node(2))
+        _assert_consistent(store, manager, "ix", ["m"], ["rb"])
+        store.remove_triple("m", _node(0), "<urn:q>", _node(2),
+                            force=True)
+        _assert_consistent(store, manager, "ix", ["m"], ["rb"])
+
+    def test_duplicate_insert_does_not_change_index(self, store,
+                                                    inference):
+        """A COST-only duplicate insert fires no delta and leaves the
+        index fresh (no link row changed)."""
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"],
+                                     maintain="incremental")
+        manager = store.rules_indexes
+        before = manager.support_counts("ix")
+        store.insert_triple("m", _node(0), "<urn:p>", _node(1))
+        assert manager.support_counts("ix") == before
+        assert not manager.is_stale("ix")
+
+    def test_multi_model_union_semantics(self, store, inference):
+        """A triple present in two covered models only leaves the
+        union when the last copy goes."""
+        store.create_model("m1")
+        store.create_model("m2")
+        _join_rulebase(inference)
+        for model in ("m1", "m2"):
+            store.insert_triple(model, _node(0), "<urn:p>", _node(1))
+        store.insert_triple("m1", _node(1), "<urn:p>", _node(2))
+        inference.create_rules_index("ix", ["m1", "m2"], ["rb"],
+                                     maintain="incremental")
+        manager = store.rules_indexes
+        assert manager.get("ix").inferred_count == 1
+        # Removing the m2 copy changes nothing: m1 still has the edge.
+        store.remove_triple("m2", _node(0), "<urn:p>", _node(1),
+                            force=True)
+        _assert_consistent(store, manager, "ix", ["m1", "m2"], ["rb"])
+        assert manager.get("ix").inferred_count == 1
+        # Removing the last copy retracts the inference.
+        store.remove_triple("m1", _node(0), "<urn:p>", _node(1),
+                            force=True)
+        _assert_consistent(store, manager, "ix", ["m1", "m2"], ["rb"])
+        assert manager.get("ix").inferred_count == 0
+
+    def test_bulk_load_maintains_incrementally(self, store, inference):
+        from repro.core.bulkload import BulkLoader
+        from repro.rdf.terms import URI
+        from repro.rdf.triple import Triple
+
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"],
+                                     maintain="incremental")
+        manager = store.rules_indexes
+        BulkLoader(store, "m").load(
+            Triple(URI(f"urn:n{i}"), URI("urn:p"), URI(f"urn:n{i + 1}"))
+            for i in range(3, 10))
+        _assert_consistent(store, manager, "ix", ["m"], ["rb"])
+
+    def test_write_to_uncovered_model_is_free(self, store, inference):
+        store.create_model("m")
+        store.create_model("other")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"],
+                                     maintain="incremental")
+        manager = store.rules_indexes
+        version = manager.get("ix").inferred_count
+        store.insert_triple("other", _node(0), "<urn:p>", _node(1))
+        assert manager.get("ix").inferred_count == version
+        assert not manager.is_stale("ix")
+
+    def test_delta_stats_and_metrics(self, inference):
+        from repro.obs.observer import Observer
+
+        store = inference.store
+        store.database.set_observer(Observer())
+        store.create_model("m")
+        _chain(store, "m", 4)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"],
+                                     maintain="incremental")
+        store.insert_triple("m", _node(4), "<urn:p>", _node(5))
+        counters = store.observer.metrics.as_dict()["counters"]
+        assert counters["rules_index.delta_applied"] >= 1
+        assert counters["rules_index.delta_added_triples"] >= 1
+
+    def test_explain_covers_incremental_derivations(self, store,
+                                                    inference):
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"],
+                                     maintain="incremental")
+        store.insert_triple("m", _node(3), "<urn:p>", _node(4))
+        from repro.rdf.terms import URI
+        from repro.rdf.triple import Triple
+        derivation = store.rules_indexes.explain(
+            "ix", Triple(URI("urn:n2"), URI("urn:q"), URI("urn:n4")))
+        assert derivation is not None
+        assert derivation.rule_name == "hop2"
+        assert len(derivation.antecedents) == 2
+
+
+class TestApplyDeltaDirect:
+    def test_apply_delta_requires_existing_index(self, store):
+        with pytest.raises(RulesIndexError, match="does not exist"):
+            store.rules_indexes.apply_delta("nope")
+
+    def test_stats_shape(self, store, inference):
+        from repro.rdf.terms import URI
+        from repro.rdf.triple import Triple
+
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"])
+        manager = store.rules_indexes
+        # Write the base row first (manual policy: no hook), then
+        # replay the delta by hand.
+        store.insert_triple("m", _node(3), "<urn:p>", _node(4))
+        stats = manager.apply_delta("ix", added=[
+            Triple(URI("urn:n3"), URI("urn:p"), URI("urn:n4"))])
+        assert stats.added_base == 1
+        assert stats.new_inferred == 1
+        assert stats.removed_base == 0
+        _assert_consistent(store, manager, "ix", ["m"], ["rb"])
+
+    def test_delta_of_absent_triple_is_noop(self, store, inference):
+        from repro.rdf.terms import URI
+        from repro.rdf.triple import Triple
+
+        store.create_model("m")
+        _chain(store, "m", 3)
+        _join_rulebase(inference)
+        inference.create_rules_index("ix", ["m"], ["rb"])
+        manager = store.rules_indexes
+        stats = manager.apply_delta("ix", added=[
+            Triple(URI("urn:never"), URI("urn:p"), URI("urn:new"))])
+        assert stats.added_base == 0
+        assert stats.new_inferred == 0
+
+
+class TestReadOnly:
+    def test_match_with_rulebases_on_read_only_store(self, tmp_path):
+        """Pooled-reader regression: resolving a rules index must not
+        issue DDL on a read-only connection."""
+        path = tmp_path / "ro.db"
+        with RDFStore(Database(path)) as store:
+            from repro.inference.sdo_rdf_inference import (
+                SDO_RDF_INFERENCE,
+            )
+            store.create_model("m")
+            _chain(store, "m", 3)
+            inference = SDO_RDF_INFERENCE(store)
+            _join_rulebase(inference)
+            inference.create_rules_index("ix", ["m"], ["rb"])
+        with RDFStore(Database(path, read_only=True)) as reader:
+            rows = sdo_rdf_match(reader, "(?a <urn:q> ?c)", ["m"],
+                                 rulebases=["rb"])
+            assert len(rows) == 2
+
+    def test_stale_index_on_read_only_store_raises(self, tmp_path):
+        path = tmp_path / "ro.db"
+        with RDFStore(Database(path)) as store:
+            from repro.inference.sdo_rdf_inference import (
+                SDO_RDF_INFERENCE,
+            )
+            store.create_model("m")
+            _chain(store, "m", 3)
+            inference = SDO_RDF_INFERENCE(store)
+            _join_rulebase(inference)
+            inference.create_rules_index("ix", ["m"], ["rb"],
+                                         maintain="rebuild")
+        with RDFStore(Database(path)) as writer:
+            # Stale the index without maintenance: delete a link row
+            # directly (the parser hook never fires, but the model
+            # version still advances).
+            model_id = writer.models.get("m").model_id
+            row = writer.database.query_one(
+                'SELECT link_id FROM "rdf_link$" WHERE model_id = ?',
+                (model_id,))
+            writer.links.delete(row["link_id"])
+            assert writer.rules_indexes.is_stale("ix")
+        with RDFStore(Database(path, read_only=True)) as reader:
+            with pytest.raises(StaleRulesIndexError):
+                sdo_rdf_match(reader, "(?a <urn:q> ?c)", ["m"],
+                              rulebases=["rb"])
+
+
+class TestPersistence:
+    def test_incremental_state_survives_reopen(self, tmp_path):
+        """The in-memory closure cache is an optimisation only: a
+        fresh process reloads it from the tables and keeps applying
+        deltas correctly."""
+        from repro.inference.sdo_rdf_inference import SDO_RDF_INFERENCE
+
+        path = tmp_path / "p.db"
+        with RDFStore(Database(path)) as store:
+            store.create_model("m")
+            _chain(store, "m", 4)
+            inference = SDO_RDF_INFERENCE(store)
+            _join_rulebase(inference)
+            inference.create_rules_index("ix", ["m"], ["rb"],
+                                         maintain="incremental")
+        with RDFStore(Database(path)) as store:
+            manager = store.rules_indexes
+            assert not manager.is_stale("ix")
+            store.insert_triple("m", _node(4), "<urn:p>", _node(5))
+            _assert_consistent(store, manager, "ix", ["m"], ["rb"])
+
+    def test_legacy_index_without_support_rows_recounts(self, tmp_path):
+        """An index materialised before support tracking (simulated by
+        deleting its support rows) recounts on first delta."""
+        from repro.db.connection import quote_identifier
+        from repro.inference.rules_index import SUPPORT_TABLE
+        from repro.inference.sdo_rdf_inference import SDO_RDF_INFERENCE
+
+        path = tmp_path / "legacy.db"
+        with RDFStore(Database(path)) as store:
+            store.create_model("m")
+            _chain(store, "m", 4)
+            inference = SDO_RDF_INFERENCE(store)
+            _join_rulebase(inference)
+            inference.create_rules_index("ix", ["m"], ["rb"],
+                                         maintain="incremental")
+            store.database.execute(
+                f"DELETE FROM {quote_identifier(SUPPORT_TABLE)} "
+                "WHERE index_name = ?", ("ix",))
+        with RDFStore(Database(path)) as store:
+            manager = store.rules_indexes
+            store.insert_triple("m", _node(4), "<urn:p>", _node(5))
+            _assert_consistent(store, manager, "ix", ["m"], ["rb"])

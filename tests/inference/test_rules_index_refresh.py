@@ -34,6 +34,34 @@ class TestStaleness:
                             '"bombing"')
         assert inference.indexes.is_stale("rix")
 
+    def test_balanced_delete_and_insert_is_stale(self, setup):
+        """Regression: a delete balanced by an insert leaves the
+        covered triple count unchanged, which the old count-based
+        staleness check mistook for fresh.  The per-model version keys
+        recorded at build time catch it."""
+        store, table, inference = setup
+        store.remove_triple("cia", "id:JimDoe", "gov:terrorAction",
+                            '"bombing"')
+        table.insert(2, "cia", "id:JoeDoe", "gov:terrorAction",
+                     '"bombing"')
+        assert inference.indexes.is_stale("rix")
+
+    def test_legacy_catalog_falls_back_to_count(self, setup):
+        """An index built before version keys existed (NULL
+        built_versions) still reports staleness through the count
+        heuristic — including its false-fresh on balanced writes,
+        which is exactly what the versioned path fixes."""
+        store, table, inference = setup
+        from repro.inference.rules_index import INDEX_CATALOG
+
+        store.database.execute(
+            f'UPDATE "{INDEX_CATALOG}" SET built_versions = NULL '
+            "WHERE index_name = 'rix'")
+        assert not inference.indexes.is_stale("rix")
+        table.insert(2, "cia", "id:JoeDoe", "gov:terrorAction",
+                     '"bombing"')
+        assert inference.indexes.is_stale("rix")
+
     def test_other_model_change_does_not_stale(self, setup, sdo_rdf):
         store, _table, inference = setup
         from repro.core.apptable import ApplicationTable
