@@ -1,0 +1,177 @@
+"""Compare two benchmark reports and fail on regression.
+
+Every ``benchmarks/bench_*.py`` writes a ``BENCH_*.json`` report.  This
+tool diffs two of them — a stored baseline against a fresh run — and
+exits nonzero when any tracked metric moved past the tolerance in the
+bad direction.  CI runs it after the smoke benchmarks, which turns a
+silent perf regression into a red build::
+
+    python benchmarks/bench_compare.py BASELINE.json CURRENT.json \
+        --tolerance 0.15
+
+Metrics are classified by key name, not by a per-benchmark schema, so
+new benchmarks get regression checking for free:
+
+* **lower is better** — latency figures: ``p50``/``p95``/``p99``/
+  ``mean``/``max``, and any key ending in ``_seconds`` or ``_ms``;
+* **higher is better** — throughput and ratios: keys containing
+  ``rps``, ``throughput``, or ``speedup``;
+* everything else (dataset sizes, worker counts, 429 tallies, raw
+  request counts) is configuration or redundant with the above and is
+  not compared.
+
+A metric present in only one report is listed as a warning, not a
+failure — benchmarks grow fields over time and a stale baseline must
+not wedge CI.  Metrics whose baseline is 0 or null are skipped (no
+meaningful relative change).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Iterator
+
+#: Relative change allowed in the bad direction before failing.
+DEFAULT_TOLERANCE = 0.15
+
+#: Leaf keys that are latency-like even without a unit suffix.
+_LOWER_KEYS = {"p50", "p95", "p99", "mean", "max", "median"}
+
+#: Substrings marking a throughput-like (higher-is-better) key.
+_HIGHER_MARKS = ("rps", "throughput", "speedup")
+
+
+def classify(path: tuple[str, ...]) -> str | None:
+    """``"lower"``, ``"higher"``, or None (not compared) for a leaf."""
+    leaf = path[-1].lower()
+    if any(mark in leaf for mark in _HIGHER_MARKS):
+        return "higher"
+    if leaf in _LOWER_KEYS or leaf.endswith(("_seconds", "_ms")):
+        return "lower"
+    # Unit-less latency leaves nested under a unit-suffixed parent
+    # ({"latency_ms": {"p50": ...}}) are caught by _LOWER_KEYS above;
+    # anything else is configuration or counts.
+    return None
+
+
+def numeric_leaves(node: Any, path: tuple[str, ...] = ()
+                   ) -> Iterator[tuple[tuple[str, ...], float]]:
+    """Every (path, value) numeric leaf of a nested dict report."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            yield from numeric_leaves(node[key], path + (str(key),))
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        yield path, float(node)
+
+
+def compare(baseline: dict, current: dict,
+            tolerance: float) -> dict[str, Any]:
+    """Diff two reports; returns rows plus regression/warning lists."""
+    base_leaves = dict(numeric_leaves(baseline))
+    curr_leaves = dict(numeric_leaves(current))
+    rows: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    warnings: list[str] = []
+    for path in sorted(set(base_leaves) | set(curr_leaves)):
+        direction = classify(path)
+        if direction is None:
+            continue
+        name = ".".join(path)
+        if path not in base_leaves:
+            warnings.append(f"{name}: new metric (no baseline)")
+            continue
+        if path not in curr_leaves:
+            warnings.append(f"{name}: missing from current run")
+            continue
+        base, curr = base_leaves[path], curr_leaves[path]
+        if base == 0:
+            warnings.append(f"{name}: baseline is 0, skipped")
+            continue
+        change = (curr - base) / abs(base)
+        bad = change > tolerance if direction == "lower" \
+            else change < -tolerance
+        rows.append({
+            "metric": name,
+            "direction": direction,
+            "baseline": base,
+            "current": curr,
+            "change": round(change, 4),
+            "regression": bad,
+        })
+        if bad:
+            regressions.append(
+                f"{name}: {base:g} -> {curr:g} "
+                f"({change:+.1%}, {direction} is better, "
+                f"tolerance {tolerance:.0%})")
+    return {
+        "tolerance": tolerance,
+        "compared": len(rows),
+        "rows": rows,
+        "regressions": regressions,
+        "warnings": warnings,
+    }
+
+
+def _load(path: str) -> dict:
+    try:
+        payload = json.loads(
+            pathlib.Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SystemExit(f"bench_compare: no such report: {path}")
+    except ValueError as exc:
+        raise SystemExit(f"bench_compare: {path} is not JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise SystemExit(
+            f"bench_compare: {path} must hold a JSON object")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json reports; exit 1 on "
+        "regression past tolerance")
+    parser.add_argument("baseline", help="the stored baseline report")
+    parser.add_argument("current", help="the fresh report to check")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="relative change allowed in the bad "
+                        "direction (default 0.15 = 15%%)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full comparison as JSON")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+    result = compare(_load(args.baseline), _load(args.current),
+                     args.tolerance)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        for row in result["rows"]:
+            flag = "REGRESSION" if row["regression"] else "ok"
+            arrow = "v" if row["direction"] == "lower" else "^"
+            print(f"{flag:>10}  {row['metric']}  ({arrow} better)  "
+                  f"{row['baseline']:g} -> {row['current']:g}  "
+                  f"{row['change']:+.1%}")
+        for warning in result["warnings"]:
+            print(f"   warning  {warning}")
+        print(f"compared {result['compared']} metrics, "
+              f"{len(result['regressions'])} regressions "
+              f"(tolerance {args.tolerance:.0%})")
+    if result["regressions"]:
+        for line in result["regressions"]:
+            print(f"bench_compare: {line}", file=sys.stderr)
+        return 1
+    if not result["compared"]:
+        print("bench_compare: no comparable metrics found",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

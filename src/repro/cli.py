@@ -14,6 +14,7 @@ Usage (``python -m repro <command> ...``)::
     repro stats         DB [MODEL] [--json]     store/network figures
     repro doctor        DB                      health check (integrity)
     repro serve         DB [--port P]           HTTP serving layer
+    repro slowlog       URL [--trace ID]        a server's slow-request log
     repro experiments   [--sizes ...]           run the paper's tables
 
 ``DB`` is a database file path (created as needed).  The CLI is a thin
@@ -129,6 +130,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="show the last N spans (default 20)")
     trace.add_argument("--json", action="store_true",
                        help="emit the span/SQL report as JSON")
+    trace.add_argument("--chrome", action="store_true",
+                       help="emit the spans as a Chrome trace-event "
+                       "JSON array (load in chrome://tracing or "
+                       "ui.perfetto.dev)")
 
     reify = commands.add_parser("reify", help="reify a triple")
     for name in ("db", "model", "subject", "predicate", "object"):
@@ -206,6 +211,31 @@ def _build_parser() -> argparse.ArgumentParser:
                        "before 429 (default 8)")
     serve.add_argument("--writer-queue", type=int, default=64,
                        help="bound on queued write jobs (default 64)")
+    serve.add_argument("--access-log", action="store_true",
+                       help="emit one JSON access-log line per request "
+                       "on stderr")
+    serve.add_argument("--slow-threshold", type=float, default=None,
+                       metavar="SECONDS",
+                       help="capture requests at/past this duration "
+                       "into the slow-request log (/debug/slow); "
+                       "default 0.25s")
+
+    slowlog = commands.add_parser(
+        "slowlog", help="inspect a running server's slow-request log "
+        "(GET /debug/slow), or fetch one request's trace by id")
+    slowlog.add_argument("url",
+                         help="server base URL, e.g. "
+                         "http://127.0.0.1:7333")
+    slowlog.add_argument("--limit", type=int, default=None,
+                         help="show at most N slow requests")
+    slowlog.add_argument("--trace", metavar="REQUEST_ID", default=None,
+                         help="fetch one request's trace by its "
+                         "X-Request-Id")
+    slowlog.add_argument("--chrome", action="store_true",
+                         help="with --trace: emit the Chrome "
+                         "trace-event JSON array")
+    slowlog.add_argument("--json", action="store_true",
+                         help="emit machine-readable output")
 
     experiments = commands.add_parser(
         "experiments", help="run the paper's experiment tables")
@@ -262,6 +292,9 @@ def _dispatch(args: argparse.Namespace, out) -> int:
         return _generate_uniprot(args, out)
     if args.command == "serve":
         return _serve(args, out)
+    if args.command == "slowlog":
+        # Talks to a running server over HTTP — no local store.
+        return _slowlog(args, out)
     # The trace command is only useful observed; --observe opts other
     # commands in, None defers to REPRO_OBSERVE.
     observe = True if (args.observe or args.command == "trace") else None
@@ -279,11 +312,15 @@ def _serve(args: argparse.Namespace, out) -> int:
     # The serving layer needs WAL; the ephemeral default (and an
     # explicit ephemeral) cannot host concurrent readers.
     durability = args.durability or "durable"
+    extra = {}
+    if args.slow_threshold is not None:
+        extra["slow_threshold"] = args.slow_threshold
     config = ServerConfig(
         path=args.db, host=args.host, port=args.port,
         workers=args.workers, backlog=args.backlog,
         writer_queue=args.writer_queue, durability=durability,
-        observe=bool(args.observe))
+        observe=bool(args.observe), access_log=bool(args.access_log),
+        **extra)
     server = ReproServer(config)
     server.start()
     host, port = server.address
@@ -300,6 +337,70 @@ def _serve(args: argparse.Namespace, out) -> int:
         server.stop()
     print("stopped", file=out)
     return 0
+
+
+def _slowlog(args: argparse.Namespace, out) -> int:
+    """``repro slowlog URL [--trace ID [--chrome]]``."""
+    import json
+    import urllib.parse
+
+    from repro.server.client import ReproClient
+
+    parts = urllib.parse.urlsplit(
+        args.url if "//" in args.url else f"http://{args.url}")
+    if not parts.hostname or not parts.port:
+        raise ReproError(
+            f"slowlog needs a host:port URL, got {args.url!r}")
+    with ReproClient(parts.hostname, parts.port) as client:
+        if args.trace is not None:
+            payload = client.debug_trace(args.trace,
+                                         chrome=args.chrome)
+            if args.chrome or args.json:
+                print(json.dumps(payload, indent=2), file=out)
+            else:
+                _print_trace(payload, out)
+            return 0
+        if args.chrome:
+            raise ReproError("--chrome needs --trace REQUEST_ID")
+        payload = client.debug_slow(limit=args.limit)
+        if args.json:
+            print(json.dumps(payload, indent=2), file=out)
+            return 0
+        print(f"slow threshold {payload['threshold_seconds']}s — "
+              f"{payload['captured']} captured, "
+              f"{payload['retained']} retained, "
+              f"{payload['total_requests']} requests total", file=out)
+        for entry in payload.get("requests", []):
+            print("", file=out)
+            _print_trace(entry, out)
+    return 0
+
+
+def _print_trace(entry: dict, out) -> None:
+    """Human-readable rendering of one captured request trace."""
+    from repro.obs.slowlog import render_span_tree
+
+    print(f"{entry.get('method')} {entry.get('path')}  "
+          f"status={entry.get('status')}  "
+          f"{float(entry.get('duration', 0.0)) * 1000:.1f} ms  "
+          f"id={entry.get('request_id')}", file=out)
+    annotations = entry.get("annotations") or {}
+    for key in sorted(annotations):
+        value = annotations[key]
+        if isinstance(value, str) and "\n" in value:
+            print(f"  {key}:", file=out)
+            for line in value.splitlines():
+                print(f"    {line}", file=out)
+        else:
+            print(f"  {key}={value}", file=out)
+    for slow in entry.get("slow_sql") or []:
+        print(f"  slow sql {slow.get('seconds')}s: "
+              f"{slow.get('statement')}", file=out)
+    spans = entry.get("spans") or []
+    if spans:
+        print("  spans:", file=out)
+        for line in render_span_tree(spans):
+            print(f"  {line}", file=out)
 
 
 def _generate_uniprot(args: argparse.Namespace, out) -> int:
@@ -538,6 +639,15 @@ def _trace(args: argparse.Namespace, store: RDFStore, out) -> int:
         rulebases=[r for r in args.rulebases.split(",") if r],
         aliases=_parse_aliases(args.alias))
     observer = store.observer
+    if args.chrome:
+        from repro.obs.slowlog import chrome_trace_events
+
+        events = chrome_trace_events(
+            [span.as_dict()
+             for span in observer.tracer.last(args.last)],
+            label=f"repro trace {args.patterns}")
+        print(json.dumps(events, indent=2), file=out)
+        return 0
     if args.json:
         payload = observer.snapshot(last_spans=args.last)
         payload["rows"] = len(rows)

@@ -38,6 +38,7 @@ model onto two primitives kept here, next to the engine wrapper:
 
 from __future__ import annotations
 
+import contextvars
 import queue
 import threading
 import time
@@ -50,6 +51,7 @@ from typing import Any, Callable, Iterator
 from repro.db.connection import Database
 from repro.errors import PoolTimeoutError, StorageError
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.reqctx import RequestTrace, current_trace
 
 
 @dataclass(eq=False)
@@ -125,6 +127,12 @@ class ConnectionPool:
         return self._size
 
     @property
+    def in_use(self) -> int:
+        """Connections out on lease right now (saturation gauge)."""
+        with self._lock:
+            return self._in_use
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -159,10 +167,11 @@ class ConnectionPool:
         session = self._wrap(database) if self._wrap else database
         return PooledConnection(database=database, session=session)
 
-    def _snoop(self, entry: PooledConnection) -> None:
+    def _snoop(self, entry: PooledConnection) -> bool:
         """Detect commits by other connections since the last lease."""
         current = int(entry.database.query_value(
             "PRAGMA data_version", default=0))
+        invalidated = False
         if entry.engine_version != current:
             if entry.engine_version != -1:
                 # A real change (not the first lease): every cache
@@ -172,7 +181,9 @@ class ConnectionPool:
                     self._invalidate(entry.session)
                 with self._lock:
                     self._stats["invalidations"] += 1
+                invalidated = True
             entry.engine_version = current
+        return invalidated
 
     def acquire(self, timeout: float | None = None) -> PooledConnection:
         """Take a connection, waiting up to ``timeout`` seconds.
@@ -180,16 +191,30 @@ class ConnectionPool:
         Raises :class:`PoolTimeoutError` when every connection stays
         leased for the whole wait — the caller should shed load (the
         HTTP layer answers 429).
+
+        The time spent waiting for a free connection is recorded on
+        the active request trace (``pool_wait_seconds``) and, when an
+        observer is attached, as a ``pool.acquire`` span — so a slow
+        request shows whether it queued behind the pool.
         """
         if self._closed:
             raise StorageError(
                 f"connection pool for {self._path} is closed")
         wait = self._timeout if timeout is None else timeout
-        try:
-            entry = self._idle.get_nowait()
-        except queue.Empty:
-            entry = self._acquire_slow(wait)
-        self._snoop(entry)
+        with self._observer.span("pool.acquire") as span:
+            start = time.perf_counter()
+            try:
+                entry = self._idle.get_nowait()
+            except queue.Empty:
+                entry = self._acquire_slow(wait)
+            waited = time.perf_counter() - start
+            invalidated = self._snoop(entry)
+            span.set("wait_seconds", round(waited, 6))
+            if invalidated:
+                span.set("invalidated", True)
+        request = current_trace()
+        if request is not None:
+            request.annotate_add("pool_wait_seconds", waited)
         entry.leases += 1
         with self._lock:
             self._in_use += 1
@@ -264,6 +289,12 @@ class _QueuedJob:
     job: WriteJob
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+    # The submitter's context rides along so the writer thread executes
+    # the job *inside* it: spans opened there carry the submitting
+    # request's id, and the request trace collects them.
+    context: contextvars.Context = field(
+        default_factory=contextvars.copy_context)
+    trace: RequestTrace | None = field(default_factory=current_trace)
 
 
 _STOP = object()
@@ -392,6 +423,11 @@ class WriterQueue:
     # the writer thread
     # ------------------------------------------------------------------
 
+    def _execute(self, job: WriteJob) -> Any:
+        """Run one job under a span (inside the submitter's context)."""
+        with self._observer.span("writer.execute"):
+            return job(self._session)
+
     def _run(self) -> None:
         try:
             self._session = self._factory()
@@ -415,10 +451,14 @@ class WriterQueue:
                     return
                 if not item.future.set_running_or_notify_cancel():
                     continue
-                queue_wait.observe(time.monotonic() - item.enqueued_at)
+                waited = time.monotonic() - item.enqueued_at
+                queue_wait.observe(waited)
+                if item.trace is not None:
+                    item.trace.annotate_add("writer_queue_wait_seconds",
+                                            waited)
                 start = time.monotonic()
                 try:
-                    result = item.job(self._session)
+                    result = item.context.run(self._execute, item.job)
                 except BaseException as exc:
                     self._jobs_failed += 1
                     errors.inc()
@@ -427,7 +467,11 @@ class WriterQueue:
                     self._jobs_done += 1
                     jobs.inc()
                     item.future.set_result(result)
-                exec_time.observe(time.monotonic() - start)
+                elapsed = time.monotonic() - start
+                exec_time.observe(elapsed)
+                if item.trace is not None:
+                    item.trace.annotate_add("writer_exec_seconds",
+                                            elapsed)
         finally:
             close = getattr(self._session, "close", None)
             if close is not None:

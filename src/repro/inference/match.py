@@ -44,6 +44,7 @@ from repro.inference.filters import FilterExpression, parse_filter
 from repro.inference.patterns import TriplePattern, parse_pattern_list
 from repro.inference.plan import QueryPlan, build_plan, plan_key
 from repro.obs.metrics import DEFAULT_COUNT_BUCKETS as _COUNT_BUCKETS
+from repro.obs.reqctx import current_trace
 from repro.rdf.namespaces import AliasSet
 from repro.rdf.terms import RDFTerm
 
@@ -263,6 +264,15 @@ def sdo_rdf_match(store: "RDFStore", query: str,
             if observer.enabled and plan.reordered:
                 observer.counter("match.join_reorders").inc()
 
+        span.set("plan_cache", cache_status)
+        if not explain:
+            # Joined to the serving layer's slow-request log: the
+            # request that ran this query learns its plan-cache fate
+            # and query text even when the observer is disabled.
+            request = current_trace()
+            if request is not None:
+                request.annotate("query", query)
+                request.annotate("plan_cache", cache_status)
         if observer.enabled:
             observer.counter("match.queries").inc()
             if optimize:

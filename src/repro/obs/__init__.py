@@ -13,6 +13,11 @@ same visibility into its own hot paths:
   capture for slow statements;
 * :mod:`repro.obs.logjson` — structured (JSON-lines) stdlib logging,
   switched on via the ``REPRO_LOG`` environment variable;
+* :mod:`repro.obs.reqctx` — request-scoped trace context: a per-request
+  id plus span/annotation collector that follows the request across
+  threads (handler -> pool -> writer queue);
+* :mod:`repro.obs.slowlog` — the bounded slow-request log behind the
+  server's ``/debug/slow``, and the Chrome-trace exporter;
 * :mod:`repro.obs.observer` — the :class:`Observer` facade bundling all
   of the above, and the shared no-op :data:`NULL_OBSERVER` that keeps
   the disabled path near-zero-cost.
@@ -32,6 +37,19 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
 )
 from repro.obs.observer import NULL_OBSERVER, Observer, observe_from_env
+from repro.obs.reqctx import (
+    RequestTrace,
+    activate,
+    clean_request_id,
+    current_trace,
+    deactivate,
+    new_request_id,
+)
+from repro.obs.slowlog import (
+    SlowRequestLog,
+    chrome_trace_events,
+    render_span_tree,
+)
 from repro.obs.sqltrace import SQLInstrumenter, normalize_statement
 from repro.obs.tracing import NULL_TRACER, Span, Tracer
 
@@ -45,10 +63,19 @@ __all__ = [
     "NULL_REGISTRY",
     "NULL_TRACER",
     "Observer",
+    "RequestTrace",
     "SQLInstrumenter",
+    "SlowRequestLog",
     "Span",
     "Tracer",
+    "activate",
+    "chrome_trace_events",
+    "clean_request_id",
     "configure_logging",
+    "current_trace",
+    "deactivate",
+    "new_request_id",
     "normalize_statement",
     "observe_from_env",
+    "render_span_tree",
 ]

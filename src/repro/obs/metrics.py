@@ -40,7 +40,9 @@ def _sanitize_prometheus(name: str) -> str:
     ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
     cleaned = []
     for index, char in enumerate(name):
-        if char.isalnum() or char in "_:":
+        # ASCII-strict: str.isalnum alone would pass unicode letters,
+        # which Prometheus rejects.
+        if (char.isascii() and char.isalnum()) or char in "_:":
             cleaned.append(char)
         else:
             cleaned.append("_")

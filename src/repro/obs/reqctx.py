@@ -1,0 +1,165 @@
+"""Request-scoped trace context: one id and one span collector per request.
+
+The serving layer (:mod:`repro.server`) handles each HTTP request on
+its own thread, but parts of the request run elsewhere — write jobs
+execute on the writer thread, pool acquires may block, and the SQL
+layer records statements wherever the connection lives.  Process-wide
+aggregates (PR 1's metrics) cannot answer "where did *this* request's
+time go"; this module supplies the missing join key.
+
+A :class:`RequestTrace` is created per request and *activated* on the
+handling thread through a :mod:`contextvars` variable.  While active:
+
+* every span the :class:`~repro.obs.tracing.Tracer` opens is stamped
+  with the request id and, once finished, collected into the trace;
+* the SQL instrumenter attributes slow statements to the request;
+* the pool and writer queue annotate their wait times onto it.
+
+``contextvars`` — not ``threading.local`` — so the context can hop
+threads: :class:`~repro.db.pool.WriterQueue` captures the submitter's
+context with :func:`contextvars.copy_context` and runs the job inside
+it, which makes the writer thread's spans land in the right request.
+
+Everything here is dependency-free (stdlib only, no other ``repro``
+imports) so any layer may annotate the current request without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+import uuid
+from typing import Any
+
+#: The HTTP header carrying the request id end to end.
+REQUEST_ID_HEADER = "X-Request-Id"
+
+#: Longest client-supplied request id honored before we mint our own.
+MAX_REQUEST_ID_LENGTH = 120
+
+_current: contextvars.ContextVar["RequestTrace | None"] = \
+    contextvars.ContextVar("repro_request_trace", default=None)
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request id (collision-safe per process)."""
+    return uuid.uuid4().hex[:16]
+
+
+def clean_request_id(raw: str | None) -> str:
+    """An id safe to echo in a header: the client's, if usable.
+
+    Control characters (header-splitting) or an over-long value fall
+    back to a freshly minted id — the request still gets *an* id, it
+    just isn't the hostile one.
+    """
+    if raw is None:
+        return new_request_id()
+    candidate = raw.strip()
+    if (not candidate or len(candidate) > MAX_REQUEST_ID_LENGTH
+            or any(ch < " " or ch == "\x7f" for ch in candidate)):
+        return new_request_id()
+    return candidate
+
+
+class RequestTrace:
+    """Everything observed about one request, keyed by its id.
+
+    Mutated from several threads (handler, writer, tracer callbacks),
+    so every write happens under one small lock.  ``as_dict`` snapshots
+    under the same lock, giving the debug endpoints a torn-free view.
+    """
+
+    __slots__ = ("request_id", "method", "path", "start_time", "status",
+                 "duration", "spans", "annotations", "slow_sql",
+                 "_start", "_lock")
+
+    def __init__(self, request_id: str, method: str = "",
+                 path: str = "") -> None:
+        self.request_id = request_id
+        self.method = method
+        self.path = path
+        self.start_time = time.time()
+        self.status = 0
+        self.duration = 0.0
+        #: Finished span dicts (:meth:`Span.as_dict`), finish order.
+        self.spans: list[dict[str, Any]] = []
+        #: Free-form request facts (plan cache status, pool waits, ...).
+        self.annotations: dict[str, Any] = {}
+        #: Normalized statements that crossed the SQL slow threshold.
+        self.slow_sql: list[dict[str, Any]] = []
+        self._start = time.perf_counter()
+        self._lock = threading.Lock()
+
+    # -- collection ----------------------------------------------------
+
+    def add_span(self, span: dict[str, Any]) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def annotate(self, key: str, value: Any) -> None:
+        with self._lock:
+            self.annotations[key] = value
+
+    def annotate_add(self, key: str, amount: float) -> None:
+        """Accumulate a float annotation (e.g. repeated pool waits)."""
+        with self._lock:
+            self.annotations[key] = round(
+                self.annotations.get(key, 0.0) + amount, 9)
+
+    def add_slow_sql(self, statement: str, duration: float) -> None:
+        with self._lock:
+            self.slow_sql.append({
+                "statement": statement,
+                "seconds": round(duration, 6),
+            })
+
+    def finish(self, status: int) -> float:
+        """Stamp the final status; returns the request duration."""
+        self.duration = time.perf_counter() - self._start
+        self.status = status
+        return self.duration
+
+    # -- reporting -----------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the request started (live, pre-``finish``)."""
+        return time.perf_counter() - self._start
+
+    def as_dict(self, include_spans: bool = True) -> dict[str, Any]:
+        with self._lock:
+            payload: dict[str, Any] = {
+                "request_id": self.request_id,
+                "method": self.method,
+                "path": self.path,
+                "start_time": self.start_time,
+                "status": self.status,
+                "duration": self.duration,
+                "annotations": dict(self.annotations),
+                "slow_sql": [dict(entry) for entry in self.slow_sql],
+            }
+            if include_spans:
+                payload["spans"] = [dict(span) for span in self.spans]
+            return payload
+
+    def __repr__(self) -> str:
+        return (f"RequestTrace({self.request_id!r}, {self.method} "
+                f"{self.path}, spans={len(self.spans)})")
+
+
+def activate(trace: RequestTrace) -> contextvars.Token:
+    """Make ``trace`` the calling context's current request."""
+    return _current.set(trace)
+
+
+def deactivate(token: contextvars.Token) -> None:
+    """Restore whatever was current before :func:`activate`."""
+    _current.reset(token)
+
+
+def current_trace() -> RequestTrace | None:
+    """The active request's trace, or None outside any request."""
+    return _current.get()

@@ -1,0 +1,181 @@
+"""The slow-request log and the Chrome-trace exporter.
+
+:class:`SlowRequestLog` retains, in bounded ring buffers, the full
+:class:`~repro.obs.reqctx.RequestTrace` of every request that ran past
+a threshold (the *slow* ring) plus a shorter tail of recent requests
+regardless of speed (so ``/debug/trace/<id>`` can answer for an id the
+client just saw, slow or not).  Entries are plain dicts — snapshotted
+at record time — so the debug endpoints serialize them straight to
+JSON without touching live request state.
+
+:func:`chrome_trace_events` converts span dicts (the shape of
+:meth:`repro.obs.tracing.Span.as_dict`) into the Chrome trace-event
+JSON array format, loadable in ``chrome://tracing`` / Perfetto:
+complete events (``ph: "X"``) with microsecond timestamps, one track
+per originating thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Iterable
+
+from repro.obs.reqctx import RequestTrace
+
+#: Requests at or above this many seconds are captured (default).
+DEFAULT_SLOW_THRESHOLD = 0.25
+
+#: Slow-ring capacity (full traces retained).
+DEFAULT_CAPACITY = 64
+
+#: Recent-ring capacity (every completed request, fast or slow).
+DEFAULT_RECENT = 128
+
+
+class SlowRequestLog:
+    """Bounded in-memory capture of slow (and recent) request traces.
+
+    :param threshold: seconds at/past which a request is *slow*.
+    :param capacity: how many slow traces are retained (newest win).
+    :param recent: how many recent traces (any speed) are retained for
+        by-id lookup.
+    """
+
+    def __init__(self, threshold: float = DEFAULT_SLOW_THRESHOLD,
+                 capacity: int = DEFAULT_CAPACITY,
+                 recent: int = DEFAULT_RECENT) -> None:
+        if threshold < 0:
+            raise ValueError("slow threshold must be >= 0 seconds")
+        if capacity < 1 or recent < 1:
+            raise ValueError("slow log capacities must be >= 1")
+        self.threshold = threshold
+        self._slow: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._recent: deque[dict[str, Any]] = deque(maxlen=recent)
+        self._lock = threading.Lock()
+        self.total_requests = 0
+        self.captured = 0
+
+    def record(self, trace: RequestTrace) -> bool:
+        """File a finished request; True when captured as slow."""
+        snapshot = trace.as_dict()
+        slow = trace.duration >= self.threshold
+        with self._lock:
+            self.total_requests += 1
+            self._recent.append(snapshot)
+            if slow:
+                self.captured += 1
+                self._slow.append(snapshot)
+        return slow
+
+    def entries(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Slow traces, newest first."""
+        with self._lock:
+            ordered = list(self._slow)
+        ordered.reverse()
+        return ordered if limit is None else ordered[:max(0, limit)]
+
+    def find(self, request_id: str) -> dict[str, Any] | None:
+        """The trace for ``request_id`` — slow ring first, then recent."""
+        with self._lock:
+            for ring in (self._slow, self._recent):
+                for entry in reversed(ring):
+                    if entry.get("request_id") == request_id:
+                        return entry
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._slow.clear()
+            self._recent.clear()
+            self.total_requests = 0
+            self.captured = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slow)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "threshold_seconds": self.threshold,
+                "captured": self.captured,
+                "retained": len(self._slow),
+                "recent_retained": len(self._recent),
+                "total_requests": self.total_requests,
+            }
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+
+def chrome_trace_events(spans: Iterable[dict[str, Any]],
+                        pid: int = 1,
+                        label: str | None = None) -> list[dict[str, Any]]:
+    """Span dicts -> Chrome trace-event *JSON array format*.
+
+    Each finished span becomes one complete event (``ph: "X"``) whose
+    ``ts``/``dur`` are microseconds; spans keep their originating
+    thread as the track id, so handler-thread and writer-thread work
+    render as separate rows.  Attributes ride along in ``args``.  The
+    returned list serializes directly with ``json.dumps`` and loads in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events: list[dict[str, Any]] = []
+    threads_seen: set[int] = set()
+    for span in spans:
+        tid = int(span.get("thread_id") or 0)
+        threads_seen.add(tid)
+        args = {
+            key: value
+            for key, value in (span.get("attributes") or {}).items()
+            if isinstance(value, (str, int, float, bool, type(None)))
+        }
+        if span.get("error"):
+            args["error"] = span["error"]
+        events.append({
+            "name": str(span.get("name", "span")),
+            "cat": "repro",
+            "ph": "X",
+            "ts": round(float(span.get("start_time", 0.0)) * 1e6, 3),
+            "dur": round(float(span.get("duration", 0.0)) * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    if label:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+    for tid in sorted(threads_seen):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": f"thread-{tid}"},
+        })
+    return events
+
+
+def render_span_tree(spans: Iterable[dict[str, Any]],
+                     indent: str = "  ") -> list[str]:
+    """Human-readable lines for a request's span dicts.
+
+    Spans are printed in start order, indented by recorded depth —
+    the same convention ``repro trace`` uses for live spans.
+    """
+    lines: list[str] = []
+    for span in sorted(spans, key=lambda s: s.get("start_time", 0.0)):
+        attrs = " ".join(
+            f"{key}={value}"
+            for key, value in (span.get("attributes") or {}).items()
+            if key != "request_id")
+        line = (f"{indent * (int(span.get('depth', 0)) + 1)}"
+                f"{span.get('name')}  "
+                f"{float(span.get('duration', 0.0)) * 1000:.3f} ms")
+        if attrs:
+            line += f"  [{attrs}]"
+        if span.get("error"):
+            line += f"  !{span['error']}"
+        lines.append(line)
+    return lines

@@ -27,6 +27,8 @@ import sqlite3
 import threading
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.obs.reqctx import current_trace
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
 
@@ -168,6 +170,12 @@ class SQLInstrumenter:
         """
         key = normalize_statement(sql)
         capture = False
+        if duration >= self.slow_threshold:
+            # A slow statement inside a request belongs to that
+            # request: the slow-request log shows it with the id.
+            request = current_trace()
+            if request is not None:
+                request.add_slow_sql(key, duration)
         with self._lock:
             stats = self._statements.get(key)
             if stats is None:

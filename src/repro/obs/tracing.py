@@ -26,6 +26,8 @@ import time
 from collections import deque
 from typing import Any, Callable, Iterator
 
+from repro.obs.reqctx import current_trace
+
 #: Default ring-buffer capacity (finished spans retained).
 DEFAULT_CAPACITY = 2048
 
@@ -34,7 +36,8 @@ class Span:
     """One timed region; use as a context manager via ``Tracer.span``."""
 
     __slots__ = ("name", "attributes", "span_id", "parent_id", "depth",
-                 "start_time", "duration", "error", "_tracer", "_start")
+                 "start_time", "duration", "error", "thread_id",
+                 "_tracer", "_start")
 
     def __init__(self, tracer: "Tracer", name: str, span_id: int,
                  parent_id: int | None, depth: int,
@@ -48,6 +51,7 @@ class Span:
         self.start_time = time.time()
         self.duration = 0.0
         self.error: str | None = None
+        self.thread_id = threading.get_ident()
         self._start = time.perf_counter()
 
     def set(self, key: str, value: Any) -> None:
@@ -72,6 +76,7 @@ class Span:
             "start_time": self.start_time,
             "duration": self.duration,
             "error": self.error,
+            "thread_id": self.thread_id,
             "attributes": dict(self.attributes),
         }
 
@@ -115,7 +120,15 @@ class Tracer:
         return stack
 
     def span(self, name: str, **attributes: Any) -> Span:
-        """Open a span; use as ``with tracer.span("x") as span:``."""
+        """Open a span; use as ``with tracer.span("x") as span:``.
+
+        Inside an active request context
+        (:func:`repro.obs.reqctx.current_trace`) the span is stamped
+        with the request id, joining it to that request's trace.
+        """
+        request = current_trace()
+        if request is not None and "request_id" not in attributes:
+            attributes["request_id"] = request.request_id
         stack = self._stack
         parent = stack[-1] if stack else None
         with self._lock:
@@ -140,6 +153,11 @@ class Tracer:
             if len(self._finished) == self._finished.maxlen:
                 self.dropped += 1
             self._finished.append(span)
+        request = current_trace()
+        if (request is not None
+                and span.attributes.get("request_id")
+                == request.request_id):
+            request.add_span(span.as_dict())
         if self._on_finish is not None:
             self._on_finish(span)
 

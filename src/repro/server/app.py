@@ -30,6 +30,17 @@ Routes::
     GET  /stats    pool/writer/admission gauges + metrics snapshot
     GET  /metrics  Prometheus text exposition
     GET  /healthz  writer liveness + integrity check (503 when unhealthy)
+    GET  /debug/slow          the slow-request log (full traces)
+    GET  /debug/trace/<id>    one request's trace; ?format=chrome emits
+                              the Chrome trace-event JSON array
+
+Every request is **request-scoped observable**: an incoming
+``X-Request-Id`` header is honored (or an id is minted), echoed on the
+response, stamped onto every span the request opens — across the pool
+and the writer thread — and used to key the slow-request log.  A
+request slower than ``ServerConfig.slow_threshold`` is captured with
+its span tree, query text, plan-cache status, EXPLAIN, and pool-/queue-
+wait breakdowns; ``GET /debug/slow`` serves the capture.
 
 Shutdown is a graceful drain: the listener stops accepting, in-flight
 requests finish (handler threads are joined), queued writes run to
@@ -40,12 +51,14 @@ from __future__ import annotations
 
 import json
 import math
+import sys
 import threading
 import time
+import urllib.parse
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable
+from typing import IO, Any, Callable
 
 from repro.core.store import RDFStore
 from repro.db.connection import Database
@@ -60,8 +73,24 @@ from repro.errors import (
     TermError,
 )
 from repro.inference.match import sdo_rdf_match
+from repro.obs.logjson import JsonFormatter, get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.reqctx import (
+    REQUEST_ID_HEADER,
+    RequestTrace,
+    activate,
+    clean_request_id,
+    current_trace,
+    deactivate,
+)
+from repro.obs.slowlog import (
+    DEFAULT_CAPACITY as SLOW_CAPACITY,
+    DEFAULT_RECENT as RECENT_CAPACITY,
+    DEFAULT_SLOW_THRESHOLD as SLOW_THRESHOLD,
+    SlowRequestLog,
+    chrome_trace_events,
+)
 from repro.rdf.namespaces import Alias, AliasSet
 from repro.rdf.triple import Triple
 from repro.server.state import (
@@ -99,6 +128,15 @@ class ServerConfig:
     :param request_timeout: seconds a write request waits for its
         job's commit before answering 503 (the job still runs).
     :param retry_after: suggested client backoff reported on 429.
+    :param slow_threshold: seconds at/past which a request's full
+        trace is captured into the slow-request log (``/debug/slow``).
+    :param slow_capacity: slow traces retained (newest win).
+    :param recent_capacity: recent traces (any speed) retained for
+        ``/debug/trace/<id>`` lookup.
+    :param access_log: emit one JSON access-log line per request
+        through :mod:`repro.obs.logjson` (off by default).
+    :param access_log_stream: where access-log lines go (default
+        stderr; tests pass a ``StringIO``).
     """
 
     path: str
@@ -112,6 +150,12 @@ class ServerConfig:
     pool_timeout: float = 2.0
     request_timeout: float = 30.0
     retry_after: float = 0.5
+    slow_threshold: float = SLOW_THRESHOLD
+    slow_capacity: int = SLOW_CAPACITY
+    recent_capacity: int = RECENT_CAPACITY
+    access_log: bool = False
+    access_log_stream: IO[str] | None = field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.path == ":memory:":
@@ -127,6 +171,10 @@ class ServerConfig:
             raise StorageError("server needs workers >= 1")
         if self.backlog < 0:
             raise StorageError("server backlog must be >= 0")
+        if self.slow_threshold < 0:
+            raise StorageError("slow_threshold must be >= 0 seconds")
+        if self.slow_capacity < 1 or self.recent_capacity < 1:
+            raise StorageError("slow/recent capacities must be >= 1")
 
 
 class ReproServer:
@@ -150,6 +198,14 @@ class ReproServer:
         else:
             self.observer = NULL_OBSERVER
             self.metrics = MetricsRegistry()
+        self.slowlog = SlowRequestLog(
+            threshold=config.slow_threshold,
+            capacity=config.slow_capacity,
+            recent=config.recent_capacity)
+        self._access = get_logger("server.access")
+        self._access_handler: Any = None
+        if config.access_log:
+            self._access_handler = self._attach_access_log()
         self.pool: ConnectionPool | None = None
         self.writer: WriterQueue | None = None
         self._http: _HTTPServer | None = None
@@ -158,6 +214,24 @@ class ReproServer:
             config.workers + config.backlog)
         self._draining = False
         self._started_at = 0.0
+
+    def _attach_access_log(self):
+        """Give the access logger its own JSON-lines handler.
+
+        Self-contained on purpose: ``--access-log`` must work without
+        any global logging configuration, and must not double-emit
+        when one exists (``propagate`` off).
+        """
+        import logging
+
+        handler = logging.StreamHandler(
+            self.config.access_log_stream
+            if self.config.access_log_stream is not None else sys.stderr)
+        handler.setFormatter(JsonFormatter())
+        self._access.addHandler(handler)
+        self._access.setLevel(logging.INFO)
+        self._access.propagate = False
+        return handler
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -176,6 +250,8 @@ class ReproServer:
         """Open the writer, the pool, and the listener (non-blocking)."""
         if self._http is not None:
             raise StorageError("server already started")
+        if self.config.access_log and self._access_handler is None:
+            self._access_handler = self._attach_access_log()
         self.writer = WriterQueue(
             self._writer_factory, maxsize=self.config.writer_queue,
             observer=self.observer).start()
@@ -227,6 +303,10 @@ class ReproServer:
         if self.pool is not None:
             self.pool.close()
             self.pool = None
+        if self._access_handler is not None:
+            self._access.removeHandler(self._access_handler)
+            self._access_handler.close()
+            self._access_handler = None
 
     def run(self) -> None:
         """Start and block until KeyboardInterrupt (CLI entry point)."""
@@ -261,6 +341,8 @@ class ReproServer:
         limit = payload.get("limit")
         if limit is not None and not isinstance(limit, int):
             raise _BadRequest("limit must be an integer")
+        request = current_trace()
+        start = time.perf_counter()
         with self.pool.lease() as store:
             database = store.database
             # One read transaction covers the version read AND the
@@ -272,11 +354,39 @@ class ReproServer:
                     store, query, models, rulebases=rulebases,
                     aliases=aliases, filter=filter_,
                     order_by=order_by, limit=limit)
+            if (request is not None
+                    and time.perf_counter() - start
+                    >= self.slowlog.threshold):
+                # Still holding the lease: capture the plan the slow
+                # query would (re)use.  The plan cache makes this a
+                # cheap lookup, not a second compile.
+                self._capture_slow_match(
+                    request, store, query, models, rulebases, aliases,
+                    filter_, order_by, limit)
+        if request is not None:
+            request.annotate("rows", len(rows))
+            request.annotate("data_version", version)
         return 200, {
             "rows": [row.as_dict() for row in rows],
             "count": len(rows),
             "data_version": version,
         }
+
+    def _capture_slow_match(self, request: RequestTrace,
+                            store: RDFStore, query: str,
+                            models: list[str], rulebases: list[str],
+                            aliases: AliasSet | None, filter_: Any,
+                            order_by: Any, limit: Any) -> None:
+        """Attach plan/EXPLAIN context to a slow /match's trace."""
+        try:
+            explanation = sdo_rdf_match(
+                store, query, models, rulebases=rulebases,
+                aliases=aliases, filter=filter_, order_by=order_by,
+                limit=limit, explain=True)
+        except ReproError:  # pragma: no cover - the query just ran
+            return
+        request.annotate("explain", explanation.render())
+        request.annotate("plan_sql", explanation.plan.sql)
 
     def _do_insert(self, payload: dict) -> tuple[int, dict]:
         model = _require_str(payload, "model")
@@ -325,6 +435,7 @@ class ReproServer:
 
     def _do_stats(self) -> tuple[int, dict]:
         gate_free = getattr(self._gate, "_value", None)
+        self._sample_saturation()
         return 200, {
             "server": {
                 "uptime_seconds": round(
@@ -338,8 +449,43 @@ class ReproServer:
             },
             "pool": self.pool.stats() if self.pool else {},
             "writer": self.writer.stats() if self.writer else {},
+            "slow_requests": self.slowlog.stats(),
             "metrics": self.metrics.as_dict(),
         }
+
+    def _do_debug_slow(self, query_string: str) -> tuple[int, Any]:
+        """``GET /debug/slow[?limit=N]`` — the slow-request log."""
+        params = urllib.parse.parse_qs(query_string)
+        limit = None
+        if "limit" in params:
+            try:
+                limit = int(params["limit"][0])
+            except (ValueError, IndexError):
+                raise _BadRequest("limit must be an integer") from None
+        return 200, {
+            **self.slowlog.stats(),
+            "requests": self.slowlog.entries(limit),
+        }
+
+    def _do_debug_trace(self, request_id: str,
+                        query_string: str) -> tuple[int, Any]:
+        """``GET /debug/trace/<id>[?format=chrome]`` — one trace."""
+        entry = self.slowlog.find(request_id)
+        if entry is None:
+            return 404, {
+                "error": f"no trace retained for request "
+                         f"{request_id!r} (slow ring "
+                         f"{self.config.slow_capacity}, recent ring "
+                         f"{self.config.recent_capacity})",
+                "type": "NotFound",
+            }
+        params = urllib.parse.parse_qs(query_string)
+        if params.get("format", [""])[0] == "chrome":
+            label = (f"{entry.get('method', '')} {entry.get('path', '')} "
+                     f"[{request_id}]")
+            return 200, chrome_trace_events(
+                entry.get("spans", ()), label=label)
+        return 200, entry
 
     def _do_healthz(self) -> tuple[int, dict]:
         writer_ok = self.writer is not None and self.writer.running
@@ -391,13 +537,24 @@ class ReproServer:
             return 400, _error(exc), {}
 
     def _reject(self, message: str) -> tuple[int, dict, dict]:
-        """A 429 backpressure answer with Retry-After."""
+        """A 429 backpressure answer with Retry-After.
+
+        The body carries the saturation context a client (or a human
+        reading the log) needs to see *why*: current queue depth and
+        pool occupancy against their limits.
+        """
         self.metrics.counter(
             "server.rejected", "requests shed with HTTP 429").inc()
         body = {
             "error": message,
             "type": "Backpressure",
             "retry_after_seconds": self.config.retry_after,
+            "queue_depth": self.writer.depth if self.writer else None,
+            "queue_limit": self.config.writer_queue,
+            "pool_in_use": self.pool.in_use if self.pool else None,
+            "pool_size": self.config.workers,
+            "admission_limit": self.config.workers + self.config.backlog,
+            "admission_free": getattr(self._gate, "_value", None),
         }
         headers = {
             "Retry-After": str(max(1, math.ceil(self.config.retry_after))),
@@ -405,16 +562,88 @@ class ReproServer:
         return 429, body, headers
 
     def admit(self) -> bool:
-        """Try to take an admission slot (POST routes only)."""
-        return self._gate.acquire(blocking=False)
+        """Try to take an admission slot (POST routes only).
+
+        Every admission decision — granted or shed — samples the
+        saturation gauges, so ``/metrics`` tracks queue depth and pool
+        occupancy exactly as load arrives.
+        """
+        admitted = self._gate.acquire(blocking=False)
+        self._sample_saturation()
+        return admitted
 
     def readmit(self) -> None:
         self._gate.release()
+
+    def _sample_saturation(self) -> None:
+        """Refresh the queue-depth and pool-occupancy gauges."""
+        writer, pool = self.writer, self.pool
+        if writer is not None:
+            self.metrics.gauge(
+                "server.queue_depth",
+                "write jobs waiting in the writer queue").set(
+                    writer.depth)
+        if pool is not None:
+            self.metrics.gauge(
+                "pool.in_use",
+                "read connections out on lease").set(pool.in_use)
+
+    # ------------------------------------------------------------------
+    # request lifecycle (called from the handler threads)
+    # ------------------------------------------------------------------
+
+    def finish_request_trace(self, trace: RequestTrace,
+                             status: int) -> None:
+        """Book-keep one completed request: metrics, slow log, access
+        log."""
+        duration = trace.finish(status)
+        label = _route_label(trace.path)
+        self.metrics.counter(f"server.requests.{label}").inc()
+        self.metrics.histogram(
+            f"server.endpoint.{label}.seconds",
+            f"request wall time of {trace.method} {label}").observe(
+                duration)
+        if self.slowlog.record(trace):
+            self.metrics.counter(
+                "server.slow_requests",
+                "requests captured past the slow threshold").inc()
+        if self.config.access_log:
+            self._access.info(
+                "%s %s %d", trace.method, trace.path, status,
+                extra={
+                    "method": trace.method,
+                    "path": trace.path,
+                    "status": status,
+                    "duration_ms": round(duration * 1000, 3),
+                    "request_id": trace.request_id,
+                    "worker": threading.current_thread().name,
+                })
 
 
 # ----------------------------------------------------------------------
 # request validation helpers
 # ----------------------------------------------------------------------
+
+#: Fixed route -> metric-label table; anything else is "other" so 404
+#: scans cannot explode the metric namespace.
+_ROUTE_LABELS = {
+    "/match": "match",
+    "/insert": "insert",
+    "/delete": "delete",
+    "/stats": "stats",
+    "/metrics": "metrics",
+    "/healthz": "healthz",
+    "/health": "healthz",
+    "/debug/slow": "debug_slow",
+}
+
+
+def _route_label(path: str) -> str:
+    base = path.split("?", 1)[0]
+    if base.startswith("/debug/trace/"):
+        return "debug_trace"
+    return _ROUTE_LABELS.get(base, "other")
+
 
 def _error(exc: Exception) -> dict:
     return {"error": str(exc), "type": type(exc).__name__}
@@ -511,12 +740,47 @@ class _Handler(BaseHTTPRequestHandler):
             "http %s", format % args,
             extra={"client": self.address_string()})
 
-    def _send_json(self, status: int, body: dict,
-                   headers: dict | None = None) -> None:
+    def _begin_request(self, method: str) -> RequestTrace:
+        """Create and activate this request's trace context.
+
+        The client's ``X-Request-Id`` is honored when usable; the id
+        is echoed on the response either way.
+        """
+        request_id = clean_request_id(
+            self.headers.get(REQUEST_ID_HEADER))
+        trace = RequestTrace(request_id, method=method, path=self.path)
+        self._trace = trace
+        self._token = activate(trace)
+        return trace
+
+    def _end_request(self, status: int) -> None:
+        """Close the trace if no response ever finalized it (socket
+        errors, handler bugs)."""
+        self._finalize(status)
+
+    def _finalize(self, status: int) -> None:
+        """Deactivate and file the trace exactly once per request.
+
+        Runs *before* the response bytes go out, so a client that got
+        its answer can immediately find its own trace under
+        ``/debug/trace/<id>`` — no read-after-write race.
+        """
+        if self._token is None:
+            return
+        deactivate(self._token)
+        self._token = None
+        self.app.finish_request_trace(self._trace, status)
+
+    def _send_json(self, status: int, body: Any,
+                   headers: dict | None = None) -> int:
         data = json.dumps(body).encode("utf-8")
+        self._finalize(status)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        trace = getattr(self, "_trace", None)
+        if trace is not None:
+            self.send_header(REQUEST_ID_HEADER, trace.request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         if self.app._draining:
@@ -524,6 +788,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
         self.end_headers()
         self.wfile.write(data)
+        return status
 
     def _read_body(self) -> bytes:
         """Consume the request body.
@@ -560,54 +825,91 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         app = self.app
         app.metrics.counter("server.requests").inc()
-        if self.path == "/metrics":
+        self._begin_request("GET")
+        status = 500
+        try:
+            status = self._route_get(app)
+        finally:
+            self._end_request(status)
+
+    def _route_get(self, app: ReproServer) -> int:
+        path, _, query_string = self.path.partition("?")
+        if path == "/metrics":
+            app._sample_saturation()
+            self._finalize(200)
             data = app.metrics.prometheus_text().encode("utf-8")
             self.send_response(200)
             self.send_header("Content-Type",
                              "text/plain; version=0.0.4; charset=utf-8")
             self.send_header("Content-Length", str(len(data)))
+            self.send_header(REQUEST_ID_HEADER,
+                             self._trace.request_id)
             self.end_headers()
             self.wfile.write(data)
-            return
-        if self.path in ("/healthz", "/health"):
+            return 200
+        if path in ("/healthz", "/health"):
             status, body = app._do_healthz()
-            self._send_json(status, body)
-            return
-        if self.path == "/stats":
+            return self._send_json(status, body)
+        if path == "/stats":
             status, body = app._do_stats()
-            self._send_json(status, body)
-            return
-        self._send_json(404, {"error": f"no such route: {self.path}",
-                              "type": "NotFound"})
+            return self._send_json(status, body)
+        if path == "/debug/slow":
+            try:
+                status, body = app._do_debug_slow(query_string)
+            except _BadRequest as exc:
+                return self._send_json(400, _error(exc))
+            return self._send_json(status, body)
+        if path.startswith("/debug/trace/"):
+            request_id = urllib.parse.unquote(
+                path[len("/debug/trace/"):])
+            status, body = app._do_debug_trace(request_id,
+                                               query_string)
+            return self._send_json(status, body)
+        return self._send_json(
+            404, {"error": f"no such route: {self.path}",
+                  "type": "NotFound"})
 
     def do_POST(self) -> None:
         app = self.app
         app.metrics.counter("server.requests").inc()
         route = self._POST_ROUTES.get(self.path)
         raw = self._read_body()
-        if route is None:
-            self._send_json(404, {"error": f"no such route: {self.path}",
-                                  "type": "NotFound"})
-            return
-        if not app.admit():
-            status, body, headers = app._reject(
-                f"server saturated ({app.config.workers} workers + "
-                f"{app.config.backlog} backlog in flight)")
-            self._send_json(status, body, headers)
-            return
-        start = time.perf_counter()
+        trace = self._begin_request("POST")
+        status = 500
         try:
-            try:
-                payload = self._parse_json(raw)
-            except _BadRequest as exc:
-                self._send_json(400, _error(exc))
+            if route is None:
+                status = self._send_json(
+                    404, {"error": f"no such route: {self.path}",
+                          "type": "NotFound"})
                 return
-            status, body, headers = app._dispatch(
-                getattr(app, route), payload)
-            self._send_json(status, body, headers)
+            if not app.admit():
+                code, body, headers = app._reject(
+                    f"server saturated ({app.config.workers} workers "
+                    f"+ {app.config.backlog} backlog in flight)")
+                status = self._send_json(code, body, headers)
+                return
+            start = time.perf_counter()
+            try:
+                # The response goes out only after the http.request
+                # span closed and the trace is filed (_finalize inside
+                # _send_json) — a client that has its answer can read
+                # its own trace immediately.
+                try:
+                    with app.observer.span("http.request",
+                                           method="POST",
+                                           path=self.path):
+                        payload = self._parse_json(raw)
+                        code, body, headers = app._dispatch(
+                            getattr(app, route), payload)
+                except _BadRequest as exc:
+                    status = self._send_json(400, _error(exc))
+                    return
+                status = self._send_json(code, body, headers)
+            finally:
+                app.readmit()
+                app.metrics.histogram(
+                    "server.latency_seconds",
+                    "wall time of admitted POST requests").observe(
+                        time.perf_counter() - start)
         finally:
-            app.readmit()
-            app.metrics.histogram(
-                "server.latency_seconds",
-                "wall time of admitted POST requests").observe(
-                    time.perf_counter() - start)
+            self._end_request(status)

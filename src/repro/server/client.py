@@ -15,9 +15,11 @@ from __future__ import annotations
 import http.client
 import json
 import time
+import urllib.parse
 from typing import Any, Sequence
 
 from repro.errors import ServerError
+from repro.obs.reqctx import REQUEST_ID_HEADER
 
 
 class ReproClient:
@@ -26,6 +28,11 @@ class ReproClient:
     :param host: server host.
     :param port: server port.
     :param timeout: socket timeout per request, seconds.
+
+    Every response's ``X-Request-Id`` is kept on
+    :attr:`last_request_id`, so a caller that just saw a slow answer
+    can pull its trace with :meth:`debug_trace` — no server-side
+    searching required.
     """
 
     def __init__(self, host: str, port: int,
@@ -34,6 +41,8 @@ class ReproClient:
         self._port = port
         self._timeout = timeout
         self._conn: http.client.HTTPConnection | None = None
+        #: The id the server echoed on the most recent response.
+        self.last_request_id: str | None = None
 
     # ------------------------------------------------------------------
     # transport
@@ -57,12 +66,15 @@ class ReproClient:
         self.close()
 
     def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> Any:
+                 payload: dict | None = None,
+                 request_id: str | None = None) -> Any:
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if request_id is not None:
+            headers[REQUEST_ID_HEADER] = request_id
         try:
             response = self._send(method, path, body, headers)
         except (http.client.HTTPException, ConnectionError, OSError):
@@ -71,6 +83,9 @@ class ReproClient:
             self.close()
             response = self._send(method, path, body, headers)
         data = response.read()
+        echoed = response.getheader(REQUEST_ID_HEADER)
+        if echoed is not None:
+            self.last_request_id = echoed
         if response.status == 429:
             retry_after = None
             try:
@@ -105,7 +120,8 @@ class ReproClient:
               aliases: dict[str, str] | None = None,
               filter: str | None = None,
               order_by: str | None = None,
-              limit: int | None = None) -> dict:
+              limit: int | None = None,
+              request_id: str | None = None) -> dict:
         """POST /match — returns ``{rows, count, data_version}``."""
         payload: dict[str, Any] = {
             "query": query,
@@ -121,7 +137,8 @@ class ReproClient:
             payload["order_by"] = order_by
         if limit is not None:
             payload["limit"] = limit
-        return self._request("POST", "/match", payload)
+        return self._request("POST", "/match", payload,
+                             request_id=request_id)
 
     def match_retrying(self, *args: Any, max_attempts: int = 8,
                        **kwargs: Any) -> dict:
@@ -137,26 +154,46 @@ class ReproClient:
 
     def insert(self, model: str,
                triples: Sequence[Sequence[str]],
-               create: bool = False) -> dict:
+               create: bool = False,
+               request_id: str | None = None) -> dict:
         """POST /insert — returns ``{created, count, write_version}``."""
         return self._request("POST", "/insert", {
             "model": model,
             "triples": [list(triple) for triple in triples],
             "create": create,
-        })
+        }, request_id=request_id)
 
     def delete(self, model: str, subject: str, predicate: str,
-               obj: str, force: bool = False) -> dict:
+               obj: str, force: bool = False,
+               request_id: str | None = None) -> dict:
         """POST /delete — returns ``{removed, write_version}``."""
         return self._request("POST", "/delete", {
             "model": model,
             "triple": [subject, predicate, obj],
             "force": force,
-        })
+        }, request_id=request_id)
 
     def stats(self) -> dict:
         """GET /stats."""
         return self._request("GET", "/stats")
+
+    def debug_slow(self, limit: int | None = None) -> dict:
+        """GET /debug/slow — the slow-request log."""
+        path = "/debug/slow"
+        if limit is not None:
+            path += f"?limit={int(limit)}"
+        return self._request("GET", path)
+
+    def debug_trace(self, request_id: str,
+                    chrome: bool = False) -> Any:
+        """GET /debug/trace/<id> — one retained request trace.
+
+        ``chrome=True`` asks for the Chrome trace-event JSON array.
+        """
+        path = "/debug/trace/" + urllib.parse.quote(request_id, safe="")
+        if chrome:
+            path += "?format=chrome"
+        return self._request("GET", path)
 
     def health(self) -> dict:
         """GET /healthz (raises :class:`ServerError` when unhealthy)."""

@@ -1,0 +1,174 @@
+"""Unit tests for the bench-report regression checker."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve()
+                       .parent.parent.parent / "benchmarks"))
+
+import bench_compare  # noqa: E402
+
+
+BASELINE = {
+    "benchmark": "server-concurrent-match",
+    "triples": 2000,
+    "clients": 8,
+    "baseline_direct": {
+        "requests": 500,
+        "throughput_rps": 500.0,
+        "latency_ms": {"p50": 1.0, "p95": 2.0, "mean": 1.2},
+    },
+    "server": {
+        "workers_1": {"throughput_rps": 100.0, "rejected_429": 900,
+                      "latency_ms": {"p50": 5.0, "p95": 9.0,
+                                     "mean": 5.5}},
+        "workers_8": {"throughput_rps": 700.0, "rejected_429": 10,
+                      "latency_ms": {"p50": 4.0, "p95": 8.0,
+                                     "mean": 4.4}},
+    },
+    "speedup_8_over_1": 7.0,
+}
+
+
+def variant(**patches):
+    report = json.loads(json.dumps(BASELINE))
+    for path, value in patches.items():
+        node = report
+        parts = path.split(".")
+        for part in parts[:-1]:
+            node = node[part]
+        node[parts[-1]] = value
+    return report
+
+
+class TestClassify:
+    def test_latency_percentiles_are_lower_better(self):
+        assert bench_compare.classify(("latency_ms", "p50")) == "lower"
+        assert bench_compare.classify(("latency_ms", "p95")) == "lower"
+        assert bench_compare.classify(("latency_ms", "mean")) == "lower"
+
+    def test_unit_suffixes_are_lower_better(self):
+        assert bench_compare.classify(("writer", "exec_seconds")) == \
+            "lower"
+        assert bench_compare.classify(("duration_ms",)) == "lower"
+
+    def test_throughput_and_speedups_are_higher_better(self):
+        assert bench_compare.classify(("throughput_rps",)) == "higher"
+        assert bench_compare.classify(("speedup_8_over_1",)) == "higher"
+
+    def test_configuration_is_not_compared(self):
+        for path in (("triples",), ("clients",), ("rejected_429",),
+                     ("requests",), ("duration_s",)):
+            assert bench_compare.classify(path) is None
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        result = bench_compare.compare(BASELINE, BASELINE, 0.15)
+        assert result["regressions"] == []
+        assert result["compared"] > 0
+
+    def test_noise_within_tolerance_passes(self):
+        current = variant(**{
+            "server.workers_8.latency_ms.p50": 4.4,     # +10%
+            "server.workers_8.throughput_rps": 650.0,   # -7%
+        })
+        result = bench_compare.compare(BASELINE, current, 0.15)
+        assert result["regressions"] == []
+
+    def test_latency_regression_is_caught(self):
+        current = variant(**{
+            "server.workers_8.latency_ms.p95": 16.0})   # 2x worse
+        result = bench_compare.compare(BASELINE, current, 0.15)
+        assert len(result["regressions"]) == 1
+        assert "workers_8.latency_ms.p95" in result["regressions"][0]
+
+    def test_throughput_regression_is_caught(self):
+        current = variant(**{"speedup_8_over_1": 1.5})
+        result = bench_compare.compare(BASELINE, current, 0.15)
+        assert any("speedup_8_over_1" in line
+                   for line in result["regressions"])
+
+    def test_improvements_never_fail(self):
+        current = variant(**{
+            "server.workers_8.latency_ms.p50": 0.5,     # faster
+            "server.workers_8.throughput_rps": 5000.0,  # more
+        })
+        result = bench_compare.compare(BASELINE, current, 0.15)
+        assert result["regressions"] == []
+
+    def test_missing_and_new_metrics_warn_not_fail(self):
+        current = variant()
+        del current["server"]["workers_1"]
+        current["new_figure_rps"] = 10.0
+        result = bench_compare.compare(BASELINE, current, 0.15)
+        assert result["regressions"] == []
+        warnings = "\n".join(result["warnings"])
+        assert "workers_1" in warnings
+        assert "new_figure_rps" in warnings
+
+    def test_zero_baseline_is_skipped(self):
+        base = variant(**{"server.workers_1.throughput_rps": 0.0})
+        result = bench_compare.compare(base, BASELINE, 0.15)
+        assert result["regressions"] == []
+        assert any("baseline is 0" in warning
+                   for warning in result["warnings"])
+
+    def test_booleans_are_not_numeric_leaves(self):
+        leaves = dict(bench_compare.numeric_leaves(
+            {"ok_rps": True, "real_rps": 2.0}))
+        assert ("ok_rps",) not in leaves
+        assert leaves[("real_rps",)] == 2.0
+
+
+class TestMain:
+    def write(self, tmp_path, name, payload):
+        target = tmp_path / name
+        target.write_text(json.dumps(payload), encoding="utf-8")
+        return str(target)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        curr = self.write(tmp_path, "curr.json", variant())
+        assert bench_compare.main([base, curr]) == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        curr = self.write(
+            tmp_path, "curr.json",
+            variant(**{"server.workers_8.throughput_rps": 100.0}))
+        assert bench_compare.main([base, curr]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "throughput_rps" in captured.err
+
+    def test_wider_tolerance_rescues_the_same_diff(self, tmp_path):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        curr = self.write(
+            tmp_path, "curr.json",
+            variant(**{"server.workers_8.throughput_rps": 400.0}))
+        assert bench_compare.main([base, curr]) == 1
+        assert bench_compare.main(
+            [base, curr, "--tolerance", "0.75"]) == 0
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        assert bench_compare.main([base, base, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressions"] == []
+
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        with pytest.raises(SystemExit):
+            bench_compare.main([base, str(tmp_path / "nope.json")])
+
+    def test_no_comparable_metrics_fails(self, tmp_path, capsys):
+        empty = self.write(tmp_path, "empty.json", {"triples": 5})
+        assert bench_compare.main([empty, empty]) == 1
+        assert "no comparable" in capsys.readouterr().err

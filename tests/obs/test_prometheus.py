@@ -1,0 +1,110 @@
+"""Prometheus text-exposition correctness (format 0.0.4).
+
+The exposition is consumed by real scrapers, so these tests check the
+contract a scraper relies on: cumulative ``le`` buckets, the ``+Inf``
+bucket equal to ``_count``, a ``_sum`` line, and metric names cleaned
+to ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry, _sanitize_prometheus
+
+
+def bucket_counts(text: str, name: str) -> list[tuple[str, int]]:
+    """The (le, cumulative_count) pairs of one histogram, in order."""
+    pattern = re.compile(
+        rf'^{re.escape(name)}_bucket{{le="([^"]+)"}} (\d+)$')
+    pairs = []
+    for line in text.splitlines():
+        matched = pattern.match(line)
+        if matched:
+            pairs.append((matched.group(1), int(matched.group(2))))
+    return pairs
+
+
+class TestHistogramExposition:
+    def fill(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "server.latency_seconds", "request wall time",
+            buckets=(0.1, 0.5, 1.0))
+        for value in (0.05, 0.05, 0.3, 0.7, 2.0, 50.0):
+            histogram.observe(value)
+        return registry
+
+    def test_buckets_are_cumulative(self):
+        text = self.fill().prometheus_text()
+        pairs = bucket_counts(text, "server_latency_seconds")
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts), \
+            f"bucket counts must be non-decreasing: {pairs}"
+        # Concrete cumulativity, not just monotonicity.
+        assert counts == [2, 3, 4, 6]
+
+    def test_inf_bucket_equals_count(self):
+        text = self.fill().prometheus_text()
+        pairs = dict(bucket_counts(text, "server_latency_seconds"))
+        assert pairs["+Inf"] == 6
+        assert "server_latency_seconds_count 6" in text
+
+    def test_sum_line_present_and_correct(self):
+        text = self.fill().prometheus_text()
+        matched = re.search(
+            r"^server_latency_seconds_sum (\S+)$", text, re.M)
+        assert matched is not None
+        assert float(matched.group(1)) == 53.1
+
+    def test_type_and_help_lines(self):
+        text = self.fill().prometheus_text()
+        assert "# TYPE server_latency_seconds histogram" in text
+        assert ("# HELP server_latency_seconds request wall time"
+                in text)
+
+    def test_empty_histogram_still_well_formed(self):
+        registry = MetricsRegistry()
+        registry.histogram("idle.seconds", buckets=(1.0,))
+        text = registry.prometheus_text()
+        assert 'idle_seconds_bucket{le="+Inf"} 0' in text
+        assert "idle_seconds_count 0" in text
+
+
+class TestCounterAndGauge:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("server.requests", "total requests").inc(3)
+        registry.gauge("pool.in_use").set(2)
+        text = registry.prometheus_text()
+        assert "# TYPE server_requests counter" in text
+        assert "server_requests 3" in text
+        assert "# TYPE pool_in_use gauge" in text
+        assert "pool_in_use 2" in text
+
+    def test_dotted_names_are_sanitized_in_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("server.endpoint.match.seconds").inc()
+        text = registry.prometheus_text()
+        assert "server_endpoint_match_seconds 1" in text
+        assert "server.endpoint" not in text
+
+
+class TestSanitize:
+    def test_dots_and_dashes_become_underscores(self):
+        assert _sanitize_prometheus("a.b-c") == "a_b_c"
+
+    def test_leading_digit_gets_prefixed(self):
+        cleaned = _sanitize_prometheus("8ball.rate")
+        assert cleaned == "_8ball_rate"
+        assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", cleaned)
+
+    def test_colons_and_underscores_survive(self):
+        assert _sanitize_prometheus("ns:sub_total") == "ns:sub_total"
+
+    def test_unicode_and_spaces_are_flattened(self):
+        cleaned = _sanitize_prometheus("café latency ms")
+        assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", cleaned)
+
+    def test_already_clean_name_is_unchanged(self):
+        assert _sanitize_prometheus("plain_name") == "plain_name"

@@ -1,0 +1,142 @@
+"""Unit tests for the request-scoped trace context."""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+
+from repro.obs.reqctx import (
+    MAX_REQUEST_ID_LENGTH,
+    RequestTrace,
+    activate,
+    clean_request_id,
+    current_trace,
+    deactivate,
+    new_request_id,
+)
+
+
+class TestRequestIds:
+    def test_new_ids_are_short_hex_and_distinct(self):
+        first, second = new_request_id(), new_request_id()
+        assert first != second
+        for value in (first, second):
+            assert len(value) == 16
+            int(value, 16)  # raises if not hex
+
+    def test_missing_header_mints_an_id(self):
+        assert len(clean_request_id(None)) == 16
+
+    def test_good_client_id_is_honored(self):
+        assert clean_request_id("trace-me-42") == "trace-me-42"
+
+    def test_surrounding_whitespace_is_stripped(self):
+        assert clean_request_id("  abc  ") == "abc"
+
+    def test_control_characters_are_rejected(self):
+        # Header splitting: the hostile id must not be echoed.
+        hostile = "abc\r\nSet-Cookie: owned"
+        cleaned = clean_request_id(hostile)
+        assert cleaned != hostile
+        assert "\r" not in cleaned and "\n" not in cleaned
+
+    def test_del_character_is_rejected(self):
+        assert clean_request_id("abc\x7fdef") != "abc\x7fdef"
+
+    def test_overlong_id_is_replaced(self):
+        long_id = "x" * (MAX_REQUEST_ID_LENGTH + 1)
+        assert clean_request_id(long_id) != long_id
+        assert clean_request_id("x" * MAX_REQUEST_ID_LENGTH) == \
+            "x" * MAX_REQUEST_ID_LENGTH
+
+    def test_blank_id_is_replaced(self):
+        assert clean_request_id("   ") not in ("", "   ")
+
+
+class TestRequestTrace:
+    def test_collects_spans_annotations_and_slow_sql(self):
+        trace = RequestTrace("rid1", method="POST", path="/match")
+        trace.add_span({"name": "match.execute", "duration": 0.01})
+        trace.annotate("rows", 7)
+        trace.annotate_add("pool_wait_seconds", 0.25)
+        trace.annotate_add("pool_wait_seconds", 0.25)
+        trace.add_slow_sql("SELECT ?", 0.5)
+        payload = trace.as_dict()
+        assert payload["request_id"] == "rid1"
+        assert payload["method"] == "POST"
+        assert payload["path"] == "/match"
+        assert payload["spans"] == [
+            {"name": "match.execute", "duration": 0.01}]
+        assert payload["annotations"]["rows"] == 7
+        assert payload["annotations"]["pool_wait_seconds"] == 0.5
+        assert payload["slow_sql"] == [
+            {"statement": "SELECT ?", "seconds": 0.5}]
+
+    def test_finish_records_status_and_duration(self):
+        trace = RequestTrace("rid2")
+        duration = trace.finish(200)
+        assert duration > 0
+        assert trace.status == 200
+        assert trace.duration == duration
+        assert trace.elapsed >= duration
+
+    def test_as_dict_can_drop_spans(self):
+        trace = RequestTrace("rid3")
+        trace.add_span({"name": "s"})
+        assert "spans" not in trace.as_dict(include_spans=False)
+
+    def test_as_dict_is_a_snapshot(self):
+        trace = RequestTrace("rid4")
+        trace.annotate("key", "before")
+        snapshot = trace.as_dict()
+        trace.annotate("key", "after")
+        assert snapshot["annotations"]["key"] == "before"
+
+
+class TestActivation:
+    def test_activate_deactivate_roundtrip(self):
+        assert current_trace() is None
+        trace = RequestTrace("rid5")
+        token = activate(trace)
+        try:
+            assert current_trace() is trace
+        finally:
+            deactivate(token)
+        assert current_trace() is None
+
+    def test_nested_activation_restores_outer(self):
+        outer, inner = RequestTrace("outer"), RequestTrace("inner")
+        outer_token = activate(outer)
+        inner_token = activate(inner)
+        assert current_trace() is inner
+        deactivate(inner_token)
+        assert current_trace() is outer
+        deactivate(outer_token)
+
+    def test_context_does_not_leak_to_other_threads(self):
+        trace = RequestTrace("rid6")
+        token = activate(trace)
+        seen = []
+        try:
+            worker = threading.Thread(
+                target=lambda: seen.append(current_trace()))
+            worker.start()
+            worker.join()
+        finally:
+            deactivate(token)
+        assert seen == [None]
+
+    def test_copied_context_carries_the_trace_across_threads(self):
+        # The WriterQueue pattern: capture at submit, run elsewhere.
+        trace = RequestTrace("rid7")
+        token = activate(trace)
+        try:
+            captured = contextvars.copy_context()
+        finally:
+            deactivate(token)
+        seen = []
+        worker = threading.Thread(
+            target=lambda: seen.append(captured.run(current_trace)))
+        worker.start()
+        worker.join()
+        assert seen == [trace]

@@ -1,0 +1,166 @@
+"""Unit tests for the slow-request log and the Chrome exporter."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs.reqctx import RequestTrace
+from repro.obs.slowlog import (
+    SlowRequestLog,
+    chrome_trace_events,
+    render_span_tree,
+)
+
+
+def finished(request_id: str, duration: float,
+             path: str = "/match") -> RequestTrace:
+    trace = RequestTrace(request_id, method="POST", path=path)
+    trace._start = time.perf_counter() - duration  # backdate
+    trace.finish(200)
+    return trace
+
+
+class TestSlowRequestLog:
+    def test_only_slow_requests_reach_the_slow_ring(self):
+        log = SlowRequestLog(threshold=0.1)
+        assert log.record(finished("fast", 0.01)) is False
+        assert log.record(finished("slow", 0.5)) is True
+        entries = log.entries()
+        assert [e["request_id"] for e in entries] == ["slow"]
+        assert len(log) == 1
+
+    def test_entries_are_newest_first_and_limited(self):
+        log = SlowRequestLog(threshold=0.0)
+        for index in range(5):
+            log.record(finished(f"r{index}", 0.01))
+        assert [e["request_id"] for e in log.entries()] == \
+            ["r4", "r3", "r2", "r1", "r0"]
+        assert [e["request_id"] for e in log.entries(limit=2)] == \
+            ["r4", "r3"]
+        assert log.entries(limit=0) == []
+
+    def test_capacity_evicts_oldest(self):
+        log = SlowRequestLog(threshold=0.0, capacity=2)
+        for index in range(4):
+            log.record(finished(f"r{index}", 0.01))
+        assert [e["request_id"] for e in log.entries()] == ["r3", "r2"]
+        # The counter keeps the true total even after eviction.
+        assert log.stats()["captured"] == 4
+        assert log.stats()["retained"] == 2
+
+    def test_find_falls_back_to_the_recent_ring(self):
+        log = SlowRequestLog(threshold=1.0, recent=4)
+        log.record(finished("quick", 0.01))
+        found = log.find("quick")
+        assert found is not None and found["request_id"] == "quick"
+        assert log.find("never-seen") is None
+
+    def test_find_prefers_the_slow_ring(self):
+        log = SlowRequestLog(threshold=0.1, recent=1)
+        log.record(finished("slow", 0.5))
+        log.record(finished("later", 0.01))  # evicts slow from recent
+        assert log.find("slow") is not None
+
+    def test_clear_resets_everything(self):
+        log = SlowRequestLog(threshold=0.0)
+        log.record(finished("r", 0.01))
+        log.clear()
+        assert log.entries() == []
+        assert log.stats()["total_requests"] == 0
+
+    def test_stats_shape(self):
+        log = SlowRequestLog(threshold=0.2)
+        log.record(finished("a", 0.01))
+        log.record(finished("b", 0.3))
+        assert log.stats() == {
+            "threshold_seconds": 0.2,
+            "captured": 1,
+            "retained": 1,
+            "recent_retained": 2,
+            "total_requests": 2,
+        }
+
+    def test_rejects_nonsense_configuration(self):
+        with pytest.raises(ValueError):
+            SlowRequestLog(threshold=-1)
+        with pytest.raises(ValueError):
+            SlowRequestLog(capacity=0)
+
+    def test_snapshots_do_not_track_the_live_trace(self):
+        log = SlowRequestLog(threshold=0.0)
+        trace = finished("live", 0.01)
+        log.record(trace)
+        trace.annotate("added", "later")
+        assert "added" not in log.entries()[0]["annotations"]
+
+
+class TestChromeTraceEvents:
+    SPANS = [
+        {"name": "http.request", "start_time": 100.0, "duration": 0.2,
+         "thread_id": 11, "attributes": {"request_id": "r1"},
+         "depth": 0},
+        {"name": "writer.execute", "start_time": 100.1,
+         "duration": 0.05, "thread_id": 22,
+         "attributes": {"request_id": "r1", "blob": [1, 2]},
+         "error": "boom", "depth": 1},
+    ]
+
+    def test_complete_events_in_microseconds(self):
+        events = chrome_trace_events(self.SPANS)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in complete] == \
+            ["http.request", "writer.execute"]
+        first = complete[0]
+        assert first["ts"] == 100.0 * 1e6
+        assert first["dur"] == pytest.approx(0.2 * 1e6)
+        assert first["tid"] == 11
+        assert first["args"]["request_id"] == "r1"
+
+    def test_threads_become_tracks_with_names(self):
+        events = chrome_trace_events(self.SPANS, label="POST /match")
+        metadata = [e for e in events if e["ph"] == "M"]
+        names = {e["name"] for e in metadata}
+        assert "process_name" in names
+        thread_tracks = sorted(e["tid"] for e in metadata
+                               if e["name"] == "thread_name")
+        assert thread_tracks == [11, 22]
+
+    def test_non_scalar_attributes_are_dropped(self):
+        events = chrome_trace_events(self.SPANS)
+        writer = [e for e in events
+                  if e["name"] == "writer.execute"][0]
+        assert "blob" not in writer["args"]
+        assert writer["args"]["error"] == "boom"
+
+    def test_output_is_json_serializable(self):
+        text = json.dumps(chrome_trace_events(self.SPANS,
+                                              label="x"))
+        assert json.loads(text)
+
+    def test_empty_input_yields_no_complete_events(self):
+        assert chrome_trace_events([]) == []
+
+
+class TestRenderSpanTree:
+    def test_indented_by_depth_in_start_order(self):
+        lines = render_span_tree([
+            {"name": "inner", "start_time": 2.0, "duration": 0.001,
+             "depth": 1, "attributes": {"rows": 3,
+                                        "request_id": "hidden"}},
+            {"name": "outer", "start_time": 1.0, "duration": 0.002,
+             "depth": 0, "attributes": {}},
+        ])
+        assert lines[0].startswith("  outer")
+        assert lines[1].startswith("    inner")
+        assert "rows=3" in lines[1]
+        # The id is the entry's key, not per-span noise.
+        assert "request_id" not in lines[1]
+
+    def test_errors_are_flagged(self):
+        lines = render_span_tree([
+            {"name": "s", "start_time": 0.0, "duration": 0.0,
+             "depth": 0, "error": "ValueError"}])
+        assert "!ValueError" in lines[0]

@@ -1,0 +1,110 @@
+"""Trace propagation under concurrency: no cross-request span leaks.
+
+Eight client threads storm a real server with interleaved reads and
+writes, each request carrying its own id.  Afterwards every retained
+trace is audited: each span a request collected must be stamped with
+*that* request's id — pool handoffs, planner work, and writer-thread
+job execution included.  Before request-scoped context, spans from
+concurrent requests interleaved indistinguishably in one global ring;
+this suite pins the isolation property.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.server.app import ReproServer, ServerConfig
+from repro.server.client import ReproClient
+
+THREADS = 8
+REQUESTS_PER_THREAD = 12
+
+
+@pytest.fixture
+def server(tmp_path):
+    config = ServerConfig(
+        path=str(tmp_path / "storm.db"), port=0, workers=4,
+        backlog=THREADS * 2, observe=True, slow_threshold=0.0,
+        slow_capacity=THREADS * REQUESTS_PER_THREAD + 16,
+        recent_capacity=THREADS * REQUESTS_PER_THREAD + 16,
+        pool_timeout=10.0)
+    with ReproServer(config) as running:
+        yield running
+
+
+def test_no_cross_request_span_leaks(server):
+    host, port = server.address
+    with ReproClient(host, port) as setup:
+        setup.insert("storm", [["<urn:s>", "<urn:p>", "<urn:o>"]],
+                     create=True)
+
+    errors: list[BaseException] = []
+    sent: set[str] = set()
+    lock = threading.Lock()
+
+    def drive(worker: int) -> None:
+        try:
+            with ReproClient(host, port, timeout=30) as client:
+                for index in range(REQUESTS_PER_THREAD):
+                    request_id = f"storm-{worker}-{index}"
+                    if index % 3 == 0:
+                        client.insert(
+                            "storm",
+                            [[f"<urn:s{worker}>", "<urn:p>",
+                              f"<urn:o{worker}x{index}>"]],
+                            request_id=request_id)
+                    else:
+                        client.match_retrying(
+                            "(?s <urn:p> ?o)", ["storm"],
+                            request_id=request_id)
+                    assert client.last_request_id == request_id
+                    with lock:
+                        sent.add(request_id)
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=drive, args=(worker,))
+               for worker in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors
+    assert len(sent) == THREADS * REQUESTS_PER_THREAD
+
+    with ReproClient(host, port) as reader:
+        payload = reader.debug_slow()
+    entries = {entry["request_id"]: entry
+               for entry in payload["requests"]}
+    # Every stormed request was captured (threshold 0, rings sized
+    # above the request count; the audit reads /debug/slow once).
+    missing = sent - set(entries)
+    assert not missing, f"traces lost for {sorted(missing)[:5]}"
+
+    for request_id in sent:
+        entry = entries[request_id]
+        spans = entry["spans"]
+        assert spans, f"{request_id} collected no spans"
+        foreign = [span for span in spans
+                   if span["attributes"].get("request_id")
+                   != request_id]
+        assert not foreign, (
+            f"{request_id} holds spans stamped for another request: "
+            f"{[(s['name'], s['attributes'].get('request_id')) for s in foreign[:3]]}")
+        if entry["path"] == "/insert":
+            # The writer thread ran this job inside the submitter's
+            # context: its span must appear here, correctly stamped.
+            writer_spans = [span for span in spans
+                            if span["name"] == "writer.execute"]
+            assert writer_spans, \
+                f"{request_id} (insert) lacks a writer.execute span"
+            assert entry["annotations"][
+                "writer_queue_wait_seconds"] >= 0
+        else:
+            assert any(span["name"] == "match.execute"
+                       for span in spans), \
+                f"{request_id} (match) lacks a match.execute span"
+            assert entry["annotations"]["plan_cache"] in \
+                ("hit", "miss")
