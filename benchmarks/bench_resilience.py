@@ -1,0 +1,222 @@
+"""BENCH-RESILIENCE: /match latency with and without injected faults.
+
+The serving layer claims its resilience machinery (deadline watchdogs,
+fault points, health accounting) is cheap on the clean path and keeps
+latency bounded on a faulty one.  This benchmark measures both:
+
+* **clean** — closed-loop clients against an un-instrumented server;
+  the figures here gate the clean-path overhead of the resilience
+  plumbing (compare against the stored baseline);
+* **faulted** — the same load while a seeded
+  :class:`~repro.db.faults.FaultInjector` makes ~10% of SELECTs sleep
+  mid-statement.  p95 under faults is the report's headline: it must
+  stay a small multiple of the injected delay, not compound across
+  retries.
+
+Every request carries a deadline, so a fault that stalls a statement
+past the budget surfaces as a fast 504 instead of a hung client —
+errors are counted, never hidden.
+
+Standalone only (CI runs ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import threading
+import time
+
+try:
+    from repro.core.store import RDFStore
+except ImportError:  # script mode: python benchmarks/bench_resilience.py
+    import sys
+
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(_ROOT / "src"))
+    sys.path.insert(0, str(_ROOT))
+    from repro.core.store import RDFStore
+
+from repro.db.faults import SLOW, FaultInjector
+from repro.errors import ServerError
+from repro.server.app import ReproServer, ServerConfig
+from repro.server.client import ReproClient
+
+MODEL = "bench"
+QUERY = "(<urn:bench:s0> <urn:bench:p> ?o)"
+CLIENTS = 8
+WORKERS = 4
+#: Fraction of SELECT statements the faulted phase stalls.
+FAULT_CHANCE = 0.10
+#: Seconds each stalled statement sleeps.
+FAULT_DELAY = 0.02
+#: Per-request deadline budget, seconds — generous against the fault
+#: delay, so a single stall completes and only pathological pile-ups
+#: turn into 504s.
+DEADLINE = 1.0
+
+
+def build_dataset(path: pathlib.Path, triples: int) -> None:
+    """Same shape as bench_server: s0 carries ~256 objects."""
+    subjects = max(1, triples // 256)
+    with RDFStore(path, durability="durable") as store:
+        store.create_model(MODEL)
+        with store.database.transaction():
+            for i in range(triples):
+                store.insert_triple(
+                    MODEL, f"<urn:bench:s{i % subjects}>",
+                    "<urn:bench:p>", f"<urn:bench:o{i}>")
+
+
+def summarize(latencies_ms: list[float]) -> dict:
+    if not latencies_ms:
+        return {"p50": None, "p95": None, "mean": None}
+    ordered = sorted(latencies_ms)
+    return {
+        "p50": round(statistics.median(ordered), 3),
+        "p95": round(ordered[min(len(ordered) - 1,
+                                 int(0.95 * len(ordered)))], 3),
+        "mean": round(statistics.fmean(ordered), 3),
+    }
+
+
+def drive_load(path: pathlib.Path, duration: float,
+               faults: FaultInjector | None) -> dict:
+    """Closed-loop /match load against one server configuration."""
+    config = ServerConfig(path=str(path), port=0, workers=WORKERS,
+                          backlog=WORKERS * 2, pool_timeout=1.0,
+                          faults=faults)
+    results: list[tuple[int, float]] = []  # (status, latency_ms)
+    lock = threading.Lock()
+    start_gate = threading.Event()
+    stop_gate = threading.Event()
+
+    def drive():
+        host, port = server.address
+        local: list[tuple[int, float]] = []
+        with ReproClient(host, port, timeout=30,
+                         deadline=DEADLINE) as client:
+            try:
+                client.match(QUERY, [MODEL])  # connect + warm
+            except ServerError:
+                pass
+            start_gate.wait()
+            while not stop_gate.is_set():
+                begin = time.perf_counter()
+                try:
+                    client.match(QUERY, [MODEL])
+                    status = 200
+                except ServerError as exc:
+                    status = exc.status
+                local.append(
+                    (status, (time.perf_counter() - begin) * 1000))
+        with lock:
+            results.extend(local)
+
+    with ReproServer(config) as server:
+        threads = [threading.Thread(target=drive)
+                   for _ in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)
+        start_gate.set()
+        time.sleep(duration)
+        stop_gate.set()
+        for thread in threads:
+            thread.join(timeout=60)
+
+    ok = [latency for status, latency in results if status == 200]
+    errors: dict[str, int] = {}
+    for status, _ in results:
+        if status != 200:
+            errors[str(status)] = errors.get(str(status), 0) + 1
+    return {
+        "workers": WORKERS,
+        "clients": CLIENTS,
+        "duration_s": duration,
+        "ok": len(ok),
+        "errors_by_status": errors,
+        "throughput_rps": round(len(ok) / duration, 1),
+        "latency_ms": summarize(ok),
+        "faults_fired": faults.stats() if faults is not None else None,
+    }
+
+
+def run(triples: int, duration: float, output: str) -> dict:
+    import tempfile
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-res-"))
+    path = workdir / "bench.db"
+    print(f"building {triples}-triple dataset ...")
+    build_dataset(path, triples)
+
+    print("clean phase ...")
+    clean = drive_load(path, duration, faults=None)
+    print(f"  {clean['throughput_rps']} rps "
+          f"(p50 {clean['latency_ms']['p50']} ms, "
+          f"p95 {clean['latency_ms']['p95']} ms)")
+
+    print(f"faulted phase ({FAULT_CHANCE:.0%} of SELECTs stall "
+          f"{FAULT_DELAY * 1000:.0f} ms) ...")
+    injector = FaultInjector(seed=42)
+    injector.inject(SLOW, match="SELECT", site="statement",
+                    chance=FAULT_CHANCE, delay=FAULT_DELAY,
+                    times=10 ** 9)
+    faulted = drive_load(path, duration, faults=injector)
+    print(f"  {faulted['throughput_rps']} rps "
+          f"(p50 {faulted['latency_ms']['p50']} ms, "
+          f"p95 {faulted['latency_ms']['p95']} ms, "
+          f"errors {faulted['errors_by_status']}, "
+          f"faults fired {faulted['faults_fired'].get('fired', 0)})")
+
+    clean_p95 = clean["latency_ms"]["p95"]
+    faulted_p95 = faulted["latency_ms"]["p95"]
+    ratio = (round(faulted_p95 / clean_p95, 2)
+             if clean_p95 else None)
+    report = {
+        "benchmark": "server-resilience-under-faults",
+        "query": QUERY,
+        "triples": triples,
+        "deadline_s": DEADLINE,
+        "fault_chance": FAULT_CHANCE,
+        "fault_delay_s": FAULT_DELAY,
+        "clean": clean,
+        "faulted": faulted,
+        # Informational, not gated: how much the fault schedule
+        # inflates tail latency.
+        "p95_fault_inflation": ratio,
+    }
+    print(f"p95 inflation under faults: {ratio}x")
+    out = pathlib.Path(output)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    print(f"wrote {out}")
+    return report
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="/match latency with and without injected faults")
+    parser.add_argument("--triples", type=int, default=20_000)
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="seconds of load per phase")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small dataset, short runs")
+    parser.add_argument("--output", default="BENCH_resilience.json")
+    args = parser.parse_args(argv)
+    triples = args.triples
+    duration = args.duration
+    if args.smoke:
+        triples = min(triples, 2_000)
+        duration = min(duration, 1.0)
+    run(triples, duration, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

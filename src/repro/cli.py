@@ -211,6 +211,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        "before 429 (default 8)")
     serve.add_argument("--writer-queue", type=int, default=64,
                        help="bound on queued write jobs (default 64)")
+    serve.add_argument("--idempotency-capacity", type=int,
+                       default=None, metavar="N",
+                       help="Idempotency-Key ledger entries retained "
+                       "per database (default 4096)")
     serve.add_argument("--access-log", action="store_true",
                        help="emit one JSON access-log line per request "
                        "on stderr")
@@ -236,6 +240,36 @@ def _build_parser() -> argparse.ArgumentParser:
                          "trace-event JSON array")
     slowlog.add_argument("--json", action="store_true",
                          help="emit machine-readable output")
+
+    chaos = commands.add_parser(
+        "chaos", help="run seeded chaos storms against an ephemeral "
+        "server and assert the resilience invariants: no torn reads, "
+        "monotonic versions, exactly-once writes, request ids on "
+        "every response (see docs/resilience.md)")
+    chaos.add_argument("db", nargs="?", default=None,
+                       help="database file (default: a temp file per "
+                       "storm)")
+    chaos.add_argument("--classes", default="all",
+                       help="comma list of fault classes to storm "
+                       "(default: all of clean, slow-sql, "
+                       "drop-response, writer-stall, pool-exhaust)")
+    chaos.add_argument("--seed", type=int, default=42,
+                       help="fault-schedule seed; the same seed "
+                       "replays the same storm (default 42)")
+    chaos.add_argument("--requests", type=int, default=200,
+                       help="operations per storm (default 200)")
+    chaos.add_argument("--threads", type=int, default=4,
+                       help="client threads per storm (default 4)")
+    chaos.add_argument("--workers", type=int, default=3,
+                       help="server read-pool size (default 3)")
+    chaos.add_argument("--chance", type=float, default=0.15,
+                       help="per-operation fault probability "
+                       "(default 0.15)")
+    chaos.add_argument("--delay", type=float, default=0.02,
+                       help="slow/stall fault sleep seconds "
+                       "(default 0.02)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit machine-readable reports")
 
     experiments = commands.add_parser(
         "experiments", help="run the paper's experiment tables")
@@ -295,6 +329,8 @@ def _dispatch(args: argparse.Namespace, out) -> int:
     if args.command == "slowlog":
         # Talks to a running server over HTTP — no local store.
         return _slowlog(args, out)
+    if args.command == "chaos":
+        return _chaos(args, out)
     # The trace command is only useful observed; --observe opts other
     # commands in, None defers to REPRO_OBSERVE.
     observe = True if (args.observe or args.command == "trace") else None
@@ -315,6 +351,8 @@ def _serve(args: argparse.Namespace, out) -> int:
     extra = {}
     if args.slow_threshold is not None:
         extra["slow_threshold"] = args.slow_threshold
+    if args.idempotency_capacity is not None:
+        extra["idempotency_capacity"] = args.idempotency_capacity
     config = ServerConfig(
         path=args.db, host=args.host, port=args.port,
         workers=args.workers, backlog=args.backlog,
@@ -336,6 +374,62 @@ def _serve(args: argparse.Namespace, out) -> int:
     finally:
         server.stop()
     print("stopped", file=out)
+    return 0
+
+
+def _chaos(args: argparse.Namespace, out) -> int:
+    """``repro chaos [DB] [--classes ...] [--seed N]`` — storm suite."""
+    import json
+    import os
+    import tempfile
+    import time
+
+    from repro.db.faults import FaultInjector
+    from repro.server.app import ReproServer, ServerConfig
+    from repro.server.chaos import FAULT_CLASSES, arm_faults, run_storm
+
+    names = (list(FAULT_CLASSES) if args.classes == "all"
+             else [part.strip() for part in args.classes.split(",")
+                   if part.strip()])
+    for name in names:
+        if name not in FAULT_CLASSES:
+            raise ReproError(
+                f"unknown fault class {name!r}; expected one of "
+                f"{', '.join(FAULT_CLASSES)}")
+    reports = []
+    for name in names:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = args.db or os.path.join(tmp, "chaos.db")
+            # A reused database accumulates storm models; a unique
+            # model name keeps each storm's count arithmetic clean.
+            model = (f"chaos_{name}_{os.getpid()}_{int(time.time())}"
+                     if args.db else "chaos")
+            injector = FaultInjector(seed=args.seed)
+            arm_faults(injector, name, chance=args.chance,
+                       delay=args.delay)
+            config = ServerConfig(
+                path=path, workers=args.workers,
+                backlog=args.workers * 2, faults=injector,
+                pool_timeout=1.0, retry_after=0.05)
+            with ReproServer(config) as server:
+                host, port = server.address
+                report = run_storm(
+                    host, port, fault_class=name, seed=args.seed,
+                    requests=args.requests, workers=args.threads,
+                    model=model, faults=injector)
+            reports.append(report)
+            if not args.json:
+                print(report.render(), file=out)
+    if args.json:
+        print(json.dumps([report.as_dict() for report in reports],
+                         indent=2), file=out)
+    failed = [report for report in reports if not report.ok]
+    if failed:
+        print(f"chaos: {len(failed)}/{len(reports)} storms FAILED",
+              file=out)
+        return 1
+    if not args.json:
+        print(f"chaos: all {len(reports)} storms passed", file=out)
     return 0
 
 

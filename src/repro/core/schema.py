@@ -43,6 +43,7 @@ LINK_TABLE = "rdf_link$"
 BLANK_NODE_TABLE = "rdf_blank_node$"
 VERSION_TABLE = "rdf_schema_version$"
 MODEL_VERSION_TABLE = "rdf_model_version$"
+IDEMPOTENCY_TABLE = "rdf_idempotency$"
 
 #: Bumped on incompatible central-schema layout changes; a database
 #: written by a newer layout refuses to open under older code.
@@ -139,6 +140,26 @@ CREATE TABLE IF NOT EXISTS "{MODEL_VERSION_TABLE}" (
     model_id INTEGER PRIMARY KEY,
     version  INTEGER NOT NULL DEFAULT 0
 );
+"""
+
+#: DDL for the serving layer's exactly-once write ledger.  One row per
+#: Idempotency-Key the server has applied: the recorded outcome is
+#: written **inside the same transaction** as the write it describes,
+#: so a client retry after a dropped connection replays the stored
+#: answer instead of applying the mutation twice.  ``seq`` orders rows
+#: for the bounded-size prune (oldest evicted first); created by
+#: :func:`repro.server.state.ensure_serve_state`, not part of the
+#: central schema proper.
+IDEMPOTENCY_SQL = f"""
+CREATE TABLE IF NOT EXISTS "{IDEMPOTENCY_TABLE}" (
+    key          TEXT PRIMARY KEY,
+    seq          INTEGER NOT NULL,
+    route        TEXT NOT NULL,
+    outcome_json TEXT NOT NULL,
+    created_at   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS rdf_idempotency_seq
+    ON "{IDEMPOTENCY_TABLE}" (seq);
 """
 
 

@@ -39,8 +39,13 @@ from repro.db.resilience import (
     RetryPolicy,
     resolve_profile,
 )
-from repro.errors import ReadOnlyConnectionError, StorageError
+from repro.errors import (
+    DeadlineExceededError,
+    ReadOnlyConnectionError,
+    StorageError,
+)
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.reqctx import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.faults import FaultInjector
@@ -69,6 +74,29 @@ def quote_identifier(name: str) -> str:
     if not _IDENTIFIER_RE.match(name):
         raise StorageError(f"illegal SQL identifier: {name!r}")
     return f'"{name}"'
+
+
+class DeadlineGuard:
+    """Book-keeping for one active :meth:`Database.deadline_scope`.
+
+    ``interrupted`` flips to True the moment the progress-handler
+    watchdog aborts a statement, so callers can distinguish "SQL was
+    cut off mid-flight" (count it under ``sql.interrupts``) from "the
+    deadline expired between statements".
+    """
+
+    __slots__ = ("deadline", "interrupted")
+
+    def __init__(self, deadline: Deadline) -> None:
+        self.deadline = deadline
+        self.interrupted = False
+
+
+#: SQLite VM instructions between watchdog checks: small enough to
+#: notice an expired deadline within well under a millisecond of real
+#: work, large enough that the check itself is noise (<1% on the
+#: micro-query benchmarks).
+PROGRESS_HANDLER_INSTRUCTIONS = 2000
 
 
 class Database:
@@ -140,6 +168,7 @@ class Database:
         self._connection.isolation_level = None
         self._in_transaction = 0
         self._closed = False
+        self._deadline_guard: DeadlineGuard | None = None
         self._observer = NULL_OBSERVER
         cursor = self._connection.cursor()
         for pragma in self._profile.pragmas(read_only=read_only):
@@ -274,11 +303,19 @@ class Database:
     def _wrap_sql_error(self, exc: sqlite3.Error,
                         context: str) -> StorageError:
         """Map a sqlite error to the right StorageError subclass."""
-        if "readonly database" in str(exc).lower():
+        message = str(exc).lower()
+        if "readonly database" in message:
             return ReadOnlyConnectionError(
                 f"{exc} — connection to {self._path} is read-only "
                 "(mode=ro); route writes through the writer queue "
                 f"({context})")
+        guard = self._deadline_guard
+        if "interrupt" in message and guard is not None \
+                and guard.interrupted:
+            return DeadlineExceededError(
+                f"SQL aborted after the request deadline expired "
+                f"(budget {guard.deadline.budget * 1000:.0f} ms) "
+                f"{context}")
         return StorageError(f"{exc} {context}")
 
     # ------------------------------------------------------------------
@@ -423,7 +460,15 @@ class Database:
     def query_all(self, sql: str,
                   parameters: Sequence[Any] = ()) -> list[sqlite3.Row]:
         """All rows of a query."""
-        rows = self.execute(sql, parameters).fetchall()
+        cursor = self.execute(sql, parameters)
+        try:
+            rows = cursor.fetchall()
+        except sqlite3.Error as exc:
+            # Rows stream lazily: the deadline watchdog (and any other
+            # mid-flight abort) fires here, not in execute().
+            self._require_open()
+            raise self._wrap_sql_error(
+                exc, f"while fetching: {sql}") from exc
         if self._observer.enabled:
             self._observer.sql.add_rows(sql, len(rows))
         return rows
@@ -431,7 +476,13 @@ class Database:
     def query_one(self, sql: str,
                   parameters: Sequence[Any] = ()) -> sqlite3.Row | None:
         """The first row of a query, or None."""
-        row = self.execute(sql, parameters).fetchone()
+        cursor = self.execute(sql, parameters)
+        try:
+            row = cursor.fetchone()
+        except sqlite3.Error as exc:
+            self._require_open()
+            raise self._wrap_sql_error(
+                exc, f"while fetching: {sql}") from exc
         if row is not None and self._observer.enabled:
             self._observer.sql.add_rows(sql, 1)
         return row
@@ -471,8 +522,13 @@ class Database:
             try:
                 yield
             except BaseException:
-                self.execute(f"ROLLBACK TO {name}")
-                self.execute(f"RELEASE {name}")
+                # An interrupt() mid-statement may have rolled the
+                # whole transaction back already; rolling back a
+                # savepoint that no longer exists would raise and mask
+                # the original error.
+                if self._connection.in_transaction:
+                    self.execute(f"ROLLBACK TO {name}")
+                    self.execute(f"RELEASE {name}")
                 raise
             else:
                 self.execute(f"RELEASE {name}")
@@ -485,7 +541,11 @@ class Database:
             yield
         except BaseException:
             self._in_transaction = 0
-            self.execute("ROLLBACK")
+            # The engine rolls back on its own when a statement is
+            # interrupted mid-write; a second explicit ROLLBACK would
+            # raise "no transaction is active" and mask the cause.
+            if self._connection.in_transaction:
+                self.execute("ROLLBACK")
             raise
         else:
             self._in_transaction = 0
@@ -504,6 +564,75 @@ class Database:
             f"foreign_key_check found {len(rows)} violation(s) at "
             f"commit; first: table={first[0]!r} rowid={first[1]} "
             f"references {first[2]!r}")
+
+    # ------------------------------------------------------------------
+    # cooperative cancellation
+    # ------------------------------------------------------------------
+
+    def interrupt(self) -> None:
+        """Abort the connection's in-flight statement, if any.
+
+        Thread-safe (the one sqlite3 call that is): another thread may
+        interrupt a long-running query on this connection.  The
+        aborted statement raises ``OperationalError: interrupted``,
+        which an active :meth:`deadline_scope` maps to
+        :class:`~repro.errors.DeadlineExceededError`.
+        """
+        if not self._closed:
+            self._connection.interrupt()
+
+    @contextmanager
+    def deadline_scope(self,
+                       deadline: Deadline | None
+                       ) -> Iterator[DeadlineGuard | None]:
+        """Bound every statement in the scope by ``deadline``.
+
+        Installs a progress-handler watchdog that checks the deadline
+        every :data:`PROGRESS_HANDLER_INSTRUCTIONS` SQLite VM
+        instructions and aborts the in-flight statement once it
+        expires — the cooperative half of
+        ``sqlite3.Connection.interrupt()``: the engine stops at a safe
+        point, the open transaction rolls back normally, and the
+        connection remains usable.  The aborted statement surfaces as
+        :class:`~repro.errors.DeadlineExceededError`; the yielded
+        :class:`DeadlineGuard`'s ``interrupted`` flag says whether SQL
+        was actually cut off (callers count ``sql.interrupts`` from
+        it).
+
+        ``deadline=None`` yields ``None`` and installs nothing, so
+        call sites need no branching for deadline-free requests.
+        Scopes do not nest (one progress handler per connection); the
+        serving layer opens exactly one per request.
+        """
+        if deadline is None:
+            yield None
+            return
+        if self._deadline_guard is not None:
+            raise StorageError(
+                "deadline_scope does not nest: a scope is already "
+                f"active on the connection to {self._path}")
+        guard = DeadlineGuard(deadline)
+        self._deadline_guard = guard
+
+        def watchdog() -> int:
+            if guard.interrupted:
+                # Fire once: the aborted statement is unwinding and the
+                # cleanup that follows (ROLLBACK) must be allowed to
+                # run, or the rollback error would mask the deadline.
+                return 0
+            if guard.deadline.expired:
+                guard.interrupted = True
+                return 1  # non-zero aborts the statement
+            return 0
+
+        self._connection.set_progress_handler(
+            watchdog, PROGRESS_HANDLER_INSTRUCTIONS)
+        try:
+            yield guard
+        finally:
+            self._deadline_guard = None
+            if not self._closed:
+                self._connection.set_progress_handler(None, 0)
 
     # ------------------------------------------------------------------
     # schema introspection

@@ -1,4 +1,4 @@
-"""Deterministic fault injection for the storage engine.
+"""Deterministic fault injection for the storage engine and server.
 
 Crash safety is only believable when it is exercised: this module lets
 tests inject engine failures at exact statement/transaction boundaries
@@ -10,18 +10,41 @@ before ``BEGIN``/``COMMIT``/``SAVEPOINT``, which go through
 ``execute``), so a fault can be pinned to "the third INSERT into
 ``rdf_link$``" or "the outermost COMMIT".
 
-Three fault kinds:
+Since the serving layer grew a request lifecycle of its own, the same
+injector is also consulted at **server-level fault points** — named
+places in the request path, checked via :meth:`FaultInjector.on_point`:
+
+========================  =============================================
+point                     where it fires
+========================  =============================================
+``pool.acquire``          before a read-connection lease is granted
+``writer.job``            before a writer-queue job executes
+``server.response``       before a response body is written
+========================  =============================================
+
+Five fault kinds:
 
 ``lock``
     Raises ``sqlite3.OperationalError("database is locked")`` — the
     transient condition the :class:`~repro.db.resilience.RetryPolicy`
     retries with backoff.  A fault with ``times=2`` fails the first two
     attempts and lets the third succeed, exercising the full retry
-    path.
+    path.  At the ``pool.acquire`` point the pool maps it to
+    :class:`~repro.errors.PoolTimeoutError` (pool exhaustion).
 ``disk_io``
     Raises ``sqlite3.OperationalError("disk I/O error")`` — fatal; the
     engine wrapper must surface it as
     :class:`~repro.errors.StorageError` without retrying.
+``slow``
+    Sleeps ``delay`` seconds, then lets the operation proceed — slow
+    SQL at statement sites, a stalled job at ``writer.job``, a slow
+    lease at ``pool.acquire``.  The operation *succeeds*; only its
+    latency suffers, which is exactly what deadline propagation and
+    the drain hard-deadline exist to contain.
+``drop``
+    Raises :class:`InjectedDisconnect` (a ``ConnectionError``) — at
+    ``server.response`` the handler tears the socket down mid-response
+    instead of answering, simulating a dropped keep-alive connection.
 ``kill``
     Calls ``os._exit`` — the process dies on the spot with no cleanup,
     no ``atexit``, no buffered-write flush, exactly like ``SIGKILL``
@@ -33,12 +56,18 @@ Three fault kinds:
 Faults fire deterministically: ``match`` selects statements by
 case-insensitive substring, ``skip`` lets that many matching
 executions pass first, and ``times`` bounds how often the fault fires.
+For chaos storms, ``chance`` makes a fault probabilistic — but drawn
+from the injector's **seeded** ``random.Random``, so a storm's fault
+schedule is random-looking yet exactly reproducible from its seed.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import sqlite3
+import threading
+import time
 from dataclasses import dataclass
 
 from repro.errors import StorageError
@@ -46,9 +75,19 @@ from repro.errors import StorageError
 #: Fault kinds.
 LOCK = "lock"
 DISK_IO = "disk_io"
+SLOW = "slow"
+DROP = "drop"
 KILL = "kill"
 
-KINDS: tuple[str, ...] = (LOCK, DISK_IO, KILL)
+KINDS: tuple[str, ...] = (LOCK, DISK_IO, SLOW, DROP, KILL)
+
+#: Server-level fault points (used as the ``site`` of a fault).
+POINT_POOL_ACQUIRE = "pool.acquire"
+POINT_WRITER_JOB = "writer.job"
+POINT_RESPONSE = "server.response"
+
+POINTS: tuple[str, ...] = (
+    POINT_POOL_ACQUIRE, POINT_WRITER_JOB, POINT_RESPONSE)
 
 #: The messages raised for each error-raising kind; the lock message
 #: is deliberately the exact text SQLite uses, so classification in
@@ -62,21 +101,34 @@ _MESSAGES = {
 #: Default exit status for ``kill`` faults (128 + SIGKILL).
 KILL_EXIT_CODE = 137
 
+#: Default sleep for ``slow`` faults, seconds.
+DEFAULT_DELAY = 0.05
+
+
+class InjectedDisconnect(ConnectionError):
+    """A ``drop`` fault fired: tear the connection down, mid-response."""
+
 
 @dataclass(slots=True)
 class Fault:
     """One armed fault.
 
-    :param kind: ``lock``, ``disk_io``, or ``kill``.
+    :param kind: ``lock``, ``disk_io``, ``slow``, ``drop``, or
+        ``kill``.
     :param match: case-insensitive substring the SQL text must contain
         (empty matches every statement).  ``BEGIN``/``COMMIT``/
         ``SAVEPOINT`` are ordinary statements here, so transaction
-        boundaries are matchable.
+        boundaries are matchable.  Ignored at server-level points.
     :param site: restrict to one execution site — ``statement``
-        (:meth:`Database.execute`), ``executemany``, or
-        ``executescript``; empty matches all sites.
+        (:meth:`Database.execute`), ``executemany``,
+        ``executescript``, or a server-level point name
+        (:data:`POINT_POOL_ACQUIRE`, :data:`POINT_WRITER_JOB`,
+        :data:`POINT_RESPONSE`); empty matches all sites.
     :param skip: let this many matching executions succeed first.
     :param times: fire at most this many times, then stand down.
+    :param chance: probability (0..1] a matching execution fires,
+        drawn from the injector's seeded RNG; 1.0 is deterministic.
+    :param delay: seconds a ``slow`` fault sleeps.
     :param exit_code: process exit status for ``kill`` faults.
     """
 
@@ -85,6 +137,8 @@ class Fault:
     site: str = ""
     skip: int = 0
     times: int = 1
+    chance: float = 1.0
+    delay: float = DEFAULT_DELAY
     exit_code: int = KILL_EXIT_CODE
     #: Matching executions seen so far (including skipped ones).
     seen: int = 0
@@ -96,6 +150,12 @@ class Fault:
             raise StorageError(
                 f"unknown fault kind {self.kind!r}; expected one of "
                 f"{', '.join(KINDS)}")
+        if not 0.0 < self.chance <= 1.0:
+            raise StorageError(
+                f"fault chance must be in (0, 1], got {self.chance}")
+        if self.delay < 0:
+            raise StorageError(
+                f"fault delay must be >= 0, got {self.delay}")
 
     @property
     def exhausted(self) -> bool:
@@ -111,51 +171,99 @@ class Fault:
 
 
 class FaultInjector:
-    """A scripted set of faults consulted at statement boundaries.
+    """A scripted set of faults consulted at statement boundaries and
+    server-level fault points.
 
     Attach with ``Database(faults=injector)`` or
     ``database.set_fault_injector(injector)``; arm faults with
-    :meth:`inject`.  Thread-unsafe by design — fault tests are
-    single-threaded and deterministic.
+    :meth:`inject`.  The serving layer attaches one injector to the
+    writer connection, every pooled reader, and its own request path
+    (``ServerConfig(faults=...)``), so one schedule spans all of them.
+
+    :param seed: seeds the RNG behind probabilistic (``chance < 1``)
+        faults — a chaos storm replays exactly from its seed.
+
+    Counter updates are lock-protected so a storm may hammer one
+    injector from many handler threads; the *schedule* itself stays
+    deterministic for single-threaded fault tests and seeded for
+    multi-threaded ones.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, seed: int | None = None) -> None:
         self._faults: list[Fault] = []
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
         #: Total faults fired through this injector.
         self.fired = 0
+        #: Faults fired per kind (chaos reports read this).
+        self.fired_by_kind: dict[str, int] = {}
 
     def inject(self, kind: str, *, match: str = "", site: str = "",
-               skip: int = 0, times: int = 1,
+               skip: int = 0, times: int = 1, chance: float = 1.0,
+               delay: float = DEFAULT_DELAY,
                exit_code: int = KILL_EXIT_CODE) -> Fault:
         """Arm one fault and return it (counters are inspectable)."""
         fault = Fault(kind=kind, match=match, site=site, skip=skip,
-                      times=times, exit_code=exit_code)
+                      times=times, chance=chance, delay=delay,
+                      exit_code=exit_code)
         self._faults.append(fault)
         return fault
 
     def on_statement(self, sql: str, site: str = "statement") -> None:
         """Called by the engine wrapper before running ``sql``.
 
-        Raises (or kills the process) when an armed fault matches.
+        Raises (or sleeps, or kills the process) when an armed fault
+        matches.
         """
-        for fault in self._faults:
-            if fault.exhausted or not fault.matches(site, sql):
-                continue
-            fault.seen += 1
-            if fault.seen <= fault.skip:
-                continue
-            fault.fired += 1
-            self.fired += 1
-            self._fire(fault)
+        to_fire: Fault | None = None
+        with self._lock:
+            for fault in self._faults:
+                if fault.exhausted or not fault.matches(site, sql):
+                    continue
+                fault.seen += 1
+                if fault.seen <= fault.skip:
+                    continue
+                if fault.chance < 1.0 \
+                        and self._random.random() >= fault.chance:
+                    continue
+                fault.fired += 1
+                self.fired += 1
+                self.fired_by_kind[fault.kind] = \
+                    self.fired_by_kind.get(fault.kind, 0) + 1
+                to_fire = fault
+                break
+        if to_fire is not None:
+            self._fire(to_fire)
+
+    def on_point(self, point: str) -> None:
+        """Consult the injector at a server-level fault point.
+
+        A fault armed with ``site=point`` (and no statement ``match``)
+        fires here exactly like a statement fault would.
+        """
+        self.on_statement(point, site=point)
 
     def reset(self) -> None:
         """Disarm everything and zero the counters."""
-        self._faults.clear()
-        self.fired = 0
+        with self._lock:
+            self._faults.clear()
+            self.fired = 0
+            self.fired_by_kind.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Fired counters, total and per kind (chaos reporting)."""
+        with self._lock:
+            return {"fired": self.fired, **self.fired_by_kind}
 
     def _fire(self, fault: Fault) -> None:
         if fault.kind == KILL:
             # Simulated SIGKILL/power-cut: no cleanup of any kind runs.
             os._exit(fault.exit_code)
+        if fault.kind == SLOW:
+            time.sleep(fault.delay)
+            return
+        if fault.kind == DROP:
+            raise InjectedDisconnect(
+                "connection dropped [injected]")
         raise sqlite3.OperationalError(
             f"{_MESSAGES[fault.kind]} [injected]")

@@ -48,10 +48,22 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+import sqlite3
+
 from repro.db.connection import Database
-from repro.errors import PoolTimeoutError, StorageError
+from repro.db.faults import (
+    POINT_POOL_ACQUIRE,
+    POINT_WRITER_JOB,
+    FaultInjector,
+)
+from repro.errors import (
+    DeadlineExceededError,
+    PoolTimeoutError,
+    StorageError,
+    WriterShutdownError,
+)
 from repro.obs.observer import NULL_OBSERVER, Observer
-from repro.obs.reqctx import RequestTrace, current_trace
+from repro.obs.reqctx import Deadline, RequestTrace, current_trace
 
 
 @dataclass(eq=False)
@@ -89,6 +101,11 @@ class ConnectionPool:
         acquire-time snoop detects that another connection committed
         (the server flushes term caches here).  The pool always bumps
         the connection's own ``data_version`` counter first.
+    :param faults: optional :class:`~repro.db.faults.FaultInjector`
+        shared by every pooled connection (slow-SQL chaos) and
+        consulted at the ``pool.acquire`` fault point — a ``slow``
+        fault delays the lease, a ``lock`` fault simulates pool
+        exhaustion as :class:`PoolTimeoutError`.
     """
 
     def __init__(self, path: str | Path, size: int = 4,
@@ -96,7 +113,8 @@ class ConnectionPool:
                  timeout: float = 5.0,
                  observer: Observer = NULL_OBSERVER,
                  wrap: Callable[[Database], Any] | None = None,
-                 invalidate: Callable[[Any], None] | None = None) -> None:
+                 invalidate: Callable[[Any], None] | None = None,
+                 faults: FaultInjector | None = None) -> None:
         if size < 1:
             raise StorageError("ConnectionPool needs size >= 1")
         self._path = str(path)
@@ -106,6 +124,7 @@ class ConnectionPool:
         self._observer = observer
         self._wrap = wrap
         self._invalidate = invalidate
+        self._faults = faults
         # LIFO: the most recently used connection has the warmest
         # page cache and term caches.
         self._idle: queue.LifoQueue[PooledConnection] = queue.LifoQueue()
@@ -163,6 +182,7 @@ class ConnectionPool:
         database = Database(
             self._path, durability=self._durability,
             observer=self._observer if self._observer.enabled else None,
+            faults=self._faults,
             read_only=True, check_same_thread=False)
         session = self._wrap(database) if self._wrap else database
         return PooledConnection(database=database, session=session)
@@ -185,12 +205,21 @@ class ConnectionPool:
             entry.engine_version = current
         return invalidated
 
-    def acquire(self, timeout: float | None = None) -> PooledConnection:
+    def acquire(self, timeout: float | None = None,
+                deadline: Deadline | None = None) -> PooledConnection:
         """Take a connection, waiting up to ``timeout`` seconds.
 
         Raises :class:`PoolTimeoutError` when every connection stays
         leased for the whole wait — the caller should shed load (the
         HTTP layer answers 429).
+
+        The wait is additionally bounded by the request's
+        :class:`~repro.obs.reqctx.Deadline` — passed explicitly or
+        found on the active request trace: an already-expired deadline
+        raises :class:`~repro.errors.DeadlineExceededError` without
+        waiting at all, and a deadline tighter than ``timeout`` caps
+        the wait, so a request that cannot possibly be served in
+        budget never parks on the pool.
 
         The time spent waiting for a free connection is recorded on
         the active request trace (``pool_wait_seconds``) and, when an
@@ -200,19 +229,50 @@ class ConnectionPool:
         if self._closed:
             raise StorageError(
                 f"connection pool for {self._path} is closed")
+        request = current_trace()
+        if deadline is None and request is not None:
+            deadline = request.deadline
         wait = self._timeout if timeout is None else timeout
+        if deadline is not None:
+            if deadline.expired:
+                raise DeadlineExceededError(
+                    "request deadline expired before the pool "
+                    f"acquire (budget {deadline.budget * 1000:.0f} "
+                    "ms)")
+            wait = deadline.bound(wait)
+        if self._faults is not None:
+            try:
+                self._faults.on_point(POINT_POOL_ACQUIRE)
+            except sqlite3.OperationalError as exc:
+                with self._lock:
+                    self._stats["timeouts"] += 1
+                raise PoolTimeoutError(
+                    f"{exc} at pool.acquire for {self._path}"
+                ) from None
         with self._observer.span("pool.acquire") as span:
             start = time.perf_counter()
             try:
                 entry = self._idle.get_nowait()
             except queue.Empty:
-                entry = self._acquire_slow(wait)
+                try:
+                    entry = self._acquire_slow(wait)
+                except PoolTimeoutError:
+                    if deadline is not None and deadline.expired:
+                        # The deadline, not the pool timeout, was the
+                        # binding constraint: surface it as 504 budget
+                        # exhaustion, not 429 backpressure.
+                        raise DeadlineExceededError(
+                            "request deadline expired while waiting "
+                            "for a pooled connection (budget "
+                            f"{deadline.budget * 1000:.0f} ms, pool "
+                            f"size {self._size}, all leased)"
+                        ) from None
+                    raise
             waited = time.perf_counter() - start
             invalidated = self._snoop(entry)
             span.set("wait_seconds", round(waited, 6))
             if invalidated:
                 span.set("invalidated", True)
-        request = current_trace()
         if request is not None:
             request.annotate_add("pool_wait_seconds", waited)
         entry.leases += 1
@@ -312,18 +372,24 @@ class WriterQueue:
         instead of buffering without limit.
     :param observer: metrics sink (``writer.jobs``, ``writer.errors``,
         ``writer.queue_seconds``, ``writer.exec_seconds``).
+    :param faults: optional injector consulted at the ``writer.job``
+        fault point before each job runs (a ``slow`` fault stalls the
+        writer — the scenario the drain hard-deadline contains).
     """
 
     def __init__(self, factory: Callable[[], Any], maxsize: int = 64,
-                 observer: Observer = NULL_OBSERVER) -> None:
+                 observer: Observer = NULL_OBSERVER,
+                 faults: FaultInjector | None = None) -> None:
         self._factory = factory
         self._queue: queue.Queue = queue.Queue(maxsize=maxsize)
         self._observer = observer
+        self._faults = faults
         self._thread: threading.Thread | None = None
         self._session: Any = None
         self._started = threading.Event()
         self._startup_error: BaseException | None = None
         self._stopping = False
+        self._aborted = False
         self._jobs_done = 0
         self._jobs_failed = 0
 
@@ -347,30 +413,73 @@ class WriterQueue:
 
     def stop(self, drain: bool = True, timeout: float | None = 30.0
              ) -> None:
-        """Stop the writer.
+        """Stop the writer, bounded by a hard drain deadline.
 
         With ``drain=True`` (the default) every already-queued job
         runs to completion first; with ``drain=False`` pending jobs
         fail fast with :class:`StorageError` on their futures.
+
+        ``timeout`` is a **hard deadline** on the drain: when a job
+        stalls past it, the jobs still queued fail with
+        :class:`~repro.errors.WriterShutdownError` on their futures,
+        the stalled job's in-flight SQL (if any) is interrupted so the
+        thread can unwind, and ``stop`` returns instead of hanging —
+        a caller waiting on a future always gets an answer, and a
+        graceful shutdown always finishes.  ``stats()['aborted']``
+        records that the drain was cut short.
         """
         if self._thread is None:
             return
         self._stopping = True
         if not drain:
-            # Fail pending jobs; the sentinel then stops the thread.
-            while True:
-                try:
-                    item = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if item is not _STOP:
-                    item.future.set_exception(StorageError(
-                        "writer queue stopped before this job ran"))
+            self._fail_pending(StorageError(
+                "writer queue stopped before this job ran"))
         self._queue.put(_STOP)
         self._thread.join(timeout=timeout)
-        if self._thread.is_alive():  # pragma: no cover - defensive
-            raise StorageError("writer thread did not stop in time")
+        if self._thread.is_alive():
+            # Hard drain deadline hit: a job is stalled.  Fail every
+            # future still waiting (typed, so callers can tell a
+            # shutdown loss from a job error), break any in-flight
+            # SQL, and let the daemon thread unwind on its own.
+            self._aborted = True
+            failed = self._fail_pending(WriterShutdownError(
+                f"writer drain deadline ({timeout}s) hit with a job "
+                "still running; this job was dropped before it ran"))
+            self._interrupt_session()
+            self._queue.put(_STOP)  # in case the drain consumed it
+            if failed:
+                self._observer.counter(
+                    "writer.shutdown_dropped",
+                    "queued jobs failed by the drain hard deadline"
+                ).inc(failed)
+            self._thread.join(timeout=1.0)
         self._thread = None
+
+    def _fail_pending(self, error: BaseException) -> int:
+        """Fail every queued job's future with ``error``; returns how
+        many (``_STOP`` sentinels are dropped, not failed)."""
+        failed = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return failed
+            if item is _STOP:
+                continue
+            if item.future.set_running_or_notify_cancel():
+                item.future.set_exception(error)
+                failed += 1
+
+    def _interrupt_session(self) -> None:
+        """Break the stalled job's in-flight SQL (best effort)."""
+        session = self._session
+        database = getattr(session, "database", session)
+        interrupt = getattr(database, "interrupt", None)
+        if interrupt is not None:
+            try:
+                interrupt()
+            except Exception:  # pragma: no cover - defensive
+                pass
 
     @property
     def running(self) -> bool:
@@ -387,6 +496,7 @@ class WriterQueue:
             "jobs_done": self._jobs_done,
             "jobs_failed": self._jobs_failed,
             "running": self.running,
+            "aborted": self._aborted,
         }
 
     # ------------------------------------------------------------------
@@ -394,15 +504,29 @@ class WriterQueue:
     # ------------------------------------------------------------------
 
     def submit(self, job: WriteJob,
-               timeout: float | None = 0.0) -> Future:
+               timeout: float | None = 0.0,
+               deadline: Deadline | None = None) -> Future:
         """Enqueue a mutation; returns its :class:`Future`.
 
         ``timeout`` bounds the wait for queue space: the default 0
         never blocks — a full queue raises :class:`PoolTimeoutError`
         immediately, which the HTTP layer turns into 429.
+
+        A request :class:`~repro.obs.reqctx.Deadline` — passed in or
+        found on the active request trace — that has already expired
+        raises :class:`~repro.errors.DeadlineExceededError` instead of
+        enqueuing work whose answer nobody is waiting for.
         """
         if self._thread is None or self._stopping:
             raise StorageError("writer queue is not running")
+        if deadline is None:
+            request = current_trace()
+            if request is not None:
+                deadline = request.deadline
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceededError(
+                "request deadline expired before the write could be "
+                f"queued (budget {deadline.budget * 1000:.0f} ms)")
         item = _QueuedJob(job=job)
         try:
             if timeout == 0.0:
@@ -425,6 +549,12 @@ class WriterQueue:
 
     def _execute(self, job: WriteJob) -> Any:
         """Run one job under a span (inside the submitter's context)."""
+        if self._faults is not None:
+            # The writer-stall fault point: a ``slow`` fault here
+            # stalls the writer thread itself — queued jobs pile up
+            # behind it, which is what the drain hard deadline and
+            # degraded health exist to handle.
+            self._faults.on_point(POINT_WRITER_JOB)
         with self._observer.span("writer.execute"):
             return job(self._session)
 

@@ -58,6 +58,27 @@ class PoolTimeoutError(StorageError):
     """
 
 
+class DeadlineExceededError(StorageError):
+    """The request's deadline expired before the work completed.
+
+    Raised wherever a deadline-carrying request waits or executes: an
+    already-expired admission check, a pool acquire or writer-queue
+    wait whose remaining budget ran out, or in-flight SQL aborted via
+    ``sqlite3.Connection.interrupt()``.  The serving layer maps this
+    to HTTP 504; the partial request trace is still filed in the
+    slow-request log.
+    """
+
+
+class WriterShutdownError(StorageError):
+    """The writer queue shut down before this job could run.
+
+    Set on the futures of jobs still queued when
+    :meth:`repro.db.pool.WriterQueue.stop` hit its hard drain
+    deadline (a stalled job) or was asked to fail fast.
+    """
+
+
 class ServerError(ReproError):
     """An HTTP request to the serving layer failed.
 

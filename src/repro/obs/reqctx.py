@@ -36,8 +36,120 @@ from typing import Any
 #: The HTTP header carrying the request id end to end.
 REQUEST_ID_HEADER = "X-Request-Id"
 
+#: The HTTP header carrying the client's remaining time budget (ms).
+DEADLINE_HEADER = "X-Deadline-Ms"
+
+#: The HTTP header carrying the request's shedding priority (0-9;
+#: higher survives degraded mode longer).
+PRIORITY_HEADER = "X-Priority"
+
+#: Priority assumed when the client sends no ``X-Priority`` header.
+DEFAULT_PRIORITY = 5
+
+#: The HTTP header keying the exactly-once write ledger.
+IDEMPOTENCY_KEY_HEADER = "Idempotency-Key"
+
 #: Longest client-supplied request id honored before we mint our own.
 MAX_REQUEST_ID_LENGTH = 120
+
+#: Longest idempotency key honored (ledger rows are bounded).
+MAX_IDEMPOTENCY_KEY_LENGTH = 200
+
+
+class Deadline:
+    """An absolute point in time a request must not run past.
+
+    Built once at admission from the client's ``X-Deadline-Ms`` budget
+    and carried on the :class:`RequestTrace`, so every layer a request
+    crosses — admission gate, pool acquire, writer-queue wait, SQL
+    execution — can bound its own wait by :meth:`remaining` instead of
+    a fixed timeout.  Monotonic-clock based: wall-clock jumps cannot
+    expire (or resurrect) a request.
+    """
+
+    __slots__ = ("budget", "_expires_at")
+
+    def __init__(self, budget_seconds: float) -> None:
+        #: The budget the deadline was created with, in seconds.
+        self.budget = float(budget_seconds)
+        self._expires_at = time.monotonic() + self.budget
+
+    @classmethod
+    def after_ms(cls, milliseconds: float) -> "Deadline":
+        return cls(float(milliseconds) / 1000.0)
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (never negative)."""
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def bound(self, timeout: float | None) -> float:
+        """``timeout`` capped by the remaining budget.
+
+        ``None`` (wait forever) becomes the remaining budget itself.
+        """
+        left = self.remaining()
+        return left if timeout is None else min(timeout, left)
+
+    def __repr__(self) -> str:
+        return (f"Deadline(budget={self.budget:.3f}s, "
+                f"remaining={self.remaining():.3f}s)")
+
+
+def parse_deadline_ms(raw: str | None) -> Deadline | None:
+    """The ``X-Deadline-Ms`` header as a :class:`Deadline`.
+
+    ``None``/empty means no deadline; a non-numeric or non-positive
+    value raises :class:`ValueError` (the server answers 400 — a
+    client that sends a budget means it, so a garbled one is a bug
+    worth surfacing, not ignoring).
+    """
+    if raw is None or not raw.strip():
+        return None
+    try:
+        milliseconds = float(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{DEADLINE_HEADER} must be a number of milliseconds, "
+            f"got {raw!r}") from None
+    if milliseconds <= 0:
+        raise ValueError(
+            f"{DEADLINE_HEADER} must be positive, got {raw!r}")
+    return Deadline.after_ms(milliseconds)
+
+
+def clean_idempotency_key(raw: str | None) -> str | None:
+    """A usable ``Idempotency-Key``, or ``None`` when absent/unsafe.
+
+    Unlike request ids there is no minting fallback — a key the server
+    invented could never match the client's retry, so an unusable key
+    (empty, over-long, control characters) degrades to "no key": the
+    write is applied normally, just without replay protection.
+    """
+    if raw is None:
+        return None
+    candidate = raw.strip()
+    if (not candidate or len(candidate) > MAX_IDEMPOTENCY_KEY_LENGTH
+            or any(ch < " " or ch == "\x7f" for ch in candidate)):
+        return None
+    return candidate
+
+
+def parse_priority(raw: str | None) -> int:
+    """The ``X-Priority`` header as an int clamped to 0..9.
+
+    Unparseable values fall back to :data:`DEFAULT_PRIORITY` — unlike
+    a garbled deadline, a garbled priority is safe to ignore.
+    """
+    if raw is None or not raw.strip():
+        return DEFAULT_PRIORITY
+    try:
+        return max(0, min(9, int(raw.strip())))
+    except ValueError:
+        return DEFAULT_PRIORITY
 
 _current: contextvars.ContextVar["RequestTrace | None"] = \
     contextvars.ContextVar("repro_request_trace", default=None)
@@ -74,13 +186,19 @@ class RequestTrace:
 
     __slots__ = ("request_id", "method", "path", "start_time", "status",
                  "duration", "spans", "annotations", "slow_sql",
-                 "_start", "_lock")
+                 "deadline", "priority", "_start", "_lock")
 
     def __init__(self, request_id: str, method: str = "",
-                 path: str = "") -> None:
+                 path: str = "", deadline: "Deadline | None" = None,
+                 priority: int = DEFAULT_PRIORITY) -> None:
         self.request_id = request_id
         self.method = method
         self.path = path
+        #: The request's time budget, if the client sent one; pool
+        #: acquires and writer waits bound themselves by it.
+        self.deadline = deadline
+        #: Shedding priority (0-9); degraded mode sheds low first.
+        self.priority = priority
         self.start_time = time.time()
         self.status = 0
         self.duration = 0.0
@@ -141,6 +259,11 @@ class RequestTrace:
                 "annotations": dict(self.annotations),
                 "slow_sql": [dict(entry) for entry in self.slow_sql],
             }
+            if self.deadline is not None:
+                payload["deadline_budget_seconds"] = round(
+                    self.deadline.budget, 6)
+            if self.priority != DEFAULT_PRIORITY:
+                payload["priority"] = self.priority
             if include_spans:
                 payload["spans"] = [dict(span) for span in self.spans]
             return payload

@@ -56,10 +56,16 @@ class SlowRequestLog:
         self.total_requests = 0
         self.captured = 0
 
-    def record(self, trace: RequestTrace) -> bool:
-        """File a finished request; True when captured as slow."""
+    def record(self, trace: RequestTrace, force: bool = False) -> bool:
+        """File a finished request; True when captured as slow.
+
+        ``force`` captures into the slow ring regardless of duration —
+        the serving layer uses it for deadline-expired (504) requests,
+        whose partial trace is exactly the evidence worth keeping even
+        when the deadline was shorter than the slow threshold.
+        """
         snapshot = trace.as_dict()
-        slow = trace.duration >= self.threshold
+        slow = force or trace.duration >= self.threshold
         with self._lock:
             self.total_requests += 1
             self._recent.append(snapshot)

@@ -29,10 +29,38 @@ Routes::
     POST /delete   {model, triple, force?}   -> {removed, write_version}
     GET  /stats    pool/writer/admission gauges + metrics snapshot
     GET  /metrics  Prometheus text exposition
-    GET  /healthz  writer liveness + integrity check (503 when unhealthy)
+    GET  /healthz  live/ready/degraded health (503 only when unhealthy;
+                   ?check=live and ?check=ready for probe splits)
     GET  /debug/slow          the slow-request log (full traces)
     GET  /debug/trace/<id>    one request's trace; ?format=chrome emits
                               the Chrome trace-event JSON array
+
+Three request headers make the layer **resilient end to end**:
+
+``X-Deadline-Ms``
+    the client's time budget.  It becomes a monotonic
+    :class:`~repro.obs.reqctx.Deadline` on the request trace; the
+    admission gate rejects already-expired requests with 504 before
+    spending a worker, pool acquires and writer-queue waits bound
+    themselves by the remaining budget, and in-flight SQL is aborted
+    by a progress-handler watchdog
+    (:meth:`~repro.db.connection.Database.deadline_scope`).  A 504
+    still files its partial trace in the slow-request log.
+``Idempotency-Key``
+    exactly-once writes.  ``/insert`` and ``/delete`` record their
+    outcome in the ``rdf_idempotency$`` ledger **inside the same
+    transaction** as the mutation; a retry after a dropped connection
+    replays the recorded outcome instead of applying the write twice.
+``X-Priority``
+    shedding order (0-9, default 5).  While the server is *degraded*
+    (writer queue or pool saturated, error rate past threshold —
+    :mod:`repro.server.health`), requests below the priority floor
+    are shed with 429 first, before the admission gate's blanket
+    backpressure.
+
+Responses sent **before the request body was read** (404 on unknown
+routes, pre-admission 429/504) carry ``Connection: close`` — the
+unread body would desync keep-alive framing on the next request.
 
 Every request is **request-scoped observable**: an incoming
 ``X-Request-Id`` header is honored (or an id is minted), echoed on the
@@ -51,6 +79,7 @@ from __future__ import annotations
 
 import json
 import math
+import socket
 import sys
 import threading
 import time
@@ -62,8 +91,14 @@ from typing import IO, Any, Callable
 
 from repro.core.store import RDFStore
 from repro.db.connection import Database
+from repro.db.faults import (
+    POINT_RESPONSE,
+    FaultInjector,
+    InjectedDisconnect,
+)
 from repro.db.pool import ConnectionPool, WriterQueue
 from repro.errors import (
+    DeadlineExceededError,
     ModelNotFoundError,
     ParseError,
     PoolTimeoutError,
@@ -71,18 +106,26 @@ from repro.errors import (
     ReproError,
     StorageError,
     TermError,
+    WriterShutdownError,
 )
 from repro.inference.match import sdo_rdf_match
 from repro.obs.logjson import JsonFormatter, get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.obs.reqctx import (
+    DEADLINE_HEADER,
+    DEFAULT_PRIORITY,
+    IDEMPOTENCY_KEY_HEADER,
+    PRIORITY_HEADER,
     REQUEST_ID_HEADER,
     RequestTrace,
     activate,
+    clean_idempotency_key,
     clean_request_id,
     current_trace,
     deactivate,
+    parse_deadline_ms,
+    parse_priority,
 )
 from repro.obs.slowlog import (
     DEFAULT_CAPACITY as SLOW_CAPACITY,
@@ -93,10 +136,19 @@ from repro.obs.slowlog import (
 )
 from repro.rdf.namespaces import Alias, AliasSet
 from repro.rdf.triple import Triple
+from repro.server.health import (
+    DEGRADED,
+    UNHEALTHY,
+    HealthMonitor,
+    HealthReport,
+)
 from repro.server.state import (
+    DEFAULT_IDEMPOTENCY_CAPACITY,
     bump_write_version,
     ensure_serve_state,
+    lookup_idempotent,
     read_write_version,
+    record_idempotent,
 )
 
 #: Durability profiles the server accepts: concurrent readers need WAL.
@@ -137,6 +189,25 @@ class ServerConfig:
         through :mod:`repro.obs.logjson` (off by default).
     :param access_log_stream: where access-log lines go (default
         stderr; tests pass a ``StringIO``).
+    :param faults: optional :class:`~repro.db.faults.FaultInjector`
+        shared by the pool, the writer queue, and the response path —
+        the chaos harness's hook into the serving layer.
+    :param idempotency_capacity: ``rdf_idempotency$`` ledger rows
+        kept before the oldest are pruned.
+    :param shed_priority_below: while degraded, POSTs with
+        ``X-Priority`` below this floor are shed first (default: the
+        header's default priority, so unlabeled traffic is never
+        priority-shed).
+    :param health_window: seconds of outcomes in the rolling
+        error-rate window.
+    :param error_rate_threshold: 5xx fraction at/past which the
+        window degrades the server.
+    :param health_min_requests: outcomes required before the error
+        rate counts.
+    :param degraded_queue_fraction: writer-queue depth / capacity
+        at/past which the server reports degraded.
+    :param degraded_pool_fraction: pool leases / size at/past which
+        the server reports degraded.
     """
 
     path: str
@@ -156,6 +227,15 @@ class ServerConfig:
     access_log: bool = False
     access_log_stream: IO[str] | None = field(
         default=None, repr=False, compare=False)
+    faults: FaultInjector | None = field(
+        default=None, repr=False, compare=False)
+    idempotency_capacity: int = DEFAULT_IDEMPOTENCY_CAPACITY
+    shed_priority_below: int = DEFAULT_PRIORITY
+    health_window: float = 30.0
+    error_rate_threshold: float = 0.5
+    health_min_requests: int = 10
+    degraded_queue_fraction: float = 0.8
+    degraded_pool_fraction: float = 1.0
 
     def __post_init__(self) -> None:
         if self.path == ":memory:":
@@ -175,6 +255,10 @@ class ServerConfig:
             raise StorageError("slow_threshold must be >= 0 seconds")
         if self.slow_capacity < 1 or self.recent_capacity < 1:
             raise StorageError("slow/recent capacities must be >= 1")
+        if self.idempotency_capacity < 1:
+            raise StorageError("idempotency_capacity must be >= 1")
+        if not 0 <= self.shed_priority_below <= 10:
+            raise StorageError("shed_priority_below must be in 0..10")
 
 
 class ReproServer:
@@ -214,6 +298,12 @@ class ReproServer:
             config.workers + config.backlog)
         self._draining = False
         self._started_at = 0.0
+        self.health = HealthMonitor(
+            window=config.health_window,
+            error_threshold=config.error_rate_threshold,
+            min_requests=config.health_min_requests,
+            queue_fraction=config.degraded_queue_fraction,
+            pool_fraction=config.degraded_pool_fraction)
 
     def _attach_access_log(self):
         """Give the access logger its own JSON-lines handler.
@@ -241,7 +331,8 @@ class ReproServer:
         """Build the writer session (runs inside the writer thread)."""
         database = Database(
             self.config.path, durability=self.config.durability,
-            observer=self.observer if self.observer.enabled else None)
+            observer=self.observer if self.observer.enabled else None,
+            faults=self.config.faults)
         store = RDFStore(database, observe=self.config.observe)
         ensure_serve_state(database)
         return store
@@ -254,14 +345,16 @@ class ReproServer:
             self._access_handler = self._attach_access_log()
         self.writer = WriterQueue(
             self._writer_factory, maxsize=self.config.writer_queue,
-            observer=self.observer).start()
+            observer=self.observer,
+            faults=self.config.faults).start()
         self.pool = ConnectionPool(
             self.config.path, size=self.config.workers,
             durability=self.config.durability,
             timeout=self.config.pool_timeout,
             observer=self.observer,
             wrap=lambda db: RDFStore(db, observe=False),
-            invalidate=lambda store: store.values.invalidate_cache())
+            invalidate=lambda store: store.values.invalidate_cache(),
+            faults=self.config.faults)
         self._http = _HTTPServer(
             (self.config.host, self.config.port), _Handler)
         self._http.app = self
@@ -331,7 +424,8 @@ class ReproServer:
     # routes
     # ------------------------------------------------------------------
 
-    def _do_match(self, payload: dict) -> tuple[int, dict]:
+    def _do_match(self, payload: dict,
+                  meta: dict | None = None) -> tuple[int, dict]:
         query = _require_str(payload, "query")
         models = _require_str_list(payload, "models")
         rulebases = _optional_str_list(payload, "rulebases")
@@ -342,18 +436,33 @@ class ReproServer:
         if limit is not None and not isinstance(limit, int):
             raise _BadRequest("limit must be an integer")
         request = current_trace()
+        deadline = request.deadline if request is not None else None
         start = time.perf_counter()
         with self.pool.lease() as store:
             database = store.database
-            # One read transaction covers the version read AND the
-            # query SQL: the reported data_version is exactly the
-            # snapshot the rows came from.
-            with database.transaction():
-                version = read_write_version(database)
-                rows = sdo_rdf_match(
-                    store, query, models, rulebases=rulebases,
-                    aliases=aliases, filter=filter_,
-                    order_by=order_by, limit=limit)
+            guard = None
+            try:
+                # One read transaction covers the version read AND the
+                # query SQL: the reported data_version is exactly the
+                # snapshot the rows came from.  The deadline scope arms
+                # a progress-handler watchdog that aborts the query SQL
+                # the moment the budget runs out.
+                with database.deadline_scope(deadline) as guard:
+                    with database.transaction():
+                        version = read_write_version(database)
+                        rows = sdo_rdf_match(
+                            store, query, models, rulebases=rulebases,
+                            aliases=aliases, filter=filter_,
+                            order_by=order_by, limit=limit)
+            except DeadlineExceededError:
+                if guard is not None and guard.interrupted:
+                    self.metrics.counter(
+                        "sql.interrupts",
+                        "statements aborted mid-flight by a deadline "
+                        "watchdog").inc()
+                    if request is not None:
+                        request.annotate("sql_interrupted", True)
+                raise
             if (request is not None
                     and time.perf_counter() - start
                     >= self.slowlog.threshold):
@@ -388,7 +497,8 @@ class ReproServer:
         request.annotate("explain", explanation.render())
         request.annotate("plan_sql", explanation.plan.sql)
 
-    def _do_insert(self, payload: dict) -> tuple[int, dict]:
+    def _do_insert(self, payload: dict,
+                   meta: dict | None = None) -> tuple[int, dict]:
         model = _require_str(payload, "model")
         create = bool(payload.get("create", False))
         raw = payload.get("triples")
@@ -397,41 +507,93 @@ class ReproServer:
                 "triples must be a non-empty list of [s, p, o]")
         triples = [Triple.from_text(*_spo(item)) for item in raw]
 
-        def job(store: RDFStore) -> dict:
+        def mutate(store: RDFStore) -> dict:
             database = store.database
             created = 0
-            with database.transaction():
-                if create and not store.model_exists(model):
-                    store.create_model(model)
-                info = store.models.get(model)
-                for triple in triples:
-                    result = store.parser.insert(info, triple)
-                    created += 1 if result.created else 0
-                version = bump_write_version(database)
+            if create and not store.model_exists(model):
+                store.create_model(model)
+            info = store.models.get(model)
+            for triple in triples:
+                result = store.parser.insert(info, triple)
+                created += 1 if result.created else 0
+            version = bump_write_version(database)
             return {"created": created, "count": len(triples),
                     "write_version": version}
 
-        return 200, self._write(job)
+        return 200, self._write(mutate, route="insert", meta=meta)
 
-    def _do_delete(self, payload: dict) -> tuple[int, dict]:
+    def _do_delete(self, payload: dict,
+                   meta: dict | None = None) -> tuple[int, dict]:
         model = _require_str(payload, "model")
         subject, predicate, obj = _spo(payload.get("triple"))
         force = bool(payload.get("force", False))
 
+        def mutate(store: RDFStore) -> dict:
+            database = store.database
+            removed = store.remove_triple(
+                model, subject, predicate, obj, force=force)
+            version = bump_write_version(database)
+            return {"removed": removed, "write_version": version}
+
+        return 200, self._write(mutate, route="delete", meta=meta)
+
+    def _write(self, mutate: Callable[[RDFStore], dict],
+               route: str = "write",
+               meta: dict | None = None) -> dict:
+        """Enqueue a write job and wait for its commit.
+
+        ``mutate`` runs inside one write transaction together with the
+        idempotency ledger: when the request carried an
+        ``Idempotency-Key``, a recorded outcome is replayed without
+        executing ``mutate`` at all, and a fresh outcome is recorded
+        atomically with the mutation — exactly-once across retries.
+
+        The wait for the commit is bounded by the request's remaining
+        deadline budget; on expiry a still-queued job is cancelled
+        (never applied), a running one keeps going and the 504 tells
+        the client to retry with the same key to learn the outcome.
+        """
+        key = (meta or {}).get("idempotency_key")
+        capacity = self.config.idempotency_capacity
+
         def job(store: RDFStore) -> dict:
             database = store.database
             with database.transaction():
-                removed = store.remove_triple(
-                    model, subject, predicate, obj, force=force)
-                version = bump_write_version(database)
-            return {"removed": removed, "write_version": version}
+                if key is not None:
+                    recorded = lookup_idempotent(database, key)
+                    if recorded is not None:
+                        self.metrics.counter(
+                            "server.idempotent_replays",
+                            "write retries answered from the "
+                            "idempotency ledger").inc()
+                        recorded["idempotent_replay"] = True
+                        return recorded
+                outcome = mutate(store)
+                if key is not None:
+                    record_idempotent(database, key, route, outcome,
+                                      capacity)
+            return outcome
 
-        return 200, self._write(job)
-
-    def _write(self, job: Callable[[RDFStore], dict]) -> dict:
-        """Enqueue a write job and wait for its commit."""
+        request = current_trace()
+        deadline = request.deadline if request is not None else None
         future = self.writer.submit(job)  # PoolTimeoutError -> 429
-        return future.result(timeout=self.config.request_timeout)
+        timeout = self.config.request_timeout
+        if deadline is not None:
+            timeout = deadline.bound(timeout)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            if deadline is None or not deadline.expired:
+                raise
+            if future.cancel():
+                raise DeadlineExceededError(
+                    f"deadline expired before the {route} job "
+                    "started; the job was cancelled (not applied)"
+                ) from None
+            raise DeadlineExceededError(
+                f"deadline expired waiting for the {route} commit; "
+                "the job is still running — retry with the same "
+                "Idempotency-Key to learn its outcome") from None
 
     def _do_stats(self) -> tuple[int, dict]:
         gate_free = getattr(self._gate, "_value", None)
@@ -449,6 +611,7 @@ class ReproServer:
             },
             "pool": self.pool.stats() if self.pool else {},
             "writer": self.writer.stats() if self.writer else {},
+            "health": self._assess_health().as_dict(),
             "slow_requests": self.slowlog.stats(),
             "metrics": self.metrics.as_dict(),
         }
@@ -487,7 +650,32 @@ class ReproServer:
                 entry.get("spans", ()), label=label)
         return 200, entry
 
-    def _do_healthz(self) -> tuple[int, dict]:
+    def _assess_health(self) -> HealthReport:
+        """Grade the serving layer from its live gauges."""
+        writer, pool = self.writer, self.pool
+        return self.health.assess(
+            writer_running=writer is not None and writer.running,
+            writer_depth=writer.depth if writer is not None else 0,
+            queue_limit=self.config.writer_queue,
+            pool_in_use=pool.in_use if pool is not None else 0,
+            pool_size=self.config.workers)
+
+    def _do_healthz(self, query_string: str = "") -> tuple[int, dict]:
+        """Live/ready/degraded health.
+
+        ``?check=live`` answers 200 whenever the process responds at
+        all; ``?check=ready`` answers by readiness only (degraded is
+        still ready — it serves, shedding low priority).  The full
+        report additionally runs a bounded integrity probe.
+        """
+        params = urllib.parse.parse_qs(query_string)
+        check = params.get("check", [""])[0]
+        report = self._assess_health()
+        if check == "live":
+            return 200, {"status": report.state, "live": True}
+        if check == "ready":
+            return ((200 if report.ready else 503),
+                    {"status": report.state, "ready": report.ready})
         writer_ok = self.writer is not None and self.writer.running
         integrity = "skipped (writer down)"
         if writer_ok:
@@ -498,26 +686,37 @@ class ReproServer:
             except PoolTimeoutError:
                 # Saturated is busy, not broken.
                 integrity = "skipped (pool busy)"
-        healthy = writer_ok and (integrity == "ok"
-                                 or integrity.startswith("skipped"))
+            except DeadlineExceededError:
+                integrity = "skipped (deadline)"
+            if integrity != "ok" and not integrity.startswith("skipped"):
+                report = HealthReport(
+                    UNHEALTHY,
+                    [*report.reasons, f"integrity check: {integrity}"],
+                    report.error_rate, report.window_requests)
         body = {
-            "status": "ok" if healthy else "unhealthy",
+            "status": report.state,
+            **report.as_dict(),
             "writer_running": writer_ok,
             "writer_depth": self.writer.depth if self.writer else None,
             "integrity": integrity,
         }
-        return (200 if healthy else 503), body
+        return (200 if report.ready else 503), body
 
     # ------------------------------------------------------------------
     # dispatch plumbing (called from the handler threads)
     # ------------------------------------------------------------------
 
-    def _dispatch(self, fn: Callable[[dict], tuple[int, dict]],
-                  payload: dict) -> tuple[int, dict, dict]:
+    def _dispatch(self, fn: Callable[..., tuple[int, dict]],
+                  payload: dict,
+                  meta: dict | None = None) -> tuple[int, dict, dict]:
         """Run a route, mapping exceptions to HTTP statuses."""
         try:
-            status, body = fn(payload)
+            status, body = fn(payload, meta or {})
             return status, body, {}
+        except DeadlineExceededError as exc:
+            return self._deadline_exceeded(str(exc))
+        except WriterShutdownError as exc:
+            return 503, _error(exc), {}
         except PoolTimeoutError as exc:
             return self._reject(str(exc))
         except _BadRequest as exc:
@@ -535,6 +734,52 @@ class ReproServer:
             return 500, _error(exc), {}
         except ReproError as exc:
             return 400, _error(exc), {}
+
+    def _deadline_exceeded(self, message: str) -> tuple[int, dict, dict]:
+        """A 504 deadline answer with the same saturation context as
+        the 429 path — *why* the budget ran out is usually load."""
+        self.metrics.counter(
+            "server.deadline_exceeded",
+            "requests answered 504 after their deadline expired").inc()
+        body = {
+            "error": message,
+            "type": "DeadlineExceeded",
+            "queue_depth": self.writer.depth if self.writer else None,
+            "queue_limit": self.config.writer_queue,
+            "pool_in_use": self.pool.in_use if self.pool else None,
+            "pool_size": self.config.workers,
+            "admission_limit": self.config.workers + self.config.backlog,
+            "admission_free": getattr(self._gate, "_value", None),
+        }
+        return 504, body, {}
+
+    def _maybe_shed(self,
+                    trace: RequestTrace) -> tuple[int, dict, dict] | None:
+        """Degraded-mode priority shedding (before the admission gate).
+
+        The priority check runs first so default-priority traffic
+        never pays for a health assessment on the clean path.
+        """
+        if trace.priority >= self.config.shed_priority_below:
+            return None
+        report = self._assess_health()
+        if report.state != DEGRADED:
+            return None
+        self.metrics.counter(
+            "server.shed_degraded",
+            "low-priority requests shed while degraded").inc()
+        body = {
+            "error": (f"server degraded ({'; '.join(report.reasons)}); "
+                      f"shedding priority {trace.priority} < floor "
+                      f"{self.config.shed_priority_below}"),
+            "type": "DegradedShed",
+            "health": report.as_dict(),
+            "retry_after_seconds": self.config.retry_after,
+        }
+        headers = {
+            "Retry-After": str(max(1, math.ceil(self.config.retry_after))),
+        }
+        return 429, body, headers
 
     def _reject(self, message: str) -> tuple[int, dict, dict]:
         """A 429 backpressure answer with Retry-After.
@@ -597,13 +842,16 @@ class ReproServer:
         """Book-keep one completed request: metrics, slow log, access
         log."""
         duration = trace.finish(status)
+        self.health.observe(status)
         label = _route_label(trace.path)
         self.metrics.counter(f"server.requests.{label}").inc()
         self.metrics.histogram(
             f"server.endpoint.{label}.seconds",
             f"request wall time of {trace.method} {label}").observe(
                 duration)
-        if self.slowlog.record(trace):
+        # 504s force-capture: the partial trace of a deadline-expired
+        # request is evidence, even when the budget was tiny.
+        if self.slowlog.record(trace, force=status == 504):
             self.metrics.counter(
                 "server.slow_requests",
                 "requests captured past the slow threshold").inc()
@@ -744,11 +992,24 @@ class _Handler(BaseHTTPRequestHandler):
         """Create and activate this request's trace context.
 
         The client's ``X-Request-Id`` is honored when usable; the id
-        is echoed on the response either way.
+        is echoed on the response either way.  The deadline and
+        priority headers are parsed here so every later layer reads
+        them off the trace; a garbled deadline is remembered for a 400
+        (a client that sends a budget means it).
         """
         request_id = clean_request_id(
             self.headers.get(REQUEST_ID_HEADER))
-        trace = RequestTrace(request_id, method=method, path=self.path)
+        self._deadline_error: str | None = None
+        deadline = None
+        try:
+            deadline = parse_deadline_ms(
+                self.headers.get(DEADLINE_HEADER))
+        except ValueError as exc:
+            self._deadline_error = str(exc)
+        trace = RequestTrace(
+            request_id, method=method, path=self.path,
+            deadline=deadline,
+            priority=parse_priority(self.headers.get(PRIORITY_HEADER)))
         self._trace = trace
         self._token = activate(trace)
         return trace
@@ -772,9 +1033,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.app.finish_request_trace(self._trace, status)
 
     def _send_json(self, status: int, body: Any,
-                   headers: dict | None = None) -> int:
+                   headers: dict | None = None,
+                   close: bool = False) -> int:
+        """Send a JSON response.
+
+        ``close=True`` adds ``Connection: close`` — required whenever
+        the response goes out before the request body was read, since
+        the unread bytes would be parsed as the next request line on a
+        kept-alive connection.
+        """
         data = json.dumps(body).encode("utf-8")
         self._finalize(status)
+        faults = self.app.config.faults
+        if faults is not None:
+            try:
+                faults.on_point(POINT_RESPONSE)
+            except InjectedDisconnect:
+                self._drop_mid_response(status, data)
+                return status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
@@ -783,12 +1059,42 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(REQUEST_ID_HEADER, trace.request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
-        if self.app._draining:
+        if close or self.app._draining:
             self.send_header("Connection", "close")
             self.close_connection = True
         self.end_headers()
         self.wfile.write(data)
         return status
+
+    def _drop_mid_response(self, status: int, data: bytes) -> None:
+        """An injected mid-response connection drop (chaos harness).
+
+        Sends the headers and *half* the body, then hard-closes the
+        socket: the client sees a short read exactly as if the network
+        died after the commit — the failure mode ``Idempotency-Key``
+        retries exist for.
+        """
+        self.app.metrics.counter(
+            "server.dropped_responses",
+            "responses cut mid-body by an injected fault").inc()
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            trace = getattr(self, "_trace", None)
+            if trace is not None:
+                self.send_header(REQUEST_ID_HEADER, trace.request_id)
+            self.end_headers()
+            self.wfile.write(data[:len(data) // 2])
+            self.wfile.flush()
+        except OSError:
+            pass
+        finally:
+            self.close_connection = True
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
     def _read_body(self) -> bytes:
         """Consume the request body.
@@ -834,6 +1140,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_get(self, app: ReproServer) -> int:
         path, _, query_string = self.path.partition("?")
+        if self._deadline_error is not None:
+            return self._send_json(
+                400, {"error": self._deadline_error,
+                      "type": "BadDeadline"})
         if path == "/metrics":
             app._sample_saturation()
             self._finalize(200)
@@ -848,7 +1158,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.write(data)
             return 200
         if path in ("/healthz", "/health"):
-            status, body = app._do_healthz()
+            status, body = app._do_healthz(query_string)
             return self._send_json(status, body)
         if path == "/stats":
             status, body = app._do_stats()
@@ -870,26 +1180,57 @@ class _Handler(BaseHTTPRequestHandler):
                   "type": "NotFound"})
 
     def do_POST(self) -> None:
+        # Ordering is the resilience contract: route, deadline, shed,
+        # and admission are all decided BEFORE the body is read, so a
+        # rejected request costs no body I/O — and every pre-body
+        # response carries Connection: close (the unread body would
+        # desync keep-alive framing).
         app = self.app
         app.metrics.counter("server.requests").inc()
         route = self._POST_ROUTES.get(self.path)
-        raw = self._read_body()
         trace = self._begin_request("POST")
         status = 500
         try:
             if route is None:
                 status = self._send_json(
                     404, {"error": f"no such route: {self.path}",
-                          "type": "NotFound"})
+                          "type": "NotFound"}, close=True)
+                return
+            if self._deadline_error is not None:
+                status = self._send_json(
+                    400, {"error": self._deadline_error,
+                          "type": "BadDeadline"}, close=True)
+                return
+            deadline = trace.deadline
+            if deadline is not None and deadline.expired:
+                # Admission gate: never spend a worker on a request
+                # whose client already gave up.
+                code, body, headers = app._deadline_exceeded(
+                    f"deadline ({deadline.budget * 1000:.0f}ms "
+                    "budget) expired before admission")
+                status = self._send_json(code, body, headers,
+                                         close=True)
+                return
+            shed = app._maybe_shed(trace)
+            if shed is not None:
+                code, body, headers = shed
+                status = self._send_json(code, body, headers,
+                                         close=True)
                 return
             if not app.admit():
                 code, body, headers = app._reject(
                     f"server saturated ({app.config.workers} workers "
                     f"+ {app.config.backlog} backlog in flight)")
-                status = self._send_json(code, body, headers)
+                status = self._send_json(code, body, headers,
+                                         close=True)
                 return
             start = time.perf_counter()
             try:
+                raw = self._read_body()
+                meta = {
+                    "idempotency_key": clean_idempotency_key(
+                        self.headers.get(IDEMPOTENCY_KEY_HEADER)),
+                }
                 # The response goes out only after the http.request
                 # span closed and the trace is filed (_finalize inside
                 # _send_json) — a client that has its answer can read
@@ -900,7 +1241,7 @@ class _Handler(BaseHTTPRequestHandler):
                                            path=self.path):
                         payload = self._parse_json(raw)
                         code, body, headers = app._dispatch(
-                            getattr(app, route), payload)
+                            getattr(app, route), payload, meta)
                 except _BadRequest as exc:
                     status = self._send_json(400, _error(exc))
                     return

@@ -6,6 +6,19 @@ connection.  It is deliberately small: requests in, parsed JSON out,
 HTTP errors raised as :class:`~repro.errors.ServerError` (with
 ``status`` and, on 429, the server's suggested ``retry_after``).
 
+The client carries the serving layer's resilience contract:
+
+* a **deadline** (client-wide or per call, seconds) is sent as
+  ``X-Deadline-Ms`` so the server can shed, bound its waits, and abort
+  SQL when the budget runs out (HTTP 504);
+* ``insert``/``delete`` **auto-mint an idempotency key** per logical
+  write, so the transparent reconnect-and-resend retry below is
+  exactly-once: a resend after a dropped connection replays the
+  recorded outcome instead of applying the write twice;
+* responses carrying ``Connection: close`` (shed/expired requests
+  answered before the body was read, drains) tear down the cached
+  connection immediately — no keep-alive desync on the next request.
+
 One client wraps **one** connection and is not thread-safe — create a
 client per thread (the benchmark and the e2e tests do exactly that).
 """
@@ -16,10 +29,16 @@ import http.client
 import json
 import time
 import urllib.parse
+import uuid
 from typing import Any, Sequence
 
 from repro.errors import ServerError
-from repro.obs.reqctx import REQUEST_ID_HEADER
+from repro.obs.reqctx import (
+    DEADLINE_HEADER,
+    IDEMPOTENCY_KEY_HEADER,
+    PRIORITY_HEADER,
+    REQUEST_ID_HEADER,
+)
 
 
 class ReproClient:
@@ -28,6 +47,11 @@ class ReproClient:
     :param host: server host.
     :param port: server port.
     :param timeout: socket timeout per request, seconds.
+    :param deadline: default per-request time budget, seconds — sent
+        as ``X-Deadline-Ms`` on every request (per-call ``deadline=``
+        overrides).  ``None`` sends no budget.
+    :param priority: default shedding priority 0-9 (``X-Priority``);
+        ``None`` sends none (the server assumes 5).
 
     Every response's ``X-Request-Id`` is kept on
     :attr:`last_request_id`, so a caller that just saw a slow answer
@@ -36,10 +60,14 @@ class ReproClient:
     """
 
     def __init__(self, host: str, port: int,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 deadline: float | None = None,
+                 priority: int | None = None) -> None:
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._deadline = deadline
+        self._priority = priority
         self._conn: http.client.HTTPConnection | None = None
         #: The id the server echoed on the most recent response.
         self.last_request_id: str | None = None
@@ -67,7 +95,11 @@ class ReproClient:
 
     def _request(self, method: str, path: str,
                  payload: dict | None = None,
-                 request_id: str | None = None) -> Any:
+                 request_id: str | None = None,
+                 deadline: float | None = None,
+                 priority: int | None = None,
+                 idempotency_key: str | None = None,
+                 idempotent: bool = False) -> Any:
         body = None
         headers = {}
         if payload is not None:
@@ -75,26 +107,59 @@ class ReproClient:
             headers["Content-Type"] = "application/json"
         if request_id is not None:
             headers[REQUEST_ID_HEADER] = request_id
+        budget = deadline if deadline is not None else self._deadline
+        if budget is not None:
+            headers[DEADLINE_HEADER] = f"{budget * 1000:.0f}"
+        shed_priority = priority if priority is not None \
+            else self._priority
+        if shed_priority is not None:
+            headers[PRIORITY_HEADER] = str(shed_priority)
+        if idempotency_key is not None:
+            headers[IDEMPOTENCY_KEY_HEADER] = idempotency_key
+        resend_safe = (method == "GET" or idempotent
+                       or idempotency_key is not None)
         try:
             response = self._send(method, path, body, headers)
         except (http.client.HTTPException, ConnectionError, OSError):
             # A stale keep-alive connection (server idled us out, or
-            # restarted): reconnect once and retry.
+            # restarted): the request never reached a handler, so a
+            # reconnect-and-resend is always safe.
             self.close()
             response = self._send(method, path, body, headers)
-        data = response.read()
+        try:
+            data = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # The connection died mid-response (the chaos harness's
+            # drop fault does exactly this) — the handler DID run.
+            # Resending is only safe when a retry cannot apply the
+            # work twice: reads, and writes under an idempotency key
+            # (the server replays the recorded outcome).
+            self.close()
+            if not resend_safe:
+                raise
+            response = self._send(method, path, body, headers)
+            data = response.read()
         echoed = response.getheader(REQUEST_ID_HEADER)
         if echoed is not None:
             self.last_request_id = echoed
+        if response.will_close:
+            # The server asked for teardown (pre-body rejection,
+            # drain): reusing the socket would desync framing.
+            self.close()
         if response.status == 429:
             retry_after = None
-            try:
-                retry_after = float(
-                    json.loads(data).get("retry_after_seconds"))
-            except (ValueError, TypeError, AttributeError):
-                header = response.getheader("Retry-After")
-                if header is not None:
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
                     retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+            if retry_after is None:
+                try:
+                    retry_after = float(
+                        json.loads(data).get("retry_after_seconds"))
+                except (ValueError, TypeError, AttributeError):
+                    pass
             raise ServerError(_message(data, response.status),
                               status=429, retry_after=retry_after)
         if response.status >= 400:
@@ -121,7 +186,9 @@ class ReproClient:
               filter: str | None = None,
               order_by: str | None = None,
               limit: int | None = None,
-              request_id: str | None = None) -> dict:
+              request_id: str | None = None,
+              deadline: float | None = None,
+              priority: int | None = None) -> dict:
         """POST /match — returns ``{rows, count, data_version}``."""
         payload: dict[str, Any] = {
             "query": query,
@@ -138,40 +205,81 @@ class ReproClient:
         if limit is not None:
             payload["limit"] = limit
         return self._request("POST", "/match", payload,
-                             request_id=request_id)
+                             request_id=request_id, deadline=deadline,
+                             priority=priority, idempotent=True)
 
     def match_retrying(self, *args: Any, max_attempts: int = 8,
+                       max_wait: float | None = None,
                        **kwargs: Any) -> dict:
-        """Like :meth:`match`, sleeping out 429s up to ``max_attempts``."""
+        """Like :meth:`match`, sleeping out 429s up to ``max_attempts``.
+
+        Each backoff honors the server's ``Retry-After`` (parsed onto
+        ``ServerError.retry_after``).  The total retry wall-clock is
+        capped by ``max_wait`` — defaulting to the deadline budget in
+        effect, so a caller that asked for a 2-second deadline cannot
+        spend 8 x Retry-After seconds retrying past it; when neither
+        is set, only ``max_attempts`` bounds the loop.
+        """
+        if max_wait is None:
+            max_wait = kwargs.get("deadline")
+            if max_wait is None:
+                max_wait = self._deadline
+        give_up_at = (None if max_wait is None
+                      else time.monotonic() + max_wait)
         for attempt in range(1, max_attempts + 1):
             try:
                 return self.match(*args, **kwargs)
             except ServerError as exc:
                 if exc.status != 429 or attempt == max_attempts:
                     raise
-                time.sleep(exc.retry_after or 0.05)
+                pause = (exc.retry_after
+                         if exc.retry_after is not None else 0.05)
+                if (give_up_at is not None
+                        and time.monotonic() + pause >= give_up_at):
+                    raise
+                time.sleep(pause)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def insert(self, model: str,
                triples: Sequence[Sequence[str]],
                create: bool = False,
-               request_id: str | None = None) -> dict:
-        """POST /insert — returns ``{created, count, write_version}``."""
+               request_id: str | None = None,
+               deadline: float | None = None,
+               priority: int | None = None,
+               idempotency_key: str | None = None) -> dict:
+        """POST /insert — returns ``{created, count, write_version}``.
+
+        An idempotency key is minted per call when none is given, so
+        the transport's reconnect-and-resend retry (and any caller
+        retry reusing the key) applies the write exactly once.
+        """
+        if idempotency_key is None:
+            idempotency_key = _mint_key()
         return self._request("POST", "/insert", {
             "model": model,
             "triples": [list(triple) for triple in triples],
             "create": create,
-        }, request_id=request_id)
+        }, request_id=request_id, deadline=deadline,
+            priority=priority, idempotency_key=idempotency_key)
 
     def delete(self, model: str, subject: str, predicate: str,
                obj: str, force: bool = False,
-               request_id: str | None = None) -> dict:
-        """POST /delete — returns ``{removed, write_version}``."""
+               request_id: str | None = None,
+               deadline: float | None = None,
+               priority: int | None = None,
+               idempotency_key: str | None = None) -> dict:
+        """POST /delete — returns ``{removed, write_version}``.
+
+        Auto-mints an idempotency key like :meth:`insert`.
+        """
+        if idempotency_key is None:
+            idempotency_key = _mint_key()
         return self._request("POST", "/delete", {
             "model": model,
             "triple": [subject, predicate, obj],
             "force": force,
-        }, request_id=request_id)
+        }, request_id=request_id, deadline=deadline,
+            priority=priority, idempotency_key=idempotency_key)
 
     def stats(self) -> dict:
         """GET /stats."""
@@ -195,13 +303,24 @@ class ReproClient:
             path += "?format=chrome"
         return self._request("GET", path)
 
-    def health(self) -> dict:
-        """GET /healthz (raises :class:`ServerError` when unhealthy)."""
-        return self._request("GET", "/healthz")
+    def health(self, check: str | None = None) -> dict:
+        """GET /healthz (raises :class:`ServerError` when unhealthy).
+
+        ``check='live'`` / ``check='ready'`` select the probe splits.
+        """
+        path = "/healthz"
+        if check is not None:
+            path += f"?check={urllib.parse.quote(check)}"
+        return self._request("GET", path)
 
     def metrics_text(self) -> str:
         """GET /metrics — the Prometheus exposition text."""
         return self._request("GET", "/metrics")
+
+
+def _mint_key() -> str:
+    """A fresh idempotency key (one logical write)."""
+    return "ik-" + uuid.uuid4().hex
 
 
 def _message(data: bytes, status: int) -> str:

@@ -1,0 +1,171 @@
+"""Health assessment for the serving layer: live, ready, degraded.
+
+A binary healthy/unhealthy answer hides the state load balancers and
+operators actually act on: *the server is up but struggling*.  This
+module grades the serving layer into three states from three signals —
+writer-queue depth, read-pool saturation, and a rolling error-rate
+window:
+
+``ok``
+    Everything nominal: serve traffic.
+``degraded``
+    The writer queue or the pool is persistently saturated past its
+    fraction threshold, or the rolling error rate crossed its
+    threshold.  The server still answers, but admission starts
+    shedding the **lowest-priority** requests (``X-Priority`` header)
+    first — targeted shedding before the admission gate's blanket
+    429s.
+``unhealthy``
+    The writer thread is down (or an integrity probe failed): writes
+    are lost on arrival; take the node out of rotation.
+
+:class:`HealthMonitor` holds the thresholds and the rolling error
+window; it is deliberately storage-free (pure in-memory arithmetic) so
+``/healthz`` stays cheap enough for aggressive probe intervals.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Health states, in increasing order of trouble.
+OK = "ok"
+DEGRADED = "degraded"
+UNHEALTHY = "unhealthy"
+
+
+@dataclass
+class HealthReport:
+    """One assessment: the state plus why (machine-readable reasons)."""
+
+    state: str
+    reasons: list[str] = field(default_factory=list)
+    error_rate: float = 0.0
+    window_requests: int = 0
+
+    @property
+    def live(self) -> bool:
+        """Process-liveness: answering at all means live."""
+        return True
+
+    @property
+    def ready(self) -> bool:
+        """Fit to take traffic (degraded still serves, shedding low
+        priority)."""
+        return self.state != UNHEALTHY
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "state": self.state,
+            "live": self.live,
+            "ready": self.ready,
+            "reasons": list(self.reasons),
+            "error_rate": round(self.error_rate, 4),
+            "window_requests": self.window_requests,
+        }
+
+
+class HealthMonitor:
+    """Rolling error window + saturation thresholds -> a health state.
+
+    :param window: seconds of request outcomes the error rate covers.
+    :param error_threshold: error fraction at/past which the window
+        degrades the server (needs ``min_requests`` samples first, so
+        one early failure cannot degrade an idle server).
+    :param min_requests: outcomes required before the error rate
+        counts.
+    :param queue_fraction: writer-queue depth / capacity at/past which
+        the server is degraded.
+    :param pool_fraction: pool leases / size at/past which the server
+        is degraded (1.0 = every reader busy).
+
+    ``observe`` is called from every handler thread; the deque and
+    counters sit under one small lock.
+    """
+
+    def __init__(self, window: float = 30.0,
+                 error_threshold: float = 0.5,
+                 min_requests: int = 10,
+                 queue_fraction: float = 0.8,
+                 pool_fraction: float = 1.0) -> None:
+        if not 0.0 < error_threshold <= 1.0:
+            raise ValueError("error_threshold must be in (0, 1]")
+        if window <= 0:
+            raise ValueError("window must be positive seconds")
+        self.window = window
+        self.error_threshold = error_threshold
+        self.min_requests = max(1, min_requests)
+        self.queue_fraction = queue_fraction
+        self.pool_fraction = pool_fraction
+        # (monotonic timestamp, was_error) per completed request.
+        self._outcomes: deque[tuple[float, bool]] = deque()
+        self._lock = threading.Lock()
+
+    # -- the rolling error window --------------------------------------
+
+    def observe(self, status: int) -> None:
+        """Record one finished request's status code.
+
+        5xx is an error (the server failed); 4xx — including 429
+        shedding and 504 deadline expiry — is the server *working as
+        designed* under load and must not feed back into the degraded
+        signal, or shedding would lock itself in.
+        """
+        now = time.monotonic()
+        with self._lock:
+            self._outcomes.append((now, status >= 500))
+            self._trim(now)
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.window
+        while self._outcomes and self._outcomes[0][0] < horizon:
+            self._outcomes.popleft()
+
+    def error_rate(self) -> tuple[float, int]:
+        """(error fraction, sample count) over the rolling window."""
+        now = time.monotonic()
+        with self._lock:
+            self._trim(now)
+            total = len(self._outcomes)
+            if not total:
+                return 0.0, 0
+            errors = sum(1 for _, bad in self._outcomes if bad)
+            return errors / total, total
+
+    def reset(self) -> None:
+        with self._lock:
+            self._outcomes.clear()
+
+    # -- assessment ----------------------------------------------------
+
+    def assess(self, *, writer_running: bool, writer_depth: int,
+               queue_limit: int, pool_in_use: int,
+               pool_size: int) -> HealthReport:
+        """Grade the serving layer from the live gauges."""
+        rate, samples = self.error_rate()
+        if not writer_running:
+            return HealthReport(
+                UNHEALTHY, ["writer thread is not running"],
+                rate, samples)
+        reasons: list[str] = []
+        if queue_limit > 0 and writer_depth >= max(
+                1, int(queue_limit * self.queue_fraction)):
+            reasons.append(
+                f"writer queue depth {writer_depth} >= "
+                f"{self.queue_fraction:.0%} of limit {queue_limit}")
+        if pool_size > 0 and pool_in_use >= max(
+                1, int(pool_size * self.pool_fraction)):
+            reasons.append(
+                f"read pool saturated ({pool_in_use}/{pool_size} "
+                "leased)")
+        if samples >= self.min_requests \
+                and rate >= self.error_threshold:
+            reasons.append(
+                f"error rate {rate:.0%} over the last "
+                f"{self.window:g}s ({samples} requests)")
+        state = DEGRADED if reasons else OK
+        return HealthReport(state, reasons, rate, samples)

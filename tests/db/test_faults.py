@@ -1,10 +1,19 @@
 """Fault-injection tests: the retry path under deterministic engine
 failures (repro.db.faults)."""
 
+import time
+
 import pytest
 
 from repro.db.connection import Database
-from repro.db.faults import Fault, FaultInjector
+from repro.db.faults import (
+    POINT_POOL_ACQUIRE,
+    POINT_RESPONSE,
+    POINT_WRITER_JOB,
+    Fault,
+    FaultInjector,
+    InjectedDisconnect,
+)
 from repro.db.resilience import RetryPolicy
 from repro.errors import StorageError
 from repro.obs.observer import Observer
@@ -165,3 +174,75 @@ class TestBulkLoadUnderFaults:
             from repro.core.integrity import check_integrity
 
             assert check_integrity(store) == []
+
+
+# ----------------------------------------------------------------------
+# seeded chance, fault points, and the chaos kinds
+# ----------------------------------------------------------------------
+
+class TestSeededChance:
+    def test_same_seed_fires_identically(self):
+        """Two injectors with the same seed fire on exactly the same
+        calls — a chaotic schedule is still a reproducer."""
+        histories = []
+        for run in range(2):
+            injector = FaultInjector(seed=99)
+            injector.inject("slow", match="SELECT", chance=0.3,
+                            delay=0.0, times=10 ** 9)
+            fired = []
+            for index in range(200):
+                before = injector.stats()["fired"]
+                injector.on_statement("SELECT 1", site="statement")
+                fired.append(injector.stats()["fired"] > before)
+            histories.append(fired)
+        assert histories[0] == histories[1]
+        assert any(histories[0])          # the schedule is not empty
+        assert not all(histories[0])      # ...and not total
+
+    def test_different_seeds_diverge(self):
+        outcomes = []
+        for seed in (1, 2):
+            injector = FaultInjector(seed=seed)
+            injector.inject("slow", match="SELECT", chance=0.5,
+                            delay=0.0, times=10 ** 9)
+            for index in range(64):
+                injector.on_statement("SELECT 1", site="statement")
+            outcomes.append(injector.stats()["fired"])
+        # Not a hard guarantee in general, but deterministic for
+        # these fixed seeds.
+        assert outcomes[0] != outcomes[1]
+
+
+class TestFaultPoints:
+    def test_on_point_matches_site(self):
+        injector = FaultInjector()
+        injector.inject("slow", site=POINT_WRITER_JOB, delay=0.0)
+        injector.on_point(POINT_POOL_ACQUIRE)  # different site: no fire
+        assert injector.stats()["fired"] == 0
+        injector.on_point(POINT_WRITER_JOB)
+        assert injector.stats()["fired"] == 1
+
+    def test_drop_raises_injected_disconnect(self):
+        injector = FaultInjector()
+        injector.inject("drop", site=POINT_RESPONSE)
+        with pytest.raises(InjectedDisconnect):
+            injector.on_point(POINT_RESPONSE)
+        # InjectedDisconnect is a ConnectionError so transport-level
+        # handlers treat it exactly like a real peer reset.
+        assert issubclass(InjectedDisconnect, ConnectionError)
+
+    def test_slow_sleeps_for_delay(self):
+        injector = FaultInjector()
+        injector.inject("slow", site=POINT_WRITER_JOB, delay=0.05)
+        started = time.perf_counter()
+        injector.on_point(POINT_WRITER_JOB)
+        assert time.perf_counter() - started >= 0.045
+
+    def test_reset_clears_counters_and_schedule(self):
+        injector = FaultInjector()
+        injector.inject("drop", site=POINT_RESPONSE)
+        with pytest.raises(InjectedDisconnect):
+            injector.on_point(POINT_RESPONSE)
+        injector.reset()
+        assert injector.stats()["fired"] == 0
+        injector.on_point(POINT_RESPONSE)  # disarmed: no raise

@@ -9,13 +9,17 @@ import pytest
 
 from repro.core.store import RDFStore
 from repro.db.connection import Database
+from repro.db.faults import POINT_WRITER_JOB, FaultInjector
 from repro.db.pool import ConnectionPool, WriterQueue
 from repro.errors import (
+    DeadlineExceededError,
     PoolTimeoutError,
     ReadOnlyConnectionError,
     SchemaError,
     StorageError,
+    WriterShutdownError,
 )
+from repro.obs.reqctx import Deadline
 
 
 @pytest.fixture
@@ -294,3 +298,70 @@ class TestWriterQueue:
         writer.stop()
         with pytest.raises(StorageError, match="not running"):
             writer.submit(lambda store: None)
+
+
+# ----------------------------------------------------------------------
+# deadline-bounded waits and bounded shutdown
+# ----------------------------------------------------------------------
+
+class TestDeadlineBoundedAcquire:
+    def test_deadline_caps_the_wait(self, db_path):
+        """A 50ms deadline beats a 2s pool timeout: the blocked
+        acquire gives up when the request budget runs out."""
+        with ConnectionPool(db_path, size=1, timeout=2.0) as pool:
+            held = pool.acquire()
+            try:
+                started = time.perf_counter()
+                with pytest.raises(DeadlineExceededError):
+                    pool.acquire(deadline=Deadline(0.05))
+                elapsed = time.perf_counter() - started
+                assert elapsed < 1.0
+            finally:
+                pool.release(held)
+
+    def test_expired_deadline_never_waits(self, db_path):
+        with ConnectionPool(db_path, size=1, timeout=2.0) as pool:
+            held = pool.acquire()
+            try:
+                expired = Deadline(0.0001)
+                time.sleep(0.01)
+                started = time.perf_counter()
+                with pytest.raises(DeadlineExceededError):
+                    pool.acquire(deadline=expired)
+                assert time.perf_counter() - started < 0.5
+            finally:
+                pool.release(held)
+
+
+class TestBoundedShutdown:
+    def test_stop_drain_is_bounded_by_timeout(self, db_path):
+        """A stalled writer cannot hang stop(drain=True) forever:
+        the hard deadline fails the still-queued futures."""
+        faults = FaultInjector(seed=1)
+        faults.inject("slow", site=POINT_WRITER_JOB, delay=2.0,
+                      times=1)
+        writer = WriterQueue(_store_factory(db_path),
+                             faults=faults).start()
+        stalled = writer.submit(lambda store: None)
+        pending = [writer.submit(lambda store: None)
+                   for _ in range(3)]
+        started = time.perf_counter()
+        writer.stop(drain=True, timeout=0.3)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 1.5          # did not wait out the stall
+        assert writer.stats()["aborted"] is True
+        for future in pending:
+            with pytest.raises(WriterShutdownError):
+                future.result(timeout=0)
+        # The in-flight job is NOT killed — the writer thread sleeps
+        # out its stall and resolves the future after stop() has
+        # already returned.  Only queued work is failed.
+        stalled.result(timeout=5)
+
+    def test_stop_drain_unbounded_when_timeout_none(self, db_path):
+        writer = WriterQueue(_store_factory(db_path)).start()
+        futures = [writer.submit(lambda store: None)
+                   for _ in range(3)]
+        writer.stop(drain=True, timeout=None)
+        assert all(f.exception() is None for f in futures)
+        assert writer.stats()["aborted"] is False

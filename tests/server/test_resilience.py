@@ -1,0 +1,392 @@
+"""End-to-end resilience tests: deadlines, cancellation, idempotency,
+health states, priority shedding, and keep-alive hygiene.
+
+Like ``test_app.py``, every test runs a real :class:`ReproServer` on
+an ephemeral port — deadline expiry, SQL interruption, and lease
+accounting are exercised over actual sockets.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server.app import ReproServer, ServerConfig
+from repro.server.client import ReproClient
+
+
+def make_server(tmp_path, **overrides):
+    defaults = dict(path=str(tmp_path / "serve.db"), port=0,
+                    workers=2, backlog=2, pool_timeout=0.2)
+    defaults.update(overrides)
+    return ReproServer(ServerConfig(**defaults))
+
+
+@pytest.fixture
+def server(tmp_path):
+    with make_server(tmp_path) as running:
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    with ReproClient(host, port) as c:
+        yield c
+
+
+def load_hub(client, nodes=700, model="m"):
+    """A dataset whose self-join is slow: ``nodes``^2 result rows."""
+    triples = [[f"<urn:s{i}>", "<urn:p>", "<urn:hub>"]
+               for i in range(nodes)]
+    client.insert(model, triples, create=True)
+
+
+#: The self-join over the hub dataset — quadratic, reliably slow.
+SLOW_QUERY = "(?a <urn:p> ?h) (?b <urn:p> ?h)"
+
+
+def raw_post(server, path, body=b"{}", headers=None):
+    """One raw HTTP request, returning (status, headers, body)."""
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request("POST", path, body=body, headers={
+            "Content-Type": "application/json", **(headers or {})})
+        response = conn.getresponse()
+        data = response.read()
+        return response.status, dict(response.getheaders()), data
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# deadlines and cooperative cancellation
+# ----------------------------------------------------------------------
+
+class TestDeadlines:
+    def test_slow_query_is_interrupted_and_504(self, server, client):
+        """A 50ms deadline against a multi-second query answers 504
+        fast, interrupts the SQL, and releases the pool lease."""
+        load_hub(client)
+        # Sanity: the query really is slow without a deadline.
+        started = time.perf_counter()
+        with pytest.raises(ServerError) as info:
+            client.match(SLOW_QUERY, "m", deadline=0.05)
+        elapsed = time.perf_counter() - started
+        assert info.value.status == 504
+        # The acceptance bar is <200ms; loopback plus interrupt
+        # latency sits far under it.
+        assert elapsed < 1.0
+        metrics = server.metrics.as_dict()
+        assert metrics["counters"]["sql.interrupts"] >= 1
+        assert server.pool.in_use == 0
+        # The connection still serves afterwards (no leaked lease,
+        # no desynced framing).
+        assert client.match("(?a <urn:p> ?h)", "m",
+                            limit=5)["count"] == 5
+
+    def test_504_trace_is_filed_in_slowlog(self, server, client):
+        load_hub(client)
+        with pytest.raises(ServerError):
+            client.match(SLOW_QUERY, "m", deadline=0.05)
+        request_id = client.last_request_id
+        assert request_id is not None
+        # Force-captured into the slow ring despite the tiny budget.
+        entry = client.debug_trace(request_id)
+        assert entry["status"] == 504
+
+    def test_expired_before_admission_is_504_with_close(self, server):
+        # A microscopic (but positive) budget is expired by the time
+        # the admission check runs: rejected before the body is read.
+        status, headers, body = raw_post(
+            server, "/match", headers={"X-Deadline-Ms": "0.001"})
+        assert status == 504
+        assert b"DeadlineExceeded" in body
+        assert headers.get("Connection") == "close"
+        assert "X-Request-Id" in headers
+
+    def test_garbled_deadline_is_400(self, server):
+        status, headers, body = raw_post(
+            server, "/match", headers={"X-Deadline-Ms": "banana"})
+        assert status == 400
+        assert b"BadDeadline" in body
+        assert headers.get("Connection") == "close"
+
+    def test_deadline_bounds_write_wait(self, server, client):
+        """A write whose deadline expires while queued is cancelled —
+        never applied."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def stall(_store):
+            started.set()
+            release.wait(5.0)
+            return {}
+
+        client.insert("m", [["<urn:a>", "<urn:p>", "<urn:b>"]],
+                      create=True)
+        server.writer.submit(stall)
+        assert started.wait(2.0)
+        try:
+            with pytest.raises(ServerError) as info:
+                client.insert("m", [["<urn:x>", "<urn:p>", "<urn:y>"]],
+                              deadline=0.1)
+            assert info.value.status == 504
+        finally:
+            release.set()
+        # The cancelled job never ran: the triple is absent.
+        time.sleep(0.2)
+        assert client.match("(<urn:x> <urn:p> ?o)", "m")["count"] == 0
+
+
+# ----------------------------------------------------------------------
+# exactly-once writes
+# ----------------------------------------------------------------------
+
+class TestIdempotency:
+    def test_same_key_replays_not_reapplies(self, client):
+        first = client.insert(
+            "m", [["<urn:a>", "<urn:p>", "<urn:b>"]], create=True,
+            idempotency_key="k1")
+        assert "idempotent_replay" not in first
+        again = client.insert(
+            "m", [["<urn:a>", "<urn:p>", "<urn:b>"]],
+            idempotency_key="k1")
+        assert again["idempotent_replay"] is True
+        assert again["write_version"] == first["write_version"]
+        assert client.match("(?s ?p ?o)", "m")["count"] == 1
+
+    def test_delete_replays_recorded_outcome(self, client):
+        client.insert("m", [["<urn:a>", "<urn:p>", "<urn:b>"]],
+                      create=True)
+        first = client.delete("m", "<urn:a>", "<urn:p>", "<urn:b>",
+                              force=True, idempotency_key="d1")
+        assert first["removed"] is True
+        again = client.delete("m", "<urn:a>", "<urn:p>", "<urn:b>",
+                              force=True, idempotency_key="d1")
+        # Without the ledger this would report removed=False (the
+        # triple is already gone); the replay preserves the original.
+        assert again["removed"] is True
+        assert again["idempotent_replay"] is True
+
+    def test_ledger_is_bounded(self, tmp_path):
+        with make_server(tmp_path, idempotency_capacity=3) as server:
+            host, port = server.address
+            with ReproClient(host, port) as client:
+                for index in range(5):
+                    client.insert(
+                        "m",
+                        [[f"<urn:s{index}>", "<urn:p>", "<urn:o>"]],
+                        create=True, idempotency_key=f"key-{index}")
+                # key-0 and key-1 were pruned: a resend re-applies
+                # (and finds the triple already present).
+                outcome = client.insert(
+                    "m", [["<urn:s0>", "<urn:p>", "<urn:o>"]],
+                    idempotency_key="key-0")
+                assert "idempotent_replay" not in outcome
+                assert outcome["created"] == 0
+                # key-4 is still ledgered.
+                replay = client.insert(
+                    "m", [["<urn:s4>", "<urn:p>", "<urn:o>"]],
+                    idempotency_key="key-4")
+                assert replay["idempotent_replay"] is True
+
+    def test_client_auto_mints_keys(self, server, client):
+        client.insert("m", [["<urn:a>", "<urn:p>", "<urn:b>"]],
+                      create=True)
+        from repro.server.state import idempotency_stats
+
+        def probe(store):
+            return idempotency_stats(store.database)
+
+        stats = server.writer.submit(probe).result(timeout=5)
+        assert stats["entries"] == 1
+
+
+# ----------------------------------------------------------------------
+# health states and priority shedding
+# ----------------------------------------------------------------------
+
+class TestHealth:
+    def test_ok_when_nominal(self, client):
+        body = client.health()
+        assert body["status"] == "ok"
+        assert body["ready"] is True
+        assert body["live"] is True
+
+    def test_probe_splits(self, client):
+        assert client.health(check="live") == {
+            "status": "ok", "live": True}
+        assert client.health(check="ready")["ready"] is True
+
+    def test_error_window_degrades(self, server, client):
+        for _ in range(12):
+            server.health.observe(500)
+        body = client.health()
+        assert body["status"] == "degraded"
+        assert body["ready"] is True          # degraded still serves
+        assert any("error rate" in reason
+                   for reason in body["reasons"])
+        # Live and ready probes keep passing: don't evict a node
+        # that is shedding its way back to health.
+        assert client.health(check="ready")["ready"] is True
+
+    def test_unhealthy_when_writer_down(self, server, client):
+        server.writer.stop(drain=True)
+        with pytest.raises(ServerError) as info:
+            client.health()
+        assert info.value.status == 503
+        # Liveness still answers 200 — the process is up.
+        assert client.health(check="live")["live"] is True
+
+    def test_degraded_sheds_low_priority_first(self, server, client):
+        client.insert("m", [["<urn:a>", "<urn:p>", "<urn:b>"]],
+                      create=True)
+        for _ in range(12):
+            server.health.observe(500)
+        # Low priority is shed with a DegradedShed 429...
+        with pytest.raises(ServerError) as info:
+            client.match("(?s ?p ?o)", "m", priority=1)
+        assert info.value.status == 429
+        assert "shedding priority 1" in str(info.value)
+        assert info.value.retry_after is not None
+        # ...while default-priority traffic still serves.
+        assert client.match("(?s ?p ?o)", "m")["count"] == 1
+
+    def test_shed_metric_counts(self, server, client):
+        client.insert("m", [["<urn:a>", "<urn:p>", "<urn:b>"]],
+                      create=True)
+        for _ in range(12):
+            server.health.observe(500)
+        with pytest.raises(ServerError):
+            client.match("(?s ?p ?o)", "m", priority=0)
+        counters = server.metrics.as_dict()["counters"]
+        assert counters["server.shed_degraded"] == 1
+
+    def test_stats_reports_health(self, client):
+        assert client.stats()["health"]["state"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# keep-alive hygiene
+# ----------------------------------------------------------------------
+
+class TestConnectionClose:
+    def test_unknown_route_closes_connection(self, server):
+        status, headers, _ = raw_post(server, "/nope")
+        assert status == 404
+        assert headers.get("Connection") == "close"
+
+    def test_client_survives_pre_body_rejections(self, server, client):
+        client.insert("m", [["<urn:a>", "<urn:p>", "<urn:b>"]],
+                      create=True)
+        # A shed request answers before reading the body and closes
+        # the connection; the client must keep working afterwards on
+        # a fresh one — no desynced framing, no stale reads.
+        for _ in range(12):
+            server.health.observe(500)
+        for _ in range(3):
+            with pytest.raises(ServerError):
+                client.match("(?s ?p ?o)", "m", priority=0)
+            assert client.match("(?s ?p ?o)", "m")["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# pool-lease accounting under error paths
+# ----------------------------------------------------------------------
+
+class TestLeaseAccounting:
+    def test_leases_return_after_every_error_path(self, server, client):
+        """8 threads storm /match across every error path; in_use must
+        return to zero and the server must still answer."""
+        load_hub(client, nodes=300)
+
+        def storm(index):
+            host, port = server.address
+            with ReproClient(host, port) as mine:
+                for turn in range(6):
+                    kind = (index + turn) % 3
+                    try:
+                        if kind == 0:     # deadline expiry mid-SQL
+                            mine.match(SLOW_QUERY, "m", deadline=0.03)
+                        elif kind == 1:   # handler exception (400)
+                            mine.match("not a pattern", "m")
+                        else:             # unknown model (404)
+                            mine.match("(?s ?p ?o)", "missing")
+                    except ServerError:
+                        pass
+
+        threads = [threading.Thread(target=storm, args=(index,))
+                   for index in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert server.pool.in_use == 0
+        assert server.writer.running
+        assert client.match("(?a <urn:p> ?h)", "m",
+                            limit=3)["count"] == 3
+
+
+# ----------------------------------------------------------------------
+# client retry behavior
+# ----------------------------------------------------------------------
+
+class TestMatchRetrying:
+    def _client(self):
+        # Never connects: match is stubbed out.
+        return ReproClient("127.0.0.1", 1)
+
+    def test_honors_server_retry_after(self):
+        client = self._client()
+        calls = []
+
+        def fake_match(*args, **kwargs):
+            calls.append(time.monotonic())
+            if len(calls) < 3:
+                raise ServerError("HTTP 429: busy", status=429,
+                                  retry_after=0.08)
+            return {"count": 0}
+
+        client.match = fake_match
+        assert client.match_retrying("(?s ?p ?o)", "m") == {"count": 0}
+        assert len(calls) == 3
+        # Both backoffs honored the server's Retry-After, not the
+        # 0.05 fallback.
+        assert calls[1] - calls[0] >= 0.075
+        assert calls[2] - calls[1] >= 0.075
+
+    def test_total_wait_capped_by_deadline_budget(self):
+        client = ReproClient("127.0.0.1", 1, deadline=0.2)
+        attempts = []
+
+        def always_busy(*args, **kwargs):
+            attempts.append(1)
+            raise ServerError("HTTP 429: busy", status=429,
+                              retry_after=0.15)
+
+        client.match = always_busy
+        started = time.monotonic()
+        with pytest.raises(ServerError):
+            client.match_retrying("(?s ?p ?o)", "m")
+        elapsed = time.monotonic() - started
+        # Without the cap this would retry 8 times x 0.15s = 1.2s;
+        # the 0.2s budget stops it after ~one sleep.
+        assert elapsed < 0.8
+        assert len(attempts) < 8
+
+    def test_non_429_raises_immediately(self):
+        client = self._client()
+
+        def fail(*args, **kwargs):
+            raise ServerError("HTTP 500: boom", status=500)
+
+        client.match = fail
+        with pytest.raises(ServerError) as info:
+            client.match_retrying("(?s ?p ?o)", "m", max_attempts=5)
+        assert info.value.status == 500
