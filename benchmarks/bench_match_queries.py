@@ -195,7 +195,10 @@ def main(argv=None):
     parser.add_argument("--trials", type=int, default=30)
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: small dataset, few trials")
-    parser.add_argument("--output", default="BENCH_match_plan.json")
+    parser.add_argument(
+        "--output",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_match_plan.json"))
     args = parser.parse_args(argv)
     if args.smoke:
         size = args.size or 2000

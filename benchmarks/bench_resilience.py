@@ -207,7 +207,10 @@ def main(argv=None):
                         help="seconds of load per phase")
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: small dataset, short runs")
-    parser.add_argument("--output", default="BENCH_resilience.json")
+    parser.add_argument(
+        "--output",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_resilience.json"))
     args = parser.parse_args(argv)
     triples = args.triples
     duration = args.duration

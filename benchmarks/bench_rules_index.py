@@ -154,7 +154,10 @@ def main(argv=None):
     parser.add_argument("--smoke", action="store_true",
                         help=f"CI mode: {SMOKE_SIZE}-triple chain, "
                         "few trials")
-    parser.add_argument("--output", default="BENCH_rules_index.json")
+    parser.add_argument(
+        "--output",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_rules_index.json"))
     args = parser.parse_args(argv)
     if args.smoke:
         size = args.size or SMOKE_SIZE

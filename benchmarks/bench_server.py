@@ -205,7 +205,10 @@ def main(argv=None):
                         help="seconds of load per pool size")
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: small dataset, short runs")
-    parser.add_argument("--output", default="BENCH_server.json")
+    parser.add_argument(
+        "--output",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_server.json"))
     args = parser.parse_args(argv)
     triples = args.triples
     duration = args.duration

@@ -217,18 +217,45 @@ class BulkLoader:
             " VALUES (" + ", ".join("?" * 21) + ")")
         batch_counter = self._db.observer.counter(
             "bulkload.batches", "staging batches written")
+        # Per-term memoisation: RDF inputs repeat subjects, predicates
+        # and objects heavily, and this loop is the load's dominant
+        # Python cost (decompose + classify per component).  Bounded —
+        # a pathological all-distinct input cannot grow them without
+        # limit.  Keeping the loop lean matters twice on the sharded
+        # engine: the staging loop holds the GIL, so it is the part of
+        # a per-shard load that cannot overlap with its siblings.
+        dec_cache: dict = {}
+        canon_cache: dict = {}
+        type_cache: dict = {}
         for triple in triples:
-            canonical = canonical_term(triple.object)
-            rows.append(_decompose(triple.subject)
-                        + _decompose(triple.predicate)
-                        + _decompose(triple.object)
-                        + _decompose(canonical)
-                        + (LinkType.for_predicate(triple.predicate).value,))
+            subject, predicate, obj = (triple.subject, triple.predicate,
+                                       triple.object)
+            s_row = dec_cache.get(subject)
+            if s_row is None:
+                s_row = dec_cache[subject] = _decompose(subject)
+            p_row = dec_cache.get(predicate)
+            if p_row is None:
+                p_row = dec_cache[predicate] = _decompose(predicate)
+            o_row = dec_cache.get(obj)
+            if o_row is None:
+                o_row = dec_cache[obj] = _decompose(obj)
+            c_row = canon_cache.get(obj)
+            if c_row is None:
+                c_row = canon_cache[obj] = _decompose(
+                    canonical_term(obj))
+            link_type = type_cache.get(predicate)
+            if link_type is None:
+                link_type = type_cache[predicate] = \
+                    LinkType.for_predicate(predicate).value
+            rows.append(s_row + p_row + o_row + c_row + (link_type,))
             staged += 1
             if len(rows) >= self._batch_size:
                 self._db.executemany(insert_sql, rows)
                 batch_counter.inc()
                 rows = []
+                if len(dec_cache) > 100_000:
+                    dec_cache.clear()
+                    canon_cache.clear()
         if rows:
             self._db.executemany(insert_sql, rows)
             batch_counter.inc()
@@ -280,21 +307,49 @@ class BulkLoader:
                 (self._model.model_id,))
         before = self._db.row_count(LINK_TABLE)
         # COST starts at 0: bulk-loaded triples have no application rows.
-        self._db.execute(
-            f'INSERT OR IGNORE INTO "{LINK_TABLE}" '
-            "(start_node_id, p_value_id, end_node_id, canon_end_node_id,"
-            " link_type, cost, context, reif_link, model_id) "
-            "SELECT DISTINCT sv.value_id, pv.value_id, ov.value_id, "
-            "cv.value_id, st.link_type, 0, 'D', "
+        distinct_links = (
+            "SELECT DISTINCT sv.value_id AS s_id, pv.value_id AS p_id, "
+            "ov.value_id AS o_id, cv.value_id AS c_id, st.link_type "
+            "AS link_type, "
             "CASE WHEN st.s_name LIKE '/ORADB/%' "
             "OR st.p_name LIKE '/ORADB/%' "
-            "OR st.o_name LIKE '/ORADB/%' THEN 'Y' ELSE 'N' END, ? "
+            "OR st.o_name LIKE '/ORADB/%' THEN 'Y' ELSE 'N' END "
+            "AS reif_link "
             f'FROM "{STAGE_TABLE}" st '
             f'JOIN "{VALUE_TABLE}" sv ON {self._value_join("s", "sv")} '
             f'JOIN "{VALUE_TABLE}" pv ON {self._value_join("p", "pv")} '
             f'JOIN "{VALUE_TABLE}" ov ON {self._value_join("o", "ov")} '
-            f'JOIN "{VALUE_TABLE}" cv ON {self._value_join("c", "cv")}',
-            (self._model.model_id,))
+            f'JOIN "{VALUE_TABLE}" cv ON {self._value_join("c", "cv")}')
+        id_range = self._store.links.id_range
+        if id_range is None:
+            # Single-file store: SQLite's implicit rowid allocation.
+            self._db.execute(
+                f'INSERT OR IGNORE INTO "{LINK_TABLE}" '
+                "(start_node_id, p_value_id, end_node_id,"
+                " canon_end_node_id, link_type, cost, context,"
+                " reif_link, model_id) "
+                "SELECT s_id, p_id, o_id, c_id, link_type, 0, 'D', "
+                f"reif_link, ? FROM ({distinct_links})",
+                (self._model.model_id,))
+        else:
+            # Sharded store: explicit LINK_IDs numbered upward from
+            # the shard's stride floor.  Duplicate triples still hit
+            # the natural-key unique index and are ignored, leaving
+            # gaps in the numbering — harmless, the stride only has
+            # to stay globally unique and shard-identifying.
+            low, high = id_range
+            self._db.execute(
+                f'INSERT OR IGNORE INTO "{LINK_TABLE}" '
+                "(link_id, start_node_id, p_value_id, end_node_id,"
+                " canon_end_node_id, link_type, cost, context,"
+                " reif_link, model_id) "
+                "SELECT (SELECT IFNULL(MAX(link_id), ? - 1) "
+                f'FROM "{LINK_TABLE}" '
+                "WHERE link_id >= ? AND link_id < ?)"
+                " + ROW_NUMBER() OVER (), "
+                "s_id, p_id, o_id, c_id, link_type, 0, 'D', "
+                f"reif_link, ? FROM ({distinct_links})",
+                (low, low, high, self._model.model_id))
         return self._db.row_count(LINK_TABLE) - before
 
     def _fix_reif_flags(self) -> None:

@@ -1,0 +1,109 @@
+"""The storage-engine interface.
+
+The reproduction grew up with exactly one storage layout: the paper's
+central schema in a single SQLite file, fronted by :class:`RDFStore`.
+This module names the contract that layout satisfies, so a second
+backend — the sharded engine of :mod:`repro.core.sharded` — can slot in
+behind the same call sites (CLI, server, benchmarks, tests) without
+them caring which physical layout answers.
+
+Two engines implement it:
+
+:class:`~repro.core.store.RDFStore` (``engine_kind == "single"``)
+    One database, one ``rdf_link$``/``rdf_value$`` pair, the layout of
+    the paper.  Embeds everything, including in-memory stores.
+
+:class:`~repro.core.sharded.ShardedRDFStore` (``engine_kind == "sharded"``)
+    ``rdf_link$`` partitioned across N SQLite files by (model, subject)
+    hash, one writer queue per shard, scatter-gather reads.
+
+Construction stays on the familiar facade: ``RDFStore(path, shards=4)``
+returns a :class:`ShardedRDFStore` — the ``shards`` keyword is the
+engine selector, so no call site needs to import the sharded backend
+explicitly.
+
+The interface is intentionally the *triple-level* surface.  ID-level
+accessors (``values``, ``links``, ``plan_cache``) are per-shard
+concepts: VALUE_IDs are only meaningful within one shard file, so they
+stay on :class:`RDFStore` and the sharded engine exposes them per
+shard, never globally.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.links import LinkRow
+    from repro.core.models import ModelInfo
+    from repro.core.triple_s import SDO_RDF_TRIPLE_S
+    from repro.rdf.triple import Triple
+
+
+class StorageEngine(abc.ABC):
+    """What every storage backend must provide.
+
+    ``sdo_rdf_match`` additionally duck-types on ``scatter_match``:
+    an engine that defines it evaluates queries itself (scatter-gather);
+    one that does not is compiled against directly (single SQL file).
+    """
+
+    #: "single" or "sharded" — surfaced in ``/stats`` and the CLI.
+    engine_kind: str = "single"
+
+    # -- model management --------------------------------------------------
+
+    @abc.abstractmethod
+    def create_model(self, model_name: str, table_name: str = "",
+                     column_name: str = "triple") -> "ModelInfo":
+        """Create an RDF model (graph)."""
+
+    @abc.abstractmethod
+    def drop_model(self, model_name: str) -> int:
+        """Drop a model; returns the number of triples removed."""
+
+    @abc.abstractmethod
+    def model_exists(self, model_name: str) -> bool:
+        """True when a model with this name exists."""
+
+    # -- triples -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def insert_triple(self, model_name: str, subject: str,
+                      predicate: str, obj: str,
+                      context: Any = None) -> "SDO_RDF_TRIPLE_S":
+        """Insert (or find) a triple given as text."""
+
+    @abc.abstractmethod
+    def insert_triple_obj(self, model_name: str, triple: "Triple",
+                          context: Any = None,
+                          count_cost: bool = True) -> "SDO_RDF_TRIPLE_S":
+        """Insert a parsed :class:`~repro.rdf.triple.Triple`."""
+
+    @abc.abstractmethod
+    def remove_triple(self, model_name: str, subject: str,
+                      predicate: str, obj: str,
+                      force: bool = False) -> bool:
+        """Remove one reference to a triple."""
+
+    @abc.abstractmethod
+    def find_link(self, model_name: str, subject: str, predicate: str,
+                  obj: str) -> "LinkRow | None":
+        """The stored link row for a text triple, or None."""
+
+    @abc.abstractmethod
+    def iter_model_triples(self, model_name: str) -> "Iterator[Triple]":
+        """All triples of a model as term objects."""
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release every connection/thread the engine holds."""
+
+    def __enter__(self) -> "StorageEngine":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()

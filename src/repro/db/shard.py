@@ -1,0 +1,203 @@
+"""Shard routing for the partitioned storage engine.
+
+The sharded backend (:mod:`repro.core.sharded`) partitions ``rdf_link$``
+across N complete SQLite files.  This module owns the three decisions
+every layer above must agree on:
+
+**Routing.**  A triple lives on exactly one shard, chosen by its model
+name and its subject's lexical form::
+
+    shard = crc32(model_name + "\\0" + subject_lexical) % shard_count
+
+``zlib.crc32`` is deliberate: it is stable across processes, platforms,
+and ``PYTHONHASHSEED`` values, unlike the salted builtin ``hash()``.
+Routing by (model, subject) means a subject-anchored query touches one
+shard per model, and all triples of one subject in one model — the unit
+the paper's member functions and reification lookups work on — are
+co-located.
+
+**File naming.**  Shard files are siblings of the logical base path:
+``universe.db`` becomes ``universe.db.shard0`` … ``universe.db.shardN-1``.
+The base path itself is never created, so a sharded store can be
+auto-discovered (``repro doctor`` does) by globbing the siblings.
+
+**Link-id partitioning.**  Each shard allocates LINK_IDs from its own
+stride of the integer line (``shard k`` owns
+``[k * LINK_ID_STRIDE, (k+1) * LINK_ID_STRIDE)``), so a LINK_ID is
+globally unique and names its shard — which is what keeps the paper's
+reification DBUris (``.../RDF_LINK$/ROW[LINK_ID=t]``) resolvable on a
+partitioned store.
+
+Every shard file carries a one-row ``rdf_shard$`` table recording its
+``(shard_index, shard_count)``; opening a shard under the wrong layout
+raises :class:`~repro.errors.SchemaError` instead of silently
+mis-routing.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import SchemaError, StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.connection import Database
+
+#: LINK_IDs per shard: shard k allocates from [k*STRIDE, (k+1)*STRIDE).
+#: 10^12 ids per shard is unreachable in practice and keeps the
+#: shard-of-a-link computation a single integer division.
+LINK_ID_STRIDE = 10 ** 12
+
+#: The per-shard layout-identity table (central-schema style name).
+SHARD_TABLE = "rdf_shard$"
+
+
+def stable_shard_hash(model_name: str, subject_lexical: str) -> int:
+    """The raw routing hash — CRC32 over ``model\\0subject`` UTF-8.
+
+    Salted ``hash()`` must never be used here: routing has to agree
+    across processes (writer, pooled readers, doctor, tests) and
+    across interpreter restarts with different ``PYTHONHASHSEED``.
+    """
+    key = f"{model_name}\x00{subject_lexical}".encode("utf-8")
+    return zlib.crc32(key) & 0xFFFFFFFF
+
+
+def shard_of_link_id(link_id: int) -> int:
+    """The shard index a LINK_ID was allocated on."""
+    return int(link_id) // LINK_ID_STRIDE
+
+
+class ShardRouter:
+    """Routing and naming for one sharded store layout.
+
+    :param base_path: the logical database path (the shard files are
+        named ``<base_path>.shard<k>``).
+    :param shard_count: number of partitions (>= 1).
+    """
+
+    def __init__(self, base_path: str | Path, shard_count: int) -> None:
+        if shard_count < 1:
+            raise StorageError(
+                f"shard count must be >= 1, got {shard_count}")
+        base = str(base_path)
+        if base == ":memory:" or base.startswith("file::memory:"):
+            raise StorageError(
+                "a sharded store needs a file-backed base path; "
+                ":memory: cannot be partitioned across connections")
+        self.base_path = base
+        self.shard_count = shard_count
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def shard_of(self, model_name: str, subject_lexical: str) -> int:
+        """The shard index for (model, subject)."""
+        return stable_shard_hash(model_name, subject_lexical) \
+            % self.shard_count
+
+    def shards_for_models(self, model_names: Sequence[str],
+                          subject_lexical: str) -> set[int]:
+        """Every shard a subject-anchored pattern can touch."""
+        return {self.shard_of(name, subject_lexical)
+                for name in model_names}
+
+    def all_shards(self) -> range:
+        return range(self.shard_count)
+
+    # ------------------------------------------------------------------
+    # file naming
+    # ------------------------------------------------------------------
+
+    def shard_path(self, index: int) -> str:
+        if not 0 <= index < self.shard_count:
+            raise StorageError(
+                f"shard index {index} out of range "
+                f"[0, {self.shard_count})")
+        return f"{self.base_path}.shard{index}"
+
+    def shard_paths(self) -> list[str]:
+        return [self.shard_path(index) for index in self.all_shards()]
+
+    @staticmethod
+    def discover(base_path: str | Path) -> list[Path]:
+        """Existing shard files of ``base_path``, in index order.
+
+        Used by ``repro doctor`` to sweep a sharded layout without
+        being told the shard count.  Returns an empty list when the
+        path is not sharded (no ``.shard<k>`` siblings).
+        """
+        base = Path(base_path)
+        found: list[tuple[int, Path]] = []
+        prefix = base.name + ".shard"
+        if not base.parent.exists():
+            return []
+        for candidate in base.parent.iterdir():
+            name = candidate.name
+            if not name.startswith(prefix):
+                continue
+            suffix = name[len(prefix):]
+            if suffix.isdigit():
+                found.append((int(suffix), candidate))
+        return [path for _, path in sorted(found)]
+
+    # ------------------------------------------------------------------
+    # link-id strides
+    # ------------------------------------------------------------------
+
+    def link_id_range(self, index: int) -> tuple[int, int]:
+        """The half-open LINK_ID interval shard ``index`` allocates in."""
+        if not 0 <= index < self.shard_count:
+            raise StorageError(
+                f"shard index {index} out of range "
+                f"[0, {self.shard_count})")
+        return index * LINK_ID_STRIDE, (index + 1) * LINK_ID_STRIDE
+
+
+# ----------------------------------------------------------------------
+# per-shard layout identity
+# ----------------------------------------------------------------------
+
+def ensure_shard_meta(database: "Database", shard_index: int,
+                      shard_count: int) -> None:
+    """Create/validate the ``rdf_shard$`` identity row of one shard.
+
+    A shard file opened under a different ``(index, count)`` than it
+    was written with would silently route triples to the wrong
+    partition — this check turns that into a hard
+    :class:`~repro.errors.SchemaError` at open time, the documented
+    failure mode for resharding without a migration.
+    """
+    database.execute(
+        f'CREATE TABLE IF NOT EXISTS "{SHARD_TABLE}" ('
+        "  shard_index INTEGER NOT NULL,"
+        "  shard_count INTEGER NOT NULL"
+        ")")
+    row = database.query_one(f'SELECT * FROM "{SHARD_TABLE}"')
+    if row is None:
+        database.execute(
+            f'INSERT INTO "{SHARD_TABLE}" (shard_index, shard_count) '
+            "VALUES (?, ?)", (shard_index, shard_count))
+        return
+    stored_index = int(row["shard_index"])
+    stored_count = int(row["shard_count"])
+    if (stored_index, stored_count) != (shard_index, shard_count):
+        raise SchemaError(
+            f"shard file {database.path} was written as shard "
+            f"{stored_index} of {stored_count} but is being opened as "
+            f"shard {shard_index} of {shard_count}; resharding needs "
+            "an explicit migration (dump and re-load)")
+
+
+def read_shard_meta(database: "Database") -> tuple[int, int] | None:
+    """The stored ``(shard_index, shard_count)``, or None when the
+    file is not a shard."""
+    if not database.table_exists(SHARD_TABLE):
+        return None
+    row = database.query_one(f'SELECT * FROM "{SHARD_TABLE}"')
+    if row is None:
+        return None
+    return int(row["shard_index"]), int(row["shard_count"])

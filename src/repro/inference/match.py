@@ -222,6 +222,17 @@ def sdo_rdf_match(store: "RDFStore", query: str,
     :returns: ``list[MatchRow]``, or :class:`MatchExplanation` when
         ``explain=True``.
     """
+    # An engine that defines scatter_match (the sharded backend)
+    # evaluates queries itself: single-subject-anchored patterns route
+    # to one shard, everything else fans out per-pattern subplans and
+    # merges in Python (see repro.inference.scatter).  Duck-typed so
+    # this module never imports the sharded engine.
+    scatter = getattr(store, "scatter_match", None)
+    if scatter is not None:
+        return scatter(query, models, rulebases=rulebases,
+                       aliases=aliases, filter=filter,
+                       order_by=order_by, limit=limit, explain=explain,
+                       optimize=optimize)
     if not models:
         raise QueryError("SDO_RDF_MATCH requires at least one model")
     if limit is not None and limit < 0:

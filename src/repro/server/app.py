@@ -89,6 +89,7 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Any, Callable
 
+from repro.core.sharded import ShardedRDFStore
 from repro.core.store import RDFStore
 from repro.db.connection import Database
 from repro.db.faults import (
@@ -208,6 +209,12 @@ class ServerConfig:
         at/past which the server reports degraded.
     :param degraded_pool_fraction: pool leases / size at/past which
         the server reports degraded.
+    :param shards: partition ``rdf_link$`` across this many shard
+        files (``<path>.shard<k>``) behind a
+        :class:`~repro.core.sharded.ShardedRDFStore` — one writer
+        queue and one read pool *per shard*, scatter-gather /match
+        (see ``docs/sharding.md``).  1 (the default) keeps the
+        single-file engine.
     """
 
     path: str
@@ -236,6 +243,7 @@ class ServerConfig:
     health_min_requests: int = 10
     degraded_queue_fraction: float = 0.8
     degraded_pool_fraction: float = 1.0
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.path == ":memory:":
@@ -259,6 +267,8 @@ class ServerConfig:
             raise StorageError("idempotency_capacity must be >= 1")
         if not 0 <= self.shed_priority_below <= 10:
             raise StorageError("shed_priority_below must be in 0..10")
+        if self.shards < 1:
+            raise StorageError("server needs shards >= 1")
 
 
 class ReproServer:
@@ -292,6 +302,7 @@ class ReproServer:
             self._access_handler = self._attach_access_log()
         self.pool: ConnectionPool | None = None
         self.writer: WriterQueue | None = None
+        self.engine: ShardedRDFStore | None = None
         self._http: _HTTPServer | None = None
         self._serve_thread: threading.Thread | None = None
         self._gate = threading.BoundedSemaphore(
@@ -343,18 +354,33 @@ class ReproServer:
             raise StorageError("server already started")
         if self.config.access_log and self._access_handler is None:
             self._access_handler = self._attach_access_log()
-        self.writer = WriterQueue(
-            self._writer_factory, maxsize=self.config.writer_queue,
-            observer=self.observer,
-            faults=self.config.faults).start()
-        self.pool = ConnectionPool(
-            self.config.path, size=self.config.workers,
-            durability=self.config.durability,
-            timeout=self.config.pool_timeout,
-            observer=self.observer,
-            wrap=lambda db: RDFStore(db, observe=False),
-            invalidate=lambda store: store.values.invalidate_cache(),
-            faults=self.config.faults)
+        if self.config.shards > 1:
+            # Sharded engine: per-shard writer queues and read pools
+            # live inside the engine; the single-file pool/writer stay
+            # None and every route branches on ``self.engine``.
+            self.engine = ShardedRDFStore(
+                self.config.path,
+                observe=False,
+                durability=self.config.durability,
+                shards=self.config.shards,
+                writer_queue=self.config.writer_queue,
+                pool_size=self.config.workers,
+                pool_timeout=self.config.pool_timeout,
+                writer_init=lambda store:
+                    ensure_serve_state(store.database))
+        else:
+            self.writer = WriterQueue(
+                self._writer_factory, maxsize=self.config.writer_queue,
+                observer=self.observer,
+                faults=self.config.faults).start()
+            self.pool = ConnectionPool(
+                self.config.path, size=self.config.workers,
+                durability=self.config.durability,
+                timeout=self.config.pool_timeout,
+                observer=self.observer,
+                wrap=lambda db: RDFStore(db, observe=False),
+                invalidate=lambda store: store.values.invalidate_cache(),
+                faults=self.config.faults)
         self._http = _HTTPServer(
             (self.config.host, self.config.port), _Handler)
         self._http.app = self
@@ -396,6 +422,9 @@ class ReproServer:
         if self.pool is not None:
             self.pool.close()
             self.pool = None
+        if self.engine is not None:
+            self.engine.close()
+            self.engine = None
         if self._access_handler is not None:
             self._access.removeHandler(self._access_handler)
             self._access_handler.close()
@@ -435,6 +464,10 @@ class ReproServer:
         limit = payload.get("limit")
         if limit is not None and not isinstance(limit, int):
             raise _BadRequest("limit must be an integer")
+        if self.engine is not None:
+            return self._sharded_match(query, models, rulebases,
+                                       aliases, filter_, order_by,
+                                       limit)
         request = current_trace()
         deadline = request.deadline if request is not None else None
         start = time.perf_counter()
@@ -481,6 +514,46 @@ class ReproServer:
             "data_version": version,
         }
 
+    def _sharded_match(self, query: str, models: list[str],
+                       rulebases: list[str], aliases: AliasSet | None,
+                       filter_: Any, order_by: Any,
+                       limit: int | None) -> tuple[int, dict]:
+        """``/match`` on the sharded engine: scatter-gather + vector.
+
+        ``data_version`` is the *sum* of the per-shard write versions
+        and ``data_version_vector`` the vector itself.  Unlike the
+        single-file path no single transaction covers every shard —
+        the vector is read immediately before the query, naming the
+        newest snapshot each shard could have served, not an atomic
+        cross-shard cut (the trade-off is documented in
+        ``docs/sharding.md``).
+        """
+        request = current_trace()
+        vector = self._write_version_vector()
+        rows = sdo_rdf_match(
+            self.engine, query, models, rulebases=rulebases,
+            aliases=aliases, filter=filter_, order_by=order_by,
+            limit=limit)
+        version = sum(vector)
+        if request is not None:
+            request.annotate("rows", len(rows))
+            request.annotate("data_version", version)
+            request.annotate("data_version_vector", vector)
+        return 200, {
+            "rows": [row.as_dict() for row in rows],
+            "count": len(rows),
+            "data_version": version,
+            "data_version_vector": vector,
+        }
+
+    def _write_version_vector(self) -> list[int]:
+        """Per-shard serve-state write versions (pool reads)."""
+        vector = []
+        for index in range(self.engine.shard_count):
+            with self.engine.shard_session(index) as store:
+                vector.append(read_write_version(store.database))
+        return vector
+
     def _capture_slow_match(self, request: RequestTrace,
                             store: RDFStore, query: str,
                             models: list[str], rulebases: list[str],
@@ -506,6 +579,9 @@ class ReproServer:
             raise _BadRequest(
                 "triples must be a non-empty list of [s, p, o]")
         triples = [Triple.from_text(*_spo(item)) for item in raw]
+        if self.engine is not None:
+            return 200, self._sharded_insert(model, create, triples,
+                                             meta)
 
         def mutate(store: RDFStore) -> dict:
             database = store.database
@@ -535,6 +611,20 @@ class ReproServer:
             version = bump_write_version(database)
             return {"removed": removed, "write_version": version}
 
+        if self.engine is not None:
+            # A delete names one concrete subject, so it routes to
+            # exactly one shard — the same single-shard write path a
+            # single-file server runs, just on the owning partition.
+            triple = Triple.from_text(subject, predicate, obj)
+            shard = self.engine.shard_of_triple(model, triple)
+            key = (meta or {}).get("idempotency_key")
+            job = self._ledger_job(mutate, key, "delete")
+            future = self.engine.submit(shard, job, timeout=0)
+            outcome = dict(self._await_writes(
+                [(shard, future)], "delete")[shard])
+            outcome.setdefault("shard", shard)
+            return 200, outcome
+
         return 200, self._write(mutate, route="delete", meta=meta)
 
     def _write(self, mutate: Callable[[RDFStore], dict],
@@ -554,26 +644,7 @@ class ReproServer:
         the client to retry with the same key to learn the outcome.
         """
         key = (meta or {}).get("idempotency_key")
-        capacity = self.config.idempotency_capacity
-
-        def job(store: RDFStore) -> dict:
-            database = store.database
-            with database.transaction():
-                if key is not None:
-                    recorded = lookup_idempotent(database, key)
-                    if recorded is not None:
-                        self.metrics.counter(
-                            "server.idempotent_replays",
-                            "write retries answered from the "
-                            "idempotency ledger").inc()
-                        recorded["idempotent_replay"] = True
-                        return recorded
-                outcome = mutate(store)
-                if key is not None:
-                    record_idempotent(database, key, route, outcome,
-                                      capacity)
-            return outcome
-
+        job = self._ledger_job(mutate, key, route)
         request = current_trace()
         deadline = request.deadline if request is not None else None
         future = self.writer.submit(job)  # PoolTimeoutError -> 429
@@ -595,10 +666,134 @@ class ReproServer:
                 "the job is still running — retry with the same "
                 "Idempotency-Key to learn its outcome") from None
 
+    def _ledger_job(self, mutate: Callable[[RDFStore], dict],
+                    key: str | None,
+                    route: str) -> Callable[[RDFStore], dict]:
+        """Wrap ``mutate`` in one write transaction together with the
+        idempotency ledger (the exactly-once contract of
+        :meth:`_write`, shared by the per-shard write paths)."""
+        capacity = self.config.idempotency_capacity
+
+        def job(store: RDFStore) -> dict:
+            database = store.database
+            with database.transaction():
+                if key is not None:
+                    recorded = lookup_idempotent(database, key)
+                    if recorded is not None:
+                        self.metrics.counter(
+                            "server.idempotent_replays",
+                            "write retries answered from the "
+                            "idempotency ledger").inc()
+                        recorded["idempotent_replay"] = True
+                        return recorded
+                outcome = mutate(store)
+                if key is not None:
+                    record_idempotent(database, key, route, outcome,
+                                      capacity)
+            return outcome
+
+        return job
+
+    def _sharded_insert(self, model: str, create: bool,
+                        triples: list[Triple],
+                        meta: dict | None) -> dict:
+        """``/insert`` fanned out to every shard that owns a subject.
+
+        Each target shard commits its own write transaction (batch +
+        idempotency ledger + write-version bump) on its own writer
+        queue — batches for different shards commit in parallel.
+        There is **no cross-shard atomicity**: a failure can leave
+        some shards committed.  A retry with the same
+        ``Idempotency-Key`` converges — committed shards replay their
+        recorded outcome, the rest re-apply, and re-inserting an
+        existing triple is a no-op (``created`` counts honestly).
+        The trade-off is documented in ``docs/sharding.md``.
+        """
+        engine = self.engine
+        if create and not engine.model_exists(model):
+            try:
+                engine.create_model(model)
+            except ReproError:
+                # Lost a create race against a concurrent request —
+                # fine, as long as the model exists now.
+                if not engine.model_exists(model):
+                    raise
+        groups: dict[int, list[Triple]] = {}
+        for triple in triples:
+            shard = engine.shard_of_triple(model, triple)
+            groups.setdefault(shard, []).append(triple)
+        key = (meta or {}).get("idempotency_key")
+
+        def make_mutate(batch: list[Triple]):
+            def mutate(store: RDFStore) -> dict:
+                created = 0
+                info = store.models.get(model)
+                for triple in batch:
+                    result = store.parser.insert(info, triple)
+                    created += 1 if result.created else 0
+                version = bump_write_version(store.database)
+                return {"created": created, "count": len(batch),
+                        "write_version": version}
+            return mutate
+
+        futures = []
+        for shard in sorted(groups):
+            job = self._ledger_job(make_mutate(groups[shard]), key,
+                                   "insert")
+            # timeout=0: a full shard queue is an immediate 429.
+            futures.append(
+                (shard, engine.submit(shard, job, timeout=0)))
+        outcomes = self._await_writes(futures, "insert")
+        body = {
+            "created": sum(o["created"] for o in outcomes.values()),
+            "count": sum(o["count"] for o in outcomes.values()),
+            "write_version": sum(o["write_version"]
+                                 for o in outcomes.values()),
+            "shards": {str(shard): o["write_version"]
+                       for shard, o in outcomes.items()},
+        }
+        if all(o.get("idempotent_replay") for o in outcomes.values()):
+            body["idempotent_replay"] = True
+        return body
+
+    def _await_writes(self, futures: list[tuple[int, Any]],
+                      route: str) -> dict[int, dict]:
+        """Wait for per-shard write commits under one shared budget.
+
+        One ``request_timeout`` (bounded by the request deadline)
+        covers *all* shards together; on expiry still-queued jobs are
+        cancelled (never applied), running ones keep going, and the
+        504 tells the client to retry with the same Idempotency-Key.
+        """
+        request = current_trace()
+        deadline = request.deadline if request is not None else None
+        timeout = self.config.request_timeout
+        if deadline is not None:
+            timeout = deadline.bound(timeout)
+        end = time.monotonic() + timeout
+        outcomes: dict[int, dict] = {}
+        for shard, future in futures:
+            remaining = end - time.monotonic()
+            try:
+                outcomes[shard] = future.result(
+                    timeout=max(0.0, remaining))
+            except FutureTimeoutError:
+                for _, later in futures:
+                    later.cancel()
+                if deadline is None or not deadline.expired:
+                    raise
+                raise DeadlineExceededError(
+                    f"deadline expired waiting for the {route} "
+                    f"commit on shard {shard}; cancelled jobs were "
+                    "not applied, running ones keep going — retry "
+                    "with the same Idempotency-Key to learn the "
+                    "outcome") from None
+        return outcomes
+
     def _do_stats(self) -> tuple[int, dict]:
         gate_free = getattr(self._gate, "_value", None)
         self._sample_saturation()
-        return 200, {
+        body = {
             "server": {
                 "uptime_seconds": round(
                     time.monotonic() - self._started_at, 3),
@@ -608,6 +803,9 @@ class ReproServer:
                 "observe": self.config.observe,
                 "draining": self._draining,
                 "admission_free": gate_free,
+                "engine": ("sharded" if self.engine is not None
+                           else "single"),
+                "shards": self.config.shards,
             },
             "pool": self.pool.stats() if self.pool else {},
             "writer": self.writer.stats() if self.writer else {},
@@ -615,6 +813,29 @@ class ReproServer:
             "slow_requests": self.slowlog.stats(),
             "metrics": self.metrics.as_dict(),
         }
+        if self.engine is not None:
+            body["shards"] = self._shard_overview()
+        return 200, body
+
+    def _shard_overview(self) -> list[dict]:
+        """Per-shard depth/version rows for ``/stats``.
+
+        Leasing before reading stats means each row's pool gauges are
+        live (the lease forces the lazy pool into existence and snoops
+        ``data_version``), and the version numbers come from the same
+        lease.
+        """
+        versions = []
+        for index in range(self.engine.shard_count):
+            with self.engine.shard_session(index) as store:
+                versions.append((read_write_version(store.database),
+                                 store.database.data_version))
+        overview = self.engine.shard_stats()
+        for stat, (write_version, data_version) in zip(overview,
+                                                       versions):
+            stat["write_version"] = write_version
+            stat["data_version"] = data_version
+        return overview
 
     def _do_debug_slow(self, query_string: str) -> tuple[int, Any]:
         """``GET /debug/slow[?limit=N]`` — the slow-request log."""
@@ -651,7 +872,22 @@ class ReproServer:
         return 200, entry
 
     def _assess_health(self) -> HealthReport:
-        """Grade the serving layer from its live gauges."""
+        """Grade the serving layer from its live gauges.
+
+        Sharded mode aggregates pessimistically: *every* shard writer
+        must run, the deepest queue is the reported depth, and pool
+        occupancy sums across shards against the summed capacity.
+        """
+        if self.engine is not None:
+            engine = self.engine
+            writers = [engine.writer(index)
+                       for index in range(engine.shard_count)]
+            return self.health.assess(
+                writer_running=all(w.running for w in writers),
+                writer_depth=max(w.depth for w in writers),
+                queue_limit=self.config.writer_queue,
+                pool_in_use=self._pool_in_use() or 0,
+                pool_size=self.config.workers * engine.shard_count)
         writer, pool = self.writer, self.pool
         return self.health.assess(
             writer_running=writer is not None and writer.running,
@@ -659,6 +895,19 @@ class ReproServer:
             queue_limit=self.config.writer_queue,
             pool_in_use=pool.in_use if pool is not None else 0,
             pool_size=self.config.workers)
+
+    def _queue_depth(self) -> int | None:
+        """Writer-queue depth gauge (deepest shard in sharded mode)."""
+        if self.engine is not None:
+            return max(self.engine.writer(index).depth
+                       for index in range(self.engine.shard_count))
+        return self.writer.depth if self.writer is not None else None
+
+    def _pool_in_use(self) -> int | None:
+        """Read leases out across all pools (summed over shards)."""
+        if self.engine is not None:
+            return self.engine.pool_in_use()
+        return self.pool.in_use if self.pool is not None else None
 
     def _do_healthz(self, query_string: str = "") -> tuple[int, dict]:
         """Live/ready/degraded health.
@@ -676,13 +925,16 @@ class ReproServer:
         if check == "ready":
             return ((200 if report.ready else 503),
                     {"status": report.state, "ready": report.ready})
-        writer_ok = self.writer is not None and self.writer.running
+        if self.engine is not None:
+            writer_ok = all(
+                self.engine.writer(index).running
+                for index in range(self.engine.shard_count))
+        else:
+            writer_ok = self.writer is not None and self.writer.running
         integrity = "skipped (writer down)"
         if writer_ok:
             try:
-                with self.pool.lease(timeout=1.0) as store:
-                    integrity = str(store.database.query_value(
-                        "PRAGMA quick_check", default="failed"))
+                integrity = self._integrity_probe()
             except PoolTimeoutError:
                 # Saturated is busy, not broken.
                 integrity = "skipped (pool busy)"
@@ -697,10 +949,26 @@ class ReproServer:
             "status": report.state,
             **report.as_dict(),
             "writer_running": writer_ok,
-            "writer_depth": self.writer.depth if self.writer else None,
+            "writer_depth": self._queue_depth(),
             "integrity": integrity,
         }
         return (200 if report.ready else 503), body
+
+    def _integrity_probe(self) -> str:
+        """A bounded ``PRAGMA quick_check`` — every shard in sharded
+        mode, first failure wins."""
+        if self.engine is not None:
+            for index in range(self.engine.shard_count):
+                with self.engine.pool(index).lease(
+                        timeout=1.0) as store:
+                    verdict = str(store.database.query_value(
+                        "PRAGMA quick_check", default="failed"))
+                if verdict != "ok":
+                    return f"shard {index}: {verdict}"
+            return "ok"
+        with self.pool.lease(timeout=1.0) as store:
+            return str(store.database.query_value(
+                "PRAGMA quick_check", default="failed"))
 
     # ------------------------------------------------------------------
     # dispatch plumbing (called from the handler threads)
@@ -744,9 +1012,9 @@ class ReproServer:
         body = {
             "error": message,
             "type": "DeadlineExceeded",
-            "queue_depth": self.writer.depth if self.writer else None,
+            "queue_depth": self._queue_depth(),
             "queue_limit": self.config.writer_queue,
-            "pool_in_use": self.pool.in_use if self.pool else None,
+            "pool_in_use": self._pool_in_use(),
             "pool_size": self.config.workers,
             "admission_limit": self.config.workers + self.config.backlog,
             "admission_free": getattr(self._gate, "_value", None),
@@ -794,9 +1062,9 @@ class ReproServer:
             "error": message,
             "type": "Backpressure",
             "retry_after_seconds": self.config.retry_after,
-            "queue_depth": self.writer.depth if self.writer else None,
+            "queue_depth": self._queue_depth(),
             "queue_limit": self.config.writer_queue,
-            "pool_in_use": self.pool.in_use if self.pool else None,
+            "pool_in_use": self._pool_in_use(),
             "pool_size": self.config.workers,
             "admission_limit": self.config.workers + self.config.backlog,
             "admission_free": getattr(self._gate, "_value", None),
@@ -821,7 +1089,30 @@ class ReproServer:
         self._gate.release()
 
     def _sample_saturation(self) -> None:
-        """Refresh the queue-depth and pool-occupancy gauges."""
+        """Refresh the queue-depth and pool-occupancy gauges.
+
+        Sharded mode additionally exports one depth and one version
+        gauge per shard, so saturation on a single hot partition is
+        visible even when the aggregate looks healthy.
+        """
+        if self.engine is not None:
+            engine = self.engine
+            depths = []
+            for index in range(engine.shard_count):
+                depth = engine.writer(index).depth
+                depths.append(depth)
+                self.metrics.gauge(
+                    f"shard{index}.queue_depth",
+                    f"write jobs queued on shard {index}").set(depth)
+            self.metrics.gauge(
+                "server.queue_depth",
+                "write jobs waiting in the writer queue "
+                "(deepest shard)").set(max(depths))
+            self.metrics.gauge(
+                "pool.in_use",
+                "read connections out on lease "
+                "(all shards)").set(engine.pool_in_use())
+            return
         writer, pool = self.writer, self.pool
         if writer is not None:
             self.metrics.gauge(

@@ -1,0 +1,154 @@
+"""Tests for shard routing (repro.db.shard).
+
+The routing contract is the whole point: every process that ever
+touches a sharded layout — writer threads, pooled readers, doctor,
+another interpreter entirely — must route a (model, subject) pair to
+the same shard.  Salted ``hash()`` breaks that contract the moment
+``PYTHONHASHSEED`` differs, which is why the hash is pinned to
+``zlib.crc32`` and tested across subprocesses below.
+"""
+
+import os
+import subprocess
+import sys
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.db.connection import Database
+from repro.db.shard import (
+    LINK_ID_STRIDE,
+    ShardRouter,
+    ensure_shard_meta,
+    read_shard_meta,
+    shard_of_link_id,
+    stable_shard_hash,
+)
+from repro.errors import SchemaError, StorageError
+
+
+class TestStableHash:
+    def test_is_crc32(self):
+        assert stable_shard_hash("m", "n:a") == \
+            zlib.crc32(b"m\x00n:a") & 0xFFFFFFFF
+
+    def test_model_and_subject_both_matter(self):
+        assert stable_shard_hash("m1", "n:a") != \
+            stable_shard_hash("m2", "n:a")
+        assert stable_shard_hash("m", "n:a") != \
+            stable_shard_hash("m", "n:b")
+
+    def test_separator_prevents_ambiguity(self):
+        # ("ab", "c") and ("a", "bc") must not collide by design.
+        assert stable_shard_hash("ab", "c") != stable_shard_hash("a", "bc")
+
+    def test_stable_across_hashseed_subprocesses(self):
+        """The same routing in fresh interpreters with different
+        PYTHONHASHSEED values — the satellite contract of this PR."""
+        script = (
+            "from repro.db.shard import stable_shard_hash, ShardRouter\n"
+            "router = ShardRouter('x.db', 5)\n"
+            "pairs = [('m%d' % i, 'n:s%d' % i) for i in range(50)]\n"
+            "print([stable_shard_hash(m, s) for m, s in pairs])\n"
+            "print([router.shard_of(m, s) for m, s in pairs])\n"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        outputs = []
+        for seed in ("0", "1", "4242"):
+            env = dict(os.environ,
+                       PYTHONHASHSEED=seed,
+                       PYTHONPATH=src)
+            result = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True)
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TestRouting:
+    def test_shard_of_in_range(self):
+        router = ShardRouter("x.db", 4)
+        for i in range(100):
+            assert 0 <= router.shard_of("m", f"n:s{i}") < 4
+
+    def test_distribution_is_not_degenerate(self):
+        """CRC32 mod N must actually spread subjects around."""
+        router = ShardRouter("x.db", 4)
+        hits = [0] * 4
+        for i in range(400):
+            hits[router.shard_of("m", f"n:subject{i}")] += 1
+        # Every shard sees a decent slice of 400 uniform-ish keys.
+        assert all(count >= 40 for count in hits), hits
+
+    def test_shards_for_models_unions_per_model_routes(self):
+        router = ShardRouter("x.db", 8)
+        models = [f"m{i}" for i in range(6)]
+        expected = {router.shard_of(m, "n:a") for m in models}
+        assert router.shards_for_models(models, "n:a") == expected
+
+    def test_single_shard_routes_everything_to_zero(self):
+        router = ShardRouter("x.db", 1)
+        assert all(router.shard_of("m", f"n:{i}") == 0
+                   for i in range(20))
+
+    def test_rejects_bad_counts_and_memory(self):
+        with pytest.raises(StorageError):
+            ShardRouter("x.db", 0)
+        with pytest.raises(StorageError):
+            ShardRouter(":memory:", 2)
+
+
+class TestNamingAndStrides:
+    def test_shard_paths_are_siblings(self, tmp_path):
+        router = ShardRouter(tmp_path / "uni.db", 3)
+        assert router.shard_paths() == [
+            str(tmp_path / "uni.db.shard0"),
+            str(tmp_path / "uni.db.shard1"),
+            str(tmp_path / "uni.db.shard2"),
+        ]
+        with pytest.raises(StorageError):
+            router.shard_path(3)
+
+    def test_discover_finds_and_orders_shards(self, tmp_path):
+        base = tmp_path / "uni.db"
+        for index in (2, 0, 1):
+            (tmp_path / f"uni.db.shard{index}").write_bytes(b"")
+        (tmp_path / "uni.db.shardX").write_bytes(b"")   # not a shard
+        (tmp_path / "uni.db.shard1-wal").write_bytes(b"")
+        found = ShardRouter.discover(base)
+        assert [path.name for path in found] == \
+            ["uni.db.shard0", "uni.db.shard1", "uni.db.shard2"]
+
+    def test_discover_empty_when_unsharded(self, tmp_path):
+        assert ShardRouter.discover(tmp_path / "plain.db") == []
+        assert ShardRouter.discover(tmp_path / "no/such/dir.db") == []
+
+    def test_link_id_ranges_partition_the_line(self):
+        router = ShardRouter("x.db", 3)
+        ranges = [router.link_id_range(i) for i in range(3)]
+        assert ranges[0] == (0, LINK_ID_STRIDE)
+        assert ranges[1] == (LINK_ID_STRIDE, 2 * LINK_ID_STRIDE)
+        for index, (low, high) in enumerate(ranges):
+            assert shard_of_link_id(low) == index
+            assert shard_of_link_id(high - 1) == index
+
+
+class TestShardMeta:
+    def test_round_trip(self):
+        db = Database()
+        assert read_shard_meta(db) is None
+        ensure_shard_meta(db, 2, 5)
+        assert read_shard_meta(db) == (2, 5)
+        # Re-ensuring the same identity is a no-op.
+        ensure_shard_meta(db, 2, 5)
+        db.close()
+
+    def test_mismatch_raises_schema_error(self):
+        db = Database()
+        ensure_shard_meta(db, 1, 4)
+        with pytest.raises(SchemaError, match="resharding"):
+            ensure_shard_meta(db, 1, 8)
+        with pytest.raises(SchemaError):
+            ensure_shard_meta(db, 2, 4)
+        db.close()
