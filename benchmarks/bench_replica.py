@@ -1,0 +1,234 @@
+"""ABL-REPLICA: in-memory compressed replica vs the SQL planner.
+
+``BENCH_match_plan.json`` showed ``anchored_predicate`` at ~0.9x under
+the staged planner — the plan was already optimal and SQLite itself is
+the remaining cost.  The replica (``docs/replica.md``) attacks that
+floor: dict-encoded per-predicate sorted arrays answer eligible shapes
+with binary searches instead of B-tree walks and row decoding.
+
+Runnable standalone (``python benchmarks/bench_replica.py``): every
+replica-eligible shape is timed under the SQL planner (replica
+detached) and served from a warm replica, plus a mixed serve workload
+with interleaved writes that charges the replica its own refresh cost.
+Per-shape p50/p95 and speedups go to ``BENCH_replica.json``;
+``--smoke`` keeps it CI-quick.
+"""
+
+import pytest
+
+try:
+    from benchmarks.conftest import primary_size
+except ImportError:  # script mode: python benchmarks/bench_replica.py
+    import pathlib
+    import sys
+
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(_ROOT / "src"))
+    sys.path.insert(0, str(_ROOT))
+    from benchmarks.conftest import primary_size
+
+from repro.bench.datasets import MODEL_NAME
+from repro.inference.match import sdo_rdf_match
+from repro.workloads.uniprot import PROBE_SUBJECT
+
+
+@pytest.fixture(scope="module")
+def replica_fixture(oracle_fixtures):
+    fixture = oracle_fixtures(primary_size())
+    store = fixture.store
+    manager = store.replica or store.enable_replica()
+    manager.warm(store, MODEL_NAME)
+    yield fixture
+    store.attach_replica(None)
+
+
+def test_replica_anchored_predicate(benchmark, replica_fixture):
+    """(?s rdfs:seeAlso ?o) from the warm replica."""
+    rows = benchmark(
+        sdo_rdf_match, replica_fixture.store,
+        "(?s rdfs:seeAlso ?o)", [MODEL_NAME])
+    assert len(rows) > 100
+
+
+def test_replica_star_join(benchmark, replica_fixture):
+    """Type + seeAlso star over a shared subject variable."""
+    rows = benchmark(
+        sdo_rdf_match, replica_fixture.store,
+        "(?s rdf:type <urn:lsid:uniprot.org:ontology:Protein>) "
+        "(?s rdfs:seeAlso ?ref)", [MODEL_NAME])
+    assert len(rows) > 100
+
+
+# ----------------------------------------------------------------------
+# standalone replica-vs-SQL harness
+# ----------------------------------------------------------------------
+
+#: name -> (query, extra sdo_rdf_match kwargs); every shape here is
+#: replica-eligible (single pattern or a star over one subject).
+def _query_shapes():
+    return {
+        "anchored_predicate": ("(?s rdfs:seeAlso ?o)", {}),
+        "anchored_subject": (f"(<{PROBE_SUBJECT}> ?p ?o)", {}),
+        "star_join_2": (
+            "(?s rdf:type <urn:lsid:uniprot.org:ontology:Protein>) "
+            "(?s rdfs:seeAlso ?ref)", {}),
+        "star_join_3": (
+            f"(<{PROBE_SUBJECT}> rdfs:seeAlso ?ref) "
+            f"(<{PROBE_SUBJECT}> rdf:type ?t) "
+            f"(<{PROBE_SUBJECT}> "
+            "<urn:lsid:uniprot.org:ontology:organism> ?org)", {}),
+        "like_filter": (
+            f"(<{PROBE_SUBJECT}> rdfs:seeAlso ?ref)",
+            {"filter": '?ref LIKE "urn:lsid:uniprot.org:interpro:%"'}),
+    }
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    position = (len(ordered) - 1) * q
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+def _time_query(store, query, kwargs, trials):
+    import time
+
+    samples = []
+    rows = sdo_rdf_match(store, query, [MODEL_NAME], **kwargs)  # warm-up
+    for _ in range(trials):
+        start = time.perf_counter()
+        rows = sdo_rdf_match(store, query, [MODEL_NAME], **kwargs)
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return samples, len(rows)
+
+
+def _entry(rows, sql, replica):
+    sql_p50 = _percentile(sql, 0.5)
+    replica_p50 = _percentile(replica, 0.5)
+    return {
+        "rows": rows,
+        "sql_ms": {"p50": round(sql_p50, 4),
+                   "p95": round(_percentile(sql, 0.95), 4)},
+        "replica_ms": {"p50": round(replica_p50, 4),
+                       "p95": round(_percentile(replica, 0.95), 4)},
+        "speedup_p50": round(sql_p50 / replica_p50, 2)
+        if replica_p50 else None,
+    }
+
+
+def _mixed_serve(store, trials):
+    """A serve-shaped mix: bursts of reads between writes.
+
+    Each round writes one triple (staling the replica — inline mode
+    charges the rebuild to the next replica read) then runs the read
+    mix; only read latencies are sampled.  The SQL pass interleaves the
+    same writes so both sides pay identical write + invalidation costs.
+    """
+    import itertools
+    import time
+
+    counter = itertools.count()
+    reads = [
+        ("(?s rdfs:seeAlso ?o)", {"limit": 50}),
+        (f"(<{PROBE_SUBJECT}> ?p ?o)", {}),
+        ("(?s rdf:type <urn:lsid:uniprot.org:ontology:Protein>) "
+         "(?s rdfs:seeAlso ?ref)", {"limit": 50}),
+    ]
+    rounds = max(2, trials // 2)
+    samples = []
+    for _ in range(rounds):
+        serial = next(counter)
+        store.insert_triple(
+            MODEL_NAME, f"<urn:repro:bench:mixed{serial}>",
+            "<urn:repro:bench:tag>", f'"{serial}"')
+        for query, kwargs in reads:
+            start = time.perf_counter()
+            sdo_rdf_match(store, query, [MODEL_NAME], **kwargs)
+            samples.append((time.perf_counter() - start) * 1000.0)
+    return samples, len(reads) * rounds
+
+
+def run_replica_benchmark(size, trials):
+    """Time every shape SQL vs replica; return the report dict."""
+    from repro.bench.datasets import load_oracle_uniprot
+
+    fixture = load_oracle_uniprot(size)
+    store = fixture.store
+    queries = {}
+    try:
+        sql_runs = {}
+        for name, (query, kwargs) in _query_shapes().items():
+            sql_runs[name] = _time_query(store, query, kwargs, trials)
+        sql_mixed, mixed_reads = _mixed_serve(store, trials)
+
+        manager = store.enable_replica()
+        manager.warm(store, MODEL_NAME)
+        for name, (query, kwargs) in _query_shapes().items():
+            replica, rows = _time_query(store, query, kwargs, trials)
+            sql, sql_rows = sql_runs[name]
+            assert rows == sql_rows, name
+            assert manager.counter("hits") > 0, name
+            queries[name] = _entry(rows, sql, replica)
+        hits_before = manager.counter("hits")
+        replica_mixed, _ = _mixed_serve(store, trials)
+        assert manager.counter("hits") > hits_before
+        queries["mixed_serve"] = _entry(mixed_reads, sql_mixed,
+                                        replica_mixed)
+        report = {
+            "dataset": {"size": size, "trials": trials,
+                        "model": MODEL_NAME},
+            "queries": queries,
+            "replica": {
+                "bytes": manager.total_bytes,
+                "partitions": manager.status()["partitions"],
+                "builds": manager.counter("builds"),
+                "hits": manager.counter("hits"),
+            },
+        }
+    finally:
+        store.close()
+    return report
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import pathlib
+
+    parser = argparse.ArgumentParser(
+        description="replica vs SQL SDO_RDF_MATCH benchmark")
+    parser.add_argument("--size", type=int, default=None,
+                        help="dataset triples (default: primary "
+                        "REPRO_BENCH_SIZES entry)")
+    parser.add_argument("--trials", type=int, default=30)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small dataset, few trials")
+    parser.add_argument(
+        "--output",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_replica.json"))
+    args = parser.parse_args(argv)
+    if args.smoke:
+        size = args.size or 2000
+        trials = min(args.trials, 15)
+    else:
+        size = args.size or primary_size()
+        trials = args.trials
+    report = run_replica_benchmark(size, trials)
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                    + "\n", encoding="utf-8")
+    for name, entry in report["queries"].items():
+        print(f"{name:20s} sql p50 {entry['sql_ms']['p50']:8.3f}ms"
+              f"  replica p50 {entry['replica_ms']['p50']:8.3f}ms"
+              f"  speedup {entry['speedup_p50']}x")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

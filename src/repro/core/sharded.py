@@ -170,7 +170,11 @@ class ShardedRDFStore(StorageEngine):
             database = Database(self.router.shard_path(index),
                                 durability=self._durability)
             ensure_shard_meta(database, index, self.router.shard_count)
-            store = RDFStore(database, observe=self._observe)
+            # replica=False: per-shard stores must not each grow an
+            # in-memory replica off the REPRO_REPLICA environment —
+            # the sharded engine is scatter-only.
+            store = RDFStore(database, observe=self._observe,
+                             replica=False)
             store.links.set_link_id_range(
                 *self.router.link_id_range(index))
             if self._writer_init is not None:
@@ -211,7 +215,8 @@ class ShardedRDFStore(StorageEngine):
                         size=self._pool_size,
                         durability=self._durability,
                         timeout=self._pool_timeout,
-                        wrap=lambda db: RDFStore(db, observe=False),
+                        wrap=lambda db: RDFStore(db, observe=False,
+                                                 replica=False),
                         invalidate=_invalidate_session)
                     self._pools[index] = pool
         return pool

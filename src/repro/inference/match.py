@@ -42,7 +42,12 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.errors import QueryError
 from repro.inference.filters import FilterExpression, parse_filter
 from repro.inference.patterns import TriplePattern, parse_pattern_list
-from repro.inference.plan import QueryPlan, build_plan, plan_key
+from repro.inference.plan import (
+    QueryPlan,
+    build_plan,
+    classify_replica_shape,
+    plan_key,
+)
 from repro.obs.metrics import DEFAULT_COUNT_BUCKETS as _COUNT_BUCKETS
 from repro.obs.reqctx import current_trace
 from repro.rdf.namespaces import AliasSet
@@ -50,6 +55,16 @@ from repro.rdf.terms import RDFTerm
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.store import RDFStore
+
+#: Parsed-query cache for the replica fast path.  The SQL pipeline's
+#: plan cache already skips parsing on a hit; the replica path must
+#: not re-pay it on every query.  Keyed on raw text (like plan_key)
+#: and holding only immutable parse artefacts — the pattern tuple,
+#: the filter AST, the bound-variable set — so entries are shared
+#: safely across stores and threads.  Bounded FIFO: parse results
+#: never go stale, so eviction order is a non-issue.
+_PARSE_CACHE: dict[tuple, tuple] = {}
+_PARSE_CACHE_CAP = 256
 
 
 class MatchRow:
@@ -106,24 +121,27 @@ class MatchExplanation:
 
     Returned by ``sdo_rdf_match(..., explain=True)`` instead of rows:
     the chosen join order with selectivity estimates, what was pushed
-    into SQL, the generated statement, and whether the plan came from
-    the cache.
+    into SQL, the generated statement, whether the plan came from the
+    cache, and which engine would serve the query (``sql``, the
+    in-memory ``replica``, or the sharded ``scatter`` merge).
     """
 
     def __init__(self, query: str, models: tuple[str, ...],
                  rulebases: tuple[str, ...], cache: str,
-                 plan: QueryPlan) -> None:
+                 plan: QueryPlan, engine: str = "sql") -> None:
         self.query = query
         self.models = models
         self.rulebases = rulebases
         self.cache = cache  #: "hit", "miss", or "bypass" (optimize off)
         self.plan = plan
+        self.engine = engine  #: "sql", "replica", or "scatter"
 
     def as_dict(self) -> dict[str, Any]:
         return {
             "query": self.query,
             "models": list(self.models),
             "rulebases": list(self.rulebases),
+            "engine": self.engine,
             "plan_cache": self.cache,
             "plan": self.plan.as_dict(),
         }
@@ -139,6 +157,7 @@ class MatchExplanation:
         if self.rulebases:
             lines.append(f"  rulebases:       "
                          f"{', '.join(self.rulebases)}")
+        lines.append(f"  engine:          {self.engine}")
         lines.append(f"  plan cache:      {self.cache}")
         if plan.impossible_reason is not None:
             lines.append(f"  impossible:      {plan.impossible_reason}")
@@ -244,6 +263,73 @@ def sdo_rdf_match(store: "RDFStore", query: str,
         if order_by is not None:
             order_by = order_by.lstrip("?")
 
+        # ---- replica routing (see repro.replica) ----
+        # An attached in-memory replica serves eligible queries —
+        # single model, no rulebases, a supported pattern shape —
+        # straight from its version-gated partition arrays.  Anything
+        # it declines (absent, stale, evicted, unsupported shape)
+        # falls through to the SQL pipeline below.  Duck-typed so this
+        # module never imports the replica subsystem.
+        replica_manager = getattr(store, "replica", None)
+        replica_eligible = (replica_manager is not None and optimize
+                            and not rulebases and len(models) == 1)
+        parsed_patterns: list[TriplePattern] | None = None
+        parsed_filter: FilterExpression | None = None
+        validated = False
+        if replica_eligible and not explain:
+            # The exact parse + validation the SQL compile would do,
+            # so the replica path raises identical QueryErrors —
+            # cached on the raw text, since parse output depends only
+            # on (query, aliases, filter).
+            parse_key = (query, filter, tuple(sorted(
+                (alias.namespace_id, alias.namespace_val)
+                for alias in aliases)))
+            parsed = _PARSE_CACHE.get(parse_key)
+            if parsed is None:
+                parsed_patterns = parse_pattern_list(query, aliases)
+                parsed_filter = parse_filter(filter) if filter else None
+                _check_filter_variables(parsed_filter, parsed_patterns,
+                                        filter)
+                bound = frozenset().union(
+                    *(p.variables() for p in parsed_patterns))
+                if len(_PARSE_CACHE) >= _PARSE_CACHE_CAP:
+                    _PARSE_CACHE.pop(next(iter(_PARSE_CACHE)))
+                _PARSE_CACHE[parse_key] = (tuple(parsed_patterns),
+                                           parsed_filter, bound)
+            else:
+                parsed_patterns = list(parsed[0])
+                parsed_filter, bound = parsed[1], parsed[2]
+            if order_by is not None and order_by not in bound:
+                raise QueryError(
+                    f"order_by variable {order_by!r} is not bound "
+                    "by the query")
+            validated = True
+            rows = replica_manager.try_match(
+                store, parsed_patterns, models,
+                filter_expression=parsed_filter, order_by=order_by,
+                limit=limit, token=parse_key)
+            if rows is not None:
+                span.set("engine", "replica")
+                span.set("rows", len(rows))
+                request = current_trace()
+                if request is not None:
+                    request.annotate("query", query)
+                    request.annotate("engine", "replica")
+                if observer.enabled:
+                    observer.counter("match.queries").inc()
+                    observer.counter("match.replica_hits").inc()
+                    observer.metrics.histogram(
+                        "match.patterns",
+                        "triple patterns per query",
+                        buckets=range(1, 17)).observe(
+                            len(parsed_patterns))
+                    observer.metrics.histogram(
+                        "match.rows", "result rows per query",
+                        buckets=_COUNT_BUCKETS).observe(len(rows))
+                return rows
+            if observer.enabled:
+                observer.counter("match.replica_fallbacks").inc()
+
         # ---- plan: cache lookup, else full compile ----
         plan: QueryPlan | None = None
         cache_status = "bypass"
@@ -255,15 +341,23 @@ def sdo_rdf_match(store: "RDFStore", query: str,
                 key, store.database.data_version)
             cache_status = "miss" if plan is None else "hit"
         if plan is None:
-            patterns = parse_pattern_list(query, aliases)
-            filter_expression = parse_filter(filter) if filter else None
-            _check_filter_variables(filter_expression, patterns, filter)
-            if order_by is not None:
-                bound = set().union(*(p.variables() for p in patterns))
-                if order_by not in bound:
-                    raise QueryError(
-                        f"order_by variable {order_by!r} is not bound "
-                        "by the query")
+            if parsed_patterns is not None:
+                patterns = parsed_patterns
+                filter_expression = parsed_filter
+            else:
+                patterns = parse_pattern_list(query, aliases)
+                filter_expression = parse_filter(filter) if filter \
+                    else None
+            if not validated:
+                _check_filter_variables(filter_expression, patterns,
+                                        filter)
+                if order_by is not None:
+                    bound = set().union(
+                        *(p.variables() for p in patterns))
+                    if order_by not in bound:
+                        raise QueryError(
+                            f"order_by variable {order_by!r} is not "
+                            "bound by the query")
             with observer.span("match.compile", patterns=len(patterns),
                                cache=cache_status):
                 plan = build_plan(store, patterns, models, rulebases,
@@ -284,6 +378,7 @@ def sdo_rdf_match(store: "RDFStore", query: str,
             if request is not None:
                 request.annotate("query", query)
                 request.annotate("plan_cache", cache_status)
+                request.annotate("engine", "sql")
         if observer.enabled:
             observer.counter("match.queries").inc()
             if optimize:
@@ -297,10 +392,22 @@ def sdo_rdf_match(store: "RDFStore", query: str,
         if explain:
             span.set("explain", True)
             span.set("plan_cache", cache_status)
+            engine = "sql"
+            if replica_eligible:
+                # Advisory: shape-eligible and the replica is fresh
+                # (or would build inline).  An eviction between this
+                # check and a later execution can still fall back.
+                explain_patterns = parsed_patterns \
+                    if parsed_patterns is not None \
+                    else parse_pattern_list(query, aliases)
+                if classify_replica_shape(explain_patterns) is not None \
+                        and replica_manager.would_serve(store,
+                                                        models[0]):
+                    engine = "replica"
             return MatchExplanation(
                 query=query, models=tuple(models),
                 rulebases=tuple(rulebases), cache=cache_status,
-                plan=plan)
+                plan=plan, engine=engine)
 
         if plan.sql is None:
             # A constant with no VALUE_ID: nothing can match.

@@ -119,10 +119,16 @@ def scatter_match(engine: "ShardedRDFStore", query: str,
         # filter/ORDER BY/LIMIT pushdown (and working explain).
         (shard,) = union
         with engine.shard_session(shard) as session:
-            return sdo_rdf_match(
+            result = sdo_rdf_match(
                 session, query, model_names, rulebases=(),
                 aliases=aliases, filter=filter, order_by=order_by,
                 limit=limit, explain=explain, optimize=optimize)
+        if explain:
+            # The shard session is a plain single-file store, so the
+            # inner explain says "sql"; the query was still routed by
+            # the sharded engine.
+            result.engine = "scatter"
+        return result
 
     if explain:
         raise QueryError(

@@ -1,0 +1,28 @@
+"""In-memory compressed read replica (see ``docs/replica.md``).
+
+An optional per-model read replica held beside the SQL engine:
+dict-encoded (``rdf_value$`` VALUE_IDs) per-predicate sorted SO/OS
+pair arrays, version-gated against the store's write stream, serving
+the planner's hot query shapes — single-pattern lookups, anchored
+scans, and star joins — as binary searches instead of SQL.
+
+The design follows the compressed vertical partitioning of
+Álvarez-García et al. (*Compressed Vertical Partitioning for
+Full-In-Memory RDF Management*): one partition per predicate, each a
+pair of sorted ``array('q')`` columns, one ordered subject-major (SO)
+and one object-major (OS).
+"""
+
+from repro.replica.index import PredicateIndex
+from repro.replica.manager import (
+    ModelReplica,
+    ReplicaManager,
+    parse_replica_setting,
+)
+
+__all__ = [
+    "ModelReplica",
+    "PredicateIndex",
+    "ReplicaManager",
+    "parse_replica_setting",
+]

@@ -1,0 +1,426 @@
+"""The ``ReplicaExecutor``: eligible queries as array binary searches.
+
+Shapes (see :func:`repro.inference.plan.classify_replica_shape`):
+single triple patterns (any anchoring, including a variable
+predicate) and star joins — several patterns sharing one subject,
+all predicates constant.  Everything else raises
+:class:`~repro.replica.manager.ReplicaMiss` and falls back to SQL.
+
+Semantics are bit-for-bit those of the SQL path it replaces:
+
+* every pattern matches against the same triples the dataset CTE
+  would select (all ``rdf_link$`` rows of the model, CONTEXT and
+  LINK_TYPE included);
+* an unknown constant short-circuits to the empty result, like an
+  *impossible* plan;
+* an existence-only query (no variables) yields exactly one empty
+  row when it matches, mirroring the planner's ``LIMIT 1``;
+* the full filter is evaluated by the Python evaluator over the
+  bound terms (the SQL path only ever pushes clauses proven
+  equivalent to it), then the lexical ``order_by`` sort, then the
+  limit slice.
+
+Evaluation is two-tiered.  The common anchorings — every single
+pattern with distinct variables, and star joins without repeated
+object variables — take *direct* paths that slice the partitions'
+pre-decoded term lists (:meth:`PredicateIndex.attach_terms`) straight
+into :class:`MatchRow` lists: no per-row binding dicts, no per-query
+term resolution.  Exotic shapes (repeated variables such as
+``(?x ?x ?o)``, variable predicates colliding with other variables)
+drop to a generic depth-first join over VALUE_ID bindings.
+
+Freshness needs no read transaction on the serve path: the lease
+compares the replica's tag against the durable per-model version, and
+a passing check means the immutable arrays *are* the store's state at
+that instant — while term decode was done at build time against the
+same snapshot (value rows are immutable, so decoded terms cannot
+drift).  Inline rebuilds open their own snapshot transaction inside
+the manager.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.inference.filters import FilterExpression
+from repro.inference.match import MatchRow
+from repro.inference.patterns import TriplePattern, Variable
+from repro.inference.plan import classify_replica_shape
+from repro.replica.index import PredicateIndex
+from repro.replica.manager import ModelReplica, ReplicaMiss
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import RDFStore
+    from repro.replica.manager import ReplicaManager
+
+#: A compiled component: (is_variable, name-or-VALUE_ID).
+_Component = tuple[bool, "str | int"]
+_CompiledPattern = tuple[_Component, _Component, _Component]
+
+#: Memo marker for a query text whose shape the replica cannot serve.
+_INELIGIBLE = object()
+
+#: Per-store compiled-query memo entries (bounded FIFO; entries never
+#: go stale — see :meth:`ReplicaExecutor.execute`).
+_QUERY_CACHE_CAP = 256
+
+
+class ReplicaExecutor:
+    """Evaluates eligible queries against a leased model replica."""
+
+    def __init__(self, manager: "ReplicaManager") -> None:
+        self._manager = manager
+
+    def execute(self, store: "RDFStore",
+                patterns: Sequence[TriplePattern],
+                models: Sequence[str],
+                filter_expression: FilterExpression | None = None,
+                order_by: str | None = None,
+                limit: int | None = None,
+                token=None) -> list[MatchRow]:
+        """Rows for the query, or raise :class:`ReplicaMiss`.
+
+        ``token`` — a key uniquely identifying the parsed query text —
+        memoises the query-shape analysis and constant resolution on
+        the store: shape and variable order are pure functions of the
+        patterns, and a resolved VALUE_ID can never change meaning
+        (value rows are immutable), so hits skip straight to the
+        lookup.  A compile that found an *unknown* constant is never
+        memoised — a later insert can mint the id.
+        """
+        if len(models) != 1:
+            raise ReplicaMiss("shape", "replica serves a single model")
+        cache = cached = None
+        if token is not None:
+            cache = getattr(store, "_replica_query_cache", None)
+            if cache is None:
+                cache = store._replica_query_cache = {}
+            cached = cache.get(token)
+        if cached is None:
+            shape = classify_replica_shape(patterns)
+            if shape is None:
+                if cache is not None:
+                    self._remember(cache, token, _INELIGIBLE)
+                raise ReplicaMiss(
+                    "shape", "query shape not replica-eligible")
+            variables: Sequence[str] = []
+            for pattern in patterns:
+                for component in pattern.components():
+                    if isinstance(component, Variable) \
+                            and component.name not in variables:
+                        variables.append(component.name)
+            compiled = self._compile(store, patterns)
+            if cache is not None and compiled is not None:
+                self._remember(cache, token,
+                               (shape, tuple(variables), compiled))
+        elif cached is _INELIGIBLE:
+            raise ReplicaMiss(
+                "shape", "query shape not replica-eligible")
+        else:
+            shape, variables, compiled = cached
+
+        # Enumeration can stop at the limit only when nothing after it
+        # (a filter, a sort) could reorder or drop rows first.
+        cap = limit if (filter_expression is None
+                        and order_by is None) else None
+        if not variables:
+            # All solutions project to the same empty row; one decides.
+            cap = 1 if cap is None else min(cap, 1)
+
+        if compiled is None:  # unknown constant: nothing can match
+            return []
+        replica = self._manager.lease(store, models[0])
+        if shape == "single":
+            rows = self._single_rows(replica, compiled[0], cap)
+        else:
+            rows = self._star_rows(replica, compiled, cap)
+        if rows is None:
+            rows = self._generic_rows(store, replica, compiled,
+                                      variables, cap)
+
+        if filter_expression is not None:
+            rows = [row for row in rows
+                    if filter_expression.evaluate(dict(row._terms))]
+        if order_by is not None:
+            rows.sort(key=lambda row: row[order_by])
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    @staticmethod
+    def _remember(cache: dict, token, entry) -> None:
+        if len(cache) >= _QUERY_CACHE_CAP:
+            cache.pop(next(iter(cache)))
+        cache[token] = entry
+
+    # ------------------------------------------------------------------
+    # compilation: constants to VALUE_IDs
+    # ------------------------------------------------------------------
+
+    def _compile(self, store: "RDFStore",
+                 patterns: Sequence[TriplePattern]
+                 ) -> list[_CompiledPattern] | None:
+        compiled: list[_CompiledPattern] = []
+        for pattern in patterns:
+            components: list[_Component] = []
+            for component in pattern.components():
+                if isinstance(component, Variable):
+                    components.append((True, component.name))
+                else:
+                    value_id = store.values.find_id(component)
+                    if value_id is None:
+                        return None
+                    components.append((False, value_id))
+            compiled.append(tuple(components))  # type: ignore[arg-type]
+        return compiled
+
+    # ------------------------------------------------------------------
+    # direct paths: pre-decoded term slices straight into MatchRows
+    # ------------------------------------------------------------------
+
+    def _single_rows(self, replica: ModelReplica,
+                     pattern: _CompiledPattern,
+                     cap: int | None) -> list[MatchRow] | None:
+        """One pattern, common anchorings; None defers to the generic
+        join (repeated variables)."""
+        (s_is_var, s), (p_is_var, p), (o_is_var, o) = pattern
+        if p_is_var:
+            if (s_is_var and s == p) or (o_is_var and o == p):
+                return None  # (?p ?p ?o) and friends: generic
+            rows: list[MatchRow] = []
+            for predicate_id in replica.sorted_predicates:
+                index = self._manager.partition(replica, predicate_id)
+                if index is None:
+                    continue
+                remaining = None if cap is None else cap - len(rows)
+                part_rows = self._partition_rows(
+                    index, pattern, remaining, p_name=p)
+                if part_rows is None:
+                    return None
+                rows.extend(part_rows)
+                if cap is not None and len(rows) >= cap:
+                    break
+            return rows
+        index = self._manager.partition(replica, p)
+        if index is None:
+            return []
+        return self._partition_rows(index, pattern, cap)
+
+    def _partition_rows(self, index: PredicateIndex,
+                        pattern: _CompiledPattern, cap: int | None,
+                        p_name: str | None = None
+                        ) -> list[MatchRow] | None:
+        """One pattern against one partition; ``p_name`` adds the
+        partition's predicate term under a variable predicate."""
+        (s_is_var, s), _, (o_is_var, o) = pattern
+        if index.s_terms is None:  # undecoded partition: generic join
+            return None
+        extra = ({} if p_name is None
+                 else {p_name: index.predicate_term})
+        if s_is_var and o_is_var:
+            if s == o:  # diagonal (?x p ?x)
+                flat, terms = index._so, index.s_terms
+                rows = [MatchRow({s: terms[i], **extra})
+                        for i in range(len(terms))
+                        if flat[2 * i] == flat[2 * i + 1]]
+                return rows[:cap] if cap is not None else rows
+            s_terms, o_terms = index.s_terms, index.o_terms
+            if cap is not None:
+                s_terms = s_terms[:cap]
+                o_terms = o_terms[:cap]
+            if extra:
+                return [MatchRow({s: a, o: b, **extra})
+                        for a, b in zip(s_terms, o_terms)]
+            return [MatchRow({s: a, o: b})
+                    for a, b in zip(s_terms, o_terms)]
+        if s_is_var:  # object anchored
+            lo, hi = index.subjects_slice(o)
+            if cap is not None:
+                hi = min(hi, lo + cap)
+            return [MatchRow({s: term, **extra})
+                    for term in index.os_s_terms[lo:hi]]
+        if o_is_var:  # subject anchored
+            lo, hi = index.objects_slice(s)
+            if cap is not None:
+                hi = min(hi, lo + cap)
+            return [MatchRow({o: term, **extra})
+                    for term in index.o_terms[lo:hi]]
+        if not index.contains(s, o):  # ground
+            return []
+        rows = [MatchRow(dict(extra))]
+        return rows[:cap] if cap is not None else rows
+
+    def _star_rows(self, replica: ModelReplica,
+                   compiled: list[_CompiledPattern],
+                   cap: int | None) -> list[MatchRow] | None:
+        """A star join (shared subject, constant predicates); None
+        defers to the generic join (repeated object variables)."""
+        (s_is_var, subject) = compiled[0][0]
+        seen = {subject} if s_is_var else set()
+        parts: list[PredicateIndex] = []
+        objects: list[_Component] = []
+        for pattern in compiled:
+            (o_is_var, obj) = pattern[2]
+            if o_is_var:
+                if obj in seen:
+                    return None  # repeated variable: generic join
+                seen.add(obj)
+            index = self._manager.partition(replica, pattern[1][1])
+            if index is None:  # predicate absent at the snapshot
+                return []
+            if index.s_terms is None:  # undecoded: generic join
+                return None
+            parts.append(index)
+            objects.append((o_is_var, obj))
+
+        if not s_is_var:
+            candidates = [(subject, None)]
+        else:
+            # Seed from the most selective pattern: a constant-object
+            # slice when one exists, else the fewest-subjects scan.
+            best, best_cost = None, None
+            for position, (o_is_var, obj) in enumerate(objects):
+                cost = (parts[position].triple_count if o_is_var
+                        else _slice_len(parts[position], obj))
+                if best_cost is None or cost < best_cost:
+                    best, best_cost = position, cost
+            seed_part = parts[best]
+            if objects[best][0]:
+                candidates = seed_part.subject_entries()
+            else:
+                lo, hi = seed_part.subjects_slice(objects[best][1])
+                flat = seed_part._os
+                candidates = [(flat[2 * i + 1],
+                               seed_part.os_s_terms[i])
+                              for i in range(lo, hi)]
+
+        rows: list[MatchRow] = []
+        for s_id, s_term in candidates:
+            partial = [{subject: s_term}] if s_is_var else [{}]
+            for position, (o_is_var, obj) in enumerate(objects):
+                index = parts[position]
+                if not o_is_var:
+                    if s_is_var and position == best:
+                        continue  # the seed slice already proved it
+                    if not index.contains(s_id, obj):
+                        partial = []
+                        break
+                    continue
+                lo, hi = index.objects_slice(s_id)
+                if lo == hi:
+                    partial = []
+                    break
+                slice_terms = index.o_terms[lo:hi]
+                partial = [{**binding, obj: term}
+                           for binding in partial
+                           for term in slice_terms]
+            if partial:
+                rows.extend(MatchRow(binding) for binding in partial)
+                if cap is not None and len(rows) >= cap:
+                    return rows[:cap]
+        return rows
+
+    # ------------------------------------------------------------------
+    # generic enumeration (repeated-variable shapes)
+    # ------------------------------------------------------------------
+
+    def _generic_rows(self, store: "RDFStore", replica: ModelReplica,
+                      compiled: list[_CompiledPattern],
+                      variables: list[str],
+                      cap: int | None) -> list[MatchRow]:
+        solutions = self._solutions(replica, compiled)
+        if cap is not None:
+            solutions = islice(solutions, cap)
+        bindings = list(solutions)
+        wanted = {binding[name] for binding in bindings
+                  for name in variables}
+        terms = store.values.get_terms(wanted)
+        return [MatchRow({name: terms[binding[name]]
+                          for name in variables})
+                for binding in bindings]
+
+    def _solutions(self, replica: ModelReplica,
+                   compiled: list[_CompiledPattern]
+                   ) -> Iterator[dict[str, int]]:
+        """Depth-first join over the patterns, lazily.
+
+        Bindings map variable names to VALUE_IDs; every yielded
+        binding is total over the query's variables, and distinct —
+        a binding fully determines each pattern's matching triple, and
+        each pattern's candidates are unique triples, so the join
+        cannot duplicate (the same argument that lets the SQL planner
+        drop DISTINCT for a single model).
+        """
+
+        def extend(position: int,
+                   binding: dict[str, int]) -> Iterator[dict[str, int]]:
+            if position == len(compiled):
+                yield binding
+                return
+            for extended in self._pattern_matches(
+                    replica, compiled[position], binding):
+                yield from extend(position + 1, extended)
+
+        yield from extend(0, {})
+
+    def _pattern_matches(self, replica: ModelReplica,
+                         pattern: _CompiledPattern,
+                         binding: dict[str, int]
+                         ) -> Iterator[dict[str, int]]:
+        (s_is_var, s), (p_is_var, p), (o_is_var, o) = pattern
+
+        def resolved(is_var: bool, token) -> int | None:
+            return binding.get(token) if is_var else token
+
+        predicate = resolved(p_is_var, p)
+        if predicate is not None:
+            predicate_ids: Sequence[int] = (predicate,)
+        else:
+            # Variable predicate: walk every partition.  Completeness
+            # is enforced by partition() below — touching an evicted
+            # one raises ReplicaMiss, so a capped replica can never
+            # silently under-report.
+            predicate_ids = replica.sorted_predicates
+        for predicate_id in predicate_ids:
+            index = self._manager.partition(replica, predicate_id)
+            if index is None:  # no such predicate at the snapshot
+                continue
+            subject = resolved(s_is_var, s)
+            obj = resolved(o_is_var, o)
+            if subject is not None and obj is not None:
+                candidates: Iterator[tuple[int, int]] | tuple = (
+                    ((subject, obj),)
+                    if index.contains(subject, obj) else ())
+            elif subject is not None:
+                candidates = ((subject, found)
+                              for found in index.objects_for(subject))
+            elif obj is not None:
+                candidates = ((found, obj)
+                              for found in index.subjects_for(obj))
+            else:
+                candidates = index.pairs()
+            for found_s, found_o in candidates:
+                extended = dict(binding)
+                # Bind in s, p, o order so repeated variables within
+                # one pattern ((?x ?x ?o), (?s p ?s)) unify correctly.
+                consistent = True
+                for is_var, token, value in (
+                        (s_is_var, s, found_s),
+                        (p_is_var, p, predicate_id),
+                        (o_is_var, o, found_o)):
+                    if not is_var:
+                        continue
+                    already = extended.get(token)
+                    if already is None:
+                        extended[token] = value
+                    elif already != value:
+                        consistent = False
+                        break
+                if consistent:
+                    yield extended
+
+
+def _slice_len(index: PredicateIndex, object_id: int) -> int:
+    lo, hi = index.subjects_slice(object_id)
+    return hi - lo

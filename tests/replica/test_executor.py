@@ -1,0 +1,192 @@
+"""Replica executor semantics: every shape matches the SQL engine.
+
+Each test runs the same query twice over the same store — replica
+attached and detached — and asserts identical rows.  This pins the
+bit-for-bit contract of :mod:`repro.replica.executor` on the shapes
+the direct paths serve *and* the exotic ones the generic join covers.
+"""
+
+import pytest
+
+from repro.inference.match import sdo_rdf_match
+
+
+@pytest.fixture
+def loaded(store):
+    store.create_model("m")
+    triples = [
+        ("<urn:a>", "<urn:type>", "<urn:Protein>"),
+        ("<urn:b>", "<urn:type>", "<urn:Protein>"),
+        ("<urn:c>", "<urn:type>", "<urn:Gene>"),
+        ("<urn:a>", "<urn:ref>", "<urn:x1>"),
+        ("<urn:a>", "<urn:ref>", "<urn:x2>"),
+        ("<urn:b>", "<urn:ref>", "<urn:x1>"),
+        ("<urn:a>", "<urn:name>", '"alpha"'),
+        ("<urn:b>", "<urn:name>", '"beta"'),
+        ("<urn:loop>", "<urn:ref>", "<urn:loop>"),
+    ]
+    for subject, predicate, obj in triples:
+        store.insert_triple("m", subject, predicate, obj)
+    return store
+
+
+def _rows_sorted(rows):
+    return sorted(tuple(sorted(row.as_dict().items())) for row in rows)
+
+
+def _both(store, query, **kwargs):
+    """(replica rows, SQL rows) for the same query."""
+    manager = store.replica or store.enable_replica()
+    hits = manager.counter("hits")
+    replica_rows = sdo_rdf_match(store, query, ["m"], **kwargs)
+    served = manager.counter("hits") > hits
+    store.attach_replica(None)
+    try:
+        sql_rows = sdo_rdf_match(store, query, ["m"], **kwargs)
+    finally:
+        store.attach_replica(manager)
+    return replica_rows, sql_rows, served
+
+
+QUERIES_SERVED = [
+    "(?s <urn:ref> ?o)",                      # predicate anchored
+    "(<urn:a> <urn:ref> ?o)",                 # subject anchored
+    "(?s <urn:ref> <urn:x1>)",                # object anchored
+    "(<urn:a> <urn:ref> <urn:x1>)",           # ground, present
+    "(<urn:a> <urn:ref> <urn:x9>)",           # ground, absent object
+    "(<urn:nope> <urn:ref> ?o)",              # unknown subject
+    "(?s <urn:none> ?o)",                     # unknown predicate
+    "(<urn:a> ?p ?o)",                        # variable predicate
+    "(?s ?p <urn:x1>)",                       # var predicate, o anchor
+    "(?s ?p ?o)",                             # full scan
+    "(?x <urn:ref> ?x)",                      # diagonal
+    "(?s <urn:type> <urn:Protein>) (?s <urn:ref> ?r)",
+    "(?s <urn:type> <urn:Protein>) (?s <urn:ref> ?r) "
+    "(?s <urn:name> ?n)",
+    "(<urn:a> <urn:ref> ?r) (<urn:a> <urn:name> ?n)",
+    "(<urn:a> <urn:type> <urn:Protein>) (<urn:a> <urn:ref> ?r)",
+    "(?s <urn:type> <urn:Gene>) (?s <urn:ref> ?r)",  # empty star
+]
+
+QUERIES_GENERIC = [
+    "(?x ?x ?o)",                             # repeated var in pattern
+    "(?s <urn:ref> ?s)",                      # subject == object var
+    "(?s <urn:ref> ?r) (?s <urn:name> ?r)",   # repeated object var
+]
+
+
+class TestParityPerShape:
+    @pytest.mark.parametrize("query", QUERIES_SERVED)
+    def test_direct_shapes_match_sql(self, loaded, query):
+        replica_rows, sql_rows, served = _both(loaded, query)
+        assert _rows_sorted(replica_rows) == _rows_sorted(sql_rows)
+        assert served
+
+    @pytest.mark.parametrize("query", QUERIES_GENERIC)
+    def test_generic_shapes_match_sql(self, loaded, query):
+        replica_rows, sql_rows, served = _both(loaded, query)
+        assert _rows_sorted(replica_rows) == _rows_sorted(sql_rows)
+        assert served
+
+    def test_existence_query_single_empty_row(self, loaded):
+        rows, sql_rows, served = _both(loaded,
+                                       "(<urn:a> <urn:ref> <urn:x1>)")
+        assert served
+        assert len(rows) == len(sql_rows) == 1
+        assert rows[0].as_dict() == {}
+
+    def test_filter_order_limit(self, loaded):
+        query = "(?s <urn:ref> ?o)"
+        kwargs = dict(filter='?o LIKE "urn:x%"', order_by="o", limit=2)
+        replica_rows, sql_rows, served = _both(loaded, query, **kwargs)
+        assert served
+        assert [row.as_dict() for row in replica_rows] == \
+            [row.as_dict() for row in sql_rows]
+
+    def test_limit_without_filter_caps_enumeration(self, loaded):
+        replica_rows, sql_rows, served = _both(
+            loaded, "(?s ?p ?o)", limit=3)
+        assert served
+        assert len(replica_rows) == len(sql_rows) == 3
+
+    def test_repeat_query_uses_compiled_memo(self, loaded):
+        manager = loaded.enable_replica()
+        query = "(?s <urn:type> <urn:Protein>) (?s <urn:ref> ?r)"
+        first = sdo_rdf_match(loaded, query, ["m"])
+        second = sdo_rdf_match(loaded, query, ["m"])
+        assert _rows_sorted(first) == _rows_sorted(second)
+        assert manager.counter("hits") >= 2
+        assert loaded._replica_query_cache  # memo populated
+
+    def test_unknown_constant_not_memoised(self, loaded):
+        """A query naming a not-yet-inserted constant must see it
+        appear once inserted (negative compiles are uncacheable)."""
+        loaded.enable_replica()
+        query = "(?s <urn:ref> <urn:future>)"
+        assert sdo_rdf_match(loaded, query, ["m"]) == []
+        loaded.insert_triple("m", "<urn:late>", "<urn:ref>",
+                             "<urn:future>")
+        rows = sdo_rdf_match(loaded, query, ["m"])
+        assert [row["s"] for row in rows] == ["urn:late"]
+
+
+class TestRoutingAndExplain:
+    @pytest.mark.parametrize("query", [
+        # Chain join (different subjects): not replica-eligible.
+        "(?s <urn:ref> ?o) (?o <urn:ref> ?o2)",
+        # A star with a variable predicate: not replica-eligible.
+        "(?s ?r ?o) (?s <urn:ref> ?r)",
+    ])
+    def test_ineligible_shapes_fall_back(self, loaded, query):
+        manager = loaded.enable_replica()
+        rows = sdo_rdf_match(loaded, query, ["m"])
+        assert manager.counter("fallbacks") >= 1
+        assert manager.counter("hits") == 0
+        loaded.attach_replica(None)
+        assert _rows_sorted(rows) == _rows_sorted(
+            sdo_rdf_match(loaded, query, ["m"]))
+
+    def test_explain_reports_replica_engine(self, loaded):
+        loaded.enable_replica()
+        explanation = sdo_rdf_match(loaded, "(?s <urn:ref> ?o)", ["m"],
+                                    explain=True)
+        assert explanation.engine == "replica"
+        assert explanation.as_dict()["engine"] == "replica"
+        assert "engine" in explanation.render().lower() or \
+            "replica" in explanation.render().lower()
+
+    def test_explain_reports_sql_for_ineligible(self, loaded):
+        loaded.enable_replica()
+        explanation = sdo_rdf_match(
+            loaded, "(?s <urn:ref> ?o) (?o <urn:ref> ?o2)", ["m"],
+            explain=True)
+        assert explanation.engine == "sql"
+
+    def test_explain_sql_when_no_replica(self, loaded):
+        explanation = sdo_rdf_match(loaded, "(?s <urn:ref> ?o)", ["m"],
+                                    explain=True)
+        assert explanation.engine == "sql"
+
+    def test_optimize_false_bypasses_replica(self, loaded):
+        manager = loaded.enable_replica()
+        rows = sdo_rdf_match(loaded, "(?s <urn:ref> ?o)", ["m"],
+                             optimize=False)
+        assert manager.counter("hits") == 0
+        assert len(rows) == 4
+
+    def test_observer_counters(self, tmp_path):
+        store_path = str(tmp_path / "obs.db")
+        from repro.core.store import RDFStore
+
+        store = RDFStore(store_path, observe=True, replica=True)
+        try:
+            store.create_model("m")
+            store.insert_triple("m", "<urn:a>", "<urn:p>", "<urn:b>")
+            sdo_rdf_match(store, "(?s <urn:p> ?o)", ["m"])
+            sdo_rdf_match(store, "(?s <urn:p> ?o) (?o <urn:p> ?x)",
+                          ["m"])
+            counters = store.observer.metrics.as_dict()["counters"]
+            assert counters.get("match.replica_hits", 0) >= 1
+            assert counters.get("match.replica_fallbacks", 0) >= 1
+        finally:
+            store.close()

@@ -1,0 +1,135 @@
+"""Unit tests for the per-predicate partition arrays."""
+
+import pytest
+
+from repro.replica.index import PredicateIndex, _directory
+
+
+class _Term:
+    """A stand-in RDF term; identity is all the index cares about."""
+
+    def __init__(self, label):
+        self.label = label
+
+    def __repr__(self):
+        return f"_Term({self.label})"
+
+
+def _decorated(pairs):
+    """An index over ``pairs`` with terms attached (id -> _Term)."""
+    index = PredicateIndex(99, pairs)
+    ids = {99} | {value for pair in pairs for value in pair}
+    terms = {value_id: _Term(value_id) for value_id in ids}
+    index.attach_terms(terms, terms[99])
+    return index
+
+
+PAIRS = [(1, 10), (1, 20), (2, 10), (5, 30), (5, 10), (7, 20)]
+
+
+class TestLookups:
+    def test_objects_for_is_sorted(self):
+        index = PredicateIndex(99, PAIRS)
+        assert index.objects_for(5) == [10, 30]
+        assert index.objects_for(1) == [10, 20]
+        assert index.objects_for(42) == []
+
+    def test_subjects_for_is_sorted(self):
+        index = PredicateIndex(99, PAIRS)
+        assert index.subjects_for(10) == [1, 2, 5]
+        assert index.subjects_for(20) == [1, 7]
+        assert index.subjects_for(-3) == []
+
+    def test_contains(self):
+        index = PredicateIndex(99, PAIRS)
+        assert index.contains(5, 30)
+        assert not index.contains(5, 20)
+        assert not index.contains(99, 10)
+
+    def test_pairs_subject_major(self):
+        index = PredicateIndex(99, PAIRS)
+        assert list(index.pairs()) == sorted(PAIRS)
+
+    def test_subjects_distinct_sorted(self):
+        index = PredicateIndex(99, PAIRS)
+        assert index.subjects() == [1, 2, 5, 7]
+
+    def test_len_and_triple_count(self):
+        index = PredicateIndex(99, PAIRS)
+        assert len(index) == index.triple_count == len(PAIRS)
+
+
+class TestDecodedView:
+    def test_lookups_identical_with_and_without_directories(self):
+        plain = PredicateIndex(99, PAIRS)
+        decorated = _decorated(PAIRS)
+        subjects = {pair[0] for pair in PAIRS}
+        for subject in range(0, 9):
+            if subject in subjects:
+                # A present key resolves to the very same pair range;
+                # a miss is an empty range on both paths (the exact
+                # anchor of an empty slice is irrelevant).
+                assert decorated.objects_slice(subject) == \
+                    plain.objects_slice(subject)
+            else:
+                lo, hi = decorated.objects_slice(subject)
+                assert lo == hi
+            assert decorated.objects_for(subject) == \
+                plain.objects_for(subject)
+            for obj in (10, 20, 30, 40):
+                assert decorated.contains(subject, obj) == \
+                    plain.contains(subject, obj)
+        for obj in (10, 20, 30, 40):
+            assert decorated.subjects_for(obj) == \
+                plain.subjects_for(obj)
+
+    def test_terms_align_with_orders(self):
+        index = _decorated(PAIRS)
+        lo, hi = index.objects_slice(5)
+        assert [term.label for term in index.o_terms[lo:hi]] == [10, 30]
+        lo, hi = index.subjects_slice(10)
+        assert [term.label
+                for term in index.os_s_terms[lo:hi]] == [1, 2, 5]
+        assert index.predicate_term.label == 99
+
+    def test_subject_entries(self):
+        index = _decorated(PAIRS)
+        entries = index.subject_entries()
+        assert [subject for subject, _ in entries] == [1, 2, 5, 7]
+        assert all(term.label == subject for subject, term in entries)
+
+    def test_nbytes_grows_with_decode(self):
+        plain = PredicateIndex(99, PAIRS)
+        decorated = _decorated(PAIRS)
+        assert plain.nbytes == 2 * 16 * len(PAIRS)
+        assert decorated.nbytes > plain.nbytes
+
+    def test_empty_partition(self):
+        index = _decorated([])
+        assert index.triple_count == 0
+        assert index.objects_for(1) == []
+        assert index.subject_entries() == []
+        assert not index.contains(1, 2)
+
+
+class TestDirectory:
+    def test_directory_ranges(self):
+        index = PredicateIndex(99, PAIRS)
+        directory = _directory(index._so)
+        assert directory == {1: (0, 2), 2: (2, 3), 5: (3, 5),
+                             7: (5, 6)}
+
+    def test_directory_empty(self):
+        index = PredicateIndex(99, [])
+        assert _directory(index._so) == {}
+
+    @pytest.mark.parametrize("pairs", [
+        [(1, 1)],
+        [(3, 4), (3, 4)],
+        [(index, index % 3) for index in range(50)],
+    ])
+    def test_directory_covers_every_pair(self, pairs):
+        index = PredicateIndex(99, pairs)
+        directory = _directory(index._so)
+        covered = sum(hi - lo for lo, hi in directory.values())
+        assert covered == index.triple_count
