@@ -10,13 +10,22 @@ serves.  The figures of merit:
 * the 8-worker/1-worker throughput ratio (the acceptance criterion:
   > 2x — an 8-reader pool must actually absorb an 8-client load that
   a single-connection configuration sheds);
-* a direct in-process single-connection baseline for the HTTP tax.
+* a direct in-process single-connection baseline for the HTTP tax;
+* the same 8-worker load with the versioned result cache on
+  (``workers_8_cached``) — hot repeated reads served from memory —
+  and its ``cached_speedup_over_plain`` ratio (the serving-gap
+  acceptance criterion: >= 2x) plus ``http_tax_cached`` (direct rps /
+  cached rps; <= 1.5 means the cached HTTP path is within 1.5x of
+  in-process);
+* a ``/match/batch`` scenario: 8 sub-queries per round trip through
+  one admission ticket, one lease, one snapshot.
 
 429 counts are reported, not hidden: on a small host the 1-worker
 configuration spends its CPU parsing and rejecting requests, which is
 precisely the failure mode the pool exists to avoid.
 
-Standalone only (CI runs ``--smoke``)::
+Standalone only (CI runs ``--smoke``; ``--result-cache`` narrows the
+sweep to the cache-relevant scenarios for the result-cache CI job)::
 
     PYTHONPATH=src python benchmarks/bench_server.py --smoke
 """
@@ -48,6 +57,11 @@ MODEL = "bench"
 QUERY = "(<urn:bench:s0> <urn:bench:p> ?o)"
 CLIENTS = 8
 POOL_SIZES = (1, 4, 8)
+
+#: /match/batch scenario: 8 sub-queries per request over 4 distinct
+#: hot subjects (all present even in the smoke dataset).
+BATCH_QUERIES = [f"(<urn:bench:s{i % 4}> <urn:bench:p> ?o)"
+                 for i in range(8)]
 
 
 def build_dataset(path: pathlib.Path, triples: int) -> None:
@@ -97,10 +111,12 @@ def bench_direct(path: pathlib.Path, duration: float) -> dict:
 
 
 def bench_server(path: pathlib.Path, workers: int, duration: float,
-                 clients: int = CLIENTS) -> dict:
+                 clients: int = CLIENTS,
+                 result_cache: bool = False) -> dict:
     """Closed-loop load: ``clients`` threads, no sleep on 429."""
     config = ServerConfig(path=str(path), port=0, workers=workers,
-                          backlog=0, pool_timeout=0.02)
+                          backlog=0, pool_timeout=0.02,
+                          result_cache=result_cache)
     results: list[tuple[int, float]] = []  # (status, latency_ms)
     lock = threading.Lock()
     start_gate = threading.Event()
@@ -127,6 +143,7 @@ def bench_server(path: pathlib.Path, workers: int, duration: float,
         with lock:
             results.extend(local)
 
+    cache_stats = None
     with ReproServer(config) as server:
         threads = [threading.Thread(target=drive)
                    for _ in range(clients)]
@@ -138,12 +155,14 @@ def bench_server(path: pathlib.Path, workers: int, duration: float,
         stop_gate.set()
         for thread in threads:
             thread.join(timeout=60)
+        if server.result_cache is not None:
+            cache_stats = server.result_cache.stats()
 
     ok = [latency for status, latency in results if status == 200]
     rejected = sum(1 for status, _ in results if status == 429)
     other = sum(1 for status, _ in results
                 if status not in (200, 429))
-    return {
+    entry = {
         "workers": workers,
         "clients": clients,
         "duration_s": duration,
@@ -155,9 +174,76 @@ def bench_server(path: pathlib.Path, workers: int, duration: float,
         "throughput_rps": round(len(ok) / duration, 1),
         "latency_ms": summarize(ok),
     }
+    if cache_stats is not None:
+        entry["cache_hit_rate"] = cache_stats["hit_rate"]
+    return entry
 
 
-def run(triples: int, duration: float, output: str) -> dict:
+def bench_batch(path: pathlib.Path, workers: int, duration: float,
+                clients: int = CLIENTS,
+                result_cache: bool = True) -> dict:
+    """Closed-loop /match/batch load: 8 sub-queries per round trip."""
+    config = ServerConfig(path=str(path), port=0, workers=workers,
+                          backlog=0, pool_timeout=0.02,
+                          result_cache=result_cache)
+    entries = [{"query": query, "models": [MODEL]}
+               for query in BATCH_QUERIES]
+    results: list[tuple[int, float]] = []
+    lock = threading.Lock()
+    start_gate = threading.Event()
+    stop_gate = threading.Event()
+
+    def drive():
+        host, port = server.address
+        local: list[tuple[int, float]] = []
+        with ReproClient(host, port, timeout=30) as client:
+            try:
+                client.match_batch(entries)  # connect + warm
+            except ServerError:
+                pass
+            start_gate.wait()
+            while not stop_gate.is_set():
+                begin = time.perf_counter()
+                try:
+                    client.match_batch(entries)
+                    status = 200
+                except ServerError as exc:
+                    status = exc.status
+                local.append(
+                    (status, (time.perf_counter() - begin) * 1000))
+        with lock:
+            results.extend(local)
+
+    with ReproServer(config) as server:
+        threads = [threading.Thread(target=drive)
+                   for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)
+        start_gate.set()
+        time.sleep(duration)
+        stop_gate.set()
+        for thread in threads:
+            thread.join(timeout=60)
+
+    ok = [latency for status, latency in results if status == 200]
+    rejected = sum(1 for status, _ in results if status == 429)
+    return {
+        "workers": workers,
+        "clients": clients,
+        "batch_size": len(entries),
+        "duration_s": duration,
+        "ok_batches": len(ok),
+        "rejected_429": rejected,
+        "throughput_rps": round(len(ok) / duration, 1),
+        "throughput_queries_rps": round(
+            len(ok) * len(entries) / duration, 1),
+        "latency_ms": summarize(ok),
+    }
+
+
+def run(triples: int, duration: float, output: str,
+        focus_cache: bool = False) -> dict:
     import tempfile
 
     workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-srv-"))
@@ -176,18 +262,50 @@ def run(triples: int, duration: float, output: str) -> dict:
     base = report["baseline_direct"]
     print(f"direct in-process baseline: {base['throughput_rps']} rps "
           f"(p50 {base['latency_ms']['p50']} ms)")
-    for workers in POOL_SIZES:
+    pool_sizes = (CLIENTS,) if focus_cache else POOL_SIZES
+    for workers in pool_sizes:
         entry = bench_server(path, workers, duration)
         report["server"][f"workers_{workers}"] = entry
         print(f"workers={workers}: {entry['throughput_rps']} rps ok, "
               f"{entry['rejected_429']} x 429 "
               f"(p50 {entry['latency_ms']['p50']} ms, "
               f"p95 {entry['latency_ms']['p95']} ms)")
-    one = report["server"]["workers_1"]["throughput_rps"]
-    eight = report["server"]["workers_8"]["throughput_rps"]
-    report["speedup_8_over_1"] = round(eight / one, 2) if one else None
-    print(f"8-worker vs 1-worker throughput: "
-          f"{report['speedup_8_over_1']}x")
+    if not focus_cache:
+        one = report["server"]["workers_1"]["throughput_rps"]
+        eight = report["server"]["workers_8"]["throughput_rps"]
+        report["speedup_8_over_1"] = round(eight / one, 2) \
+            if one else None
+        print(f"8-worker vs 1-worker throughput: "
+              f"{report['speedup_8_over_1']}x")
+
+    # The versioned result cache on the same hot-read load: every
+    # request after the first serves from memory inside the reader's
+    # snapshot transaction.
+    cached = bench_server(path, CLIENTS, duration, result_cache=True)
+    report["server"][f"workers_{CLIENTS}_cached"] = cached
+    print(f"workers={CLIENTS} cached: {cached['throughput_rps']} rps "
+          f"ok (p50 {cached['latency_ms']['p50']} ms, hit rate "
+          f"{cached.get('cache_hit_rate')})")
+    plain = report["server"][f"workers_{CLIENTS}"]["throughput_rps"]
+    direct = base["throughput_rps"]
+    report["cached_speedup_over_plain"] = (
+        round(cached["throughput_rps"] / plain, 2) if plain else None)
+    report["http_tax_cached"] = (
+        round(direct / cached["throughput_rps"], 2)
+        if cached["throughput_rps"] else None)
+    print(f"cached vs plain HTTP: "
+          f"{report['cached_speedup_over_plain']}x; "
+          f"direct/cached tax: {report['http_tax_cached']}x")
+
+    # /match/batch: 8 sub-queries amortize one admission ticket, one
+    # pooled lease, one snapshot version read, one HTTP round trip.
+    batch = bench_batch(path, CLIENTS, duration)
+    report["batch"] = batch
+    print(f"batch x{batch['batch_size']}: "
+          f"{batch['throughput_queries_rps']} queries/s in "
+          f"{batch['throughput_rps']} round trips/s "
+          f"(p50 {batch['latency_ms']['p50']} ms)")
+
     out = pathlib.Path(output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
@@ -205,6 +323,10 @@ def main(argv=None):
                         help="seconds of load per pool size")
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: small dataset, short runs")
+    parser.add_argument("--result-cache", action="store_true",
+                        help="narrow the sweep to the cache-relevant "
+                        "scenarios (direct, plain 8-worker, cached "
+                        "8-worker, batch) for the result-cache CI job")
     parser.add_argument(
         "--output",
         default=str(pathlib.Path(__file__).resolve().parent.parent
@@ -215,7 +337,8 @@ def main(argv=None):
     if args.smoke:
         triples = min(triples, 2_000)
         duration = min(duration, 1.0)
-    run(triples, duration, args.output)
+    run(triples, duration, args.output,
+        focus_cache=args.result_cache)
     return 0
 
 

@@ -1,0 +1,246 @@
+"""The byte-capped, version-keyed LRU result cache.
+
+Entries pair a result value with the data version it was computed
+under.  :meth:`ResultCache.lookup` returns the value only when the
+caller's current version matches; a mismatch deletes the entry and
+counts an invalidation — the :class:`~repro.inference.plan.PlanCache`
+idiom, which keeps exactly one entry per query shape and makes
+invalidation exact without any write-path bookkeeping.
+
+Versions are opaque: the in-process tier keys on the connection's
+``data_version`` int, the server tier on the durable
+``rdf_serve_state$`` write_version, and the sharded tier on the whole
+per-shard version *vector* (a tuple), so a write to any shard
+invalidates.  The cache never compares versions for order — only
+equality — which is what makes the vector form work unchanged.
+
+Memory is bounded in bytes, not entries, because one unselective query
+can return more rows than a thousand point lookups.  Stored values are
+sized with a recursive flat estimate (strings, containers, dicts);
+eviction is LRU under an RLock so pooled server threads share one
+instance safely.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator
+
+from repro.errors import QueryError
+
+_FALSE_WORDS = {"", "0", "off", "false", "no", "disabled", "none"}
+_TRUE_WORDS = {"1", "on", "true", "yes", "enabled"}
+_SUFFIXES = {"": 1, "b": 1, "k": 1024, "kb": 1024,
+             "m": 1024 ** 2, "mb": 1024 ** 2,
+             "g": 1024 ** 3, "gb": 1024 ** 3}
+
+#: Default byte cap: enough for ~64k cached point-lookup result sets,
+#: small enough to be invisible next to SQLite's own page cache.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Flat per-object overhead charged by the size estimator for values
+#: it does not descend into (ints, floats, None, bools).
+_SCALAR_BYTES = 32
+
+
+def parse_cache_setting(value) -> tuple[bool, int | None]:
+    """``(enabled, max_bytes)`` from a ``--result-cache``-style setting.
+
+    Accepts booleans, ints (0/False disable, 1/True enable with the
+    default cap, larger ints are a byte cap), and strings: on/off
+    words or a byte cap like ``"67108864"``, ``"64mb"``, ``"512k"``.
+    A None cap means :data:`DEFAULT_MAX_BYTES`.
+    """
+    if value is None or value is False:
+        return False, None
+    if value is True:
+        return True, None
+    if isinstance(value, int):
+        if value <= 0:
+            return False, None
+        return True, None if value == 1 else value
+    text = str(value).strip().lower()
+    if text in _FALSE_WORDS:
+        return False, None
+    if text in _TRUE_WORDS:
+        return True, None
+    digits = text.rstrip("bgkm")
+    suffix = text[len(digits):]
+    if digits.isdigit() and suffix in _SUFFIXES:
+        cap = int(digits) * _SUFFIXES[suffix]
+        if cap <= 0:
+            return False, None
+        return True, None if cap == 1 else cap
+    raise QueryError(
+        f"bad result-cache setting {value!r}: expected an on/off word "
+        "or a byte cap such as '64mb'")
+
+
+def estimate_bytes(value: Any) -> int:
+    """A flat, allocator-free estimate of a result value's footprint.
+
+    Counts string content and container slots; ignores interning and
+    sharing, so it over-counts repeated terms — the safe direction for
+    a cap.  Deliberately not ``sys.getsizeof`` recursion: this runs on
+    the store path of every cache miss and must stay cheap.
+    """
+    stack = [value]
+    total = 0
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            total += _SCALAR_BYTES + len(item)
+        elif isinstance(item, bytes):
+            total += _SCALAR_BYTES + len(item)
+        elif isinstance(item, dict):
+            total += _SCALAR_BYTES + 8 * len(item)
+            stack.extend(item.keys())
+            stack.extend(item.values())
+        elif isinstance(item, (list, tuple, set, frozenset)):
+            total += _SCALAR_BYTES + 8 * len(item)
+            stack.extend(item)
+        else:
+            total += _SCALAR_BYTES
+    return total
+
+
+class _Entry:
+    __slots__ = ("version", "value", "nbytes")
+
+    def __init__(self, version: Hashable, value: Any,
+                 nbytes: int) -> None:
+        self.version = version
+        self.value = value
+        self.nbytes = nbytes
+
+
+class ResultCache:
+    """A thread-safe byte-capped LRU of versioned query results.
+
+    One instance fronts one store (attached via
+    ``store.attach_result_cache``) or one server (shared across the
+    pooled readers, keyed on the durable write_version).  Values are
+    whatever the tier serves — MatchRow lists in process, pre-encoded
+    JSON response bodies on the server — the cache never inspects
+    them beyond sizing.
+    """
+
+    def __init__(self, max_bytes: int | None = None) -> None:
+        if max_bytes is None:
+            max_bytes = DEFAULT_MAX_BYTES
+        if max_bytes <= 0:
+            raise QueryError(
+                f"result-cache byte cap must be positive, got "
+                f"{max_bytes}")
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.rejects = 0  #: values larger than the whole cap
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def lookup(self, key: Hashable, version: Hashable) -> Any | None:
+        """The cached value for ``key`` at exactly ``version``.
+
+        A version mismatch deletes the entry (counted as an
+        invalidation) and reports a miss: the caller recomputes and
+        re-stores under the new version, so each shape occupies one
+        slot no matter how often the data changes.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.version != version:
+                self._drop_locked(key, entry)
+                self.invalidations += 1
+                entry = None
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.value
+
+    def would_serve(self, key: Hashable, version: Hashable) -> bool:
+        """EXPLAIN peek: is there a fresh entry?  No counters, no LRU
+        touch, no invalidation — purely advisory."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry.version == version
+
+    def store(self, key: Hashable, version: Hashable, value: Any,
+              nbytes: int | None = None) -> bool:
+        """Install ``value`` for ``key`` at ``version``; False when the
+        value alone exceeds the byte cap (counted as a reject)."""
+        if nbytes is None:
+            nbytes = estimate_bytes(value)
+        with self._lock:
+            if nbytes > self.max_bytes:
+                self.rejects += 1
+                return False
+            old = self._entries.get(key)
+            if old is not None:
+                self._drop_locked(key, old)
+            self._entries[key] = _Entry(version, value, nbytes)
+            self._bytes += nbytes
+            self.stores += 1
+            while self._bytes > self.max_bytes and self._entries:
+                evicted_key, evicted = next(iter(self._entries.items()))
+                self._drop_locked(evicted_key, evicted)
+                self.evictions += 1
+            return True
+
+    def _drop_locked(self, key: Hashable, entry: _Entry) -> None:
+        del self._entries[key]
+        self._bytes -= entry.nbytes
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry by key (the CLI ``cache drop`` surface)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            self._drop_locked(key, entry)
+            self.invalidations += 1
+            return True
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            return dropped
+
+    def keys(self) -> Iterator[Hashable]:
+        with self._lock:
+            return iter(list(self._entries))
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "rejects": self.rejects,
+                "hit_rate": round(self.hits / total, 4) if total else None,
+            }

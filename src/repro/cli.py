@@ -12,6 +12,7 @@ Usage (``python -m repro <command> ...``)::
     repro is-reified    DB MODEL S P O          reification check
     repro models        DB                      list models
     repro replica       DB status|warm|drop     in-memory read replica
+    repro cache         DB status|warm|drop     versioned result cache
     repro stats         DB [MODEL] [--json]     store/network figures
     repro doctor        DB                      health check (integrity)
     repro serve         DB [--port P]           HTTP serving layer
@@ -179,6 +180,27 @@ def _build_parser() -> argparse.ArgumentParser:
     replica.add_argument("--json", action="store_true",
                          help="emit machine-readable output")
 
+    cache = commands.add_parser(
+        "cache", help="inspect, warm, or drop the versioned "
+        "query-result cache (see docs/result_cache.md); warm runs one "
+        "full-scan match per model through a fresh cache and reports "
+        "its footprint — the sizing tool for "
+        "--result-cache-max-bytes")
+    cache.add_argument("db")
+    cache.add_argument("action", choices=("status", "warm", "drop"),
+                       help="status: cache configuration and "
+                       "hit/miss/eviction counters; warm: cache one "
+                       "full-scan result per model (default: every "
+                       "model) and report bytes; drop: discard every "
+                       "entry")
+    cache.add_argument("model", nargs="?", default=None,
+                       help="model name (default: all models)")
+    cache.add_argument("--max-bytes", default=None, metavar="CAP",
+                       help="byte cap for this invocation, e.g. "
+                       "67108864, 64mb, 1g (LRU eviction past it)")
+    cache.add_argument("--json", action="store_true",
+                       help="emit machine-readable output")
+
     stats = commands.add_parser("stats", help="store/network figures")
     stats.add_argument("db")
     stats.add_argument("model", nargs="?")
@@ -251,6 +273,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="byte cap on resident replica partitions, "
                        "e.g. 67108864, 64mb, 1g (LRU eviction past "
                        "it; default uncapped)")
+    serve.add_argument("--result-cache", action="store_true",
+                       help="answer repeated /match bodies from a "
+                       "versioned in-memory result cache shared by "
+                       "the read pool, invalidated exactly on "
+                       "write_version change; composes with --shards "
+                       "(per-shard version vector) and --replica "
+                       "(cache -> replica -> SQL tiering; see "
+                       "docs/result_cache.md)")
+    serve.add_argument("--result-cache-max-bytes", default=None,
+                       metavar="CAP",
+                       help="byte cap on resident cached results, "
+                       "e.g. 67108864, 64mb, 1g (LRU eviction past "
+                       "it; default 64mb)")
     serve.add_argument("--idempotency-capacity", type=int,
                        default=None, metavar="N",
                        help="Idempotency-Key ledger entries retained "
@@ -285,7 +320,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "chaos", help="run seeded chaos storms against an ephemeral "
         "server and assert the resilience invariants: no torn reads, "
         "monotonic versions, exactly-once writes, request ids on "
-        "every response (see docs/resilience.md)")
+        "every response, no stale cache serves (see "
+        "docs/resilience.md)")
     chaos.add_argument("db", nargs="?", default=None,
                        help="database file (default: a temp file per "
                        "storm)")
@@ -308,6 +344,10 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--delay", type=float, default=0.02,
                        help="slow/stall fault sleep seconds "
                        "(default 0.02)")
+    chaos.add_argument("--result-cache", action="store_true",
+                       help="storm servers with the result cache "
+                       "enabled, so the no-stale-cache-serves "
+                       "invariant is exercised under faults")
     chaos.add_argument("--json", action="store_true",
                        help="emit machine-readable reports")
 
@@ -406,12 +446,18 @@ def _serve(args: argparse.Namespace, out) -> int:
 
         _, cap = parse_replica_setting(args.replica_max_bytes)
         extra["replica_max_bytes"] = cap
+    if args.result_cache_max_bytes is not None:
+        from repro.cache import parse_cache_setting
+
+        _, cap = parse_cache_setting(args.result_cache_max_bytes)
+        extra["result_cache_max_bytes"] = cap
     config = ServerConfig(
         path=args.db, host=args.host, port=args.port,
         workers=args.workers, backlog=args.backlog,
         writer_queue=args.writer_queue, durability=durability,
         observe=bool(args.observe), access_log=bool(args.access_log),
-        shards=args.shards, replica=bool(args.replica), **extra)
+        shards=args.shards, replica=bool(args.replica),
+        result_cache=bool(args.result_cache), **extra)
     server = ReproServer(config)
     server.start()
     host, port = server.address
@@ -419,6 +465,8 @@ def _serve(args: argparse.Namespace, out) -> int:
               else "single file")
     if config.replica:
         engine += " + replica"
+    if config.result_cache:
+        engine += " + result cache"
     print(f"serving {args.db} on http://{host}:{port} "
           f"({engine}, {config.workers} workers, "
           f"backlog {config.backlog}, "
@@ -468,7 +516,8 @@ def _chaos(args: argparse.Namespace, out) -> int:
             config = ServerConfig(
                 path=path, workers=args.workers,
                 backlog=args.workers * 2, faults=injector,
-                pool_timeout=1.0, retry_after=0.05)
+                pool_timeout=1.0, retry_after=0.05,
+                result_cache=bool(args.result_cache))
             with ReproServer(config) as server:
                 host, port = server.address
                 report = run_storm(
@@ -649,6 +698,8 @@ def _dispatch_store(args: argparse.Namespace, store: RDFStore,
         return _rules_index(args, store, out)
     if command == "replica":
         return _replica(args, store, out)
+    if command == "cache":
+        return _cache(args, store, out)
     if command == "trace":
         return _trace(args, store, out)
     if command == "stats":
@@ -782,6 +833,55 @@ def _replica(args: argparse.Namespace, store: RDFStore, out) -> int:
         print(f"  no replicas built this process; "
               f"`repro replica {args.db} warm` would build: "
               f"{warmable}", file=out)
+    return 0
+
+
+def _cache(args: argparse.Namespace, store: RDFStore, out) -> int:
+    """``repro cache DB status|warm|drop [MODEL]``.
+
+    The result cache is process-local memory: ``warm`` here runs one
+    full-scan match per model through a fresh cache and reports what
+    those shapes cost resident (the sizing tool for
+    ``--result-cache-max-bytes``); a running server's live cache
+    counters are on its ``GET /stats``.
+    """
+    import json
+
+    from repro.cache import parse_cache_setting
+
+    max_bytes = None
+    if args.max_bytes is not None:
+        _, max_bytes = parse_cache_setting(args.max_bytes)
+    cache = store.result_cache
+    if cache is None:
+        cache = store.enable_result_cache(max_bytes=max_bytes)
+    elif max_bytes is not None:
+        cache.max_bytes = max_bytes
+    if args.action == "drop":
+        dropped = cache.clear()
+        print(json.dumps({"dropped": dropped}) if args.json
+              else f"dropped {dropped} cached result(s)", file=out)
+        return 0
+    names = ([args.model] if args.model
+             else [info.model_name for info in store.models])
+    if args.action == "warm":
+        for name in names:
+            sdo_rdf_match(store, "(?s ?p ?o)", [name])
+    status = cache.stats()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"result cache: {status['entries']} entries, "
+          f"{status['bytes']} bytes resident "
+          f"({status['max_bytes']} bytes cap)", file=out)
+    print(f"  hits={status['hits']} misses={status['misses']} "
+          f"stores={status['stores']} evictions={status['evictions']} "
+          f"invalidations={status['invalidations']} "
+          f"rejects={status['rejects']} "
+          f"hit_rate={status['hit_rate']}", file=out)
+    if args.action == "warm":
+        print(f"  warmed {len(names)} model full-scan(s): "
+              f"{', '.join(sorted(names)) or '(no models)'}", file=out)
     return 0
 
 

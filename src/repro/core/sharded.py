@@ -148,6 +148,7 @@ class ShardedRDFStore(StorageEngine):
         self._writer_init = writer_init
         self._lock = threading.Lock()
         self._closed = False
+        self._result_cache = None
         self._pools: list[ConnectionPool | None] = [None] * shards
         self._executor = ThreadPoolExecutor(
             max_workers=max(2, 2 * shards),
@@ -529,6 +530,27 @@ class ShardedRDFStore(StorageEngine):
     # querying
     # ------------------------------------------------------------------
 
+    @property
+    def result_cache(self):
+        """The attached :class:`~repro.cache.ResultCache`, or None.
+
+        Sharded entries key on the whole per-shard data-version
+        *vector* (a tuple), so a committed write on any shard
+        invalidates — the cache only ever compares versions for
+        equality, which makes the vector form work unchanged.
+        """
+        return self._result_cache
+
+    def enable_result_cache(self, max_bytes: int | None = None):
+        """Attach a fresh result cache over the scatter path."""
+        from repro.cache import ResultCache
+        self._result_cache = ResultCache(max_bytes=max_bytes)
+        return self._result_cache
+
+    def attach_result_cache(self, cache) -> None:
+        """Attach an existing cache, or None to detach."""
+        self._result_cache = cache
+
     def scatter_match(self, query: str, models: Sequence[str],
                       rulebases: Sequence[str] = (),
                       aliases=None, filter: str | None = None,
@@ -538,10 +560,40 @@ class ShardedRDFStore(StorageEngine):
         """Scatter-gather SDO_RDF_MATCH — ``sdo_rdf_match`` delegates
         here for any store that defines this method."""
         from repro.inference.scatter import scatter_match
-        return scatter_match(self, query, models, rulebases=rulebases,
-                             aliases=aliases, filter=filter,
-                             order_by=order_by, limit=limit,
-                             explain=explain, optimize=optimize)
+        cache = self._result_cache
+        cache_key = None
+        cache_version = None
+        if cache is not None and optimize and not explain:
+            from repro.cache import normalized_key
+            from repro.cache.result_cache import estimate_bytes
+            cache_key = normalized_key(query, models, rulebases,
+                                       aliases, filter, order_by, limit)
+            # Version vector read before the scatter, per the usual
+            # rule: a racing write can only make the stored rows newer
+            # than their key, never older.
+            cache_version = tuple(self.data_version_vector())
+            cached = cache.lookup(cache_key, cache_version)
+            if cached is not None:
+                return list(cached)
+        result = scatter_match(self, query, models, rulebases=rulebases,
+                               aliases=aliases, filter=filter,
+                               order_by=order_by, limit=limit,
+                               explain=explain, optimize=optimize)
+        if explain:
+            if cache is not None and optimize:
+                from repro.cache import normalized_key
+                if cache.would_serve(
+                        normalized_key(query, models, rulebases,
+                                       aliases, filter, order_by,
+                                       limit),
+                        tuple(self.data_version_vector())):
+                    result.engine = "cache"
+            return result
+        if cache_key is not None:
+            cache.store(cache_key, cache_version, result,
+                        nbytes=estimate_bytes(
+                            [row.as_dict() for row in result]))
+        return result
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -141,6 +141,13 @@ class RDFStore(StorageEngine):
         # RLock: loading maintenance targets under the lock may itself
         # construct the lazy rules-index manager.
         self._lazy_lock = threading.RLock()
+        self._result_cache = None
+        cache_setting = os.environ.get("REPRO_RESULT_CACHE")
+        if cache_setting is not None:
+            from repro.cache import ResultCache, parse_cache_setting
+            enabled, max_bytes = parse_cache_setting(cache_setting)
+            if enabled:
+                self._result_cache = ResultCache(max_bytes=max_bytes)
         self._replica = None
         setting = replica
         if setting is None:
@@ -265,6 +272,33 @@ class RDFStore(StorageEngine):
         detach.  The server attaches one manager to every pooled
         reader so they serve from the same partitions."""
         self._replica = manager
+
+    # ------------------------------------------------------------------
+    # the query-result cache (see repro.cache, docs/result_cache.md)
+    # ------------------------------------------------------------------
+
+    @property
+    def result_cache(self):
+        """The attached :class:`~repro.cache.ResultCache`, or None when
+        result caching is disabled.  The match path routes through
+        this via duck typing (cache -> replica -> SQL)."""
+        return self._result_cache
+
+    def enable_result_cache(self, max_bytes: int | None = None):
+        """Attach a fresh result cache; returns it.
+
+        The cache keys on this connection's ``data_version``, so it is
+        coherent per store instance — pooled readers must share one
+        cache keyed on the durable write_version instead (the server
+        does; see :mod:`repro.server.app`).
+        """
+        from repro.cache import ResultCache
+        self._result_cache = ResultCache(max_bytes=max_bytes)
+        return self._result_cache
+
+    def attach_result_cache(self, cache) -> None:
+        """Attach an existing cache, or None to detach."""
+        self._result_cache = cache
 
     def run_rules_maintenance(self, targets, added, removed,
                               model: "ModelInfo | None" = None) -> None:

@@ -123,7 +123,8 @@ class MatchExplanation:
     the chosen join order with selectivity estimates, what was pushed
     into SQL, the generated statement, whether the plan came from the
     cache, and which engine would serve the query (``sql``, the
-    in-memory ``replica``, or the sharded ``scatter`` merge).
+    result ``cache``, the in-memory ``replica``, or the sharded
+    ``scatter`` merge).
     """
 
     def __init__(self, query: str, models: tuple[str, ...],
@@ -134,7 +135,7 @@ class MatchExplanation:
         self.rulebases = rulebases
         self.cache = cache  #: "hit", "miss", or "bypass" (optimize off)
         self.plan = plan
-        self.engine = engine  #: "sql", "replica", or "scatter"
+        self.engine = engine  #: "sql", "cache", "replica", or "scatter"
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -263,6 +264,45 @@ def sdo_rdf_match(store: "RDFStore", query: str,
         if order_by is not None:
             order_by = order_by.lstrip("?")
 
+        # ---- result-cache routing (see repro.cache) ----
+        # An attached result cache serves a repeated query from memory
+        # without parsing, planning, or SQL.  Keys are the *normalized*
+        # query shape; the entry is valid only at the data_version it
+        # was computed under, so any committed write invalidates on the
+        # next lookup.  Duck-typed like the replica below.
+        result_cache = getattr(store, "result_cache", None)
+        cache_key = None
+        cache_version = None
+        if result_cache is not None and optimize and not explain:
+            # Lazy import: repro.cache's normalizer reuses this
+            # package's parsers, so a module-level import here would
+            # be circular through repro.inference.__init__.
+            from repro.cache.normalize import normalized_key
+            cache_key = normalized_key(query, models, rulebases,
+                                       aliases, filter, order_by, limit)
+            # The version is read BEFORE executing: a write racing the
+            # miss path can only make the stored rows *newer* than
+            # their key (the next lookup invalidates and recomputes) —
+            # never older, which would be a stale serve.
+            cache_version = store.database.data_version
+            cached = result_cache.lookup(cache_key, cache_version)
+            if cached is not None:
+                span.set("engine", "cache")
+                span.set("rows", len(cached))
+                request = current_trace()
+                if request is not None:
+                    request.annotate("query", query)
+                    request.annotate("engine", "cache")
+                if observer.enabled:
+                    observer.counter("match.queries").inc()
+                    observer.counter("match.result_cache_hits").inc()
+                    observer.metrics.histogram(
+                        "match.rows", "result rows per query",
+                        buckets=_COUNT_BUCKETS).observe(len(cached))
+                return list(cached)
+            if observer.enabled:
+                observer.counter("match.result_cache_misses").inc()
+
         # ---- replica routing (see repro.replica) ----
         # An attached in-memory replica serves eligible queries —
         # single model, no rulebases, a supported pattern shape —
@@ -326,6 +366,9 @@ def sdo_rdf_match(store: "RDFStore", query: str,
                     observer.metrics.histogram(
                         "match.rows", "result rows per query",
                         buckets=_COUNT_BUCKETS).observe(len(rows))
+                if cache_key is not None:
+                    _store_result(result_cache, cache_key,
+                                  cache_version, rows)
                 return rows
             if observer.enabled:
                 observer.counter("match.replica_fallbacks").inc()
@@ -393,7 +436,15 @@ def sdo_rdf_match(store: "RDFStore", query: str,
             span.set("explain", True)
             span.set("plan_cache", cache_status)
             engine = "sql"
-            if replica_eligible:
+            if result_cache is not None and optimize:
+                from repro.cache.normalize import normalized_key
+                if result_cache.would_serve(
+                        normalized_key(query, models, rulebases,
+                                       aliases, filter, order_by,
+                                       limit),
+                        store.database.data_version):
+                    engine = "cache"
+            if engine == "sql" and replica_eligible:
                 # Advisory: shape-eligible and the replica is fresh
                 # (or would build inline).  An eviction between this
                 # check and a later execution can still fall back.
@@ -413,6 +464,9 @@ def sdo_rdf_match(store: "RDFStore", query: str,
             # A constant with no VALUE_ID: nothing can match.
             span.set("rows", 0)
             span.set("short_circuit", "unknown-constant")
+            if cache_key is not None:
+                _store_result(result_cache, cache_key, cache_version,
+                              [])
             return []
 
         # ---- execute + batched term resolution ----
@@ -451,6 +505,8 @@ def sdo_rdf_match(store: "RDFStore", query: str,
             observer.metrics.histogram(
                 "match.rows", "result rows per query",
                 buckets=_COUNT_BUCKETS).observe(len(rows))
+        if cache_key is not None:
+            _store_result(result_cache, cache_key, cache_version, rows)
         return rows
 
 
@@ -464,6 +520,21 @@ def ask(store: "RDFStore", query: str, models: Sequence[str],
     """
     return bool(sdo_rdf_match(store, query, models, rulebases=rulebases,
                               aliases=aliases, limit=1))
+
+
+def _store_result(result_cache, cache_key: tuple, cache_version,
+                  rows: "list[MatchRow]") -> None:
+    """Install a computed result set in the attached result cache.
+
+    Sized on the lexical projection (what a consumer actually reads
+    out of the rows); the MatchRow/RDFTerm object overhead on top is
+    real but bounded, and the flat estimate must stay cheap enough to
+    run on every miss.
+    """
+    from repro.cache.result_cache import estimate_bytes
+    result_cache.store(
+        cache_key, cache_version, rows,
+        nbytes=estimate_bytes([row.as_dict() for row in rows]))
 
 
 def _check_filter_variables(filter_expression: FilterExpression | None,

@@ -25,6 +25,12 @@ Routes::
 
     POST /match    {query, models, rulebases?, aliases?, filter?,
                     order_by?, limit?}       -> {rows, count, data_version}
+    POST /match/batch  {queries: [<match body>, ...]}
+                   -> {results: [{rows, count, cached?} | {error, type}],
+                       count, errors, data_version}
+                   one admission ticket, one pooled lease, one snapshot
+                   data_version shared by every sub-result; per-query
+                   errors are isolated, the deadline is batch-wide
     POST /insert   {model, triples, create?} -> {created, count, write_version}
     POST /delete   {model, triple, force?}   -> {removed, write_version}
     GET  /stats    pool/writer/admission gauges + metrics snapshot
@@ -89,6 +95,8 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Any, Callable
 
+from repro.cache import ResultCache, normalized_key
+from repro.cache.result_cache import estimate_bytes
 from repro.core.sharded import ShardedRDFStore
 from repro.core.store import RDFStore
 from repro.db.connection import Database
@@ -162,6 +170,27 @@ class _BadRequest(ReproError):
     """Malformed request body or parameters (HTTP 400)."""
 
 
+class _CachedMatch:
+    """One cached ``/match`` answer.
+
+    ``rows``/``count`` are the JSON-ready payload (``/match/batch``
+    splices them into its own envelope); ``hit_body`` memoizes the
+    fully encoded ``/match`` hit response on first use, so steady-state
+    hits skip ``json.dumps`` entirely.  The bytes are identical for
+    every hit on this entry — the ``data_version`` in the body is part
+    of the version the entry is keyed under, so it cannot change while
+    the entry lives.  The unlocked lazy write is a benign race: two
+    threads encode the same bytes.
+    """
+
+    __slots__ = ("rows", "count", "hit_body")
+
+    def __init__(self, rows: list, count: int) -> None:
+        self.rows = rows
+        self.count = count
+        self.hit_body: bytes | None = None
+
+
 @dataclass
 class ServerConfig:
     """Everything the serving layer is configured by.
@@ -226,6 +255,18 @@ class ServerConfig:
         ``shards > 1`` (VALUE_IDs are shard-local).
     :param replica_max_bytes: byte cap on the replica's resident
         partitions (LRU eviction); ``None`` means uncapped.
+    :param result_cache: keep one shared
+        :class:`~repro.cache.ResultCache` of complete ``/match``
+        responses, keyed on the normalized query shape and the durable
+        serve-state write_version (the per-shard version *vector* in
+        sharded mode) — a repeated hot read skips parsing, planning,
+        and SQL entirely.  Composes with ``replica`` (the tiered read
+        path is cache -> replica -> SQL) and with ``shards``.  See
+        ``docs/result_cache.md``.
+    :param result_cache_max_bytes: byte cap on cached result sets
+        (LRU eviction); ``None`` means the cache's default (64 MiB).
+    :param batch_limit: maximum sub-queries accepted by one
+        ``POST /match/batch`` body.
     """
 
     path: str
@@ -257,6 +298,9 @@ class ServerConfig:
     shards: int = 1
     replica: bool = False
     replica_max_bytes: int | None = None
+    result_cache: bool = False
+    result_cache_max_bytes: int | None = None
+    batch_limit: int = 100
 
     def __post_init__(self) -> None:
         if self.path == ":memory:":
@@ -289,6 +333,11 @@ class ServerConfig:
                 "pick --replica or --shards, not both")
         if self.replica_max_bytes is not None and self.replica_max_bytes <= 0:
             raise ReplicaError("replica_max_bytes must be positive")
+        if (self.result_cache_max_bytes is not None
+                and self.result_cache_max_bytes <= 0):
+            raise StorageError("result_cache_max_bytes must be positive")
+        if self.batch_limit < 1:
+            raise StorageError("batch_limit must be >= 1")
 
 
 class ReproServer:
@@ -324,6 +373,15 @@ class ReproServer:
         self.writer: WriterQueue | None = None
         self.engine: ShardedRDFStore | None = None
         self.replica: ReplicaManager | None = None
+        # One app-level cache shared by every handler thread, keyed on
+        # the durable write_version (never the pooled readers' local
+        # data_version counters, which are not comparable across
+        # connections).  Survives stop()/start() cycles by design —
+        # version keys are durable, so reuse is safe.
+        self.result_cache: ResultCache | None = None
+        if config.result_cache:
+            self.result_cache = ResultCache(
+                max_bytes=config.result_cache_max_bytes)
         self._http: _HTTPServer | None = None
         self._serve_thread: threading.Thread | None = None
         self._gate = threading.BoundedSemaphore(
@@ -503,24 +561,49 @@ class ReproServer:
     # routes
     # ------------------------------------------------------------------
 
-    def _do_match(self, payload: dict,
-                  meta: dict | None = None) -> tuple[int, dict]:
+    @staticmethod
+    def _match_spec(payload: dict) -> tuple:
+        """Validate one match request body (shared with /match/batch)."""
         query = _require_str(payload, "query")
         models = _require_str_list(payload, "models")
         rulebases = _optional_str_list(payload, "rulebases")
         aliases = _parse_aliases(payload.get("aliases"))
         filter_ = payload.get("filter")
+        if filter_ is not None and not isinstance(filter_, str):
+            raise _BadRequest("filter must be a string")
         order_by = payload.get("order_by")
+        if order_by is not None and not isinstance(order_by, str):
+            raise _BadRequest("order_by must be a string")
         limit = payload.get("limit")
         if limit is not None and not isinstance(limit, int):
             raise _BadRequest("limit must be an integer")
+        return query, models, rulebases, aliases, filter_, order_by, \
+            limit
+
+    def _cache_key(self, spec: tuple) -> tuple | None:
+        """The normalized cache key of a validated spec, or None when
+        the cache is off.  Raises QueryError (HTTP 400) on anything
+        the match parsers would reject — never silently uncached."""
+        if self.result_cache is None:
+            return None
+        query, models, rulebases, aliases, filter_, order_by, limit = \
+            spec
+        return normalized_key(query, models, rulebases, aliases,
+                              filter_, order_by, limit)
+
+    def _do_match(self, payload: dict,
+                  meta: dict | None = None) -> tuple[int, dict]:
+        spec = self._match_spec(payload)
         if self.engine is not None:
-            return self._sharded_match(query, models, rulebases,
-                                       aliases, filter_, order_by,
-                                       limit)
+            return self._sharded_match(spec)
+        query, models, rulebases, aliases, filter_, order_by, limit = \
+            spec
+        cache = self.result_cache
+        cache_key = self._cache_key(spec)
         request = current_trace()
         deadline = request.deadline if request is not None else None
         start = time.perf_counter()
+        cached = None
         with self.pool.lease() as store:
             database = store.database
             guard = None
@@ -529,14 +612,21 @@ class ReproServer:
                 # query SQL: the reported data_version is exactly the
                 # snapshot the rows came from.  The deadline scope arms
                 # a progress-handler watchdog that aborts the query SQL
-                # the moment the budget runs out.
+                # the moment the budget runs out.  The cache probe runs
+                # inside the same transaction, so a hit is provably the
+                # snapshot named by ``version`` — the entry was stored
+                # under this exact write_version.
                 with database.deadline_scope(deadline) as guard:
                     with database.transaction():
                         version = read_write_version(database)
-                        rows = sdo_rdf_match(
-                            store, query, models, rulebases=rulebases,
-                            aliases=aliases, filter=filter_,
-                            order_by=order_by, limit=limit)
+                        if cache_key is not None:
+                            cached = cache.lookup(cache_key, version)
+                        if cached is None:
+                            rows = sdo_rdf_match(
+                                store, query, models,
+                                rulebases=rulebases, aliases=aliases,
+                                filter=filter_, order_by=order_by,
+                                limit=limit)
             except DeadlineExceededError:
                 if guard is not None and guard.interrupted:
                     self.metrics.counter(
@@ -546,7 +636,7 @@ class ReproServer:
                     if request is not None:
                         request.annotate("sql_interrupted", True)
                 raise
-            if (request is not None
+            if (cached is None and request is not None
                     and time.perf_counter() - start
                     >= self.slowlog.threshold):
                 # Still holding the lease: capture the plan the slow
@@ -555,19 +645,34 @@ class ReproServer:
                 self._capture_slow_match(
                     request, store, query, models, rulebases, aliases,
                     filter_, order_by, limit)
+        if cached is not None:
+            if request is not None:
+                request.annotate("rows", cached.count)
+                request.annotate("data_version", version)
+                request.annotate("engine", "cache")
+            if cached.hit_body is None:
+                cached.hit_body = json.dumps(
+                    {"rows": cached.rows, "count": cached.count,
+                     "data_version": version,
+                     "cached": True}).encode("utf-8")
+            return 200, cached.hit_body
+        rows_payload = [row.as_dict() for row in rows]
         if request is not None:
             request.annotate("rows", len(rows))
             request.annotate("data_version", version)
-        return 200, {
-            "rows": [row.as_dict() for row in rows],
+        body = {
+            "rows": rows_payload,
             "count": len(rows),
             "data_version": version,
         }
+        if cache_key is not None:
+            cache.store(cache_key, version,
+                        _CachedMatch(rows_payload, len(rows)),
+                        nbytes=estimate_bytes(rows_payload) + 64)
+            body["cached"] = False
+        return 200, body
 
-    def _sharded_match(self, query: str, models: list[str],
-                       rulebases: list[str], aliases: AliasSet | None,
-                       filter_: Any, order_by: Any,
-                       limit: int | None) -> tuple[int, dict]:
+    def _sharded_match(self, spec: tuple) -> tuple[int, dict]:
         """``/match`` on the sharded engine: scatter-gather + vector.
 
         ``data_version`` is the *sum* of the per-shard write versions
@@ -576,25 +681,54 @@ class ReproServer:
         the vector is read immediately before the query, naming the
         newest snapshot each shard could have served, not an atomic
         cross-shard cut (the trade-off is documented in
-        ``docs/sharding.md``).
+        ``docs/sharding.md``).  Cache entries key on the whole vector
+        (equality only), so a commit on any shard invalidates; the
+        vector is read *before* the scatter, so a racing write can
+        only make a stored entry newer than its key, never older.
         """
+        query, models, rulebases, aliases, filter_, order_by, limit = \
+            spec
+        cache = self.result_cache
+        cache_key = self._cache_key(spec)
         request = current_trace()
         vector = self._write_version_vector()
+        version = sum(vector)
+        if cache_key is not None:
+            cached = cache.lookup(cache_key, tuple(vector))
+            if cached is not None:
+                if request is not None:
+                    request.annotate("rows", cached.count)
+                    request.annotate("data_version", version)
+                    request.annotate("data_version_vector", vector)
+                    request.annotate("engine", "cache")
+                if cached.hit_body is None:
+                    cached.hit_body = json.dumps(
+                        {"rows": cached.rows, "count": cached.count,
+                         "data_version": version,
+                         "data_version_vector": vector,
+                         "cached": True}).encode("utf-8")
+                return 200, cached.hit_body
         rows = sdo_rdf_match(
             self.engine, query, models, rulebases=rulebases,
             aliases=aliases, filter=filter_, order_by=order_by,
             limit=limit)
-        version = sum(vector)
+        rows_payload = [row.as_dict() for row in rows]
         if request is not None:
             request.annotate("rows", len(rows))
             request.annotate("data_version", version)
             request.annotate("data_version_vector", vector)
-        return 200, {
-            "rows": [row.as_dict() for row in rows],
+        body = {
+            "rows": rows_payload,
             "count": len(rows),
             "data_version": version,
             "data_version_vector": vector,
         }
+        if cache_key is not None:
+            cache.store(cache_key, tuple(vector),
+                        _CachedMatch(rows_payload, len(rows)),
+                        nbytes=estimate_bytes(rows_payload) + 64)
+            body["cached"] = False
+        return 200, body
 
     def _write_version_vector(self) -> list[int]:
         """Per-shard serve-state write versions (pool reads)."""
@@ -619,6 +753,143 @@ class ReproServer:
             return
         request.annotate("explain", explanation.render())
         request.annotate("plan_sql", explanation.plan.sql)
+
+    # ------------------------------------------------------------------
+    # POST /match/batch — the multi-query protocol
+    # ------------------------------------------------------------------
+
+    def _do_match_batch(self, payload: dict,
+                        meta: dict | None = None) -> tuple[int, dict]:
+        """N match queries, one request.
+
+        The whole batch costs one admission ticket (taken before the
+        body was read, like any POST), one pooled read lease, and one
+        snapshot: every sub-result shares the ``data_version`` read at
+        the top of the transaction.  Per-query errors are isolated —
+        a bad sub-query answers with its own ``{error, type}`` object
+        while its siblings still return rows.  The request deadline is
+        batch-wide: expiry aborts the remaining sub-queries and the
+        whole request answers 504 (the batch is read-only, so a retry
+        — with or without an ``Idempotency-Key`` — is always safe).
+        """
+        raw = payload.get("queries")
+        if not isinstance(raw, list) or not raw:
+            raise _BadRequest(
+                "'queries' must be a non-empty list of match objects")
+        if len(raw) > self.config.batch_limit:
+            raise _BadRequest(
+                f"batch of {len(raw)} queries exceeds the server's "
+                f"batch_limit of {self.config.batch_limit}")
+        if self.engine is not None:
+            return self._sharded_match_batch(raw)
+        request = current_trace()
+        deadline = request.deadline if request is not None else None
+        cache = self.result_cache
+        results: list[dict] = []
+        with self.pool.lease() as store:
+            database = store.database
+            guard = None
+            try:
+                # One read transaction covers the version read and
+                # every sub-query: all N answers come from the same
+                # snapshot — the consistency /match gives one query,
+                # extended across the batch.
+                with database.deadline_scope(deadline) as guard:
+                    with database.transaction():
+                        version = read_write_version(database)
+                        for item in raw:
+                            results.append(self._one_batch_query(
+                                store, item, version, cache))
+            except DeadlineExceededError:
+                if guard is not None and guard.interrupted:
+                    self.metrics.counter(
+                        "sql.interrupts",
+                        "statements aborted mid-flight by a deadline "
+                        "watchdog").inc()
+                    if request is not None:
+                        request.annotate("sql_interrupted", True)
+                raise
+        errors = sum(1 for entry in results if "error" in entry)
+        if request is not None:
+            request.annotate("batch", len(results))
+            request.annotate("batch_errors", errors)
+            request.annotate("data_version", version)
+        return 200, {
+            "results": results,
+            "count": len(results),
+            "errors": errors,
+            "data_version": version,
+        }
+
+    def _one_batch_query(self, store: RDFStore, item: Any,
+                         version: int, cache: ResultCache | None,
+                         vector: tuple | None = None) -> dict:
+        """One sub-query of a batch: answer or isolated error object.
+
+        Two error families are deliberately NOT isolated and abort the
+        whole batch: DeadlineExceededError (the client's budget is for
+        the request, not per sub-query) and _BadRequest (a malformed
+        entry is a protocol error, answered 400 like any other
+        malformed body).  Execution errors — unknown model, a query
+        the parser rejects — isolate to their own ``{error, type}``
+        object so siblings still answer.
+        """
+        try:
+            if not isinstance(item, dict):
+                raise _BadRequest(
+                    "each batch entry must be a match object")
+            spec = self._match_spec(item)
+            cache_key = self._cache_key(spec)
+            cache_version = vector if vector is not None else version
+            if cache_key is not None:
+                cached = cache.lookup(cache_key, cache_version)
+                if cached is not None:
+                    return {"rows": cached.rows,
+                            "count": cached.count,
+                            "cached": True}
+            query, models, rulebases, aliases, filter_, order_by, \
+                limit = spec
+            rows = sdo_rdf_match(
+                store, query, models, rulebases=rulebases,
+                aliases=aliases, filter=filter_, order_by=order_by,
+                limit=limit)
+            rows_payload = [row.as_dict() for row in rows]
+            entry = {"rows": rows_payload, "count": len(rows)}
+            if cache_key is not None:
+                cache.store(cache_key, cache_version,
+                            _CachedMatch(rows_payload, len(rows)),
+                            nbytes=estimate_bytes(rows_payload) + 64)
+                entry["cached"] = False
+            return entry
+        except (DeadlineExceededError, _BadRequest):
+            raise
+        except ReproError as exc:
+            return _error(exc)
+
+    def _sharded_match_batch(self, raw: list) -> tuple[int, dict]:
+        """The batch on a sharded engine: one version vector, read
+        once before the first sub-query, shared by every answer —
+        the same snapshot discipline as :meth:`_sharded_match`."""
+        request = current_trace()
+        vector = self._write_version_vector()
+        version = sum(vector)
+        cache = self.result_cache
+        results = [self._one_batch_query(self.engine, item, version,
+                                         cache, vector=tuple(vector))
+                   for item in raw]
+        errors = sum(1 for entry in results if "error" in entry)
+        if request is not None:
+            request.annotate("batch", len(results))
+            request.annotate("batch_errors", errors)
+            request.annotate("data_version", version)
+            request.annotate("data_version_vector", vector)
+        return 200, {
+            "results": results,
+            "count": len(results),
+            "errors": errors,
+            "data_version": version,
+            "data_version_vector": vector,
+        }
 
     def _do_insert(self, payload: dict,
                    meta: dict | None = None) -> tuple[int, dict]:
@@ -857,6 +1128,7 @@ class ReproServer:
                            else "single"),
                 "shards": self.config.shards,
                 "replica": self.replica is not None,
+                "result_cache": self.result_cache is not None,
             },
             "pool": self.pool.stats() if self.pool else {},
             "writer": self.writer.stats() if self.writer else {},
@@ -864,6 +1136,8 @@ class ReproServer:
             "slow_requests": self.slowlog.stats(),
             "metrics": self.metrics.as_dict(),
         }
+        if self.result_cache is not None:
+            body["result_cache"] = self.result_cache.stats()
         if self.engine is not None:
             body["shards"] = self._shard_overview()
         if self.pool is not None:
@@ -1171,6 +1445,16 @@ class ReproServer:
         gauge per shard, so saturation on a single hot partition is
         visible even when the aggregate looks healthy.
         """
+        result_cache = self.result_cache
+        if result_cache is not None:
+            status = result_cache.stats()
+            for name in ("entries", "bytes", "hits", "misses",
+                         "stores", "evictions", "invalidations",
+                         "rejects"):
+                self.metrics.gauge(
+                    f"result_cache.{name}",
+                    f"result-cache {name} since start").set(
+                        status[name])
         if self.engine is not None:
             engine = self.engine
             depths = []
@@ -1263,6 +1547,7 @@ class ReproServer:
 #: scans cannot explode the metric namespace.
 _ROUTE_LABELS = {
     "/match": "match",
+    "/match/batch": "match_batch",
     "/insert": "insert",
     "/delete": "delete",
     "/stats": "stats",
@@ -1427,9 +1712,11 @@ class _Handler(BaseHTTPRequestHandler):
         ``close=True`` adds ``Connection: close`` — required whenever
         the response goes out before the request body was read, since
         the unread bytes would be parsed as the next request line on a
-        kept-alive connection.
+        kept-alive connection.  A ``bytes`` body is pre-encoded JSON
+        (a result-cache hit) and is sent as-is.
         """
-        data = json.dumps(body).encode("utf-8")
+        data = (body if isinstance(body, bytes)
+                else json.dumps(body).encode("utf-8"))
         self._finalize(status)
         faults = self.app.config.faults
         if faults is not None:
@@ -1511,6 +1798,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     _POST_ROUTES = {
         "/match": "_do_match",
+        "/match/batch": "_do_match_batch",
         "/insert": "_do_insert",
         "/delete": "_do_delete",
     }

@@ -8,7 +8,7 @@ stalls, pool exhaustion.  The same ``(fault class, seed)`` pair
 replays the identical schedule, so a storm that finds a bug *is* the
 reproducer.
 
-Under every schedule the storm asserts the serving layer's four
+Under every schedule the storm asserts the serving layer's five
 resilience invariants:
 
 1. **No torn reads** — writes land in atomic batches; every subject a
@@ -24,6 +24,12 @@ resilience invariants:
    response the server manages to send carries ``X-Request-Id``
    (responses cut off mid-flight by a drop fault never arrive and are
    exempt).
+5. **No stale cache serves** — when the server runs a result cache, a
+   ``/match`` answered from it (``cached: true``) never carries a
+   ``data_version`` older than any ``write_version`` a completed write
+   had already reported before the read was issued.  The cache may
+   *miss* more than strictly necessary; it may never serve a snapshot
+   from before an acknowledged write.
 
 The driver is shared by the storm tests (``tests/server/test_chaos.py``),
 the ``repro chaos`` CLI command, and the resilience benchmark.
@@ -114,6 +120,7 @@ class ChaosReport:
     retries: int = 0
     replays: int = 0
     reconciled: int = 0
+    cache_hits: int = 0
     writes_applied: int = 0
     final_triples: int = -1
     expected_triples: int = -1
@@ -136,6 +143,7 @@ class ChaosReport:
             "retries": self.retries,
             "idempotent_replays": self.replays,
             "reconciled_writes": self.reconciled,
+            "cache_hits": self.cache_hits,
             "writes_applied": self.writes_applied,
             "final_triples": self.final_triples,
             "expected_triples": self.expected_triples,
@@ -150,6 +158,7 @@ class ChaosReport:
             f"{head} chaos[{self.fault_class}] seed={self.seed} "
             f"requests={self.requests} retries={self.retries} "
             f"replays={self.replays} "
+            f"cache_hits={self.cache_hits} "
             f"faults={self.faults_fired.get('fired', 0)} "
             f"triples={self.final_triples}/{self.expected_triples} "
             f"({self.duration:.2f}s)",
@@ -170,6 +179,11 @@ class _StormState:
         self.requests = 0
         self.writes_applied = 0
         self.reconciled = 0
+        self.cache_hits = 0
+        #: Highest write_version any completed write has reported.
+        #: The cache-coherence floor: a later cache-served read must
+        #: carry a data_version at least this high.
+        self.max_write_version = -1
         self.violations: list[str] = []
         #: (worker, op) keys whose write never got a success answer.
         self.unresolved: list[tuple[str, str, list[list[str]]]] = []
@@ -183,6 +197,18 @@ class _StormState:
         with self.lock:
             if len(self.violations) < 50:
                 self.violations.append(message)
+
+    def observe_write_version(self, outcome: dict) -> None:
+        """Raise the coherence floor from a completed write's answer.
+
+        Replayed outcomes report their *original* commit's version —
+        taking the max keeps them from lowering the floor.
+        """
+        version = outcome.get("write_version")
+        if isinstance(version, (int, float)):
+            with self.lock:
+                if version > self.max_write_version:
+                    self.max_write_version = int(version)
 
 
 def _batch_triples(worker: int, op: int) -> list[list[str]]:
@@ -223,7 +249,8 @@ def run_storm(host: str, port: int, *,
     # bootstrap write is a batch like any other, so the torn-read
     # arithmetic stays uniform.
     with ReproClient(host, port, timeout=timeout) as boot:
-        boot.insert(model, _batch_triples(-1, 0), create=True)
+        state.observe_write_version(
+            boot.insert(model, _batch_triples(-1, 0), create=True))
     state.writes_applied += 1
 
     per_worker = max(1, requests // max(1, workers))
@@ -259,6 +286,13 @@ def run_storm(host: str, port: int, *,
 
     def read_once(client: ReproClient, worker: int,
                   last_version: list[int]) -> None:
+        # The coherence floor is captured BEFORE the read goes out:
+        # every write counted into it was acknowledged first, so any
+        # snapshot the server answers from — cached or not — must be
+        # at least this new.  Writes landing DURING the read may be
+        # newer than the floor; that is fine, the floor only ratchets.
+        with state.lock:
+            floor = state.max_write_version
         try:
             client.last_request_id = None
             result = client.match(f"(?s <{_PREFIX}p0> ?o)", model,
@@ -285,6 +319,15 @@ def run_storm(host: str, port: int, *,
                 f"data_version went backward on worker {worker}: "
                 f"{last_version[0]} -> {version}")
         last_version[0] = max(last_version[0], version)
+        if result.get("cached"):
+            with state.lock:
+                state.cache_hits += 1
+            if version < floor:
+                state.violate(
+                    f"stale cache serve on worker {worker}: cached "
+                    f"/match carried data_version {version} but a "
+                    f"write at version {floor} was already "
+                    "acknowledged before the read was issued")
 
     def _retry_write(client: ReproClient, state: _StormState,
                      model_: str, triples: list[list[str]],
@@ -296,6 +339,7 @@ def run_storm(host: str, port: int, *,
                                         idempotency_key=key)
                 state.count(200)
                 _check_request_id(client, state, "insert")
+                state.observe_write_version(outcome)
                 if outcome.get("idempotent_replay"):
                     with state.lock:
                         state.replays += 1
@@ -372,6 +416,7 @@ def run_storm(host: str, port: int, *,
     report.retries = state.retries
     report.replays = state.replays
     report.reconciled = state.reconciled
+    report.cache_hits = state.cache_hits
     report.writes_applied = state.writes_applied
     report.violations = list(state.violations)
     report.duration = time.monotonic() - started

@@ -208,6 +208,29 @@ class ReproClient:
                              request_id=request_id, deadline=deadline,
                              priority=priority, idempotent=True)
 
+    def match_batch(self, queries: Sequence[dict],
+                    request_id: str | None = None,
+                    deadline: float | None = None,
+                    priority: int | None = None,
+                    idempotency_key: str | None = None) -> dict:
+        """POST /match/batch — N queries, one request, one snapshot.
+
+        Each entry of ``queries`` is a ``/match`` body: ``{"query":
+        ..., "models": [...], "filter"?: ..., "order_by"?: ...,
+        "limit"?: ...}``.  Returns ``{results, count, errors,
+        data_version}`` where every successful sub-result shares the
+        one ``data_version`` and a failed sub-query answers its own
+        ``{error, type}`` object without failing its siblings.  The
+        deadline and any idempotency key apply batch-wide (the batch
+        is read-only, so resends are always safe).
+        """
+        payload = {"queries": [dict(entry) for entry in queries]}
+        return self._request("POST", "/match/batch", payload,
+                             request_id=request_id, deadline=deadline,
+                             priority=priority,
+                             idempotency_key=idempotency_key,
+                             idempotent=True)
+
     def match_retrying(self, *args: Any, max_attempts: int = 8,
                        max_wait: float | None = None,
                        **kwargs: Any) -> dict:

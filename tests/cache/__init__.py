@@ -1,0 +1,1 @@
+"""Tests for the versioned query-result cache (repro.cache)."""

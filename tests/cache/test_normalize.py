@@ -1,0 +1,151 @@
+"""Tests for cache-key normalization.
+
+The load-bearing property: two semantically identical query spellings
+must land on ONE cache key (the double-entry regression below pins
+it), while any semantic difference must split keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import ResultCache, normalized_key
+from repro.cache.normalize import canonical_filter_text
+from repro.errors import QueryError
+from repro.inference.filters import parse_filter
+from repro.inference.match import sdo_rdf_match
+from repro.rdf.namespaces import Alias, AliasSet
+
+
+def key(query, models=("m",), **kwargs):
+    return normalized_key(query, models, **kwargs)
+
+
+class TestPatternNormalization:
+    def test_whitespace_collapses(self):
+        assert key("(?s <urn:p> ?o)") == key("(  ?s   <urn:p>  ?o  )")
+
+    def test_alias_expansion_folds_into_key(self):
+        aliases = AliasSet([Alias("ex", "urn:example/")])
+        assert key("(?s ex:p ?o)", aliases=aliases) \
+            == key("(?s <urn:example/p> ?o)")
+
+    def test_different_alias_tables_same_expansion_collide(self):
+        a1 = AliasSet([Alias("ex", "urn:example/")])
+        a2 = AliasSet([Alias("zz", "urn:example/")])
+        assert key("(?s ex:p ?o)", aliases=a1) \
+            == key("(?s zz:p ?o)", aliases=a2)
+
+    def test_pattern_order_sorted_without_limit(self):
+        two = "(?s <urn:p> ?o) (?o <urn:q> ?z)"
+        swapped = "(?o <urn:q> ?z) (?s <urn:p> ?o)"
+        assert key(two) == key(swapped)
+
+    def test_pattern_order_preserved_with_limit(self):
+        two = "(?s <urn:p> ?o) (?o <urn:q> ?z)"
+        swapped = "(?o <urn:q> ?z) (?s <urn:p> ?o)"
+        assert key(two, limit=5) != key(swapped, limit=5)
+        assert key(two, limit=5) == key(two, limit=5)
+
+    def test_different_patterns_split(self):
+        assert key("(?s <urn:p> ?o)") != key("(?s <urn:q> ?o)")
+
+    def test_bad_query_raises_like_execution(self):
+        with pytest.raises(QueryError):
+            key("(?s <urn:p>)")  # two-term pattern
+
+
+class TestModelAndRulebaseNormalization:
+    def test_model_case_and_order_fold(self):
+        assert key("(?s ?p ?o)", models=("A", "b")) \
+            == key("(?s ?p ?o)", models=("B", "a"))
+        assert key("(?s ?p ?o)", models=("a", "A", "a")) \
+            == key("(?s ?p ?o)", models=("a",))
+
+    def test_model_sets_split(self):
+        assert key("(?s ?p ?o)", models=("a",)) \
+            != key("(?s ?p ?o)", models=("a", "b"))
+
+    def test_rulebases_fold_and_split(self):
+        assert key("(?s ?p ?o)", rulebases=("RDFS", "owl")) \
+            == key("(?s ?p ?o)", rulebases=("owl", "rdfs"))
+        assert key("(?s ?p ?o)") != key("(?s ?p ?o)",
+                                        rulebases=("rdfs",))
+
+
+class TestFilterNormalization:
+    def test_keyword_case_and_spacing_fold(self):
+        assert key("(?s <urn:p> ?o)", filter='?s = 1 and ?o = "x"') \
+            == key("(?s <urn:p> ?o)", filter='?s = 1 AND ?o = "x"')
+        assert key("(?s <urn:p> ?o)", filter="?s  =  1") \
+            == key("(?s <urn:p> ?o)", filter="?s = 1")
+
+    def test_not_equals_spellings_fold(self):
+        assert key("(?s <urn:p> ?o)", filter="?s <> 1") \
+            == key("(?s <urn:p> ?o)", filter="?s != 1")
+
+    def test_numeric_literal_forms_fold(self):
+        assert key("(?s <urn:p> ?o)", filter="?s = 1") \
+            == key("(?s <urn:p> ?o)", filter="?s = 1.0")
+
+    def test_empty_filter_is_no_filter(self):
+        assert key("(?s <urn:p> ?o)", filter="  ") \
+            == key("(?s <urn:p> ?o)")
+
+    def test_semantic_difference_splits(self):
+        assert key("(?s <urn:p> ?o)", filter="?s = 1") \
+            != key("(?s <urn:p> ?o)", filter="?s = 2")
+
+    def test_canonical_text_shape(self):
+        text = canonical_filter_text(
+            parse_filter('?a = 1 AND ?b <> "x" OR ?c < 2'))
+        assert text == '?a = 1.0 AND ?b != "x" OR ?c < 2.0'
+
+
+class TestOrderLimitNormalization:
+    def test_order_by_question_mark_folds(self):
+        assert key("(?s <urn:p> ?o)", order_by="?o") \
+            == key("(?s <urn:p> ?o)", order_by="o")
+
+    def test_order_and_limit_split(self):
+        base = key("(?s <urn:p> ?o)")
+        assert base != key("(?s <urn:p> ?o)", order_by="o")
+        assert base != key("(?s <urn:p> ?o)", limit=3)
+
+
+class TestDoubleEntryRegression:
+    """Pinned: the pre-normalization bug where semantically identical
+    spellings each burned their own cache slot (and the second
+    spelling missed a warm cache) must not come back."""
+
+    SPELLINGS = [
+        dict(query="(?s <urn:example/p> ?o)",
+             filter='?o  <>  "gone"'),
+        dict(query="(  ?s  <urn:example/p>  ?o )",
+             filter='?o != "gone"'),
+        dict(query="(?s ex:p ?o)",
+             aliases=AliasSet([Alias("ex", "urn:example/")]),
+             filter='?o  !=  "gone"'),
+    ]
+
+    def test_all_spellings_one_key(self):
+        keys = {key(**spelling) for spelling in self.SPELLINGS}
+        assert len(keys) == 1
+
+    def test_one_entry_one_recompute_through_the_store(self, store):
+        store.create_model("m")
+        store.insert_triple("m", "<urn:a>", "<urn:example/p>",
+                            '"kept"')
+        cache = store.enable_result_cache()
+        for spelling in self.SPELLINGS:
+            rows = sdo_rdf_match(store, spelling["query"], ["m"],
+                                 aliases=spelling.get("aliases"),
+                                 filter=spelling["filter"])
+            assert len(rows) == 1
+        stats = cache.stats()
+        assert stats["entries"] == 1, \
+            "double-entry regression: identical queries split slots"
+        assert stats["stores"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(self.SPELLINGS) - 1
+        assert isinstance(cache, ResultCache)
